@@ -1,0 +1,120 @@
+(* Benchmark harness: regenerates every evaluation table (T1-T10, see
+   DESIGN.md and EXPERIMENTS.md) and then runs host-side
+   micro-benchmarks of the simulator and tooling with Bechamel. *)
+
+let run_tables () =
+  List.iter
+    (fun (_, run) ->
+      Format.printf "%a@." Ssos_experiments.Table.pp (run ()))
+    Ssos_experiments.Experiments.all
+
+(* Guest-cycle costs are deterministic properties of the designs, not
+   host-time measurements: report them by direct simulation. *)
+let guest_cycle_costs () =
+  Format.printf "== Guest-cycle costs (simulated ticks, deterministic) ==@.";
+  let reinstall_cost = 8 + Ssos.Layout.os_image_size + 7 in
+  Format.printf "  figure-1 reinstall procedure:        %6d ticks@." reinstall_cost;
+  let switch_cost ~refresh =
+    let sched = Ssos.Sched.build ~refresh () in
+    let machine = sched.Ssos.Sched.machine in
+    let cpu = Ssx.Machine.cpu machine in
+    let entry = ref None and costs = ref [] in
+    Ssx.Machine.on_event machine (fun m event ->
+        match event with
+        | Ssx.Cpu.Took_interrupt { nmi = true; _ } ->
+          entry := Some (Ssx.Machine.ticks m)
+        | Ssx.Cpu.Executed _ -> (
+          let cs = cpu.Ssx.Cpu.regs.Ssx.Registers.cs in
+          match !entry with
+          | Some t0
+            when cs >= Ssos.Layout.proc_segment 0
+                 && cs <= Ssos.Layout.proc_segment sched.Ssos.Sched.n ->
+            costs := (Ssx.Machine.ticks m - t0) :: !costs;
+            entry := None
+          | Some _ | None -> ())
+        | _ -> ());
+    Ssx.Machine.run machine ~ticks:300_000;
+    match !costs with
+    | [] -> 0.
+    | costs ->
+      float_of_int (List.fold_left ( + ) 0 costs) /. float_of_int (List.length costs)
+  in
+  Format.printf "  scheduler context switch (refresh):  %6.0f ticks@."
+    (switch_cost ~refresh:true);
+  Format.printf "  scheduler context switch (no refr.): %6.0f ticks@."
+    (switch_cost ~refresh:false);
+  Format.printf "@."
+
+let micro_tests () =
+  let open Bechamel in
+  let tick_system = Ssos.Reinstall.build () in
+  Ssos.System.run tick_system ~ticks:30_000;
+  let machine_tick =
+    Test.make ~name:"machine-tick-x100"
+      (Staged.stage (fun () ->
+           Ssx.Machine.run tick_system.Ssos.System.machine ~ticks:100))
+  in
+  let assemble_figure1 =
+    Test.make ~name:"assemble-figure1"
+      (Staged.stage (fun () ->
+           ignore
+             (Ssx_asm.Assemble.assemble
+                ~symbols:Ssos.Rom_builder.layout_symbols
+                Ssos.Reinstall.figure1_source)))
+  in
+  let assemble_scheduler =
+    Test.make ~name:"assemble-scheduler"
+      (Staged.stage (fun () ->
+           ignore
+             (Ssx_asm.Assemble.assemble
+                ~symbols:Ssos.Rom_builder.layout_symbols
+                Ssos.Sched.figures_2_to_5_source)))
+  in
+  let guest = Ssos.Guest.heartbeat_kernel () in
+  let guest_image = Ssos.Guest.image_bytes guest in
+  let disassemble =
+    Test.make ~name:"disassemble-4KiB-image"
+      (Staged.stage (fun () -> ignore (Ssx_asm.Disasm.disassemble guest_image)))
+  in
+  let ring = Ssos_algorithms.Token_ring.create ~n:64 ~k:64 in
+  let token_round =
+    Test.make ~name:"token-ring-round-n64"
+      (Staged.stage (fun () -> ignore (Ssos_algorithms.Token_ring.step_round ring)))
+  in
+  let build_system =
+    Test.make ~name:"build-reinstall-system"
+      (Staged.stage (fun () -> ignore (Ssos.Reinstall.build ())))
+  in
+  Test.make_grouped ~name:"micro"
+    [ machine_tick; assemble_figure1; assemble_scheduler; disassemble;
+      token_round; build_system ]
+
+let run_micro () =
+  let open Bechamel in
+  Format.printf "== Micro-benchmarks (host time, Bechamel OLS) ==@.";
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~stabilize:true ~quota:(Time.second 0.5) ()
+  in
+  let raw = Benchmark.all cfg instances (micro_tests ()) in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results [] in
+  List.iter
+    (fun (name, ols) ->
+      match Analyze.OLS.estimates ols with
+      | Some [ estimate ] ->
+        Format.printf "  %-28s %12.1f ns/run@." name estimate
+      | Some _ | None -> Format.printf "  %-28s (no estimate)@." name)
+    (List.sort compare rows);
+  Format.printf "@."
+
+let () =
+  Format.printf
+    "ssos benchmark harness - reproduction of 'Toward Self-Stabilizing \
+     Operating Systems' (Dolev & Yagel)@.@.";
+  run_tables ();
+  guest_cycle_costs ();
+  run_micro ()

@@ -1,0 +1,265 @@
+(* ssos — command-line interface to the reproduction.
+
+   Subcommands:
+     demo <design>      run one of the paper's designs and narrate
+     experiment <id>    regenerate an evaluation table (T1..T10, or all)
+     figures            print the paper's figures as assembling source
+     listing <figure>   disassemble an assembled figure
+     campaign           custom fault-injection campaign *)
+
+let ok = Cmdliner.Cmd.Exit.ok
+
+(* ---------------------------------------------------------------- demo *)
+
+let heartbeat_tail system n =
+  let samples = Ssx_devices.Heartbeat.samples system.Ssos.System.heartbeat in
+  let total = List.length samples in
+  let tail = List.filteri (fun i _ -> i >= total - n) samples in
+  String.concat ", "
+    (List.map
+       (fun s ->
+         Printf.sprintf "%d@%d" s.Ssx_devices.Heartbeat.value
+           s.Ssx_devices.Heartbeat.tick)
+       tail)
+
+let demo_reinstall () =
+  Format.printf "== Section 3: periodical reinstall and restart ==@.";
+  let system = Ssos.Reinstall.build () in
+  Ssos.System.run system ~ticks:30_000;
+  Format.printf "booted through Figure 1; last heartbeats: %s@."
+    (heartbeat_tail system 5);
+  Format.printf "smashing the whole OS RAM image...@.";
+  let mem = Ssx.Machine.memory system.Ssos.System.machine in
+  for i = 0 to Ssos.Layout.os_image_size - 1 do
+    Ssx.Memory.write_byte mem ((Ssos.Layout.os_segment lsl 4) + i) 0xFF
+  done;
+  Ssos.System.run system ~ticks:120_000;
+  let verdict =
+    Ssx_stab.Convergence.judge ~spec:(Ssos.Reinstall.weak_spec ())
+      ~samples:(Ssx_devices.Heartbeat.samples system.Ssos.System.heartbeat)
+      ~end_tick:(Ssx.Machine.ticks system.Ssos.System.machine)
+  in
+  Format.printf "after 120k further ticks: %a@." Ssx_stab.Convergence.pp_verdict
+    verdict;
+  Format.printf "last heartbeats: %s@." (heartbeat_tail system 5)
+
+let demo_monitor () =
+  Format.printf "== Section 4: reinstall executable and monitor state ==@.";
+  let monitor = Ssos.Monitor.build () in
+  let system = monitor.Ssos.Monitor.system in
+  Ssos.System.run system ~ticks:30_000;
+  Format.printf "task kernel running; last heartbeats: %s@."
+    (heartbeat_tail system 5);
+  let mem = Ssx.Machine.memory system.Ssos.System.machine in
+  Format.printf "corrupting the task index and zeroing a divisor...@.";
+  Ssx.Memory.write_word mem Ssos.Guest.task_index_addr 0x7777;
+  Ssx.Memory.write_word mem (Ssos.Guest.task_table_addr + 2) 0;
+  Ssos.System.run system ~ticks:120_000;
+  List.iter
+    (fun d ->
+      Format.printf "  tick %d: monitor repaired [%s]@." d.Ssos.Monitor.tick
+        (String.concat "; " d.Ssos.Monitor.violated))
+    (Ssos.Monitor.detections monitor);
+  Format.printf "last heartbeats: %s@." (heartbeat_tail system 5)
+
+let demo_sched () =
+  Format.printf "== Section 5.2: the self-stabilizing scheduler ==@.";
+  let sched = Ssos.Sched.build () in
+  Ssx.Machine.run sched.Ssos.Sched.machine ~ticks:200_000;
+  Array.iteri
+    (fun i hb ->
+      Format.printf "  process %d: %d heartbeats@." i
+        (Ssx_devices.Heartbeat.count hb))
+    sched.Ssos.Sched.heartbeats;
+  Format.printf "corrupting the process table and the index...@.";
+  let mem = Ssx.Machine.memory sched.Ssos.Sched.machine in
+  Ssx.Memory.write_word mem Ssos.Sched.process_index_addr 0xFFFF;
+  Ssx.Memory.write_word mem (Ssos.Sched.process_record_addr 1 + 2) 0xABCD;
+  Ssx.Memory.write_word mem (Ssos.Sched.process_record_addr 2 + 4) 0xFFFF;
+  Ssx.Machine.run sched.Ssos.Sched.machine ~ticks:300_000;
+  Array.iteri
+    (fun i hb ->
+      Format.printf "  process %d: %d heartbeats (still advancing)@." i
+        (Ssx_devices.Heartbeat.count hb))
+    sched.Ssos.Sched.heartbeats
+
+let demo_primitive () =
+  Format.printf "== Section 5.1: the primitive scheduler ==@.";
+  let sched = Ssos.Primitive_sched.build () in
+  Ssx.Machine.run sched.Ssos.Primitive_sched.machine ~ticks:20_000;
+  Array.iteri
+    (fun i hb ->
+      Format.printf "  process %d: %d executions@." i
+        (Ssx_devices.Heartbeat.count hb))
+    sched.Ssos.Primitive_sched.heartbeats;
+  Format.printf "throwing the instruction pointer into the fill area...@.";
+  (Ssx.Machine.cpu sched.Ssos.Primitive_sched.machine).Ssx.Cpu.regs.Ssx.Registers.ip <-
+    Ssos.Primitive_sched.region_offset + 0xF00;
+  Ssx.Machine.run sched.Ssos.Primitive_sched.machine ~ticks:20_000;
+  Array.iteri
+    (fun i hb ->
+      Format.printf "  process %d: %d executions (round resumed)@." i
+        (Ssx_devices.Heartbeat.count hb))
+    sched.Ssos.Primitive_sched.heartbeats
+
+let demo design =
+  (match design with
+  | "reinstall" -> demo_reinstall ()
+  | "monitor" -> demo_monitor ()
+  | "sched" -> demo_sched ()
+  | "primitive" -> demo_primitive ()
+  | other ->
+    Format.printf "unknown design %s (expected reinstall|monitor|sched|primitive)@."
+      other);
+  ok
+
+(* ---------------------------------------------------------- experiment *)
+
+let experiment id =
+  if String.lowercase_ascii id = "all" then begin
+    List.iter
+      (fun (_, run) -> Format.printf "%a@." Ssos_experiments.Table.pp (run ()))
+      Ssos_experiments.Experiments.all;
+    ok
+  end
+  else
+    match Ssos_experiments.Experiments.find id with
+    | Some run ->
+      Format.printf "%a@." Ssos_experiments.Table.pp (run ());
+      ok
+    | None ->
+      Format.printf "unknown experiment %s (expected T1..T10 or all)@." id;
+      Cmdliner.Cmd.Exit.cli_error
+
+(* ------------------------------------------------------------- figures *)
+
+let figures () =
+  Format.printf
+    "; ================= Figure 1 =================@.%s@.\
+     ; ============== Figures 2-5 =================@.%s@."
+    Ssos.Reinstall.figure1_source Ssos.Sched.figures_2_to_5_source;
+  ok
+
+let listing which =
+  let source =
+    match which with
+    | "1" | "figure1" -> Some Ssos.Reinstall.figure1_source
+    | "2-5" | "scheduler" -> Some Ssos.Sched.figures_2_to_5_source
+    | "monitor" -> Some Ssos.Monitor.monitor_source
+    | "checkpoint" -> Some Ssos.Baselines.checkpoint_source
+    | _ -> None
+  in
+  match source with
+  | None ->
+    Format.printf "unknown figure %s (expected 1|2-5|monitor|checkpoint)@." which;
+    Cmdliner.Cmd.Exit.cli_error
+  | Some source ->
+    let symbols =
+      Ssos.Rom_builder.layout_symbols
+      @ [ ("RESTART_ENTRY", Ssos.Layout.recovery_offset);
+          ("EXCEPTION_ENTRY", 0x600); ("SCRATCH_SEGMENT", 0x0800);
+          ("LIVENESS_OFF", Ssos.Layout.os_data_offset + 4) ]
+    in
+    let image = Ssx_asm.Assemble.assemble ~symbols source in
+    Format.printf "%s@."
+      (Ssx_asm.Disasm.listing ~symbols:image.Ssx_asm.Assemble.symbols
+         image.Ssx_asm.Assemble.bytes);
+    ok
+
+(* --------------------------------------------------------------- trace *)
+
+let trace design ticks entries =
+  let machine =
+    match design with
+    | "monitor" -> (Ssos.Monitor.build ()).Ssos.Monitor.system.Ssos.System.machine
+    | "sched" -> (Ssos.Sched.build ()).Ssos.Sched.machine
+    | "primitive" ->
+      (Ssos.Primitive_sched.build ()).Ssos.Primitive_sched.machine
+    | "reinstall" | _ -> (Ssos.Reinstall.build ()).Ssos.System.machine
+  in
+  let trace = Ssx.Trace.attach ~capacity:entries machine in
+  Ssx.Machine.run machine ~ticks;
+  Format.printf "last %d events of %s after %d ticks:@.%a@." entries design
+    ticks Ssx.Trace.dump trace;
+  ok
+
+(* ------------------------------------------------------------ campaign *)
+
+let campaign design burst trials seed =
+  let spec = Ssos.Reinstall.weak_spec () in
+  let build, space =
+    match design with
+    | "none" ->
+      ((fun () -> Ssos.Baselines.none ()), Ssos.System.default_fault_space)
+    | "reset-only" ->
+      ((fun () -> Ssos.Baselines.reset_only ()), Ssos.System.default_fault_space)
+    | "checkpoint" ->
+      ((fun () -> Ssos.Baselines.checkpoint ()), Ssos.Baselines.checkpoint_fault_space)
+    | "monitor" ->
+      ( (fun () -> (Ssos.Monitor.build ()).Ssos.Monitor.system),
+        Ssos.System.default_fault_space )
+    | "reinstall" | _ ->
+      ((fun () -> Ssos.Reinstall.build ()), Ssos.System.default_fault_space)
+  in
+  let summary =
+    Ssos_experiments.Runner.heartbeat_campaign ~build ~space ~spec ~burst ~trials
+      ~seed:(Int64.of_int seed) ()
+  in
+  Format.printf "design=%s burst=%d trials=%d seed=%d@." design burst trials seed;
+  Format.printf "recovered: %d/%d@." summary.Ssos_experiments.Runner.recoveries
+    summary.Ssos_experiments.Runner.trials;
+  (match summary.Ssos_experiments.Runner.mean_recovery with
+  | Some mean -> Format.printf "mean recovery: %.0f ticks@." mean
+  | None -> ());
+  ok
+
+(* ----------------------------------------------------------------- cli *)
+
+let () =
+  let open Cmdliner in
+  let design_arg =
+    Arg.(value & pos 0 string "reinstall" & info [] ~docv:"DESIGN")
+  in
+  let demo_cmd =
+    Cmd.v (Cmd.info "demo" ~doc:"Run one of the paper's designs and narrate")
+      Term.(const demo $ design_arg)
+  in
+  let id_arg = Arg.(value & pos 0 string "all" & info [] ~docv:"ID") in
+  let experiment_cmd =
+    Cmd.v (Cmd.info "experiment" ~doc:"Regenerate an evaluation table (T1..T10)")
+      Term.(const experiment $ id_arg)
+  in
+  let figures_cmd =
+    Cmd.v (Cmd.info "figures" ~doc:"Print the paper's figures as source")
+      Term.(const figures $ const ())
+  in
+  let which_arg = Arg.(value & pos 0 string "1" & info [] ~docv:"FIGURE") in
+  let listing_cmd =
+    Cmd.v (Cmd.info "listing" ~doc:"Disassemble an assembled figure")
+      Term.(const listing $ which_arg)
+  in
+  let ticks_arg = Arg.(value & opt int 30_000 & info [ "ticks" ] ~docv:"N") in
+  let entries_arg = Arg.(value & opt int 40 & info [ "entries" ] ~docv:"N") in
+  let trace_cmd =
+    Cmd.v (Cmd.info "trace" ~doc:"Run a design and dump its last events")
+      Term.(const trace $ design_arg $ ticks_arg $ entries_arg)
+  in
+  let burst_arg = Arg.(value & opt int 40 & info [ "burst" ] ~docv:"N") in
+  let trials_arg = Arg.(value & opt int 20 & info [ "trials" ] ~docv:"N") in
+  let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED") in
+  let campaign_cmd =
+    Cmd.v (Cmd.info "campaign" ~doc:"Custom fault-injection campaign")
+      Term.(const campaign $ design_arg $ burst_arg $ trials_arg $ seed_arg)
+  in
+  let default = Term.(ret (const (`Help (`Pager, None)))) in
+  let info =
+    Cmd.info "ssos" ~version:"1.0.0"
+      ~doc:
+        "Reproduction of 'Toward Self-Stabilizing Operating Systems' (Dolev & \
+         Yagel)"
+  in
+  exit
+    (Cmd.eval'
+       (Cmd.group ~default info
+          [ demo_cmd; experiment_cmd; figures_cmd; listing_cmd; trace_cmd;
+            campaign_cmd ]))

@@ -1,0 +1,70 @@
+(* The full three-layer composition of section 1, at machine level:
+   a (simulated, self-stabilizing) processor runs the section 5.2
+   self-stabilizing scheduler, which schedules Dijkstra's K-state token
+   ring as guest processes communicating through shared RAM.  Corrupt
+   all three layers at once and watch them stabilize in order.
+
+   Run with: dune exec examples/token_ring_os.exe *)
+
+let show_states sched =
+  let states = Ssos.Token_os.states sched in
+  let marks =
+    String.concat " "
+      (Array.to_list
+         (Array.mapi
+            (fun i s ->
+              if Ssos.Token_os.privileged ~states i then
+                Printf.sprintf "[%d]*" s
+              else Printf.sprintf " %d  " s)
+            states))
+  in
+  Format.printf "  counters: %s   (%d privilege%s)@." marks
+    (Ssos.Token_os.token_count ~states)
+    (if Ssos.Token_os.token_count ~states = 1 then "" else "s")
+
+let () =
+  let n = 4 in
+  Format.printf "Tiny OS scheduling a %d-machine Dijkstra ring (K = %d).@.@." n
+    Ssos.Token_os.k;
+  let sched = Ssos.Token_os.build ~n () in
+  Format.printf "After boot (all counters zero - already legitimate):@.";
+  show_states sched;
+
+  Ssx.Machine.run sched.Ssos.Sched.machine ~ticks:400_000;
+  Format.printf "@.After 400k ticks (the token circulated):@.";
+  show_states sched;
+  Array.iteri
+    (fun i hb ->
+      Format.printf "  machine %d took %d moves@." i (Ssx_devices.Heartbeat.count hb))
+    sched.Ssos.Sched.heartbeats;
+
+  Format.printf "@.Corrupting every layer at once:@.";
+  Format.printf "  - ring counters scrambled,@.";
+  Format.printf "  - scheduler process table and index corrupted,@.";
+  Format.printf "  - processor registers scrambled.@.";
+  let rng = Ssx_faults.Rng.create 2027L in
+  for i = 0 to n - 1 do
+    Ssos.Token_os.corrupt_state sched i (Ssx_faults.Rng.int rng Ssos.Token_os.k)
+  done;
+  let mem = Ssx.Machine.memory sched.Ssos.Sched.machine in
+  Ssx.Memory.write_word mem Ssos.Sched.process_index_addr 0xABCD;
+  Ssx.Memory.write_word mem (Ssos.Sched.process_record_addr 2 + 2) 0x7777;
+  let regs = (Ssx.Machine.cpu sched.Ssos.Sched.machine).Ssx.Cpu.regs in
+  regs.Ssx.Registers.ip <- Ssx_faults.Rng.int rng 0x10000;
+  regs.Ssx.Registers.cs <- Ssx_faults.Rng.int rng 0x10000;
+  show_states sched;
+
+  (match Ssos.Token_os.run_until_legitimate sched ~limit:3_000_000 with
+  | Some ticks -> Format.printf "@.Re-stabilized after %d ticks:@." ticks
+  | None -> Format.printf "@.Did not stabilize (unexpected!)@.");
+  show_states sched;
+
+  Ssx.Machine.run sched.Ssos.Sched.machine ~ticks:400_000;
+  Format.printf "@.400k ticks later (closure - still exactly one token):@.";
+  show_states sched;
+  Format.printf
+    "@.Layer by layer: the processor's fetch-execute stabilized first (the\n\
+     scheduler's NMI entry is hardwired), the scheduler masked and\n\
+     validated its own state back to legality, and the ring — designed\n\
+     for arbitrary initial states — converged on top. Dijkstra [9] meets\n\
+     the tiny OS of section 5.@."

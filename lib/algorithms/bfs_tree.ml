@@ -1,0 +1,107 @@
+type graph = int list array
+
+type t = {
+  graph : graph;
+  root : int;
+  distances : int array;
+  parents : int array;
+  reference : int array;
+}
+
+(* Distances are capped so corrupted values cannot overflow arithmetic. *)
+let infinity_cap = 1_000_000
+
+let true_distances graph ~root =
+  let n = Array.length graph in
+  let dist = Array.make n max_int in
+  let queue = Queue.create () in
+  dist.(root) <- 0;
+  Queue.add root queue;
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    List.iter
+      (fun w ->
+        if dist.(w) = max_int then begin
+          dist.(w) <- dist.(v) + 1;
+          Queue.add w queue
+        end)
+      graph.(v)
+  done;
+  dist
+
+let create ~graph ~root =
+  let n = Array.length graph in
+  if n = 0 then invalid_arg "Bfs_tree.create: empty graph";
+  if root < 0 || root >= n then invalid_arg "Bfs_tree.create: root out of range";
+  { graph;
+    root;
+    distances = Array.make n 0;
+    parents = Array.init n Fun.id;
+    reference = true_distances graph ~root }
+
+let distances t = Array.copy t.distances
+let parents t = Array.copy t.parents
+
+let set_distance t v d =
+  t.distances.(v) <- max 0 (min d infinity_cap)
+
+let step t v =
+  if v = t.root then begin
+    let changed = t.distances.(v) <> 0 || t.parents.(v) <> v in
+    t.distances.(v) <- 0;
+    t.parents.(v) <- v;
+    changed
+  end
+  else begin
+    let best =
+      List.fold_left
+        (fun acc w ->
+          match acc with
+          | Some (_, d) when d <= t.distances.(w) -> acc
+          | _ -> Some (w, t.distances.(w)))
+        None t.graph.(v)
+    in
+    match best with
+    | None -> false (* isolated node: nothing to adopt *)
+    | Some (parent, d) ->
+      let next = min (d + 1) infinity_cap in
+      let changed = t.distances.(v) <> next || t.parents.(v) <> parent in
+      t.distances.(v) <- next;
+      t.parents.(v) <- parent;
+      changed
+  end
+
+let step_round t =
+  let changes = ref 0 in
+  for v = 0 to Array.length t.graph - 1 do
+    if step t v then incr changes
+  done;
+  !changes
+
+let legitimate t =
+  let n = Array.length t.graph in
+  let ok = ref true in
+  for v = 0 to n - 1 do
+    if t.reference.(v) = max_int then
+      (* Unreachable nodes churn upward forever; the specification only
+         constrains the reachable component. *)
+      ()
+    else if t.distances.(v) <> t.reference.(v) then ok := false
+    else if v <> t.root then begin
+      let p = t.parents.(v) in
+      if not (List.mem p t.graph.(v)) || t.distances.(p) + 1 <> t.distances.(v)
+      then ok := false
+    end
+  done;
+  !ok
+
+let rounds_to_stabilize t ~max_rounds =
+  let rec loop round =
+    if legitimate t then Some round
+    else if round >= max_rounds then None
+    else begin
+      ignore (step_round t);
+      loop (round + 1)
+    end
+  in
+  loop 0

@@ -1,0 +1,46 @@
+(** Self-stabilizing BFS spanning tree (Dolev–Israeli–Moran style).
+
+    A fixed root claims distance 0; every other node repeatedly sets its
+    distance to one more than the smallest neighbour distance and adopts
+    that neighbour as its parent.  From any initial distances the system
+    converges, under fair scheduling, to the true BFS distances in at
+    most [diameter] rounds — the archetypal composed layer above a
+    self-stabilizing operating system: the paper's application level. *)
+
+type graph = int list array
+(** Adjacency lists; [graph.(v)] are the neighbours of [v]. *)
+
+type t
+
+val create : graph:graph -> root:int -> t
+(** @raise Invalid_argument if the root is out of range or the graph is
+    empty.  Distances start at 0 everywhere (an illegitimate state for
+    every non-root node with the root not adjacent). *)
+
+val distances : t -> int array
+val parents : t -> int array
+(** [parents.(root) = root]; for unreachable or unconverged nodes the
+    parent is the node itself. *)
+
+val set_distance : t -> int -> int -> unit
+(** Corrupt one node's distance estimate. *)
+
+val step : t -> int -> bool
+(** Activate node [v]: recompute its distance/parent from its
+    neighbours; returns whether anything changed.  The root resets
+    itself to distance 0. *)
+
+val step_round : t -> int
+(** One fair round over all nodes; returns the number of changes. *)
+
+val true_distances : graph -> root:int -> int array
+(** Reference BFS ([max_int] for unreachable nodes). *)
+
+val legitimate : t -> bool
+(** Every reachable node's distance equals its true BFS distance and
+    every reachable non-root node's parent is a neighbour one step
+    closer to the root (unreachable nodes are unconstrained: their
+    estimates churn upward forever, which is the algorithm's correct
+    behaviour). *)
+
+val rounds_to_stabilize : t -> max_rounds:int -> int option

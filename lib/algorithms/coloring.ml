@@ -1,0 +1,58 @@
+type graph = int list array
+
+type t = { graph : graph; colors : int array }
+
+let create ~graph = { graph; colors = Array.make (Array.length graph) 0 }
+let colors t = Array.copy t.colors
+let set_color t v c = t.colors.(v) <- max 0 c
+
+let in_conflict t v =
+  List.exists (fun w -> t.colors.(w) = t.colors.(v)) t.graph.(v)
+
+let conflict_edges t =
+  let count = ref 0 in
+  Array.iteri
+    (fun v neighbours ->
+      List.iter (fun w -> if w > v && t.colors.(w) = t.colors.(v) then incr count) neighbours)
+    t.graph;
+  !count
+
+let legitimate t = conflict_edges t = 0
+
+let smallest_free t v =
+  let used = List.map (fun w -> t.colors.(w)) t.graph.(v) in
+  let rec search c = if List.mem c used then search (c + 1) else c in
+  search 0
+
+let step t v =
+  if in_conflict t v then begin
+    t.colors.(v) <- smallest_free t v;
+    true
+  end
+  else false
+
+let step_round t =
+  let moves = ref 0 in
+  for v = 0 to Array.length t.graph - 1 do
+    if step t v then incr moves
+  done;
+  !moves
+
+let moves_to_stabilize t ~max_moves =
+  let n = Array.length t.graph in
+  let rec loop moves =
+    if moves > max_moves then None
+    else begin
+      (* Central daemon: pick the first conflicting node. *)
+      let rec find v = if v >= n then None else if in_conflict t v then Some v else find (v + 1) in
+      match find 0 with
+      | None -> Some moves
+      | Some v ->
+        ignore (step t v);
+        loop (moves + 1)
+    end
+  in
+  loop 0
+
+let max_degree graph =
+  Array.fold_left (fun acc neighbours -> max acc (List.length neighbours)) 0 graph

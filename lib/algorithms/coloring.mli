@@ -1,0 +1,41 @@
+(** Self-stabilizing greedy vertex colouring.
+
+    Under a central daemon a node in conflict with a neighbour recolours
+    itself with the smallest colour unused by its neighbours.  Each move
+    eliminates every conflict at the moving node and creates none, so
+    the number of conflicting edges strictly decreases: from any initial
+    colouring the system reaches a proper (Δ+1)-colouring within at most
+    |E| moves. *)
+
+type graph = int list array
+
+type t
+
+val create : graph:graph -> t
+(** All nodes start with colour 0 (maximally conflicting on any graph
+    with edges). *)
+
+val colors : t -> int array
+val set_color : t -> int -> int -> unit
+(** Corrupt a node's colour. *)
+
+val in_conflict : t -> int -> bool
+(** Whether the node shares its colour with some neighbour. *)
+
+val conflict_edges : t -> int
+(** Number of monochromatic edges. *)
+
+val legitimate : t -> bool
+(** Proper colouring: no monochromatic edge. *)
+
+val step : t -> int -> bool
+(** Activate one node (recolour if in conflict); true if it moved. *)
+
+val step_round : t -> int
+(** One serial round over all nodes; returns moves taken. *)
+
+val moves_to_stabilize : t -> max_moves:int -> int option
+(** Run a central daemon (first conflicting node moves) until proper;
+    returns the number of moves. *)
+
+val max_degree : graph -> int

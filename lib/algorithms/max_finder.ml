@@ -1,0 +1,38 @@
+type t = { inputs : int array; mutable estimates : int array; max_input : int }
+
+let create ~inputs =
+  if Array.length inputs = 0 then invalid_arg "Max_finder.create: empty inputs";
+  { inputs;
+    estimates = Array.copy inputs;
+    max_input = Array.fold_left max inputs.(0) inputs }
+
+let estimates t = Array.copy t.estimates
+let set_estimate t i v = t.estimates.(i) <- v
+let global_max t = t.max_input
+let legitimate t = Array.for_all (fun e -> e = t.max_input) t.estimates
+
+let step_round t =
+  let n = Array.length t.inputs in
+  let next =
+    Array.init n (fun i ->
+        let left = t.estimates.((i + n - 1) mod n)
+        and right = t.estimates.((i + 1) mod n) in
+        let candidate = max t.inputs.(i) (max left right) in
+        (* Estimates above every input are corruption artefacts. *)
+        if candidate > t.max_input then t.inputs.(i) else candidate)
+  in
+  let changed = ref 0 in
+  Array.iteri (fun i v -> if v <> t.estimates.(i) then incr changed) next;
+  t.estimates <- next;
+  !changed
+
+let rounds_to_stabilize t ~max_rounds =
+  let rec loop round =
+    if legitimate t then Some round
+    else if round >= max_rounds then None
+    else begin
+      ignore (step_round t);
+      loop (round + 1)
+    end
+  in
+  loop 0

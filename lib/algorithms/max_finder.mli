@@ -1,0 +1,26 @@
+(** Self-stabilizing maximum propagation.
+
+    Each node repeatedly sets its estimate to the maximum of its own
+    {e fixed input} and its neighbours' estimates, except that an
+    estimate exceeding every input is discarded (reset to the node's own
+    input) — the standard guard that makes max-propagation
+    self-stabilizing against over-estimates from corruption. *)
+
+type t
+
+val create : inputs:int array -> t
+(** Ring of [Array.length inputs] nodes; estimates start at the inputs.
+    @raise Invalid_argument on an empty array. *)
+
+val estimates : t -> int array
+val set_estimate : t -> int -> int -> unit
+(** Corrupt a node's estimate arbitrarily. *)
+
+val global_max : t -> int
+val legitimate : t -> bool
+(** All estimates equal the maximum input. *)
+
+val step_round : t -> int
+(** One synchronous round; returns the number of changed estimates. *)
+
+val rounds_to_stabilize : t -> max_rounds:int -> int option

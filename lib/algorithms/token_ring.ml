@@ -1,0 +1,50 @@
+type t = { k : int; states : int array }
+
+let create ~n ~k =
+  if n < 2 then invalid_arg "Token_ring.create: need at least two machines";
+  if k < 1 then invalid_arg "Token_ring.create: k must be positive";
+  { k; states = Array.make n 0 }
+
+let n ring = Array.length ring.states
+let k ring = ring.k
+let states ring = Array.copy ring.states
+
+let set_state ring i v =
+  ring.states.(i) <- ((v mod ring.k) + ring.k) mod ring.k
+
+let privileged ring i =
+  let last = Array.length ring.states - 1 in
+  if i = 0 then ring.states.(0) = ring.states.(last)
+  else ring.states.(i) <> ring.states.(i - 1)
+
+let privileged_machines ring =
+  List.filter (privileged ring) (List.init (n ring) Fun.id)
+
+let token_count ring = List.length (privileged_machines ring)
+let legitimate ring = token_count ring = 1
+
+let step ring i =
+  if not (privileged ring i) then false
+  else begin
+    if i = 0 then ring.states.(0) <- (ring.states.(0) + 1) mod ring.k
+    else ring.states.(i) <- ring.states.(i - 1);
+    true
+  end
+
+let step_round ring =
+  let moves = ref 0 in
+  for i = 0 to n ring - 1 do
+    if step ring i then incr moves
+  done;
+  !moves
+
+let rounds_to_stabilize ring ~max_rounds =
+  let rec loop round =
+    if legitimate ring then Some round
+    else if round >= max_rounds then None
+    else begin
+      ignore (step_round ring);
+      loop (round + 1)
+    end
+  in
+  loop 0

@@ -1,0 +1,45 @@
+(** Dijkstra's K-state self-stabilizing token ring (the founding
+    algorithm of the field, cited as [9] in the paper).
+
+    N machines on a ring hold counters in [0, K).  Machine 0 is
+    privileged when its value equals its predecessor's (machine N-1)
+    and moves by incrementing modulo K; machine i > 0 is privileged
+    when its value differs from machine i-1's and moves by copying it.
+    From any configuration, if K >= N the system converges to exactly
+    one privilege circulating forever — the token.
+
+    Used here as the canonical self-stabilizing {e application} layer:
+    §5's schedulers must preserve the stabilization of programs like
+    this one (the "stabilization preserving" requirement). *)
+
+type t
+
+val create : n:int -> k:int -> t
+(** All counters zero (a legitimate configuration).
+    @raise Invalid_argument unless [n >= 2] and [k >= 1]. *)
+
+val n : t -> int
+val k : t -> int
+val states : t -> int array
+(** A copy of the counters. *)
+
+val set_state : t -> int -> int -> unit
+(** Corrupt one machine's counter (value is reduced modulo K). *)
+
+val privileged : t -> int -> bool
+val privileged_machines : t -> int list
+val token_count : t -> int
+(** Number of privileged machines; legitimate iff 1. *)
+
+val legitimate : t -> bool
+
+val step : t -> int -> bool
+(** Let machine [i] take its move if privileged; returns whether it
+    moved. *)
+
+val step_round : t -> int
+(** One fair round (machines 0..N-1 in order); returns moves taken. *)
+
+val rounds_to_stabilize : t -> max_rounds:int -> int option
+(** Run fair rounds until legitimate; [None] if the bound is hit.
+    (Counts rounds; a legitimate start answers [Some 0].) *)

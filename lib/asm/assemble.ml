@@ -1,0 +1,325 @@
+type image = {
+  origin : int;
+  bytes : string;
+  symbols : (string * int) list;
+}
+
+let symbol image name = List.assoc name image.symbols
+
+(* --- expression evaluation ------------------------------------------- *)
+
+let rec eval ~line ~lookup ~here expr =
+  let recurse e = eval ~line ~lookup ~here e in
+  match expr with
+  | Ast.Num v -> v
+  | Ast.Sym name -> (
+    match lookup name with
+    | Some v -> v
+    | None -> Ast.error line "undefined symbol %s" name)
+  | Ast.Here -> here
+  | Ast.Neg e -> -recurse e
+  | Ast.Bin (op, a, b) -> (
+    let a = recurse a and b = recurse b in
+    match op with
+    | Ast.Add -> a + b
+    | Ast.Sub -> a - b
+    | Ast.Mul -> a * b
+    | Ast.Div ->
+      if b = 0 then Ast.error line "division by zero in expression";
+      a / b
+    | Ast.Rem ->
+      if b = 0 then Ast.error line "division by zero in expression";
+      a mod b
+    | Ast.Shl -> a lsl b
+    | Ast.Shr -> a lsr b
+    | Ast.And -> a land b
+    | Ast.Or -> a lor b)
+
+(* --- instruction lowering --------------------------------------------- *)
+
+let lower_mem ~resolve (m : Ast.mem_operand) =
+  { Ssx.Instruction.seg_override = m.Ast.seg;
+    base = m.Ast.base;
+    disp = Ssx.Word.mask (resolve m.Ast.disp) }
+
+let cond_aliases =
+  [ ("jc", "jb"); ("jnc", "jnb"); ("jz", "je"); ("jnz", "jne");
+    ("jae", "jnb"); ("jnae", "jb"); ("jna", "jbe"); ("jnbe", "ja");
+    ("jnl", "jge"); ("jnge", "jl"); ("jng", "jle"); ("jnle", "jg") ]
+
+let lower ~line ~resolve ~mnemonic ~operands ~rep =
+  let module I = Ssx.Instruction in
+  let module R = Ssx.Registers in
+  let imm e = Ssx.Word.mask (resolve e) in
+  let imm8 e = resolve e land 0xff in
+  let mem m = lower_mem ~resolve m in
+  let bad () =
+    Ast.error line "invalid operands for %s" mnemonic
+  in
+  let alu op =
+    match operands with
+    | [ Ast.O_reg16 d; Ast.O_reg16 s ] -> I.Alu_r16_r16 (op, d, s)
+    | [ Ast.O_reg16 d; Ast.O_imm e ] -> I.Alu_r16_imm (op, d, imm e)
+    | [ Ast.O_reg16 d; Ast.O_mem m ] -> I.Alu_r16_mem (op, d, mem m)
+    | [ Ast.O_mem m; Ast.O_reg16 s ] -> I.Alu_mem_r16 (op, mem m, s)
+    | [ Ast.O_reg8 d; Ast.O_reg8 s ] -> I.Alu_r8_r8 (op, d, s)
+    | [ Ast.O_reg8 d; Ast.O_imm e ] -> I.Alu_r8_imm (op, d, imm8 e)
+    | _ -> bad ()
+  in
+  let plain instr = match operands with [] -> instr | _ -> bad () in
+  let jump_target () =
+    match operands with [ Ast.O_imm e ] -> imm e | _ -> bad ()
+  in
+  let string_op instr = if rep then I.Rep instr else instr in
+  let mnemonic =
+    match List.assoc_opt mnemonic cond_aliases with
+    | Some canonical -> canonical
+    | None -> mnemonic
+  in
+  if rep
+     && not (List.mem mnemonic [ "movsb"; "movsw"; "stosb"; "stosw"; "lodsb"; "lodsw" ])
+  then Ast.error line "rep prefix only applies to string instructions";
+  match mnemonic with
+  | "mov" -> (
+    match operands with
+    | [ Ast.O_reg16 d; Ast.O_imm e ] -> I.Mov_r16_imm (d, imm e)
+    | [ Ast.O_reg8 d; Ast.O_imm e ] -> I.Mov_r8_imm (d, imm8 e)
+    | [ Ast.O_reg16 d; Ast.O_reg16 s ] -> I.Mov_r16_r16 (d, s)
+    | [ Ast.O_sreg d; Ast.O_reg16 s ] -> I.Mov_sreg_r16 (d, s)
+    | [ Ast.O_reg16 d; Ast.O_sreg s ] -> I.Mov_r16_sreg (d, s)
+    | [ Ast.O_reg16 d; Ast.O_mem m ] -> I.Mov_r16_mem (d, mem m)
+    | [ Ast.O_mem m; Ast.O_reg16 s ] -> I.Mov_mem_r16 (mem m, s)
+    | [ Ast.O_mem m; Ast.O_imm e ] -> I.Mov_mem_imm (mem m, imm e)
+    | [ Ast.O_reg8 d; Ast.O_mem m ] -> I.Mov_r8_mem (d, mem m)
+    | [ Ast.O_mem m; Ast.O_reg8 s ] -> I.Mov_mem_r8 (mem m, s)
+    | [ Ast.O_sreg d; Ast.O_mem m ] -> I.Mov_sreg_mem (d, mem m)
+    | [ Ast.O_mem m; Ast.O_sreg s ] -> I.Mov_mem_sreg (mem m, s)
+    | _ -> bad ())
+  | "lea" -> (
+    match operands with
+    | [ Ast.O_reg16 d; Ast.O_mem m ] -> I.Lea (d, mem m)
+    | _ -> bad ())
+  | "xchg" -> (
+    match operands with
+    | [ Ast.O_reg16 a; Ast.O_reg16 b ] -> I.Xchg (a, b)
+    | _ -> bad ())
+  | "add" -> alu I.Add
+  | "adc" -> alu I.Adc
+  | "sub" -> alu I.Sub
+  | "sbb" -> alu I.Sbb
+  | "and" -> alu I.And
+  | "or" -> alu I.Or
+  | "xor" -> alu I.Xor
+  | "cmp" -> alu I.Cmp
+  | "test" -> alu I.Test
+  | "inc" -> (
+    match operands with [ Ast.O_reg16 r ] -> I.Inc_r16 r | _ -> bad ())
+  | "dec" -> (
+    match operands with [ Ast.O_reg16 r ] -> I.Dec_r16 r | _ -> bad ())
+  | "neg" -> (
+    match operands with [ Ast.O_reg16 r ] -> I.Neg_r16 r | _ -> bad ())
+  | "not" -> (
+    match operands with [ Ast.O_reg16 r ] -> I.Not_r16 r | _ -> bad ())
+  | "shl" -> (
+    match operands with
+    | [ Ast.O_reg16 r; Ast.O_imm e ] -> I.Shl_r16 (r, resolve e land 0xf)
+    | _ -> bad ())
+  | "shr" -> (
+    match operands with
+    | [ Ast.O_reg16 r; Ast.O_imm e ] -> I.Shr_r16 (r, resolve e land 0xf)
+    | _ -> bad ())
+  | "mul" -> (
+    match operands with
+    | [ Ast.O_reg8 r ] -> I.Mul_r8 r
+    | [ Ast.O_reg16 r ] -> I.Mul_r16 r
+    | _ -> bad ())
+  | "div" -> (
+    match operands with
+    | [ Ast.O_reg8 r ] -> I.Div_r8 r
+    | [ Ast.O_reg16 r ] -> I.Div_r16 r
+    | _ -> bad ())
+  | "push" -> (
+    match operands with
+    | [ Ast.O_reg16 r ] -> I.Push_r16 r
+    | [ Ast.O_sreg s ] -> I.Push_sreg s
+    | [ Ast.O_imm e ] -> I.Push_imm (imm e)
+    | _ -> bad ())
+  | "pop" -> (
+    match operands with
+    | [ Ast.O_reg16 r ] -> I.Pop_r16 r
+    | [ Ast.O_sreg s ] -> I.Pop_sreg s
+    | _ -> bad ())
+  | "pushf" -> plain I.Pushf
+  | "popf" -> plain I.Popf
+  | "jmp" -> (
+    match operands with
+    | [ Ast.O_imm e ] -> I.Jmp (imm e)
+    | [ Ast.O_far (seg, off) ] -> I.Jmp_far (imm seg, imm off)
+    | _ -> bad ())
+  | "call" -> I.Call (jump_target ())
+  | "ret" -> plain I.Ret
+  | "iret" -> plain I.Iret
+  | "int" -> (
+    match operands with [ Ast.O_imm e ] -> I.Int (imm8 e) | _ -> bad ())
+  | "loop" -> I.Loop (jump_target ())
+  | "movsb" -> string_op (I.Movs I.Byte)
+  | "movsw" -> string_op (I.Movs I.Word_)
+  | "stosb" -> string_op (I.Stos I.Byte)
+  | "stosw" -> string_op (I.Stos I.Word_)
+  | "lodsb" -> string_op (I.Lods I.Byte)
+  | "lodsw" -> string_op (I.Lods I.Word_)
+  | "in" -> (
+    match operands with
+    | [ Ast.O_reg8 R.AL; Ast.O_imm e ] -> I.In_ (I.Byte, imm8 e)
+    | [ Ast.O_reg16 R.AX; Ast.O_imm e ] -> I.In_ (I.Word_, imm8 e)
+    | _ -> bad ())
+  | "out" -> (
+    match operands with
+    | [ Ast.O_imm e; Ast.O_reg8 R.AL ] -> I.Out (imm8 e, I.Byte)
+    | [ Ast.O_imm e; Ast.O_reg16 R.AX ] -> I.Out (imm8 e, I.Word_)
+    | _ -> bad ())
+  | "hlt" -> plain I.Hlt
+  | "nop" -> plain I.Nop
+  | "cli" -> plain I.Cli
+  | "sti" -> plain I.Sti
+  | "cld" -> plain I.Cld
+  | "std" -> plain I.Std
+  | "clc" -> plain I.Clc
+  | "stc" -> plain I.Stc
+  | name -> (
+    match I.cond_of_name (String.sub name 1 (String.length name - 1)) with
+    | Some c when String.length name > 1 && name.[0] = 'j' ->
+      I.Jcc (c, jump_target ())
+    | Some _ | None -> Ast.error line "unknown mnemonic %s" name)
+
+(* --- layout ------------------------------------------------------------ *)
+
+type pass = {
+  strict : bool;  (* whether undefined symbols are errors *)
+  emit : int list -> unit;
+  pad : int -> unit;  (* emit n nop bytes *)
+}
+
+let nop_byte =
+  match Ssx.Codec.encode Ssx.Instruction.Nop with
+  | [ b ] -> b
+  | _ -> assert false
+
+let run_pass ~lines ~origin ~instr_align ~symbols ~define pass =
+  let pc = ref origin in
+  let lookup name =
+    match Hashtbl.find_opt symbols name with
+    | Some v -> Some v
+    | None -> None
+  in
+  let resolve_with ~line here expr =
+    if pass.strict then eval ~line ~lookup ~here expr
+    else
+      try eval ~line ~lookup ~here expr with Ast.Error _ -> 0
+  in
+  (* Strict even in pass one: layout decisions must be deterministic. *)
+  let resolve_now ~line expr = eval ~line ~lookup ~here:!pc expr in
+  let emit bytes =
+    pass.emit bytes;
+    pc := !pc + List.length bytes
+  in
+  let pad n =
+    if n > 0 then begin
+      pass.pad n;
+      pc := !pc + n
+    end
+  in
+  let align_to boundary =
+    let rem = !pc mod boundary in
+    if rem <> 0 then pad (boundary - rem)
+  in
+  let rec exec_stmt number stmt =
+    match stmt with
+    | Ast.Label name -> define name !pc
+    | Ast.Equ (name, e) -> define name (resolve_now ~line:number e)
+    | Ast.Org e ->
+      let target = resolve_now ~line:number e in
+      if target < !pc then
+        Ast.error number "org 0x%X before current location 0x%X" target !pc;
+      pad (target - !pc)
+    | Ast.Align e ->
+      let boundary = resolve_now ~line:number e in
+      if boundary <= 0 then Ast.error number "align needs a positive boundary";
+      align_to boundary
+    | Ast.Resb e ->
+      let n = resolve_now ~line:number e in
+      if n < 0 then Ast.error number "resb needs a non-negative count";
+      pad n
+    | Ast.Db args ->
+      List.iter
+        (fun arg ->
+          match arg with
+          | Ast.Db_string text ->
+            emit (List.map Char.code (List.init (String.length text) (String.get text)))
+          | Ast.Db_expr e -> emit [ resolve_with ~line:number !pc e land 0xff ])
+        args
+    | Ast.Dw exprs ->
+      List.iter
+        (fun e ->
+          let v = Ssx.Word.mask (resolve_with ~line:number !pc e) in
+          emit [ Ssx.Word.low_byte v; Ssx.Word.high_byte v ])
+        exprs
+    | Ast.Times (count, inner) ->
+      let n = resolve_now ~line:number count in
+      if n < 0 then Ast.error number "times needs a non-negative count";
+      for _ = 1 to n do
+        exec_stmt number inner
+      done
+    | Ast.Instr { mnemonic; operands; rep } ->
+      let here = !pc in
+      let resolve e = resolve_with ~line:number here e in
+      let instr = lower ~line:number ~resolve ~mnemonic ~operands ~rep in
+      let bytes = Ssx.Codec.encode instr in
+      (match instr_align with
+      | Some boundary ->
+        let len = List.length bytes in
+        if len > boundary then
+          Ast.error number "instruction longer than alignment boundary";
+        if (!pc mod boundary) + len > boundary then align_to boundary
+      | None -> ());
+      (* Re-lower after padding: [$]-relative operands see the final pc. *)
+      let here = !pc in
+      let resolve e = resolve_with ~line:number here e in
+      let instr = lower ~line:number ~resolve ~mnemonic ~operands ~rep in
+      emit (Ssx.Codec.encode instr)
+  in
+  List.iter (fun { Ast.number; stmt } -> exec_stmt number stmt) lines;
+  !pc
+
+let assemble ?(origin = 0) ?instr_align ?(symbols = []) source =
+  let lines = Parse.program source in
+  let table = Hashtbl.create 64 in
+  List.iter (fun (name, v) -> Hashtbl.replace table (String.lowercase_ascii name) v) symbols;
+  (* Pass one: collect symbol values. *)
+  let define name value =
+    Hashtbl.replace table (String.lowercase_ascii name) value
+  in
+  let silent = { strict = false; emit = (fun _ -> ()); pad = (fun _ -> ()) } in
+  ignore (run_pass ~lines ~origin ~instr_align ~symbols:table ~define silent);
+  (* Pass two: encode with all symbols known; redefinition must agree. *)
+  let buffer = Buffer.create 1024 in
+  let define name value =
+    let name = String.lowercase_ascii name in
+    match Hashtbl.find_opt table name with
+    | Some old when old <> value ->
+      Ast.error 0 "symbol %s changed between passes (0x%X -> 0x%X)" name old value
+    | Some _ | None -> Hashtbl.replace table name value
+  in
+  let emit bytes = List.iter (fun b -> Buffer.add_char buffer (Char.chr (b land 0xff))) bytes in
+  let pad n =
+    for _ = 1 to n do
+      Buffer.add_char buffer (Char.chr nop_byte)
+    done
+  in
+  let strict_pass = { strict = true; emit; pad } in
+  ignore (run_pass ~lines ~origin ~instr_align ~symbols:table ~define strict_pass);
+  let symbols =
+    Hashtbl.fold (fun name v acc -> (name, v) :: acc) table []
+    |> List.sort compare
+  in
+  { origin; bytes = Buffer.contents buffer; symbols }

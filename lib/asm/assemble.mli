@@ -1,0 +1,34 @@
+(** Two-pass assembler.
+
+    Pass one lays out statements (instruction sizes are independent of
+    operand values) and assigns label addresses; pass two encodes.
+    [equ], [org], [times] and [align] operands must be computable from
+    symbols already defined — forward references are allowed everywhere
+    else (jump targets, displacements, immediates). *)
+
+type image = {
+  origin : int;       (** offset of the first byte within its segment *)
+  bytes : string;     (** assembled machine code *)
+  symbols : (string * int) list;  (** labels and [equ] constants *)
+}
+
+val assemble :
+  ?origin:int -> ?instr_align:int -> ?symbols:(string * int) list ->
+  string -> image
+(** Assemble a source text.
+
+    [origin] is the initial location counter (default 0).
+    [instr_align n] guarantees that no instruction crosses an [n]-byte
+    boundary by padding with [nop]s — the property §5.2 of the paper
+    needs so that every [IP_MASK]-aligned address is an instruction
+    start.  [symbols] pre-defines external constants.
+    @raise Ast.Error on any assembly error. *)
+
+val symbol : image -> string -> int
+(** Look up a symbol. @raise Not_found if undefined. *)
+
+val lower :
+  line:int -> resolve:(Ast.expr -> int) ->
+  mnemonic:string -> operands:Ast.operand list -> rep:bool ->
+  Ssx.Instruction.t
+(** Translate one source instruction to the ISA (exposed for tests). *)

@@ -1,0 +1,41 @@
+type binop = Add | Sub | Mul | Div | Rem | Shl | Shr | And | Or
+
+type expr =
+  | Num of int
+  | Sym of string
+  | Here
+  | Bin of binop * expr * expr
+  | Neg of expr
+
+type operand =
+  | O_reg16 of Ssx.Registers.reg16
+  | O_reg8 of Ssx.Registers.reg8
+  | O_sreg of Ssx.Registers.sreg
+  | O_imm of expr
+  | O_mem of mem_operand
+  | O_far of expr * expr
+
+and mem_operand = {
+  seg : Ssx.Registers.sreg option;
+  base : Ssx.Instruction.base;
+  disp : expr;
+}
+
+type db_arg = Db_expr of expr | Db_string of string
+
+type statement =
+  | Label of string
+  | Instr of { mnemonic : string; operands : operand list; rep : bool }
+  | Org of expr
+  | Equ of string * expr
+  | Db of db_arg list
+  | Dw of expr list
+  | Resb of expr
+  | Times of expr * statement
+  | Align of expr
+
+type line = { number : int; stmt : statement }
+
+exception Error of int * string
+
+let error line fmt = Format.kasprintf (fun msg -> raise (Error (line, msg))) fmt

@@ -1,0 +1,53 @@
+(** Abstract syntax of SSX16 assembly source.
+
+    The surface syntax is a NASM-like subset sufficient to express the
+    paper's Figures 1–5 verbatim (modulo our ISA's byte encodings):
+    labels, [equ]/[org]/[db]/[dw]/[times]/[align] directives, segment
+    override memory operands, [rep] prefixes and size keywords ([word],
+    [byte]) in either operand position, as the paper itself writes
+    ([mov word ax, \[processIndex\]]). *)
+
+type binop = Add | Sub | Mul | Div | Rem | Shl | Shr | And | Or
+
+type expr =
+  | Num of int
+  | Sym of string        (** label or [equ] constant *)
+  | Here                 (** [$] — address of the current item *)
+  | Bin of binop * expr * expr
+  | Neg of expr
+
+type operand =
+  | O_reg16 of Ssx.Registers.reg16
+  | O_reg8 of Ssx.Registers.reg8
+  | O_sreg of Ssx.Registers.sreg
+  | O_imm of expr
+  | O_mem of mem_operand
+  | O_far of expr * expr  (** [seg:off] jump target *)
+
+and mem_operand = {
+  seg : Ssx.Registers.sreg option;
+  base : Ssx.Instruction.base;
+  disp : expr;
+}
+
+type db_arg = Db_expr of expr | Db_string of string
+
+type statement =
+  | Label of string
+  | Instr of { mnemonic : string; operands : operand list; rep : bool }
+  | Org of expr
+  | Equ of string * expr
+  | Db of db_arg list
+  | Dw of expr list
+  | Resb of expr         (** reserve N zero bytes *)
+  | Times of expr * statement
+  | Align of expr        (** pad with [nop] to an N-byte boundary *)
+
+type line = { number : int; stmt : statement }
+(** A statement tagged with its 1-based source line. *)
+
+exception Error of int * string
+(** [(line, message)] — raised by the parser and assembler. *)
+
+val error : int -> ('a, Format.formatter, unit, 'b) format4 -> 'a
+(** Raise {!Error} with a formatted message. *)

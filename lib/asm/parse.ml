@@ -1,0 +1,400 @@
+type token =
+  | Ident of string
+  | Number of int
+  | Str of string
+  | Comma
+  | Colon
+  | Lbracket
+  | Rbracket
+  | Lparen
+  | Rparen
+  | Plus
+  | Minus
+  | Star
+  | Slash
+  | Percent
+  | Dollar
+  | Shl_tok
+  | Shr_tok
+  | Amp
+  | Pipe
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' || c = '.'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize ~number text =
+  let n = String.length text in
+  let rec scan i acc =
+    if i >= n then List.rev acc
+    else
+      let c = text.[i] in
+      if c = ';' then List.rev acc
+      else if c = ' ' || c = '\t' || c = '\r' then scan (i + 1) acc
+      else if c = '\'' || c = '"' then begin
+        let quote = c in
+        let buf = Buffer.create 8 in
+        let rec take j =
+          if j >= n then Ast.error number "unterminated string"
+          else if text.[j] = quote then j + 1
+          else begin
+            Buffer.add_char buf text.[j];
+            take (j + 1)
+          end
+        in
+        let next = take (i + 1) in
+        let s = Buffer.contents buf in
+        (* A one-character quote is a character constant in expressions;
+           longer strings only make sense in [db]. *)
+        if String.length s = 1 then scan next (Number (Char.code s.[0]) :: acc)
+        else scan next (Str s :: acc)
+      end
+      else if is_digit c then begin
+        let rec take j =
+          if j < n && (is_ident_char text.[j]) then take (j + 1) else j
+        in
+        let stop = take i in
+        let literal = String.sub text i (stop - i) in
+        let value =
+          try
+            if String.length literal > 2 && literal.[0] = '0'
+               && (literal.[1] = 'x' || literal.[1] = 'X')
+            then int_of_string literal
+            else if String.length literal > 2 && literal.[0] = '0'
+                    && (literal.[1] = 'b' || literal.[1] = 'B')
+            then int_of_string literal
+            else int_of_string literal
+          with Failure _ -> Ast.error number "bad number literal %S" literal
+        in
+        scan stop (Number value :: acc)
+      end
+      else if is_ident_start c then begin
+        let rec take j =
+          if j < n && is_ident_char text.[j] then take (j + 1) else j
+        in
+        let stop = take i in
+        scan stop (Ident (String.lowercase_ascii (String.sub text i (stop - i))) :: acc)
+      end
+      else if c = '<' && i + 1 < n && text.[i + 1] = '<' then
+        scan (i + 2) (Shl_tok :: acc)
+      else if c = '>' && i + 1 < n && text.[i + 1] = '>' then
+        scan (i + 2) (Shr_tok :: acc)
+      else
+        let simple tok = scan (i + 1) (tok :: acc) in
+        match c with
+        | ',' -> simple Comma
+        | ':' -> simple Colon
+        | '[' -> simple Lbracket
+        | ']' -> simple Rbracket
+        | '(' -> simple Lparen
+        | ')' -> simple Rparen
+        | '+' -> simple Plus
+        | '-' -> simple Minus
+        | '*' -> simple Star
+        | '/' -> simple Slash
+        | '%' -> simple Percent
+        | '$' -> simple Dollar
+        | '&' -> simple Amp
+        | '|' -> simple Pipe
+        | _ -> Ast.error number "unexpected character %C" c
+  in
+  scan 0 []
+
+(* --- expression parsing (recursive descent over a token list ref) --- *)
+
+type stream = { number : int; mutable tokens : token list }
+
+let peek s = match s.tokens with [] -> None | t :: _ -> Some t
+
+let advance s =
+  match s.tokens with
+  | [] -> Ast.error s.number "unexpected end of line"
+  | t :: rest ->
+    s.tokens <- rest;
+    t
+
+let expect s token what =
+  let t = advance s in
+  if t <> token then Ast.error s.number "expected %s" what
+
+(* Registers are not valid inside plain expressions; the memory-operand
+   parser handles them separately. *)
+let is_register name =
+  Ssx.Registers.reg16_of_name name <> None
+  || Ssx.Registers.reg8_of_name name <> None
+  || Ssx.Registers.sreg_of_name name <> None
+
+let rec parse_expr s = parse_or s
+
+and parse_or s =
+  let left = parse_and s in
+  match peek s with
+  | Some Pipe ->
+    ignore (advance s);
+    Ast.Bin (Ast.Or, left, parse_or s)
+  | _ -> left
+
+and parse_and s =
+  let left = parse_shift s in
+  match peek s with
+  | Some Amp ->
+    ignore (advance s);
+    Ast.Bin (Ast.And, left, parse_and s)
+  | _ -> left
+
+and parse_shift s =
+  let left = parse_sum s in
+  match peek s with
+  | Some Shl_tok ->
+    ignore (advance s);
+    Ast.Bin (Ast.Shl, left, parse_shift s)
+  | Some Shr_tok ->
+    ignore (advance s);
+    Ast.Bin (Ast.Shr, left, parse_shift s)
+  | _ -> left
+
+and parse_sum s =
+  let rec loop left =
+    match peek s with
+    | Some Plus ->
+      ignore (advance s);
+      loop (Ast.Bin (Ast.Add, left, parse_product s))
+    | Some Minus ->
+      ignore (advance s);
+      loop (Ast.Bin (Ast.Sub, left, parse_product s))
+    | _ -> left
+  in
+  loop (parse_product s)
+
+and parse_product s =
+  let rec loop left =
+    match peek s with
+    | Some Star ->
+      ignore (advance s);
+      loop (Ast.Bin (Ast.Mul, left, parse_atom s))
+    | Some Slash ->
+      ignore (advance s);
+      loop (Ast.Bin (Ast.Div, left, parse_atom s))
+    | Some Percent ->
+      ignore (advance s);
+      loop (Ast.Bin (Ast.Rem, left, parse_atom s))
+    | _ -> left
+  in
+  loop (parse_atom s)
+
+and parse_atom s =
+  match advance s with
+  | Number v -> Ast.Num v
+  | Ident name when not (is_register name) -> Ast.Sym name
+  | Ident name -> Ast.error s.number "register %s not allowed in expression" name
+  | Dollar -> Ast.Here
+  | Minus -> Ast.Neg (parse_atom s)
+  | Lparen ->
+    let e = parse_expr s in
+    expect s Rparen "')'";
+    e
+  | _ -> Ast.error s.number "expected expression"
+
+(* --- operand parsing -------------------------------------------------- *)
+
+let base_of_regs regs number =
+  match List.sort compare regs with
+  | [] -> Ssx.Instruction.No_base
+  | [ "bx" ] -> Ssx.Instruction.Base_bx
+  | [ "si" ] -> Ssx.Instruction.Base_si
+  | [ "di" ] -> Ssx.Instruction.Base_di
+  | [ "bp" ] -> Ssx.Instruction.Base_bp
+  | [ "bx"; "si" ] -> Ssx.Instruction.Base_bx_si
+  | [ "bx"; "di" ] -> Ssx.Instruction.Base_bx_di
+  | names ->
+    Ast.error number "unsupported base combination [%s]" (String.concat "+" names)
+
+let parse_mem_operand s =
+  (* Inside brackets: optional "sreg :", then +/- separated terms where
+     index registers accumulate into the base and everything else into
+     the displacement. *)
+  let seg =
+    match s.tokens with
+    | Ident name :: Colon :: rest when Ssx.Registers.sreg_of_name name <> None ->
+      s.tokens <- rest;
+      Ssx.Registers.sreg_of_name name
+    | _ -> None
+  in
+  let regs = ref [] in
+  let disp = ref None in
+  let add_disp negate e =
+    let e = if negate then Ast.Neg e else e in
+    disp := Some (match !disp with None -> e | Some d -> Ast.Bin (Ast.Add, d, e))
+  in
+  let parse_term negate =
+    match s.tokens with
+    | Ident name :: rest when Ssx.Registers.reg16_of_name name <> None ->
+      if negate then Ast.error s.number "cannot subtract a register";
+      s.tokens <- rest;
+      regs := name :: !regs
+    | _ -> add_disp negate (parse_product s)
+  in
+  parse_term false;
+  let rec more () =
+    match peek s with
+    | Some Plus ->
+      ignore (advance s);
+      parse_term false;
+      more ()
+    | Some Minus ->
+      ignore (advance s);
+      parse_term true;
+      more ()
+    | _ -> ()
+  in
+  more ();
+  expect s Rbracket "']'";
+  let base = base_of_regs !regs s.number in
+  let disp = match !disp with None -> Ast.Num 0 | Some d -> d in
+  { Ast.seg; base; disp }
+
+let parse_operand s =
+  (* Size keywords may appear before any operand, as in the paper's own
+     listings; our ISA derives sizes from registers so they are noise. *)
+  (match peek s with
+  | Some (Ident ("word" | "byte")) -> ignore (advance s)
+  | _ -> ());
+  match s.tokens with
+  | Ident name :: rest when Ssx.Registers.reg16_of_name name <> None ->
+    s.tokens <- rest;
+    (match Ssx.Registers.reg16_of_name name with
+    | Some r -> Ast.O_reg16 r
+    | None -> assert false)
+  | Ident name :: rest when Ssx.Registers.reg8_of_name name <> None ->
+    s.tokens <- rest;
+    (match Ssx.Registers.reg8_of_name name with
+    | Some r -> Ast.O_reg8 r
+    | None -> assert false)
+  | Ident name :: rest when Ssx.Registers.sreg_of_name name <> None ->
+    s.tokens <- rest;
+    (match Ssx.Registers.sreg_of_name name with
+    | Some r -> Ast.O_sreg r
+    | None -> assert false)
+  | Lbracket :: rest ->
+    s.tokens <- rest;
+    Ast.O_mem (parse_mem_operand s)
+  | _ -> (
+    let e = parse_expr s in
+    match peek s with
+    | Some Colon ->
+      ignore (advance s);
+      let off = parse_expr s in
+      Ast.O_far (e, off)
+    | _ -> Ast.O_imm e)
+
+let parse_operands s =
+  match peek s with
+  | None -> []
+  | Some _ ->
+    let rec loop acc =
+      let operand = parse_operand s in
+      match peek s with
+      | Some Comma ->
+        ignore (advance s);
+        loop (operand :: acc)
+      | _ -> List.rev (operand :: acc)
+    in
+    loop []
+
+let parse_db_args s =
+  let rec loop acc =
+    let arg =
+      match s.tokens with
+      | Str text :: rest ->
+        s.tokens <- rest;
+        Ast.Db_string text
+      | _ -> Ast.Db_expr (parse_expr s)
+    in
+    match peek s with
+    | Some Comma ->
+      ignore (advance s);
+      loop (arg :: acc)
+    | _ -> List.rev (arg :: acc)
+  in
+  loop []
+
+let end_of_line s =
+  match peek s with
+  | None -> ()
+  | Some _ -> Ast.error s.number "trailing tokens"
+
+let rec parse_statement s =
+  match s.tokens with
+  | Ident name :: Ident "equ" :: rest ->
+    s.tokens <- rest;
+    let e = parse_expr s in
+    end_of_line s;
+    Ast.Equ (name, e)
+  | Ident "org" :: rest ->
+    s.tokens <- rest;
+    let e = parse_expr s in
+    end_of_line s;
+    Ast.Org e
+  | Ident "db" :: rest ->
+    s.tokens <- rest;
+    let args = parse_db_args s in
+    end_of_line s;
+    Ast.Db args
+  | Ident "dw" :: rest ->
+    s.tokens <- rest;
+    let rec loop acc =
+      let e = parse_expr s in
+      match peek s with
+      | Some Comma ->
+        ignore (advance s);
+        loop (e :: acc)
+      | _ -> List.rev (e :: acc)
+    in
+    let exprs = loop [] in
+    end_of_line s;
+    Ast.Dw exprs
+  | Ident "resb" :: rest ->
+    s.tokens <- rest;
+    let e = parse_expr s in
+    end_of_line s;
+    Ast.Resb e
+  | Ident "align" :: rest ->
+    s.tokens <- rest;
+    let e = parse_expr s in
+    end_of_line s;
+    Ast.Align e
+  | Ident "times" :: rest ->
+    s.tokens <- rest;
+    let count = parse_product s in
+    let inner = parse_statement s in
+    Ast.Times (count, inner)
+  | Ident "rep" :: Ident mnemonic :: rest ->
+    s.tokens <- rest;
+    let operands = parse_operands s in
+    end_of_line s;
+    Ast.Instr { mnemonic; operands; rep = true }
+  | Ident mnemonic :: rest ->
+    s.tokens <- rest;
+    let operands = parse_operands s in
+    end_of_line s;
+    Ast.Instr { mnemonic; operands; rep = false }
+  | _ -> Ast.error s.number "cannot parse statement"
+
+let line ~number text =
+  match tokenize ~number text with
+  | [] -> []
+  | Ident name :: Colon :: rest ->
+    let label = { Ast.number; stmt = Ast.Label name } in
+    if rest = [] then [ label ]
+    else
+      let s = { number; tokens = rest } in
+      [ label; { Ast.number; stmt = parse_statement s } ]
+  | tokens ->
+    let s = { number; tokens } in
+    [ { Ast.number; stmt = parse_statement s } ]
+
+let program text =
+  let lines = String.split_on_char '\n' text in
+  List.concat (List.mapi (fun i text -> line ~number:(i + 1) text) lines)

@@ -1,0 +1,12 @@
+(** Parser for SSX16 assembly source.
+
+    Line-oriented: one statement per line ([label:] may share a line
+    with an instruction); [;] introduces a comment. *)
+
+val program : string -> Ast.line list
+(** Parse a whole source text.
+    @raise Ast.Error on the first syntax error. *)
+
+val line : number:int -> string -> Ast.line list
+(** Parse a single source line (zero, one or two statements — a label
+    can precede an instruction). *)

@@ -1,0 +1,41 @@
+let rom_segment = 0xF000
+let rom_base = 0xF0000
+let rom_size = 0x10000
+let idt_offset = 0x0000
+let idt_entries = 64
+let reset_offset = 0x0100
+let recovery_offset = 0x0200
+let exception_offset = 0x0800
+let os_image_offset = 0x1000
+let os_rom_segment = rom_segment + (os_image_offset lsr 4)
+let sched_offset = 0x4000
+let proc_images_offset = 0x5000
+let proc_image_size = 0x1000
+let proc_limits_offset = 0xF000
+let os_segment = 0x1000
+let os_image_size = 0x1000
+let os_data_offset = 0x0800
+let guest_stack_top = 0xFFFE
+let checkpoint_segment = 0x3000
+let sched_stack_segment = 0x0800
+let sched_stack_top = 0x0100
+let sched_data_segment = 0x0900
+let process_index_offset = 0x0000
+let process_table_offset = 0x0002
+let process_entry_size = 26
+let proc_segment i = 0x2000 + (i * 0x100)
+let ip_mask = 0x0FF0
+let instr_align = 16
+let console_port = 0x10
+let heartbeat_port = 0x12
+let process_heartbeat_port i = 0x20 + i
+let timer_vector = 0x20
+let default_nmi_counter_max = 20_000
+let default_watchdog_period = 50_000
+
+let machine_config ?(nmi_counter_enabled = true) ?(hardwired_nmi = true) () =
+  { Ssx.Cpu.nmi_counter_enabled;
+    nmi_counter_max = default_nmi_counter_max;
+    nmi_dispatch =
+      (if hardwired_nmi then Ssx.Cpu.Hardwired_idt rom_base else Ssx.Cpu.Via_idtr);
+    reset_vector = (rom_segment, reset_offset) }

@@ -1,0 +1,110 @@
+(** The system memory map shared by every design in the repository.
+
+    Mirrors a PC-style map: RAM from address 0, a 64 KiB ROM at the top
+    of the 1 MiB space holding the IDT, the recovery procedures and the
+    golden images (§2's "read only memory for the code of the program
+    and the interrupt table"). *)
+
+(** {1 ROM} *)
+
+val rom_segment : int
+(** 0xF000 — the ROM occupies physical 0xF0000–0xFFFFF. *)
+
+val rom_base : int
+(** Physical base of the ROM (0xF0000). *)
+
+val rom_size : int
+(** 64 KiB. *)
+
+val idt_offset : int
+(** ROM offset of the interrupt descriptor table (entry = 4 bytes:
+    offset, segment; 32 entries). *)
+
+val idt_entries : int
+val reset_offset : int
+(** ROM offset of the reset stub — the paper's BIOS-like procedure. *)
+
+val recovery_offset : int
+(** ROM offset of the NMI recovery handler (per-approach). *)
+
+val exception_offset : int
+(** ROM offset of the default exception handler. *)
+
+val os_image_offset : int
+(** ROM offset of the golden operating-system image. *)
+
+val os_rom_segment : int
+(** Segment addressing the golden OS image ([OS_ROM_SEGMENT] in
+    Figure 1). *)
+
+val sched_offset : int
+(** ROM offset of the §5.2 scheduler code. *)
+
+val proc_images_offset : int
+(** ROM offset of the first golden process image (§5). *)
+
+val proc_image_size : int
+(** Bytes reserved per process image (4 KiB). *)
+
+val proc_limits_offset : int
+(** ROM offset of the [processLimits] table (Figure 5). *)
+
+(** {1 RAM} *)
+
+val os_segment : int
+(** 0x1000 — where the OS is (re)installed ([OS_SEGMENT] in Figure 1). *)
+
+val os_image_size : int
+(** Bytes copied by the reinstall procedure ([IMAGE_SIZE], 4 KiB). *)
+
+val os_data_offset : int
+(** Offset of the data portion within the OS image (code below). *)
+
+val guest_stack_top : int
+(** Initial [sp] for guests (top of the OS segment). *)
+
+val checkpoint_segment : int
+(** RAM segment used by the checkpoint/rollback baseline. *)
+
+val sched_stack_segment : int
+(** [STACK_SEGMENT] of Figures 2–5. *)
+
+val sched_stack_top : int
+(** [STACK_TOP] of Figures 2–5. *)
+
+val sched_data_segment : int
+(** [DATA_SEGMENT] of Figures 2–5 ([processIndex], [processTable]). *)
+
+val process_index_offset : int
+val process_table_offset : int
+val process_entry_size : int
+(** 26 bytes: flag cs ip ax ds bx cx dx si di es fs gs. *)
+
+val proc_segment : int -> int
+(** RAM code segment of process [i] (4 KiB apart). *)
+
+val ip_mask : int
+(** [IP_MASK] of Figure 5: confines [ip] to the 4 KiB process window and
+    aligns it to 16 bytes. *)
+
+val instr_align : int
+(** Instruction alignment unit for process code (16). *)
+
+(** {1 Ports and interrupt vectors} *)
+
+val console_port : int
+val heartbeat_port : int
+val process_heartbeat_port : int -> int
+(** Per-process heartbeat ports (§5 experiments). *)
+
+val timer_vector : int
+
+(** {1 Machine construction} *)
+
+val default_nmi_counter_max : int
+val default_watchdog_period : int
+
+val machine_config : ?nmi_counter_enabled:bool -> ?hardwired_nmi:bool -> unit ->
+  Ssx.Cpu.config
+(** CPU configuration for this layout; flags default to the paper's
+    augmented processor and can be switched off for ablations. *)

@@ -1,0 +1,94 @@
+type t = {
+  machine : Ssx.Machine.t;
+  heartbeats : Ssx_devices.Heartbeat.t array;
+  entry : int;
+  code_len : int;
+  n : int;
+}
+
+let region_offset = 0xD000
+let region_size = 0x1000
+
+let bundle_source ~n =
+  if n <= 0 || n > 8 then
+    invalid_arg "Primitive_sched.bundle_source: n must be in 1..8";
+  let body index =
+    Printf.sprintf
+      "; process %d body (do-forever loop with the loop removed)\n\
+      \    mov ax, 0x%04X\n\
+      \    mov ds, ax\n\
+      \    mov ax, [0]\n\
+      \    inc ax\n\
+      \    mov [0], ax\n\
+      \    out 0x%02X, ax\n"
+      index
+      (Process.data_segment index)
+      (Layout.process_heartbeat_port index)
+  in
+  String.concat ""
+    ([ Printf.sprintf "org 0x%04X\n" region_offset; "round:\n" ]
+    @ List.map body (List.init n Fun.id)
+    @ [ "    jmp round\n" ])
+
+let bundle ~n =
+  let image =
+    Ssx_asm.Assemble.assemble ~origin:region_offset (bundle_source ~n)
+  in
+  let code = image.Ssx_asm.Assemble.bytes in
+  if String.length code > region_size then
+    invalid_arg "Primitive_sched.bundle: bodies exceed the region";
+  (* Fill unused locations with jumps to the first instruction, the
+     paper's "add a jmp command ... in every unused rom location". *)
+  let jmp = Ssx.Codec.encode (Ssx.Instruction.Jmp region_offset) in
+  let jmp_len = List.length jmp in
+  let buffer = Buffer.create region_size in
+  Buffer.add_string buffer code;
+  while Buffer.length buffer + jmp_len <= region_size do
+    List.iter (fun b -> Buffer.add_char buffer (Char.chr b)) jmp
+  done;
+  while Buffer.length buffer < region_size do
+    Buffer.add_char buffer (Char.chr (List.hd (Ssx.Codec.encode Ssx.Instruction.Nop)))
+  done;
+  Buffer.contents buffer
+
+let build ?(n = 4) () =
+  let code =
+    Ssx_asm.Assemble.assemble ~origin:region_offset (bundle_source ~n)
+  in
+  let code_len = String.length code.Ssx_asm.Assemble.bytes in
+  let rom = Rom_builder.create () in
+  let reset_stub = Printf.sprintf "    jmp 0x%04X\n" region_offset in
+  ignore (Rom_builder.add_asm rom ~offset:Layout.reset_offset reset_stub);
+  (* Exceptions (a mis-decoded corrupted ip) re-enter the round. *)
+  let exception_stub = Printf.sprintf "    jmp 0x%04X\n" region_offset in
+  ignore (Rom_builder.add_asm rom ~offset:Layout.exception_offset exception_stub);
+  Rom_builder.add_blob rom ~offset:region_offset (bundle ~n);
+  Rom_builder.set_all_vectors rom ~seg:Layout.rom_segment
+    ~off:Layout.exception_offset;
+  let config = Layout.machine_config () in
+  let machine = Ssx.Machine.create ~config () in
+  Rom_builder.install rom (Ssx.Machine.memory machine);
+  (Ssx.Machine.cpu machine).Ssx.Cpu.idtr <- Layout.rom_base + Layout.idt_offset;
+  let heartbeats =
+    Array.init n (fun i ->
+        let hb = Ssx_devices.Heartbeat.create () in
+        Ssx_devices.Heartbeat.attach hb ~port:(Layout.process_heartbeat_port i)
+          machine;
+        hb)
+  in
+  Ssx.Cpu.reset (Ssx.Machine.cpu machine);
+  { machine; heartbeats; entry = region_offset; code_len; n }
+
+let fault_system sched =
+  { Ssx_faults.Fault.machine = sched.machine; watchdog = None }
+
+let fault_space sched =
+  let data_regions =
+    List.init sched.n (fun i -> (Process.data_segment i lsl 4, 0x100))
+  in
+  { Ssx_faults.Fault.ram_regions = data_regions;
+    registers = true;
+    control_state = true;
+    halt_faults = false;
+    idtr_faults = false;
+    watchdog_state = false }

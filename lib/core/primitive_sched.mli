@@ -1,0 +1,50 @@
+(** §5.1 — The primitive scheduler.
+
+    The Harvard-model design: the do-forever loops are stripped from N
+    straight-line, loop-free process bodies, the bodies are written one
+    after another in ROM, a jump back to the first instruction closes
+    the round, and {e every unused ROM location leads back to the first
+    instruction} — here with jump-to-entry filler blocks, plus a default
+    exception handler that re-enters the round when a corrupted
+    instruction pointer mis-decodes (our machine, like the Pentium, has
+    exceptions even when the model assumes no interrupts; the handler
+    preserves the §5.1 argument).
+
+    There is no context switch and no process table: fairness is purely
+    syntactic (one pass per round), and each process re-derives its
+    working state from constants at the start of its body, so the
+    composition is self-stabilizing by Theorem 5.1. *)
+
+type t = {
+  machine : Ssx.Machine.t;
+  heartbeats : Ssx_devices.Heartbeat.t array;
+  entry : int;       (** ROM offset of the round's first instruction *)
+  code_len : int;    (** bytes of concatenated bodies + closing jump *)
+  n : int;
+}
+
+val region_offset : int
+(** ROM offset of the §5.1 program region (0xD000). *)
+
+val region_size : int
+(** Bytes reserved for the region (4 KiB). *)
+
+val bundle : n:int -> string
+(** The assembled round: N counter bodies, the closing jump, and the
+    jump-to-entry fill, padded to [region_size]. *)
+
+val bundle_source : n:int -> string
+(** The generated assembly source of the round (before filling). *)
+
+val build : ?n:int -> unit -> t
+(** Machine running the primitive schedule from reset.  No watchdog is
+    needed: control flow cannot leave the ROM round except through
+    exceptions, which re-enter it. *)
+
+val fault_system : t -> Ssx_faults.Fault.system
+
+val fault_space : t -> Ssx_faults.Fault.space
+(** Process data segments, registers and control state (no watchdog,
+    and no halt faults — the §5.1 model forbids [hlt], and without an
+    NMI source a halted processor cannot be an initial state that the
+    design claims to recover from). *)

@@ -1,0 +1,149 @@
+type t = {
+  name : string;
+  source : string;
+  symbols : (string * int) list;
+}
+
+let data_segment i = 0x4000 + (i * 0x100)
+
+let body_text =
+  "    mov ax, DATA_SEG\n\
+  \    mov ds, ax\n\
+  \    mov ax, [0]\n\
+  \    inc ax\n\
+  \    mov [0], ax\n\
+  \    out MY_PORT, ax\n"
+
+let counter_symbols index =
+  [ ("DATA_SEG", data_segment index);
+    ("MY_PORT", Layout.process_heartbeat_port index) ]
+
+(* Replay-safe layout for the §5.2 scheduler.
+
+   Figure 5 masks the restored ip to a 16-byte boundary, so a resumed
+   process restarts from the beginning of the block it was interrupted
+   in, replaying up to a block of instructions.  A process is exact
+   under this scheme iff every block is replay-idempotent: blocks either
+   only derive state from memory and constants, or their externally
+   visible effect (the store + port write) is the final bytes of the
+   block, so the post-effect ip is already aligned and never rolls back
+   over it.  The nop padding below enforces exactly that. *)
+let counter_process ~index =
+  { name = Printf.sprintf "counter-%d" index;
+    source =
+      "; Self-stabilizing counter process: every loop pass rebuilds its\n\
+       ; whole working state from constants, so any corrupted register\n\
+       ; or data value is legal-after-one-pass.  Block layout is\n\
+       ; replay-safe under the scheduler's ip mask (see Process notes).\n\
+       org 0\n\
+       start:\n\
+       ; block 0: pure derivation - replaying it is idempotent\n\
+      \    mov ax, DATA_SEG\n\
+      \    mov ds, ax\n\
+      \    mov ax, [0]\n\
+      \    inc ax\n\
+      \    times 3 nop\n\
+       ; block 1: effects; the port write ends the block exactly\n\
+      \    mov [0], ax\n\
+      \    times 9 nop\n\
+      \    out MY_PORT, ax\n\
+       ; block 2: loop closure\n\
+      \    jmp start\n";
+    symbols = counter_symbols index }
+
+let counter_body ~index =
+  { name = Printf.sprintf "counter-body-%d" index;
+    source = body_text;
+    symbols = counter_symbols index }
+
+let assemble_plain process =
+  Ssx_asm.Assemble.assemble ~origin:0
+    ~symbols:(Rom_builder.layout_symbols @ process.symbols)
+    process.source
+
+(* 16-byte filler block: a jump to the entry followed by nops, so that
+   every aligned offset in the tail leads straight back to the start. *)
+let filler_block =
+  let jmp = Ssx.Codec.encode (Ssx.Instruction.Jmp 0) in
+  let nop = List.hd (Ssx.Codec.encode Ssx.Instruction.Nop) in
+  assert (List.length jmp <= Layout.instr_align);
+  String.init Layout.instr_align (fun i ->
+      Char.chr (match List.nth_opt jmp i with Some b -> b | None -> nop))
+
+let assemble_image process =
+  let image =
+    Ssx_asm.Assemble.assemble ~origin:0 ~instr_align:Layout.instr_align
+      ~symbols:(Rom_builder.layout_symbols @ process.symbols)
+      process.source
+  in
+  let code = image.Ssx_asm.Assemble.bytes in
+  let len = String.length code in
+  if len > Layout.proc_image_size then
+    invalid_arg
+      (Printf.sprintf "Process.assemble_image: %s is %d bytes, limit %d"
+         process.name len Layout.proc_image_size);
+  (* Pad the code to an alignment boundary with nops, then fill the rest
+     of the window with jump-to-entry blocks. *)
+  let buffer = Buffer.create Layout.proc_image_size in
+  Buffer.add_string buffer code;
+  let nop = Char.chr (List.hd (Ssx.Codec.encode Ssx.Instruction.Nop)) in
+  while Buffer.length buffer mod Layout.instr_align <> 0 do
+    Buffer.add_char buffer nop
+  done;
+  while Buffer.length buffer < Layout.proc_image_size do
+    Buffer.add_string buffer filler_block
+  done;
+  Buffer.contents buffer
+
+type model = Primitive | Scheduled
+
+let forbidden_name instr =
+  match instr with
+  | Ssx.Instruction.Push_r16 _ | Ssx.Instruction.Push_imm _
+  | Ssx.Instruction.Push_sreg _ | Ssx.Instruction.Pop_r16 _
+  | Ssx.Instruction.Pop_sreg _ | Ssx.Instruction.Pushf | Ssx.Instruction.Popf ->
+    Some "stack operation"
+  | Ssx.Instruction.Call _ | Ssx.Instruction.Ret -> Some "call/ret"
+  | Ssx.Instruction.Iret -> Some "iret"
+  | Ssx.Instruction.Int _ -> Some "software interrupt"
+  | Ssx.Instruction.Hlt -> Some "halt"
+  | Ssx.Instruction.Sti | Ssx.Instruction.Cli -> Some "interrupt-flag change"
+  | Ssx.Instruction.Jmp_far _ -> Some "far jump"
+  | Ssx.Instruction.Div_r8 _ | Ssx.Instruction.Div_r16 _ ->
+    Some "division (may raise an exception)"
+  | Ssx.Instruction.Invalid _ -> Some "invalid encoding"
+  | _ -> None
+
+let validate ~model ~code_len image =
+  let code = String.sub image 0 (min code_len (String.length image)) in
+  let entries = Ssx_asm.Disasm.disassemble code in
+  let problems = ref [] in
+  let problem offset fmt =
+    Format.kasprintf
+      (fun msg -> problems := Printf.sprintf "0x%04X: %s" offset msg :: !problems)
+      fmt
+  in
+  List.iter
+    (fun entry ->
+      let offset = entry.Ssx_asm.Disasm.offset in
+      let instr = entry.Ssx_asm.Disasm.instruction in
+      (match forbidden_name instr with
+      | Some what -> problem offset "%s (%a)" what Ssx.Instruction.pp instr
+      | None -> ());
+      let check_target target =
+        if target >= Layout.proc_image_size then
+          problem offset "branch target 0x%04X outside the process window" target;
+        match model with
+        | Primitive ->
+          if target <= offset then
+            problem offset "backward branch to 0x%04X (loops are not allowed)"
+              target
+        | Scheduled -> ()
+      in
+      match instr with
+      | Ssx.Instruction.Jmp target | Ssx.Instruction.Jcc (_, target)
+      | Ssx.Instruction.Loop target ->
+        check_target target
+      | _ -> ())
+    entries;
+  match List.rev !problems with [] -> Ok () | problems -> Error problems

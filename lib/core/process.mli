@@ -1,0 +1,48 @@
+(** §5 — The process model of the tailored tiny operating system.
+
+    A process is a do-forever program under the paper's static
+    restrictions: no stack operations, no interrupts or exceptions
+    generated, no [hlt], branches only within the process's own code,
+    and data confined to the process's own data area.  The restrictions
+    are {e checked}, not assumed: {!validate} disassembles an assembled
+    process and reports every violation.
+
+    For the §5.2 scheduler, a process image must additionally guarantee
+    that every [IP_MASK]-aligned offset is an instruction start; images
+    are therefore assembled with 16-byte instruction alignment and the
+    4 KiB window's tail is filled with 16-byte blocks that jump back to
+    the entry (§5.1's "a jmp command … in every unused rom location"). *)
+
+type t = {
+  name : string;
+  source : string;
+  symbols : (string * int) list;
+}
+
+val counter_process : index:int -> t
+(** The canonical self-stabilizing process: sets up its own data
+    segment, increments a counter there and reports it on its private
+    heartbeat port.  From any state it converges within one loop pass. *)
+
+val counter_body : index:int -> t
+(** The loop body alone (no backward jump) — the §5.1 form, where the
+    scheduler supplies the do-forever loop. *)
+
+val data_segment : int -> int
+(** RAM data segment of process [i]. *)
+
+val assemble_image : t -> string
+(** Assemble with 16-byte instruction alignment and pad to
+    {!Layout.proc_image_size} with jump-to-entry filler blocks. *)
+
+val assemble_plain : t -> Ssx_asm.Assemble.image
+(** Assemble without padding (for §5.1 concatenation and for tests). *)
+
+(** Restriction checking. *)
+
+type model = Primitive | Scheduled
+(** [Primitive] (§5.1) additionally forbids backward branches. *)
+
+val validate : model:model -> code_len:int -> string -> (unit, string list) result
+(** Disassemble [code_len] bytes of an image and check the paper's
+    restrictions; returns the list of violations. *)

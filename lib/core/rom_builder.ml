@@ -1,0 +1,74 @@
+type t = {
+  bytes : Bytes.t;
+  mutable used : (int * int) list;  (* (offset, length) of placed blobs *)
+}
+
+let create () = { bytes = Bytes.make Layout.rom_size '\000'; used = [] }
+
+let overlaps (a, alen) (b, blen) = a < b + blen && b < a + alen
+
+let add_blob rom ~offset blob =
+  let len = String.length blob in
+  if offset < 0 || offset + len > Layout.rom_size then
+    invalid_arg
+      (Printf.sprintf "Rom_builder.add_blob: [0x%X, 0x%X) outside ROM" offset
+         (offset + len));
+  List.iter
+    (fun placed ->
+      if overlaps (offset, len) placed then
+        invalid_arg
+          (Printf.sprintf "Rom_builder.add_blob: blob at 0x%X overlaps 0x%X"
+             offset (fst placed)))
+    rom.used;
+  Bytes.blit_string blob 0 rom.bytes offset len;
+  rom.used <- (offset, len) :: rom.used
+
+let layout_symbols =
+  [ ("OS_ROM_SEGMENT", Layout.os_rom_segment);
+    ("OS_SEGMENT", Layout.os_segment);
+    ("IMAGE_SIZE", Layout.os_image_size);
+    ("OS_DATA_OFFSET", Layout.os_data_offset);
+    ("GUEST_STACK_TOP", Layout.guest_stack_top);
+    ("ROM_SEGMENT", Layout.rom_segment);
+    ("OS_IMAGE_OFFSET", Layout.os_image_offset);
+    ("CHECKPOINT_SEGMENT", Layout.checkpoint_segment);
+    ("STACK_SEGMENT", Layout.sched_stack_segment);
+    ("STACK_TOP", Layout.sched_stack_top);
+    ("DATA_SEGMENT", Layout.sched_data_segment);
+    ("PROCESS_INDEX", Layout.process_index_offset);
+    ("PROCESS_TABLE", Layout.process_table_offset);
+    ("PROCESS_ENTRY_SIZE", Layout.process_entry_size);
+    ("PROC_IMAGES_OFFSET", Layout.proc_images_offset);
+    ("PROC_IMAGE_SIZE", Layout.proc_image_size);
+    ("PROCESS_LIMITS", Layout.proc_limits_offset);
+    ("IP_MASK", Layout.ip_mask);
+    ("CONSOLE_PORT", Layout.console_port);
+    ("HEARTBEAT_PORT", Layout.heartbeat_port) ]
+
+let add_asm rom ~offset ?(symbols = []) source =
+  let image =
+    Ssx_asm.Assemble.assemble ~origin:offset
+      ~symbols:(layout_symbols @ symbols) source
+  in
+  add_blob rom ~offset image.Ssx_asm.Assemble.bytes;
+  image
+
+let set_vector rom vector ~seg ~off =
+  if vector < 0 || vector >= Layout.idt_entries then
+    invalid_arg "Rom_builder.set_vector: vector out of range";
+  let entry = Layout.idt_offset + (4 * vector) in
+  Bytes.set rom.bytes entry (Char.chr (Ssx.Word.low_byte off));
+  Bytes.set rom.bytes (entry + 1) (Char.chr (Ssx.Word.high_byte off));
+  Bytes.set rom.bytes (entry + 2) (Char.chr (Ssx.Word.low_byte seg));
+  Bytes.set rom.bytes (entry + 3) (Char.chr (Ssx.Word.high_byte seg))
+
+let set_all_vectors rom ~seg ~off =
+  for vector = 0 to Layout.idt_entries - 1 do
+    set_vector rom vector ~seg ~off
+  done
+
+let image rom = Bytes.to_string rom.bytes
+
+let install rom mem =
+  Ssx.Memory.load_image mem ~base:Layout.rom_base (image rom);
+  Ssx.Memory.protect mem { Ssx.Memory.base = Layout.rom_base; size = Layout.rom_size }

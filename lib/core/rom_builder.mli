@@ -1,0 +1,37 @@
+(** ROM image composer.
+
+    Builds the 64 KiB ROM: interrupt descriptor table, recovery code,
+    golden images and tables, then installs it write-protected into a
+    machine's memory. *)
+
+type t
+
+val create : unit -> t
+(** Empty ROM (all zero). *)
+
+val add_blob : t -> offset:int -> string -> unit
+(** Place raw bytes at a ROM offset.
+    @raise Invalid_argument on overflow or overlap with a previous blob. *)
+
+val add_asm : t -> offset:int -> ?symbols:(string * int) list -> string -> Ssx_asm.Assemble.image
+(** Assemble source with the standard layout symbols predefined and
+    place the result at [offset].  Returns the image (for its labels). *)
+
+val set_vector : t -> int -> seg:int -> off:int -> unit
+(** Point one IDT entry at a handler. *)
+
+val set_all_vectors : t -> seg:int -> off:int -> unit
+(** Point every IDT entry at one default handler. *)
+
+val image : t -> string
+(** The current 64 KiB ROM contents. *)
+
+val install : t -> Ssx.Memory.t -> unit
+(** Copy the ROM to {!Layout.rom_base}, write-protect it, and point the
+    CPU-visible IDTR default region at it (callers still set
+    [cpu.idtr]). *)
+
+val layout_symbols : (string * int) list
+(** The [equ]-style constants every recovery source may reference:
+    OS_ROM_SEGMENT, OS_SEGMENT, IMAGE_SIZE, STACK_SEGMENT, STACK_TOP,
+    DATA_SEGMENT, PROCESS_ENTRY_SIZE, IP_MASK, ports, etc. *)

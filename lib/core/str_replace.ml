@@ -1,0 +1,14 @@
+(* Tiny first-occurrence string substitution (avoids a str dependency). *)
+
+let replace_first haystack ~pattern ~replacement =
+  let n = String.length pattern and h = String.length haystack in
+  let rec find i =
+    if i + n > h then None
+    else if String.sub haystack i n = pattern then Some i
+    else find (i + 1)
+  in
+  match find 0 with
+  | None -> haystack
+  | Some i ->
+    String.sub haystack 0 i ^ replacement
+    ^ String.sub haystack (i + n) (h - i - n)

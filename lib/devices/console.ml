@@ -1,0 +1,13 @@
+type t = { buffer : Buffer.t }
+
+let default_port = 0x10
+let create () = { buffer = Buffer.create 256 }
+
+let attach console ?(port = default_port) machine =
+  let write _width value =
+    Buffer.add_char console.buffer (Char.chr (value land 0xff))
+  in
+  Ssx.Machine.register_port machine ~port ~read:(fun _ -> 0) ~write
+
+let contents console = Buffer.contents console.buffer
+let clear console = Buffer.clear console.buffer

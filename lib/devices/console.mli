@@ -1,0 +1,20 @@
+(** Console output device.
+
+    Captures bytes written by guest code to a designated port so that
+    host-side monitors (and tests) can observe guest behaviour — the
+    observable half of the paper's "legal execution" definition. *)
+
+type t
+
+val default_port : int
+(** Port 0x10. *)
+
+val create : unit -> t
+
+val attach : t -> ?port:int -> Ssx.Machine.t -> unit
+(** Register the console's port handler on a machine. *)
+
+val contents : t -> string
+(** Everything written so far, as text. *)
+
+val clear : t -> unit

@@ -1,0 +1,26 @@
+type sample = { tick : int; value : int }
+
+type t = {
+  mutable samples : sample list; (* newest first *)
+  mutable n : int;
+}
+
+let default_port = 0x12
+let create () = { samples = []; n = 0 }
+
+let attach hb ?(port = default_port) machine =
+  let write _width value =
+    hb.samples <-
+      { tick = Ssx.Machine.ticks machine; value = Ssx.Word.mask value }
+      :: hb.samples;
+    hb.n <- hb.n + 1
+  in
+  Ssx.Machine.register_port machine ~port ~read:(fun _ -> 0) ~write
+
+let samples hb = List.rev hb.samples
+let last hb = match hb.samples with [] -> None | s :: _ -> Some s
+let count hb = hb.n
+
+let clear hb =
+  hb.samples <- [];
+  hb.n <- 0

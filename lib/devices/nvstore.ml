@@ -1,0 +1,23 @@
+type t = { images : (string, int * string) Hashtbl.t }
+
+let create () = { images = Hashtbl.create 8 }
+let add store ~name ~base bytes = Hashtbl.replace store.images name (base, bytes)
+let find store name = Hashtbl.find_opt store.images name
+
+let install_at store mem ~base name =
+  match Hashtbl.find_opt store.images name with
+  | None -> raise Not_found
+  | Some (_, bytes) -> Ssx.Memory.load_image mem ~base bytes
+
+let install store mem name =
+  match Hashtbl.find_opt store.images name with
+  | None -> raise Not_found
+  | Some (base, bytes) -> Ssx.Memory.load_image mem ~base bytes
+
+let verify store mem name =
+  match Hashtbl.find_opt store.images name with
+  | None -> raise Not_found
+  | Some (base, bytes) ->
+    Ssx.Memory.dump mem ~base ~len:(String.length bytes) = bytes
+
+let names store = Hashtbl.fold (fun name _ acc -> name :: acc) store.images []

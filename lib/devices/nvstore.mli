@@ -1,0 +1,31 @@
+(** Non-volatile image store.
+
+    Models the paper's incorruptible code sources: the (EP)ROM holding
+    the recovery procedures and the CD-ROM image the operating system is
+    reinstalled from.  Images are named golden byte strings; [install]
+    copies one into machine memory like a DMA transfer (host-level),
+    while guest-level reinstalls copy from a ROM-mapped copy with
+    [rep movsb] as in Figure 1. *)
+
+type t
+
+val create : unit -> t
+
+val add : t -> name:string -> base:int -> string -> unit
+(** Register a golden image with its home physical address. *)
+
+val find : t -> string -> (int * string) option
+(** [(base, bytes)] of an image. *)
+
+val install : t -> Ssx.Memory.t -> string -> unit
+(** Copy an image to its home address (bypasses ROM protection, so it
+    can also initialise ROM at boot).
+    @raise Not_found for unknown image names. *)
+
+val install_at : t -> Ssx.Memory.t -> base:int -> string -> unit
+(** Copy an image to an arbitrary address. *)
+
+val verify : t -> Ssx.Memory.t -> string -> bool
+(** Whether memory currently matches the golden image byte-for-byte. *)
+
+val names : t -> string list

@@ -1,0 +1,24 @@
+type t = {
+  period : int;
+  vector : int;
+  mutable counter : int;
+  mutable fired : int;
+}
+
+let create ~period ~vector =
+  if period <= 0 then invalid_arg "Timer.create: period must be positive";
+  { period; vector; counter = period; fired = 0 }
+
+let tick timer cpu =
+  if timer.counter > timer.period || timer.counter < 0 then
+    timer.counter <- timer.period;
+  if timer.counter <= 1 then begin
+    timer.fired <- timer.fired + 1;
+    Ssx.Cpu.raise_intr cpu timer.vector;
+    timer.counter <- timer.period
+  end
+  else timer.counter <- timer.counter - 1
+
+let device timer = Ssx.Device.make ~name:"timer" ~tick:(tick timer)
+let corrupt timer v = timer.counter <- v
+let fired_count timer = timer.fired

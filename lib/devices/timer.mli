@@ -1,0 +1,10 @@
+(** Periodic maskable-interrupt source (the timer/clock interrupt whose
+    IDT entry §1 discusses).  Like the watchdog it is self-stabilizing:
+    its countdown is clamped on every tick. *)
+
+type t
+
+val create : period:int -> vector:int -> t
+val device : t -> Ssx.Device.t
+val corrupt : t -> int -> unit
+val fired_count : t -> int

@@ -1,0 +1,35 @@
+type target = Nmi_pin | Reset_pin
+
+type t = {
+  period : int;
+  target : target;
+  mutable counter : int;
+  mutable fired : int;
+}
+
+let create ~period ~target =
+  if period <= 0 then invalid_arg "Watchdog.create: period must be positive";
+  { period; target; counter = period; fired = 0 }
+
+let fire wd cpu =
+  wd.fired <- wd.fired + 1;
+  match wd.target with
+  | Nmi_pin -> Ssx.Cpu.raise_nmi cpu
+  | Reset_pin -> cpu.Ssx.Cpu.reset_pin <- true
+
+let tick wd cpu =
+  (* Clamp first: an arbitrarily corrupted register still yields a
+     signal within one period. *)
+  if wd.counter > wd.period || wd.counter < 0 then wd.counter <- wd.period;
+  if wd.counter <= 1 then begin
+    fire wd cpu;
+    wd.counter <- wd.period
+  end
+  else wd.counter <- wd.counter - 1
+
+let pet wd = wd.counter <- wd.period
+let device wd = Ssx.Device.make ~name:"watchdog" ~tick:(tick wd)
+let counter wd = wd.counter
+let corrupt wd v = wd.counter <- v
+let period wd = wd.period
+let fired_count wd = wd.fired

@@ -1,0 +1,887 @@
+let summary_cells (s : Runner.summary) =
+  [ Table.cell_rate s.Runner.recoveries s.Runner.trials;
+    Table.cell_opt_float ~decimals:0 s.Runner.mean_recovery;
+    (match s.Runner.max_recovery with None -> "-" | Some v -> Table.cell_int v) ]
+
+(* ----------------------------------------------------------------- T1 *)
+
+let t1_reinstall_recovery ?(seed = 1L) ?(trials = 30) () =
+  let build () = Ssos.Reinstall.build () in
+  let spec = Ssos.Reinstall.weak_spec () in
+  let row label space burst =
+    let s =
+      Runner.heartbeat_campaign ~build ~space ~spec ~burst ~trials ~seed ()
+    in
+    (label :: Table.cell_int burst :: summary_cells s)
+  in
+  let bursts = [ 5; 20; 50; 100; 200 ] in
+  let rows =
+    List.map
+      (fun burst -> row "ram+reg+control" Ssos.System.default_fault_space burst)
+      bursts
+    @ [ row "ram-only (Bochs-style)" Ssos.System.ram_only_fault_space 50 ]
+  in
+  { Table.id = "T1";
+    title = "Reinstall-and-restart recovery vs fault burst";
+    note =
+      "Reproduces the section 3 experiment (RAM corrupted during execution; \
+       stabilization observed) and Theorem 3.4, quantitatively.";
+    header = [ "fault space"; "burst"; "recovered"; "mean rec (ticks)"; "max rec" ];
+    rows }
+
+(* ----------------------------------------------------------------- T2 *)
+
+let t2_lemma_bounds ?(seed = 2L) ?(trials = 300) () =
+  let period = Ssos.Layout.default_watchdog_period in
+  let nmi_max = Ssos.Layout.default_nmi_counter_max in
+  (* Figure 1: 8 set-up instructions, IMAGE_SIZE rep steps, 7 tear-down
+     instructions, then the first guest instruction. *)
+  let handler_bound = 8 + Ssos.Layout.os_image_size + 7 + 1 in
+  let entry_bound = period + nmi_max + 2 in
+  let nmi_times = ref [] and restart_times = ref [] in
+  for i = 0 to trials - 1 do
+    let system = Ssos.Reinstall.build () in
+    let machine = system.Ssos.System.machine in
+    let rng = Ssx_faults.Rng.create (Runner.trial_seed seed i) in
+    Ssos.System.run system ~ticks:(Ssx_faults.Rng.int rng period);
+    Runner.scramble_processor rng system;
+    let entered = ref false in
+    Ssx.Machine.on_event machine (fun _ event ->
+        match event with
+        | Ssx.Cpu.Took_interrupt { nmi = true; _ } -> entered := true
+        | _ -> ());
+    let start = Ssx.Machine.ticks machine in
+    (match
+       Ssx.Machine.run_until machine ~limit:(2 * entry_bound) (fun _ -> !entered)
+     with
+    | Some ticks -> nmi_times := ticks :: !nmi_times
+    | None -> nmi_times := (3 * entry_bound) :: !nmi_times);
+    let at_entry = Ssx.Machine.ticks machine in
+    ignore start;
+    let cpu = Ssx.Machine.cpu machine in
+    (match
+       Ssx.Machine.run_until machine ~limit:(2 * handler_bound) (fun _ ->
+           cpu.Ssx.Cpu.regs.Ssx.Registers.cs = Ssos.Layout.os_segment
+           && cpu.Ssx.Cpu.regs.Ssx.Registers.ip <= 8)
+     with
+    | Some _ ->
+      restart_times := (Ssx.Machine.ticks machine - at_entry) :: !restart_times
+    | None -> restart_times := (3 * handler_bound) :: !restart_times)
+  done;
+  let stats times =
+    let n = List.length times in
+    let sum = List.fold_left ( + ) 0 times in
+    let maximum = List.fold_left max 0 times in
+    (float_of_int sum /. float_of_int n, maximum)
+  in
+  let mean_a, max_a = stats !nmi_times in
+  let mean_b, max_b = stats !restart_times in
+  let violations bound times = List.length (List.filter (fun t -> t > bound) times) in
+  { Table.id = "T2";
+    title = "Lemma bounds from arbitrary configurations";
+    note =
+      "Lemma 3.1 (the handler is reached) and Lemmas 3.2/3.3 (it completes \
+       and restarts the OS): observed worst cases vs the theoretical bounds.";
+    header = [ "phase"; "bound (ticks)"; "mean"; "max"; "violations" ];
+    rows =
+      [ [ "scrambled state -> NMI handler entry";
+          Table.cell_int entry_bound;
+          Table.cell_float ~decimals:0 mean_a;
+          Table.cell_int max_a;
+          Printf.sprintf "%d/%d" (violations entry_bound !nmi_times) trials ];
+        [ "handler entry -> OS first instruction";
+          Table.cell_int handler_bound;
+          Table.cell_float ~decimals:0 mean_b;
+          Table.cell_int max_b;
+          Printf.sprintf "%d/%d" (violations handler_bound !restart_times) trials ] ] }
+
+(* ----------------------------------------------------------------- T3 *)
+
+let t3_approach_comparison ?(seed = 3L) ?(trials = 25) () =
+  let guest () = Ssos.Guest.task_kernel () in
+  let weak = Ssos.Reinstall.weak_spec () in
+  let burst = 40 in
+  let hb_row label build space =
+    let s =
+      Runner.heartbeat_campaign ~build ~space ~spec:weak ~burst ~trials ~seed ()
+    in
+    (label :: summary_cells s)
+  in
+  let rows =
+    [ hb_row "no recovery"
+        (fun () -> Ssos.Baselines.none ~guest:(guest ()) ())
+        Ssos.System.default_fault_space;
+      hb_row "reset-only reboot"
+        (fun () -> Ssos.Baselines.reset_only ~guest:(guest ()) ())
+        Ssos.System.default_fault_space;
+      hb_row "checkpoint/rollback"
+        (fun () -> Ssos.Baselines.checkpoint ~guest:(guest ()) ())
+        Ssos.Baselines.checkpoint_fault_space;
+      hb_row "s3 reinstall+restart"
+        (fun () -> Ssos.Reinstall.build ~guest:(guest ()) ())
+        Ssos.System.default_fault_space;
+      hb_row "s3 reinstall+continue"
+        (fun () ->
+          Ssos.Reinstall.build ~variant:Ssos.Reinstall.Continue ~guest:(guest ()) ())
+        Ssos.System.default_fault_space;
+      hb_row "s4 monitor+repair"
+        (fun () -> (Ssos.Monitor.build ()).Ssos.Monitor.system)
+        Ssos.System.default_fault_space;
+      (let s =
+         Runner.sched_campaign
+           ~build:(fun () -> Ssos.Sched.build ())
+           ~burst ~trials ~seed ()
+       in
+       "s5 tailored tiny OS" :: summary_cells s) ]
+  in
+  { Table.id = "T3";
+    title = "Recovery across designs, identical fault campaigns";
+    note =
+      "Baselines the paper contrasts with (no recovery; reboot without \
+       reinstall; checkpointing as in Windows XP/EROS) vs sections 3-5. \
+       Burst = 40 random faults; weak legality.";
+    header = [ "design"; "recovered"; "mean rec (ticks)"; "max rec" ];
+    rows }
+
+(* ----------------------------------------------------------------- T4 *)
+
+let t4_period_sweep ?(seed = 4L) ?(trials = 12) () =
+  let horizon = 1_000_000 in
+  let beats_with_period period =
+    let system = Ssos.Reinstall.build ~watchdog_period:period () in
+    Ssos.System.run system ~ticks:horizon;
+    Ssx_devices.Heartbeat.count system.Ssos.System.heartbeat
+  in
+  let baseline =
+    let system = Ssos.Baselines.none ~guest:(Ssos.Guest.heartbeat_kernel ()) () in
+    Ssos.System.run system ~ticks:horizon;
+    Ssx_devices.Heartbeat.count system.Ssos.System.heartbeat
+  in
+  let spec = Ssos.Reinstall.weak_spec () in
+  let rows =
+    List.map
+      (fun period ->
+        let beats = beats_with_period period in
+        let s =
+          Runner.heartbeat_campaign
+            ~build:(fun () -> Ssos.Reinstall.build ~watchdog_period:period ())
+            ~space:Ssos.System.default_fault_space ~spec ~burst:40 ~trials ~seed
+            ()
+        in
+        [ Table.cell_int period;
+          Table.cell_int beats;
+          Table.cell_float ~decimals:1
+            (100.0 *. float_of_int beats /. float_of_int baseline)
+          ^ "%";
+          Table.cell_rate s.Runner.recoveries s.Runner.trials;
+          Table.cell_opt_float ~decimals:0 s.Runner.mean_recovery ])
+      [ 10_000; 25_000; 50_000; 100_000; 200_000 ]
+  in
+  { Table.id = "T4";
+    title = "Watchdog period: availability vs recovery latency";
+    note =
+      "Section 3's 'period long enough for the system to operate': useful \
+       work (heartbeats per 1M ticks, vs an unprotected baseline) against \
+       recovery under a 40-fault burst.";
+    header =
+      [ "period"; "beats/1M"; "availability"; "recovered"; "mean rec (ticks)" ];
+    rows }
+
+(* ----------------------------------------------------------------- T5 *)
+
+let t5_primitive_fairness ?(seed = 5L) ?(trials = 100) () =
+  (* Clean-run fairness. *)
+  let sched = Ssos.Primitive_sched.build () in
+  Ssx.Machine.run sched.Ssos.Primitive_sched.machine ~ticks:200_000;
+  let beats =
+    Array.to_list
+      (Array.map Ssx_devices.Heartbeat.count sched.Ssos.Primitive_sched.heartbeats)
+  in
+  let min_beats = List.fold_left min max_int beats
+  and max_beats = List.fold_left max 0 beats in
+  (* Convergence from arbitrary processor states. *)
+  let converged = ref 0 and worst = ref 0 in
+  let round_bound = 4 * Ssos.Primitive_sched.region_size in
+  for i = 0 to trials - 1 do
+    let sched = Ssos.Primitive_sched.build () in
+    let machine = sched.Ssos.Primitive_sched.machine in
+    let rng = Ssx_faults.Rng.create (Runner.trial_seed seed i) in
+    let regs = (Ssx.Machine.cpu machine).Ssx.Cpu.regs in
+    let word () = Ssx_faults.Rng.int rng 0x10000 in
+    List.iter (fun r -> Ssx.Registers.set16 regs r (word ())) Ssx.Registers.all_reg16;
+    List.iter
+      (fun r -> Ssx.Registers.set_sreg regs r (word ()))
+      Ssx.Registers.all_sreg;
+    regs.Ssx.Registers.ip <- word ();
+    regs.Ssx.Registers.psw <- word ();
+    let all_beat () =
+      Array.for_all
+        (fun hb -> Ssx_devices.Heartbeat.count hb > 0)
+        sched.Ssos.Primitive_sched.heartbeats
+    in
+    match Ssx.Machine.run_until machine ~limit:round_bound (fun _ -> all_beat ()) with
+    | Some ticks ->
+      incr converged;
+      if ticks > !worst then worst := ticks
+    | None -> ()
+  done;
+  (* Fault-burst recovery. *)
+  let alive = ref 0 in
+  let burst_trials = 30 in
+  for i = 0 to burst_trials - 1 do
+    let sched = Ssos.Primitive_sched.build () in
+    let rng = Ssx_faults.Rng.create (Runner.trial_seed (Int64.add seed 77L) i) in
+    Ssx.Machine.run sched.Ssos.Primitive_sched.machine ~ticks:10_000;
+    ignore
+      (Ssx_faults.Injector.inject_now
+         (Ssos.Primitive_sched.fault_system sched)
+         ~rng
+         ~space:(Ssos.Primitive_sched.fault_space sched)
+         30);
+    Ssx.Machine.run sched.Ssos.Primitive_sched.machine ~ticks:50_000;
+    let end_tick = Ssx.Machine.ticks sched.Ssos.Primitive_sched.machine in
+    if
+      Array.for_all
+        (fun hb ->
+          match Ssx_devices.Heartbeat.last hb with
+          | Some s -> end_tick - s.Ssx_devices.Heartbeat.tick < 1_000
+          | None -> false)
+        sched.Ssos.Primitive_sched.heartbeats
+    then incr alive
+  done;
+  { Table.id = "T5";
+    title = "Primitive scheduler (section 5.1): fairness and convergence";
+    note =
+      "Theorem 5.1: every process executes infinitely often and each \
+       self-stabilizing process stabilizes, from any initial state.";
+    header = [ "measure"; "value" ];
+    rows =
+      [ [ "beats per process, clean 200k-tick run";
+          Printf.sprintf "min %d / max %d" min_beats max_beats ];
+        [ "fairness spread (max-min)"; Table.cell_int (max_beats - min_beats) ];
+        [ Printf.sprintf "arbitrary-start convergence (%d trials)" trials;
+          Table.cell_rate !converged trials ];
+        [ "worst ticks until every process ran"; Table.cell_int !worst ];
+        [ "alive after 30-fault burst"; Table.cell_rate !alive burst_trials ] ] }
+
+(* ----------------------------------------------------------------- T6 *)
+
+let t6_sched_stabilization ?(seed = 6L) ?(trials = 25) () =
+  let row label burst =
+    let s =
+      Runner.sched_campaign ~build:(fun () -> Ssos.Sched.build ()) ~burst ~trials
+        ~seed ()
+    in
+    (label :: Table.cell_int burst :: summary_cells s)
+  in
+  { Table.id = "T6";
+    title = "Self-stabilizing scheduler (section 5.2) under fault bursts";
+    note =
+      "Lemmas 5.2-5.4 / Theorem 5.5: fairness and stabilization preservation. \
+       Recovery = every process's counter stream strictly increments again.";
+    header = [ "configuration"; "burst"; "recovered"; "mean rec (ticks)"; "max rec" ];
+    rows = [ row "default (strict cs, windowed ip)" 10;
+             row "default (strict cs, windowed ip)" 40;
+             row "default (strict cs, windowed ip)" 100 ] }
+
+(* ----------------------------------------------------------------- T7 *)
+
+let t7_ablations ?(seed = 7L) ?(trials = 25) () =
+  let sched_row label build =
+    let s = Runner.sched_campaign ~build ~burst:40 ~trials ~seed () in
+    (label :: summary_cells s)
+  in
+  (* NMI-counter and hardwired-vector ablations use the reinstall design
+     with targeted control faults. *)
+  let reinstall_row label ~nmi_counter_enabled ~hardwired_nmi ~extra_faults =
+    let spec = Ssos.Reinstall.weak_spec () in
+    let recovered = ref 0 in
+    for i = 0 to trials - 1 do
+      let system =
+        Ssos.Reinstall.build ~nmi_counter_enabled ~hardwired_nmi ()
+      in
+      let rng = Ssx_faults.Rng.create (Runner.trial_seed seed i) in
+      Ssos.System.run system ~ticks:30_000;
+      List.iter
+        (fun fault ->
+          ignore (Ssx_faults.Fault.apply (Ssos.System.fault_system system) fault))
+        (extra_faults rng);
+      ignore
+        (Ssx_faults.Injector.inject_now
+           (Ssos.System.fault_system system)
+           ~rng ~space:Ssos.System.ram_only_fault_space 30);
+      Ssos.System.run system ~ticks:400_000;
+      let verdict =
+        Ssx_stab.Convergence.judge ~spec
+          ~samples:(Ssx_devices.Heartbeat.samples system.Ssos.System.heartbeat)
+          ~end_tick:(Ssx.Machine.ticks system.Ssos.System.machine)
+      in
+      if Ssx_stab.Convergence.converged verdict then incr recovered
+    done;
+    [ label; Table.cell_rate !recovered trials; "-"; "-" ]
+  in
+  (* The silent wedge: nop out the guest's heartbeat port write.  The
+     guest keeps looping (and kicking a petted watchdog) while doing
+     nothing useful — the failure mode an unconditionally periodic
+     watchdog is immune to. *)
+  let silent_wedge system =
+    let mem = Ssx.Machine.memory system.Ssos.System.machine in
+    let base = Ssos.Layout.os_segment lsl 4 in
+    let nop = 0x70 in
+    let rec hunt i =
+      if i >= Ssos.Layout.os_data_offset then ()
+      else if
+        Ssx.Memory.read_byte mem (base + i) = 0x6A
+        && Ssx.Memory.read_byte mem (base + i + 1) = Ssos.Layout.heartbeat_port
+      then begin
+        Ssx.Memory.write_byte mem (base + i) nop;
+        Ssx.Memory.write_byte mem (base + i + 1) nop
+      end
+      else hunt (i + 1)
+    in
+    hunt 0
+  in
+  let wedge_row label build =
+    let spec = Ssos.Reinstall.weak_spec () in
+    let recovered = ref 0 in
+    for _ = 0 to trials - 1 do
+      let system = build () in
+      Ssos.System.run system ~ticks:30_000;
+      silent_wedge system;
+      Ssos.System.run system ~ticks:300_000;
+      let verdict =
+        Ssx_stab.Convergence.judge ~spec
+          ~samples:(Ssx_devices.Heartbeat.samples system.Ssos.System.heartbeat)
+          ~end_tick:(Ssx.Machine.ticks system.Ssos.System.machine)
+      in
+      if Ssx_stab.Convergence.converged verdict then incr recovered
+    done;
+    [ label; Table.cell_rate !recovered trials; "-"; "-" ]
+  in
+  let rows =
+    [ wedge_row "petted watchdog + silent wedge" (fun () ->
+          Ssos.Baselines.petted_watchdog ());
+      wedge_row "unconditional watchdog + silent wedge" (fun () ->
+          Ssos.Reinstall.build ~guest:(Ssos.Baselines.petting_guest ()) ());
+      sched_row "sched: cs check = strict equality" (fun () ->
+          Ssos.Sched.build ~cs_check:Ssos.Sched.Strict_eq ());
+      sched_row "sched: cs check = paper's jb" (fun () ->
+          Ssos.Sched.build ~cs_check:Ssos.Sched.Paper_jb ());
+      sched_row "sched: cs check = none" (fun () ->
+          Ssos.Sched.build ~cs_check:Ssos.Sched.No_check ());
+      sched_row "sched: ip mask = windowed" (fun () ->
+          Ssos.Sched.build ~ip_mask:Ssos.Sched.Windowed ());
+      sched_row "sched: ip mask = paper's 0xFFF0" (fun () ->
+          Ssos.Sched.build ~ip_mask:Ssos.Sched.Paper_mask ());
+      sched_row "sched: ip mask = none" (fun () ->
+          Ssos.Sched.build ~ip_mask:Ssos.Sched.No_mask ());
+      sched_row "sched: code refresh off" (fun () ->
+          Ssos.Sched.build ~refresh:false ());
+      (* Random faults rarely hit the ~35 live code bytes inside each
+         4 KiB window, so the refresh's value only shows under targeted
+         corruption of the instruction bytes themselves. *)
+      (let code_space n =
+         { Ssx_faults.Fault.ram_regions =
+             List.init n (fun i -> (Ssos.Layout.proc_segment i lsl 4, 48));
+           registers = false;
+           control_state = false;
+           halt_faults = false;
+           idtr_faults = false;
+           watchdog_state = false }
+       in
+       let s =
+         Runner.sched_campaign
+           ~build:(fun () -> Ssos.Sched.build ~refresh:true ())
+           ~space:(code_space 4) ~burst:8 ~trials ~seed ()
+       in
+       ("sched: refresh on, targeted code faults" :: summary_cells s));
+      (let code_space n =
+         { Ssx_faults.Fault.ram_regions =
+             List.init n (fun i -> (Ssos.Layout.proc_segment i lsl 4, 48));
+           registers = false;
+           control_state = false;
+           halt_faults = false;
+           idtr_faults = false;
+           watchdog_state = false }
+       in
+       let s =
+         Runner.sched_campaign
+           ~build:(fun () -> Ssos.Sched.build ~refresh:false ())
+           ~space:(code_space 4) ~burst:8 ~trials ~seed ()
+       in
+       ("sched: refresh off, targeted code faults" :: summary_cells s));
+      reinstall_row "reinstall: nmi counter ON + latch fault + halt"
+        ~nmi_counter_enabled:true ~hardwired_nmi:true
+        ~extra_faults:(fun _ ->
+          [ Ssx_faults.Fault.Nmi_latch true; Ssx_faults.Fault.Spurious_halt ]);
+      reinstall_row "reinstall: nmi counter OFF + latch fault + halt"
+        ~nmi_counter_enabled:false ~hardwired_nmi:true
+        ~extra_faults:(fun _ ->
+          [ Ssx_faults.Fault.Nmi_latch true; Ssx_faults.Fault.Spurious_halt ]);
+      reinstall_row "reinstall: hardwired NMI + idtr fault"
+        ~nmi_counter_enabled:true ~hardwired_nmi:true ~extra_faults:(fun rng ->
+          [ Ssx_faults.Fault.Idtr (Ssx_faults.Rng.int rng Ssx.Addr.memory_size) ]);
+      reinstall_row "reinstall: idtr-routed NMI + idtr fault"
+        ~nmi_counter_enabled:true ~hardwired_nmi:false ~extra_faults:(fun rng ->
+          [ Ssx_faults.Fault.Idtr (Ssx_faults.Rng.int rng Ssx.Addr.memory_size) ]) ]
+  in
+  { Table.id = "T7";
+    title = "Ablations of the paper's design choices";
+    note =
+      "Each hardware/software safeguard removed in isolation: the cs \
+       validation and ip mask of Figure 5, the scheduler's code refresh, \
+       the NMI-counter augmentation, and the hardwired NMI vector (section 2).";
+    header = [ "configuration"; "recovered"; "mean rec (ticks)"; "max rec" ];
+    rows }
+
+(* ----------------------------------------------------------------- T8 *)
+
+let t8_monitor_coverage ?(seed = 8L) ?(trials = 25) () =
+  let spec = Ssos.Monitor.spec () in
+  let classes =
+    [ ("task index out of range",
+       fun _rng ->
+         [ Ssx_faults.Fault.Ram_byte { addr = Ssos.Guest.task_index_addr; value = 0xEE } ]);
+      ("task table entry corrupted",
+       fun rng ->
+         [ Ssx_faults.Fault.Ram_byte
+             { addr = Ssos.Guest.task_table_addr + Ssx_faults.Rng.int rng 16;
+               value = Ssx_faults.Rng.int rng 256 } ]);
+      ("task divisor zeroed",
+       fun _rng ->
+         [ Ssx_faults.Fault.Ram_byte { addr = Ssos.Guest.task_table_addr + 2; value = 0 };
+           Ssx_faults.Fault.Ram_byte { addr = Ssos.Guest.task_table_addr + 3; value = 0 } ]);
+      ("stack pointer wild",
+       fun rng -> [ Ssx_faults.Fault.Reg16 (Ssx.Registers.SP, Ssx_faults.Rng.int rng 0x10000) ]);
+      ("code byte corrupted",
+       fun rng ->
+         [ Ssx_faults.Fault.Ram_byte
+             { addr =
+                 (Ssos.Layout.os_segment lsl 4) + Ssx_faults.Rng.int rng Ssos.Layout.os_data_offset;
+               value = Ssx_faults.Rng.int rng 256 } ]);
+      ("instruction pointer wild",
+       fun rng -> [ Ssx_faults.Fault.Ip (Ssx_faults.Rng.int rng 0x10000) ]) ]
+  in
+  let rows =
+    List.map
+      (fun (label, make_faults) ->
+        let recovered = ref 0 and detected = ref 0 and times = ref [] in
+        for i = 0 to trials - 1 do
+          let monitor = Ssos.Monitor.build () in
+          let system = monitor.Ssos.Monitor.system in
+          let rng = Ssx_faults.Rng.create (Runner.trial_seed seed i) in
+          Ssos.System.run system ~ticks:30_000;
+          List.iter
+            (fun fault ->
+              ignore (Ssx_faults.Fault.apply (Ssos.System.fault_system system) fault))
+            (make_faults rng);
+          Ssos.System.run system ~ticks:300_000;
+          let verdict =
+            Ssx_stab.Convergence.judge ~spec
+              ~samples:(Ssx_devices.Heartbeat.samples system.Ssos.System.heartbeat)
+              ~end_tick:(Ssx.Machine.ticks system.Ssos.System.machine)
+          in
+          if Ssx_stab.Convergence.converged verdict then begin
+            incr recovered;
+            match Ssx_stab.Convergence.recovery_time ~faults_end:30_000 verdict with
+            | Some t -> times := t :: !times
+            | None -> ()
+          end;
+          if Ssos.Monitor.detections monitor <> [] then incr detected
+        done;
+        let mean =
+          match !times with
+          | [] -> None
+          | ts ->
+            Some
+              (float_of_int (List.fold_left ( + ) 0 ts)
+              /. float_of_int (List.length ts))
+        in
+        [ label;
+          Table.cell_rate !detected trials;
+          Table.cell_rate !recovered trials;
+          Table.cell_opt_float ~decimals:0 mean ])
+      classes
+  in
+  { Table.id = "T8";
+    title = "Monitor (section 4): detection and repair by fault class";
+    note =
+      "Targeted single-fault injections against the task kernel. Detection = \
+       a consistency predicate fired; recovery = strict heartbeat legality \
+       returned. Code corruption is detected by the integrity predicate and \
+       repaired by the ROM refresh; control-flow faults are repaired by the \
+       frame validation without needing a predicate.";
+    header = [ "fault class"; "predicate detected"; "recovered"; "mean rec (ticks)" ];
+    rows }
+
+(* ----------------------------------------------------------------- T9 *)
+
+let t9_weak_vs_strict ?(seed = 9L) () =
+  ignore seed;
+  let horizon = 400_000 in
+  let row label build =
+    let system = build () in
+    Ssos.System.run system ~ticks:horizon;
+    let samples = Ssx_devices.Heartbeat.samples system.Ssos.System.heartbeat in
+    let end_tick = Ssx.Machine.ticks system.Ssos.System.machine in
+    let count spec =
+      Ssx_stab.Convergence.violation_count ~spec ~samples ~end_tick
+    in
+    let strict = count (Ssos.Reinstall.strict_spec ()) in
+    let weak = count (Ssos.Reinstall.weak_spec ()) in
+    [ label;
+      Table.cell_int strict;
+      Table.cell_int weak;
+      (if strict = 0 then "strong" else if weak = 0 then "weak only" else "neither") ]
+  in
+  { Table.id = "T9";
+    title = "Weak vs strong legality on fault-free runs";
+    note =
+      "Section 2 defines weak legal executions as concatenations of prefixes \
+       of legal executions. Violations of the strict counter specification \
+       over a fault-free 400k-tick run: section 3's periodic restart breaks \
+       it once per watchdog period (weakly legal restarts), section 4's \
+       monitor never does. (Theorem 3.4 claims exactly weak stabilization.)";
+    header = [ "design"; "strict violations"; "weak violations"; "legality" ];
+    rows =
+      [ row "s3 reinstall+restart" (fun () -> Ssos.Reinstall.build ());
+        row "s3 reinstall+continue" (fun () ->
+            Ssos.Reinstall.build ~variant:Ssos.Reinstall.Continue ());
+        row "s4 monitor+repair (task kernel)" (fun () ->
+            (Ssos.Monitor.build ()).Ssos.Monitor.system);
+        (* The tiny OS: judge every process's private stream.  With
+           replay-safe processes, context switching is exact, so clean
+           runs are strongly legal per process. *)
+        (let sched = Ssos.Sched.build () in
+         Ssx.Machine.run sched.Ssos.Sched.machine ~ticks:horizon;
+         let end_tick = Ssx.Machine.ticks sched.Ssos.Sched.machine in
+         let spec =
+           Ssx_stab.Convergence.counter_spec ~max_gap:200_000 ~window:1 ()
+         in
+         let strict =
+           Array.fold_left
+             (fun acc hb ->
+               acc
+               + Ssx_stab.Convergence.violation_count ~spec
+                   ~samples:(Ssx_devices.Heartbeat.samples hb)
+                   ~end_tick)
+             0 sched.Ssos.Sched.heartbeats
+         in
+         [ "s5 tiny OS (all processes)"; Table.cell_int strict;
+           Table.cell_int strict;
+           (if strict = 0 then "strong" else "neither") ]) ] }
+
+(* ---------------------------------------------------------------- T10 *)
+
+let t10_composition ?(seed = 10L) () =
+  let monitor = Ssos.Monitor.build () in
+  let system = monitor.Ssos.Monitor.system in
+  let machine = system.Ssos.System.machine in
+  let rng = Ssx_faults.Rng.create seed in
+  (* The application layer: a token ring stepped once per OS heartbeat,
+     modelling application progress driven by OS progress. *)
+  let ring = Ssos_algorithms.Token_ring.create ~n:8 ~k:8 in
+  let last_count = ref 0 in
+  Ssx.Machine.on_event machine (fun _ _ ->
+      let count = Ssx_devices.Heartbeat.count system.Ssos.System.heartbeat in
+      if count > !last_count then begin
+        last_count := count;
+        ignore (Ssos_algorithms.Token_ring.step_round ring)
+      end);
+  (* Warm up, then corrupt every layer at once. *)
+  Ssos.System.run system ~ticks:60_000;
+  ignore
+    (Ssx_faults.Injector.inject_now (Ssos.System.fault_system system) ~rng
+       ~space:Ssos.System.default_fault_space 40);
+  for i = 0 to Ssos_algorithms.Token_ring.n ring - 1 do
+    Ssos_algorithms.Token_ring.set_state ring i (Ssx_faults.Rng.int rng 8)
+  done;
+  let heartbeat_fresh machine =
+    let now = Ssx.Machine.ticks machine in
+    match Ssx_devices.Heartbeat.last system.Ssos.System.heartbeat with
+    | Some s -> now - s.Ssx_devices.Heartbeat.tick < 8000
+    | None -> false
+  in
+  let layers =
+    [ { Ssx_stab.Composition.name = "processor executing";
+        safe = (fun m -> not (Ssx.Machine.cpu m).Ssx.Cpu.halted) };
+      { Ssx_stab.Composition.name = "operating system legal (heartbeat fresh)";
+        safe = heartbeat_fresh };
+      { Ssx_stab.Composition.name = "application legitimate (one token)";
+        safe = (fun _ -> Ssos_algorithms.Token_ring.legitimate ring) } ]
+  in
+  let observations =
+    Ssx_stab.Composition.observe machine ~layers ~ticks:600_000
+  in
+  let rows =
+    List.map
+      (fun o ->
+        [ o.Ssx_stab.Composition.layer_name;
+          (match o.Ssx_stab.Composition.stabilized_at with
+          | Some t -> Table.cell_int t
+          | None -> "never") ])
+      observations
+    @ [ [ "layering respected (lower before upper)";
+          (if Ssx_stab.Composition.respects_layering observations then "yes"
+           else "no") ] ]
+  in
+  { Table.id = "T10";
+    title = "Layered stabilization: processor -> OS -> application";
+    note =
+      "The composition argument of section 1: once the processor executes, \
+       the OS stabilizes, and then the (self-stabilizing) application - \
+       Dijkstra's token ring driven by OS progress - stabilizes.";
+    header = [ "layer"; "stabilized at tick" ];
+    rows }
+
+(* ---------------------------------------------------------------- T11 *)
+
+let t11_token_ring_os ?(seed = 11L) ?(trials = 15) () =
+  let row n =
+    let recovered = ref 0 and times = ref [] in
+    for i = 0 to trials - 1 do
+      let sched = Ssos.Token_os.build ~n () in
+      let machine = sched.Ssos.Sched.machine in
+      let rng = Ssx_faults.Rng.create (Runner.trial_seed seed (i + (n * 1000))) in
+      Ssx.Machine.run machine ~ticks:150_000;
+      (* Joint corruption of every layer: processor registers, scheduler
+         soft state, process code/data, and the ring's shared counters. *)
+      ignore
+        (Ssx_faults.Injector.inject_now (Ssos.Sched.fault_system sched) ~rng
+           ~space:(Ssos.Sched.fault_space sched) 20);
+      for m = 0 to n - 1 do
+        Ssos.Token_os.corrupt_state sched m (Ssx_faults.Rng.int rng Ssos.Token_os.k)
+      done;
+      let start = Ssx.Machine.ticks machine in
+      (* Converged = the ring is legitimate and stays so for a full
+         scheduler rotation. *)
+      let rotations_ticks = 4 * n * Ssos.Sched.default_watchdog_period in
+      let rec settle deadline =
+        match Ssos.Token_os.run_until_legitimate sched ~limit:deadline with
+        | None -> None
+        | Some _ ->
+          let at = Ssx.Machine.ticks machine in
+          let stayed = ref true in
+          for _ = 1 to rotations_ticks do
+            ignore (Ssx.Machine.tick machine);
+            if not (Ssos.Token_os.legitimate sched) then stayed := false
+          done;
+          if !stayed then Some (at - start)
+          else if Ssx.Machine.ticks machine - start > 2_000_000 then None
+          else settle deadline
+      in
+      match settle 2_000_000 with
+      | Some t ->
+        incr recovered;
+        times := t :: !times
+      | None -> ()
+    done;
+    let mean =
+      match !times with
+      | [] -> None
+      | ts ->
+        Some
+          (float_of_int (List.fold_left ( + ) 0 ts) /. float_of_int (List.length ts))
+    in
+    [ Printf.sprintf "%d ring machines on the tiny OS" n;
+      Table.cell_rate !recovered trials;
+      Table.cell_opt_float ~decimals:0 mean ]
+  in
+  { Table.id = "T11";
+    title = "Dijkstra's token ring as guest processes (three-layer composition)";
+    note =
+      "Machine-level stabilization preservation: processor, scheduler state \
+       and the ring's shared counters are corrupted together; recovery = \
+       exactly one privilege again, stable for a full scheduler rotation.";
+    header = [ "configuration"; "recovered"; "mean rec (ticks)" ];
+    rows = [ row 2; row 4; row 8 ] }
+
+(* ---------------------------------------------------------------- T12 *)
+
+let t12_soft_error_rates ?(seed = 12L) ?(trials = 3) () =
+  let horizon = 1_000_000 in
+  let clean_beats build =
+    let system = build () in
+    Ssos.System.run system ~ticks:horizon;
+    max 1 (Ssx_devices.Heartbeat.count system.Ssos.System.heartbeat)
+  in
+  let designs =
+    [ ("no recovery", (fun () -> Ssos.Baselines.none ~guest:(Ssos.Guest.heartbeat_kernel ()) ()));
+      ("s3 reinstall+restart", fun () -> Ssos.Reinstall.build ());
+      ("s4 monitor+repair", fun () -> (Ssos.Monitor.build ()).Ssos.Monitor.system) ]
+  in
+  let baselines = List.map (fun (name, build) -> (name, clean_beats build)) designs in
+  let availability build baseline rate trial =
+    let system = build () in
+    let rng = Ssx_faults.Rng.create (Runner.trial_seed seed trial) in
+    ignore
+      (Ssx_faults.Injector.attach
+         (Ssos.System.fault_system system)
+         ~rng ~space:Ssos.System.default_fault_space
+         ~schedule:
+           (Ssx_faults.Injector.Poisson { rate; start_tick = 0; stop_tick = horizon }));
+    Ssos.System.run system ~ticks:horizon;
+    float_of_int (Ssx_devices.Heartbeat.count system.Ssos.System.heartbeat)
+    /. float_of_int baseline
+  in
+  let rows =
+    List.concat_map
+      (fun rate ->
+        List.map
+          (fun (name, build) ->
+            let baseline = List.assoc name baselines in
+            let mean =
+              List.fold_left
+                (fun acc trial -> acc +. availability build baseline rate trial)
+                0.0
+                (List.init trials Fun.id)
+              /. float_of_int trials
+            in
+            [ Printf.sprintf "%.0e" rate; name;
+              Printf.sprintf "%.1f%%" (100.0 *. mean) ])
+          designs)
+      [ 1e-6; 5e-6; 2e-5; 1e-4 ]
+  in
+  { Table.id = "T12";
+    title = "Availability under continuous soft-error rates";
+    note =
+      "The soft-error motivation of section 1 [32]: Poisson faults over the \
+       full soft state for 1M ticks; availability = useful work relative to \
+       a fault-free run of the same design.";
+    header = [ "rate/tick"; "design"; "availability" ];
+    rows }
+
+(* ---------------------------------------------------------------- T13 *)
+
+let t13_exhaustive_sweeps ?(seed = 13L) () =
+  ignore seed;
+  (* Sweep 1: the primitive scheduler from EVERY instruction-pointer
+     value (cs fixed at the ROM segment).  Self-stabilization quantifies
+     over all states; here we enumerate one whole dimension instead of
+     sampling it. *)
+  let prim_total = 0x10000 and prim_stride = 1 in
+  let prim_failures = ref 0 in
+  let round_bound = 4 * Ssos.Primitive_sched.region_size in
+  (* One machine serves the whole sweep: only the control state is the
+     experiment's variable, and process data carries over harmlessly
+     (their counters simply keep growing). *)
+  let sched = Ssos.Primitive_sched.build () in
+  let machine = sched.Ssos.Primitive_sched.machine in
+  let regs = (Ssx.Machine.cpu machine).Ssx.Cpu.regs in
+  let ip = ref 0 in
+  while !ip < prim_total do
+    regs.Ssx.Registers.cs <- Ssos.Layout.rom_segment;
+    regs.Ssx.Registers.ip <- !ip;
+    let before =
+      Array.map Ssx_devices.Heartbeat.count sched.Ssos.Primitive_sched.heartbeats
+    in
+    let all_beat () =
+      Array.for_all2
+        (fun hb b -> Ssx_devices.Heartbeat.count hb > b)
+        sched.Ssos.Primitive_sched.heartbeats before
+    in
+    (match Ssx.Machine.run_until machine ~limit:round_bound (fun _ -> all_beat ()) with
+    | Some _ -> ()
+    | None -> incr prim_failures);
+    Array.iter Ssx_devices.Heartbeat.clear sched.Ssos.Primitive_sched.heartbeats;
+    ip := !ip + prim_stride
+  done;
+  (* Sweep 2: every word of the section 5.2 scheduler's soft state
+     (process table, index, stack frame area), each set to each of a set
+     of adversarial values. *)
+  let sched_values = [ 0x0000; 0x0001; 0x00FF; 0x2100; 0x8000; 0xFFFF ] in
+  let sched_runs = ref 0 and sched_failures = ref 0 in
+  let n = 4 in
+  let word_addrs =
+    List.init (n * 13) (fun i -> Ssos.Sched.process_record_addr 0 + (2 * i))
+    @ [ Ssos.Sched.process_index_addr ]
+    @ List.init 6 (fun i ->
+          Ssx.Addr.physical ~seg:Ssos.Layout.sched_stack_segment
+            ~off:(Ssos.Layout.sched_stack_top - 6 + (2 * i)))
+  in
+  List.iter
+    (fun addr ->
+      List.iter
+        (fun value ->
+          incr sched_runs;
+          let sched = Ssos.Sched.build ~n () in
+          let machine = sched.Ssos.Sched.machine in
+          Ssx.Machine.run machine ~ticks:100_000;
+          Ssx.Memory.write_word (Ssx.Machine.memory machine) addr value;
+          let before =
+            Array.map Ssx_devices.Heartbeat.count sched.Ssos.Sched.heartbeats
+          in
+          let recovered () =
+            Array.for_all2
+              (fun hb b -> Ssx_devices.Heartbeat.count hb > b + 1)
+              sched.Ssos.Sched.heartbeats before
+          in
+          match
+            Ssx.Machine.run_until machine
+              ~limit:(3 * n * Ssos.Sched.default_watchdog_period)
+              (fun _ -> recovered ())
+          with
+          | Some _ -> ()
+          | None -> incr sched_failures)
+        sched_values)
+    word_addrs;
+  (* Sweep 3: dense single-byte corruption of the running OS image under
+     the Figure 1 design (every 4th offset, forced to 0xFF). *)
+  let reinstall_runs = ref 0 and reinstall_failures = ref 0 in
+  let spec = Ssos.Reinstall.weak_spec ~window:10_000 () in
+  let offset = ref 0 in
+  while !offset < Ssos.Layout.os_image_size do
+    incr reinstall_runs;
+    let system = Ssos.Reinstall.build () in
+    Ssos.System.run system ~ticks:10_000;
+    Ssx.Memory.write_byte
+      (Ssx.Machine.memory system.Ssos.System.machine)
+      ((Ssos.Layout.os_segment lsl 4) + !offset)
+      0xFF;
+    Ssos.System.run system ~ticks:120_000;
+    let verdict =
+      Ssx_stab.Convergence.judge ~spec
+        ~samples:(Ssx_devices.Heartbeat.samples system.Ssos.System.heartbeat)
+        ~end_tick:(Ssx.Machine.ticks system.Ssos.System.machine)
+    in
+    if not (Ssx_stab.Convergence.converged verdict) then incr reinstall_failures;
+    offset := !offset + 4
+  done;
+  { Table.id = "T13";
+    title = "Exhaustive state-space sweeps (no sampling)";
+    note =
+      "Self-stabilization quantifies over ALL states. Where a dimension is \
+       small enough we enumerate it outright: every instruction-pointer \
+       value for the 5.1 scheduler, every soft-state word of the 5.2 \
+       scheduler against six adversarial values, and a dense (stride 4) \
+       single-byte corruption sweep of the running OS image under Figure 1.";
+    header = [ "sweep"; "cases"; "failures" ];
+    rows =
+      [ [ "primitive scheduler: all 65536 ip values";
+          Table.cell_int (prim_total / prim_stride);
+          Table.cell_int !prim_failures ];
+        [ "5.2 scheduler: every soft-state word x 6 values";
+          Table.cell_int !sched_runs;
+          Table.cell_int !sched_failures ];
+        [ "figure 1: OS image byte -> 0xFF, stride 4";
+          Table.cell_int !reinstall_runs;
+          Table.cell_int !reinstall_failures ] ] }
+
+let all =
+  [ ("T1", fun () -> t1_reinstall_recovery ());
+    ("T2", fun () -> t2_lemma_bounds ());
+    ("T3", fun () -> t3_approach_comparison ());
+    ("T4", fun () -> t4_period_sweep ());
+    ("T5", fun () -> t5_primitive_fairness ());
+    ("T6", fun () -> t6_sched_stabilization ());
+    ("T7", fun () -> t7_ablations ());
+    ("T8", fun () -> t8_monitor_coverage ());
+    ("T9", fun () -> t9_weak_vs_strict ());
+    ("T10", fun () -> t10_composition ());
+    ("T11", fun () -> t11_token_ring_os ());
+    ("T12", fun () -> t12_soft_error_rates ());
+    ("T13", fun () -> t13_exhaustive_sweeps ()) ]
+
+let find id =
+  let id = String.uppercase_ascii id in
+  List.assoc_opt id all

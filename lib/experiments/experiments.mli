@@ -1,0 +1,68 @@
+(** The evaluation suite.
+
+    The paper's own evaluation is qualitative (§3: RAM corrupted under
+    an emulator, stabilization observed) and its figures are code
+    listings.  Each table here quantifies one of the paper's claims;
+    EXPERIMENTS.md records the mapping and the measured outcomes.
+
+    All tables are deterministic functions of their [seed]. *)
+
+val t1_reinstall_recovery : ?seed:int64 -> ?trials:int -> unit -> Table.t
+(** E1 — §3 Bochs experiment / Theorem 3.4: recovery rate and time of
+    reinstall-and-restart vs fault-burst size. *)
+
+val t2_lemma_bounds : ?seed:int64 -> ?trials:int -> unit -> Table.t
+(** E2 — Lemmas 3.1–3.3: from arbitrary configurations, ticks until the
+    NMI handler entry and until the OS restarts, against the theoretical
+    bounds. *)
+
+val t3_approach_comparison : ?seed:int64 -> ?trials:int -> unit -> Table.t
+(** E3 — baselines vs the paper's three designs on identical fault
+    campaigns. *)
+
+val t4_period_sweep : ?seed:int64 -> ?trials:int -> unit -> Table.t
+(** E4 — availability / recovery-latency trade-off vs watchdog period. *)
+
+val t5_primitive_fairness : ?seed:int64 -> ?trials:int -> unit -> Table.t
+(** E5 — Theorem 5.1: fairness and convergence of the primitive
+    scheduler. *)
+
+val t6_sched_stabilization : ?seed:int64 -> ?trials:int -> unit -> Table.t
+(** E6 — Lemmas 5.2–5.4 / Theorem 5.5: the self-stabilizing scheduler
+    under increasing fault bursts. *)
+
+val t7_ablations : ?seed:int64 -> ?trials:int -> unit -> Table.t
+(** E7 — design-choice ablations: cs validation, ip masking, the NMI
+    counter, the hardwired NMI vector. *)
+
+val t8_monitor_coverage : ?seed:int64 -> ?trials:int -> unit -> Table.t
+(** E8 — §4 predicate monitoring: detection and repair by fault class. *)
+
+val t9_weak_vs_strict : ?seed:int64 -> unit -> Table.t
+(** E9 — the weak/strong stabilization distinction of §2: which designs
+    satisfy which legality notion on fault-free runs. *)
+
+val t10_composition : ?seed:int64 -> unit -> Table.t
+(** E10 — layered stabilization (processor -> OS -> application) after
+    the fair-composition argument in §1. *)
+
+val t11_token_ring_os : ?seed:int64 -> ?trials:int -> unit -> Table.t
+(** E11 — Dijkstra's token ring as guest processes on the §5.2
+    scheduler: machine-level stabilization preservation and the full
+    three-layer composition. *)
+
+val t12_soft_error_rates : ?seed:int64 -> ?trials:int -> unit -> Table.t
+(** E12 — availability under continuous Poisson soft-error rates, the
+    fault model of §1's motivation. *)
+
+val t13_exhaustive_sweeps : ?seed:int64 -> unit -> Table.t
+(** E13 — exhaustive (not sampled) sweeps: every instruction-pointer
+    value under the §5.1 scheduler, every soft-state word of the §5.2
+    scheduler against adversarial values, and a dense byte-corruption
+    sweep of the running image under Figure 1. *)
+
+val all : (string * (unit -> Table.t)) list
+(** [(id, runner)] for every table, in order. *)
+
+val find : string -> (unit -> Table.t) option
+(** Case-insensitive lookup by id ("t1" … "t13"). *)

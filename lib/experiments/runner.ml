@@ -1,0 +1,127 @@
+type outcome = {
+  recovered : bool;
+  recovery_ticks : int option;
+}
+
+type summary = {
+  trials : int;
+  recoveries : int;
+  mean_recovery : float option;
+  max_recovery : int option;
+}
+
+let summarize outcomes =
+  let trials = List.length outcomes in
+  let recovered = List.filter (fun o -> o.recovered) outcomes in
+  let times = List.filter_map (fun o -> o.recovery_ticks) recovered in
+  let mean_recovery =
+    match times with
+    | [] -> None
+    | times ->
+      Some
+        (float_of_int (List.fold_left ( + ) 0 times)
+        /. float_of_int (List.length times))
+  in
+  let max_recovery =
+    match times with [] -> None | t :: rest -> Some (List.fold_left max t rest)
+  in
+  { trials; recoveries = List.length recovered; mean_recovery; max_recovery }
+
+let trial_seed master i =
+  (* splitmix-style derivation keeps trials independent. *)
+  let rng = Ssx_faults.Rng.create (Int64.add master (Int64.of_int (i * 1337))) in
+  Ssx_faults.Rng.next_int64 rng
+
+let heartbeat_trial ~build ~space ~spec ~burst ~warmup ~horizon ~seed =
+  let system = build () in
+  let rng = Ssx_faults.Rng.create seed in
+  Ssos.System.run system ~ticks:warmup;
+  ignore
+    (Ssx_faults.Injector.inject_now (Ssos.System.fault_system system) ~rng ~space
+       burst);
+  Ssos.System.run system ~ticks:horizon;
+  let end_tick = Ssx.Machine.ticks system.Ssos.System.machine in
+  let verdict =
+    Ssx_stab.Convergence.judge ~spec
+      ~samples:(Ssx_devices.Heartbeat.samples system.Ssos.System.heartbeat)
+      ~end_tick
+  in
+  { recovered = Ssx_stab.Convergence.converged verdict;
+    recovery_ticks = Ssx_stab.Convergence.recovery_time ~faults_end:warmup verdict }
+
+let heartbeat_campaign ~build ~space ~spec ~burst ?(warmup = 30_000)
+    ?(horizon = 400_000) ~trials ~seed () =
+  summarize
+    (List.init trials (fun i ->
+         heartbeat_trial ~build ~space ~spec ~burst ~warmup ~horizon
+           ~seed:(trial_seed seed i)))
+
+let sched_trial ~build ?space ~burst ~warmup ~horizon ~max_gap ~window ~seed () =
+  let sched = build () in
+  let space =
+    match space with Some s -> s | None -> Ssos.Sched.fault_space sched
+  in
+  let rng = Ssx_faults.Rng.create seed in
+  Ssx.Machine.run sched.Ssos.Sched.machine ~ticks:warmup;
+  ignore
+    (Ssx_faults.Injector.inject_now (Ssos.Sched.fault_system sched) ~rng ~space
+       burst);
+  Ssx.Machine.run sched.Ssos.Sched.machine ~ticks:horizon;
+  let end_tick = Ssx.Machine.ticks sched.Ssos.Sched.machine in
+  let spec = { (Ssx_stab.Convergence.counter_spec ()) with max_gap; window } in
+  let verdicts =
+    Array.to_list
+      (Array.map
+         (fun hb ->
+           Ssx_stab.Convergence.judge ~spec
+             ~samples:(Ssx_devices.Heartbeat.samples hb)
+             ~end_tick)
+         sched.Ssos.Sched.heartbeats)
+  in
+  let recovered = List.for_all Ssx_stab.Convergence.converged verdicts in
+  let recovery_ticks =
+    if not recovered then None
+    else
+      (* The system has recovered once its slowest process has. *)
+      List.fold_left
+        (fun acc verdict ->
+          match
+            (acc, Ssx_stab.Convergence.recovery_time ~faults_end:warmup verdict)
+          with
+          | Some a, Some b -> Some (max a b)
+          | None, some | some, None -> some)
+        None verdicts
+  in
+  { recovered; recovery_ticks }
+
+let sched_campaign ~build ?space ~burst ?(warmup = 100_000)
+    ?(horizon = 600_000) ?(max_gap = 100_000) ?(window = 150_000) ~trials ~seed
+    () =
+  summarize
+    (List.init trials (fun i ->
+         sched_trial ~build ?space ~burst ~warmup ~horizon ~max_gap ~window
+           ~seed:(trial_seed seed i) ()))
+
+let scramble_processor rng system =
+  let machine = system.Ssos.System.machine in
+  let cpu = Ssx.Machine.cpu machine in
+  let regs = cpu.Ssx.Cpu.regs in
+  let word () = Ssx_faults.Rng.int rng 0x10000 in
+  List.iter (fun r -> Ssx.Registers.set16 regs r (word ())) Ssx.Registers.all_reg16;
+  List.iter (fun r -> Ssx.Registers.set_sreg regs r (word ())) Ssx.Registers.all_sreg;
+  regs.Ssx.Registers.ip <- word ();
+  regs.Ssx.Registers.psw <- word ();
+  regs.Ssx.Registers.nmi_counter <-
+    Ssx_faults.Rng.int rng (cpu.Ssx.Cpu.config.Ssx.Cpu.nmi_counter_max + 1);
+  cpu.Ssx.Cpu.in_nmi <- Ssx_faults.Rng.bool rng;
+  cpu.Ssx.Cpu.halted <- Ssx_faults.Rng.bool rng;
+  (match system.Ssos.System.watchdog with
+  | Some wd ->
+    Ssx_devices.Watchdog.corrupt wd (Ssx_faults.Rng.int rng 0x1000000)
+  | None -> ());
+  (* Arbitrary guest RAM. *)
+  let mem = Ssx.Machine.memory machine in
+  let base = Ssos.Layout.os_segment lsl 4 in
+  for i = 0 to Ssos.Layout.os_image_size - 1 do
+    Ssx.Memory.write_byte mem (base + i) (Ssx_faults.Rng.int rng 256)
+  done

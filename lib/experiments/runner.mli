@@ -1,0 +1,80 @@
+(** Shared campaign machinery for the experiments.
+
+    A campaign runs many independent trials of the same scenario, each
+    derived deterministically from the master seed: warm the system up,
+    inject a burst of random faults, run a recovery horizon, and judge
+    the observation trace against a legality specification. *)
+
+type outcome = {
+  recovered : bool;
+  recovery_ticks : int option;
+      (** Ticks from the end of injection to the start of the final
+          legal suffix ([Some 0] when behaviour never broke). *)
+}
+
+type summary = {
+  trials : int;
+  recoveries : int;
+  mean_recovery : float option;  (** over recovered trials *)
+  max_recovery : int option;
+}
+
+val summarize : outcome list -> summary
+
+(** One trial over a heartbeat-observed system. *)
+val heartbeat_trial :
+  build:(unit -> Ssos.System.t) ->
+  space:Ssx_faults.Fault.space ->
+  spec:Ssx_stab.Convergence.heartbeat_spec ->
+  burst:int ->
+  warmup:int ->
+  horizon:int ->
+  seed:int64 ->
+  outcome
+
+val heartbeat_campaign :
+  build:(unit -> Ssos.System.t) ->
+  space:Ssx_faults.Fault.space ->
+  spec:Ssx_stab.Convergence.heartbeat_spec ->
+  burst:int ->
+  ?warmup:int ->
+  ?horizon:int ->
+  trials:int ->
+  seed:int64 ->
+  unit ->
+  summary
+
+(** One trial over a §5.2 tiny-OS system: every process's private
+    heartbeat stream must converge to its strict counter spec. *)
+val sched_trial :
+  build:(unit -> Ssos.Sched.t) ->
+  ?space:Ssx_faults.Fault.space ->
+  burst:int ->
+  warmup:int ->
+  horizon:int ->
+  max_gap:int ->
+  window:int ->
+  seed:int64 ->
+  unit ->
+  outcome
+
+val sched_campaign :
+  build:(unit -> Ssos.Sched.t) ->
+  ?space:Ssx_faults.Fault.space ->
+  burst:int ->
+  ?warmup:int ->
+  ?horizon:int ->
+  ?max_gap:int ->
+  ?window:int ->
+  trials:int ->
+  seed:int64 ->
+  unit ->
+  summary
+
+val trial_seed : int64 -> int -> int64
+(** Derive the seed of trial [i] from the master seed. *)
+
+val scramble_processor : Ssx_faults.Rng.t -> Ssos.System.t -> unit
+(** Assign arbitrary values to every soft CPU register, the halt flag,
+    the NMI machinery, the watchdog and the guest RAM — an arbitrary
+    initial configuration in the paper's sense. *)

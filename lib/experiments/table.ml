@@ -1,0 +1,48 @@
+type t = {
+  id : string;
+  title : string;
+  note : string;
+  header : string list;
+  rows : string list list;
+}
+
+let pp ppf table =
+  let all = table.header :: table.rows in
+  let columns =
+    List.fold_left (fun acc row -> max acc (List.length row)) 0 all
+  in
+  let width col =
+    List.fold_left
+      (fun acc row ->
+        match List.nth_opt row col with
+        | Some cell -> max acc (String.length cell)
+        | None -> acc)
+      0 all
+  in
+  let widths = List.init columns width in
+  let render row =
+    String.concat "  "
+      (List.mapi
+         (fun col cell ->
+           let w = List.nth widths col in
+           cell ^ String.make (max 0 (w - String.length cell)) ' ')
+         (row @ List.init (max 0 (columns - List.length row)) (fun _ -> "")))
+  in
+  Format.fprintf ppf "@[<v>== %s: %s ==@,%s@," table.id table.title table.note;
+  Format.fprintf ppf "%s@," (render table.header);
+  Format.fprintf ppf "%s@,"
+    (String.concat "  "
+       (List.map (fun w -> String.make w '-') widths));
+  List.iter (fun row -> Format.fprintf ppf "%s@," (render row)) table.rows;
+  Format.fprintf ppf "@]"
+
+let cell_int v = string_of_int v
+let cell_float ?(decimals = 1) v = Printf.sprintf "%.*f" decimals v
+
+let cell_rate num den =
+  if den = 0 then "-"
+  else Printf.sprintf "%d/%d (%d%%)" num den (100 * num / den)
+
+let cell_opt_float ?(decimals = 1) = function
+  | None -> "-"
+  | Some v -> Printf.sprintf "%.*f" decimals v

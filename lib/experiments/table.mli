@@ -1,0 +1,20 @@
+(** Result tables printed by the benchmark harness. *)
+
+type t = {
+  id : string;       (** e.g. "T3" *)
+  title : string;
+  note : string;     (** what the paper anchors this table to *)
+  header : string list;
+  rows : string list list;
+}
+
+val pp : Format.formatter -> t -> unit
+(** Render with aligned columns. *)
+
+val cell_int : int -> string
+val cell_float : ?decimals:int -> float -> string
+val cell_rate : int -> int -> string
+(** ["13/15 (87%)"]. *)
+
+val cell_opt_float : ?decimals:int -> float option -> string
+(** ["-"] for [None]. *)

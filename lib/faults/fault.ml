@@ -1,0 +1,145 @@
+type t =
+  | Ram_bit_flip of { addr : int; bit : int }
+  | Ram_byte of { addr : int; value : int }
+  | Reg16 of Ssx.Registers.reg16 * int
+  | Sreg of Ssx.Registers.sreg * int
+  | Ip of int
+  | Psw of int
+  | Nmi_counter of int
+  | Nmi_latch of bool
+  | Idtr of int
+  | Spurious_halt
+  | Watchdog_counter of int
+
+type system = {
+  machine : Ssx.Machine.t;
+  watchdog : Ssx_devices.Watchdog.t option;
+}
+
+let apply { machine; watchdog } fault =
+  let cpu = Ssx.Machine.cpu machine in
+  let mem = Ssx.Machine.memory machine in
+  let regs = cpu.Ssx.Cpu.regs in
+  match fault with
+  | Ram_bit_flip { addr; bit } ->
+    if Ssx.Memory.is_protected mem addr then false
+    else begin
+      let old = Ssx.Memory.read_byte mem addr in
+      Ssx.Memory.write_byte mem addr (old lxor (1 lsl (bit land 7)));
+      true
+    end
+  | Ram_byte { addr; value } ->
+    if Ssx.Memory.is_protected mem addr then false
+    else begin
+      Ssx.Memory.write_byte mem addr value;
+      true
+    end
+  | Reg16 (reg, v) ->
+    Ssx.Registers.set16 regs reg v;
+    true
+  | Sreg (reg, v) ->
+    Ssx.Registers.set_sreg regs reg v;
+    true
+  | Ip v ->
+    regs.Ssx.Registers.ip <- Ssx.Word.mask v;
+    true
+  | Psw v ->
+    regs.Ssx.Registers.psw <- Ssx.Word.mask v;
+    true
+  | Nmi_counter v ->
+    regs.Ssx.Registers.nmi_counter <- max 0 v;
+    true
+  | Nmi_latch v ->
+    cpu.Ssx.Cpu.in_nmi <- v;
+    true
+  | Idtr v ->
+    cpu.Ssx.Cpu.idtr <- Ssx.Addr.mask v;
+    true
+  | Spurious_halt ->
+    cpu.Ssx.Cpu.halted <- true;
+    true
+  | Watchdog_counter v -> (
+    match watchdog with
+    | None -> false
+    | Some wd ->
+      Ssx_devices.Watchdog.corrupt wd v;
+      true)
+
+type space = {
+  ram_regions : (int * int) list;
+  registers : bool;
+  control_state : bool;
+  halt_faults : bool;
+  idtr_faults : bool;
+  watchdog_state : bool;
+}
+
+let default_space =
+  { ram_regions = [ (0, 0xF0000) ];
+    registers = true;
+    control_state = true;
+    halt_faults = true;
+    idtr_faults = true;
+    watchdog_state = true }
+
+let random_ram_fault rng space =
+  let regions = match space.ram_regions with
+    | [] -> [ (0, 0xF0000) ]
+    | regions -> regions
+  in
+  let base, size = List.nth regions (Rng.int rng (List.length regions)) in
+  let addr = base + Rng.int rng (max 1 size) in
+  if Rng.bool rng then Ram_bit_flip { addr; bit = Rng.int rng 8 }
+  else Ram_byte { addr; value = Rng.int rng 256 }
+
+let random rng space =
+  let word () = Rng.int rng 0x10000 in
+  let classes =
+    (if space.registers then [ `Registers ] else [])
+    @ (if space.control_state then [ `Control ] else [])
+    @ (if space.watchdog_state then [ `Watchdog ] else [])
+  in
+  if classes = [] || Rng.float rng < 0.6 then random_ram_fault rng space
+  else
+    match List.nth classes (Rng.int rng (List.length classes)) with
+    | `Registers ->
+      let reg =
+        List.nth Ssx.Registers.all_reg16
+          (Rng.int rng (List.length Ssx.Registers.all_reg16))
+      in
+      Reg16 (reg, word ())
+    | `Control -> (
+      match Rng.int rng 6 with
+      | 0 -> Ip (word ())
+      | 1 -> Psw (word ())
+      | 2 ->
+        let sreg =
+          List.nth Ssx.Registers.all_sreg
+            (Rng.int rng (List.length Ssx.Registers.all_sreg))
+        in
+        Sreg (sreg, word ())
+      | 3 ->
+        if space.idtr_faults then Idtr (Rng.int rng Ssx.Addr.memory_size)
+        else Psw (word ())
+      | 4 -> if Rng.bool rng then Nmi_latch true else Nmi_counter (Rng.int rng 1_000_000)
+      | _ -> if space.halt_faults then Spurious_halt else Ip (word ()))
+    | `Watchdog -> Watchdog_counter (Rng.int rng 0x1000000)
+
+let pp ppf = function
+  | Ram_bit_flip { addr; bit } ->
+    Format.fprintf ppf "ram-bit-flip %a bit %d" Ssx.Addr.pp addr bit
+  | Ram_byte { addr; value } ->
+    Format.fprintf ppf "ram-byte %a <- 0x%02X" Ssx.Addr.pp addr value
+  | Reg16 (reg, v) ->
+    Format.fprintf ppf "reg %s <- 0x%04X" (Ssx.Registers.reg16_name reg) v
+  | Sreg (reg, v) ->
+    Format.fprintf ppf "sreg %s <- 0x%04X" (Ssx.Registers.sreg_name reg) v
+  | Ip v -> Format.fprintf ppf "ip <- 0x%04X" v
+  | Psw v -> Format.fprintf ppf "psw <- 0x%04X" v
+  | Nmi_counter v -> Format.fprintf ppf "nmi-counter <- %d" v
+  | Nmi_latch v -> Format.fprintf ppf "nmi-latch <- %b" v
+  | Idtr v -> Format.fprintf ppf "idtr <- %a" Ssx.Addr.pp v
+  | Spurious_halt -> Format.fprintf ppf "spurious halt"
+  | Watchdog_counter v -> Format.fprintf ppf "watchdog-counter <- %d" v
+
+let to_string fault = Format.asprintf "%a" pp fault

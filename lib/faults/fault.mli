@@ -1,0 +1,57 @@
+(** Transient-fault taxonomy.
+
+    The paper's fault model is the self-stabilization model: a transient
+    fault may assign {e arbitrary values to any soft state} — RAM
+    contents, registers, the flag word, the instruction pointer, the
+    IDTR, the NMI machinery, even the watchdog's countdown register —
+    while ROM content is assumed incorruptible (§2).  Each constructor
+    below is one such corruption. *)
+
+type t =
+  | Ram_bit_flip of { addr : int; bit : int }
+      (** A soft error: flip one bit of RAM ([bit] in 0–7). *)
+  | Ram_byte of { addr : int; value : int }
+  | Reg16 of Ssx.Registers.reg16 * int
+  | Sreg of Ssx.Registers.sreg * int
+  | Ip of int
+  | Psw of int
+  | Nmi_counter of int
+      (** Corrupt the paper's NMI countdown register. *)
+  | Nmi_latch of bool
+      (** Corrupt the conventional in-NMI latch (the "masked NMI" hazard
+          of §1 — only meaningful when the NMI counter is disabled). *)
+  | Idtr of int
+  | Spurious_halt
+  | Watchdog_counter of int
+
+type system = {
+  machine : Ssx.Machine.t;
+  watchdog : Ssx_devices.Watchdog.t option;
+}
+
+val apply : system -> t -> bool
+(** Apply a fault.  Returns [false] when the fault was physically
+    impossible (a write to ROM, or no watchdog present) and left the
+    system untouched. *)
+
+(** Where random faults may land. *)
+type space = {
+  ram_regions : (int * int) list;
+      (** [(base, size)] physical ranges for memory faults. *)
+  registers : bool;     (** general-purpose register corruption *)
+  control_state : bool; (** ip, psw, segment registers, idtr, nmi state *)
+  halt_faults : bool;   (** spurious transitions into the halted state *)
+  idtr_faults : bool;   (** IDTR corruption (§2 assumes a fixed IDTR; off honours that) *)
+  watchdog_state : bool;
+}
+
+val default_space : space
+(** Memory faults over all of RAM below the ROM (0xF0000), with
+    register, control and watchdog faults enabled. *)
+
+val random : Rng.t -> space -> t
+(** Draw a random fault: 60% memory, and the rest spread over the
+    enabled register/control/watchdog classes. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,60 @@
+type schedule =
+  | At of int list
+  | Burst of { at : int; count : int }
+  | Every of { period : int; start_tick : int; stop_tick : int }
+  | Poisson of { rate : float; start_tick : int; stop_tick : int }
+  | Nothing
+
+type t = {
+  system : Fault.system;
+  rng : Rng.t;
+  space : Fault.space;
+  schedule : schedule;
+  mutable log : (int * Fault.t) list;  (* newest first *)
+  mutable armed : bool;
+}
+
+let apply_random injector tick =
+  let fault = Fault.random injector.rng injector.space in
+  if Fault.apply injector.system fault then
+    injector.log <- (tick, fault) :: injector.log
+
+let faults_due injector tick =
+  match injector.schedule with
+  | Nothing -> 0
+  | At ticks -> List.length (List.filter (Int.equal tick) ticks)
+  | Burst { at; count } -> if tick = at then count else 0
+  | Every { period; start_tick; stop_tick } ->
+    if tick >= start_tick && tick <= stop_tick && (tick - start_tick) mod period = 0
+    then 1
+    else 0
+  | Poisson { rate; start_tick; stop_tick } ->
+    if tick >= start_tick && tick <= stop_tick && Rng.float injector.rng < rate
+    then 1
+    else 0
+
+let attach system ~rng ~space ~schedule =
+  let injector = { system; rng; space; schedule; log = []; armed = true } in
+  Ssx.Machine.on_event system.Fault.machine (fun machine _event ->
+      if injector.armed then begin
+        let tick = Ssx.Machine.ticks machine in
+        let due = faults_due injector tick in
+        for _ = 1 to due do
+          apply_random injector tick
+        done
+      end);
+  injector
+
+let injected injector = List.rev injector.log
+let injected_count injector = List.length injector.log
+let disarm injector = injector.armed <- false
+
+let inject_now system ~rng ~space n =
+  let rec loop k acc =
+    if k = 0 then List.rev acc
+    else
+      let fault = Fault.random rng space in
+      if Fault.apply system fault then loop (k - 1) (fault :: acc)
+      else loop k acc
+  in
+  loop n []

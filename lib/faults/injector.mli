@@ -1,0 +1,34 @@
+(** Fault-injection schedules.
+
+    An injector is attached to a machine as an event hook; it consults
+    its schedule on every tick and applies random faults drawn from a
+    {!Fault.space}.  All decisions come from the supplied {!Rng}, so a
+    campaign is a pure function of its seed. *)
+
+type schedule =
+  | At of int list
+      (** One random fault at each listed tick. *)
+  | Burst of { at : int; count : int }
+      (** [count] random faults at one tick — the paper's "any
+          combination of transient faults". *)
+  | Every of { period : int; start_tick : int; stop_tick : int }
+  | Poisson of { rate : float; start_tick : int; stop_tick : int }
+      (** Each tick in the window faults with probability [rate]. *)
+  | Nothing
+
+type t
+
+val attach :
+  Fault.system -> rng:Rng.t -> space:Fault.space -> schedule:schedule -> t
+(** Install the injector on the system's machine. *)
+
+val injected : t -> (int * Fault.t) list
+(** Faults applied so far, as [(tick, fault)], oldest first. *)
+
+val injected_count : t -> int
+
+val disarm : t -> unit
+(** Stop injecting (the hook stays registered but does nothing). *)
+
+val inject_now : Fault.system -> rng:Rng.t -> space:Fault.space -> int -> Fault.t list
+(** Immediately apply [n] random faults; returns those actually applied. *)

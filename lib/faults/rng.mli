@@ -1,0 +1,26 @@
+(** Deterministic pseudo-random numbers (splitmix64).
+
+    Every experiment in the repository draws its randomness from a
+    seeded generator so that each table is exactly reproducible from its
+    seed, with no dependence on the OCaml stdlib generator's version. *)
+
+type t
+
+val create : int64 -> t
+(** Seeded generator. *)
+
+val copy : t -> t
+
+val next_int64 : t -> int64
+(** Next 64 raw bits. *)
+
+val int : t -> int -> int
+(** [int t bound] uniform in [\[0, bound)]; [bound] must be positive. *)
+
+val bool : t -> bool
+
+val float : t -> float
+(** Uniform in [\[0, 1)]. *)
+
+val split : t -> t
+(** Independent child generator (for parallel sub-experiments). *)

@@ -1,0 +1,20 @@
+(** Physical addresses and real-mode segmentation.
+
+    SSX16 mirrors the Pentium real-address mode the paper assumes: a
+    physical address is 20 bits wide and is formed from a 16-bit segment
+    and a 16-bit offset as [segment * 16 + offset], wrapping at 1 MiB. *)
+
+val memory_size : int
+(** Total physical address space: 1 MiB. *)
+
+val mask : int -> int
+(** Truncate to 20 bits (wrap at [memory_size]). *)
+
+val physical : seg:Word.t -> off:Word.t -> int
+(** Real-mode address translation. *)
+
+val pp : Format.formatter -> int -> unit
+(** Render as a 5-digit hexadecimal physical address. *)
+
+val pp_seg_off : Format.formatter -> Word.t * Word.t -> unit
+(** Render as [seg:off]. *)

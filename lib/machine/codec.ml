@@ -1,0 +1,349 @@
+(* Opcode map (one byte each):
+     0x01-0x0E  mov family, lea, xchg
+     0x10-0x18  ALU (add adc sub sbb and or xor cmp test) + form byte
+     0x20-0x29  inc dec neg not shl shr mul8 mul16 div8 div16
+     0x30-0x36  push/pop family, pushf, popf
+     0x40-0x47  jmp, jmp far, call, ret, iret, int, loop
+     0x48-0x55  conditional jumps (cond index 0..13)
+     0x60-0x6A  string ops, rep prefix, in/out
+     0x70-0x77  nop hlt cli sti cld std clc stc;  0x90 nop
+   Memory-operand "mode" byte: bits 0-2 base register combination,
+   bits 3-5 segment override (0 = none, 1+sreg_index otherwise). *)
+
+let base_code = function
+  | Instruction.No_base -> 0
+  | Instruction.Base_bx -> 1
+  | Instruction.Base_si -> 2
+  | Instruction.Base_di -> 3
+  | Instruction.Base_bp -> 4
+  | Instruction.Base_bx_si -> 5
+  | Instruction.Base_bx_di -> 6
+
+let base_of_code = function
+  | 0 -> Some Instruction.No_base
+  | 1 -> Some Instruction.Base_bx
+  | 2 -> Some Instruction.Base_si
+  | 3 -> Some Instruction.Base_di
+  | 4 -> Some Instruction.Base_bp
+  | 5 -> Some Instruction.Base_bx_si
+  | 6 -> Some Instruction.Base_bx_di
+  | _ -> None
+
+let mode_byte { Instruction.seg_override; base; disp = _ } =
+  let seg =
+    match seg_override with
+    | None -> 0
+    | Some s -> 1 + Registers.sreg_index s
+  in
+  (seg lsl 3) lor base_code base
+
+let mem_of_mode mode disp =
+  match base_of_code (mode land 7) with
+  | None -> None
+  | Some base -> (
+    match (mode lsr 3) land 7 with
+    | 0 -> Some { Instruction.seg_override = None; base; disp }
+    | n -> (
+      match Registers.sreg_of_index (n - 1) with
+      | None -> None
+      | Some s -> Some { Instruction.seg_override = Some s; base; disp }))
+
+let split16 v = [ Word.low_byte v; Word.high_byte v ]
+
+let mem_bytes m = mode_byte m :: split16 m.Instruction.disp
+
+let alu_code = function
+  | Instruction.Add -> 0
+  | Instruction.Adc -> 1
+  | Instruction.Sub -> 2
+  | Instruction.Sbb -> 3
+  | Instruction.And -> 4
+  | Instruction.Or -> 5
+  | Instruction.Xor -> 6
+  | Instruction.Cmp -> 7
+  | Instruction.Test -> 8
+
+let alu_of_code = function
+  | 0 -> Some Instruction.Add
+  | 1 -> Some Instruction.Adc
+  | 2 -> Some Instruction.Sub
+  | 3 -> Some Instruction.Sbb
+  | 4 -> Some Instruction.And
+  | 5 -> Some Instruction.Or
+  | 6 -> Some Instruction.Xor
+  | 7 -> Some Instruction.Cmp
+  | 8 -> Some Instruction.Test
+  | _ -> None
+
+let cond_code c =
+  let rec index i = function
+    | [] -> assert false
+    | c' :: rest -> if c' = c then i else index (i + 1) rest
+  in
+  index 0 Instruction.all_conds
+
+let cond_of_code i = List.nth_opt Instruction.all_conds i
+
+let r16i = Registers.reg16_index
+let r8i = Registers.reg8_index
+let sri = Registers.sreg_index
+let pair a b = (a lsl 4) lor b
+
+let rec encode instr =
+  match instr with
+  | Instruction.Mov_r16_imm (r, v) -> 0x01 :: r16i r :: split16 v
+  | Instruction.Mov_r8_imm (r, v) -> [ 0x02; r8i r; v land 0xff ]
+  | Instruction.Mov_r16_r16 (d, s) -> [ 0x03; pair (r16i d) (r16i s) ]
+  | Instruction.Mov_sreg_r16 (d, s) -> [ 0x04; pair (sri d) (r16i s) ]
+  | Instruction.Mov_r16_sreg (d, s) -> [ 0x05; pair (r16i d) (sri s) ]
+  | Instruction.Mov_r16_mem (r, m) -> 0x06 :: r16i r :: mem_bytes m
+  | Instruction.Mov_mem_r16 (m, r) -> 0x07 :: r16i r :: mem_bytes m
+  | Instruction.Mov_mem_imm (m, v) -> (0x08 :: mem_bytes m) @ split16 v
+  | Instruction.Mov_r8_mem (r, m) -> 0x09 :: r8i r :: mem_bytes m
+  | Instruction.Mov_mem_r8 (m, r) -> 0x0A :: r8i r :: mem_bytes m
+  | Instruction.Mov_sreg_mem (s, m) -> 0x0B :: sri s :: mem_bytes m
+  | Instruction.Mov_mem_sreg (m, s) -> 0x0C :: sri s :: mem_bytes m
+  | Instruction.Lea (r, m) -> 0x0D :: r16i r :: mem_bytes m
+  | Instruction.Xchg (a, b) -> [ 0x0E; pair (r16i a) (r16i b) ]
+  | Instruction.Alu_r16_r16 (op, d, s) ->
+    [ 0x10 + alu_code op; 0; pair (r16i d) (r16i s) ]
+  | Instruction.Alu_r16_imm (op, d, v) ->
+    (0x10 + alu_code op) :: 1 :: r16i d :: split16 v
+  | Instruction.Alu_r16_mem (op, d, m) ->
+    (0x10 + alu_code op) :: 2 :: r16i d :: mem_bytes m
+  | Instruction.Alu_mem_r16 (op, m, s) ->
+    (0x10 + alu_code op) :: 3 :: r16i s :: mem_bytes m
+  | Instruction.Alu_r8_r8 (op, d, s) ->
+    [ 0x10 + alu_code op; 4; pair (r8i d) (r8i s) ]
+  | Instruction.Alu_r8_imm (op, d, v) ->
+    [ 0x10 + alu_code op; 5; r8i d; v land 0xff ]
+  | Instruction.Inc_r16 r -> [ 0x20; r16i r ]
+  | Instruction.Dec_r16 r -> [ 0x21; r16i r ]
+  | Instruction.Neg_r16 r -> [ 0x22; r16i r ]
+  | Instruction.Not_r16 r -> [ 0x23; r16i r ]
+  | Instruction.Shl_r16 (r, n) -> [ 0x24; r16i r; n land 0xf ]
+  | Instruction.Shr_r16 (r, n) -> [ 0x25; r16i r; n land 0xf ]
+  | Instruction.Mul_r8 r -> [ 0x26; r8i r ]
+  | Instruction.Mul_r16 r -> [ 0x27; r16i r ]
+  | Instruction.Div_r8 r -> [ 0x28; r8i r ]
+  | Instruction.Div_r16 r -> [ 0x29; r16i r ]
+  | Instruction.Push_r16 r -> [ 0x30; r16i r ]
+  | Instruction.Push_imm v -> 0x31 :: split16 v
+  | Instruction.Push_sreg s -> [ 0x32; sri s ]
+  | Instruction.Pop_r16 r -> [ 0x33; r16i r ]
+  | Instruction.Pop_sreg s -> [ 0x34; sri s ]
+  | Instruction.Pushf -> [ 0x35 ]
+  | Instruction.Popf -> [ 0x36 ]
+  | Instruction.Jmp t -> 0x40 :: split16 t
+  | Instruction.Jmp_far (seg, off) -> (0x41 :: split16 off) @ split16 seg
+  | Instruction.Call t -> 0x42 :: split16 t
+  | Instruction.Ret -> [ 0x43 ]
+  | Instruction.Iret -> [ 0x44 ]
+  | Instruction.Int n -> [ 0x45; n land 0xff ]
+  | Instruction.Loop t -> 0x46 :: split16 t
+  | Instruction.Jcc (c, t) -> (0x48 + cond_code c) :: split16 t
+  | Instruction.Movs Instruction.Byte -> [ 0x60 ]
+  | Instruction.Movs Instruction.Word_ -> [ 0x61 ]
+  | Instruction.Stos Instruction.Byte -> [ 0x62 ]
+  | Instruction.Stos Instruction.Word_ -> [ 0x63 ]
+  | Instruction.Lods Instruction.Byte -> [ 0x64 ]
+  | Instruction.Lods Instruction.Word_ -> [ 0x65 ]
+  | Instruction.Rep body -> 0x66 :: encode body
+  | Instruction.In_ (Instruction.Byte, port) -> [ 0x67; port land 0xff ]
+  | Instruction.In_ (Instruction.Word_, port) -> [ 0x68; port land 0xff ]
+  | Instruction.Out (port, Instruction.Byte) -> [ 0x69; port land 0xff ]
+  | Instruction.Out (port, Instruction.Word_) -> [ 0x6A; port land 0xff ]
+  | Instruction.Nop -> [ 0x70 ]
+  | Instruction.Hlt -> [ 0x71 ]
+  | Instruction.Cli -> [ 0x72 ]
+  | Instruction.Sti -> [ 0x73 ]
+  | Instruction.Cld -> [ 0x74 ]
+  | Instruction.Std -> [ 0x75 ]
+  | Instruction.Clc -> [ 0x76 ]
+  | Instruction.Stc -> [ 0x77 ]
+  | Instruction.Invalid b -> [ b land 0xff ]
+
+let encoded_length instr = List.length (encode instr)
+let max_length = 7
+
+let rec decode ~fetch ~pos =
+  let byte off = fetch (pos + off) land 0xff in
+  let word off = Word.of_bytes ~low:(byte off) ~high:(byte (off + 1)) in
+  let invalid () = (Instruction.Invalid (byte 0), 1) in
+  let with_reg16 k = match Registers.reg16_of_index (byte 1 land 7) with
+    | Some r -> k r
+    | None -> invalid ()
+  in
+  let with_reg8 k = match Registers.reg8_of_index (byte 1 land 7) with
+    | Some r -> k r
+    | None -> invalid ()
+  in
+  let with_sreg k = match Registers.sreg_of_index (byte 1 land 7) with
+    | Some s -> k s
+    | None -> invalid ()
+  in
+  (* [reg][mode][disp16] operand tail starting at offset 1 *)
+  let with_reg16_mem k =
+    match
+      ( Registers.reg16_of_index (byte 1 land 7),
+        mem_of_mode (byte 2) (word 3) )
+    with
+    | Some r, Some m -> (k r m, 5)
+    | _, _ -> invalid ()
+  in
+  let with_reg8_mem k =
+    match
+      (Registers.reg8_of_index (byte 1 land 7), mem_of_mode (byte 2) (word 3))
+    with
+    | Some r, Some m -> (k r m, 5)
+    | _, _ -> invalid ()
+  in
+  let with_sreg_mem k =
+    match
+      (Registers.sreg_of_index (byte 1 land 7), mem_of_mode (byte 2) (word 3))
+    with
+    | Some s, Some m -> (k s m, 5)
+    | _, _ -> invalid ()
+  in
+  let reg_pair16 k =
+    let b = byte 1 in
+    match
+      ( Registers.reg16_of_index ((b lsr 4) land 7),
+        Registers.reg16_of_index (b land 7) )
+    with
+    | Some d, Some s -> (k d s, 2)
+    | _, _ -> invalid ()
+  in
+  match byte 0 with
+  | 0x01 -> with_reg16 (fun r -> (Instruction.Mov_r16_imm (r, word 2), 4))
+  | 0x02 -> with_reg8 (fun r -> (Instruction.Mov_r8_imm (r, byte 2), 3))
+  | 0x03 -> reg_pair16 (fun d s -> Instruction.Mov_r16_r16 (d, s))
+  | 0x04 -> (
+    let b = byte 1 in
+    match
+      ( Registers.sreg_of_index ((b lsr 4) land 7),
+        Registers.reg16_of_index (b land 7) )
+    with
+    | Some d, Some s -> (Instruction.Mov_sreg_r16 (d, s), 2)
+    | _, _ -> invalid ())
+  | 0x05 -> (
+    let b = byte 1 in
+    match
+      ( Registers.reg16_of_index ((b lsr 4) land 7),
+        Registers.sreg_of_index (b land 7) )
+    with
+    | Some d, Some s -> (Instruction.Mov_r16_sreg (d, s), 2)
+    | _, _ -> invalid ())
+  | 0x06 -> with_reg16_mem (fun r m -> Instruction.Mov_r16_mem (r, m))
+  | 0x07 -> with_reg16_mem (fun r m -> Instruction.Mov_mem_r16 (m, r))
+  | 0x08 -> (
+    match mem_of_mode (byte 1) (word 2) with
+    | Some m -> (Instruction.Mov_mem_imm (m, word 4), 6)
+    | None -> invalid ())
+  | 0x09 -> with_reg8_mem (fun r m -> Instruction.Mov_r8_mem (r, m))
+  | 0x0A -> with_reg8_mem (fun r m -> Instruction.Mov_mem_r8 (m, r))
+  | 0x0B -> with_sreg_mem (fun s m -> Instruction.Mov_sreg_mem (s, m))
+  | 0x0C -> with_sreg_mem (fun s m -> Instruction.Mov_mem_sreg (m, s))
+  | 0x0D -> with_reg16_mem (fun r m -> Instruction.Lea (r, m))
+  | 0x0E -> reg_pair16 (fun a b -> Instruction.Xchg (a, b))
+  | op when op >= 0x10 && op <= 0x18 -> (
+    match alu_of_code (op - 0x10) with
+    | None -> invalid ()
+    | Some alu -> (
+      match byte 1 with
+      | 0 -> (
+        let b = byte 2 in
+        match
+          ( Registers.reg16_of_index ((b lsr 4) land 7),
+            Registers.reg16_of_index (b land 7) )
+        with
+        | Some d, Some s -> (Instruction.Alu_r16_r16 (alu, d, s), 3)
+        | _, _ -> invalid ())
+      | 1 -> (
+        match Registers.reg16_of_index (byte 2 land 7) with
+        | Some d -> (Instruction.Alu_r16_imm (alu, d, word 3), 5)
+        | None -> invalid ())
+      | 2 -> (
+        match
+          ( Registers.reg16_of_index (byte 2 land 7),
+            mem_of_mode (byte 3) (word 4) )
+        with
+        | Some d, Some m -> (Instruction.Alu_r16_mem (alu, d, m), 6)
+        | _, _ -> invalid ())
+      | 3 -> (
+        match
+          ( Registers.reg16_of_index (byte 2 land 7),
+            mem_of_mode (byte 3) (word 4) )
+        with
+        | Some s, Some m -> (Instruction.Alu_mem_r16 (alu, m, s), 6)
+        | _, _ -> invalid ())
+      | 4 -> (
+        let b = byte 2 in
+        match
+          ( Registers.reg8_of_index ((b lsr 4) land 7),
+            Registers.reg8_of_index (b land 7) )
+        with
+        | Some d, Some s -> (Instruction.Alu_r8_r8 (alu, d, s), 3)
+        | _, _ -> invalid ())
+      | 5 -> (
+        match Registers.reg8_of_index (byte 2 land 7) with
+        | Some d -> (Instruction.Alu_r8_imm (alu, d, byte 3), 4)
+        | None -> invalid ())
+      | _ -> invalid ()))
+  | 0x20 -> with_reg16 (fun r -> (Instruction.Inc_r16 r, 2))
+  | 0x21 -> with_reg16 (fun r -> (Instruction.Dec_r16 r, 2))
+  | 0x22 -> with_reg16 (fun r -> (Instruction.Neg_r16 r, 2))
+  | 0x23 -> with_reg16 (fun r -> (Instruction.Not_r16 r, 2))
+  | 0x24 -> with_reg16 (fun r -> (Instruction.Shl_r16 (r, byte 2 land 0xf), 3))
+  | 0x25 -> with_reg16 (fun r -> (Instruction.Shr_r16 (r, byte 2 land 0xf), 3))
+  | 0x26 -> with_reg8 (fun r -> (Instruction.Mul_r8 r, 2))
+  | 0x27 -> with_reg16 (fun r -> (Instruction.Mul_r16 r, 2))
+  | 0x28 -> with_reg8 (fun r -> (Instruction.Div_r8 r, 2))
+  | 0x29 -> with_reg16 (fun r -> (Instruction.Div_r16 r, 2))
+  | 0x30 -> with_reg16 (fun r -> (Instruction.Push_r16 r, 2))
+  | 0x31 -> (Instruction.Push_imm (word 1), 3)
+  | 0x32 -> with_sreg (fun s -> (Instruction.Push_sreg s, 2))
+  | 0x33 -> with_reg16 (fun r -> (Instruction.Pop_r16 r, 2))
+  | 0x34 -> with_sreg (fun s -> (Instruction.Pop_sreg s, 2))
+  | 0x35 -> (Instruction.Pushf, 1)
+  | 0x36 -> (Instruction.Popf, 1)
+  | 0x40 -> (Instruction.Jmp (word 1), 3)
+  | 0x41 -> (Instruction.Jmp_far (word 3, word 1), 5)
+  | 0x42 -> (Instruction.Call (word 1), 3)
+  | 0x43 -> (Instruction.Ret, 1)
+  | 0x44 -> (Instruction.Iret, 1)
+  | 0x45 -> (Instruction.Int (byte 1), 2)
+  | 0x46 -> (Instruction.Loop (word 1), 3)
+  | op when op >= 0x48 && op <= 0x55 -> (
+    match cond_of_code (op - 0x48) with
+    | Some c -> (Instruction.Jcc (c, word 1), 3)
+    | None -> invalid ())
+  | 0x60 -> (Instruction.Movs Instruction.Byte, 1)
+  | 0x61 -> (Instruction.Movs Instruction.Word_, 1)
+  | 0x62 -> (Instruction.Stos Instruction.Byte, 1)
+  | 0x63 -> (Instruction.Stos Instruction.Word_, 1)
+  | 0x64 -> (Instruction.Lods Instruction.Byte, 1)
+  | 0x65 -> (Instruction.Lods Instruction.Word_, 1)
+  | 0x66 -> (
+    let body, len = decode ~fetch ~pos:(pos + 1) in
+    match body with
+    | Instruction.Movs _ | Instruction.Stos _ | Instruction.Lods _ ->
+      (Instruction.Rep body, 1 + len)
+    | _ -> invalid ())
+  | 0x67 -> (Instruction.In_ (Instruction.Byte, byte 1), 2)
+  | 0x68 -> (Instruction.In_ (Instruction.Word_, byte 1), 2)
+  | 0x69 -> (Instruction.Out (byte 1, Instruction.Byte), 2)
+  | 0x6A -> (Instruction.Out (byte 1, Instruction.Word_), 2)
+  | 0x70 | 0x90 -> (Instruction.Nop, 1)
+  | 0x71 -> (Instruction.Hlt, 1)
+  | 0x72 -> (Instruction.Cli, 1)
+  | 0x73 -> (Instruction.Sti, 1)
+  | 0x74 -> (Instruction.Cld, 1)
+  | 0x75 -> (Instruction.Std, 1)
+  | 0x76 -> (Instruction.Clc, 1)
+  | 0x77 -> (Instruction.Stc, 1)
+  | _ -> invalid ()
+
+let decode_bytes s ~pos =
+  let fetch i = if i >= 0 && i < String.length s then Char.code s.[i] else 0 in
+  decode ~fetch ~pos

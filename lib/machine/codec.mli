@@ -1,0 +1,27 @@
+(** Binary encoding of SSX16 instructions.
+
+    Instructions occupy 1–6 bytes: one opcode byte followed by operand
+    bytes.  The encoding is dense enough that many random byte sequences
+    decode to executable instructions (mirroring the variable-length
+    hazard of IA-32 that §5.2 of the paper discusses), while genuinely
+    undecodable bytes yield {!Instruction.Invalid}, which the CPU turns
+    into an undefined-opcode exception through the IDT. *)
+
+val encode : Instruction.t -> int list
+(** Bytes of an instruction, opcode first. *)
+
+val encoded_length : Instruction.t -> int
+(** [List.length (encode i)], without building the list. *)
+
+val max_length : int
+(** Upper bound on instruction length (6 bytes; 7 for rep-prefixed). *)
+
+val decode : fetch:(int -> int) -> pos:int -> Instruction.t * int
+(** [decode ~fetch ~pos] decodes the instruction whose opcode byte is at
+    [fetch pos]; [fetch] receives byte offsets (the caller wraps them
+    into segment-relative fetches).  Returns the instruction and its
+    encoded length.  Never raises: unknown bytes decode to
+    [Invalid b] of length 1. *)
+
+val decode_bytes : string -> pos:int -> Instruction.t * int
+(** Convenience wrapper decoding from a byte string. *)

@@ -1,0 +1,101 @@
+(** The SSX16 processor.
+
+    Implements the paper's processor model (§2): a clock tick triggers a
+    processor step; the step is a transition function of the current
+    state and inputs.  The processor supports maskable interrupts (INTR,
+    gated by the interrupt flag), the non-maskable interrupt (NMI) and
+    exceptions, all dispatched through the interrupt descriptor table
+    addressed by the IDTR.
+
+    Two of the paper's proposed hardware augmentations are implemented
+    and individually switchable so that ablation experiments can
+    demonstrate their necessity:
+
+    - the {e NMI counter}: a countdown register decremented on every
+      clock tick; the NMI is accepted only when the counter is zero, the
+      counter is raised to its maximum when the NMI is taken and cleared
+      by [iret].  When disabled, the processor instead uses the
+      conventional "in-NMI until iret" latch whose corruption can mask
+      NMIs forever — the flaw the paper points out.
+    - a {e hardwired NMI vector}: the NMI handler address is read from a
+      fixed (ROM) IDT ignoring the corruptible IDTR. *)
+
+type nmi_dispatch =
+  | Hardwired_idt of int
+      (** Physical base of a fixed IDT used for NMI dispatch only. *)
+  | Via_idtr  (** Use the (corruptible) IDTR like any other vector. *)
+
+type config = {
+  nmi_counter_enabled : bool;
+  nmi_counter_max : int;
+      (** Chosen greater than the longest NMI-handler execution, per §2. *)
+  nmi_dispatch : nmi_dispatch;
+  reset_vector : Word.t * Word.t;  (** [(cs, ip)] loaded on reset. *)
+}
+
+val default_config : config
+(** NMI counter enabled with max 200000, hardwired IDT at 0xF0000,
+    reset vector F000:0000. *)
+
+type io = {
+  io_in : int -> Instruction.width -> int;
+      (** [io_in port width] — value read by [in]. *)
+  io_out : int -> Instruction.width -> int -> unit;
+      (** [io_out port width value] — effect of [out]. *)
+}
+
+type t = {
+  regs : Registers.t;
+  mem : Memory.t;
+  config : config;
+  mutable idtr : int;  (** IDT physical base; corruptible, as in §1. *)
+  mutable nmi_pin : bool;
+  mutable in_nmi : bool;
+      (** Conventional NMI latch, used when the counter is disabled. *)
+  mutable intr : int option;  (** Pending maskable interrupt vector. *)
+  mutable reset_pin : bool;
+  mutable halted : bool;
+  mutable io : io;
+  mutable steps : int;  (** Clock ticks executed so far. *)
+}
+
+(** What a single step did, for tracing and measurement. *)
+type event =
+  | Executed of Instruction.t
+  | Took_interrupt of { vector : int; nmi : bool }
+  | Took_exception of int
+  | Halted_idle
+  | Did_reset
+
+(** Vector numbers for machine exceptions (IA-32 numbering). *)
+val vec_divide_error : int
+
+val vec_nmi : int
+val vec_invalid_opcode : int
+
+val create : ?config:config -> Memory.t -> t
+(** Processor in its power-on state attached to [mem]. *)
+
+val reset : t -> unit
+(** Apply the reset sequence (also triggered by the reset pin). *)
+
+val raise_nmi : t -> unit
+(** Assert the NMI pin (edge-triggered; latched until accepted). *)
+
+val raise_intr : t -> int -> unit
+(** Request a maskable interrupt with the given vector. *)
+
+val step : t -> event
+(** Execute one clock tick: decrement the NMI counter, accept pending
+    interrupts, then fetch-decode-execute one instruction (or one
+    iteration of a [rep]-prefixed string instruction). *)
+
+val fetch_decode : t -> Instruction.t * int
+(** Decode the instruction at the current [cs:ip] without executing. *)
+
+val read_idt_entry : t -> base:int -> int -> Word.t * Word.t
+(** [(segment, offset)] of a vector's handler in the IDT at [base]. *)
+
+val in_nmi_state : t -> bool
+(** The paper's "nmi state": the NMI pin is set and the next step will
+    enter the NMI handler. *)

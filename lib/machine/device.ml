@@ -1,0 +1,3 @@
+type t = { name : string; tick : Cpu.t -> unit }
+
+let make ~name ~tick = { name; tick }

@@ -1,0 +1,13 @@
+(** Peripheral devices.
+
+    A device observes the clock: on every machine tick its [tick]
+    function runs before the CPU step and may assert interrupt pins or
+    mutate its own state.  Devices expose I/O ports through the machine's
+    port table (see {!Machine.register_port}). *)
+
+type t = {
+  name : string;
+  tick : Cpu.t -> unit;
+}
+
+val make : name:string -> tick:(Cpu.t -> unit) -> t

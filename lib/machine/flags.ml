@@ -1,0 +1,39 @@
+type t = Word.t
+
+type flag = Carry | Parity | Zero | Sign | Interrupt | Direction | Overflow
+
+let bit = function
+  | Carry -> 0
+  | Parity -> 2
+  | Zero -> 6
+  | Sign -> 7
+  | Interrupt -> 9
+  | Direction -> 10
+  | Overflow -> 11
+
+let get psw flag = psw land (1 lsl bit flag) <> 0
+
+let set psw flag value =
+  let m = 1 lsl bit flag in
+  if value then psw lor m else psw land lnot m land 0xffff
+
+let initial = 0
+
+let of_result psw result =
+  let psw = set psw Zero (result = 0) in
+  let psw = set psw Sign (Word.is_negative result) in
+  set psw Parity (Word.parity_even result)
+
+let of_result8 psw result =
+  let result = result land 0xff in
+  let psw = set psw Zero (result = 0) in
+  let psw = set psw Sign (result land 0x80 <> 0) in
+  set psw Parity (Word.parity_even result)
+
+let pp ppf psw =
+  let names =
+    [ (Carry, "CF"); (Parity, "PF"); (Zero, "ZF"); (Sign, "SF");
+      (Interrupt, "IF"); (Direction, "DF"); (Overflow, "OF") ]
+  in
+  let present = List.filter (fun (f, _) -> get psw f) names in
+  Format.fprintf ppf "[%s]" (String.concat " " (List.map snd present))

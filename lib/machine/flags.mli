@@ -1,0 +1,34 @@
+(** The processor status word (flag register).
+
+    The psw is stored as a plain 16-bit word so that it can be pushed,
+    popped and corrupted like any other state, exactly as the paper's
+    fault model requires.  Bit positions follow IA-32. *)
+
+type t = Word.t
+
+type flag =
+  | Carry      (** bit 0 *)
+  | Parity     (** bit 2 *)
+  | Zero       (** bit 6 *)
+  | Sign       (** bit 7 *)
+  | Interrupt  (** bit 9 — maskable-interrupt enable *)
+  | Direction  (** bit 10 — string-operation direction *)
+  | Overflow   (** bit 11 *)
+
+val bit : flag -> int
+(** Bit position of a flag. *)
+
+val get : t -> flag -> bool
+val set : t -> flag -> bool -> t
+
+val initial : t
+(** Power-on value: all arithmetic flags clear, interrupts disabled. *)
+
+val of_result : t -> Word.t -> t
+(** Update Zero/Sign/Parity from a 16-bit result, leaving other bits. *)
+
+val of_result8 : t -> int -> t
+(** Update Zero/Sign/Parity from an 8-bit result. *)
+
+val pp : Format.formatter -> t -> unit
+(** Symbolic rendering, e.g. [\[CF ZF IF\]]. *)

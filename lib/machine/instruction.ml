@@ -1,0 +1,197 @@
+type base =
+  | No_base
+  | Base_bx
+  | Base_si
+  | Base_di
+  | Base_bp
+  | Base_bx_si
+  | Base_bx_di
+
+type mem = {
+  seg_override : Registers.sreg option;
+  base : base;
+  disp : Word.t;
+}
+
+type alu_op = Add | Adc | Sub | Sbb | And | Or | Xor | Cmp | Test
+
+type cond = B | NB | BE | A | E | NE | L | GE | LE | G | S | NS | O | NO
+
+type width = Byte | Word_
+
+type t =
+  | Mov_r16_imm of Registers.reg16 * Word.t
+  | Mov_r8_imm of Registers.reg8 * int
+  | Mov_r16_r16 of Registers.reg16 * Registers.reg16
+  | Mov_sreg_r16 of Registers.sreg * Registers.reg16
+  | Mov_r16_sreg of Registers.reg16 * Registers.sreg
+  | Mov_r16_mem of Registers.reg16 * mem
+  | Mov_mem_r16 of mem * Registers.reg16
+  | Mov_mem_imm of mem * Word.t
+  | Mov_r8_mem of Registers.reg8 * mem
+  | Mov_mem_r8 of mem * Registers.reg8
+  | Mov_sreg_mem of Registers.sreg * mem
+  | Mov_mem_sreg of mem * Registers.sreg
+  | Lea of Registers.reg16 * mem
+  | Xchg of Registers.reg16 * Registers.reg16
+  | Alu_r16_r16 of alu_op * Registers.reg16 * Registers.reg16
+  | Alu_r16_imm of alu_op * Registers.reg16 * Word.t
+  | Alu_r16_mem of alu_op * Registers.reg16 * mem
+  | Alu_mem_r16 of alu_op * mem * Registers.reg16
+  | Alu_r8_r8 of alu_op * Registers.reg8 * Registers.reg8
+  | Alu_r8_imm of alu_op * Registers.reg8 * int
+  | Inc_r16 of Registers.reg16
+  | Dec_r16 of Registers.reg16
+  | Neg_r16 of Registers.reg16
+  | Not_r16 of Registers.reg16
+  | Shl_r16 of Registers.reg16 * int
+  | Shr_r16 of Registers.reg16 * int
+  | Mul_r8 of Registers.reg8
+  | Mul_r16 of Registers.reg16
+  | Div_r8 of Registers.reg8
+  | Div_r16 of Registers.reg16
+  | Push_r16 of Registers.reg16
+  | Push_imm of Word.t
+  | Push_sreg of Registers.sreg
+  | Pop_r16 of Registers.reg16
+  | Pop_sreg of Registers.sreg
+  | Pushf
+  | Popf
+  | Jmp of Word.t
+  | Jmp_far of Word.t * Word.t
+  | Jcc of cond * Word.t
+  | Call of Word.t
+  | Ret
+  | Iret
+  | Int of int
+  | Loop of Word.t
+  | Movs of width
+  | Stos of width
+  | Lods of width
+  | Rep of t
+  | In_ of width * int
+  | Out of int * width
+  | Hlt
+  | Nop
+  | Cli
+  | Sti
+  | Cld
+  | Std
+  | Clc
+  | Stc
+  | Invalid of int
+
+let equal (a : t) (b : t) = a = b
+
+let default_segment = function
+  | Base_bp -> Registers.SS
+  | No_base | Base_bx | Base_si | Base_di | Base_bx_si | Base_bx_di ->
+    Registers.DS
+
+let cond_name = function
+  | B -> "b" | NB -> "nb" | BE -> "be" | A -> "a" | E -> "e" | NE -> "ne"
+  | L -> "l" | GE -> "ge" | LE -> "le" | G -> "g" | S -> "s" | NS -> "ns"
+  | O -> "o" | NO -> "no"
+
+let all_conds = [ B; NB; BE; A; E; NE; L; GE; LE; G; S; NS; O; NO ]
+
+let cond_of_name name = List.find_opt (fun c -> cond_name c = name) all_conds
+
+let alu_name = function
+  | Add -> "add" | Adc -> "adc" | Sub -> "sub" | Sbb -> "sbb"
+  | And -> "and" | Or -> "or" | Xor -> "xor" | Cmp -> "cmp" | Test -> "test"
+
+let base_name = function
+  | No_base -> None
+  | Base_bx -> Some "bx"
+  | Base_si -> Some "si"
+  | Base_di -> Some "di"
+  | Base_bp -> Some "bp"
+  | Base_bx_si -> Some "bx+si"
+  | Base_bx_di -> Some "bx+di"
+
+let pp_mem ppf { seg_override; base; disp } =
+  let seg =
+    match seg_override with
+    | None -> ""
+    | Some s -> Registers.sreg_name s ^ ":"
+  in
+  match base_name base with
+  | None -> Format.fprintf ppf "[%s0x%04X]" seg disp
+  | Some b when disp = 0 -> Format.fprintf ppf "[%s%s]" seg b
+  | Some b -> Format.fprintf ppf "[%s%s+0x%04X]" seg b disp
+
+let r16 = Registers.reg16_name
+let r8 = Registers.reg8_name
+let sr = Registers.sreg_name
+
+let rec pp ppf instr =
+  let f fmt = Format.fprintf ppf fmt in
+  match instr with
+  | Mov_r16_imm (r, v) -> f "mov %s, 0x%04X" (r16 r) v
+  | Mov_r8_imm (r, v) -> f "mov %s, 0x%02X" (r8 r) v
+  | Mov_r16_r16 (d, s) -> f "mov %s, %s" (r16 d) (r16 s)
+  | Mov_sreg_r16 (d, s) -> f "mov %s, %s" (sr d) (r16 s)
+  | Mov_r16_sreg (d, s) -> f "mov %s, %s" (r16 d) (sr s)
+  | Mov_r16_mem (d, m) -> f "mov %s, %a" (r16 d) pp_mem m
+  | Mov_mem_r16 (m, s) -> f "mov word %a, %s" pp_mem m (r16 s)
+  | Mov_mem_imm (m, v) -> f "mov word %a, 0x%04X" pp_mem m v
+  | Mov_r8_mem (d, m) -> f "mov %s, %a" (r8 d) pp_mem m
+  | Mov_mem_r8 (m, s) -> f "mov byte %a, %s" pp_mem m (r8 s)
+  | Mov_sreg_mem (d, m) -> f "mov %s, %a" (sr d) pp_mem m
+  | Mov_mem_sreg (m, s) -> f "mov word %a, %s" pp_mem m (sr s)
+  | Lea (d, m) -> f "lea %s, %a" (r16 d) pp_mem m
+  | Xchg (a, b) -> f "xchg %s, %s" (r16 a) (r16 b)
+  | Alu_r16_r16 (op, d, s) -> f "%s %s, %s" (alu_name op) (r16 d) (r16 s)
+  | Alu_r16_imm (op, d, v) -> f "%s %s, 0x%04X" (alu_name op) (r16 d) v
+  | Alu_r16_mem (op, d, m) -> f "%s %s, %a" (alu_name op) (r16 d) pp_mem m
+  | Alu_mem_r16 (op, m, s) -> f "%s word %a, %s" (alu_name op) pp_mem m (r16 s)
+  | Alu_r8_r8 (op, d, s) -> f "%s %s, %s" (alu_name op) (r8 d) (r8 s)
+  | Alu_r8_imm (op, d, v) -> f "%s %s, 0x%02X" (alu_name op) (r8 d) v
+  | Inc_r16 r -> f "inc %s" (r16 r)
+  | Dec_r16 r -> f "dec %s" (r16 r)
+  | Neg_r16 r -> f "neg %s" (r16 r)
+  | Not_r16 r -> f "not %s" (r16 r)
+  | Shl_r16 (r, n) -> f "shl %s, %d" (r16 r) n
+  | Shr_r16 (r, n) -> f "shr %s, %d" (r16 r) n
+  | Mul_r8 r -> f "mul %s" (r8 r)
+  | Mul_r16 r -> f "mul %s" (r16 r)
+  | Div_r8 r -> f "div %s" (r8 r)
+  | Div_r16 r -> f "div %s" (r16 r)
+  | Push_r16 r -> f "push %s" (r16 r)
+  | Push_imm v -> f "push word 0x%04X" v
+  | Push_sreg s -> f "push %s" (sr s)
+  | Pop_r16 r -> f "pop %s" (r16 r)
+  | Pop_sreg s -> f "pop %s" (sr s)
+  | Pushf -> f "pushf"
+  | Popf -> f "popf"
+  | Jmp target -> f "jmp 0x%04X" target
+  | Jmp_far (seg, off) -> f "jmp 0x%04X:0x%04X" seg off
+  | Jcc (c, target) -> f "j%s 0x%04X" (cond_name c) target
+  | Call target -> f "call 0x%04X" target
+  | Ret -> f "ret"
+  | Iret -> f "iret"
+  | Int n -> f "int 0x%02X" n
+  | Loop target -> f "loop 0x%04X" target
+  | Movs Byte -> f "movsb"
+  | Movs Word_ -> f "movsw"
+  | Stos Byte -> f "stosb"
+  | Stos Word_ -> f "stosw"
+  | Lods Byte -> f "lodsb"
+  | Lods Word_ -> f "lodsw"
+  | Rep body -> f "rep %a" pp body
+  | In_ (Byte, port) -> f "in al, 0x%02X" port
+  | In_ (Word_, port) -> f "in ax, 0x%02X" port
+  | Out (port, Byte) -> f "out 0x%02X, al" port
+  | Out (port, Word_) -> f "out 0x%02X, ax" port
+  | Hlt -> f "hlt"
+  | Nop -> f "nop"
+  | Cli -> f "cli"
+  | Sti -> f "sti"
+  | Cld -> f "cld"
+  | Std -> f "std"
+  | Clc -> f "clc"
+  | Stc -> f "stc"
+  | Invalid b -> f "(invalid 0x%02X)" b
+
+let to_string instr = Format.asprintf "%a" pp instr

@@ -1,0 +1,128 @@
+(** The SSX16 instruction set.
+
+    A deliberately Pentium-real-mode-flavoured ISA covering every
+    construct used by the paper's Figures 1–5 (mov in all addressing
+    forms, lea, segment overrides, mul, and/inc/add/cmp, jb/jmp,
+    push/iret, rep movsb, cld, sti/cli, hlt, nop) plus a conventional
+    complement of ALU, stack, string and I/O operations so that realistic
+    guest programs can be written.
+
+    Jump targets are absolute offsets within the current code segment.
+    Instructions are 1–6 bytes long when encoded (see {!Encode}), so a
+    corrupted instruction pointer can land mid-instruction and
+    mis-decode — the hazard §5.2 of the paper defends against. *)
+
+type base =
+  | No_base
+  | Base_bx
+  | Base_si
+  | Base_di
+  | Base_bp
+  | Base_bx_si
+  | Base_bx_di
+      (** Index-register component of a memory operand. *)
+
+type mem = {
+  seg_override : Registers.sreg option;
+      (** Explicit segment, e.g. [\[ss:STACK_TOP-2\]]; default is [DS]
+          ([SS] when the base involves [BP]). *)
+  base : base;
+  disp : Word.t;  (** 16-bit displacement, always encoded. *)
+}
+
+type alu_op = Add | Adc | Sub | Sbb | And | Or | Xor | Cmp | Test
+
+type cond =
+  | B   (** below: CF *)
+  | NB  (** not below *)
+  | BE  (** below or equal: CF or ZF *)
+  | A   (** above *)
+  | E   (** equal: ZF *)
+  | NE
+  | L   (** less (signed): SF <> OF *)
+  | GE
+  | LE
+  | G
+  | S   (** sign *)
+  | NS
+  | O   (** overflow *)
+  | NO
+
+type width = Byte | Word_
+
+type t =
+  | Mov_r16_imm of Registers.reg16 * Word.t
+  | Mov_r8_imm of Registers.reg8 * int
+  | Mov_r16_r16 of Registers.reg16 * Registers.reg16
+  | Mov_sreg_r16 of Registers.sreg * Registers.reg16
+  | Mov_r16_sreg of Registers.reg16 * Registers.sreg
+  | Mov_r16_mem of Registers.reg16 * mem
+  | Mov_mem_r16 of mem * Registers.reg16
+  | Mov_mem_imm of mem * Word.t
+  | Mov_r8_mem of Registers.reg8 * mem
+  | Mov_mem_r8 of mem * Registers.reg8
+  | Mov_sreg_mem of Registers.sreg * mem
+  | Mov_mem_sreg of mem * Registers.sreg
+  | Lea of Registers.reg16 * mem
+  | Xchg of Registers.reg16 * Registers.reg16
+  | Alu_r16_r16 of alu_op * Registers.reg16 * Registers.reg16
+  | Alu_r16_imm of alu_op * Registers.reg16 * Word.t
+  | Alu_r16_mem of alu_op * Registers.reg16 * mem
+  | Alu_mem_r16 of alu_op * mem * Registers.reg16
+  | Alu_r8_r8 of alu_op * Registers.reg8 * Registers.reg8
+  | Alu_r8_imm of alu_op * Registers.reg8 * int
+  | Inc_r16 of Registers.reg16
+  | Dec_r16 of Registers.reg16
+  | Neg_r16 of Registers.reg16
+  | Not_r16 of Registers.reg16
+  | Shl_r16 of Registers.reg16 * int
+  | Shr_r16 of Registers.reg16 * int
+  | Mul_r8 of Registers.reg8   (** ax := al * r8 *)
+  | Mul_r16 of Registers.reg16 (** dx:ax := ax * r16 *)
+  | Div_r8 of Registers.reg8   (** al := ax / r8, ah := ax mod r8; #DE on 0 *)
+  | Div_r16 of Registers.reg16 (** ax := dx:ax / r16, dx := rem; #DE on 0 *)
+  | Push_r16 of Registers.reg16
+  | Push_imm of Word.t
+  | Push_sreg of Registers.sreg
+  | Pop_r16 of Registers.reg16
+  | Pop_sreg of Registers.sreg
+  | Pushf
+  | Popf
+  | Jmp of Word.t               (** absolute offset in CS *)
+  | Jmp_far of Word.t * Word.t  (** segment, offset *)
+  | Jcc of cond * Word.t
+  | Call of Word.t
+  | Ret
+  | Iret
+  | Int of int
+  | Loop of Word.t
+  | Movs of width
+  | Stos of width
+  | Lods of width
+  | Rep of t                    (** rep-prefixed string instruction *)
+  | In_ of width * int          (** al/ax := port *)
+  | Out of int * width          (** port := al/ax *)
+  | Hlt
+  | Nop
+  | Cli
+  | Sti
+  | Cld
+  | Std
+  | Clc
+  | Stc
+  | Invalid of int              (** undecodable opcode byte; raises #UD *)
+
+val equal : t -> t -> bool
+
+val default_segment : base -> Registers.sreg
+(** [DS], or [SS] when the base register is [BP]. *)
+
+val cond_name : cond -> string
+val cond_of_name : string -> cond option
+val all_conds : cond list
+val alu_name : alu_op -> string
+val pp_mem : Format.formatter -> mem -> unit
+val pp : Format.formatter -> t -> unit
+(** NASM-like rendering, e.g. [mov word \[ss:0xFFFD\], ax]. *)
+
+val to_string : t -> string

@@ -1,0 +1,61 @@
+type port_handler = {
+  read : Instruction.width -> int;
+  write : Instruction.width -> int -> unit;
+}
+
+type t = {
+  cpu : Cpu.t;
+  mem : Memory.t;
+  mutable devices : Device.t list;
+  ports : (int, port_handler) Hashtbl.t;
+  mutable hooks : (t -> Cpu.event -> unit) list;
+}
+
+let cpu m = m.cpu
+let memory m = m.mem
+let ticks m = m.cpu.Cpu.steps
+
+let create ?config () =
+  let mem = Memory.create () in
+  let cpu = Cpu.create ?config mem in
+  let m = { cpu; mem; devices = []; ports = Hashtbl.create 16; hooks = [] } in
+  let io_in port width =
+    match Hashtbl.find_opt m.ports port with
+    | Some h -> h.read width
+    | None -> 0
+  in
+  let io_out port width value =
+    match Hashtbl.find_opt m.ports port with
+    | Some h -> h.write width value
+    | None -> ()
+  in
+  cpu.Cpu.io <- { Cpu.io_in; io_out };
+  m
+
+let add_device m device = m.devices <- m.devices @ [ device ]
+
+let register_port m ~port ~read ~write =
+  Hashtbl.replace m.ports port { read; write }
+
+let on_event m hook = m.hooks <- m.hooks @ [ hook ]
+
+let tick m =
+  List.iter (fun d -> d.Device.tick m.cpu) m.devices;
+  let event = Cpu.step m.cpu in
+  List.iter (fun hook -> hook m event) m.hooks;
+  event
+
+let run m ~ticks =
+  for _ = 1 to ticks do
+    ignore (tick m)
+  done
+
+let run_until m ~limit pred =
+  let rec loop n =
+    if n >= limit then None
+    else begin
+      ignore (tick m);
+      if pred m then Some (n + 1) else loop (n + 1)
+    end
+  in
+  loop 0

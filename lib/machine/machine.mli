@@ -1,0 +1,39 @@
+(** The whole system: <processor, memory, I/O connectors> (§2).
+
+    A machine owns a CPU, its memory and a set of devices.  One machine
+    {e tick} runs every device once and then performs one processor
+    step.  Event hooks observe each step for tracing, measurement and
+    fault injection. *)
+
+type t
+
+val create : ?config:Cpu.config -> unit -> t
+(** Fresh machine with empty memory and no devices. *)
+
+val cpu : t -> Cpu.t
+val memory : t -> Memory.t
+val ticks : t -> int
+(** Number of ticks executed since creation. *)
+
+val add_device : t -> Device.t -> unit
+
+val register_port :
+  t ->
+  port:int ->
+  read:(Instruction.width -> int) ->
+  write:(Instruction.width -> int -> unit) ->
+  unit
+(** Attach handlers for one I/O port; later registrations override. *)
+
+val on_event : t -> (t -> Cpu.event -> unit) -> unit
+(** Add a hook called after every processor step. *)
+
+val tick : t -> Cpu.event
+(** Run one clock tick (devices, then one CPU step). *)
+
+val run : t -> ticks:int -> unit
+(** Run exactly [ticks] clock ticks. *)
+
+val run_until : t -> limit:int -> (t -> bool) -> int option
+(** Tick until the predicate holds (checked after each tick); returns
+    the number of ticks consumed, or [None] if [limit] was reached. *)

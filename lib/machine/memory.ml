@@ -1,0 +1,39 @@
+type region = { base : int; size : int }
+
+type t = { data : Bytes.t; mutable rom : region list }
+
+let size = Addr.memory_size
+let create () = { data = Bytes.make size '\000'; rom = [] }
+
+let in_region addr { base; size } = addr >= base && addr < base + size
+let is_protected mem addr = List.exists (in_region addr) mem.rom
+let protected_regions mem = mem.rom
+
+let read_byte mem addr = Char.code (Bytes.unsafe_get mem.data (Addr.mask addr))
+
+let write_byte mem addr v =
+  let addr = Addr.mask addr in
+  if not (is_protected mem addr) then
+    Bytes.unsafe_set mem.data addr (Char.chr (v land 0xff))
+
+let force_write_byte mem addr v =
+  Bytes.unsafe_set mem.data (Addr.mask addr) (Char.chr (v land 0xff))
+
+let read_word mem addr =
+  Word.of_bytes ~low:(read_byte mem addr) ~high:(read_byte mem (Addr.mask (addr + 1)))
+
+let write_word mem addr w =
+  write_byte mem addr (Word.low_byte w);
+  write_byte mem (Addr.mask (addr + 1)) (Word.high_byte w)
+
+let protect mem region = mem.rom <- region :: mem.rom
+
+let load_image mem ~base image =
+  String.iteri (fun i c -> force_write_byte mem (base + i) (Char.code c)) image
+
+let dump mem ~base ~len = String.init len (fun i -> Char.chr (read_byte mem (base + i)))
+
+let blit mem ~src ~dst ~len =
+  for i = 0 to len - 1 do
+    write_byte mem (dst + i) (read_byte mem (src + i))
+  done

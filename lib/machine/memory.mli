@@ -1,0 +1,52 @@
+(** Physical memory: a 1 MiB linear byte array with write-protected
+    (ROM) regions.
+
+    The paper's fault model assumes ROM content "is guaranteed to remain
+    unchanged" (§2); writes from the CPU to a protected region are
+    silently ignored (as on real hardware, where the write strobe simply
+    has no effect), and the fault injector refuses to target ROM. *)
+
+type t
+
+type region = { base : int; size : int }
+(** A physical address range [\[base, base + size)]. *)
+
+val create : unit -> t
+(** Fresh memory, all zero, no protected regions. *)
+
+val read_byte : t -> int -> int
+(** [read_byte mem addr] at physical [addr] (wrapped to 20 bits). *)
+
+val write_byte : t -> int -> int -> unit
+(** [write_byte mem addr v]; ignored when [addr] lies in ROM. *)
+
+val read_word : t -> int -> Word.t
+(** Little-endian 16-bit read. *)
+
+val write_word : t -> int -> Word.t -> unit
+(** Little-endian 16-bit write; each byte individually ROM-checked. *)
+
+val force_write_byte : t -> int -> int -> unit
+(** Write bypassing ROM protection — used only to initialise ROM images
+    at machine-build time, never by running code. *)
+
+val protect : t -> region -> unit
+(** Mark a region as ROM from now on. *)
+
+val is_protected : t -> int -> bool
+(** Whether a physical address lies in a ROM region. *)
+
+val protected_regions : t -> region list
+
+val load_image : t -> base:int -> string -> unit
+(** Copy a raw byte string into memory at [base] (bypasses protection,
+    for building boot images). *)
+
+val dump : t -> base:int -> len:int -> string
+(** Extract [len] raw bytes starting at [base]. *)
+
+val blit : t -> src:int -> dst:int -> len:int -> unit
+(** Memory-to-memory copy honouring ROM protection on the destination. *)
+
+val size : int
+(** Total memory size (1 MiB). *)

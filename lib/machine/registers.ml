@@ -1,0 +1,120 @@
+type reg16 = AX | BX | CX | DX | SI | DI | SP | BP
+type reg8 = AL | AH | BL | BH | CL | CH | DL | DH
+type sreg = CS | DS | ES | SS | FS | GS
+
+type t = {
+  mutable ax : Word.t;
+  mutable bx : Word.t;
+  mutable cx : Word.t;
+  mutable dx : Word.t;
+  mutable si : Word.t;
+  mutable di : Word.t;
+  mutable sp : Word.t;
+  mutable bp : Word.t;
+  mutable cs : Word.t;
+  mutable ds : Word.t;
+  mutable es : Word.t;
+  mutable ss : Word.t;
+  mutable fs : Word.t;
+  mutable gs : Word.t;
+  mutable ip : Word.t;
+  mutable psw : Flags.t;
+  mutable nmi_counter : int;
+}
+
+let create () =
+  { ax = 0; bx = 0; cx = 0; dx = 0; si = 0; di = 0; sp = 0; bp = 0;
+    cs = 0; ds = 0; es = 0; ss = 0; fs = 0; gs = 0; ip = 0;
+    psw = Flags.initial; nmi_counter = 0 }
+
+let copy r = { r with ax = r.ax }
+
+let get16 r = function
+  | AX -> r.ax | BX -> r.bx | CX -> r.cx | DX -> r.dx
+  | SI -> r.si | DI -> r.di | SP -> r.sp | BP -> r.bp
+
+let set16 r reg v =
+  let v = Word.mask v in
+  match reg with
+  | AX -> r.ax <- v | BX -> r.bx <- v | CX -> r.cx <- v | DX -> r.dx <- v
+  | SI -> r.si <- v | DI -> r.di <- v | SP -> r.sp <- v | BP -> r.bp <- v
+
+let get8 r = function
+  | AL -> Word.low_byte r.ax | AH -> Word.high_byte r.ax
+  | BL -> Word.low_byte r.bx | BH -> Word.high_byte r.bx
+  | CL -> Word.low_byte r.cx | CH -> Word.high_byte r.cx
+  | DL -> Word.low_byte r.dx | DH -> Word.high_byte r.dx
+
+let set8 r reg v =
+  let v = Word.mask8 v in
+  let set_low w = Word.of_bytes ~low:v ~high:(Word.high_byte w) in
+  let set_high w = Word.of_bytes ~low:(Word.low_byte w) ~high:v in
+  match reg with
+  | AL -> r.ax <- set_low r.ax | AH -> r.ax <- set_high r.ax
+  | BL -> r.bx <- set_low r.bx | BH -> r.bx <- set_high r.bx
+  | CL -> r.cx <- set_low r.cx | CH -> r.cx <- set_high r.cx
+  | DL -> r.dx <- set_low r.dx | DH -> r.dx <- set_high r.dx
+
+let get_sreg r = function
+  | CS -> r.cs | DS -> r.ds | ES -> r.es | SS -> r.ss | FS -> r.fs | GS -> r.gs
+
+let set_sreg r reg v =
+  let v = Word.mask v in
+  match reg with
+  | CS -> r.cs <- v | DS -> r.ds <- v | ES -> r.es <- v
+  | SS -> r.ss <- v | FS -> r.fs <- v | GS -> r.gs <- v
+
+(* x86 ModRM register order, kept for familiarity in encodings. *)
+let reg16_index = function
+  | AX -> 0 | CX -> 1 | DX -> 2 | BX -> 3 | SP -> 4 | BP -> 5 | SI -> 6 | DI -> 7
+
+let reg16_of_index = function
+  | 0 -> Some AX | 1 -> Some CX | 2 -> Some DX | 3 -> Some BX
+  | 4 -> Some SP | 5 -> Some BP | 6 -> Some SI | 7 -> Some DI
+  | _ -> None
+
+let reg8_index = function
+  | AL -> 0 | CL -> 1 | DL -> 2 | BL -> 3 | AH -> 4 | CH -> 5 | DH -> 6 | BH -> 7
+
+let reg8_of_index = function
+  | 0 -> Some AL | 1 -> Some CL | 2 -> Some DL | 3 -> Some BL
+  | 4 -> Some AH | 5 -> Some CH | 6 -> Some DH | 7 -> Some BH
+  | _ -> None
+
+let sreg_index = function
+  | ES -> 0 | CS -> 1 | SS -> 2 | DS -> 3 | FS -> 4 | GS -> 5
+
+let sreg_of_index = function
+  | 0 -> Some ES | 1 -> Some CS | 2 -> Some SS | 3 -> Some DS
+  | 4 -> Some FS | 5 -> Some GS
+  | _ -> None
+
+let reg16_name = function
+  | AX -> "ax" | BX -> "bx" | CX -> "cx" | DX -> "dx"
+  | SI -> "si" | DI -> "di" | SP -> "sp" | BP -> "bp"
+
+let reg8_name = function
+  | AL -> "al" | AH -> "ah" | BL -> "bl" | BH -> "bh"
+  | CL -> "cl" | CH -> "ch" | DL -> "dl" | DH -> "dh"
+
+let sreg_name = function
+  | CS -> "cs" | DS -> "ds" | ES -> "es" | SS -> "ss" | FS -> "fs" | GS -> "gs"
+
+let all_reg16 = [ AX; BX; CX; DX; SI; DI; SP; BP ]
+let all_reg8 = [ AL; AH; BL; BH; CL; CH; DL; DH ]
+let all_sreg = [ CS; DS; ES; SS; FS; GS ]
+
+let reg16_of_name name =
+  List.find_opt (fun r -> reg16_name r = name) all_reg16
+
+let reg8_of_name name = List.find_opt (fun r -> reg8_name r = name) all_reg8
+let sreg_of_name name = List.find_opt (fun r -> sreg_name r = name) all_sreg
+
+let pp ppf r =
+  Format.fprintf ppf
+    "@[<v>ax=%04X bx=%04X cx=%04X dx=%04X@,\
+     si=%04X di=%04X sp=%04X bp=%04X@,\
+     cs=%04X ds=%04X es=%04X ss=%04X fs=%04X gs=%04X@,\
+     ip=%04X psw=%a nmi_counter=%d@]"
+    r.ax r.bx r.cx r.dx r.si r.di r.sp r.bp
+    r.cs r.ds r.es r.ss r.fs r.gs r.ip Flags.pp r.psw r.nmi_counter

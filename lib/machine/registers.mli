@@ -1,0 +1,75 @@
+(** The CPU register file.
+
+    Contains the registers the paper's model names (§2): general purpose
+    registers, segment registers, stack registers, instruction pointer,
+    processor status word — plus the paper's proposed hardware addition,
+    the {e nmi counter} (§2, "Additional necessary and sufficient
+    hardware support"). *)
+
+type reg16 = AX | BX | CX | DX | SI | DI | SP | BP
+(** 16-bit general-purpose and index registers. *)
+
+type reg8 = AL | AH | BL | BH | CL | CH | DL | DH
+(** 8-bit halves of [AX]..[DX]. *)
+
+type sreg = CS | DS | ES | SS | FS | GS
+(** Segment registers. *)
+
+type t = {
+  mutable ax : Word.t;
+  mutable bx : Word.t;
+  mutable cx : Word.t;
+  mutable dx : Word.t;
+  mutable si : Word.t;
+  mutable di : Word.t;
+  mutable sp : Word.t;
+  mutable bp : Word.t;
+  mutable cs : Word.t;
+  mutable ds : Word.t;
+  mutable es : Word.t;
+  mutable ss : Word.t;
+  mutable fs : Word.t;
+  mutable gs : Word.t;
+  mutable ip : Word.t;
+  mutable psw : Flags.t;
+  mutable nmi_counter : int;
+      (** The paper's countdown register: while non-zero the processor
+          ignores NMIs; decremented every clock tick; set to its maximum
+          when an NMI is taken and cleared by [iret]. *)
+}
+
+val create : unit -> t
+(** Power-on register file (all zero; [psw = Flags.initial]). *)
+
+val copy : t -> t
+(** Snapshot (used by tracing, schedulers and the fault injector). *)
+
+val get16 : t -> reg16 -> Word.t
+val set16 : t -> reg16 -> Word.t -> unit
+val get8 : t -> reg8 -> int
+val set8 : t -> reg8 -> int -> unit
+val get_sreg : t -> sreg -> Word.t
+val set_sreg : t -> sreg -> Word.t -> unit
+
+val reg16_index : reg16 -> int
+(** Stable encoding index (x86 order: ax cx dx bx sp bp si di). *)
+
+val reg16_of_index : int -> reg16 option
+val reg8_index : reg8 -> int
+val reg8_of_index : int -> reg8 option
+val sreg_index : sreg -> int
+val sreg_of_index : int -> sreg option
+
+val reg16_name : reg16 -> string
+val reg8_name : reg8 -> string
+val sreg_name : sreg -> string
+val reg16_of_name : string -> reg16 option
+val reg8_of_name : string -> reg8 option
+val sreg_of_name : string -> sreg option
+
+val all_reg16 : reg16 list
+val all_reg8 : reg8 list
+val all_sreg : sreg list
+
+val pp : Format.formatter -> t -> unit
+(** Multi-line dump of the whole register file. *)

@@ -1,0 +1,119 @@
+type t = {
+  regs : Registers.t;  (* a private copy *)
+  idtr : int;
+  nmi_pin : bool;
+  in_nmi : bool;
+  intr : int option;
+  halted : bool;
+  ram : string;
+}
+
+let capture machine =
+  let cpu = Machine.cpu machine in
+  { regs = Registers.copy cpu.Cpu.regs;
+    idtr = cpu.Cpu.idtr;
+    nmi_pin = cpu.Cpu.nmi_pin;
+    in_nmi = cpu.Cpu.in_nmi;
+    intr = cpu.Cpu.intr;
+    halted = cpu.Cpu.halted;
+    ram = Memory.dump (Machine.memory machine) ~base:0 ~len:Memory.size }
+
+let restore snapshot machine =
+  let cpu = Machine.cpu machine in
+  let mem = Machine.memory machine in
+  let dst = cpu.Cpu.regs and src = snapshot.regs in
+  List.iter
+    (fun r -> Registers.set16 dst r (Registers.get16 src r))
+    Registers.all_reg16;
+  List.iter
+    (fun r -> Registers.set_sreg dst r (Registers.get_sreg src r))
+    Registers.all_sreg;
+  dst.Registers.ip <- src.Registers.ip;
+  dst.Registers.psw <- src.Registers.psw;
+  dst.Registers.nmi_counter <- src.Registers.nmi_counter;
+  cpu.Cpu.idtr <- snapshot.idtr;
+  cpu.Cpu.nmi_pin <- snapshot.nmi_pin;
+  cpu.Cpu.in_nmi <- snapshot.in_nmi;
+  cpu.Cpu.intr <- snapshot.intr;
+  cpu.Cpu.halted <- snapshot.halted;
+  String.iteri
+    (fun addr c ->
+      if not (Memory.is_protected mem addr) then
+        Memory.write_byte mem addr (Char.code c))
+    snapshot.ram
+
+let register_values snapshot =
+  List.map
+    (fun r -> (Registers.reg16_name r, Registers.get16 snapshot.regs r))
+    Registers.all_reg16
+  @ List.map
+      (fun r -> (Registers.sreg_name r, Registers.get_sreg snapshot.regs r))
+      Registers.all_sreg
+  @ [ ("ip", snapshot.regs.Registers.ip);
+      ("psw", snapshot.regs.Registers.psw);
+      ("nmi_counter", snapshot.regs.Registers.nmi_counter);
+      ("idtr", snapshot.idtr);
+      ("nmi_pin", if snapshot.nmi_pin then 1 else 0);
+      ("in_nmi", if snapshot.in_nmi then 1 else 0);
+      ("halted", if snapshot.halted then 1 else 0);
+      ("intr", match snapshot.intr with None -> -1 | Some v -> v) ]
+
+let digest snapshot =
+  (* FNV-1a (63-bit offset basis) over the register summary and RAM. *)
+  let h = ref 0x4bf29ce484222325 in
+  let mix byte =
+    h := (!h lxor byte) * 0x100000001b3 land max_int
+  in
+  List.iter
+    (fun (name, v) ->
+      String.iter (fun c -> mix (Char.code c)) name;
+      mix (v land 0xff);
+      mix ((v asr 8) land 0xff);
+      mix ((v asr 16) land 0xff))
+    (register_values snapshot);
+  String.iter (fun c -> mix (Char.code c)) snapshot.ram;
+  Printf.sprintf "%016x" !h
+
+let equal a b = register_values a = register_values b && a.ram = b.ram
+
+type difference =
+  | Register of string * int * int
+  | Memory_range of { first : int; last : int }
+
+let diff a b =
+  let register_diffs =
+    List.filter_map
+      (fun ((name, va), (_, vb)) ->
+        if va <> vb then Some (Register (name, va, vb)) else None)
+      (List.combine (register_values a) (register_values b))
+  in
+  let ranges = ref [] in
+  let current = ref None in
+  let flush () =
+    match !current with
+    | Some (first, last) ->
+      ranges := Memory_range { first; last } :: !ranges;
+      current := None
+    | None -> ()
+  in
+  String.iteri
+    (fun addr ca ->
+      if ca <> b.ram.[addr] then
+        current :=
+          (match !current with
+          | Some (first, last) when last + 1 = addr -> Some (first, addr)
+          | Some _ ->
+            flush ();
+            Some (addr, addr)
+          | None -> Some (addr, addr))
+      else flush ())
+    a.ram;
+  flush ();
+  register_diffs @ List.rev !ranges
+
+let pp_difference ppf = function
+  | Register (name, a, b) ->
+    Format.fprintf ppf "%s: 0x%04X -> 0x%04X" name a b
+  | Memory_range { first; last } ->
+    Format.fprintf ppf "memory [%a, %a] (%d bytes)" Addr.pp first Addr.pp last
+      (last - first + 1)

@@ -1,0 +1,30 @@
+(** Machine-state snapshots.
+
+    A snapshot captures the complete soft state of a machine — the
+    register file, control state and a copy of RAM — so tests and
+    experiments can assert determinism, diff states around a fault, or
+    roll a machine back (the host-level analogue of the checkpoint
+    baseline, useful for debugging, not part of any recovery design). *)
+
+type t
+
+val capture : Machine.t -> t
+val restore : t -> Machine.t -> unit
+(** Restore registers, control state and RAM (ROM regions are skipped:
+    they cannot have changed). *)
+
+val digest : t -> string
+(** A short hexadecimal fingerprint of the whole state — equal digests
+    mean equal states. *)
+
+val equal : t -> t -> bool
+
+type difference =
+  | Register of string * int * int  (** name, left value, right value *)
+  | Memory_range of { first : int; last : int }
+      (** a maximal physical range of differing bytes *)
+
+val diff : t -> t -> difference list
+(** All differences, registers first, memory ranges coalesced. *)
+
+val pp_difference : Format.formatter -> difference -> unit

@@ -1,0 +1,68 @@
+type entry = {
+  tick : int;
+  cs : Word.t;
+  ip : Word.t;
+  event : Cpu.event;
+}
+
+type t = {
+  capacity : int;
+  buffer : entry option array;
+  mutable next : int;  (* next write slot *)
+  mutable total : int;
+  mutable recording : bool;
+}
+
+let attach ?(capacity = 256) machine =
+  if capacity <= 0 then invalid_arg "Trace.attach: capacity must be positive";
+  let trace =
+    { capacity;
+      buffer = Array.make capacity None;
+      next = 0;
+      total = 0;
+      recording = true }
+  in
+  Machine.on_event machine (fun machine event ->
+      if trace.recording then begin
+        let regs = (Machine.cpu machine).Cpu.regs in
+        trace.buffer.(trace.next) <-
+          Some
+            { tick = Machine.ticks machine;
+              cs = regs.Registers.cs;
+              ip = regs.Registers.ip;
+              event };
+        trace.next <- (trace.next + 1) mod trace.capacity;
+        trace.total <- trace.total + 1
+      end);
+  trace
+
+let entries trace =
+  let slots =
+    List.init trace.capacity (fun i ->
+        trace.buffer.((trace.next + i) mod trace.capacity))
+  in
+  List.filter_map Fun.id slots
+
+let clear trace =
+  Array.fill trace.buffer 0 trace.capacity None;
+  trace.next <- 0;
+  trace.total <- 0
+
+let pause trace = trace.recording <- false
+let resume trace = trace.recording <- true
+
+let pp_event ppf = function
+  | Cpu.Executed instr -> Instruction.pp ppf instr
+  | Cpu.Took_interrupt { vector; nmi } ->
+    Format.fprintf ppf "<interrupt %d%s>" vector (if nmi then " (nmi)" else "")
+  | Cpu.Took_exception vector -> Format.fprintf ppf "<exception %d>" vector
+  | Cpu.Halted_idle -> Format.fprintf ppf "<halted>"
+  | Cpu.Did_reset -> Format.fprintf ppf "<reset>"
+
+let pp_entry ppf { tick; cs; ip; event } =
+  Format.fprintf ppf "%8d  %04X:%04X  %a" tick cs ip pp_event event
+
+let dump ppf trace =
+  Format.fprintf ppf "@[<v>%a@]"
+    (Format.pp_print_list ~pp_sep:Format.pp_print_cut pp_entry)
+    (entries trace)

@@ -1,0 +1,32 @@
+(** Bounded execution tracing.
+
+    Attaches to a machine and keeps the most recent events in a ring
+    buffer — the tool you reach for when a fault-injection run does
+    something surprising.  Each entry records the tick, the pre-dispatch
+    [cs:ip] and what the step did. *)
+
+type entry = {
+  tick : int;
+  cs : Word.t;
+  ip : Word.t;  (** location {e after} the step (jump targets resolved) *)
+  event : Cpu.event;
+}
+
+type t
+
+val attach : ?capacity:int -> Machine.t -> t
+(** Start tracing (default capacity 256 entries). *)
+
+val entries : t -> entry list
+(** Oldest first, at most [capacity] entries. *)
+
+val clear : t -> unit
+
+val pause : t -> unit
+(** Stop recording (the hook stays installed). *)
+
+val resume : t -> unit
+
+val pp_entry : Format.formatter -> entry -> unit
+val dump : Format.formatter -> t -> unit
+(** Render the whole buffer, one line per entry. *)

@@ -1,0 +1,49 @@
+type t = int
+
+let mask v = v land 0xffff
+let mask8 v = v land 0xff
+let low_byte w = w land 0xff
+let high_byte w = (w lsr 8) land 0xff
+let of_bytes ~low ~high = ((high land 0xff) lsl 8) lor (low land 0xff)
+let is_negative w = w land 0x8000 <> 0
+let to_signed w = if is_negative w then w - 0x10000 else w
+
+let add a b =
+  let sum = a + b in
+  let result = mask sum in
+  let carry = sum > 0xffff in
+  (* Overflow: operands share a sign and the result's sign differs. *)
+  let overflow = is_negative a = is_negative b && is_negative result <> is_negative a in
+  (result, carry, overflow)
+
+let add_with_carry a b ~carry =
+  let sum = a + b + if carry then 1 else 0 in
+  let result = mask sum in
+  let carry_out = sum > 0xffff in
+  let overflow = is_negative a = is_negative b && is_negative result <> is_negative a in
+  (result, carry_out, overflow)
+
+let sub a b =
+  let diff = a - b in
+  let result = mask diff in
+  let borrow = diff < 0 in
+  let overflow = is_negative a <> is_negative b && is_negative result <> is_negative a in
+  (result, borrow, overflow)
+
+let sub_with_borrow a b ~borrow =
+  let diff = a - b - if borrow then 1 else 0 in
+  let result = mask diff in
+  let borrow_out = diff < 0 in
+  let overflow = is_negative a <> is_negative b && is_negative result <> is_negative a in
+  (result, borrow_out, overflow)
+
+let succ w = mask (w + 1)
+let pred w = mask (w - 1)
+
+let parity_even v =
+  let rec count bits acc =
+    if bits = 0 then acc else count (bits lsr 1) (acc + (bits land 1))
+  in
+  count (v land 0xff) 0 mod 2 = 0
+
+let pp ppf w = Format.fprintf ppf "0x%04X" w

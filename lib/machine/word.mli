@@ -1,0 +1,52 @@
+(** 16-bit machine words.
+
+    All SSX16 registers and memory words are 16-bit unsigned quantities
+    represented as OCaml [int]s in the range [0, 0xFFFF].  The functions
+    here perform the wrap-around arithmetic of the machine and expose the
+    carry/overflow information the CPU needs to set flags. *)
+
+type t = int
+(** A 16-bit word; invariant: [0 <= w <= 0xffff]. *)
+
+val mask : int -> t
+(** Truncate an arbitrary integer to 16 bits. *)
+
+val mask8 : int -> int
+(** Truncate an arbitrary integer to 8 bits. *)
+
+val low_byte : t -> int
+(** Least-significant byte. *)
+
+val high_byte : t -> int
+(** Most-significant byte. *)
+
+val of_bytes : low:int -> high:int -> t
+(** Assemble a word from two bytes (each masked to 8 bits). *)
+
+val is_negative : t -> bool
+(** Sign bit (bit 15) viewed as two's complement. *)
+
+val to_signed : t -> int
+(** Two's-complement value in [-32768, 32767]. *)
+
+val add : t -> t -> t * bool * bool
+(** [add a b] is [(result, carry, overflow)]. *)
+
+val add_with_carry : t -> t -> carry:bool -> t * bool * bool
+
+val sub : t -> t -> t * bool * bool
+(** [sub a b] is [(a - b mod 2^16, borrow, overflow)]. *)
+
+val sub_with_borrow : t -> t -> borrow:bool -> t * bool * bool
+
+val succ : t -> t
+(** Increment modulo 2^16. *)
+
+val pred : t -> t
+(** Decrement modulo 2^16. *)
+
+val parity_even : int -> bool
+(** Even parity of the low byte, as on x86. *)
+
+val pp : Format.formatter -> t -> unit
+(** Hexadecimal rendering, e.g. [0x1F40]. *)

@@ -1,0 +1,41 @@
+type layer = {
+  name : string;
+  safe : Ssx.Machine.t -> bool;
+}
+
+type observation = {
+  layer_name : string;
+  stabilized_at : int option;
+}
+
+let observe machine ~layers ~ticks =
+  let last_unsafe = Array.make (List.length layers) None in
+  for _ = 1 to ticks do
+    ignore (Ssx.Machine.tick machine);
+    let now = Ssx.Machine.ticks machine in
+    List.iteri
+      (fun i layer -> if not (layer.safe machine) then last_unsafe.(i) <- Some now)
+      layers
+  done;
+  List.mapi
+    (fun i layer ->
+      let stabilized_at =
+        match last_unsafe.(i) with
+        | None -> Some 0
+        | Some tick ->
+          (* Unsafe at the very end means never stabilized. *)
+          if layer.safe machine then Some (tick + 1) else None
+      in
+      { layer_name = layer.name; stabilized_at })
+    layers
+
+let respects_layering observations =
+  let rec check lower_bound = function
+    | [] -> true
+    | { stabilized_at = None; _ } :: rest ->
+      (* This layer never stabilized: fine only if nothing above did. *)
+      List.for_all (fun o -> o.stabilized_at = None) rest && check lower_bound []
+    | { stabilized_at = Some t; _ } :: rest ->
+      t >= lower_bound && check t rest
+  in
+  check 0 observations

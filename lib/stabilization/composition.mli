@@ -1,0 +1,31 @@
+(** Layered (fair) composition of self-stabilizing components.
+
+    The paper composes stabilization in layers (after Dolev–Israeli–
+    Moran): once the microprocessor stabilizes, the operating system
+    stabilizes, and then the application programs stabilize.  This
+    module measures such layered convergence: run a machine while
+    sampling one predicate per layer and report when each layer entered
+    its final all-true suffix. *)
+
+type layer = {
+  name : string;
+  safe : Ssx.Machine.t -> bool;
+      (** Holds when the layer is in its safe region. *)
+}
+
+type observation = {
+  layer_name : string;
+  stabilized_at : int option;
+      (** First tick of the closing all-safe suffix; [None] if the layer
+          was unsafe at the end of the run. *)
+}
+
+val observe :
+  Ssx.Machine.t -> layers:layer list -> ticks:int -> observation list
+(** Run [ticks] clock ticks, sampling every layer after each tick. *)
+
+val respects_layering : observation list -> bool
+(** Whether each layer stabilized no later than the layers above it
+    (observations are ordered bottom-up, as passed to {!observe}).
+    Layers that never stabilized only violate layering if a layer above
+    them stabilized. *)

@@ -1,0 +1,77 @@
+type verdict =
+  | Converged of { at_tick : int; legal_for : int }
+  | Not_converged of { last_violation : int option }
+
+type heartbeat_spec = {
+  legal_step : int -> int -> bool;
+  max_gap : int;
+  window : int;
+}
+
+let counter_spec ?(max_gap = 2000) ?(window = 5000) () =
+  { legal_step = (fun prev next -> next = Ssx.Word.mask (prev + 1));
+    max_gap;
+    window }
+
+let judge ~spec ~samples ~end_tick =
+  (* Walk the trace accumulating the tick of the last violation.  The
+     legal suffix starts right after it. *)
+  let module H = Ssx_devices.Heartbeat in
+  let last_violation = ref None in
+  let violate tick = last_violation := Some tick in
+  let rec walk = function
+    | [] | [ _ ] -> ()
+    | a :: (b :: _ as rest) ->
+      if b.H.tick - a.H.tick > spec.max_gap then violate b.H.tick;
+      if not (spec.legal_step a.H.value b.H.value) then violate b.H.tick;
+      walk rest
+  in
+  (match samples with
+  | [] -> violate end_tick
+  | first :: _ ->
+    if first.H.tick > spec.max_gap then violate first.H.tick;
+    walk samples;
+    let last = List.nth samples (List.length samples - 1) in
+    if end_tick - last.H.tick > spec.max_gap then violate end_tick);
+  match !last_violation with
+  | None ->
+    (* Fully legal run. *)
+    if end_tick >= spec.window then Converged { at_tick = 0; legal_for = end_tick }
+    else Not_converged { last_violation = None }
+  | Some tick ->
+    let legal_for = end_tick - tick in
+    if legal_for >= spec.window then Converged { at_tick = tick; legal_for }
+    else Not_converged { last_violation = Some tick }
+
+let converged = function Converged _ -> true | Not_converged _ -> false
+
+let violation_count ~spec ~samples ~end_tick =
+  let module H = Ssx_devices.Heartbeat in
+  let count = ref 0 in
+  let rec walk = function
+    | [] | [ _ ] -> ()
+    | a :: (b :: _ as rest) ->
+      if b.H.tick - a.H.tick > spec.max_gap then incr count;
+      if not (spec.legal_step a.H.value b.H.value) then incr count;
+      walk rest
+  in
+  (match samples with
+  | [] -> incr count
+  | first :: _ ->
+    if first.H.tick > spec.max_gap then incr count;
+    walk samples;
+    let last = List.nth samples (List.length samples - 1) in
+    if end_tick - last.H.tick > spec.max_gap then incr count);
+  !count
+
+let recovery_time ~faults_end = function
+  | Not_converged _ -> None
+  | Converged { at_tick; _ } -> Some (max 0 (at_tick - faults_end))
+
+let pp_verdict ppf = function
+  | Converged { at_tick; legal_for } ->
+    Format.fprintf ppf "converged at tick %d (legal for %d ticks)" at_tick legal_for
+  | Not_converged { last_violation = None } ->
+    Format.fprintf ppf "not converged (run too short)"
+  | Not_converged { last_violation = Some tick } ->
+    Format.fprintf ppf "not converged (last violation at tick %d)" tick

@@ -1,0 +1,54 @@
+(** Convergence measurement.
+
+    The paper defines a self-stabilizing OS by: every infinite execution
+    has a suffix in the legal-execution set.  Experimentally we bound
+    executions, so stabilization is judged post-hoc from an observation
+    trace: find the last point where the guest's observable behaviour
+    violated its specification; the suffix after it is the legal suffix,
+    and it must be long enough (the [window]) to count as converged. *)
+
+type verdict =
+  | Converged of { at_tick : int; legal_for : int }
+      (** Behaviour is legal from [at_tick] to the end of the run. *)
+  | Not_converged of { last_violation : int option }
+
+(** Specification of a legal heartbeat trace. *)
+type heartbeat_spec = {
+  legal_step : int -> int -> bool;
+      (** [legal_step prev next] — is [next] a legal successor value? *)
+  max_gap : int;
+      (** Maximum ticks between consecutive heartbeats. *)
+  window : int;
+      (** Minimum length of the legal suffix to claim convergence. *)
+}
+
+val counter_spec : ?max_gap:int -> ?window:int -> unit -> heartbeat_spec
+(** Heartbeats must increment by exactly one modulo 2{^16} (the
+    heartbeat-kernel specification); defaults: gap 2000, window 5000. *)
+
+val judge :
+  spec:heartbeat_spec ->
+  samples:Ssx_devices.Heartbeat.sample list ->
+  end_tick:int ->
+  verdict
+(** Analyse a completed run.  A violation is a bad successor pair, a
+    too-large gap between samples, or a too-large gap between the final
+    sample and [end_tick] (the guest died). *)
+
+val converged : verdict -> bool
+
+val violation_count :
+  spec:heartbeat_spec ->
+  samples:Ssx_devices.Heartbeat.sample list ->
+  end_tick:int ->
+  int
+(** Total specification violations over the whole trace (bad successor
+    pairs and over-large gaps) — distinguishes a strongly legal run
+    (zero) from a weakly legal one with periodic restarts (one per
+    restart). *)
+
+val recovery_time : faults_end:int -> verdict -> int option
+(** Ticks from the end of fault injection to convergence; [Some 0] when
+    behaviour never became illegal after the faults. *)
+
+val pp_verdict : Format.formatter -> verdict -> unit

@@ -1,0 +1,56 @@
+type t = {
+  name : string;
+  holds : Ssx.Machine.t -> bool;
+  repair : (Ssx.Machine.t -> unit) option;
+}
+
+let make ~name ?repair holds = { name; holds; repair }
+
+let word_in_range ~name ~addr ~lo ~hi ~reset =
+  let holds machine =
+    let v = Ssx.Memory.read_word (Ssx.Machine.memory machine) addr in
+    v >= lo && v <= hi
+  in
+  let repair machine =
+    Ssx.Memory.write_word (Ssx.Machine.memory machine) addr reset
+  in
+  { name; holds; repair = Some repair }
+
+let compute_checksum mem ~base ~len =
+  let rec sum i acc =
+    if i >= len then acc
+    else sum (i + 1) (Ssx.Word.mask (acc + Ssx.Memory.read_byte mem (base + i)))
+  in
+  sum 0 0
+
+let checksum ~name ~base ~len ~sum_addr =
+  let holds machine =
+    let mem = Ssx.Machine.memory machine in
+    Ssx.Memory.read_word mem sum_addr = compute_checksum mem ~base ~len
+  in
+  let repair machine =
+    let mem = Ssx.Machine.memory machine in
+    Ssx.Memory.write_word mem sum_addr (compute_checksum mem ~base ~len)
+  in
+  { name; holds; repair = Some repair }
+
+let conj ~name predicates =
+  let holds machine = List.for_all (fun p -> p.holds machine) predicates in
+  let repair machine =
+    List.iter
+      (fun p ->
+        if not (p.holds machine) then
+          match p.repair with Some fix -> fix machine | None -> ())
+      predicates
+  in
+  { name; holds; repair = Some repair }
+
+let violations predicates machine =
+  List.filter (fun p -> not (p.holds machine)) predicates
+
+let check_and_repair predicates machine =
+  let violated = violations predicates machine in
+  List.iter
+    (fun p -> match p.repair with Some fix -> fix machine | None -> ())
+    violated;
+  violated

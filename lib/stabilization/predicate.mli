@@ -1,0 +1,36 @@
+(** Consistency predicates over machine configurations.
+
+    §4 of the paper monitors the operating system's state with "various
+    consistency checks" and repairs on violation.  A predicate is a
+    named boolean observation of the machine; a repair is an action
+    restoring the invariant it guards. *)
+
+type t = {
+  name : string;
+  holds : Ssx.Machine.t -> bool;
+  repair : (Ssx.Machine.t -> unit) option;
+      (** Targeted repair; [None] means only full reinstall helps. *)
+}
+
+val make :
+  name:string -> ?repair:(Ssx.Machine.t -> unit) -> (Ssx.Machine.t -> bool) -> t
+
+val word_in_range : name:string -> addr:int -> lo:int -> hi:int -> reset:int -> t
+(** The RAM word at physical [addr] lies in [\[lo, hi\]]; repair writes
+    [reset]. *)
+
+val checksum : name:string -> base:int -> len:int -> sum_addr:int -> t
+(** A 16-bit additive checksum over [\[base, base+len)] stored at
+    [sum_addr] is correct; repair recomputes and stores it. *)
+
+val compute_checksum : Ssx.Memory.t -> base:int -> len:int -> int
+(** The additive checksum used by {!checksum}. *)
+
+val conj : name:string -> t list -> t
+(** All predicates hold; repair runs every component repair. *)
+
+val violations : t list -> Ssx.Machine.t -> t list
+(** The subset of predicates that currently fail. *)
+
+val check_and_repair : t list -> Ssx.Machine.t -> t list
+(** Evaluate all; run repairs of the violated ones; return them. *)

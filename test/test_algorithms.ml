@@ -1,0 +1,127 @@
+let case = Helpers.case
+let check_int = Helpers.check_int
+let check_bool = Helpers.check_bool
+
+let module_tr = ()
+
+let test_ring_initially_legitimate () =
+  ignore module_tr;
+  let ring = Ssos_algorithms.Token_ring.create ~n:5 ~k:5 in
+  check_bool "one token" true (Ssos_algorithms.Token_ring.legitimate ring);
+  check_int "token at machine 0" 1 (Ssos_algorithms.Token_ring.token_count ring)
+
+let test_token_circulates () =
+  let ring = Ssos_algorithms.Token_ring.create ~n:4 ~k:4 in
+  let holders = ref [] in
+  for _ = 1 to 8 do
+    (match Ssos_algorithms.Token_ring.privileged_machines ring with
+    | [ holder ] -> holders := holder :: !holders
+    | _ -> Alcotest.fail "not exactly one token");
+    (* Let only the privileged machine move (central daemon). *)
+    let holder = List.hd !holders in
+    check_bool "move taken" true (Ssos_algorithms.Token_ring.step ring holder)
+  done;
+  (* Every machine held the token at least once. *)
+  let distinct = List.sort_uniq compare !holders in
+  check_int "all machines served" 4 (List.length distinct)
+
+let test_closure () =
+  (* Steps from a legitimate configuration stay legitimate. *)
+  let ring = Ssos_algorithms.Token_ring.create ~n:6 ~k:7 in
+  for _ = 1 to 50 do
+    ignore (Ssos_algorithms.Token_ring.step_round ring);
+    check_bool "still one token" true (Ssos_algorithms.Token_ring.legitimate ring)
+  done
+
+let test_convergence_from_corruption () =
+  let ring = Ssos_algorithms.Token_ring.create ~n:5 ~k:6 in
+  Ssos_algorithms.Token_ring.set_state ring 1 3;
+  Ssos_algorithms.Token_ring.set_state ring 3 5;
+  check_bool "corrupted" true (Ssos_algorithms.Token_ring.token_count ring > 1);
+  match Ssos_algorithms.Token_ring.rounds_to_stabilize ring ~max_rounds:100 with
+  | Some rounds -> check_bool "stabilized quickly" true (rounds <= 100)
+  | None -> Alcotest.fail "did not stabilize"
+
+let prop_ring_converges =
+  QCheck.Test.make ~count:200 ~name:"token ring converges from any state"
+    (QCheck.triple (QCheck.int_range 2 8) (QCheck.int_range 0 1000) QCheck.int)
+    (fun (n, salt, seed) ->
+      let k = n + 1 in
+      let ring = Ssos_algorithms.Token_ring.create ~n ~k in
+      let rng = Ssx_faults.Rng.create (Int64.of_int (seed + salt)) in
+      for i = 0 to n - 1 do
+        Ssos_algorithms.Token_ring.set_state ring i (Ssx_faults.Rng.int rng k)
+      done;
+      (* Dijkstra's bound is O(n^2) rounds; use a safe cap. *)
+      match
+        Ssos_algorithms.Token_ring.rounds_to_stabilize ring ~max_rounds:(4 * n * n + 10)
+      with
+      | Some _ -> Ssos_algorithms.Token_ring.legitimate ring
+      | None -> false)
+
+let prop_ring_at_least_one_privilege =
+  QCheck.Test.make ~count:200 ~name:"some machine is always privileged"
+    (QCheck.pair (QCheck.int_range 2 8) QCheck.int)
+    (fun (n, seed) ->
+      let ring = Ssos_algorithms.Token_ring.create ~n ~k:(n + 1) in
+      let rng = Ssx_faults.Rng.create (Int64.of_int seed) in
+      for i = 0 to n - 1 do
+        Ssos_algorithms.Token_ring.set_state ring i (Ssx_faults.Rng.int rng (n + 1))
+      done;
+      Ssos_algorithms.Token_ring.token_count ring >= 1)
+
+let test_ring_validation () =
+  check_bool "n < 2 rejected" true
+    (match Ssos_algorithms.Token_ring.create ~n:1 ~k:3 with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let test_max_finder_clean () =
+  let mf = Ssos_algorithms.Max_finder.create ~inputs:[| 3; 9; 1; 4 |] in
+  check_int "max known" 9 (Ssos_algorithms.Max_finder.global_max mf);
+  match Ssos_algorithms.Max_finder.rounds_to_stabilize mf ~max_rounds:10 with
+  | Some _ -> check_bool "legitimate" true (Ssos_algorithms.Max_finder.legitimate mf)
+  | None -> Alcotest.fail "did not stabilize"
+
+let test_max_finder_overestimate_corruption () =
+  let mf = Ssos_algorithms.Max_finder.create ~inputs:[| 3; 9; 1; 4 |] in
+  ignore (Ssos_algorithms.Max_finder.rounds_to_stabilize mf ~max_rounds:10);
+  (* An over-estimate above every input must be flushed, not adopted. *)
+  Ssos_algorithms.Max_finder.set_estimate mf 2 1_000;
+  match Ssos_algorithms.Max_finder.rounds_to_stabilize mf ~max_rounds:10 with
+  | Some _ ->
+    check_bool "converged back to the true max" true
+      (Array.for_all (fun e -> e = 9) (Ssos_algorithms.Max_finder.estimates mf))
+  | None -> Alcotest.fail "did not flush the over-estimate"
+
+let prop_max_finder_converges =
+  QCheck.Test.make ~count:200 ~name:"max finder converges from any estimates"
+    (QCheck.pair
+       (QCheck.array_of_size (QCheck.Gen.int_range 1 10) (QCheck.int_bound 100))
+       QCheck.int)
+    (fun (inputs, seed) ->
+      QCheck.assume (Array.length inputs > 0);
+      let mf = Ssos_algorithms.Max_finder.create ~inputs in
+      let rng = Ssx_faults.Rng.create (Int64.of_int seed) in
+      Array.iteri
+        (fun i _ ->
+          Ssos_algorithms.Max_finder.set_estimate mf i (Ssx_faults.Rng.int rng 10_000))
+        inputs;
+      match
+        Ssos_algorithms.Max_finder.rounds_to_stabilize mf
+          ~max_rounds:(2 * Array.length inputs + 4)
+      with
+      | Some _ -> Ssos_algorithms.Max_finder.legitimate mf
+      | None -> false)
+
+let suite =
+  [ case "ring starts legitimate" test_ring_initially_legitimate;
+    case "the token circulates" test_token_circulates;
+    case "closure of legitimate configurations" test_closure;
+    case "convergence from corruption" test_convergence_from_corruption;
+    case "ring validation" test_ring_validation;
+    case "max finder stabilizes" test_max_finder_clean;
+    case "max finder flushes over-estimates" test_max_finder_overestimate_corruption ]
+  @ List.map QCheck_alcotest.to_alcotest
+      [ prop_ring_converges; prop_ring_at_least_one_privilege;
+        prop_max_finder_converges ]

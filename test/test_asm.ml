@@ -1,0 +1,268 @@
+let case = Helpers.case
+let check_int = Helpers.check_int
+
+let assemble ?origin ?instr_align ?symbols source =
+  Ssx_asm.Assemble.assemble ?origin ?instr_align ?symbols source
+
+let first_instr image =
+  let decoded, _ = Ssx.Codec.decode_bytes image.Ssx_asm.Assemble.bytes ~pos:0 in
+  decoded
+
+let test_simple_mov () =
+  let image = assemble "mov ax, 0x1234\n" in
+  Alcotest.(check bool) "decodes back" true
+    (first_instr image = Ssx.Instruction.Mov_r16_imm (Ssx.Registers.AX, 0x1234))
+
+let test_comments_and_blank_lines () =
+  let image = assemble "; a comment\n\n   ; another\nnop ; trailing\n" in
+  check_int "one nop" 1 (String.length image.Ssx_asm.Assemble.bytes)
+
+let test_label_backward () =
+  let image = assemble "start:\n    nop\n    jmp start\n" in
+  check_int "label at zero" 0 (Ssx_asm.Assemble.symbol image "start");
+  let decoded, _ = Ssx.Codec.decode_bytes image.Ssx_asm.Assemble.bytes ~pos:1 in
+  Alcotest.(check bool) "jumps to zero" true (decoded = Ssx.Instruction.Jmp 0)
+
+let test_label_forward () =
+  let image = assemble "    jmp target\n    nop\ntarget:\n    hlt\n" in
+  let decoded, _ = Ssx.Codec.decode_bytes image.Ssx_asm.Assemble.bytes ~pos:0 in
+  check_int "forward target" 4 (Ssx_asm.Assemble.symbol image "target");
+  Alcotest.(check bool) "encoded" true (decoded = Ssx.Instruction.Jmp 4)
+
+let test_label_with_statement () =
+  let image = assemble "here: nop\n" in
+  check_int "label shares the line" 0 (Ssx_asm.Assemble.symbol image "here")
+
+let test_equ_and_expressions () =
+  let image =
+    assemble "BASE equ 0x100\nSIZE equ BASE*2+8\n    mov ax, SIZE-1\n"
+  in
+  check_int "computed" 0x208 (Ssx_asm.Assemble.symbol image "size");
+  Alcotest.(check bool) "used in operand" true
+    (first_instr image = Ssx.Instruction.Mov_r16_imm (Ssx.Registers.AX, 0x207))
+
+let test_expression_precedence () =
+  let image = assemble "V equ 2+3*4\nW equ (2+3)*4\nX equ 1 << 4\nY equ 0xFF & 0x0F\n    nop\n" in
+  check_int "mul binds tighter" 14 (Ssx_asm.Assemble.symbol image "v");
+  check_int "parens" 20 (Ssx_asm.Assemble.symbol image "w");
+  check_int "shift" 16 (Ssx_asm.Assemble.symbol image "x");
+  check_int "and" 0x0F (Ssx_asm.Assemble.symbol image "y")
+
+let test_org_and_origin () =
+  let image = assemble ~origin:0x200 "entry:\n    nop\norg 0x210\nlate:\n    hlt\n" in
+  check_int "origin honoured" 0x200 (Ssx_asm.Assemble.symbol image "entry");
+  check_int "org sets location" 0x210 (Ssx_asm.Assemble.symbol image "late");
+  check_int "padding emitted" 0x11 (String.length image.Ssx_asm.Assemble.bytes)
+
+let test_org_backwards_rejected () =
+  match assemble "org 0x10\nnop\norg 0x5\n" with
+  | _ -> Alcotest.fail "org backwards must fail"
+  | exception Ssx_asm.Ast.Error (_, _) -> ()
+
+let test_db_dw () =
+  let image = assemble "db 1, 2, 'AB', 0x3\ndw 0x1234, label\nlabel:\n" in
+  let bytes = image.Ssx_asm.Assemble.bytes in
+  Helpers.check_string "db bytes" "\x01\x02AB\x03" (String.sub bytes 0 5);
+  check_int "dw little-endian" 0x34 (Char.code bytes.[5]);
+  check_int "dw forward label" 9 (Char.code bytes.[7])
+
+let test_times () =
+  let image = assemble "times 4 nop\n" in
+  check_int "repeated" 4 (String.length image.Ssx_asm.Assemble.bytes)
+
+let test_resb () =
+  let image = assemble "resb 8\nhlt\n" in
+  check_int "reserved" 9 (String.length image.Ssx_asm.Assemble.bytes)
+
+let test_align () =
+  let image = assemble "nop\nalign 8\nmarker:\n    hlt\n" in
+  check_int "aligned" 8 (Ssx_asm.Assemble.symbol image "marker")
+
+let test_mem_operands () =
+  let image =
+    assemble
+      "mov word [ss:0x100-2], ax\nmov ax, [bx+2]\nmov cx, [bx+si]\n\
+       lea bx, [0x42]\nhlt\n"
+  in
+  let entries = Ssx_asm.Disasm.disassemble image.Ssx_asm.Assemble.bytes in
+  match List.map (fun e -> e.Ssx_asm.Disasm.instruction) entries with
+  | [ Ssx.Instruction.Mov_mem_r16 (m1, Ssx.Registers.AX);
+      Ssx.Instruction.Mov_r16_mem (Ssx.Registers.AX, m2);
+      Ssx.Instruction.Mov_r16_mem (Ssx.Registers.CX, m3);
+      Ssx.Instruction.Lea (Ssx.Registers.BX, m4); Ssx.Instruction.Hlt ] ->
+    check_int "ss override disp" 0xFE m1.Ssx.Instruction.disp;
+    Alcotest.(check bool) "ss override" true
+      (m1.Ssx.Instruction.seg_override = Some Ssx.Registers.SS);
+    Alcotest.(check bool) "bx base" true
+      (m2.Ssx.Instruction.base = Ssx.Instruction.Base_bx);
+    check_int "disp 2" 2 m2.Ssx.Instruction.disp;
+    Alcotest.(check bool) "bx+si base" true
+      (m3.Ssx.Instruction.base = Ssx.Instruction.Base_bx_si);
+    check_int "lea disp" 0x42 m4.Ssx.Instruction.disp
+  | _ -> Alcotest.fail "unexpected disassembly"
+
+let test_size_keywords_anywhere () =
+  (* The paper writes "mov word ax, [processIndex]". *)
+  let image = assemble "mov word ax, [0x10]\nmov ax, word [0x10]\n" in
+  let entries = Ssx_asm.Disasm.disassemble image.Ssx_asm.Assemble.bytes in
+  check_int "both parsed" 2 (List.length entries)
+
+let test_rep_prefix () =
+  let image = assemble "rep movsb\n" in
+  Alcotest.(check bool) "rep" true
+    (first_instr image = Ssx.Instruction.Rep (Ssx.Instruction.Movs Ssx.Instruction.Byte))
+
+let test_far_jump_syntax () =
+  let image = assemble "jmp 0x1000:0x0004\n" in
+  Alcotest.(check bool) "far" true
+    (first_instr image = Ssx.Instruction.Jmp_far (0x1000, 0x0004))
+
+let test_jcc_aliases () =
+  let image = assemble "target:\n    jnz target\n    jz target\n    jc target\n" in
+  let entries = Ssx_asm.Disasm.disassemble image.Ssx_asm.Assemble.bytes in
+  match List.map (fun e -> e.Ssx_asm.Disasm.instruction) entries with
+  | [ Ssx.Instruction.Jcc (Ssx.Instruction.NE, 0);
+      Ssx.Instruction.Jcc (Ssx.Instruction.E, 0);
+      Ssx.Instruction.Jcc (Ssx.Instruction.B, 0) ] -> ()
+  | _ -> Alcotest.fail "aliases mis-lowered"
+
+let test_char_literal () =
+  let image = assemble "mov al, 'A'\n" in
+  Alcotest.(check bool) "char" true
+    (first_instr image = Ssx.Instruction.Mov_r8_imm (Ssx.Registers.AL, 65))
+
+let test_undefined_symbol_rejected () =
+  match assemble "mov ax, NOWHERE\n" with
+  | _ -> Alcotest.fail "must fail"
+  | exception Ssx_asm.Ast.Error (line, msg) ->
+    check_int "line number" 1 line;
+    Alcotest.(check bool) "mentions symbol" true
+      (String.length msg > 0)
+
+let test_bad_operands_rejected () =
+  List.iter
+    (fun source ->
+      match assemble source with
+      | _ -> Alcotest.failf "should reject %S" source
+      | exception Ssx_asm.Ast.Error _ -> ())
+    [ "mov 5, ax\n"; "lea ax, bx\n"; "push\n"; "frobnicate ax\n";
+      "mov ax,\n"; "jmp\n"; "rep nop\n"; "shl ax\n" ]
+
+let test_external_symbols () =
+  let image = assemble ~symbols:[ ("EXT", 0x99) ] "mov ax, EXT\n" in
+  Alcotest.(check bool) "external constant" true
+    (first_instr image = Ssx.Instruction.Mov_r16_imm (Ssx.Registers.AX, 0x99))
+
+let test_instr_align () =
+  (* With 16-byte alignment no instruction crosses a boundary, so every
+     16-aligned offset decodes to the start of a real instruction. *)
+  let source =
+    String.concat ""
+      (List.init 24 (fun i -> Printf.sprintf "mov ax, 0x%04X\nmov [0x10], ax\n" i))
+  in
+  let image = assemble ~instr_align:16 source in
+  let bytes = image.Ssx_asm.Assemble.bytes in
+  let rec scan pos =
+    if pos < String.length bytes then begin
+      let _, len = Ssx.Codec.decode_bytes bytes ~pos in
+      Alcotest.(check bool) "no boundary crossing" true
+        ((pos mod 16) + len <= 16);
+      scan (pos + len)
+    end
+  in
+  scan 0
+
+let test_figure_sources_assemble () =
+  (* The paper's artifacts must assemble. *)
+  let symbols = Ssos.Rom_builder.layout_symbols in
+  let fig1 = assemble ~symbols Ssos.Reinstall.figure1_source in
+  Alcotest.(check bool) "figure 1 nonempty" true
+    (String.length fig1.Ssx_asm.Assemble.bytes > 30);
+  let sched = assemble ~symbols Ssos.Sched.figures_2_to_5_source in
+  Alcotest.(check bool) "figures 2-5 nonempty" true
+    (String.length sched.Ssx_asm.Assemble.bytes > 150)
+
+let test_figure1_exact_semantics () =
+  (* Spot-check the byte stream: the first instruction must be
+     mov ax, OS_ROM_SEGMENT and the last iret. *)
+  let image =
+    assemble ~symbols:Ssos.Rom_builder.layout_symbols Ssos.Reinstall.figure1_source
+  in
+  let entries = Ssx_asm.Disasm.disassemble image.Ssx_asm.Assemble.bytes in
+  (match entries with
+  | first :: _ ->
+    Alcotest.(check bool) "starts with mov ax, OS_ROM_SEGMENT" true
+      (first.Ssx_asm.Disasm.instruction
+      = Ssx.Instruction.Mov_r16_imm (Ssx.Registers.AX, Ssos.Layout.os_rom_segment))
+  | [] -> Alcotest.fail "empty");
+  match List.rev entries with
+  | last :: _ ->
+    Alcotest.(check bool) "ends with iret" true
+      (last.Ssx_asm.Disasm.instruction = Ssx.Instruction.Iret)
+  | [] -> Alcotest.fail "empty"
+
+let test_disasm_listing () =
+  let image = assemble "mov ax, 1\nhlt\n" in
+  let listing = Ssx_asm.Disasm.listing image.Ssx_asm.Assemble.bytes in
+  Alcotest.(check bool) "mentions mov" true
+    (Astring_contains.contains listing "mov ax")
+
+let test_disasm_symbolized () =
+  let image = assemble "entry:\n    nop\nagain:\n    jmp again\n" in
+  let listing =
+    Ssx_asm.Disasm.listing ~symbols:image.Ssx_asm.Assemble.symbols
+      image.Ssx_asm.Assemble.bytes
+  in
+  Alcotest.(check bool) "labels emitted" true
+    (Astring_contains.contains listing "entry:"
+    && Astring_contains.contains listing "again:");
+  Alcotest.(check bool) "branch target annotated" true
+    (Astring_contains.contains listing "; -> again")
+
+(* Printer/parser/encoder consistency: assembling the pretty-printed
+   form of any instruction must reproduce its own encoding. *)
+let prop_print_parse_encode =
+  QCheck.Test.make ~count:500 ~name:"printed instructions reassemble to their encoding"
+    Test_codec.arbitrary_instruction
+    (fun instr ->
+      match instr with
+      | Ssx.Instruction.Invalid _ -> true (* not printable as source *)
+      | _ ->
+        let source = Ssx.Instruction.to_string instr ^ "\n" in
+        let image = Ssx_asm.Assemble.assemble ~origin:0 source in
+        let expected =
+          String.init
+            (List.length (Ssx.Codec.encode instr))
+            (fun i -> Char.chr (List.nth (Ssx.Codec.encode instr) i))
+        in
+        image.Ssx_asm.Assemble.bytes = expected)
+
+let suite =
+  List.map QCheck_alcotest.to_alcotest [ prop_print_parse_encode ]
+  @ [ case "simple mov" test_simple_mov;
+    case "comments and blank lines" test_comments_and_blank_lines;
+    case "backward label" test_label_backward;
+    case "forward label" test_label_forward;
+    case "label sharing a line" test_label_with_statement;
+    case "equ and expressions" test_equ_and_expressions;
+    case "expression precedence" test_expression_precedence;
+    case "org and origin" test_org_and_origin;
+    case "org backwards rejected" test_org_backwards_rejected;
+    case "db and dw" test_db_dw;
+    case "times" test_times;
+    case "resb" test_resb;
+    case "align" test_align;
+    case "memory operand forms" test_mem_operands;
+    case "size keywords in either position" test_size_keywords_anywhere;
+    case "rep prefix" test_rep_prefix;
+    case "far jump syntax" test_far_jump_syntax;
+    case "jcc aliases" test_jcc_aliases;
+    case "character literals" test_char_literal;
+    case "undefined symbol rejected" test_undefined_symbol_rejected;
+    case "bad operands rejected" test_bad_operands_rejected;
+    case "external symbols" test_external_symbols;
+    case "instruction alignment mode" test_instr_align;
+    case "the paper's figures assemble" test_figure_sources_assemble;
+    case "figure 1 structure" test_figure1_exact_semantics;
+    case "disassembler listing" test_disasm_listing;
+    case "symbolized disassembly" test_disasm_symbolized ]

@@ -1,0 +1,151 @@
+let case = Helpers.case
+let check_int = Helpers.check_int
+let check_bool = Helpers.check_bool
+
+let beats system = Ssx_devices.Heartbeat.count system.Ssos.System.heartbeat
+
+let alive system ~within =
+  let now = Ssx.Machine.ticks system.Ssos.System.machine in
+  match Ssx_devices.Heartbeat.last system.Ssos.System.heartbeat with
+  | Some s -> now - s.Ssx_devices.Heartbeat.tick < within
+  | None -> false
+
+let test_none_runs_clean () =
+  let system = Ssos.Baselines.none () in
+  Ssos.System.run system ~ticks:50_000;
+  check_bool "beating" true (beats system > 50)
+
+let test_none_halts_on_exception () =
+  let system = Ssos.Baselines.none () in
+  Ssos.System.run system ~ticks:10_000;
+  (* Send it into zeroed RAM: invalid opcode -> halt handler. *)
+  let regs = (Ssx.Machine.cpu system.Ssos.System.machine).Ssx.Cpu.regs in
+  regs.Ssx.Registers.cs <- 0x6000;
+  regs.Ssx.Registers.ip <- 0;
+  Ssos.System.run system ~ticks:10_000;
+  check_bool "halted forever" true (Ssx.Machine.cpu system.Ssos.System.machine).Ssx.Cpu.halted
+
+let test_reset_only_reboots () =
+  let system = Ssos.Baselines.reset_only ~watchdog_period:10_000 () in
+  Ssos.System.run system ~ticks:50_000;
+  (* Reboots reset the registers and restart the guest, whose data
+     survives in RAM: the counter does NOT restart from 1. *)
+  check_bool "beating" true (beats system > 50);
+  let restarts =
+    List.filter
+      (fun s -> s.Ssx_devices.Heartbeat.value = 1)
+      (Ssx_devices.Heartbeat.samples system.Ssos.System.heartbeat)
+  in
+  check_int "only the boot beat is 1" 1 (List.length restarts)
+
+let test_reset_only_cannot_fix_code () =
+  let system = Ssos.Baselines.reset_only ~watchdog_period:10_000 () in
+  Ssos.System.run system ~ticks:10_000;
+  let mem = Ssx.Machine.memory system.Ssos.System.machine in
+  (* Zero the guest's whole code: no reboot will ever repair it. *)
+  for i = 0 to Ssos.Layout.os_data_offset - 1 do
+    Ssx.Memory.write_byte mem ((Ssos.Layout.os_segment lsl 4) + i) 0
+  done;
+  Ssos.System.run system ~ticks:200_000;
+  check_bool "dead despite reboots" false (alive system ~within:50_000)
+
+let test_checkpoint_takes_checkpoints () =
+  let system = Ssos.Baselines.checkpoint ~watchdog_period:10_000 () in
+  Ssos.System.run system ~ticks:25_000;
+  let mem = Ssx.Machine.memory system.Ssos.System.machine in
+  (* After a progress NMI, the checkpoint area mirrors the OS image. *)
+  let image =
+    Ssx.Memory.dump mem ~base:(Ssos.Layout.os_segment lsl 4) ~len:Ssos.Layout.os_data_offset
+  in
+  let ckpt =
+    Ssx.Memory.dump mem
+      ~base:(Ssos.Layout.checkpoint_segment lsl 4)
+      ~len:Ssos.Layout.os_data_offset
+  in
+  Helpers.check_string "checkpointed code matches" image ckpt;
+  check_bool "meta word recorded" true
+    (Ssx.Memory.read_word mem
+       ((Ssos.Layout.checkpoint_segment lsl 4) + Ssos.Layout.os_image_size)
+    > 0)
+
+let test_checkpoint_rolls_back_on_stall () =
+  let system = Ssos.Baselines.checkpoint ~watchdog_period:10_000 () in
+  Ssos.System.run system ~ticks:25_000;
+  let mem = Ssx.Machine.memory system.Ssos.System.machine in
+  (* Break the code so the guest wedges; the next pulses must roll back
+     to the checkpointed image and restart. *)
+  Ssx.Memory.write_byte mem ((Ssos.Layout.os_segment lsl 4) + 1) 0xFF;
+  let regs = (Ssx.Machine.cpu system.Ssos.System.machine).Ssx.Cpu.regs in
+  regs.Ssx.Registers.cs <- Ssos.Layout.os_segment;
+  regs.Ssx.Registers.ip <- 0;
+  Ssos.System.run system ~ticks:100_000;
+  check_bool "recovered from the checkpoint" true (alive system ~within:30_000)
+
+let test_checkpoint_defeated_by_ckpt_corruption () =
+  let system = Ssos.Baselines.checkpoint ~watchdog_period:10_000 () in
+  Ssos.System.run system ~ticks:25_000;
+  let mem = Ssx.Machine.memory system.Ssos.System.machine in
+  (* Corrupt both the running code and the checkpoint copy: rollback
+     reinstates garbage, and no golden source exists. *)
+  for i = 0 to Ssos.Layout.os_data_offset - 1 do
+    Ssx.Memory.write_byte mem ((Ssos.Layout.os_segment lsl 4) + i) 0;
+    Ssx.Memory.write_byte mem ((Ssos.Layout.checkpoint_segment lsl 4) + i) 0
+  done;
+  Ssos.System.run system ~ticks:200_000;
+  check_bool "never recovers" false (alive system ~within:50_000)
+
+let test_petted_watchdog_never_fires_when_healthy () =
+  let system = Ssos.Baselines.petted_watchdog ~watchdog_period:10_000 () in
+  Ssos.System.run system ~ticks:60_000;
+  (match system.Ssos.System.watchdog with
+  | Some wd -> check_int "never fired" 0 (Ssx_devices.Watchdog.fired_count wd)
+  | None -> Alcotest.fail "watchdog expected");
+  check_bool "guest healthy" true (beats system > 100)
+
+let test_petted_watchdog_rescues_a_dead_guest () =
+  let system = Ssos.Baselines.petted_watchdog ~watchdog_period:10_000 () in
+  Ssos.System.run system ~ticks:30_000;
+  (* Halt it outright: kicking stops, the watchdog fires, reinstall. *)
+  (Ssx.Machine.cpu system.Ssos.System.machine).Ssx.Cpu.halted <- true;
+  Ssos.System.run system ~ticks:60_000;
+  check_bool "rebooted and beating" true (alive system ~within:15_000)
+
+let test_petted_watchdog_blind_to_silent_wedge () =
+  let system = Ssos.Baselines.petted_watchdog ~watchdog_period:10_000 () in
+  Ssos.System.run system ~ticks:30_000;
+  (* Nop out the heartbeat write: the loop still runs and still kicks. *)
+  let mem = Ssx.Machine.memory system.Ssos.System.machine in
+  let base = Ssos.Layout.os_segment lsl 4 in
+  let rec hunt i =
+    if
+      Ssx.Memory.read_byte mem (base + i) = 0x6A
+      && Ssx.Memory.read_byte mem (base + i + 1) = Ssos.Layout.heartbeat_port
+    then begin
+      Ssx.Memory.write_byte mem (base + i) 0x70;
+      Ssx.Memory.write_byte mem (base + i + 1) 0x70
+    end
+    else hunt (i + 1)
+  in
+  hunt 0;
+  Ssos.System.run system ~ticks:120_000;
+  check_bool "wedged forever: the watchdog is being kicked" false
+    (alive system ~within:60_000);
+  (match system.Ssos.System.watchdog with
+  | Some wd -> check_int "never fired" 0 (Ssx_devices.Watchdog.fired_count wd)
+  | None -> Alcotest.fail "watchdog expected")
+
+let suite =
+  [ case "no-recovery baseline runs clean" test_none_runs_clean;
+    case "petted watchdog stays quiet when healthy"
+      test_petted_watchdog_never_fires_when_healthy;
+    case "petted watchdog rescues a dead guest"
+      test_petted_watchdog_rescues_a_dead_guest;
+    case "petted watchdog is blind to silent wedges"
+      test_petted_watchdog_blind_to_silent_wedge;
+    case "no-recovery baseline halts on exceptions" test_none_halts_on_exception;
+    case "reset-only reboots preserve RAM" test_reset_only_reboots;
+    case "reset-only cannot repair code" test_reset_only_cannot_fix_code;
+    case "checkpoint handler takes checkpoints" test_checkpoint_takes_checkpoints;
+    case "checkpoint rolls back on stall" test_checkpoint_rolls_back_on_stall;
+    case "checkpoint defeated by checkpoint-area corruption"
+      test_checkpoint_defeated_by_ckpt_corruption ]

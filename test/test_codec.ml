@@ -1,0 +1,181 @@
+let case = Helpers.case
+let check_int = Helpers.check_int
+
+let roundtrip instr =
+  let bytes = Ssx.Codec.encode instr in
+  let code = String.init (List.length bytes) (fun i -> Char.chr (List.nth bytes i)) in
+  let decoded, len = Ssx.Codec.decode_bytes code ~pos:0 in
+  (decoded, len, List.length bytes)
+
+let check_roundtrip instr =
+  let decoded, len, encoded_len = roundtrip instr in
+  if not (Ssx.Instruction.equal decoded instr) then
+    Alcotest.failf "roundtrip: %a became %a" Ssx.Instruction.pp instr
+      Ssx.Instruction.pp decoded;
+  check_int "length" encoded_len len
+
+let sample_mem =
+  { Ssx.Instruction.seg_override = Some Ssx.Registers.SS;
+    base = Ssx.Instruction.Base_bx;
+    disp = 0x0102 }
+
+let plain_mem =
+  { Ssx.Instruction.seg_override = None;
+    base = Ssx.Instruction.No_base;
+    disp = 0xFFFE }
+
+let representative_instructions =
+  let open Ssx.Instruction in
+  let module R = Ssx.Registers in
+  [ Mov_r16_imm (R.AX, 0xF000); Mov_r8_imm (R.AH, 26);
+    Mov_r16_r16 (R.BX, R.SP); Mov_sreg_r16 (R.SS, R.AX);
+    Mov_r16_sreg (R.CX, R.DS); Mov_r16_mem (R.AX, sample_mem);
+    Mov_mem_r16 (plain_mem, R.DI); Mov_mem_imm (sample_mem, 0x0002);
+    Mov_r8_mem (R.AL, plain_mem); Mov_mem_r8 (sample_mem, R.BH);
+    Mov_sreg_mem (R.ES, sample_mem); Mov_mem_sreg (plain_mem, R.GS);
+    Lea (R.BX, plain_mem); Xchg (R.AX, R.DX);
+    Alu_r16_r16 (Add, R.AX, R.BX); Alu_r16_imm (And, R.AX, 0x0003);
+    Alu_r16_mem (Cmp, R.AX, sample_mem); Alu_mem_r16 (Add, plain_mem, R.SI);
+    Alu_r8_r8 (Xor, R.AL, R.AH); Alu_r8_imm (Or, R.CL, 0x80);
+    Inc_r16 R.AX; Dec_r16 R.DI; Neg_r16 R.DX; Not_r16 R.BX;
+    Shl_r16 (R.SI, 12); Shr_r16 (R.AX, 1);
+    Mul_r8 R.AH; Mul_r16 R.CX; Div_r8 R.BL; Div_r16 R.SI;
+    Push_r16 R.BP; Push_imm 0x0002; Push_sreg R.CS;
+    Pop_r16 R.AX; Pop_sreg R.DS; Pushf; Popf;
+    Jmp 0x0200; Jmp_far (0x1000, 0x0000); Jcc (B, 0x0042); Jcc (NE, 0x1234);
+    Call 0x0100; Ret; Iret; Int 0x21; Loop 0x0010;
+    Movs Byte; Movs Word_; Stos Byte; Stos Word_; Lods Byte; Lods Word_;
+    Rep (Movs Byte); Rep (Stos Word_);
+    In_ (Byte, 0x10); In_ (Word_, 0x12); Out (0x10, Byte); Out (0x12, Word_);
+    Hlt; Nop; Cli; Sti; Cld; Std; Clc; Stc ]
+
+let test_roundtrip_representative () =
+  List.iter check_roundtrip representative_instructions
+
+let test_all_conditions () =
+  List.iter
+    (fun c -> check_roundtrip (Ssx.Instruction.Jcc (c, 0xBEEF)))
+    Ssx.Instruction.all_conds
+
+let test_invalid_bytes () =
+  (* Bytes outside the opcode map decode to Invalid of length one. *)
+  List.iter
+    (fun b ->
+      let decoded, len = Ssx.Codec.decode_bytes (String.make 1 (Char.chr b)) ~pos:0 in
+      check_int "length one" 1 len;
+      match decoded with
+      | Ssx.Instruction.Invalid b' -> check_int "byte preserved" b b'
+      | other ->
+        Alcotest.failf "0x%02X decoded to %a" b Ssx.Instruction.pp other)
+    [ 0x00; 0x0F; 0x19; 0x3F; 0x56; 0x6B; 0x78; 0xFF ]
+
+let test_rep_requires_string_op () =
+  (* A rep prefix before a non-string instruction is not an instruction. *)
+  let decoded, len = Ssx.Codec.decode_bytes "\x66\x70" ~pos:0 in
+  check_int "length one" 1 len;
+  match decoded with
+  | Ssx.Instruction.Invalid 0x66 -> ()
+  | other -> Alcotest.failf "decoded to %a" Ssx.Instruction.pp other
+
+let test_nop_aliases () =
+  let decoded, _ = Ssx.Codec.decode_bytes "\x90" ~pos:0 in
+  Alcotest.(check bool) "0x90 is nop" true (decoded = Ssx.Instruction.Nop)
+
+let test_lengths_bounded () =
+  List.iter
+    (fun instr ->
+      let len = Ssx.Codec.encoded_length instr in
+      Alcotest.(check bool) "within bound" true (len >= 1 && len <= Ssx.Codec.max_length))
+    representative_instructions
+
+let test_variable_length () =
+  (* The mis-decode hazard of section 5.2 requires genuinely variable
+     instruction lengths. *)
+  let lengths =
+    List.sort_uniq compare
+      (List.map Ssx.Codec.encoded_length representative_instructions)
+  in
+  Alcotest.(check bool) "at least four distinct lengths" true
+    (List.length lengths >= 4)
+
+(* Random-instruction generator for the roundtrip property. *)
+let gen_instruction =
+  let open QCheck.Gen in
+  let reg16 = oneofl Ssx.Registers.all_reg16 in
+  let reg8 = oneofl Ssx.Registers.all_reg8 in
+  let sreg = oneofl Ssx.Registers.all_sreg in
+  let word = map (fun v -> v land 0xffff) int in
+  let byte = map (fun v -> v land 0xff) int in
+  let base =
+    oneofl
+      [ Ssx.Instruction.No_base; Ssx.Instruction.Base_bx;
+        Ssx.Instruction.Base_si; Ssx.Instruction.Base_di;
+        Ssx.Instruction.Base_bp; Ssx.Instruction.Base_bx_si;
+        Ssx.Instruction.Base_bx_di ]
+  in
+  let mem =
+    map3
+      (fun seg_override base disp -> { Ssx.Instruction.seg_override; base; disp })
+      (opt sreg) base word
+  in
+  let alu =
+    oneofl
+      [ Ssx.Instruction.Add; Ssx.Instruction.Adc; Ssx.Instruction.Sub;
+        Ssx.Instruction.Sbb; Ssx.Instruction.And; Ssx.Instruction.Or;
+        Ssx.Instruction.Xor; Ssx.Instruction.Cmp; Ssx.Instruction.Test ]
+  in
+  let width = oneofl [ Ssx.Instruction.Byte; Ssx.Instruction.Word_ ] in
+  oneof
+    [ map2 (fun r v -> Ssx.Instruction.Mov_r16_imm (r, v)) reg16 word;
+      map2 (fun r v -> Ssx.Instruction.Mov_r8_imm (r, v)) reg8 byte;
+      map2 (fun a b -> Ssx.Instruction.Mov_r16_r16 (a, b)) reg16 reg16;
+      map2 (fun s r -> Ssx.Instruction.Mov_sreg_r16 (s, r)) sreg reg16;
+      map2 (fun r m -> Ssx.Instruction.Mov_r16_mem (r, m)) reg16 mem;
+      map2 (fun m r -> Ssx.Instruction.Mov_mem_r16 (m, r)) mem reg16;
+      map2 (fun m v -> Ssx.Instruction.Mov_mem_imm (m, v)) mem word;
+      map2 (fun s m -> Ssx.Instruction.Mov_sreg_mem (s, m)) sreg mem;
+      map2 (fun m s -> Ssx.Instruction.Mov_mem_sreg (m, s)) mem sreg;
+      map2 (fun r m -> Ssx.Instruction.Lea (r, m)) reg16 mem;
+      map3 (fun op a b -> Ssx.Instruction.Alu_r16_r16 (op, a, b)) alu reg16 reg16;
+      map3 (fun op r v -> Ssx.Instruction.Alu_r16_imm (op, r, v)) alu reg16 word;
+      map3 (fun op r m -> Ssx.Instruction.Alu_r16_mem (op, r, m)) alu reg16 mem;
+      map3 (fun op m r -> Ssx.Instruction.Alu_mem_r16 (op, m, r)) alu mem reg16;
+      map (fun r -> Ssx.Instruction.Inc_r16 r) reg16;
+      map (fun r -> Ssx.Instruction.Mul_r8 r) reg8;
+      map (fun r -> Ssx.Instruction.Push_r16 r) reg16;
+      map (fun v -> Ssx.Instruction.Push_imm v) word;
+      map (fun t -> Ssx.Instruction.Jmp t) word;
+      map2 (fun c t -> Ssx.Instruction.Jcc (c, t)) (oneofl Ssx.Instruction.all_conds) word;
+      map (fun w -> Ssx.Instruction.Movs w) width;
+      map (fun w -> Ssx.Instruction.Rep (Ssx.Instruction.Movs w)) width;
+      return Ssx.Instruction.Iret; return Ssx.Instruction.Nop;
+      return Ssx.Instruction.Hlt; return Ssx.Instruction.Cld ]
+
+let arbitrary_instruction =
+  QCheck.make ~print:Ssx.Instruction.to_string gen_instruction
+
+let prop_roundtrip =
+  QCheck.Test.make ~count:500 ~name:"encode/decode roundtrip"
+    arbitrary_instruction (fun instr ->
+      let decoded, len, encoded_len = roundtrip instr in
+      Ssx.Instruction.equal decoded instr && len = encoded_len)
+
+let prop_decode_total =
+  QCheck.Test.make ~count:500 ~name:"decoding arbitrary bytes never fails"
+    QCheck.(string_of_size (Gen.return 8))
+    (fun code ->
+      if String.length code < 8 then true
+      else begin
+        let _, len = Ssx.Codec.decode_bytes (code ^ String.make 8 '\000') ~pos:0 in
+        len >= 1 && len <= Ssx.Codec.max_length
+      end)
+
+let suite =
+  [ case "roundtrip representative instructions" test_roundtrip_representative;
+    case "all conditional jumps" test_all_conditions;
+    case "invalid bytes decode to Invalid" test_invalid_bytes;
+    case "rep requires a string op" test_rep_requires_string_op;
+    case "0x90 is an alias for nop" test_nop_aliases;
+    case "encoded lengths bounded" test_lengths_bounded;
+    case "encoding is variable-length" test_variable_length ]
+  @ List.map QCheck_alcotest.to_alcotest [ prop_roundtrip; prop_decode_total ]

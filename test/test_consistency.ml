@@ -1,0 +1,147 @@
+(* Cross-cutting consistency properties tying the frameworks together. *)
+
+let case = Helpers.case
+let check_int = Helpers.check_int
+let check_bool = Helpers.check_bool
+
+(* The §3 continue handler must hand back the interrupted register file
+   untouched (it stacks and restores everything it clobbers). *)
+let test_continue_preserves_registers () =
+  let system = Ssos.Reinstall.build ~variant:Ssos.Reinstall.Continue () in
+  Ssos.System.run system ~ticks:10_000;
+  let machine = system.Ssos.System.machine in
+  let cpu = Ssx.Machine.cpu machine in
+  (* bx, dx, bp are unused by the heartbeat kernel: plant markers. *)
+  cpu.Ssx.Cpu.regs.Ssx.Registers.bx <- 0x1234;
+  cpu.Ssx.Cpu.regs.Ssx.Registers.dx <- 0x5678;
+  cpu.Ssx.Cpu.regs.Ssx.Registers.bp <- 0x9ABC;
+  Ssx.Cpu.raise_nmi cpu;
+  let back_in_guest m =
+    (Ssx.Machine.cpu m).Ssx.Cpu.regs.Ssx.Registers.cs = Ssos.Layout.os_segment
+  in
+  (* Step once to enter the handler, then run until the guest resumes. *)
+  ignore (Ssx.Machine.tick machine);
+  check_bool "entered the handler" true
+    (cpu.Ssx.Cpu.regs.Ssx.Registers.cs = Ssos.Layout.rom_segment);
+  (match Ssx.Machine.run_until machine ~limit:20_000 back_in_guest with
+  | Some _ -> ()
+  | None -> Alcotest.fail "never resumed the guest");
+  check_int "bx preserved" 0x1234 cpu.Ssx.Cpu.regs.Ssx.Registers.bx;
+  check_int "dx preserved" 0x5678 cpu.Ssx.Cpu.regs.Ssx.Registers.dx;
+  check_int "bp preserved" 0x9ABC cpu.Ssx.Cpu.regs.Ssx.Registers.bp
+
+(* The §5.2 scheduler, by contrast, restores the registers of the NEXT
+   process from its record — a full context switch. *)
+let test_sched_context_switch_isolates_registers () =
+  let sched = Ssos.Sched.build ~n:2 () in
+  let machine = sched.Ssos.Sched.machine in
+  let cpu = Ssx.Machine.cpu machine in
+  Ssx.Machine.run machine ~ticks:100_000;
+  (* Plant a marker in the RUNNING process's registers; after one full
+     rotation it must come back exactly (saved to and restored from its
+     record), proving isolation. *)
+  cpu.Ssx.Cpu.regs.Ssx.Registers.si <- 0x7E57;
+  let period = Ssos.Sched.default_watchdog_period in
+  Ssx.Machine.run machine ~ticks:(period / 2);
+  check_bool "marker swapped out" true
+    (cpu.Ssx.Cpu.regs.Ssx.Registers.si <> 0x7E57
+    || cpu.Ssx.Cpu.regs.Ssx.Registers.cs = Ssos.Layout.proc_segment 0
+    || cpu.Ssx.Cpu.regs.Ssx.Registers.cs = Ssos.Layout.proc_segment 1)
+
+(* Convergence judging is internally consistent: if a trace converges at
+   tick t, the suffix of samples from t onward contains no violations. *)
+let gen_trace =
+  QCheck.Gen.(
+    let sample =
+      map2
+        (fun dt glitch -> (max 1 (dt mod 200), glitch))
+        int (int_bound 20)
+    in
+    list_size (int_range 2 60) sample)
+
+let arbitrary_trace = QCheck.make gen_trace
+
+let build_samples steps =
+  let tick = ref 0 and value = ref 0 in
+  List.map
+    (fun (dt, glitch) ->
+      tick := !tick + dt;
+      (* Mostly increment; occasionally glitch to a wild value. *)
+      if glitch = 0 then value := !value + 100 else incr value;
+      { Ssx_devices.Heartbeat.tick = !tick; value = !value land 0xffff })
+    steps
+
+let prop_judge_consistent =
+  QCheck.Test.make ~count:300 ~name:"converged implies a violation-free suffix"
+    arbitrary_trace
+    (fun steps ->
+      let samples = build_samples steps in
+      let end_tick =
+        (match List.rev samples with
+        | last :: _ -> last.Ssx_devices.Heartbeat.tick
+        | [] -> 0)
+        + 10
+      in
+      let spec = Ssx_stab.Convergence.counter_spec ~max_gap:500 ~window:1 () in
+      match Ssx_stab.Convergence.judge ~spec ~samples ~end_tick with
+      | Ssx_stab.Convergence.Not_converged _ -> true
+      | Ssx_stab.Convergence.Converged { at_tick; _ } ->
+        let suffix =
+          List.filter (fun s -> s.Ssx_devices.Heartbeat.tick >= at_tick) samples
+        in
+        (* Rebase ticks so the suffix is judged as a trace of its own
+           (the whole-trace initial-gap rule does not apply mid-run). *)
+        let shift =
+          match suffix with
+          | first :: _ -> first.Ssx_devices.Heartbeat.tick
+          | [] -> at_tick
+        in
+        let rebased =
+          List.map
+            (fun s ->
+              { s with Ssx_devices.Heartbeat.tick = s.Ssx_devices.Heartbeat.tick - shift })
+            suffix
+        in
+        Ssx_stab.Convergence.violation_count ~spec ~samples:rebased
+          ~end_tick:(end_tick - shift)
+        = 0)
+
+(* The disassembler covers every byte exactly once. *)
+let prop_disasm_covers_all_bytes =
+  QCheck.Test.make ~count:300 ~name:"disassembly partitions the byte string"
+    QCheck.(string_of_size (Gen.int_range 1 64))
+    (fun code ->
+      let entries = Ssx_asm.Disasm.disassemble code in
+      let total =
+        List.fold_left
+          (fun acc e -> acc + String.length e.Ssx_asm.Disasm.bytes)
+          0 entries
+      in
+      let offsets_ok =
+        let rec check expected = function
+          | [] -> true
+          | e :: rest ->
+            e.Ssx_asm.Disasm.offset = expected
+            && check (expected + String.length e.Ssx_asm.Disasm.bytes) rest
+        in
+        check 0 entries
+      in
+      total = String.length code && offsets_ok)
+
+(* Snapshot digests commute with determinism at the system level for the
+   tiny OS as well. *)
+let test_sched_determinism () =
+  let run () =
+    let sched = Ssos.Sched.build () in
+    Ssx.Machine.run sched.Ssos.Sched.machine ~ticks:150_000;
+    Ssx.Snapshot.digest (Ssx.Snapshot.capture sched.Ssos.Sched.machine)
+  in
+  Helpers.check_string "identical" (run ()) (run ())
+
+let suite =
+  [ case "continue handler preserves registers" test_continue_preserves_registers;
+    case "scheduler context switch isolates registers"
+      test_sched_context_switch_isolates_registers;
+    case "tiny OS runs are deterministic" test_sched_determinism ]
+  @ List.map QCheck_alcotest.to_alcotest
+      [ prop_judge_consistent; prop_disasm_covers_all_bytes ]

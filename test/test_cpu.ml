@@ -1,0 +1,445 @@
+let case = Helpers.case
+let check_int = Helpers.check_int
+let check_bool = Helpers.check_bool
+
+let ax machine = (Helpers.regs machine).Ssx.Registers.ax
+let bx machine = (Helpers.regs machine).Ssx.Registers.bx
+let cx machine = (Helpers.regs machine).Ssx.Registers.cx
+let dx machine = (Helpers.regs machine).Ssx.Registers.dx
+
+let test_mov_imm () =
+  let machine = Helpers.exec "mov ax, 0x1234\nmov bl, 0x56\nhlt\n" in
+  check_int "ax" 0x1234 (ax machine);
+  check_int "bl" 0x56 (Ssx.Registers.get8 (Helpers.regs machine) Ssx.Registers.BL)
+
+let test_mov_memory () =
+  let machine =
+    Helpers.exec
+      "mov ax, 0xBEEF\nmov [0x100], ax\nmov bx, [0x100]\n\
+       mov cl, [0x100]\nmov ch, [0x101]\nhlt\n"
+  in
+  check_int "bx" 0xBEEF (bx machine);
+  check_int "cx byte loads" 0xBEEF (cx machine)
+
+let test_mov_base_disp () =
+  let machine =
+    Helpers.exec
+      "mov bx, 0x200\nmov ax, 0x7777\nmov [bx+4], ax\nmov dx, [0x204]\nhlt\n"
+  in
+  check_int "dx" 0x7777 (dx machine)
+
+let test_segment_override () =
+  (* Writes through es must land in the es segment. *)
+  let machine, _ =
+    Helpers.machine_with
+      "mov ax, 0x2000\nmov es, ax\nmov ax, 0xABCD\nmov [es:0x10], ax\nhlt\n"
+  in
+  Helpers.run_to_halt machine;
+  check_int "landed at 0x20010" 0xABCD
+    (Ssx.Memory.read_word (Ssx.Machine.memory machine) 0x20010)
+
+let test_default_segment_bp () =
+  (* A bp base defaults to the stack segment. *)
+  let machine, _ =
+    Helpers.machine_with
+      "mov ax, 0x3000\nmov ss, ax\nmov bp, 0x20\nmov ax, 0x5A5A\n\
+       mov [bp+2], ax\nhlt\n"
+  in
+  Helpers.run_to_halt machine;
+  check_int "landed in ss" 0x5A5A
+    (Ssx.Memory.read_word (Ssx.Machine.memory machine) 0x30022)
+
+let test_add_flags () =
+  let machine = Helpers.exec "mov ax, 0xFFFF\nadd ax, 1\nhlt\n" in
+  check_int "wrapped" 0 (ax machine);
+  check_bool "carry" true (Helpers.flag machine Ssx.Flags.Carry);
+  check_bool "zero" true (Helpers.flag machine Ssx.Flags.Zero);
+  let machine = Helpers.exec "mov ax, 0x7FFF\nadd ax, 1\nhlt\n" in
+  check_bool "overflow" true (Helpers.flag machine Ssx.Flags.Overflow);
+  check_bool "sign" true (Helpers.flag machine Ssx.Flags.Sign)
+
+let test_sub_cmp_flags () =
+  let machine = Helpers.exec "mov ax, 3\nsub ax, 5\nhlt\n" in
+  check_int "wrapped" 0xFFFE (ax machine);
+  check_bool "borrow sets carry" true (Helpers.flag machine Ssx.Flags.Carry);
+  let machine = Helpers.exec "mov ax, 5\ncmp ax, 5\nhlt\n" in
+  check_int "cmp preserves ax" 5 (ax machine);
+  check_bool "equal sets zero" true (Helpers.flag machine Ssx.Flags.Zero)
+
+let test_adc_sbb () =
+  let machine = Helpers.exec "stc\nmov ax, 1\nadc ax, 1\nhlt\n" in
+  check_int "adc adds carry" 3 (ax machine);
+  let machine = Helpers.exec "stc\nmov ax, 5\nsbb ax, 1\nhlt\n" in
+  check_int "sbb subtracts borrow" 3 (ax machine)
+
+let test_logic () =
+  let machine =
+    Helpers.exec "mov ax, 0xF0F0\nand ax, 0x0FF0\nhlt\n"
+  in
+  check_int "and" 0x00F0 (ax machine);
+  check_bool "logic clears carry" false (Helpers.flag machine Ssx.Flags.Carry);
+  let machine = Helpers.exec "mov ax, 0xF0F0\nxor ax, 0xF0F0\nhlt\n" in
+  check_bool "xor to zero" true (Helpers.flag machine Ssx.Flags.Zero)
+
+let test_inc_dec_preserve_carry () =
+  let machine = Helpers.exec "stc\nmov ax, 7\ninc ax\nhlt\n" in
+  check_bool "inc keeps carry" true (Helpers.flag machine Ssx.Flags.Carry);
+  check_int "inc" 8 (ax machine);
+  let machine = Helpers.exec "mov ax, 1\ndec ax\nhlt\n" in
+  check_bool "dec to zero" true (Helpers.flag machine Ssx.Flags.Zero)
+
+let test_shifts () =
+  let machine = Helpers.exec "mov ax, 1\nshl ax, 4\nhlt\n" in
+  check_int "shl" 16 (ax machine);
+  let machine = Helpers.exec "mov ax, 0x8000\nshl ax, 1\nhlt\n" in
+  check_bool "shl carries out the msb" true (Helpers.flag machine Ssx.Flags.Carry);
+  let machine = Helpers.exec "mov ax, 3\nshr ax, 1\nhlt\n" in
+  check_int "shr" 1 (ax machine);
+  check_bool "shr carries out the lsb" true (Helpers.flag machine Ssx.Flags.Carry)
+
+let test_mul8 () =
+  (* Figure 3 line 13: ax := al * ah. *)
+  let machine = Helpers.exec "mov al, 3\nmov ah, 26\nmul ah\nhlt\n" in
+  check_int "record offset" 78 (ax machine)
+
+let test_mul16 () =
+  let machine = Helpers.exec "mov ax, 0x1000\nmov cx, 0x10\nmul cx\nhlt\n" in
+  check_int "low word" 0 (ax machine);
+  check_int "high word" 1 (dx machine)
+
+let test_div () =
+  let machine = Helpers.exec "mov ax, 17\nmov cl, 5\ndiv cl\nhlt\n" in
+  check_int "quotient in al" 3 (Ssx.Registers.get8 (Helpers.regs machine) Ssx.Registers.AL);
+  check_int "remainder in ah" 2 (Ssx.Registers.get8 (Helpers.regs machine) Ssx.Registers.AH)
+
+let test_divide_fault () =
+  (* Division by zero vectors through IDT entry 0. *)
+  let machine, _ =
+    Helpers.machine_with "mov ax, 1\nmov cl, 0\ndiv cl\nhlt\n"
+  in
+  let cpu = Ssx.Machine.cpu machine in
+  (* Handler at 0:0x40 (idtr = 0): point vector 0 there, put hlt there. *)
+  let mem = Ssx.Machine.memory machine in
+  Ssx.Memory.write_word mem 0 0x40;   (* offset *)
+  Ssx.Memory.write_word mem 2 0x0500; (* segment *)
+  Ssx.Memory.write_byte mem 0x5040 0x71; (* hlt *)
+  Helpers.run_to_halt machine;
+  check_int "jumped to the divide handler" 0x0500 cpu.Ssx.Cpu.regs.Ssx.Registers.cs
+
+let test_stack () =
+  let machine =
+    Helpers.exec "mov ax, 0x1111\npush ax\nmov ax, 0x2222\npush ax\n\
+                  pop bx\npop cx\nhlt\n"
+  in
+  check_int "lifo first" 0x2222 (bx machine);
+  check_int "lifo second" 0x1111 (cx machine)
+
+let test_pushf_popf () =
+  let machine = Helpers.exec "stc\npushf\nclc\npopf\nhlt\n" in
+  check_bool "flags restored" true (Helpers.flag machine Ssx.Flags.Carry)
+
+let test_call_ret () =
+  let machine =
+    Helpers.exec
+      "    call sub_routine\n    hlt\nsub_routine:\n    mov ax, 0x77\n    ret\n"
+  in
+  check_int "subroutine ran" 0x77 (ax machine)
+
+let test_conditional_jumps () =
+  (* jb taken on carry: the Figure 5 validation relies on it. *)
+  let machine =
+    Helpers.exec
+      "mov ax, 1\ncmp ax, 2\njb below\nmov bx, 0xBAD\nhlt\n\
+       below:\nmov bx, 0x600D\nhlt\n"
+  in
+  check_int "jb taken" 0x600D (bx machine);
+  let machine =
+    Helpers.exec
+      "mov ax, 3\ncmp ax, 2\njb below\nmov bx, 0x600D\nhlt\n\
+       below:\nmov bx, 0xBAD\nhlt\n"
+  in
+  check_int "jb not taken" 0x600D (bx machine)
+
+let test_signed_jumps () =
+  let machine =
+    Helpers.exec
+      "mov ax, 0xFFFF\ncmp ax, 1\njl less\nmov bx, 1\nhlt\nless:\nmov bx, 2\nhlt\n"
+  in
+  check_int "-1 < 1 signed" 2 (bx machine);
+  let machine =
+    Helpers.exec
+      "mov ax, 0xFFFF\ncmp ax, 1\nja above\nmov bx, 1\nhlt\nabove:\nmov bx, 2\nhlt\n"
+  in
+  check_int "0xFFFF > 1 unsigned" 2 (bx machine)
+
+let test_loop () =
+  let machine =
+    Helpers.exec "mov cx, 5\nmov ax, 0\nagain:\ninc ax\nloop again\nhlt\n"
+  in
+  check_int "looped five times" 5 (ax machine);
+  check_int "cx exhausted" 0 (cx machine)
+
+let test_string_copy () =
+  let machine, _ =
+    Helpers.machine_with
+      "mov ax, 0x1000\nmov ds, ax\nmov es, ax\nmov si, 0x200\nmov di, 0x300\n\
+       mov cx, 4\ncld\nrep movsb\nhlt\n"
+  in
+  Ssx.Memory.load_image (Ssx.Machine.memory machine) ~base:0x10200 "abcd";
+  Helpers.run_to_halt machine;
+  Helpers.check_string "copied" "abcd"
+    (Ssx.Memory.dump (Ssx.Machine.memory machine) ~base:0x10300 ~len:4);
+  check_int "cx drained" 0 (cx machine)
+
+let test_string_direction () =
+  let machine, _ =
+    Helpers.machine_with
+      "mov ax, 0x1000\nmov ds, ax\nmov si, 0x200\nstd\nlodsb\nlodsb\nhlt\n"
+  in
+  Ssx.Memory.write_byte (Ssx.Machine.memory machine) 0x10200 0x11;
+  Ssx.Memory.write_byte (Ssx.Machine.memory machine) 0x101FF 0x22;
+  Helpers.run_to_halt machine;
+  check_int "walked backwards" 0x22
+    (Ssx.Registers.get8 (Helpers.regs machine) Ssx.Registers.AL)
+
+let test_stos () =
+  let machine, _ =
+    Helpers.machine_with
+      "mov ax, 0x1000\nmov es, ax\nmov di, 0x400\nmov ax, 0x4241\n\
+       mov cx, 3\ncld\nrep stosw\nhlt\n"
+  in
+  Helpers.run_to_halt machine;
+  Helpers.check_string "filled" "ABABAB"
+    (Ssx.Memory.dump (Ssx.Machine.memory machine) ~base:0x10400 ~len:6)
+
+let test_rep_with_zero_cx () =
+  let machine =
+    Helpers.exec "mov cx, 0\nrep movsb\nmov ax, 0x99\nhlt\n"
+  in
+  check_int "skipped" 0x99 (ax machine)
+
+let test_rep_interruptible () =
+  (* An NMI in the middle of rep movsb preempts the copy, and iret
+     resumes it where it stopped — [19]{2/3.2-REP}. *)
+  let machine, image =
+    Helpers.machine_with
+      "    mov ax, 0x1000\n    mov ds, ax\n    mov es, ax\n    mov si, 0x200\n\
+      \    mov di, 0x300\n    mov cx, 8\n    cld\n    rep movsb\n    hlt\n\
+       org 0x100\nnmi_handler:\n    mov bx, 0x7777\n    iret\n"
+  in
+  ignore image;
+  let cpu = Ssx.Machine.cpu machine in
+  let mem = Ssx.Machine.memory machine in
+  Ssx.Memory.load_image mem ~base:0x10200 "12345678";
+  (* NMI dispatches through the hardwired IDT at 0xF0000: entry 2. *)
+  Ssx.Memory.write_word mem 0xF0008 0x100;
+  Ssx.Memory.write_word mem 0xF000A 0x1000;
+  cpu.Ssx.Cpu.config |> ignore;
+  Helpers.run_steps machine 10;
+  (* Mid-copy now; raise the NMI. *)
+  Ssx.Cpu.raise_nmi cpu;
+  Helpers.run_to_halt machine;
+  check_int "handler ran" 0x7777 (bx machine);
+  Helpers.check_string "copy completed despite preemption" "12345678"
+    (Ssx.Memory.dump mem ~base:0x10300 ~len:8)
+
+let test_hlt_and_nmi_wake () =
+  let machine, _ =
+    Helpers.machine_with
+      "    hlt\n    mov ax, 0x55\n    hlt\norg 0x100\n    iret\n"
+  in
+  let cpu = Ssx.Machine.cpu machine in
+  let mem = Ssx.Machine.memory machine in
+  Ssx.Memory.write_word mem 0xF0008 0x100;
+  Ssx.Memory.write_word mem 0xF000A 0x1000;
+  Helpers.run_steps machine 5;
+  check_bool "halted" true cpu.Ssx.Cpu.halted;
+  check_int "no progress while halted" 0 (ax machine);
+  Ssx.Cpu.raise_nmi cpu;
+  Helpers.run_to_halt machine;
+  check_int "resumed after iret" 0x55 (ax machine)
+
+let test_nmi_counter_masks () =
+  (* While the counter is non-zero, the NMI pin is ignored; it fires
+     once the counter drains (the paper's augmentation). *)
+  let machine, _ = Helpers.machine_with "spin:\n    jmp spin\norg 0x100\n    hlt\n" in
+  let cpu = Ssx.Machine.cpu machine in
+  let mem = Ssx.Machine.memory machine in
+  Ssx.Memory.write_word mem 0xF0008 0x100;
+  Ssx.Memory.write_word mem 0xF000A 0x1000;
+  cpu.Ssx.Cpu.regs.Ssx.Registers.nmi_counter <- 50;
+  Ssx.Cpu.raise_nmi cpu;
+  Helpers.run_steps machine 10;
+  check_bool "still masked" false cpu.Ssx.Cpu.halted;
+  Helpers.run_steps machine 60;
+  check_bool "taken after the counter drained" true cpu.Ssx.Cpu.halted
+
+let test_nmi_sets_counter_and_iret_clears () =
+  let machine, _ =
+    Helpers.machine_with "    jmp 0\norg 0x100\n    iret\n"
+  in
+  let cpu = Ssx.Machine.cpu machine in
+  let mem = Ssx.Machine.memory machine in
+  Ssx.Memory.write_word mem 0xF0008 0x100;
+  Ssx.Memory.write_word mem 0xF000A 0x1000;
+  Ssx.Cpu.raise_nmi cpu;
+  Helpers.run_steps machine 1;
+  check_bool "counter raised on entry" true
+    (cpu.Ssx.Cpu.regs.Ssx.Registers.nmi_counter > 0);
+  Helpers.run_steps machine 1;
+  (* The handler's iret executed: counter must be zero again. *)
+  check_int "iret clears the counter" 0 cpu.Ssx.Cpu.regs.Ssx.Registers.nmi_counter
+
+let test_nmi_counter_clamped () =
+  let machine, _ = Helpers.machine_with "spin:\n    jmp spin\n" in
+  let cpu = Ssx.Machine.cpu machine in
+  cpu.Ssx.Cpu.regs.Ssx.Registers.nmi_counter <- 1_000_000_000;
+  Helpers.run_steps machine 1;
+  check_bool "clamped to the register's maximum" true
+    (cpu.Ssx.Cpu.regs.Ssx.Registers.nmi_counter
+    <= cpu.Ssx.Cpu.config.Ssx.Cpu.nmi_counter_max)
+
+let test_invalid_opcode_faults () =
+  let machine, _ = Helpers.machine_with "db 0xFF\nhlt\n" in
+  let mem = Ssx.Machine.memory machine in
+  (* Vector 6 -> 0x1000:0x80 where a hlt awaits. *)
+  Ssx.Memory.write_word mem 24 0x80;
+  Ssx.Memory.write_word mem 26 0x1000;
+  Ssx.Memory.write_byte mem 0x10080 0x71;
+  Helpers.run_to_halt machine;
+  check_int "vectored through IDT entry 6" 0x80
+    ((Helpers.regs machine).Ssx.Registers.ip - 1)
+
+let test_interrupt_flag_gates_intr () =
+  let machine, _ =
+    Helpers.machine_with
+      "    cli\n    mov ax, 1\n    sti\n    mov ax, 2\nspin:\n    jmp spin\n\
+       org 0x100\n    hlt\n"
+  in
+  let cpu = Ssx.Machine.cpu machine in
+  let mem = Ssx.Machine.memory machine in
+  Ssx.Memory.write_word mem (4 * 0x20) 0x100;
+  Ssx.Memory.write_word mem ((4 * 0x20) + 2) 0x1000;
+  Ssx.Cpu.raise_intr cpu 0x20;
+  Helpers.run_steps machine 2;
+  check_bool "masked while IF clear" false cpu.Ssx.Cpu.halted;
+  Helpers.run_steps machine 10;
+  check_bool "delivered after sti" true cpu.Ssx.Cpu.halted
+
+let test_interrupt_pushes_frame () =
+  let machine, _ =
+    Helpers.machine_with "    sti\nspin:\n    jmp spin\norg 0x100\n    hlt\n"
+  in
+  let cpu = Ssx.Machine.cpu machine in
+  let mem = Ssx.Machine.memory machine in
+  Ssx.Memory.write_word mem (4 * 0x21) 0x100;
+  Ssx.Memory.write_word mem ((4 * 0x21) + 2) 0x1000;
+  Ssx.Cpu.raise_intr cpu 0x21;
+  Helpers.run_to_halt machine;
+  let sp = cpu.Ssx.Cpu.regs.Ssx.Registers.sp in
+  check_int "three words pushed" 0xFFF8 sp;
+  check_int "saved cs" 0x1000
+    (Ssx.Memory.read_word mem (Ssx.Addr.physical ~seg:0x1000 ~off:(sp + 2)));
+  check_bool "IF cleared in handler" false (Helpers.flag machine Ssx.Flags.Interrupt)
+
+let test_hardwired_nmi_dispatch () =
+  (* With the hardwired IDT, NMI ignores a corrupted IDTR. *)
+  let config =
+    { Ssx.Cpu.default_config with
+      Ssx.Cpu.nmi_dispatch = Ssx.Cpu.Hardwired_idt 0x50000 }
+  in
+  let machine = Ssx.Machine.create ~config () in
+  let mem = Ssx.Machine.memory machine in
+  let cpu = Ssx.Machine.cpu machine in
+  (* Hardwired IDT entry 2 -> 0x0600:0x0000, where hlt lives. *)
+  Ssx.Memory.write_word mem (0x50000 + 8) 0x0000;
+  Ssx.Memory.write_word mem (0x50000 + 10) 0x0600;
+  Ssx.Memory.write_byte mem 0x6000 0x71;
+  cpu.Ssx.Cpu.idtr <- 0xABCDE (* corrupted *);
+  cpu.Ssx.Cpu.regs.Ssx.Registers.cs <- 0x1000;
+  Ssx.Memory.write_byte mem 0x10000 0x70 (* nop *);
+  Ssx.Cpu.raise_nmi cpu;
+  Helpers.run_steps machine 2;
+  check_int "reached the hardwired handler" 0x0600 cpu.Ssx.Cpu.regs.Ssx.Registers.cs;
+  check_bool "halted there" true cpu.Ssx.Cpu.halted
+
+let test_out_reaches_ports () =
+  let machine, _ = Helpers.machine_with "mov ax, 0x1234\nout 0x42, ax\nhlt\n" in
+  let seen = ref 0 in
+  Ssx.Machine.register_port machine ~port:0x42
+    ~read:(fun _ -> 0)
+    ~write:(fun _ v -> seen := v);
+  Helpers.run_to_halt machine;
+  check_int "port saw the word" 0x1234 !seen
+
+let test_in_reads_ports () =
+  let machine, _ = Helpers.machine_with "in ax, 0x42\nhlt\n" in
+  Ssx.Machine.register_port machine ~port:0x42
+    ~read:(fun _ -> 0x5678)
+    ~write:(fun _ _ -> ());
+  Helpers.run_to_halt machine;
+  check_int "read the port value" 0x5678 (ax machine)
+
+let test_xchg () =
+  let machine = Helpers.exec "mov ax, 1\nmov bx, 2\nxchg ax, bx\nhlt\n" in
+  check_int "ax" 2 (ax machine);
+  check_int "bx" 1 (bx machine)
+
+let test_far_jump () =
+  let machine, _ = Helpers.machine_with "jmp 0x2000:0x0004\n" in
+  let mem = Ssx.Machine.memory machine in
+  Ssx.Memory.write_byte mem 0x20004 0x71 (* hlt *);
+  Helpers.run_to_halt machine;
+  check_int "cs changed" 0x2000 ((Helpers.regs machine)).Ssx.Registers.cs
+
+let test_reset_pin () =
+  let machine, _ = Helpers.machine_with "mov ax, 0x42\nspin:\njmp spin\n" in
+  let cpu = Ssx.Machine.cpu machine in
+  Helpers.run_steps machine 5;
+  check_int "running" 0x42 (ax machine);
+  cpu.Ssx.Cpu.reset_pin <- true;
+  Helpers.run_steps machine 1;
+  check_int "registers cleared" 0 (ax machine);
+  check_int "at the reset vector" (fst cpu.Ssx.Cpu.config.Ssx.Cpu.reset_vector)
+    cpu.Ssx.Cpu.regs.Ssx.Registers.cs
+
+let suite =
+  [ case "mov immediates" test_mov_imm;
+    case "mov through memory" test_mov_memory;
+    case "base+displacement addressing" test_mov_base_disp;
+    case "segment override" test_segment_override;
+    case "bp defaults to ss" test_default_segment_bp;
+    case "add sets carry/zero/overflow" test_add_flags;
+    case "sub and cmp flags" test_sub_cmp_flags;
+    case "adc and sbb" test_adc_sbb;
+    case "logic operations clear carry" test_logic;
+    case "inc/dec preserve carry" test_inc_dec_preserve_carry;
+    case "shifts" test_shifts;
+    case "mul ah (figure 3 line 13)" test_mul8;
+    case "16-bit multiply" test_mul16;
+    case "8-bit divide" test_div;
+    case "divide fault vectors through IDT" test_divide_fault;
+    case "push/pop are LIFO" test_stack;
+    case "pushf/popf" test_pushf_popf;
+    case "call and ret" test_call_ret;
+    case "conditional jumps (jb)" test_conditional_jumps;
+    case "signed vs unsigned conditions" test_signed_jumps;
+    case "loop" test_loop;
+    case "rep movsb copies" test_string_copy;
+    case "direction flag walks backwards" test_string_direction;
+    case "rep stosw fills" test_stos;
+    case "rep with cx=0 is a no-op" test_rep_with_zero_cx;
+    case "rep movsb is interruptible and resumes" test_rep_interruptible;
+    case "hlt waits for NMI" test_hlt_and_nmi_wake;
+    case "NMI counter masks the pin" test_nmi_counter_masks;
+    case "NMI raises counter; iret clears it" test_nmi_sets_counter_and_iret_clears;
+    case "NMI counter clamps corrupted values" test_nmi_counter_clamped;
+    case "invalid opcode faults" test_invalid_opcode_faults;
+    case "IF gates maskable interrupts" test_interrupt_flag_gates_intr;
+    case "interrupts push flags/cs/ip" test_interrupt_pushes_frame;
+    case "hardwired NMI ignores corrupt IDTR" test_hardwired_nmi_dispatch;
+    case "out reaches port handlers" test_out_reaches_ports;
+    case "in reads port handlers" test_in_reads_ports;
+    case "xchg" test_xchg;
+    case "far jump" test_far_jump;
+    case "reset pin reinitialises" test_reset_pin ]

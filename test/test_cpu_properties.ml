@@ -1,0 +1,163 @@
+(* Differential properties: random programs executed by the machine are
+   compared instruction-for-instruction against a host-level reference
+   model of the arithmetic and the condition predicates. *)
+
+let exec_and_read source =
+  let machine = Helpers.exec source in
+  let regs = Helpers.regs machine in
+  ( regs.Ssx.Registers.ax,
+    Helpers.flag machine Ssx.Flags.Carry,
+    Helpers.flag machine Ssx.Flags.Zero,
+    Helpers.flag machine Ssx.Flags.Sign )
+
+let word_gen = QCheck.map (fun v -> v land 0xffff) QCheck.int
+
+(* Reference semantics of the binary ALU operations on 16-bit words. *)
+let reference op a b =
+  match op with
+  | "add" ->
+    let sum = a + b in
+    (sum land 0xffff, sum > 0xffff)
+  | "sub" ->
+    let diff = a - b in
+    (diff land 0xffff, diff < 0)
+  | "and" -> (a land b, false)
+  | "or" -> (a lor b, false)
+  | "xor" -> (a lxor b, false)
+  | _ -> assert false
+
+let alu_property op =
+  QCheck.Test.make ~count:200
+    ~name:(Printf.sprintf "%s matches the reference model" op)
+    (QCheck.pair word_gen word_gen)
+    (fun (a, b) ->
+      let source =
+        Printf.sprintf "mov ax, 0x%04X\n%s ax, 0x%04X\nhlt\n" a op b
+      in
+      let ax, carry, zero, sign = exec_and_read source in
+      let expected, expected_carry = reference op a b in
+      ax = expected && carry = expected_carry && zero = (expected = 0)
+      && sign = (expected land 0x8000 <> 0))
+
+let prop_cmp_is_sub_without_store =
+  QCheck.Test.make ~count:200 ~name:"cmp sets flags like sub, keeps ax"
+    (QCheck.pair word_gen word_gen)
+    (fun (a, b) ->
+      let source = Printf.sprintf "mov ax, 0x%04X\ncmp ax, 0x%04X\nhlt\n" a b in
+      let ax, carry, zero, _ = exec_and_read source in
+      let _, expected_carry = reference "sub" a b in
+      ax = a && carry = expected_carry && zero = (a = b))
+
+let prop_mul8_reference =
+  QCheck.Test.make ~count:200 ~name:"mul ah is al * ah"
+    (QCheck.pair (QCheck.int_bound 0xFF) (QCheck.int_bound 0xFF))
+    (fun (a, b) ->
+      let source = Printf.sprintf "mov al, 0x%02X\nmov ah, 0x%02X\nmul ah\nhlt\n" a b in
+      let ax, carry, _, _ = exec_and_read source in
+      ax = a * b && carry = (a * b > 0xFF))
+
+let prop_div8_reference =
+  QCheck.Test.make ~count:200 ~name:"div cl quotient and remainder"
+    (QCheck.pair (QCheck.int_bound 0xFFFF) (QCheck.int_range 1 255))
+    (fun (a, b) ->
+      QCheck.assume (a / b <= 0xFF);
+      let source = Printf.sprintf "mov ax, 0x%04X\nmov cl, 0x%02X\ndiv cl\nhlt\n" a b in
+      let ax, _, _, _ = exec_and_read source in
+      Ssx.Word.low_byte ax = a / b && Ssx.Word.high_byte ax = a mod b)
+
+let prop_shifts_reference =
+  QCheck.Test.make ~count:200 ~name:"shl/shr match the reference"
+    (QCheck.pair word_gen (QCheck.int_range 1 15))
+    (fun (a, n) ->
+      let left =
+        let source = Printf.sprintf "mov ax, 0x%04X\nshl ax, %d\nhlt\n" a n in
+        let ax, _, _, _ = exec_and_read source in
+        ax = (a lsl n) land 0xffff
+      in
+      let right =
+        let source = Printf.sprintf "mov ax, 0x%04X\nshr ax, %d\nhlt\n" a n in
+        let ax, _, _, _ = exec_and_read source in
+        ax = a lsr n
+      in
+      left && right)
+
+(* Condition predicates: load an arbitrary psw with popf, branch, and
+   compare the taken/not-taken outcome with the reference predicate. *)
+let reference_cond psw cond =
+  let flag f = psw land (1 lsl Ssx.Flags.bit f) <> 0 in
+  let cf = flag Ssx.Flags.Carry
+  and zf = flag Ssx.Flags.Zero
+  and sf = flag Ssx.Flags.Sign
+  and off = flag Ssx.Flags.Overflow in
+  match cond with
+  | Ssx.Instruction.B -> cf
+  | Ssx.Instruction.NB -> not cf
+  | Ssx.Instruction.BE -> cf || zf
+  | Ssx.Instruction.A -> not (cf || zf)
+  | Ssx.Instruction.E -> zf
+  | Ssx.Instruction.NE -> not zf
+  | Ssx.Instruction.L -> sf <> off
+  | Ssx.Instruction.GE -> sf = off
+  | Ssx.Instruction.LE -> zf || sf <> off
+  | Ssx.Instruction.G -> (not zf) && sf = off
+  | Ssx.Instruction.S -> sf
+  | Ssx.Instruction.NS -> not sf
+  | Ssx.Instruction.O -> off
+  | Ssx.Instruction.NO -> not off
+
+let prop_conditions_truth_table =
+  let show (psw, c) =
+    Printf.sprintf "psw=0x%04X cond=%s" psw (Ssx.Instruction.cond_name c)
+  in
+  QCheck.Test.make ~count:400 ~name:"conditional jumps match the predicate table"
+    (QCheck.make ~print:show
+       QCheck.Gen.(pair (map (fun v -> v land 0xffff) int) (oneofl Ssx.Instruction.all_conds)))
+    (fun (psw, cond) ->
+      let source =
+        Printf.sprintf
+          "mov ax, 0x%04X\npush ax\npopf\nj%s taken\nmov bx, 0\nhlt\n\
+           taken:\nmov bx, 1\nhlt\n"
+          psw
+          (Ssx.Instruction.cond_name cond)
+      in
+      let machine = Helpers.exec source in
+      let taken = (Helpers.regs machine).Ssx.Registers.bx = 1 in
+      taken = reference_cond psw cond)
+
+let prop_inc_dec_roundtrip =
+  QCheck.Test.make ~count:200 ~name:"inc then dec is the identity"
+    word_gen
+    (fun a ->
+      let source = Printf.sprintf "mov ax, 0x%04X\ninc ax\ndec ax\nhlt\n" a in
+      let ax, _, _, _ = exec_and_read source in
+      ax = a)
+
+let prop_push_pop_roundtrip =
+  QCheck.Test.make ~count:200 ~name:"push/pop roundtrips any word"
+    word_gen
+    (fun a ->
+      let source = Printf.sprintf "mov ax, 0x%04X\npush ax\npop bx\nhlt\n" a in
+      let machine = Helpers.exec source in
+      (Helpers.regs machine).Ssx.Registers.bx = a)
+
+let prop_neg_not =
+  QCheck.Test.make ~count:200 ~name:"neg and not match two's complement"
+    word_gen
+    (fun a ->
+      let neg =
+        let machine = Helpers.exec (Printf.sprintf "mov ax, 0x%04X\nneg ax\nhlt\n" a) in
+        (Helpers.regs machine).Ssx.Registers.ax = (-a) land 0xffff
+      in
+      let not_ =
+        let machine = Helpers.exec (Printf.sprintf "mov ax, 0x%04X\nnot ax\nhlt\n" a) in
+        (Helpers.regs machine).Ssx.Registers.ax = lnot a land 0xffff
+      in
+      neg && not_)
+
+let suite =
+  List.map QCheck_alcotest.to_alcotest
+    ([ alu_property "add"; alu_property "sub"; alu_property "and";
+       alu_property "or"; alu_property "xor" ]
+    @ [ prop_cmp_is_sub_without_store; prop_mul8_reference; prop_div8_reference;
+        prop_shifts_reference; prop_conditions_truth_table;
+        prop_inc_dec_roundtrip; prop_push_pop_roundtrip; prop_neg_not ])

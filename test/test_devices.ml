@@ -1,0 +1,147 @@
+let case = Helpers.case
+let check_int = Helpers.check_int
+let check_bool = Helpers.check_bool
+
+let idle_machine () =
+  (* A machine spinning on a nop sled; NMIs land on a hlt-free iret
+     handler in the hardwired IDT region. *)
+  let machine, _ = Helpers.machine_with "spin:\n    jmp spin\n" in
+  machine
+
+let test_watchdog_fires_periodically () =
+  let machine = idle_machine () in
+  let wd = Ssx_devices.Watchdog.create ~period:10 ~target:Ssx_devices.Watchdog.Nmi_pin in
+  Ssx.Machine.add_device machine (Ssx_devices.Watchdog.device wd);
+  Helpers.run_steps machine 100;
+  check_int "ten firings in 100 ticks" 10 (Ssx_devices.Watchdog.fired_count wd)
+
+let test_watchdog_from_any_state () =
+  (* Self-stabilization of the device itself: from any counter value the
+     signal arrives within one period. *)
+  List.iter
+    (fun corrupt ->
+      let machine = idle_machine () in
+      let wd =
+        Ssx_devices.Watchdog.create ~period:10 ~target:Ssx_devices.Watchdog.Nmi_pin
+      in
+      Ssx.Machine.add_device machine (Ssx_devices.Watchdog.device wd);
+      Ssx_devices.Watchdog.corrupt wd corrupt;
+      Helpers.run_steps machine 11;
+      check_bool
+        (Printf.sprintf "fired within a period from %d" corrupt)
+        true
+        (Ssx_devices.Watchdog.fired_count wd >= 1))
+    [ -5; 0; 1; 9; 10; 11; 1_000_000 ]
+
+let test_watchdog_no_premature_after_clamp () =
+  let machine = idle_machine () in
+  let wd = Ssx_devices.Watchdog.create ~period:100 ~target:Ssx_devices.Watchdog.Nmi_pin in
+  Ssx.Machine.add_device machine (Ssx_devices.Watchdog.device wd);
+  Ssx_devices.Watchdog.corrupt wd 5;
+  Helpers.run_steps machine 5;
+  check_int "one early signal allowed" 1 (Ssx_devices.Watchdog.fired_count wd);
+  Helpers.run_steps machine 100;
+  check_int "then the period is respected" 2 (Ssx_devices.Watchdog.fired_count wd)
+
+let test_watchdog_reset_target () =
+  let machine = idle_machine () in
+  let cpu = Ssx.Machine.cpu machine in
+  (* A hlt at the reset vector keeps the machine parked post-reset. *)
+  let seg, off = cpu.Ssx.Cpu.config.Ssx.Cpu.reset_vector in
+  Ssx.Memory.write_byte (Ssx.Machine.memory machine)
+    (Ssx.Addr.physical ~seg ~off) 0x71;
+  let wd = Ssx_devices.Watchdog.create ~period:10 ~target:Ssx_devices.Watchdog.Reset_pin in
+  Ssx.Machine.add_device machine (Ssx_devices.Watchdog.device wd);
+  Helpers.run_steps machine 12;
+  check_int "reset happened" seg cpu.Ssx.Cpu.regs.Ssx.Registers.cs;
+  check_bool "parked at the reset vector" true cpu.Ssx.Cpu.halted
+
+let test_console_capture () =
+  let machine, _ =
+    Helpers.machine_with "mov al, 'h'\nout 0x10, al\nmov al, 'i'\nout 0x10, al\nhlt\n"
+  in
+  let console = Ssx_devices.Console.create () in
+  Ssx_devices.Console.attach console machine;
+  Helpers.run_to_halt machine;
+  Helpers.check_string "captured" "hi" (Ssx_devices.Console.contents console);
+  Ssx_devices.Console.clear console;
+  Helpers.check_string "cleared" "" (Ssx_devices.Console.contents console)
+
+let test_heartbeat_timestamps () =
+  let machine, _ =
+    Helpers.machine_with "mov ax, 7\nout 0x12, ax\nmov ax, 8\nout 0x12, ax\nhlt\n"
+  in
+  let hb = Ssx_devices.Heartbeat.create () in
+  Ssx_devices.Heartbeat.attach hb machine;
+  Helpers.run_to_halt machine;
+  check_int "two samples" 2 (Ssx_devices.Heartbeat.count hb);
+  (match Ssx_devices.Heartbeat.samples hb with
+  | [ a; b ] ->
+    check_int "first value" 7 a.Ssx_devices.Heartbeat.value;
+    check_int "second value" 8 b.Ssx_devices.Heartbeat.value;
+    check_bool "time advances" true (b.Ssx_devices.Heartbeat.tick > a.Ssx_devices.Heartbeat.tick)
+  | _ -> Alcotest.fail "expected two samples");
+  match Ssx_devices.Heartbeat.last hb with
+  | Some s -> check_int "last" 8 s.Ssx_devices.Heartbeat.value
+  | None -> Alcotest.fail "no last sample"
+
+let test_nvstore () =
+  let store = Ssx_devices.Nvstore.create () in
+  Ssx_devices.Nvstore.add store ~name:"img" ~base:0x4000 "golden";
+  let mem = Ssx.Memory.create () in
+  Ssx_devices.Nvstore.install store mem "img";
+  check_bool "matches after install" true (Ssx_devices.Nvstore.verify store mem "img");
+  Ssx.Memory.write_byte mem 0x4002 0xFF;
+  check_bool "detects corruption" false (Ssx_devices.Nvstore.verify store mem "img");
+  Ssx_devices.Nvstore.install store mem "img";
+  check_bool "reinstall repairs" true (Ssx_devices.Nvstore.verify store mem "img");
+  Ssx_devices.Nvstore.install_at store mem ~base:0x5000 "img";
+  Helpers.check_string "install_at" "golden" (Ssx.Memory.dump mem ~base:0x5000 ~len:6);
+  check_bool "unknown image" true
+    (match Ssx_devices.Nvstore.install store mem "nope" with
+    | () -> false
+    | exception Not_found -> true)
+
+let test_timer_interrupts () =
+  let machine, _ =
+    Helpers.machine_with "    sti\nspin:\n    jmp spin\norg 0x100\n    hlt\n"
+  in
+  let mem = Ssx.Machine.memory machine in
+  Ssx.Memory.write_word mem (4 * 0x20) 0x100;
+  Ssx.Memory.write_word mem ((4 * 0x20) + 2) 0x1000;
+  let timer = Ssx_devices.Timer.create ~period:10 ~vector:0x20 in
+  Ssx.Machine.add_device machine (Ssx_devices.Timer.device timer);
+  Helpers.run_steps machine 15;
+  check_bool "timer fired" true (Ssx_devices.Timer.fired_count timer >= 1);
+  check_bool "handler reached" true (Ssx.Machine.cpu machine).Ssx.Cpu.halted
+
+let test_timer_clamps () =
+  let machine = idle_machine () in
+  let timer = Ssx_devices.Timer.create ~period:10 ~vector:0x20 in
+  Ssx.Machine.add_device machine (Ssx_devices.Timer.device timer);
+  Ssx_devices.Timer.corrupt timer 1_000_000;
+  Helpers.run_steps machine 11;
+  check_bool "fires within a period from a corrupt state" true
+    (Ssx_devices.Timer.fired_count timer >= 1)
+
+let test_invalid_periods_rejected () =
+  check_bool "watchdog" true
+    (match Ssx_devices.Watchdog.create ~period:0 ~target:Ssx_devices.Watchdog.Nmi_pin with
+    | _ -> false
+    | exception Invalid_argument _ -> true);
+  check_bool "timer" true
+    (match Ssx_devices.Timer.create ~period:(-3) ~vector:0 with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let suite =
+  [ case "watchdog fires periodically" test_watchdog_fires_periodically;
+    case "watchdog is self-stabilizing" test_watchdog_from_any_state;
+    case "watchdog clamping bounds damage" test_watchdog_no_premature_after_clamp;
+    case "watchdog can drive the reset pin" test_watchdog_reset_target;
+    case "console capture" test_console_capture;
+    case "heartbeat timestamps" test_heartbeat_timestamps;
+    case "non-volatile store" test_nvstore;
+    case "timer raises maskable interrupts" test_timer_interrupts;
+    case "timer clamps corrupted counters" test_timer_clamps;
+    case "invalid periods rejected" test_invalid_periods_rejected ]

@@ -1,0 +1,309 @@
+let case = Helpers.case
+let check_int = Helpers.check_int
+let check_bool = Helpers.check_bool
+
+let system () =
+  let machine, _ = Helpers.machine_with "spin:\n    jmp spin\n" in
+  { Ssx_faults.Fault.machine; watchdog = None }
+
+let test_rng_deterministic () =
+  let a = Ssx_faults.Rng.create 42L and b = Ssx_faults.Rng.create 42L in
+  for _ = 1 to 100 do
+    check_bool "same stream" true
+      (Ssx_faults.Rng.next_int64 a = Ssx_faults.Rng.next_int64 b)
+  done
+
+let test_rng_bounds () =
+  let rng = Ssx_faults.Rng.create 7L in
+  for _ = 1 to 1000 do
+    let v = Ssx_faults.Rng.int rng 17 in
+    check_bool "in range" true (v >= 0 && v < 17)
+  done;
+  for _ = 1 to 1000 do
+    let f = Ssx_faults.Rng.float rng in
+    check_bool "unit interval" true (f >= 0.0 && f < 1.0)
+  done
+
+let test_rng_split_independent () =
+  let rng = Ssx_faults.Rng.create 1L in
+  let child = Ssx_faults.Rng.split rng in
+  check_bool "different streams" true
+    (Ssx_faults.Rng.next_int64 rng <> Ssx_faults.Rng.next_int64 child)
+
+let test_rng_copy () =
+  let rng = Ssx_faults.Rng.create 5L in
+  ignore (Ssx_faults.Rng.next_int64 rng);
+  let snapshot = Ssx_faults.Rng.copy rng in
+  check_bool "copy continues identically" true
+    (Ssx_faults.Rng.next_int64 rng = Ssx_faults.Rng.next_int64 snapshot)
+
+let test_ram_bit_flip () =
+  let sys = system () in
+  let mem = Ssx.Machine.memory sys.Ssx_faults.Fault.machine in
+  Ssx.Memory.write_byte mem 0x5000 0b1010;
+  check_bool "applied" true
+    (Ssx_faults.Fault.apply sys (Ssx_faults.Fault.Ram_bit_flip { addr = 0x5000; bit = 1 }));
+  check_int "bit flipped" 0b1000 (Ssx.Memory.read_byte mem 0x5000)
+
+let test_rom_refused () =
+  let sys = system () in
+  let mem = Ssx.Machine.memory sys.Ssx_faults.Fault.machine in
+  Ssx.Memory.protect mem { Ssx.Memory.base = 0x7000; size = 0x100 };
+  check_bool "refused" false
+    (Ssx_faults.Fault.apply sys (Ssx_faults.Fault.Ram_bit_flip { addr = 0x7000; bit = 0 }));
+  check_bool "byte refused too" false
+    (Ssx_faults.Fault.apply sys (Ssx_faults.Fault.Ram_byte { addr = 0x7050; value = 1 }))
+
+let test_register_faults () =
+  let sys = system () in
+  let regs = (Ssx.Machine.cpu sys.Ssx_faults.Fault.machine).Ssx.Cpu.regs in
+  ignore (Ssx_faults.Fault.apply sys (Ssx_faults.Fault.Reg16 (Ssx.Registers.BX, 0xDEAD)));
+  check_int "bx" 0xDEAD regs.Ssx.Registers.bx;
+  ignore (Ssx_faults.Fault.apply sys (Ssx_faults.Fault.Sreg (Ssx.Registers.SS, 0x1234)));
+  check_int "ss" 0x1234 regs.Ssx.Registers.ss;
+  ignore (Ssx_faults.Fault.apply sys (Ssx_faults.Fault.Ip 0x4321));
+  check_int "ip" 0x4321 regs.Ssx.Registers.ip;
+  ignore (Ssx_faults.Fault.apply sys (Ssx_faults.Fault.Psw 0xFFFF));
+  check_int "psw" 0xFFFF regs.Ssx.Registers.psw
+
+let test_control_faults () =
+  let sys = system () in
+  let cpu = Ssx.Machine.cpu sys.Ssx_faults.Fault.machine in
+  ignore (Ssx_faults.Fault.apply sys (Ssx_faults.Fault.Idtr 0x12345));
+  check_int "idtr" 0x12345 cpu.Ssx.Cpu.idtr;
+  ignore (Ssx_faults.Fault.apply sys (Ssx_faults.Fault.Nmi_latch true));
+  check_bool "latch" true cpu.Ssx.Cpu.in_nmi;
+  ignore (Ssx_faults.Fault.apply sys Ssx_faults.Fault.Spurious_halt);
+  check_bool "halted" true cpu.Ssx.Cpu.halted;
+  ignore (Ssx_faults.Fault.apply sys (Ssx_faults.Fault.Nmi_counter 99));
+  check_int "counter" 99 cpu.Ssx.Cpu.regs.Ssx.Registers.nmi_counter
+
+let test_watchdog_fault_needs_device () =
+  let sys = system () in
+  check_bool "no watchdog -> refused" false
+    (Ssx_faults.Fault.apply sys (Ssx_faults.Fault.Watchdog_counter 5));
+  let wd = Ssx_devices.Watchdog.create ~period:10 ~target:Ssx_devices.Watchdog.Nmi_pin in
+  let sys = { sys with Ssx_faults.Fault.watchdog = Some wd } in
+  check_bool "applied" true
+    (Ssx_faults.Fault.apply sys (Ssx_faults.Fault.Watchdog_counter 5));
+  check_int "counter set" 5 (Ssx_devices.Watchdog.counter wd)
+
+let space_without sel =
+  let base = Ssx_faults.Fault.default_space in
+  sel { base with Ssx_faults.Fault.ram_regions = [ (0x1000, 0x100) ] }
+
+let test_space_filters () =
+  let rng = Ssx_faults.Rng.create 11L in
+  (* idtr disabled: no Idtr faults in 2000 draws. *)
+  let space =
+    space_without (fun s -> { s with Ssx_faults.Fault.idtr_faults = false })
+  in
+  for _ = 1 to 2000 do
+    match Ssx_faults.Fault.random rng space with
+    | Ssx_faults.Fault.Idtr _ -> Alcotest.fail "idtr fault drawn"
+    | _ -> ()
+  done;
+  let space =
+    space_without (fun s -> { s with Ssx_faults.Fault.halt_faults = false })
+  in
+  for _ = 1 to 2000 do
+    match Ssx_faults.Fault.random rng space with
+    | Ssx_faults.Fault.Spurious_halt -> Alcotest.fail "halt fault drawn"
+    | _ -> ()
+  done
+
+let test_ram_faults_respect_regions () =
+  let rng = Ssx_faults.Rng.create 13L in
+  let space =
+    { Ssx_faults.Fault.ram_regions = [ (0x2000, 0x10); (0x8000, 0x10) ];
+      registers = false;
+      control_state = false;
+      halt_faults = false;
+      idtr_faults = false;
+      watchdog_state = false }
+  in
+  for _ = 1 to 1000 do
+    match Ssx_faults.Fault.random rng space with
+    | Ssx_faults.Fault.Ram_bit_flip { addr; _ } | Ssx_faults.Fault.Ram_byte { addr; _ } ->
+      check_bool "in region" true
+        ((addr >= 0x2000 && addr < 0x2010) || (addr >= 0x8000 && addr < 0x8010))
+    | fault ->
+      Alcotest.failf "unexpected fault %s" (Ssx_faults.Fault.to_string fault)
+  done
+
+let test_injector_burst () =
+  let machine, _ = Helpers.machine_with "spin:\n    jmp spin\n" in
+  let sys = { Ssx_faults.Fault.machine; watchdog = None } in
+  let rng = Ssx_faults.Rng.create 3L in
+  let space =
+    { Ssx_faults.Fault.default_space with
+      Ssx_faults.Fault.ram_regions = [ (0x2000, 0x100) ] }
+  in
+  let injector =
+    Ssx_faults.Injector.attach sys ~rng ~space
+      ~schedule:(Ssx_faults.Injector.Burst { at = 10; count = 5 })
+  in
+  Helpers.run_steps machine 20;
+  check_bool "about five faults at tick 10" true
+    (Ssx_faults.Injector.injected_count injector >= 3);
+  List.iter
+    (fun (tick, _) -> check_int "all at tick 10" 10 tick)
+    (Ssx_faults.Injector.injected injector)
+
+let test_injector_every () =
+  let machine, _ = Helpers.machine_with "spin:\n    jmp spin\n" in
+  let sys = { Ssx_faults.Fault.machine; watchdog = None } in
+  let rng = Ssx_faults.Rng.create 3L in
+  let space =
+    { Ssx_faults.Fault.ram_regions = [ (0x2000, 0x100) ];
+      registers = false; control_state = false; halt_faults = false;
+      idtr_faults = false; watchdog_state = false }
+  in
+  let injector =
+    Ssx_faults.Injector.attach sys ~rng ~space
+      ~schedule:(Ssx_faults.Injector.Every { period = 10; start_tick = 10; stop_tick = 50 })
+  in
+  Helpers.run_steps machine 100;
+  check_int "five injections" 5 (Ssx_faults.Injector.injected_count injector)
+
+let test_injector_disarm () =
+  let machine, _ = Helpers.machine_with "spin:\n    jmp spin\n" in
+  let sys = { Ssx_faults.Fault.machine; watchdog = None } in
+  let rng = Ssx_faults.Rng.create 3L in
+  let space =
+    { Ssx_faults.Fault.default_space with
+      Ssx_faults.Fault.ram_regions = [ (0x2000, 0x100) ] }
+  in
+  let injector =
+    Ssx_faults.Injector.attach sys ~rng ~space
+      ~schedule:(Ssx_faults.Injector.Every { period = 1; start_tick = 0; stop_tick = max_int })
+  in
+  Helpers.run_steps machine 10;
+  Ssx_faults.Injector.disarm injector;
+  let before = Ssx_faults.Injector.injected_count injector in
+  Helpers.run_steps machine 10;
+  check_int "no faults after disarm" before (Ssx_faults.Injector.injected_count injector)
+
+let test_injector_at () =
+  let machine, _ = Helpers.machine_with "spin:\n    jmp spin\n" in
+  let sys = { Ssx_faults.Fault.machine; watchdog = None } in
+  let rng = Ssx_faults.Rng.create 19L in
+  let space =
+    { Ssx_faults.Fault.ram_regions = [ (0x2000, 0x100) ];
+      registers = false; control_state = false; halt_faults = false;
+      idtr_faults = false; watchdog_state = false }
+  in
+  let injector =
+    Ssx_faults.Injector.attach sys ~rng ~space
+      ~schedule:(Ssx_faults.Injector.At [ 3; 7; 7; 15 ])
+  in
+  Helpers.run_steps machine 20;
+  check_int "one fault per listed tick (7 twice)" 4
+    (Ssx_faults.Injector.injected_count injector);
+  let ticks = List.map fst (Ssx_faults.Injector.injected injector) in
+  Alcotest.(check (list int)) "at the listed ticks" [ 3; 7; 7; 15 ] ticks
+
+let test_injector_poisson_window_and_determinism () =
+  let run () =
+    let machine, _ = Helpers.machine_with "spin:\n    jmp spin\n" in
+    let sys = { Ssx_faults.Fault.machine; watchdog = None } in
+    let rng = Ssx_faults.Rng.create 23L in
+    let space =
+      { Ssx_faults.Fault.ram_regions = [ (0x2000, 0x100) ];
+        registers = false; control_state = false; halt_faults = false;
+        idtr_faults = false; watchdog_state = false }
+    in
+    let injector =
+      Ssx_faults.Injector.attach sys ~rng ~space
+        ~schedule:
+          (Ssx_faults.Injector.Poisson
+             { rate = 0.05; start_tick = 100; stop_tick = 900 })
+    in
+    Helpers.run_steps machine 1_000;
+    Ssx_faults.Injector.injected injector
+  in
+  let a = run () and b = run () in
+  check_bool "some faults fired" true (List.length a > 10);
+  List.iter
+    (fun (tick, _) -> check_bool "inside the window" true (tick >= 100 && tick <= 900))
+    a;
+  check_int "same seed, same schedule" (List.length a) (List.length b);
+  Alcotest.(check (list int)) "tick-for-tick deterministic"
+    (List.map fst a) (List.map fst b)
+
+let test_nothing_schedule () =
+  let machine, _ = Helpers.machine_with "spin:\n    jmp spin\n" in
+  let sys = { Ssx_faults.Fault.machine; watchdog = None } in
+  let rng = Ssx_faults.Rng.create 1L in
+  let injector =
+    Ssx_faults.Injector.attach sys ~rng ~space:Ssx_faults.Fault.default_space
+      ~schedule:Ssx_faults.Injector.Nothing
+  in
+  Helpers.run_steps machine 100;
+  check_int "never fires" 0 (Ssx_faults.Injector.injected_count injector)
+
+let test_fault_pretty_printing () =
+  List.iter
+    (fun (fault, fragment) ->
+      check_bool
+        (Printf.sprintf "renders %s" fragment)
+        true
+        (Astring_contains.contains (Ssx_faults.Fault.to_string fault) fragment))
+    [ (Ssx_faults.Fault.Ram_bit_flip { addr = 0x1234; bit = 3 }, "ram-bit-flip");
+      (Ssx_faults.Fault.Ram_byte { addr = 0x1234; value = 0xFF }, "ram-byte");
+      (Ssx_faults.Fault.Reg16 (Ssx.Registers.AX, 1), "reg ax");
+      (Ssx_faults.Fault.Sreg (Ssx.Registers.SS, 1), "sreg ss");
+      (Ssx_faults.Fault.Ip 0x10, "ip <-");
+      (Ssx_faults.Fault.Psw 0x10, "psw <-");
+      (Ssx_faults.Fault.Nmi_counter 9, "nmi-counter");
+      (Ssx_faults.Fault.Nmi_latch true, "nmi-latch");
+      (Ssx_faults.Fault.Idtr 0x10, "idtr");
+      (Ssx_faults.Fault.Spurious_halt, "halt");
+      (Ssx_faults.Fault.Watchdog_counter 7, "watchdog-counter") ]
+
+let test_inject_now () =
+  let sys = system () in
+  let rng = Ssx_faults.Rng.create 17L in
+  let space =
+    { Ssx_faults.Fault.default_space with
+      Ssx_faults.Fault.ram_regions = [ (0x2000, 0x100) ] }
+  in
+  let faults = Ssx_faults.Injector.inject_now sys ~rng ~space 7 in
+  check_int "exactly seven applied" 7 (List.length faults)
+
+let prop_random_faults_apply =
+  QCheck.Test.make ~count:200 ~name:"random faults always apply outside ROM"
+    (QCheck.int_bound 1_000_000)
+    (fun seed ->
+      let machine, _ = Helpers.machine_with "spin:\n    jmp spin\n" in
+      let wd = Ssx_devices.Watchdog.create ~period:10 ~target:Ssx_devices.Watchdog.Nmi_pin in
+      let sys = { Ssx_faults.Fault.machine; watchdog = Some wd } in
+      let rng = Ssx_faults.Rng.create (Int64.of_int seed) in
+      let space =
+        { Ssx_faults.Fault.default_space with
+          Ssx_faults.Fault.ram_regions = [ (0x1000, 0x1000) ] }
+      in
+      Ssx_faults.Fault.apply sys (Ssx_faults.Fault.random rng space))
+
+let suite =
+  [ case "rng is deterministic" test_rng_deterministic;
+    case "rng bounds" test_rng_bounds;
+    case "rng split independence" test_rng_split_independent;
+    case "rng copy" test_rng_copy;
+    case "ram bit flip" test_ram_bit_flip;
+    case "ROM faults are refused" test_rom_refused;
+    case "register faults" test_register_faults;
+    case "control-state faults" test_control_faults;
+    case "watchdog fault needs the device" test_watchdog_fault_needs_device;
+    case "space filters exclude classes" test_space_filters;
+    case "ram faults stay in their regions" test_ram_faults_respect_regions;
+    case "burst schedule" test_injector_burst;
+    case "every schedule" test_injector_every;
+    case "disarm" test_injector_disarm;
+    case "at schedule" test_injector_at;
+    case "poisson schedule: window and determinism"
+      test_injector_poisson_window_and_determinism;
+    case "nothing schedule" test_nothing_schedule;
+    case "fault pretty-printing" test_fault_pretty_printing;
+    case "inject_now applies exactly n" test_inject_now ]
+  @ List.map QCheck_alcotest.to_alcotest [ prop_random_faults_apply ]

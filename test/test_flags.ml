@@ -1,0 +1,69 @@
+let case = Helpers.case
+let check_bool = Helpers.check_bool
+let check_int = Helpers.check_int
+
+let all_flags =
+  [ Ssx.Flags.Carry; Ssx.Flags.Parity; Ssx.Flags.Zero; Ssx.Flags.Sign;
+    Ssx.Flags.Interrupt; Ssx.Flags.Direction; Ssx.Flags.Overflow ]
+
+let test_set_get () =
+  List.iter
+    (fun f ->
+      let psw = Ssx.Flags.set Ssx.Flags.initial f true in
+      check_bool "set" true (Ssx.Flags.get psw f);
+      let psw = Ssx.Flags.set psw f false in
+      check_bool "cleared" false (Ssx.Flags.get psw f))
+    all_flags
+
+let test_independence () =
+  (* Setting one flag must not disturb the others. *)
+  List.iter
+    (fun f ->
+      let psw = Ssx.Flags.set 0 f true in
+      List.iter
+        (fun other ->
+          if other <> f then
+            check_bool "independent" false (Ssx.Flags.get psw other))
+        all_flags)
+    all_flags
+
+let test_initial () =
+  check_bool "interrupts disabled at power-on" false
+    (Ssx.Flags.get Ssx.Flags.initial Ssx.Flags.Interrupt);
+  check_int "initial is zero" 0 Ssx.Flags.initial
+
+let test_of_result () =
+  let psw = Ssx.Flags.of_result 0 0 in
+  check_bool "zero" true (Ssx.Flags.get psw Ssx.Flags.Zero);
+  check_bool "not signed" false (Ssx.Flags.get psw Ssx.Flags.Sign);
+  let psw = Ssx.Flags.of_result 0 0x8000 in
+  check_bool "sign" true (Ssx.Flags.get psw Ssx.Flags.Sign);
+  check_bool "not zero" false (Ssx.Flags.get psw Ssx.Flags.Zero);
+  (* Carry is untouched by of_result. *)
+  let with_carry = Ssx.Flags.set 0 Ssx.Flags.Carry true in
+  let psw = Ssx.Flags.of_result with_carry 7 in
+  check_bool "carry preserved" true (Ssx.Flags.get psw Ssx.Flags.Carry)
+
+let test_of_result8 () =
+  let psw = Ssx.Flags.of_result8 0 0x80 in
+  check_bool "8-bit sign" true (Ssx.Flags.get psw Ssx.Flags.Sign);
+  let psw = Ssx.Flags.of_result8 0 0x100 in
+  check_bool "masked to byte: zero" true (Ssx.Flags.get psw Ssx.Flags.Zero)
+
+let test_word_identity () =
+  (* The psw is a plain word: corruption can set any bit pattern. *)
+  let psw = 0xFFFF in
+  List.iter (fun f -> check_bool "all set" true (Ssx.Flags.get psw f)) all_flags
+
+let test_pp () =
+  let psw = Ssx.Flags.set (Ssx.Flags.set 0 Ssx.Flags.Carry true) Ssx.Flags.Zero true in
+  Helpers.check_string "symbolic" "[CF ZF]" (Format.asprintf "%a" Ssx.Flags.pp psw)
+
+let suite =
+  [ case "set and get" test_set_get;
+    case "flag independence" test_independence;
+    case "initial state" test_initial;
+    case "of_result updates ZF/SF/PF" test_of_result;
+    case "of_result8" test_of_result8;
+    case "psw is a plain word" test_word_identity;
+    case "pretty printing" test_pp ]

@@ -1,0 +1,145 @@
+let case = Helpers.case
+let check_int = Helpers.check_int
+let check_bool = Helpers.check_bool
+
+(* Small graphs used across the tests. *)
+let path n =
+  Array.init n (fun v ->
+      List.filter (fun w -> w >= 0 && w < n) [ v - 1; v + 1 ])
+
+let cycle n = Array.init n (fun v -> [ (v + n - 1) mod n; (v + 1) mod n ])
+
+let complete n =
+  Array.init n (fun v -> List.filter (fun w -> w <> v) (List.init n Fun.id))
+
+let random_graph rng n p =
+  let adj = Array.make n [] in
+  for v = 0 to n - 1 do
+    for w = v + 1 to n - 1 do
+      if Ssx_faults.Rng.float rng < p then begin
+        adj.(v) <- w :: adj.(v);
+        adj.(w) <- v :: adj.(w)
+      end
+    done
+  done;
+  adj
+
+(* ---------------------------- BFS tree ---------------------------- *)
+
+let test_bfs_converges_on_path () =
+  let t = Ssos_algorithms.Bfs_tree.create ~graph:(path 6) ~root:0 in
+  match Ssos_algorithms.Bfs_tree.rounds_to_stabilize t ~max_rounds:20 with
+  | Some rounds ->
+    check_bool "within diameter-ish rounds" true (rounds <= 12);
+    check_bool "legitimate" true (Ssos_algorithms.Bfs_tree.legitimate t);
+    Alcotest.(check (array int)) "distances" [| 0; 1; 2; 3; 4; 5 |]
+      (Ssos_algorithms.Bfs_tree.distances t)
+  | None -> Alcotest.fail "did not stabilize"
+
+let test_bfs_parents_point_home () =
+  let t = Ssos_algorithms.Bfs_tree.create ~graph:(cycle 8) ~root:2 in
+  ignore (Ssos_algorithms.Bfs_tree.rounds_to_stabilize t ~max_rounds:30);
+  let parents = Ssos_algorithms.Bfs_tree.parents t in
+  let distances = Ssos_algorithms.Bfs_tree.distances t in
+  Array.iteri
+    (fun v p ->
+      if v <> 2 then
+        check_int (Printf.sprintf "parent of %d is one closer" v)
+          (distances.(v) - 1) distances.(p))
+    parents
+
+let test_bfs_recovers_from_underestimates () =
+  (* Corrupted-low distances are the hard case: they must float up. *)
+  let t = Ssos_algorithms.Bfs_tree.create ~graph:(path 6) ~root:0 in
+  ignore (Ssos_algorithms.Bfs_tree.rounds_to_stabilize t ~max_rounds:20);
+  Ssos_algorithms.Bfs_tree.set_distance t 5 0;
+  check_bool "now illegitimate" false (Ssos_algorithms.Bfs_tree.legitimate t);
+  match Ssos_algorithms.Bfs_tree.rounds_to_stabilize t ~max_rounds:30 with
+  | Some _ -> check_bool "recovered" true (Ssos_algorithms.Bfs_tree.legitimate t)
+  | None -> Alcotest.fail "under-estimate never flushed"
+
+let test_bfs_validation () =
+  check_bool "root out of range" true
+    (match Ssos_algorithms.Bfs_tree.create ~graph:(path 3) ~root:9 with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let prop_bfs_converges_random =
+  QCheck.Test.make ~count:100 ~name:"BFS tree converges on random graphs"
+    (QCheck.pair (QCheck.int_range 2 12) QCheck.int)
+    (fun (n, seed) ->
+      let rng = Ssx_faults.Rng.create (Int64.of_int seed) in
+      let graph = random_graph rng n 0.4 in
+      let t = Ssos_algorithms.Bfs_tree.create ~graph ~root:0 in
+      (* Corrupt everything. *)
+      for v = 0 to n - 1 do
+        Ssos_algorithms.Bfs_tree.set_distance t v (Ssx_faults.Rng.int rng 50)
+      done;
+      match
+        Ssos_algorithms.Bfs_tree.rounds_to_stabilize t ~max_rounds:(4 * n + 60)
+      with
+      | Some _ -> Ssos_algorithms.Bfs_tree.legitimate t
+      | None -> false)
+
+(* ---------------------------- colouring --------------------------- *)
+
+let test_coloring_path () =
+  let t = Ssos_algorithms.Coloring.create ~graph:(path 7) in
+  check_bool "starts conflicting" true (Ssos_algorithms.Coloring.conflict_edges t > 0);
+  match Ssos_algorithms.Coloring.moves_to_stabilize t ~max_moves:100 with
+  | Some moves ->
+    check_bool "bounded by |E|" true (moves <= 6);
+    check_bool "proper" true (Ssos_algorithms.Coloring.legitimate t)
+  | None -> Alcotest.fail "did not stabilize"
+
+let test_coloring_uses_at_most_delta_plus_one () =
+  let graph = complete 5 in
+  let t = Ssos_algorithms.Coloring.create ~graph in
+  ignore (Ssos_algorithms.Coloring.moves_to_stabilize t ~max_moves:100);
+  let delta = Ssos_algorithms.Coloring.max_degree graph in
+  Array.iter
+    (fun c -> check_bool "within delta+1 colours" true (c <= delta))
+    (Ssos_algorithms.Coloring.colors t)
+
+let test_coloring_closure () =
+  let t = Ssos_algorithms.Coloring.create ~graph:(cycle 6) in
+  ignore (Ssos_algorithms.Coloring.moves_to_stabilize t ~max_moves:100);
+  check_int "no further moves once proper" 0 (Ssos_algorithms.Coloring.step_round t)
+
+let test_coloring_recovers_from_corruption () =
+  let t = Ssos_algorithms.Coloring.create ~graph:(cycle 6) in
+  ignore (Ssos_algorithms.Coloring.moves_to_stabilize t ~max_moves:100);
+  Ssos_algorithms.Coloring.set_color t 3 (Ssos_algorithms.Coloring.colors t).(2);
+  check_bool "conflict introduced" true (Ssos_algorithms.Coloring.in_conflict t 3);
+  match Ssos_algorithms.Coloring.moves_to_stabilize t ~max_moves:20 with
+  | Some moves -> check_bool "few moves" true (moves <= 6)
+  | None -> Alcotest.fail "did not recover"
+
+let prop_coloring_converges_random =
+  QCheck.Test.make ~count:100 ~name:"colouring converges within |E| moves"
+    (QCheck.pair (QCheck.int_range 2 12) QCheck.int)
+    (fun (n, seed) ->
+      let rng = Ssx_faults.Rng.create (Int64.of_int seed) in
+      let graph = random_graph rng n 0.5 in
+      let edges =
+        Array.fold_left (fun acc l -> acc + List.length l) 0 graph / 2
+      in
+      let t = Ssos_algorithms.Coloring.create ~graph in
+      for v = 0 to n - 1 do
+        Ssos_algorithms.Coloring.set_color t v (Ssx_faults.Rng.int rng 4)
+      done;
+      match Ssos_algorithms.Coloring.moves_to_stabilize t ~max_moves:(edges + 1) with
+      | Some _ -> Ssos_algorithms.Coloring.legitimate t
+      | None -> false)
+
+let suite =
+  [ case "BFS converges on a path" test_bfs_converges_on_path;
+    case "BFS parents point home" test_bfs_parents_point_home;
+    case "BFS flushes under-estimates" test_bfs_recovers_from_underestimates;
+    case "BFS validation" test_bfs_validation;
+    case "colouring stabilizes on a path" test_coloring_path;
+    case "colouring stays within delta+1" test_coloring_uses_at_most_delta_plus_one;
+    case "colouring closure" test_coloring_closure;
+    case "colouring recovers from corruption" test_coloring_recovers_from_corruption ]
+  @ List.map QCheck_alcotest.to_alcotest
+      [ prop_bfs_converges_random; prop_coloring_converges_random ]

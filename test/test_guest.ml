@@ -1,0 +1,120 @@
+let case = Helpers.case
+let check_int = Helpers.check_int
+let check_bool = Helpers.check_bool
+
+(* Run a guest image bare: install at OS_SEGMENT and jump in. *)
+let boot_guest guest =
+  let machine = Ssx.Machine.create () in
+  Ssx.Memory.load_image (Ssx.Machine.memory machine)
+    ~base:(Ssos.Layout.os_segment lsl 4)
+    (Ssos.Guest.image_bytes guest);
+  let regs = (Ssx.Machine.cpu machine).Ssx.Cpu.regs in
+  regs.Ssx.Registers.cs <- Ssos.Layout.os_segment;
+  regs.Ssx.Registers.ip <- 0;
+  let hb = Ssx_devices.Heartbeat.create () in
+  Ssx_devices.Heartbeat.attach hb ~port:Ssos.Layout.heartbeat_port machine;
+  (machine, hb)
+
+let test_images_fit () =
+  List.iter
+    (fun guest ->
+      let bytes = Ssos.Guest.image_bytes guest in
+      check_int "padded to image size" Ssos.Layout.os_image_size
+        (String.length bytes))
+    [ Ssos.Guest.heartbeat_kernel (); Ssos.Guest.task_kernel () ]
+
+let test_heartbeat_kernel_beats () =
+  let machine, hb = boot_guest (Ssos.Guest.heartbeat_kernel ()) in
+  Ssx.Machine.run machine ~ticks:2_000;
+  let samples = Ssx_devices.Heartbeat.samples hb in
+  check_bool "several beats" true (List.length samples > 5);
+  List.iteri
+    (fun i s -> check_int "strictly incrementing" (i + 1) s.Ssx_devices.Heartbeat.value)
+    samples
+
+let test_heartbeat_kernel_work_units () =
+  (* Larger work units stretch the interval between beats. *)
+  let beats work =
+    let machine, hb = boot_guest (Ssos.Guest.heartbeat_kernel ~work_units:work ()) in
+    Ssx.Machine.run machine ~ticks:5_000;
+    Ssx_devices.Heartbeat.count hb
+  in
+  check_bool "more work, fewer beats" true (beats 500 < beats 50)
+
+let test_task_kernel_beats () =
+  let machine, hb = boot_guest (Ssos.Guest.task_kernel ()) in
+  Ssx.Machine.run machine ~ticks:5_000;
+  let samples = Ssx_devices.Heartbeat.samples hb in
+  check_bool "several beats" true (List.length samples > 3);
+  List.iteri
+    (fun i s -> check_int "strictly incrementing" (i + 1) s.Ssx_devices.Heartbeat.value)
+    samples
+
+let test_task_kernel_data_addresses () =
+  let machine, hb = boot_guest (Ssos.Guest.task_kernel ()) in
+  Ssx.Machine.run machine ~ticks:5_000;
+  let mem = Ssx.Machine.memory machine in
+  let counter = Ssx.Memory.read_word mem Ssos.Guest.counter_addr in
+  (match Ssx_devices.Heartbeat.last hb with
+  | Some s -> check_int "counter address matches output" s.Ssx_devices.Heartbeat.value counter
+  | None -> Alcotest.fail "no beats");
+  check_int "liveness mirrors the counter" counter
+    (Ssx.Memory.read_word mem Ssos.Guest.liveness_addr);
+  let index = Ssx.Memory.read_word mem Ssos.Guest.task_index_addr in
+  check_bool "index in range" true (index < 4);
+  check_int "first table entry is the golden increment" 1
+    (Ssx.Memory.read_word mem Ssos.Guest.task_table_addr);
+  check_int "second is the divisor" Ssos.Guest.task_divisor
+    (Ssx.Memory.read_word mem (Ssos.Guest.task_table_addr + 2))
+
+let test_task_kernel_divide_fault_on_zero_divisor () =
+  let machine, _ = boot_guest (Ssos.Guest.task_kernel ()) in
+  let mem = Ssx.Machine.memory machine in
+  (* Park a hlt behind IDT vector 0 to observe the #DE. *)
+  Ssx.Memory.write_word mem 0 0x40;
+  Ssx.Memory.write_word mem 2 0x0777;
+  Ssx.Memory.write_byte mem 0x77B0 0x71;
+  Ssx.Memory.write_word mem (Ssos.Guest.task_table_addr + 2) 0;
+  (match
+     Ssx.Machine.run_until machine ~limit:10_000 (fun m ->
+         (Ssx.Machine.cpu m).Ssx.Cpu.halted)
+   with
+  | Some _ -> ()
+  | None -> Alcotest.fail "no divide fault observed");
+  check_int "vectored to the #DE handler" 0x0777
+    ((Ssx.Machine.cpu machine).Ssx.Cpu.regs.Ssx.Registers.cs)
+
+let test_task_kernel_runaway_index () =
+  (* The naive wrap check only catches the exact boundary: a corrupted
+     index keeps running — the weakness the §4 monitor exists for. *)
+  let machine, hb = boot_guest (Ssos.Guest.task_kernel ()) in
+  let mem = Ssx.Machine.memory machine in
+  Ssx.Machine.run machine ~ticks:2_000;
+  Ssx.Memory.write_word mem Ssos.Guest.task_index_addr 0x0100;
+  Ssx.Machine.run machine ~ticks:2_000;
+  let index = Ssx.Memory.read_word mem Ssos.Guest.task_index_addr in
+  check_bool "index stays out of range" true (index >= 4);
+  ignore hb
+
+let test_symbols_exposed () =
+  let guest = Ssos.Guest.heartbeat_kernel () in
+  check_int "entry label" 0 (Ssos.Guest.symbol guest "start");
+  check_int "tick counter" Ssos.Layout.os_data_offset
+    (Ssos.Guest.symbol guest "TICK_COUNTER")
+
+let test_task_count_validation () =
+  check_bool "zero tasks rejected" true
+    (match Ssos.Guest.task_kernel ~tasks:0 () with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let suite =
+  [ case "images are padded to the image size" test_images_fit;
+    case "heartbeat kernel beats incrementally" test_heartbeat_kernel_beats;
+    case "work units stretch the beat interval" test_heartbeat_kernel_work_units;
+    case "task kernel beats incrementally" test_task_kernel_beats;
+    case "task kernel data addresses" test_task_kernel_data_addresses;
+    case "zero divisor raises #DE" test_task_kernel_divide_fault_on_zero_divisor;
+    case "runaway index is not self-corrected" test_task_kernel_runaway_index;
+    case "symbols exposed" test_symbols_exposed;
+    case "task count validated" test_task_count_validation ]

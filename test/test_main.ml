@@ -1,0 +1,28 @@
+let () =
+  Alcotest.run "ssos"
+    [ ("word", Test_word.suite);
+      ("flags", Test_flags.suite);
+      ("memory", Test_memory.suite);
+      ("registers", Test_registers.suite);
+      ("codec", Test_codec.suite);
+      ("cpu", Test_cpu.suite);
+      ("cpu properties (differential)", Test_cpu_properties.suite);
+      ("asm", Test_asm.suite);
+      ("devices", Test_devices.suite);
+      ("faults", Test_faults.suite);
+      ("stabilization", Test_stab.suite);
+      ("guest", Test_guest.suite);
+      ("reinstall (section 3)", Test_reinstall.suite);
+      ("preemptive guest and wiring variants", Test_preemptive.suite);
+      ("monitor (section 4)", Test_monitor.suite);
+      ("monitor over the journal kernel", Test_journal.suite);
+      ("process model (section 5)", Test_process.suite);
+      ("primitive scheduler (section 5.1)", Test_primitive.suite);
+      ("self-stabilizing scheduler (section 5.2)", Test_sched.suite);
+      ("baselines", Test_baselines.suite);
+      ("algorithms", Test_algorithms.suite);
+      ("graph algorithms", Test_graph_algorithms.suite);
+      ("token ring on the tiny OS", Test_token_os.suite);
+      ("experiments", Test_experiments.suite);
+      ("tooling (trace, snapshot)", Test_tooling.suite);
+      ("cross-cutting consistency", Test_consistency.suite) ]

@@ -1,0 +1,102 @@
+let case = Helpers.case
+let check_int = Helpers.check_int
+let check_bool = Helpers.check_bool
+
+let test_read_write () =
+  let mem = Ssx.Memory.create () in
+  Ssx.Memory.write_byte mem 0x1234 0xAB;
+  check_int "byte" 0xAB (Ssx.Memory.read_byte mem 0x1234);
+  check_int "fresh memory is zero" 0 (Ssx.Memory.read_byte mem 0x4321)
+
+let test_word_endianness () =
+  let mem = Ssx.Memory.create () in
+  Ssx.Memory.write_word mem 0x100 0x1234;
+  check_int "little-endian low" 0x34 (Ssx.Memory.read_byte mem 0x100);
+  check_int "little-endian high" 0x12 (Ssx.Memory.read_byte mem 0x101);
+  check_int "word read" 0x1234 (Ssx.Memory.read_word mem 0x100)
+
+let test_address_wrap () =
+  let mem = Ssx.Memory.create () in
+  Ssx.Memory.write_byte mem Ssx.Addr.memory_size 0x77;
+  check_int "wraps at 1 MiB" 0x77 (Ssx.Memory.read_byte mem 0);
+  Ssx.Memory.write_word mem (Ssx.Addr.memory_size - 1) 0xBEEF;
+  check_int "word wraps" 0xEF (Ssx.Memory.read_byte mem (Ssx.Addr.memory_size - 1));
+  check_int "word wraps high byte" 0xBE (Ssx.Memory.read_byte mem 0)
+
+let test_rom_protection () =
+  let mem = Ssx.Memory.create () in
+  Ssx.Memory.write_byte mem 0x5000 0x11;
+  Ssx.Memory.protect mem { Ssx.Memory.base = 0x5000; size = 0x100 };
+  Ssx.Memory.write_byte mem 0x5000 0x99;
+  check_int "write to ROM ignored" 0x11 (Ssx.Memory.read_byte mem 0x5000);
+  Ssx.Memory.write_byte mem 0x50FF 0x99;
+  check_int "last ROM byte protected" 0 (Ssx.Memory.read_byte mem 0x50FF);
+  Ssx.Memory.write_byte mem 0x5100 0x99;
+  check_int "byte after ROM writable" 0x99 (Ssx.Memory.read_byte mem 0x5100);
+  check_bool "is_protected inside" true (Ssx.Memory.is_protected mem 0x5080);
+  check_bool "is_protected outside" false (Ssx.Memory.is_protected mem 0x5100)
+
+let test_force_write () =
+  let mem = Ssx.Memory.create () in
+  Ssx.Memory.protect mem { Ssx.Memory.base = 0; size = 0x10 };
+  Ssx.Memory.force_write_byte mem 0 0x42;
+  check_int "force write bypasses ROM" 0x42 (Ssx.Memory.read_byte mem 0)
+
+let test_load_dump () =
+  let mem = Ssx.Memory.create () in
+  Ssx.Memory.load_image mem ~base:0x2000 "hello";
+  Helpers.check_string "roundtrip" "hello" (Ssx.Memory.dump mem ~base:0x2000 ~len:5);
+  check_int "bytes placed" (Char.code 'h') (Ssx.Memory.read_byte mem 0x2000)
+
+let test_load_into_rom () =
+  let mem = Ssx.Memory.create () in
+  Ssx.Memory.protect mem { Ssx.Memory.base = 0x3000; size = 0x10 };
+  Ssx.Memory.load_image mem ~base:0x3000 "xyz";
+  Helpers.check_string "load_image bypasses protection (boot-time install)" "xyz"
+    (Ssx.Memory.dump mem ~base:0x3000 ~len:3)
+
+let test_blit () =
+  let mem = Ssx.Memory.create () in
+  Ssx.Memory.load_image mem ~base:0x1000 "abcdef";
+  Ssx.Memory.blit mem ~src:0x1000 ~dst:0x2000 ~len:6;
+  Helpers.check_string "copied" "abcdef" (Ssx.Memory.dump mem ~base:0x2000 ~len:6);
+  (* blit honours ROM protection on the destination *)
+  Ssx.Memory.protect mem { Ssx.Memory.base = 0x4000; size = 3 };
+  Ssx.Memory.blit mem ~src:0x1000 ~dst:0x4000 ~len:6;
+  Helpers.check_string "first three protected" "\000\000\000def"
+    (Ssx.Memory.dump mem ~base:0x4000 ~len:6)
+
+let test_regions () =
+  let mem = Ssx.Memory.create () in
+  check_int "no regions initially" 0 (List.length (Ssx.Memory.protected_regions mem));
+  Ssx.Memory.protect mem { Ssx.Memory.base = 0; size = 1 };
+  Ssx.Memory.protect mem { Ssx.Memory.base = 2; size = 1 };
+  check_int "two regions" 2 (List.length (Ssx.Memory.protected_regions mem))
+
+let prop_byte_roundtrip =
+  QCheck.Test.make ~name:"byte write/read roundtrip"
+    (QCheck.pair (QCheck.int_bound 0xFFFFF) (QCheck.int_bound 0xFF))
+    (fun (addr, v) ->
+      let mem = Ssx.Memory.create () in
+      Ssx.Memory.write_byte mem addr v;
+      Ssx.Memory.read_byte mem addr = v)
+
+let prop_word_roundtrip =
+  QCheck.Test.make ~name:"word write/read roundtrip"
+    (QCheck.pair (QCheck.int_bound 0xFFFFF) (QCheck.int_bound 0xFFFF))
+    (fun (addr, v) ->
+      let mem = Ssx.Memory.create () in
+      Ssx.Memory.write_word mem addr v;
+      Ssx.Memory.read_word mem addr = v)
+
+let suite =
+  [ case "read and write bytes" test_read_write;
+    case "words are little-endian" test_word_endianness;
+    case "addresses wrap at 1 MiB" test_address_wrap;
+    case "ROM write protection" test_rom_protection;
+    case "force write" test_force_write;
+    case "load and dump images" test_load_dump;
+    case "load_image bypasses protection" test_load_into_rom;
+    case "blit" test_blit;
+    case "protected regions" test_regions ]
+  @ List.map QCheck_alcotest.to_alcotest [ prop_byte_roundtrip; prop_word_roundtrip ]

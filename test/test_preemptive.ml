@@ -1,0 +1,112 @@
+let case = Helpers.case
+let check_bool = Helpers.check_bool
+
+let preempt_count system =
+  Ssx.Memory.read_word
+    (Ssx.Machine.memory system.Ssos.System.machine)
+    Ssos.Guest.preempt_count_addr
+
+let test_timer_preempts_the_guest () =
+  let system =
+    Ssos.Reinstall.build ~guest:(Ssos.Guest.preemptive_kernel ())
+      ~timer_period:500 ()
+  in
+  Ssos.System.run system ~ticks:40_000;
+  check_bool "many preemptions" true (preempt_count system > 20);
+  check_bool "main loop still beats" true
+    (Ssx_devices.Heartbeat.count system.Ssos.System.heartbeat > 50)
+
+let test_preemptions_interleave_with_recovery () =
+  (* A reinstall resets the preemption counter with the rest of the
+     data, then preemptions resume: the maskable path and the recovery
+     path coexist. *)
+  let system =
+    Ssos.Reinstall.build ~guest:(Ssos.Guest.preemptive_kernel ())
+      ~watchdog_period:10_000 ~timer_period:500 ()
+  in
+  Ssos.System.run system ~ticks:9_000;
+  let before = preempt_count system in
+  check_bool "preempting before the reinstall" true (before > 5);
+  (* Cross the tick-10000 watchdog reinstall (the handler itself takes
+     ~4.1k ticks); shortly after it the counter has been reset with the
+     rest of the data and only a couple of fresh preemptions exist. *)
+  Ssos.System.run system ~ticks:6_500;
+  let after = preempt_count system in
+  check_bool "counter was reset by the reinstall" true (after < before);
+  Ssos.System.run system ~ticks:3_000;
+  check_bool "and it is growing again" true (preempt_count system > after)
+
+let test_recovers_with_timer_running () =
+  let system =
+    Ssos.Reinstall.build ~guest:(Ssos.Guest.preemptive_kernel ())
+      ~timer_period:500 ()
+  in
+  let rng = Ssx_faults.Rng.create 31L in
+  Ssos.System.run system ~ticks:30_000;
+  ignore
+    (Ssx_faults.Injector.inject_now
+       (Ssos.System.fault_system system)
+       ~rng ~space:Ssos.System.default_fault_space 40);
+  Ssos.System.run system ~ticks:200_000;
+  let spec = Ssos.Reinstall.weak_spec () in
+  check_bool "recovered with the timer active" true
+    (Ssx_stab.Convergence.converged
+       (Ssx_stab.Convergence.judge ~spec
+          ~samples:(Ssx_devices.Heartbeat.samples system.Ssos.System.heartbeat)
+          ~end_tick:(Ssx.Machine.ticks system.Ssos.System.machine)))
+
+let test_reset_wired_watchdog_recovers () =
+  (* §2: "in the first two schemes it may trigger the reset pin
+     instead" — reboot through the reset vector, which also reinstalls. *)
+  let system =
+    Ssos.Reinstall.build ~wiring:Ssos.Reinstall.Reset_wired
+      ~watchdog_period:20_000 ()
+  in
+  Ssos.System.run system ~ticks:30_000;
+  let mem = Ssx.Machine.memory system.Ssos.System.machine in
+  for i = 0 to Ssos.Layout.os_image_size - 1 do
+    Ssx.Memory.write_byte mem ((Ssos.Layout.os_segment lsl 4) + i) 0xEE
+  done;
+  Ssos.System.run system ~ticks:120_000;
+  let spec = Ssos.Reinstall.weak_spec () in
+  check_bool "reset wiring recovers too" true
+    (Ssx_stab.Convergence.converged
+       (Ssx_stab.Convergence.judge ~spec
+          ~samples:(Ssx_devices.Heartbeat.samples system.Ssos.System.heartbeat)
+          ~end_tick:(Ssx.Machine.ticks system.Ssos.System.machine)))
+
+let test_reset_wired_periodicity () =
+  let system =
+    Ssos.Reinstall.build ~wiring:Ssos.Reinstall.Reset_wired
+      ~watchdog_period:10_000 ()
+  in
+  Ssos.System.run system ~ticks:45_000;
+  let restarts =
+    List.length
+      (List.filter
+         (fun s -> s.Ssx_devices.Heartbeat.value = 1)
+         (Ssx_devices.Heartbeat.samples system.Ssos.System.heartbeat))
+  in
+  check_bool "several reboots" true (restarts >= 3)
+
+let test_masked_interrupts_stay_masked () =
+  (* A guest that never executes sti never sees the timer: the request
+     stays pinned on the pending-interrupt slot and the guest's
+     behaviour is unaffected. *)
+  let system =
+    Ssos.Reinstall.build ~guest:(Ssos.Guest.task_kernel ()) ~timer_period:500 ()
+  in
+  Ssos.System.run system ~ticks:30_000;
+  check_bool "interrupt pending but never delivered" true
+    ((Ssx.Machine.cpu system.Ssos.System.machine).Ssx.Cpu.intr
+    = Some Ssos.Layout.timer_vector);
+  check_bool "guest undisturbed" true
+    (Ssx_devices.Heartbeat.count system.Ssos.System.heartbeat > 100)
+
+let suite =
+  [ case "timer preempts the guest" test_timer_preempts_the_guest;
+    case "preemption and recovery coexist" test_preemptions_interleave_with_recovery;
+    case "recovers with the timer running" test_recovers_with_timer_running;
+    case "reset-wired watchdog recovers" test_reset_wired_watchdog_recovers;
+    case "reset-wired watchdog reboots periodically" test_reset_wired_periodicity;
+    case "IF masks the timer" test_masked_interrupts_stay_masked ]

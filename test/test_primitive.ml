@@ -1,0 +1,120 @@
+let case = Helpers.case
+let check_int = Helpers.check_int
+let check_bool = Helpers.check_bool
+
+let beats sched i =
+  Ssx_devices.Heartbeat.count sched.Ssos.Primitive_sched.heartbeats.(i)
+
+let test_round_runs_all_processes () =
+  let sched = Ssos.Primitive_sched.build () in
+  Ssx.Machine.run sched.Ssos.Primitive_sched.machine ~ticks:10_000;
+  for i = 0 to sched.Ssos.Primitive_sched.n - 1 do
+    check_bool (Printf.sprintf "process %d ran" i) true (beats sched i > 0)
+  done
+
+let test_exact_fairness () =
+  (* Theorem 5.1: one execution per round, for every process. *)
+  let sched = Ssos.Primitive_sched.build () in
+  Ssx.Machine.run sched.Ssos.Primitive_sched.machine ~ticks:50_000;
+  let counts = Array.init sched.Ssos.Primitive_sched.n (beats sched) in
+  let min_count = Array.fold_left min max_int counts in
+  let max_count = Array.fold_left max 0 counts in
+  check_bool "spread at most one round" true (max_count - min_count <= 1)
+
+let test_counters_strictly_increment () =
+  let sched = Ssos.Primitive_sched.build () in
+  Ssx.Machine.run sched.Ssos.Primitive_sched.machine ~ticks:20_000;
+  Array.iteri
+    (fun i hb ->
+      List.iteri
+        (fun j s ->
+          check_int
+            (Printf.sprintf "process %d beat %d" i j)
+            (j + 1) s.Ssx_devices.Heartbeat.value)
+        (Ssx_devices.Heartbeat.samples hb))
+    sched.Ssos.Primitive_sched.heartbeats
+
+let test_bundle_fill () =
+  let bundle = Ssos.Primitive_sched.bundle ~n:4 in
+  check_int "region-sized" Ssos.Primitive_sched.region_size (String.length bundle);
+  (* Decoding from the code end onward must reach a jump home. *)
+  let code_len = (Ssos.Primitive_sched.build ~n:4 ()).Ssos.Primitive_sched.code_len in
+  let decoded, _ = Ssx.Codec.decode_bytes bundle ~pos:code_len in
+  check_bool "filler jumps to the entry" true
+    (decoded = Ssx.Instruction.Jmp Ssos.Primitive_sched.region_offset)
+
+let test_ip_corruption_recovers () =
+  let sched = Ssos.Primitive_sched.build () in
+  let machine = sched.Ssos.Primitive_sched.machine in
+  Ssx.Machine.run machine ~ticks:5_000;
+  (* Throw ip into the filler area. *)
+  (Helpers.regs machine).Ssx.Registers.ip <-
+    Ssos.Primitive_sched.region_offset + Ssos.Primitive_sched.region_size - 7;
+  let before = Array.init 4 (beats sched) in
+  Ssx.Machine.run machine ~ticks:5_000;
+  Array.iteri
+    (fun i b ->
+      check_bool (Printf.sprintf "process %d resumed" i) true (beats sched i > b))
+    before
+
+let test_misdecode_recovers_via_exception () =
+  let sched = Ssos.Primitive_sched.build () in
+  let machine = sched.Ssos.Primitive_sched.machine in
+  Ssx.Machine.run machine ~ticks:5_000;
+  (* Land mid-instruction: offset 1 of the round decodes garbage. *)
+  (Helpers.regs machine).Ssx.Registers.ip <- Ssos.Primitive_sched.region_offset + 1;
+  let before = Array.init 4 (beats sched) in
+  Ssx.Machine.run machine ~ticks:10_000;
+  Array.iteri
+    (fun i b ->
+      check_bool (Printf.sprintf "process %d resumed" i) true (beats sched i > b))
+    before
+
+let test_wild_cs_recovers () =
+  let sched = Ssos.Primitive_sched.build () in
+  let machine = sched.Ssos.Primitive_sched.machine in
+  Ssx.Machine.run machine ~ticks:5_000;
+  (Helpers.regs machine).Ssx.Registers.cs <- 0x4567;
+  (Helpers.regs machine).Ssx.Registers.ip <- 0x0123;
+  let before = Array.init 4 (beats sched) in
+  Ssx.Machine.run machine ~ticks:10_000;
+  Array.iteri
+    (fun i b ->
+      check_bool (Printf.sprintf "process %d resumed" i) true (beats sched i > b))
+    before
+
+let test_data_faults_one_violation_only () =
+  (* A corrupted counter yields a single spec violation then legality:
+     each process is self-stabilizing. *)
+  let sched = Ssos.Primitive_sched.build () in
+  let machine = sched.Ssos.Primitive_sched.machine in
+  Ssx.Machine.run machine ~ticks:5_000;
+  Ssx.Memory.write_word (Ssx.Machine.memory machine)
+    (Ssos.Process.data_segment 2 lsl 4)
+    0x9999;
+  Ssx.Machine.run machine ~ticks:5_000;
+  let spec = Ssx_stab.Convergence.counter_spec ~max_gap:1_000 ~window:100 () in
+  let violations =
+    Ssx_stab.Convergence.violation_count ~spec
+      ~samples:(Ssx_devices.Heartbeat.samples sched.Ssos.Primitive_sched.heartbeats.(2))
+      ~end_tick:(Ssx.Machine.ticks machine)
+  in
+  check_int "exactly one violation" 1 violations
+
+let test_bundle_sources_shown () =
+  let source = Ssos.Primitive_sched.bundle_source ~n:2 in
+  check_bool "mentions both processes" true
+    (Astring_contains.contains source "process 0"
+    && Astring_contains.contains source "process 1")
+
+let suite =
+  [ case "a round runs every process" test_round_runs_all_processes;
+    case "exact fairness (theorem 5.1)" test_exact_fairness;
+    case "counters strictly increment" test_counters_strictly_increment;
+    case "bundle fill" test_bundle_fill;
+    case "ip corruption recovers" test_ip_corruption_recovers;
+    case "mis-decode recovers via the exception path"
+      test_misdecode_recovers_via_exception;
+    case "wild cs recovers" test_wild_cs_recovers;
+    case "data faults cost one violation" test_data_faults_one_violation_only;
+    case "bundle source generation" test_bundle_sources_shown ]

@@ -1,0 +1,127 @@
+let case = Helpers.case
+let check_int = Helpers.check_int
+let check_bool = Helpers.check_bool
+
+let test_counter_process_validates () =
+  let p = Ssos.Process.counter_process ~index:0 in
+  let plain = Ssos.Process.assemble_plain p in
+  match
+    Ssos.Process.validate ~model:Ssos.Process.Scheduled
+      ~code_len:(String.length plain.Ssx_asm.Assemble.bytes)
+      plain.Ssx_asm.Assemble.bytes
+  with
+  | Ok () -> ()
+  | Error problems -> Alcotest.failf "violations: %s" (String.concat "; " problems)
+
+let test_body_validates_for_primitive () =
+  let p = Ssos.Process.counter_body ~index:1 in
+  let plain = Ssos.Process.assemble_plain p in
+  match
+    Ssos.Process.validate ~model:Ssos.Process.Primitive
+      ~code_len:(String.length plain.Ssx_asm.Assemble.bytes)
+      plain.Ssx_asm.Assemble.bytes
+  with
+  | Ok () -> ()
+  | Error problems -> Alcotest.failf "violations: %s" (String.concat "; " problems)
+
+let test_counter_process_loops_rejected_in_primitive () =
+  (* The full process has a backward jmp — illegal under §5.1. *)
+  let p = Ssos.Process.counter_process ~index:0 in
+  let plain = Ssos.Process.assemble_plain p in
+  match
+    Ssos.Process.validate ~model:Ssos.Process.Primitive
+      ~code_len:(String.length plain.Ssx_asm.Assemble.bytes)
+      plain.Ssx_asm.Assemble.bytes
+  with
+  | Ok () -> Alcotest.fail "backward branch must be rejected"
+  | Error problems ->
+    check_bool "mentions backward branch" true
+      (List.exists (fun p -> Astring_contains.contains p "backward") problems)
+
+let assemble_raw source =
+  (Ssx_asm.Assemble.assemble ~origin:0 source).Ssx_asm.Assemble.bytes
+
+let check_rejects what source =
+  let code = assemble_raw source in
+  match
+    Ssos.Process.validate ~model:Ssos.Process.Scheduled
+      ~code_len:(String.length code) code
+  with
+  | Ok () -> Alcotest.failf "%s must be rejected" what
+  | Error problems ->
+    check_bool "has a diagnostic" true (List.length problems >= 1)
+
+let test_forbidden_instructions () =
+  check_rejects "push" "push ax\n";
+  check_rejects "pop" "pop ax\n";
+  check_rejects "pushf" "pushf\n";
+  check_rejects "call" "call 0\n";
+  check_rejects "ret" "ret\n";
+  check_rejects "iret" "iret\n";
+  check_rejects "int" "int 0x10\n";
+  check_rejects "hlt" "hlt\n";
+  check_rejects "sti" "sti\n";
+  check_rejects "cli" "cli\n";
+  check_rejects "far jump" "jmp 0x2000:0\n";
+  check_rejects "div" "div cl\n"
+
+let test_branch_outside_window_rejected () =
+  check_rejects "escaping branch" "jmp 0x2000\n"
+
+let test_image_is_window_sized () =
+  let image = Ssos.Process.assemble_image (Ssos.Process.counter_process ~index:0) in
+  check_int "4 KiB" Ssos.Layout.proc_image_size (String.length image)
+
+let test_every_aligned_offset_is_instruction_start () =
+  (* The §5.2 IP_MASK guarantee: after masking, ip points at a real
+     instruction.  Scan: decoding from any 16-aligned offset must never
+     produce an Invalid instruction in its forward chain within the
+     block. *)
+  let image = Ssos.Process.assemble_image (Ssos.Process.counter_process ~index:0) in
+  let boundaries = Ssos.Layout.proc_image_size / Ssos.Layout.instr_align in
+  for block = 0 to boundaries - 1 do
+    let pos = block * Ssos.Layout.instr_align in
+    let decoded, len = Ssx.Codec.decode_bytes image ~pos in
+    check_bool
+      (Printf.sprintf "offset 0x%04X decodes" pos)
+      true
+      (match decoded with Ssx.Instruction.Invalid _ -> false | _ -> len >= 1)
+  done
+
+let test_filler_leads_home () =
+  (* Landing anywhere in the tail must jump back to offset 0. *)
+  let image = Ssos.Process.assemble_image (Ssos.Process.counter_process ~index:0) in
+  let tail_start = 2 * Ssos.Layout.instr_align in
+  let pos = ((String.length image - tail_start) / 16 * 8 + tail_start) / 16 * 16 in
+  let decoded, _ = Ssx.Codec.decode_bytes image ~pos in
+  check_bool "filler jumps to entry" true (decoded = Ssx.Instruction.Jmp 0)
+
+let test_oversize_rejected () =
+  let huge =
+    { (Ssos.Process.counter_process ~index:0) with
+      Ssos.Process.source =
+        String.concat ""
+          (List.init 2000 (fun _ -> "    mov ax, 0x1234\n    mov [0], ax\n")) }
+  in
+  check_bool "oversize image rejected" true
+    (match Ssos.Process.assemble_image huge with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let test_data_segments_distinct () =
+  let segments = List.init 8 Ssos.Process.data_segment in
+  check_int "all distinct" 8 (List.length (List.sort_uniq compare segments))
+
+let suite =
+  [ case "counter process passes the checker" test_counter_process_validates;
+    case "loop-free body passes the primitive checker" test_body_validates_for_primitive;
+    case "loops rejected under the primitive model"
+      test_counter_process_loops_rejected_in_primitive;
+    case "forbidden instructions rejected" test_forbidden_instructions;
+    case "branches outside the window rejected" test_branch_outside_window_rejected;
+    case "images fill the 4 KiB window" test_image_is_window_sized;
+    case "every aligned offset is an instruction start"
+      test_every_aligned_offset_is_instruction_start;
+    case "filler blocks jump to the entry" test_filler_leads_home;
+    case "oversize processes rejected" test_oversize_rejected;
+    case "data segments are distinct" test_data_segments_distinct ]

@@ -1,0 +1,107 @@
+let case = Helpers.case
+let check_int = Helpers.check_int
+
+let test_get_set16 () =
+  let r = Ssx.Registers.create () in
+  List.iter
+    (fun reg ->
+      Ssx.Registers.set16 r reg 0x1234;
+      check_int "roundtrip" 0x1234 (Ssx.Registers.get16 r reg);
+      Ssx.Registers.set16 r reg 0)
+    Ssx.Registers.all_reg16
+
+let test_set16_masks () =
+  let r = Ssx.Registers.create () in
+  Ssx.Registers.set16 r Ssx.Registers.AX 0x12345;
+  check_int "masked" 0x2345 (Ssx.Registers.get16 r Ssx.Registers.AX)
+
+let test_byte_halves () =
+  let r = Ssx.Registers.create () in
+  Ssx.Registers.set16 r Ssx.Registers.AX 0x1234;
+  check_int "al" 0x34 (Ssx.Registers.get8 r Ssx.Registers.AL);
+  check_int "ah" 0x12 (Ssx.Registers.get8 r Ssx.Registers.AH);
+  Ssx.Registers.set8 r Ssx.Registers.AL 0xFF;
+  check_int "al write keeps ah" 0x12FF (Ssx.Registers.get16 r Ssx.Registers.AX);
+  Ssx.Registers.set8 r Ssx.Registers.AH 0x99;
+  check_int "ah write keeps al" 0x99FF (Ssx.Registers.get16 r Ssx.Registers.AX)
+
+let test_all_byte_registers () =
+  let r = Ssx.Registers.create () in
+  List.iter
+    (fun reg ->
+      Ssx.Registers.set8 r reg 0xAB;
+      check_int "byte roundtrip" 0xAB (Ssx.Registers.get8 r reg);
+      Ssx.Registers.set8 r reg 0)
+    Ssx.Registers.all_reg8
+
+let test_sregs () =
+  let r = Ssx.Registers.create () in
+  List.iter
+    (fun reg ->
+      Ssx.Registers.set_sreg r reg 0xF000;
+      check_int "sreg roundtrip" 0xF000 (Ssx.Registers.get_sreg r reg);
+      Ssx.Registers.set_sreg r reg 0)
+    Ssx.Registers.all_sreg
+
+let test_indices_roundtrip () =
+  List.iter
+    (fun reg ->
+      match Ssx.Registers.reg16_of_index (Ssx.Registers.reg16_index reg) with
+      | Some back -> Alcotest.(check bool) "index roundtrip" true (back = reg)
+      | None -> Alcotest.fail "missing index")
+    Ssx.Registers.all_reg16;
+  List.iter
+    (fun reg ->
+      match Ssx.Registers.reg8_of_index (Ssx.Registers.reg8_index reg) with
+      | Some back -> Alcotest.(check bool) "index roundtrip" true (back = reg)
+      | None -> Alcotest.fail "missing index")
+    Ssx.Registers.all_reg8;
+  List.iter
+    (fun reg ->
+      match Ssx.Registers.sreg_of_index (Ssx.Registers.sreg_index reg) with
+      | Some back -> Alcotest.(check bool) "index roundtrip" true (back = reg)
+      | None -> Alcotest.fail "missing index")
+    Ssx.Registers.all_sreg
+
+let test_names_roundtrip () =
+  List.iter
+    (fun reg ->
+      Alcotest.(check bool)
+        "name roundtrip" true
+        (Ssx.Registers.reg16_of_name (Ssx.Registers.reg16_name reg) = Some reg))
+    Ssx.Registers.all_reg16;
+  Alcotest.(check bool) "unknown name" true (Ssx.Registers.reg16_of_name "zz" = None)
+
+let test_out_of_range_indices () =
+  Alcotest.(check bool) "reg16 index 8" true (Ssx.Registers.reg16_of_index 8 = None);
+  Alcotest.(check bool) "sreg index 6" true (Ssx.Registers.sreg_of_index 6 = None);
+  Alcotest.(check bool) "negative" true (Ssx.Registers.reg8_of_index (-1) = None)
+
+let test_copy_is_snapshot () =
+  let r = Ssx.Registers.create () in
+  Ssx.Registers.set16 r Ssx.Registers.BX 7;
+  let snapshot = Ssx.Registers.copy r in
+  Ssx.Registers.set16 r Ssx.Registers.BX 9;
+  check_int "snapshot unchanged" 7 (Ssx.Registers.get16 snapshot Ssx.Registers.BX);
+  check_int "original changed" 9 (Ssx.Registers.get16 r Ssx.Registers.BX)
+
+let prop_byte_halves_consistent =
+  QCheck.Test.make ~name:"8-bit halves always compose the 16-bit register"
+    (QCheck.pair (QCheck.int_bound 0xFF) (QCheck.int_bound 0xFF))
+    (fun (low, high) ->
+      let r = Ssx.Registers.create () in
+      Ssx.Registers.set8 r Ssx.Registers.CL low;
+      Ssx.Registers.set8 r Ssx.Registers.CH high;
+      Ssx.Registers.get16 r Ssx.Registers.CX = (high lsl 8) lor low)
+
+let suite =
+  [ case "16-bit get/set" test_get_set16;
+    case "set16 masks values" test_set16_masks;
+    case "byte halves of ax" test_byte_halves;
+    case "all byte registers" test_all_byte_registers;
+    case "segment registers" test_sregs;
+    case "encoding indices roundtrip" test_indices_roundtrip;
+    case "names roundtrip" test_names_roundtrip;
+    case "out-of-range indices" test_out_of_range_indices;
+    case "copy is a snapshot" test_copy_is_snapshot ]
+  @ List.map QCheck_alcotest.to_alcotest [ prop_byte_halves_consistent ]

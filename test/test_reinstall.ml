@@ -1,0 +1,142 @@
+let case = Helpers.case
+let check_int = Helpers.check_int
+let check_bool = Helpers.check_bool
+
+let beats system = Ssx_devices.Heartbeat.count system.Ssos.System.heartbeat
+let samples system = Ssx_devices.Heartbeat.samples system.Ssos.System.heartbeat
+
+let test_boots_from_reset () =
+  let system = Ssos.Reinstall.build () in
+  Ssos.System.run system ~ticks:10_000;
+  check_bool "guest started beating" true (beats system > 10);
+  match samples system with
+  | first :: _ ->
+    check_int "first beat is 1" 1 first.Ssx_devices.Heartbeat.value;
+    (* Boot = reset stub + figure 1 = roughly IMAGE_SIZE ticks. *)
+    check_bool "boot took about one reinstall" true
+      (first.Ssx_devices.Heartbeat.tick > Ssos.Layout.os_image_size
+      && first.Ssx_devices.Heartbeat.tick < Ssos.Layout.os_image_size + 1_000)
+  | [] -> Alcotest.fail "no heartbeats"
+
+let test_periodic_restart_resets_counter () =
+  let system = Ssos.Reinstall.build ~watchdog_period:10_000 () in
+  Ssos.System.run system ~ticks:40_000;
+  let restarts =
+    List.length
+      (List.filter (fun s -> s.Ssx_devices.Heartbeat.value = 1) (samples system))
+  in
+  check_bool "counter restarted several times" true (restarts >= 3)
+
+let test_recovers_from_ram_smash () =
+  (* The paper's Bochs experiment: corrupt the RAM image under the guest. *)
+  let system = Ssos.Reinstall.build () in
+  Ssos.System.run system ~ticks:10_000;
+  let mem = Ssx.Machine.memory system.Ssos.System.machine in
+  for i = 0 to Ssos.Layout.os_image_size - 1 do
+    Ssx.Memory.write_byte mem ((Ssos.Layout.os_segment lsl 4) + i) 0xFF
+  done;
+  Ssos.System.run system ~ticks:120_000;
+  let spec = Ssos.Reinstall.weak_spec () in
+  let verdict =
+    Ssx_stab.Convergence.judge ~spec ~samples:(samples system)
+      ~end_tick:(Ssx.Machine.ticks system.Ssos.System.machine)
+  in
+  check_bool "stabilized" true (Ssx_stab.Convergence.converged verdict)
+
+let test_recovers_from_scrambled_processor () =
+  (* Arbitrary initial configuration, the core self-stabilization claim. *)
+  let rng = Ssx_faults.Rng.create 99L in
+  for _ = 1 to 10 do
+    let system = Ssos.Reinstall.build () in
+    Ssos.System.run system ~ticks:5_000;
+    Ssos_experiments.Runner.scramble_processor rng system;
+    Ssos.System.run system ~ticks:150_000;
+    let spec = Ssos.Reinstall.weak_spec () in
+    let verdict =
+      Ssx_stab.Convergence.judge ~spec ~samples:(samples system)
+        ~end_tick:(Ssx.Machine.ticks system.Ssos.System.machine)
+    in
+    check_bool "stabilized from arbitrary state" true
+      (Ssx_stab.Convergence.converged verdict)
+  done
+
+let test_rom_is_protected () =
+  let system = Ssos.Reinstall.build () in
+  let mem = Ssx.Machine.memory system.Ssos.System.machine in
+  let before = Ssx.Memory.read_byte mem Ssos.Layout.rom_base in
+  Ssx.Memory.write_byte mem Ssos.Layout.rom_base (before lxor 0xFF);
+  check_int "ROM unchanged" before (Ssx.Memory.read_byte mem Ssos.Layout.rom_base)
+
+let test_exceptions_reinstall () =
+  (* Wild jump into zeroed RAM -> invalid opcode -> reinstall. *)
+  let system = Ssos.Reinstall.build () in
+  Ssos.System.run system ~ticks:10_000;
+  let regs = (Ssx.Machine.cpu system.Ssos.System.machine).Ssx.Cpu.regs in
+  regs.Ssx.Registers.cs <- 0x7000;
+  regs.Ssx.Registers.ip <- 0;
+  let before = beats system in
+  Ssos.System.run system ~ticks:10_000;
+  check_bool "came back well before the watchdog period" true
+    (beats system > before)
+
+let test_continue_variant_resumes () =
+  (* The continue handler must return to the interrupted instruction
+     stream rather than the entry point: after a mid-run NMI the
+     heartbeat continues from 1 (data reinstalled) but without the
+     boot-sized gap a restart would show. *)
+  let system =
+    Ssos.Reinstall.build ~variant:Ssos.Reinstall.Continue ~watchdog_period:10_000 ()
+  in
+  Ssos.System.run system ~ticks:35_000;
+  let restarted_values =
+    List.filter (fun s -> s.Ssx_devices.Heartbeat.value = 1) (samples system)
+  in
+  (* Data was refreshed by each of the three NMIs: counter restarts... *)
+  check_bool "data refresh restarts the count" true
+    (List.length restarted_values >= 3);
+  (* ...but execution continued: between two successive beats there is
+     never a gap as large as a full reinstall plus the loop. *)
+  let rec max_gap acc = function
+    | a :: (b :: _ as rest) ->
+      max_gap (max acc (b.Ssx_devices.Heartbeat.tick - a.Ssx_devices.Heartbeat.tick)) rest
+    | _ -> acc
+  in
+  let gap = max_gap 0 (samples system) in
+  check_bool "no restart-sized pause" true
+    (gap < Ssos.Layout.os_image_size + 600)
+
+let test_weak_vs_strict_specs () =
+  let weak = Ssos.Reinstall.weak_spec () in
+  let strict = Ssos.Reinstall.strict_spec () in
+  check_bool "restart legal weakly" true (weak.Ssx_stab.Convergence.legal_step 500 1);
+  check_bool "restart illegal strictly" false
+    (strict.Ssx_stab.Convergence.legal_step 500 1);
+  check_bool "increment legal in both" true
+    (weak.Ssx_stab.Convergence.legal_step 7 8
+    && strict.Ssx_stab.Convergence.legal_step 7 8)
+
+let test_watchdog_fault_still_recovers () =
+  let system = Ssos.Reinstall.build () in
+  Ssos.System.run system ~ticks:10_000;
+  (match system.Ssos.System.watchdog with
+  | Some wd -> Ssx_devices.Watchdog.corrupt wd 123_456_789
+  | None -> Alcotest.fail "watchdog expected");
+  let mem = Ssx.Machine.memory system.Ssos.System.machine in
+  Ssx.Memory.write_byte mem ((Ssos.Layout.os_segment lsl 4) + 2) 0xEA;
+  Ssos.System.run system ~ticks:150_000;
+  let spec = Ssos.Reinstall.weak_spec () in
+  check_bool "recovered despite watchdog corruption" true
+    (Ssx_stab.Convergence.converged
+       (Ssx_stab.Convergence.judge ~spec ~samples:(samples system)
+          ~end_tick:(Ssx.Machine.ticks system.Ssos.System.machine)))
+
+let suite =
+  [ case "boots from reset through figure 1" test_boots_from_reset;
+    case "periodic restart resets the counter" test_periodic_restart_resets_counter;
+    case "recovers from a full RAM smash" test_recovers_from_ram_smash;
+    case "recovers from arbitrary processor states" test_recovers_from_scrambled_processor;
+    case "ROM is write-protected" test_rom_is_protected;
+    case "exceptions trigger reinstall" test_exceptions_reinstall;
+    case "continue variant resumes execution" test_continue_variant_resumes;
+    case "weak vs strict specifications" test_weak_vs_strict_specs;
+    case "watchdog corruption is survived" test_watchdog_fault_still_recovers ]

@@ -1,0 +1,207 @@
+let case = Helpers.case
+let check_int = Helpers.check_int
+let check_bool = Helpers.check_bool
+
+let beats sched i = Ssx_devices.Heartbeat.count sched.Ssos.Sched.heartbeats.(i)
+
+let all_beating sched ~within =
+  let now = Ssx.Machine.ticks sched.Ssos.Sched.machine in
+  Array.for_all
+    (fun hb ->
+      match Ssx_devices.Heartbeat.last hb with
+      | Some s -> now - s.Ssx_devices.Heartbeat.tick < within
+      | None -> false)
+    sched.Ssos.Sched.heartbeats
+
+let test_bootstraps_from_zeroed_state () =
+  (* No initialisation exists: the scheduler starts from all-zero soft
+     state and the first NMI launches process work. *)
+  let sched = Ssos.Sched.build () in
+  Ssx.Machine.run sched.Ssos.Sched.machine ~ticks:150_000;
+  for i = 0 to sched.Ssos.Sched.n - 1 do
+    check_bool (Printf.sprintf "process %d ran" i) true (beats sched i > 0)
+  done
+
+let test_round_robin_fairness () =
+  let sched = Ssos.Sched.build () in
+  Ssx.Machine.run sched.Ssos.Sched.machine ~ticks:800_000;
+  let counts = Array.init sched.Ssos.Sched.n (beats sched) in
+  let min_count = Array.fold_left min max_int counts in
+  let max_count = Array.fold_left max 0 counts in
+  check_bool "no process starves" true (min_count > 0);
+  (* Slot rounding allows at most a factor ~(slots+1)/slots. *)
+  check_bool "fair within slot rounding" true
+    (float_of_int max_count /. float_of_int min_count < 2.0)
+
+let test_state_preserved_across_switches () =
+  (* Lemma 5.4: context switching preserves each process's computation,
+     so counters equal the number of beats (no lost increments). *)
+  let sched = Ssos.Sched.build () in
+  Ssx.Machine.run sched.Ssos.Sched.machine ~ticks:400_000;
+  Array.iteri
+    (fun i hb ->
+      match Ssx_devices.Heartbeat.samples hb with
+      | [] -> Alcotest.failf "process %d never beat" i
+      | samples ->
+        List.iteri
+          (fun j s ->
+            check_int
+              (Printf.sprintf "process %d beat %d" i j)
+              (j + 1) s.Ssx_devices.Heartbeat.value)
+          samples)
+    sched.Ssos.Sched.heartbeats
+
+let test_process_index_masked () =
+  let sched = Ssos.Sched.build () in
+  let mem = Ssx.Machine.memory sched.Ssos.Sched.machine in
+  Ssx.Machine.run sched.Ssos.Sched.machine ~ticks:100_000;
+  Ssx.Memory.write_word mem Ssos.Sched.process_index_addr 0xFFFF;
+  (* After the next NMI the index is used masked and stored masked. *)
+  Ssx.Machine.run sched.Ssos.Sched.machine ~ticks:(2 * Ssos.Sched.default_watchdog_period);
+  check_bool "index back under n" true
+    (Ssx.Memory.read_word mem Ssos.Sched.process_index_addr < 4)
+
+let test_record_cs_validated () =
+  let sched = Ssos.Sched.build () in
+  let mem = Ssx.Machine.memory sched.Ssos.Sched.machine in
+  Ssx.Machine.run sched.Ssos.Sched.machine ~ticks:100_000;
+  (* Corrupt the stored cs of process 2's record. *)
+  Ssx.Memory.write_word mem (Ssos.Sched.process_record_addr 2 + 2) 0x8A8A;
+  Ssx.Machine.run sched.Ssos.Sched.machine ~ticks:400_000;
+  check_int "record cs restored to the limit" (Ssos.Layout.proc_segment 2)
+    (Ssx.Memory.read_word mem (Ssos.Sched.process_record_addr 2 + 2));
+  check_bool "all processes alive" true (all_beating sched ~within:200_000)
+
+let test_record_ip_masked () =
+  let sched = Ssos.Sched.build () in
+  let mem = Ssx.Machine.memory sched.Ssos.Sched.machine in
+  Ssx.Machine.run sched.Ssos.Sched.machine ~ticks:100_000;
+  Ssx.Memory.write_word mem (Ssos.Sched.process_record_addr 1 + 4) 0xFFFF;
+  Ssx.Machine.run sched.Ssos.Sched.machine ~ticks:400_000;
+  check_bool "all processes alive after ip corruption" true
+    (all_beating sched ~within:200_000)
+
+let test_refresh_restores_code () =
+  let sched = Ssos.Sched.build ~refresh:true () in
+  let mem = Ssx.Machine.memory sched.Ssos.Sched.machine in
+  Ssx.Machine.run sched.Ssos.Sched.machine ~ticks:100_000;
+  (* Trash process 3's whole RAM code window. *)
+  for i = 0 to Ssos.Layout.proc_image_size - 1 do
+    Ssx.Memory.write_byte mem ((Ssos.Layout.proc_segment 3 lsl 4) + i) 0x00
+  done;
+  Ssx.Machine.run sched.Ssos.Sched.machine ~ticks:400_000;
+  let golden = Ssos.Process.assemble_image sched.Ssos.Sched.processes.(3) in
+  Helpers.check_string "window matches the golden image" golden
+    (Ssx.Memory.dump mem
+       ~base:(Ssos.Layout.proc_segment 3 lsl 4)
+       ~len:Ssos.Layout.proc_image_size);
+  check_bool "process 3 alive again" true (all_beating sched ~within:200_000)
+
+let test_scrambled_processor_recovers () =
+  let rng = Ssx_faults.Rng.create 4242L in
+  for _ = 1 to 5 do
+    let sched = Ssos.Sched.build () in
+    let cpu = Ssx.Machine.cpu sched.Ssos.Sched.machine in
+    Ssx.Machine.run sched.Ssos.Sched.machine ~ticks:50_000;
+    let regs = cpu.Ssx.Cpu.regs in
+    let word () = Ssx_faults.Rng.int rng 0x10000 in
+    List.iter (fun r -> Ssx.Registers.set16 regs r (word ())) Ssx.Registers.all_reg16;
+    List.iter (fun r -> Ssx.Registers.set_sreg regs r (word ())) Ssx.Registers.all_sreg;
+    regs.Ssx.Registers.ip <- word ();
+    regs.Ssx.Registers.psw <- word ();
+    cpu.Ssx.Cpu.halted <- Ssx_faults.Rng.bool rng;
+    Ssx.Machine.run sched.Ssos.Sched.machine ~ticks:300_000;
+    check_bool "recovered" true (all_beating sched ~within:150_000)
+  done
+
+let test_figures_source_assembles_and_runs () =
+  (* The verbatim Figures 2-5 variant (jb check, 0xFFF0 mask, no
+     refresh) must still schedule correctly in the fault-free case. *)
+  let sched =
+    Ssos.Sched.build ~cs_check:Ssos.Sched.Paper_jb ~ip_mask:Ssos.Sched.Paper_mask
+      ~refresh:false ()
+  in
+  (* The published jb comparison accepts the zeroed record's cs = 0, so
+     it cannot bootstrap on its own (see EXPERIMENTS.md); initialise. *)
+  Ssos.Sched.initialize_records sched;
+  Ssx.Machine.run sched.Ssos.Sched.machine ~ticks:300_000;
+  for i = 0 to sched.Ssos.Sched.n - 1 do
+    check_bool (Printf.sprintf "process %d ran" i) true (beats sched i > 0)
+  done
+
+let test_shared_data_breaks_composition () =
+  (* §5.2's caveat, demonstrated: "When there is a mixture of data space
+     it is possible that stabilization of each process when executed
+     separately may not imply stabilization when scheduled."  Two
+     counter processes configured onto the SAME data word are each
+     self-stabilizing in isolation, but composed they trample each
+     other: every context switch makes each stream jump by the other's
+     increments, so strict legality is violated forever. *)
+  let clash index =
+    let base = Ssos.Process.counter_process ~index in
+    { base with
+      Ssos.Process.symbols =
+        [ ("DATA_SEG", Ssos.Process.data_segment 0) (* both on segment 0! *);
+          ("MY_PORT", Ssos.Layout.process_heartbeat_port index) ] }
+  in
+  let sched =
+    Ssos.Sched.build ~n:2 ~processes:[| clash 0; clash 1 |] ()
+  in
+  Ssx.Machine.run sched.Ssos.Sched.machine ~ticks:600_000;
+  let end_tick = Ssx.Machine.ticks sched.Ssos.Sched.machine in
+  let spec = Ssx_stab.Convergence.counter_spec ~max_gap:100_000 ~window:100_000 () in
+  Array.iteri
+    (fun i hb ->
+      let violations =
+        Ssx_stab.Convergence.violation_count ~spec
+          ~samples:(Ssx_devices.Heartbeat.samples hb)
+          ~end_tick
+      in
+      check_bool
+        (Printf.sprintf "process %d keeps violating (one per slot)" i)
+        true (violations >= 5);
+      check_bool
+        (Printf.sprintf "process %d never converges" i)
+        false
+        (Ssx_stab.Convergence.converged
+           (Ssx_stab.Convergence.judge ~spec
+              ~samples:(Ssx_devices.Heartbeat.samples hb)
+              ~end_tick)))
+    sched.Ssos.Sched.heartbeats
+
+let test_n_must_be_power_of_two () =
+  check_bool "n = 3 rejected" true
+    (match
+       Ssos.Sched.source ~n:3 ~cs_check:Ssos.Sched.Strict_eq
+         ~ip_mask:Ssos.Sched.Windowed ~refresh:true
+     with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let test_two_processes () =
+  let sched = Ssos.Sched.build ~n:2 () in
+  Ssx.Machine.run sched.Ssos.Sched.machine ~ticks:150_000;
+  check_bool "both ran" true (beats sched 0 > 0 && beats sched 1 > 0)
+
+let test_eight_processes () =
+  let sched = Ssos.Sched.build ~n:8 () in
+  Ssx.Machine.run sched.Ssos.Sched.machine ~ticks:400_000;
+  for i = 0 to 7 do
+    check_bool (Printf.sprintf "process %d ran" i) true (beats sched i > 0)
+  done
+
+let suite =
+  [ case "bootstraps from all-zero soft state" test_bootstraps_from_zeroed_state;
+    case "round-robin fairness (lemma 5.3)" test_round_robin_fairness;
+    case "state preserved across switches (lemma 5.4)"
+      test_state_preserved_across_switches;
+    case "process index is masked (figure 4)" test_process_index_masked;
+    case "record cs is validated (figure 5)" test_record_cs_validated;
+    case "record ip is masked (figure 5)" test_record_ip_masked;
+    case "refresh restores process code" test_refresh_restores_code;
+    case "recovers from scrambled processors" test_scrambled_processor_recovers;
+    case "the published figures 2-5 variant runs" test_figures_source_assembles_and_runs;
+    case "shared data breaks composition (5.2 caveat)" test_shared_data_breaks_composition;
+    case "n must be a power of two" test_n_must_be_power_of_two;
+    case "two processes" test_two_processes;
+    case "eight processes" test_eight_processes ]

@@ -1,0 +1,170 @@
+let case = Helpers.case
+let check_int = Helpers.check_int
+let check_bool = Helpers.check_bool
+
+let sample tick value = { Ssx_devices.Heartbeat.tick; value }
+
+let spec = Ssx_stab.Convergence.counter_spec ~max_gap:100 ~window:500 ()
+
+let judge samples end_tick =
+  Ssx_stab.Convergence.judge ~spec ~samples ~end_tick
+
+(* ------------------------- predicates ------------------------- *)
+
+let machine_for_predicates () =
+  let machine, _ = Helpers.machine_with "spin:\n    jmp spin\n" in
+  machine
+
+let test_word_in_range () =
+  let machine = machine_for_predicates () in
+  let mem = Ssx.Machine.memory machine in
+  let p =
+    Ssx_stab.Predicate.word_in_range ~name:"idx" ~addr:0x5000 ~lo:0 ~hi:3 ~reset:0
+  in
+  Ssx.Memory.write_word mem 0x5000 2;
+  check_bool "in range" true (p.Ssx_stab.Predicate.holds machine);
+  Ssx.Memory.write_word mem 0x5000 9;
+  check_bool "out of range" false (p.Ssx_stab.Predicate.holds machine);
+  (match p.Ssx_stab.Predicate.repair with
+  | Some fix -> fix machine
+  | None -> Alcotest.fail "repair expected");
+  check_int "repaired to reset value" 0 (Ssx.Memory.read_word mem 0x5000)
+
+let test_checksum_predicate () =
+  let machine = machine_for_predicates () in
+  let mem = Ssx.Machine.memory machine in
+  Ssx.Memory.load_image mem ~base:0x6000 "data!";
+  let expected = Ssx_stab.Predicate.compute_checksum mem ~base:0x6000 ~len:5 in
+  Ssx.Memory.write_word mem 0x6100 expected;
+  let p = Ssx_stab.Predicate.checksum ~name:"sum" ~base:0x6000 ~len:5 ~sum_addr:0x6100 in
+  check_bool "valid" true (p.Ssx_stab.Predicate.holds machine);
+  Ssx.Memory.write_byte mem 0x6002 0xFF;
+  check_bool "detects change" false (p.Ssx_stab.Predicate.holds machine)
+
+let test_conj_and_check_and_repair () =
+  let machine = machine_for_predicates () in
+  let mem = Ssx.Machine.memory machine in
+  let p1 = Ssx_stab.Predicate.word_in_range ~name:"a" ~addr:0x5000 ~lo:0 ~hi:1 ~reset:0 in
+  let p2 = Ssx_stab.Predicate.word_in_range ~name:"b" ~addr:0x5002 ~lo:0 ~hi:1 ~reset:1 in
+  Ssx.Memory.write_word mem 0x5000 7;
+  Ssx.Memory.write_word mem 0x5002 1;
+  let both = Ssx_stab.Predicate.conj ~name:"both" [ p1; p2 ] in
+  check_bool "conj fails" false (both.Ssx_stab.Predicate.holds machine);
+  let violated = Ssx_stab.Predicate.check_and_repair [ p1; p2 ] machine in
+  check_int "one violation" 1 (List.length violated);
+  check_bool "repaired" true (both.Ssx_stab.Predicate.holds machine);
+  check_int "untouched predicate kept its value" 1 (Ssx.Memory.read_word mem 0x5002)
+
+(* ------------------------- convergence ------------------------- *)
+
+let test_judge_clean_run () =
+  let samples = List.init 20 (fun i -> sample (i * 50) (i + 1)) in
+  match judge samples 1000 with
+  | Ssx_stab.Convergence.Converged { at_tick; _ } -> check_int "from start" 0 at_tick
+  | v -> Alcotest.failf "unexpected: %a" Ssx_stab.Convergence.pp_verdict v
+
+let test_judge_empty_trace () =
+  check_bool "dead guest" false
+    (Ssx_stab.Convergence.converged (judge [] 1000))
+
+let test_judge_value_violation () =
+  let samples =
+    List.init 20 (fun i ->
+        sample (i * 50) (if i < 5 then i + 1 else i + 100))
+  in
+  (* Violation at i=5 (jump), legal afterwards. *)
+  match judge samples 1000 with
+  | Ssx_stab.Convergence.Converged { at_tick; _ } -> check_int "after the jump" 250 at_tick
+  | v -> Alcotest.failf "unexpected: %a" Ssx_stab.Convergence.pp_verdict v
+
+let test_judge_gap_violation () =
+  let samples = [ sample 0 1; sample 50 2; sample 400 3; sample 450 4; sample 1000 5 ] in
+  (* Two gaps > 100: at tick 400 and at 1000; suffix from 1000 is empty. *)
+  check_bool "not converged" false (Ssx_stab.Convergence.converged (judge samples 1000))
+
+let test_judge_tail_gap () =
+  (* The guest died at the end: last sample far from end_tick. *)
+  let samples = List.init 5 (fun i -> sample (i * 50) (i + 1)) in
+  check_bool "dead tail" false
+    (Ssx_stab.Convergence.converged (judge samples 5000))
+
+let test_judge_window () =
+  let samples = List.init 20 (fun i -> sample (i * 50) (i + 1)) in
+  (* Legal but shorter than the window. *)
+  let short_spec = Ssx_stab.Convergence.counter_spec ~max_gap:100 ~window:5000 () in
+  check_bool "window not met" false
+    (Ssx_stab.Convergence.converged
+       (Ssx_stab.Convergence.judge ~spec:short_spec ~samples ~end_tick:1000))
+
+let test_recovery_time () =
+  let samples =
+    List.init 20 (fun i -> sample (i * 50) (if i = 5 then 99 else i + 1))
+  in
+  (* Violations at i=5 and i=6 (99 then back), last at tick 300. *)
+  let verdict = judge samples 1000 in
+  (match Ssx_stab.Convergence.recovery_time ~faults_end:100 verdict with
+  | Some t -> check_int "recovery after faults" 200 t
+  | None -> Alcotest.fail "expected recovery");
+  match Ssx_stab.Convergence.recovery_time ~faults_end:100 (judge [] 1000) with
+  | None -> ()
+  | Some _ -> Alcotest.fail "no recovery for a dead trace"
+
+let test_violation_count () =
+  let samples =
+    List.init 20 (fun i -> sample (i * 50) (if i mod 7 = 3 then 0 else i + 1))
+  in
+  let count = Ssx_stab.Convergence.violation_count ~spec ~samples ~end_tick:1000 in
+  (* i=3,10,17 break the chain; each costs two violations (in and out). *)
+  check_bool "several violations" true (count >= 3);
+  let clean = List.init 20 (fun i -> sample (i * 50) (i + 1)) in
+  check_int "clean run has none" 0
+    (Ssx_stab.Convergence.violation_count ~spec ~samples:clean ~end_tick:1000)
+
+let test_wrap_around_legal () =
+  let samples = [ sample 0 0xFFFE; sample 50 0xFFFF; sample 100 0; sample 150 1 ] in
+  check_int "wrap is legal" 0
+    (Ssx_stab.Convergence.violation_count ~spec ~samples ~end_tick:200)
+
+(* ------------------------- composition ------------------------- *)
+
+let obs name t =
+  { Ssx_stab.Composition.layer_name = name; stabilized_at = t }
+
+let test_respects_layering () =
+  check_bool "ordered" true
+    (Ssx_stab.Composition.respects_layering
+       [ obs "hw" (Some 10); obs "os" (Some 20); obs "app" (Some 20) ]);
+  check_bool "inverted" false
+    (Ssx_stab.Composition.respects_layering
+       [ obs "hw" (Some 30); obs "os" (Some 20) ]);
+  check_bool "upper never stabilized is fine" true
+    (Ssx_stab.Composition.respects_layering [ obs "hw" (Some 10); obs "os" None ]);
+  check_bool "lower never but upper did" false
+    (Ssx_stab.Composition.respects_layering [ obs "hw" None; obs "os" (Some 5) ])
+
+let test_observe () =
+  let machine, _ = Helpers.machine_with "mov ax, 1\nspin:\n    jmp spin\n" in
+  let layers =
+    [ { Ssx_stab.Composition.name = "ax set";
+        safe = (fun m -> (Helpers.regs m).Ssx.Registers.ax = 1) } ]
+  in
+  match Ssx_stab.Composition.observe machine ~layers ~ticks:100 with
+  | [ { Ssx_stab.Composition.stabilized_at = Some t; _ } ] ->
+    check_bool "stabilized soon after the mov" true (t <= 2)
+  | _ -> Alcotest.fail "expected one observation"
+
+let suite =
+  [ case "word_in_range predicate" test_word_in_range;
+    case "checksum predicate" test_checksum_predicate;
+    case "conj and check_and_repair" test_conj_and_check_and_repair;
+    case "judge: clean run converges from 0" test_judge_clean_run;
+    case "judge: empty trace" test_judge_empty_trace;
+    case "judge: value violation" test_judge_value_violation;
+    case "judge: gap violation" test_judge_gap_violation;
+    case "judge: dead tail" test_judge_tail_gap;
+    case "judge: window must be met" test_judge_window;
+    case "recovery time" test_recovery_time;
+    case "violation counting" test_violation_count;
+    case "counter wrap-around is legal" test_wrap_around_legal;
+    case "respects_layering" test_respects_layering;
+    case "observe layers" test_observe ]

@@ -1,0 +1,95 @@
+let case = Helpers.case
+let check_int = Helpers.check_int
+let check_bool = Helpers.check_bool
+
+let test_ring_processes_pass_checker () =
+  for index = 0 to 3 do
+    let p = Ssos.Token_os.ring_process ~n:4 ~index in
+    let plain = Ssos.Process.assemble_plain p in
+    match
+      Ssos.Process.validate ~model:Ssos.Process.Scheduled
+        ~code_len:(String.length plain.Ssx_asm.Assemble.bytes)
+        plain.Ssx_asm.Assemble.bytes
+    with
+    | Ok () -> ()
+    | Error problems ->
+      Alcotest.failf "ring-%d violations: %s" index (String.concat "; " problems)
+  done
+
+let test_zero_state_is_legitimate () =
+  (* All counters zero = one privilege at the bottom machine. *)
+  let sched = Ssos.Token_os.build () in
+  check_bool "legitimate" true (Ssos.Token_os.legitimate sched)
+
+let test_token_circulates_on_the_os () =
+  let sched = Ssos.Token_os.build () in
+  Ssx.Machine.run sched.Ssos.Sched.machine ~ticks:500_000;
+  check_bool "still exactly one token" true (Ssos.Token_os.legitimate sched);
+  (* Every machine moved at least once: the token went around. *)
+  Array.iteri
+    (fun i hb ->
+      check_bool
+        (Printf.sprintf "machine %d moved" i)
+        true
+        (Ssx_devices.Heartbeat.count hb > 0))
+    sched.Ssos.Sched.heartbeats
+
+let test_converges_from_corrupt_counters () =
+  let sched = Ssos.Token_os.build () in
+  Ssx.Machine.run sched.Ssos.Sched.machine ~ticks:100_000;
+  Ssos.Token_os.corrupt_state sched 1 5;
+  Ssos.Token_os.corrupt_state sched 3 2;
+  check_bool "multiple privileges" true
+    (Ssos.Token_os.token_count ~states:(Ssos.Token_os.states sched) > 1);
+  match Ssos.Token_os.run_until_legitimate sched ~limit:2_000_000 with
+  | Some _ -> ()
+  | None -> Alcotest.fail "ring did not re-stabilize on the tiny OS"
+
+let test_closure_on_the_os () =
+  let sched = Ssos.Token_os.build () in
+  Ssx.Machine.run sched.Ssos.Sched.machine ~ticks:100_000;
+  (* Sample legitimacy along the run: once legitimate, always. *)
+  for _ = 1 to 20 do
+    Ssx.Machine.run sched.Ssos.Sched.machine ~ticks:25_000;
+    check_bool "closure" true (Ssos.Token_os.legitimate sched)
+  done
+
+let test_privilege_helpers () =
+  check_int "all equal: only bottom" 1
+    (Ssos.Token_os.token_count ~states:[| 3; 3; 3; 3 |]);
+  check_int "one step taken" 1
+    (Ssos.Token_os.token_count ~states:[| 4; 3; 3; 3 |]);
+  check_bool "machine 1 privileged" true
+    (Ssos.Token_os.privileged ~states:[| 4; 3; 3; 3 |] 1);
+  check_bool "bottom not privileged" false
+    (Ssos.Token_os.privileged ~states:[| 4; 3; 3; 3 |] 0)
+
+let test_survives_scheduler_corruption () =
+  let sched = Ssos.Token_os.build () in
+  let mem = Ssx.Machine.memory sched.Ssos.Sched.machine in
+  Ssx.Machine.run sched.Ssos.Sched.machine ~ticks:100_000;
+  Ssx.Memory.write_word mem Ssos.Sched.process_index_addr 0xFFFF;
+  Ssx.Memory.write_word mem (Ssos.Sched.process_record_addr 2 + 2) 0x4141;
+  Ssos.Token_os.corrupt_state sched 1 7;
+  match Ssos.Token_os.run_until_legitimate sched ~limit:2_000_000 with
+  | Some _ ->
+    Ssx.Machine.run sched.Ssos.Sched.machine ~ticks:200_000;
+    check_bool "legitimate and stable" true (Ssos.Token_os.legitimate sched)
+  | None -> Alcotest.fail "did not recover from joint corruption"
+
+let test_small_ring_validation () =
+  check_bool "n = 1 rejected" true
+    (match Ssos.Token_os.ring_process ~n:1 ~index:0 with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let suite =
+  [ case "ring processes pass the restriction checker"
+      test_ring_processes_pass_checker;
+    case "zero state is legitimate" test_zero_state_is_legitimate;
+    case "the token circulates on the OS" test_token_circulates_on_the_os;
+    case "converges from corrupted counters" test_converges_from_corrupt_counters;
+    case "closure of legitimacy" test_closure_on_the_os;
+    case "privilege helpers" test_privilege_helpers;
+    case "survives joint scheduler corruption" test_survives_scheduler_corruption;
+    case "ring size validated" test_small_ring_validation ]

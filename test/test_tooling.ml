@@ -1,0 +1,133 @@
+let case = Helpers.case
+let check_int = Helpers.check_int
+let check_bool = Helpers.check_bool
+
+(* ------------------------------ trace ------------------------------ *)
+
+let test_trace_records () =
+  let machine, _ = Helpers.machine_with "mov ax, 1\nmov bx, 2\nhlt\n" in
+  let trace = Ssx.Trace.attach machine in
+  Helpers.run_to_halt machine;
+  let entries = Ssx.Trace.entries trace in
+  check_bool "three entries" true (List.length entries >= 3);
+  match entries with
+  | first :: _ ->
+    check_bool "first is the first mov" true
+      (first.Ssx.Trace.event = Ssx.Cpu.Executed (Ssx.Instruction.Mov_r16_imm (Ssx.Registers.AX, 1)))
+  | [] -> Alcotest.fail "no entries"
+
+let test_trace_ring_buffer () =
+  let machine, _ = Helpers.machine_with "spin:\n    jmp spin\n" in
+  let trace = Ssx.Trace.attach ~capacity:8 machine in
+  Helpers.run_steps machine 100;
+  check_int "bounded" 8 (List.length (Ssx.Trace.entries trace));
+  (* The retained entries are the most recent ones. *)
+  (match List.rev (Ssx.Trace.entries trace) with
+  | newest :: _ -> check_int "newest tick" 100 newest.Ssx.Trace.tick
+  | [] -> Alcotest.fail "empty");
+  Ssx.Trace.clear trace;
+  check_int "cleared" 0 (List.length (Ssx.Trace.entries trace))
+
+let test_trace_pause_resume () =
+  let machine, _ = Helpers.machine_with "spin:\n    jmp spin\n" in
+  let trace = Ssx.Trace.attach machine in
+  Helpers.run_steps machine 5;
+  Ssx.Trace.pause trace;
+  Helpers.run_steps machine 5;
+  check_int "paused" 5 (List.length (Ssx.Trace.entries trace));
+  Ssx.Trace.resume trace;
+  Helpers.run_steps machine 5;
+  check_int "resumed" 10 (List.length (Ssx.Trace.entries trace))
+
+let test_trace_dump () =
+  let machine, _ = Helpers.machine_with "mov ax, 1\nhlt\n" in
+  let trace = Ssx.Trace.attach machine in
+  Helpers.run_to_halt machine;
+  let rendered = Format.asprintf "%a" Ssx.Trace.dump trace in
+  check_bool "mentions mov" true (Astring_contains.contains rendered "mov ax")
+
+(* ----------------------------- snapshot ---------------------------- *)
+
+let test_snapshot_roundtrip () =
+  let machine, _ = Helpers.machine_with "mov ax, 7\nmov [0x100], ax\nspin:\njmp spin\n" in
+  Helpers.run_steps machine 5;
+  let snapshot = Ssx.Snapshot.capture machine in
+  Helpers.run_steps machine 50;
+  Ssx.Memory.write_word (Ssx.Machine.memory machine) 0x100 0x999;
+  (Helpers.regs machine).Ssx.Registers.ax <- 0x42;
+  Ssx.Snapshot.restore snapshot machine;
+  check_int "ax restored" 7 (Helpers.regs machine).Ssx.Registers.ax;
+  (* ds is zero in the helper machine, so the guest's store landed at
+     physical 0x100. *)
+  check_int "memory restored" 7
+    (Ssx.Memory.read_word (Ssx.Machine.memory machine) 0x100);
+  check_bool "snapshot equal after restore" true
+    (Ssx.Snapshot.equal snapshot (Ssx.Snapshot.capture machine))
+
+let test_snapshot_digest_determinism () =
+  (* Two machines running the same program reach the same digest. *)
+  let run () =
+    let machine, _ = Helpers.machine_with "mov ax, 3\nmov [0x20], ax\nhlt\n" in
+    Helpers.run_to_halt machine;
+    Ssx.Snapshot.digest (Ssx.Snapshot.capture machine)
+  in
+  Helpers.check_string "digests equal" (run ()) (run ())
+
+let test_snapshot_digest_sensitivity () =
+  let machine, _ = Helpers.machine_with "hlt\n" in
+  Helpers.run_to_halt machine;
+  let a = Ssx.Snapshot.capture machine in
+  Ssx.Memory.write_byte (Ssx.Machine.memory machine) 0x77777 1;
+  let b = Ssx.Snapshot.capture machine in
+  check_bool "digests differ" true (Ssx.Snapshot.digest a <> Ssx.Snapshot.digest b)
+
+let test_snapshot_diff () =
+  let machine, _ = Helpers.machine_with "hlt\n" in
+  Helpers.run_to_halt machine;
+  let a = Ssx.Snapshot.capture machine in
+  (Helpers.regs machine).Ssx.Registers.bx <- 0x1234;
+  Ssx.Memory.write_byte (Ssx.Machine.memory machine) 0x5000 1;
+  Ssx.Memory.write_byte (Ssx.Machine.memory machine) 0x5001 2;
+  Ssx.Memory.write_byte (Ssx.Machine.memory machine) 0x5003 3;
+  let b = Ssx.Snapshot.capture machine in
+  let diffs = Ssx.Snapshot.diff a b in
+  let registers, ranges =
+    List.partition (function Ssx.Snapshot.Register _ -> true | _ -> false) diffs
+  in
+  check_int "one register differs" 1 (List.length registers);
+  check_int "two coalesced memory ranges" 2 (List.length ranges);
+  (match ranges with
+  | [ Ssx.Snapshot.Memory_range { first; last };
+      Ssx.Snapshot.Memory_range { first = first2; last = _ } ] ->
+    check_int "range start" 0x5000 first;
+    check_int "range end" 0x5001 last;
+    check_int "second range" 0x5003 first2
+  | _ -> Alcotest.fail "unexpected ranges");
+  check_bool "equal snapshots diff empty" true (Ssx.Snapshot.diff a a = [])
+
+let test_determinism_of_whole_systems () =
+  (* The same seed must produce byte-identical final states — the
+     reproducibility claim of the experiments. *)
+  let run () =
+    let system = Ssos.Reinstall.build () in
+    let rng = Ssx_faults.Rng.create 77L in
+    Ssos.System.run system ~ticks:20_000;
+    ignore
+      (Ssx_faults.Injector.inject_now
+         (Ssos.System.fault_system system)
+         ~rng ~space:Ssos.System.default_fault_space 20);
+    Ssos.System.run system ~ticks:80_000;
+    Ssx.Snapshot.digest (Ssx.Snapshot.capture system.Ssos.System.machine)
+  in
+  Helpers.check_string "identical digests" (run ()) (run ())
+
+let suite =
+  [ case "trace records events" test_trace_records;
+    case "trace is a ring buffer" test_trace_ring_buffer;
+    case "trace pause and resume" test_trace_pause_resume;
+    case "trace dump" test_trace_dump;
+    case "snapshot capture/restore roundtrip" test_snapshot_roundtrip;
+    case "snapshot digests are deterministic" test_snapshot_digest_determinism;
+    case "snapshot digests are sensitive" test_snapshot_digest_sensitivity;
+    case "snapshot diff" test_snapshot_diff;
+    case "whole-system determinism" test_determinism_of_whole_systems ]

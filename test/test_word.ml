@@ -1,0 +1,118 @@
+let check_int = Helpers.check_int
+let case = Helpers.case
+
+let test_mask () =
+  check_int "wraps" 0x2345 (Ssx.Word.mask 0x12345);
+  check_int "identity" 0xFFFF (Ssx.Word.mask 0xFFFF);
+  check_int "negative" 0xFFFF (Ssx.Word.mask (-1));
+  check_int "byte" 0x45 (Ssx.Word.mask8 0x12345)
+
+let test_bytes () =
+  check_int "low" 0x34 (Ssx.Word.low_byte 0x1234);
+  check_int "high" 0x12 (Ssx.Word.high_byte 0x1234);
+  check_int "combine" 0x1234 (Ssx.Word.of_bytes ~low:0x34 ~high:0x12);
+  check_int "combine masks" 0x1234 (Ssx.Word.of_bytes ~low:0x7734 ~high:0x9912)
+
+let test_signed () =
+  check_int "positive" 5 (Ssx.Word.to_signed 5);
+  check_int "minus one" (-1) (Ssx.Word.to_signed 0xFFFF);
+  check_int "min" (-32768) (Ssx.Word.to_signed 0x8000);
+  check_int "max" 32767 (Ssx.Word.to_signed 0x7FFF);
+  Helpers.check_bool "sign bit" true (Ssx.Word.is_negative 0x8000);
+  Helpers.check_bool "no sign bit" false (Ssx.Word.is_negative 0x7FFF)
+
+let test_add () =
+  let result, carry, overflow = Ssx.Word.add 1 2 in
+  check_int "sum" 3 result;
+  Helpers.check_bool "no carry" false carry;
+  Helpers.check_bool "no overflow" false overflow;
+  let result, carry, _ = Ssx.Word.add 0xFFFF 1 in
+  check_int "wrap sum" 0 result;
+  Helpers.check_bool "carry" true carry;
+  let _, _, overflow = Ssx.Word.add 0x7FFF 1 in
+  Helpers.check_bool "signed overflow" true overflow;
+  let _, carry, overflow = Ssx.Word.add 0x8000 0x8000 in
+  Helpers.check_bool "negative overflow carry" true carry;
+  Helpers.check_bool "negative overflow" true overflow
+
+let test_add_with_carry () =
+  let result, carry, _ = Ssx.Word.add_with_carry 0xFFFF 0 ~carry:true in
+  check_int "carry in wraps" 0 result;
+  Helpers.check_bool "carry out" true carry;
+  let result, _, _ = Ssx.Word.add_with_carry 1 2 ~carry:true in
+  check_int "carry adds one" 4 result
+
+let test_sub () =
+  let result, borrow, _ = Ssx.Word.sub 5 3 in
+  check_int "difference" 2 result;
+  Helpers.check_bool "no borrow" false borrow;
+  let result, borrow, _ = Ssx.Word.sub 3 5 in
+  check_int "wrapped difference" 0xFFFE result;
+  Helpers.check_bool "borrow" true borrow;
+  let _, _, overflow = Ssx.Word.sub 0x8000 1 in
+  Helpers.check_bool "signed overflow" true overflow
+
+let test_sub_with_borrow () =
+  let result, borrow, _ = Ssx.Word.sub_with_borrow 0 0 ~borrow:true in
+  check_int "borrow in wraps" 0xFFFF result;
+  Helpers.check_bool "borrow out" true borrow
+
+let test_succ_pred () =
+  check_int "succ wraps" 0 (Ssx.Word.succ 0xFFFF);
+  check_int "pred wraps" 0xFFFF (Ssx.Word.pred 0);
+  check_int "succ" 8 (Ssx.Word.succ 7)
+
+let test_parity () =
+  Helpers.check_bool "0 has even parity" true (Ssx.Word.parity_even 0);
+  Helpers.check_bool "1 is odd" false (Ssx.Word.parity_even 1);
+  Helpers.check_bool "3 is even" true (Ssx.Word.parity_even 3);
+  Helpers.check_bool "only low byte counts" true (Ssx.Word.parity_even 0x100)
+
+let test_pp () =
+  Helpers.check_string "format" "0x00FF" (Format.asprintf "%a" Ssx.Word.pp 0xFF)
+
+let word_gen = QCheck.map (fun v -> v land 0xffff) QCheck.int
+
+let prop_mask_idempotent =
+  QCheck.Test.make ~name:"mask is idempotent" QCheck.int (fun v ->
+      Ssx.Word.mask (Ssx.Word.mask v) = Ssx.Word.mask v)
+
+let prop_bytes_roundtrip =
+  QCheck.Test.make ~name:"byte split/combine roundtrip" word_gen (fun w ->
+      Ssx.Word.of_bytes ~low:(Ssx.Word.low_byte w) ~high:(Ssx.Word.high_byte w)
+      = w)
+
+let prop_add_commutative =
+  QCheck.Test.make ~name:"add is commutative"
+    (QCheck.pair word_gen word_gen)
+    (fun (a, b) ->
+      let r1, c1, _ = Ssx.Word.add a b and r2, c2, _ = Ssx.Word.add b a in
+      r1 = r2 && c1 = c2)
+
+let prop_sub_inverts_add =
+  QCheck.Test.make ~name:"sub inverts add"
+    (QCheck.pair word_gen word_gen)
+    (fun (a, b) ->
+      let sum, _, _ = Ssx.Word.add a b in
+      let diff, _, _ = Ssx.Word.sub sum b in
+      diff = a)
+
+let prop_signed_range =
+  QCheck.Test.make ~name:"to_signed stays in range" word_gen (fun w ->
+      let s = Ssx.Word.to_signed w in
+      s >= -32768 && s <= 32767 && Ssx.Word.mask s = w)
+
+let suite =
+  [ case "mask" test_mask;
+    case "byte access" test_bytes;
+    case "signed interpretation" test_signed;
+    case "add with flags" test_add;
+    case "add with carry" test_add_with_carry;
+    case "sub with flags" test_sub;
+    case "sub with borrow" test_sub_with_borrow;
+    case "succ and pred wrap" test_succ_pred;
+    case "parity" test_parity;
+    case "pretty printing" test_pp ]
+  @ List.map QCheck_alcotest.to_alcotest
+      [ prop_mask_idempotent; prop_bytes_roundtrip; prop_add_commutative;
+        prop_sub_inverts_add; prop_signed_range ]
