@@ -1,6 +1,16 @@
 (* Benchmark harness: regenerates every evaluation table (T1-T10, see
-   DESIGN.md and EXPERIMENTS.md) and then runs host-side
-   micro-benchmarks of the simulator and tooling with Bechamel. *)
+   DESIGN.md and EXPERIMENTS.md), reports deterministic guest-cycle
+   costs, and runs host-side micro-benchmarks of the simulator and
+   tooling with Bechamel.
+
+   Usage:
+     main.exe            full run; writes BENCH_machine.json to the
+                         current directory
+     main.exe --smoke    quick harness exercise: tables + one short
+                         quota-limited Bechamel pass, no JSON written
+                         (wired to the [@bench-smoke] dune alias) *)
+
+let smoke = Array.exists (( = ) "--smoke") Sys.argv
 
 let run_tables () =
   List.iter
@@ -11,9 +21,7 @@ let run_tables () =
 (* Guest-cycle costs are deterministic properties of the designs, not
    host-time measurements: report them by direct simulation. *)
 let guest_cycle_costs () =
-  Format.printf "== Guest-cycle costs (simulated ticks, deterministic) ==@.";
   let reinstall_cost = 8 + Ssos.Layout.os_image_size + 7 in
-  Format.printf "  figure-1 reinstall procedure:        %6d ticks@." reinstall_cost;
   let switch_cost ~refresh =
     let sched = Ssos.Sched.build ~refresh () in
     let machine = sched.Ssos.Sched.machine in
@@ -39,20 +47,40 @@ let guest_cycle_costs () =
     | costs ->
       float_of_int (List.fold_left ( + ) 0 costs) /. float_of_int (List.length costs)
   in
-  Format.printf "  scheduler context switch (refresh):  %6.0f ticks@."
-    (switch_cost ~refresh:true);
-  Format.printf "  scheduler context switch (no refr.): %6.0f ticks@."
-    (switch_cost ~refresh:false);
+  [ ("figure1-reinstall-ticks", float_of_int reinstall_cost);
+    ("sched-context-switch-refresh-ticks", switch_cost ~refresh:true);
+    ("sched-context-switch-norefresh-ticks", switch_cost ~refresh:false) ]
+
+let print_guest_cycle_costs costs =
+  Format.printf "== Guest-cycle costs (simulated ticks, deterministic) ==@.";
+  List.iter
+    (fun (name, v) -> Format.printf "  %-38s %8.0f@." name v)
+    costs;
   Format.printf "@."
 
 let micro_tests () =
   let open Bechamel in
-  let tick_system = Ssos.Reinstall.build () in
-  Ssos.System.run tick_system ~ticks:30_000;
+  (* The decode-cache pair: the same reinstall system warmed into its
+     steady state, once with the write-invalidated decode cache (the
+     default) and once re-decoding from raw bytes every tick.  Warming
+     matters — it fills the cache and gets the OS past its boot path so
+     both benchmarks measure the steady-state watchdog/reinstall loop. *)
+  let warmed ~decode_cache =
+    let system = Ssos.Reinstall.build ~decode_cache () in
+    Ssos.System.run system ~ticks:30_000;
+    system
+  in
+  let tick_cached = warmed ~decode_cache:true in
+  let tick_uncached = warmed ~decode_cache:false in
   let machine_tick =
     Test.make ~name:"machine-tick-x100"
       (Staged.stage (fun () ->
-           Ssx.Machine.run tick_system.Ssos.System.machine ~ticks:100))
+           Ssx.Machine.run tick_cached.Ssos.System.machine ~ticks:100))
+  in
+  let machine_tick_uncached =
+    Test.make ~name:"machine-tick-x100-uncached"
+      (Staged.stage (fun () ->
+           Ssx.Machine.run tick_uncached.Ssos.System.machine ~ticks:100))
   in
   let assemble_figure1 =
     Test.make ~name:"assemble-figure1"
@@ -86,35 +114,86 @@ let micro_tests () =
       (Staged.stage (fun () -> ignore (Ssos.Reinstall.build ())))
   in
   Test.make_grouped ~name:"micro"
-    [ machine_tick; assemble_figure1; assemble_scheduler; disassemble;
-      token_round; build_system ]
+    [ machine_tick; machine_tick_uncached; assemble_figure1;
+      assemble_scheduler; disassemble; token_round; build_system ]
 
+(* Returns [(name, ns_per_run)] rows, sorted by name. *)
 let run_micro () =
   let open Bechamel in
-  Format.printf "== Micro-benchmarks (host time, Bechamel OLS) ==@.";
+  Format.printf "== Micro-benchmarks (host time, Bechamel OLS%s) ==@."
+    (if smoke then ", smoke quota" else "");
   let instances = Toolkit.Instance.[ monotonic_clock ] in
   let cfg =
-    Benchmark.cfg ~limit:2000 ~stabilize:true ~quota:(Time.second 0.5) ()
+    if smoke then Benchmark.cfg ~limit:200 ~stabilize:false ~quota:(Time.second 0.05) ()
+    else Benchmark.cfg ~limit:2000 ~stabilize:true ~quota:(Time.second 0.5) ()
   in
   let raw = Benchmark.all cfg instances (micro_tests ()) in
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
   in
   let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
-  let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results [] in
+  let rows =
+    Hashtbl.fold
+      (fun name ols acc ->
+        match Analyze.OLS.estimates ols with
+        | Some [ estimate ] -> (name, estimate) :: acc
+        | Some _ | None -> acc)
+      results []
+    |> List.sort compare
+  in
   List.iter
-    (fun (name, ols) ->
-      match Analyze.OLS.estimates ols with
-      | Some [ estimate ] ->
-        Format.printf "  %-28s %12.1f ns/run@." name estimate
-      | Some _ | None -> Format.printf "  %-28s (no estimate)@." name)
-    (List.sort compare rows);
-  Format.printf "@."
+    (fun (name, ns) -> Format.printf "  %-28s %12.1f ns/run@." name ns)
+    rows;
+  (match
+     ( List.assoc_opt "micro/machine-tick-x100" rows,
+       List.assoc_opt "micro/machine-tick-x100-uncached" rows )
+   with
+  | Some cached, Some uncached when cached > 0. ->
+    Format.printf "  decode-cache speedup:        %11.2fx@." (uncached /. cached)
+  | _ -> ());
+  Format.printf "@.";
+  rows
+
+(* BENCH_machine.json: flat object of benchmark name -> number, so the
+   driver (and future sessions) can diff runs mechanically.  Written by
+   hand to keep the harness dependency-free. *)
+let write_json ~path micro costs =
+  let oc = open_out path in
+  let json_name name =
+    (* Strip Bechamel's group prefix; names contain no characters that
+       need escaping. *)
+    match String.index_opt name '/' with
+    | Some i -> String.sub name (i + 1) (String.length name - i - 1)
+    | None -> name
+  in
+  let rows =
+    List.map (fun (n, v) -> (json_name n ^ "-ns-per-run", v)) micro @ costs
+  in
+  let rows =
+    match
+      ( List.assoc_opt "micro/machine-tick-x100" micro,
+        List.assoc_opt "micro/machine-tick-x100-uncached" micro )
+    with
+    | Some cached, Some uncached when cached > 0. ->
+      rows @ [ ("decode-cache-speedup", uncached /. cached) ]
+    | _ -> rows
+  in
+  Printf.fprintf oc "{\n";
+  List.iteri
+    (fun i (name, v) ->
+      Printf.fprintf oc "  %S: %.2f%s\n" name v
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  Printf.fprintf oc "}\n";
+  close_out oc;
+  Format.printf "wrote %s@." path
 
 let () =
   Format.printf
     "ssos benchmark harness - reproduction of 'Toward Self-Stabilizing \
      Operating Systems' (Dolev & Yagel)@.@.";
   run_tables ();
-  guest_cycle_costs ();
-  run_micro ()
+  let costs = guest_cycle_costs () in
+  print_guest_cycle_costs costs;
+  let micro = run_micro () in
+  if not smoke then write_json ~path:"BENCH_machine.json" micro costs

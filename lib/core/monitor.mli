@@ -42,6 +42,7 @@ val journal_predicates : unit -> Ssx_stab.Predicate.t list
 val build :
   ?nmi_counter_enabled:bool ->
   ?hardwired_nmi:bool ->
+  ?decode_cache:bool ->
   ?watchdog_period:int ->
   ?tasks:int ->
   ?predicates_enabled:bool ->
@@ -53,6 +54,7 @@ val build :
 val build_custom :
   ?nmi_counter_enabled:bool ->
   ?hardwired_nmi:bool ->
+  ?decode_cache:bool ->
   ?watchdog_period:int ->
   ?code_integrity:bool ->
   guest:Guest.t ->

@@ -35,6 +35,7 @@ type wiring = Nmi_wired | Reset_wired
 val build :
   ?nmi_counter_enabled:bool ->
   ?hardwired_nmi:bool ->
+  ?decode_cache:bool ->
   ?watchdog_period:int ->
   ?variant:variant ->
   ?wiring:wiring ->

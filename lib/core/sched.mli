@@ -51,6 +51,7 @@ val build :
   ?watchdog_period:int ->
   ?nmi_counter_enabled:bool ->
   ?hardwired_nmi:bool ->
+  ?decode_cache:bool ->
   ?processes:Process.t array ->
   unit ->
   t

@@ -7,10 +7,10 @@ type t = {
   guest : Guest.t;
 }
 
-let build ?nmi_counter_enabled ?hardwired_nmi ?(watchdog = `Nmi Layout.default_watchdog_period)
-    ~rom ~guest () =
+let build ?nmi_counter_enabled ?hardwired_nmi ?decode_cache
+    ?(watchdog = `Nmi Layout.default_watchdog_period) ~rom ~guest () =
   let config = Layout.machine_config ?nmi_counter_enabled ?hardwired_nmi () in
-  let machine = Ssx.Machine.create ~config () in
+  let machine = Ssx.Machine.create ~config ?decode_cache () in
   Rom_builder.install rom (Ssx.Machine.memory machine);
   (Ssx.Machine.cpu machine).Ssx.Cpu.idtr <- Layout.rom_base + Layout.idt_offset;
   let watchdog =

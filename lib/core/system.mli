@@ -19,6 +19,7 @@ type t = {
 val build :
   ?nmi_counter_enabled:bool ->
   ?hardwired_nmi:bool ->
+  ?decode_cache:bool ->
   ?watchdog:[ `Nmi of int | `Reset of int | `None ] ->
   rom:Rom_builder.t ->
   guest:Guest.t ->

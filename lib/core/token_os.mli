@@ -34,6 +34,7 @@ val build :
   ?watchdog_period:int ->
   ?cs_check:Sched.cs_check ->
   ?refresh:bool ->
+  ?decode_cache:bool ->
   unit ->
   Sched.t
 (** The tiny OS scheduling an [n]-machine ring (default 4). *)

@@ -1,5 +1,5 @@
 let memory_size = 0x100000
-let mask a = a land (memory_size - 1)
-let physical ~seg ~off = mask ((seg lsl 4) + off)
+let[@inline] mask a = a land (memory_size - 1)
+let[@inline] physical ~seg ~off = mask ((seg lsl 4) + off)
 let pp ppf a = Format.fprintf ppf "0x%05X" a
 let pp_seg_off ppf (seg, off) = Format.fprintf ppf "%04X:%04X" seg off

@@ -18,6 +18,13 @@ type io = {
   io_out : int -> Instruction.width -> int -> unit;
 }
 
+type event =
+  | Executed of Instruction.t
+  | Took_interrupt of { vector : int; nmi : bool }
+  | Took_exception of int
+  | Halted_idle
+  | Did_reset
+
 type t = {
   regs : Registers.t;
   mem : Memory.t;
@@ -30,14 +37,8 @@ type t = {
   mutable halted : bool;
   mutable io : io;
   mutable steps : int;
+  mutable decode_cache : event Decode_cache.t option;
 }
-
-type event =
-  | Executed of Instruction.t
-  | Took_interrupt of { vector : int; nmi : bool }
-  | Took_exception of int
-  | Halted_idle
-  | Did_reset
 
 let vec_divide_error = 0
 let vec_nmi = 2
@@ -48,7 +49,7 @@ let null_io = { io_in = (fun _ _ -> 0); io_out = (fun _ _ _ -> ()) }
 let create ?(config = default_config) mem =
   { regs = Registers.create (); mem; config; idtr = 0; nmi_pin = false;
     in_nmi = false; intr = None; reset_pin = false; halted = false;
-    io = null_io; steps = 0 }
+    io = null_io; steps = 0; decode_cache = None }
 
 let reset cpu =
   let r = cpu.regs in
@@ -155,47 +156,49 @@ let set_arith_flags cpu result ~carry ~overflow =
   let psw = Flags.set psw Flags.Carry carry in
   r.psw <- Flags.set psw Flags.Overflow overflow
 
-(* ALU on 16-bit values: returns the result to store (unchanged dst for
-   cmp/test) and updates flags. *)
+(* ALU on 16-bit values: returns the result to store, or [-1] when the
+   destination is left alone (cmp/test), and updates flags.  The [-1]
+   sentinel (not an option) and the packed {!Word} primitives keep this
+   allocation-free — it runs once per arithmetic instruction. *)
+let no_store = -1
+
+let[@inline] set_packed_flags cpu p =
+  let result = Word.packed_result p in
+  set_arith_flags cpu result
+    ~carry:(Word.packed_carry p)
+    ~overflow:(Word.packed_overflow p);
+  result
+
 let alu16 cpu op dst src =
-  let carry_in = Flags.get cpu.regs.psw Flags.Carry in
   match op with
-  | Instruction.Add ->
-    let result, carry, overflow = Word.add dst src in
-    set_arith_flags cpu result ~carry ~overflow;
-    Some result
+  | Instruction.Add -> set_packed_flags cpu (Word.add_packed dst src)
   | Instruction.Adc ->
-    let result, carry, overflow = Word.add_with_carry dst src ~carry:carry_in in
-    set_arith_flags cpu result ~carry ~overflow;
-    Some result
-  | Instruction.Sub ->
-    let result, carry, overflow = Word.sub dst src in
-    set_arith_flags cpu result ~carry ~overflow;
-    Some result
+    let carry = Flags.get cpu.regs.psw Flags.Carry in
+    set_packed_flags cpu (Word.add_with_carry_packed dst src ~carry)
+  | Instruction.Sub -> set_packed_flags cpu (Word.sub_packed dst src)
   | Instruction.Sbb ->
-    let result, carry, overflow = Word.sub_with_borrow dst src ~borrow:carry_in in
-    set_arith_flags cpu result ~carry ~overflow;
-    Some result
+    let borrow = Flags.get cpu.regs.psw Flags.Carry in
+    set_packed_flags cpu (Word.sub_with_borrow_packed dst src ~borrow)
   | Instruction.And ->
     let result = dst land src in
     set_logic_flags cpu result;
-    Some result
+    result
   | Instruction.Or ->
     let result = dst lor src in
     set_logic_flags cpu result;
-    Some result
+    result
   | Instruction.Xor ->
     let result = dst lxor src in
     set_logic_flags cpu result;
-    Some result
+    result
   | Instruction.Cmp ->
-    let result, carry, overflow = Word.sub dst src in
-    set_arith_flags cpu result ~carry ~overflow;
-    None
+    ignore (set_packed_flags cpu (Word.sub_packed dst src));
+    no_store
   | Instruction.Test ->
     set_logic_flags cpu (dst land src);
-    None
+    no_store
 
+(* Same contract as {!alu16}: [-1] means no store-back. *)
 let alu8 cpu op dst src =
   let wrap v = v land 0xff in
   match op with
@@ -205,48 +208,48 @@ let alu8 cpu op dst src =
     let psw = Flags.of_result8 cpu.regs.psw result in
     let psw = Flags.set psw Flags.Carry (sum > 0xff) in
     cpu.regs.psw <- psw;
-    Some result
+    result
   | Instruction.Adc ->
     let sum = dst + src + if Flags.get cpu.regs.psw Flags.Carry then 1 else 0 in
     let result = wrap sum in
     let psw = Flags.of_result8 cpu.regs.psw result in
     let psw = Flags.set psw Flags.Carry (sum > 0xff) in
     cpu.regs.psw <- psw;
-    Some result
+    result
   | Instruction.Sub ->
     let diff = dst - src in
     let result = wrap diff in
     let psw = Flags.of_result8 cpu.regs.psw result in
     let psw = Flags.set psw Flags.Carry (diff < 0) in
     cpu.regs.psw <- psw;
-    Some result
+    result
   | Instruction.Sbb ->
     let diff = dst - src - if Flags.get cpu.regs.psw Flags.Carry then 1 else 0 in
     let result = wrap diff in
     let psw = Flags.of_result8 cpu.regs.psw result in
     let psw = Flags.set psw Flags.Carry (diff < 0) in
     cpu.regs.psw <- psw;
-    Some result
+    result
   | Instruction.And ->
     let result = dst land src in
     set_logic_flags8 cpu result;
-    Some result
+    result
   | Instruction.Or ->
     let result = dst lor src in
     set_logic_flags8 cpu result;
-    Some result
+    result
   | Instruction.Xor ->
     let result = dst lxor src in
     set_logic_flags8 cpu result;
-    Some result
+    result
   | Instruction.Cmp ->
     let diff = dst - src in
     let psw = Flags.of_result8 cpu.regs.psw (wrap diff) in
     cpu.regs.psw <- Flags.set psw Flags.Carry (diff < 0);
-    None
+    no_store
   | Instruction.Test ->
     set_logic_flags8 cpu (dst land src);
-    None
+    no_store
 
 let cond_holds cpu cond =
   let flag f = Flags.get cpu.regs.psw f in
@@ -313,12 +316,44 @@ let string_op_kind = function
 
 (* --- execution -------------------------------------------------------- *)
 
-let fetch_decode cpu =
+let decode_at cpu =
   let r = cpu.regs in
   let fetch pos =
     Memory.read_byte cpu.mem (Addr.physical ~seg:r.cs ~off:(Word.mask pos))
   in
   Codec.decode ~fetch ~pos:r.ip
+
+(* The cache is keyed by the physical address of the opcode byte, which
+   only determines the instruction bytes when the whole decode window is
+   linear: no 16-bit offset wrap within the segment and no 20-bit
+   physical wrap.  Wrapping fetches (the §5.2 hazard at its worst) fall
+   back to plain decoding. *)
+let cacheable_ip_limit = 0x10000 - Codec.max_length
+let cacheable_pa_limit = Addr.memory_size - Codec.max_length
+
+let fetch_decode cpu =
+  match cpu.decode_cache with
+  | None -> decode_at cpu
+  | Some cache ->
+    let r = cpu.regs in
+    if r.ip > cacheable_ip_limit then decode_at cpu
+    else begin
+      let pa = Addr.physical ~seg:r.cs ~off:r.ip in
+      if pa > cacheable_pa_limit then decode_at cpu
+      else begin
+        let len = Decode_cache.cached_len cache pa in
+        if len > 0 then begin
+          Decode_cache.record_hit cache;
+          (Decode_cache.cached_instr cache pa, len)
+        end
+        else begin
+          Decode_cache.record_miss cache;
+          let ((instr, len) as decoded) = decode_at cpu in
+          Decode_cache.store cache pa instr len (Executed instr);
+          decoded
+        end
+      end
+    end
 
 (* Execute [instr]; [ip0] is the instruction's own offset and [len] its
    encoded length.  [r.ip] has already been advanced to [ip0 + len]. *)
@@ -353,47 +388,43 @@ let execute cpu instr ~ip0 ~len =
     let va = Registers.get16 r a and vb = Registers.get16 r b in
     Registers.set16 r a vb;
     Registers.set16 r b va
-  | Instruction.Alu_r16_r16 (op, d, s) -> (
-    match alu16 cpu op (Registers.get16 r d) (Registers.get16 r s) with
-    | Some result -> Registers.set16 r d result
-    | None -> ())
-  | Instruction.Alu_r16_imm (op, d, v) -> (
-    match alu16 cpu op (Registers.get16 r d) v with
-    | Some result -> Registers.set16 r d result
-    | None -> ())
-  | Instruction.Alu_r16_mem (op, d, m) -> (
-    match alu16 cpu op (Registers.get16 r d) (read_mem16 cpu m) with
-    | Some result -> Registers.set16 r d result
-    | None -> ())
-  | Instruction.Alu_mem_r16 (op, m, s) -> (
-    match alu16 cpu op (read_mem16 cpu m) (Registers.get16 r s) with
-    | Some result -> write_mem16 cpu m result
-    | None -> ())
-  | Instruction.Alu_r8_r8 (op, d, s) -> (
-    match alu8 cpu op (Registers.get8 r d) (Registers.get8 r s) with
-    | Some result -> Registers.set8 r d result
-    | None -> ())
-  | Instruction.Alu_r8_imm (op, d, v) -> (
-    match alu8 cpu op (Registers.get8 r d) v with
-    | Some result -> Registers.set8 r d result
-    | None -> ())
+  | Instruction.Alu_r16_r16 (op, d, s) ->
+    let result = alu16 cpu op (Registers.get16 r d) (Registers.get16 r s) in
+    if result >= 0 then Registers.set16 r d result
+  | Instruction.Alu_r16_imm (op, d, v) ->
+    let result = alu16 cpu op (Registers.get16 r d) v in
+    if result >= 0 then Registers.set16 r d result
+  | Instruction.Alu_r16_mem (op, d, m) ->
+    let result = alu16 cpu op (Registers.get16 r d) (read_mem16 cpu m) in
+    if result >= 0 then Registers.set16 r d result
+  | Instruction.Alu_mem_r16 (op, m, s) ->
+    let result = alu16 cpu op (read_mem16 cpu m) (Registers.get16 r s) in
+    if result >= 0 then write_mem16 cpu m result
+  | Instruction.Alu_r8_r8 (op, d, s) ->
+    let result = alu8 cpu op (Registers.get8 r d) (Registers.get8 r s) in
+    if result >= 0 then Registers.set8 r d result
+  | Instruction.Alu_r8_imm (op, d, v) ->
+    let result = alu8 cpu op (Registers.get8 r d) v in
+    if result >= 0 then Registers.set8 r d result
   | Instruction.Inc_r16 reg ->
-    let v = Registers.get16 r reg in
-    let result, _, overflow = Word.add v 1 in
+    let p = Word.add_packed (Registers.get16 r reg) 1 in
+    let result = Word.packed_result p in
     Registers.set16 r reg result;
     let psw = Flags.of_result r.psw result in
-    r.psw <- Flags.set psw Flags.Overflow overflow
+    r.psw <- Flags.set psw Flags.Overflow (Word.packed_overflow p)
   | Instruction.Dec_r16 reg ->
-    let v = Registers.get16 r reg in
-    let result, _, overflow = Word.sub v 1 in
+    let p = Word.sub_packed (Registers.get16 r reg) 1 in
+    let result = Word.packed_result p in
     Registers.set16 r reg result;
     let psw = Flags.of_result r.psw result in
-    r.psw <- Flags.set psw Flags.Overflow overflow
+    r.psw <- Flags.set psw Flags.Overflow (Word.packed_overflow p)
   | Instruction.Neg_r16 reg ->
     let v = Registers.get16 r reg in
-    let result, _, overflow = Word.sub 0 v in
+    let p = Word.sub_packed 0 v in
+    let result = Word.packed_result p in
     Registers.set16 r reg result;
-    set_arith_flags cpu result ~carry:(v <> 0) ~overflow
+    set_arith_flags cpu result ~carry:(v <> 0)
+      ~overflow:(Word.packed_overflow p)
   | Instruction.Not_r16 reg ->
     Registers.set16 r reg (Word.mask (lnot (Registers.get16 r reg)))
   | Instruction.Shl_r16 (reg, n) ->
@@ -504,6 +535,52 @@ let execute cpu instr ~ip0 ~len =
     ignore len;
     raise (Fault vec_invalid_opcode)
 
+(* Advance past the instruction and run it.  [event] is the (possibly
+   cache-resident) [Executed] value to return on normal completion, so
+   the hot path allocates nothing. *)
+let dispatch cpu instr ~ip0 ~len event =
+  cpu.regs.ip <- Word.mask (ip0 + len);
+  match execute cpu instr ~ip0 ~len with
+  | () -> event
+  | exception Fault vector ->
+    (* Faults push the address of the faulting instruction. *)
+    service cpu vector ~nmi:false ~return_ip:ip0;
+    Took_exception vector
+
+let exec_uncached cpu ~ip0 =
+  let instr, len = decode_at cpu in
+  dispatch cpu instr ~ip0 ~len (Executed instr)
+
+(* Fetch-decode-execute with the decode cache inlined: a hit costs one
+   bounds pair, one byte load and one array load, and returns the
+   entry's prebuilt event. *)
+let exec_one cpu =
+  let ip0 = cpu.regs.ip in
+  match cpu.decode_cache with
+  | Some cache when ip0 <= cacheable_ip_limit ->
+    let pa = Addr.physical ~seg:cpu.regs.cs ~off:ip0 in
+    if pa > cacheable_pa_limit then exec_uncached cpu ~ip0
+    else begin
+      let len = Decode_cache.cached_len cache pa in
+      if len > 0 then
+        (* No hit counter here: the step loop is the one place where an
+           extra load/store per tick is measurable.  [misses] still
+           counts every fill, so hit totals are recoverable as
+           executed-instructions minus misses. *)
+        dispatch cpu
+          (Decode_cache.cached_instr cache pa)
+          ~ip0 ~len
+          (Decode_cache.cached_payload cache pa)
+      else begin
+        Decode_cache.record_miss cache;
+        let instr, len = decode_at cpu in
+        let event = Executed instr in
+        Decode_cache.store cache pa instr len event;
+        dispatch cpu instr ~ip0 ~len event
+      end
+    end
+  | Some _ | None -> exec_uncached cpu ~ip0
+
 let nmi_acceptable cpu =
   if cpu.config.nmi_counter_enabled then cpu.regs.nmi_counter = 0
   else not cpu.in_nmi
@@ -539,16 +616,5 @@ let step cpu =
         service cpu vector ~nmi:false ~return_ip:cpu.regs.ip;
         Took_interrupt { vector; nmi = false }
       | Some _ | None ->
-        if cpu.halted then Halted_idle
-        else begin
-          let ip0 = cpu.regs.ip in
-          let instr, len = fetch_decode cpu in
-          cpu.regs.ip <- Word.mask (ip0 + len);
-          match execute cpu instr ~ip0 ~len with
-          | () -> Executed instr
-          | exception Fault vector ->
-            (* Faults push the address of the faulting instruction. *)
-            service cpu vector ~nmi:false ~return_ip:ip0;
-            Took_exception vector
-        end
+        if cpu.halted then Halted_idle else exec_one cpu
   end

@@ -44,6 +44,14 @@ type io = {
       (** [io_out port width value] — effect of [out]. *)
 }
 
+(** What a single step did, for tracing and measurement. *)
+type event =
+  | Executed of Instruction.t
+  | Took_interrupt of { vector : int; nmi : bool }
+  | Took_exception of int
+  | Halted_idle
+  | Did_reset
+
 type t = {
   regs : Registers.t;
   mem : Memory.t;
@@ -57,15 +65,14 @@ type t = {
   mutable halted : bool;
   mutable io : io;
   mutable steps : int;  (** Clock ticks executed so far. *)
+  mutable decode_cache : event Decode_cache.t option;
+      (** Decoded-instruction cache used by the fetch path; [None]
+          means decode from raw bytes every step.  The per-entry
+          payload is the prebuilt [Executed] event, so cache hits
+          allocate nothing.  Whoever installs a cache must also wire
+          {!Memory.set_write_hook} to {!Decode_cache.invalidate} (see
+          {!Machine.create}). *)
 }
-
-(** What a single step did, for tracing and measurement. *)
-type event =
-  | Executed of Instruction.t
-  | Took_interrupt of { vector : int; nmi : bool }
-  | Took_exception of int
-  | Halted_idle
-  | Did_reset
 
 (** Vector numbers for machine exceptions (IA-32 numbering). *)
 val vec_divide_error : int

@@ -1,0 +1,56 @@
+(* Decoded instructions keyed by the physical address of their opcode
+   byte.  Validity lives in [lens]: a zero length means empty, so the
+   hot-path probe is a single byte load.  [instrs] and [payloads] are
+   only meaningful where [lens] is non-zero.
+
+   The cache is polymorphic in a per-entry payload so the CPU can stash
+   a prebuilt [Executed] event next to each decode: a cache hit then
+   allocates nothing at all on the step fast path. *)
+
+type 'a t = {
+  instrs : Instruction.t array;
+  payloads : 'a array;
+  lens : Bytes.t;
+  empty_payload : 'a;
+  mutable hits : int;
+  mutable misses : int;
+  mutable invalidations : int;
+}
+
+(* A cached entry's bytes never wrap: entries are only stored when the
+   whole [max_length] window is linear (see {!Cpu.fetch_decode}), so a
+   write at [a] can only affect entries at [a - max_length + 1 .. a]. *)
+let max_span = Codec.max_length
+
+let create ~empty_payload =
+  { instrs = Array.make Addr.memory_size Instruction.Nop;
+    payloads = Array.make Addr.memory_size empty_payload;
+    lens = Bytes.make Addr.memory_size '\000';
+    empty_payload;
+    hits = 0;
+    misses = 0;
+    invalidations = 0 }
+
+let[@inline] cached_len t addr = Char.code (Bytes.unsafe_get t.lens addr)
+let[@inline] cached_instr t addr = Array.unsafe_get t.instrs addr
+let[@inline] cached_payload t addr = Array.unsafe_get t.payloads addr
+
+let[@inline] store t addr instr len payload =
+  Array.unsafe_set t.instrs addr instr;
+  Array.unsafe_set t.payloads addr payload;
+  Bytes.unsafe_set t.lens addr (Char.unsafe_chr len)
+
+let[@inline] record_hit t = t.hits <- t.hits + 1
+let[@inline] record_miss t = t.misses <- t.misses + 1
+
+let invalidate t addr =
+  t.invalidations <- t.invalidations + 1;
+  for p = addr - max_span + 1 to addr do
+    Bytes.unsafe_set t.lens (Addr.mask p) '\000'
+  done
+
+let clear t = Bytes.fill t.lens 0 (Bytes.length t.lens) '\000'
+
+let hits t = t.hits
+let misses t = t.misses
+let invalidations t = t.invalidations

@@ -1,0 +1,66 @@
+(** Write-invalidated decoded-instruction cache.
+
+    Re-decoding variable-length instructions from raw memory bytes on
+    every clock tick dominates simulation time.  This cache memoises
+    [(instruction, length)] keyed by the {e physical} address of the
+    opcode byte, and is invalidated by every memory write (via
+    {!Memory.set_write_hook}), whatever its source: guest stores,
+    [rep movs] sweeps, ROM reinstalls through {!Memory.blit},
+    {!Memory.load_image}, snapshot restores and fault-injector
+    corruption.
+
+    Faithfulness to the paper's fault model (§5.2) is the design
+    constraint: a corrupted code byte must make the simulated processor
+    re-decode — and therefore possibly {e mis-decode} — exactly the
+    bytes now in memory, never a stale cached decode.  Because each
+    write kills every cached entry whose span could cover the written
+    byte, a cached execution is observationally identical to an
+    uncached one (asserted by the differential trace tests).
+
+    Entries are only created for instruction windows that are linear in
+    physical memory (no 16-bit offset wrap, no 20-bit address wrap);
+    the fetch path falls back to plain decoding otherwise.
+
+    Each entry additionally carries a caller-chosen payload ['a] — the
+    CPU stores a prebuilt [Executed] event there so that a hit
+    allocates nothing on the step fast path. *)
+
+type 'a t
+
+val create : empty_payload:'a -> 'a t
+(** An empty cache covering all of physical memory; [empty_payload]
+    fills the (never-read) payload slots of empty entries. *)
+
+val cached_len : 'a t -> int -> int
+(** Encoded length of the entry at a physical address, or [0] when the
+    slot is empty.  [addr] must already be masked to memory size. *)
+
+val cached_instr : 'a t -> int -> Instruction.t
+(** The cached instruction; only meaningful when [cached_len] is
+    non-zero for the same address. *)
+
+val cached_payload : 'a t -> int -> 'a
+(** The payload stored with the entry; same validity rule. *)
+
+val store : 'a t -> int -> Instruction.t -> int -> 'a -> unit
+(** [store t addr instr len payload] fills the slot at [addr]. *)
+
+val invalidate : 'a t -> int -> unit
+(** [invalidate t addr] empties every slot whose decoded span could
+    include the byte at [addr] (the preceding [Codec.max_length - 1]
+    addresses and [addr] itself). *)
+
+val clear : 'a t -> unit
+(** Empty the whole cache. *)
+
+val record_hit : 'a t -> unit
+val record_miss : 'a t -> unit
+
+val hits : 'a t -> int
+val misses : 'a t -> int
+val invalidations : 'a t -> int
+(** Counters for benchmarks and tests.  [misses] counts every fill and
+    [invalidations] every invalidating write.  [hits] is only recorded
+    by the out-of-line {!Cpu.fetch_decode} probe — the step fast path
+    deliberately skips the counter, so total hits over a run are
+    executed-instruction count minus [misses]. *)

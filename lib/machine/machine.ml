@@ -3,51 +3,95 @@ type port_handler = {
   write : Instruction.width -> int -> unit;
 }
 
+let null_port =
+  { read = (fun _ -> 0); write = (fun _ _ -> ()) }
+
 type t = {
   cpu : Cpu.t;
   mem : Memory.t;
-  mutable devices : Device.t list;
-  ports : (int, port_handler) Hashtbl.t;
-  mutable hooks : (t -> Cpu.event -> unit) list;
+  mutable devices : Device.t array;
+  mutable device_ticks : (Cpu.t -> unit) array;
+      (* devices.(i).tick, pre-extracted for the per-tick loop *)
+  ports : port_handler array;  (* indexed by port byte, 256 entries *)
+  mutable hooks : (t -> Cpu.event -> unit) array;
 }
 
 let cpu m = m.cpu
 let memory m = m.mem
 let ticks m = m.cpu.Cpu.steps
+let decode_cache m = m.cpu.Cpu.decode_cache
 
-let create ?config () =
+let set_decode_cache m enabled =
+  match (m.cpu.Cpu.decode_cache, enabled) with
+  | Some _, true | None, false -> ()
+  | None, true ->
+    let cache = Decode_cache.create ~empty_payload:Cpu.Halted_idle in
+    m.cpu.Cpu.decode_cache <- Some cache;
+    Memory.set_write_hook m.mem (fun addr -> Decode_cache.invalidate cache addr)
+  | Some _, false ->
+    m.cpu.Cpu.decode_cache <- None;
+    Memory.clear_write_hook m.mem
+
+let create ?config ?(decode_cache = true) () =
   let mem = Memory.create () in
   let cpu = Cpu.create ?config mem in
-  let m = { cpu; mem; devices = []; ports = Hashtbl.create 16; hooks = [] } in
-  let io_in port width =
-    match Hashtbl.find_opt m.ports port with
-    | Some h -> h.read width
-    | None -> 0
+  let m =
+    { cpu; mem; devices = [||]; device_ticks = [||];
+      ports = Array.make 256 null_port; hooks = [||] }
   in
+  (* Port numbers are a single byte in the instruction encoding, so a
+     flat 256-entry table replaces the hashtable (and its per-I/O
+     option allocation) on the in/out path. *)
+  let io_in port width = (Array.unsafe_get m.ports (port land 0xff)).read width in
   let io_out port width value =
-    match Hashtbl.find_opt m.ports port with
-    | Some h -> h.write width value
-    | None -> ()
+    (Array.unsafe_get m.ports (port land 0xff)).write width value
   in
   cpu.Cpu.io <- { Cpu.io_in; io_out };
+  set_decode_cache m decode_cache;
   m
 
-let add_device m device = m.devices <- m.devices @ [ device ]
+let add_device m device =
+  m.devices <- Array.append m.devices [| device |];
+  m.device_ticks <- Array.map (fun d -> d.Device.tick) m.devices
 
 let register_port m ~port ~read ~write =
-  Hashtbl.replace m.ports port { read; write }
+  m.ports.(port land 0xff) <- { read; write }
 
-let on_event m hook = m.hooks <- m.hooks @ [ hook ]
+let on_event m hook = m.hooks <- Array.append m.hooks [| hook |]
 
 let tick m =
-  List.iter (fun d -> d.Device.tick m.cpu) m.devices;
+  let devices = m.device_ticks in
+  for i = 0 to Array.length devices - 1 do
+    (Array.unsafe_get devices i) m.cpu
+  done;
   let event = Cpu.step m.cpu in
-  List.iter (fun hook -> hook m event) m.hooks;
+  let hooks = m.hooks in
+  for i = 0 to Array.length hooks - 1 do
+    (Array.unsafe_get hooks i) m event
+  done;
   event
 
 let run m ~ticks =
+  (* Open-coded [tick]: the arrays are re-read every iteration (hooks
+     may be registered from a port handler mid-run), but the common
+     shapes — no devices, or the single watchdog of the paper's systems
+     — skip the loop set-up entirely. *)
+  let cpu = m.cpu in
   for _ = 1 to ticks do
-    ignore (tick m)
+    let devs = m.device_ticks in
+    (match Array.length devs with
+    | 0 -> ()
+    | 1 -> (Array.unsafe_get devs 0) cpu
+    | n ->
+      for i = 0 to n - 1 do
+        (Array.unsafe_get devs i) cpu
+      done);
+    let event = Cpu.step cpu in
+    let hooks = m.hooks in
+    if Array.length hooks > 0 then
+      for i = 0 to Array.length hooks - 1 do
+        (Array.unsafe_get hooks i) m event
+      done
   done
 
 let run_until m ~limit pred =

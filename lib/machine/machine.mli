@@ -7,13 +7,24 @@
 
 type t
 
-val create : ?config:Cpu.config -> unit -> t
-(** Fresh machine with empty memory and no devices. *)
+val create : ?config:Cpu.config -> ?decode_cache:bool -> unit -> t
+(** Fresh machine with empty memory and no devices.  [decode_cache]
+    (default [true]) installs the write-invalidated decoded-instruction
+    cache ({!Decode_cache}) and wires memory write notification to it;
+    pass [false] to force raw re-decoding on every step (the reference
+    interpreter the differential tests compare against). *)
 
 val cpu : t -> Cpu.t
 val memory : t -> Memory.t
 val ticks : t -> int
 (** Number of ticks executed since creation. *)
+
+val decode_cache : t -> Cpu.event Decode_cache.t option
+(** The machine's decode cache, if enabled (for stats and tests). *)
+
+val set_decode_cache : t -> bool -> unit
+(** Enable (fresh, empty) or disable the decode cache at any time.
+    Either way the observable execution is unchanged — only speed. *)
 
 val add_device : t -> Device.t -> unit
 

@@ -1,23 +1,43 @@
 type region = { base : int; size : int }
 
-type t = { data : Bytes.t; mutable rom : region list }
+type t = {
+  data : Bytes.t;
+  prot : Bytes.t;  (* protection bitmap: bit (addr land 7) of byte (addr lsr 3) *)
+  mutable rom : region list;
+  mutable on_write : int -> unit;
+}
 
 let size = Addr.memory_size
-let create () = { data = Bytes.make size '\000'; rom = [] }
 
-let in_region addr { base; size } = addr >= base && addr < base + size
-let is_protected mem addr = List.exists (in_region addr) mem.rom
+let no_hook = ignore
+
+let create () =
+  { data = Bytes.make size '\000';
+    prot = Bytes.make (size lsr 3) '\000';
+    rom = [];
+    on_write = no_hook }
+
+let is_protected mem addr =
+  Char.code (Bytes.unsafe_get mem.prot (addr lsr 3)) land (1 lsl (addr land 7)) <> 0
+
 let protected_regions mem = mem.rom
 
-let read_byte mem addr = Char.code (Bytes.unsafe_get mem.data (Addr.mask addr))
+let set_write_hook mem hook = mem.on_write <- hook
+let clear_write_hook mem = mem.on_write <- no_hook
+
+let[@inline] read_byte mem addr = Char.code (Bytes.unsafe_get mem.data (Addr.mask addr))
 
 let write_byte mem addr v =
   let addr = Addr.mask addr in
-  if not (is_protected mem addr) then
-    Bytes.unsafe_set mem.data addr (Char.chr (v land 0xff))
+  if not (is_protected mem addr) then begin
+    Bytes.unsafe_set mem.data addr (Char.chr (v land 0xff));
+    mem.on_write addr
+  end
 
 let force_write_byte mem addr v =
-  Bytes.unsafe_set mem.data (Addr.mask addr) (Char.chr (v land 0xff))
+  let addr = Addr.mask addr in
+  Bytes.unsafe_set mem.data addr (Char.chr (v land 0xff));
+  mem.on_write addr
 
 let read_word mem addr =
   Word.of_bytes ~low:(read_byte mem addr) ~high:(read_byte mem (Addr.mask (addr + 1)))
@@ -26,7 +46,14 @@ let write_word mem addr w =
   write_byte mem addr (Word.low_byte w);
   write_byte mem (Addr.mask (addr + 1)) (Word.high_byte w)
 
-let protect mem region = mem.rom <- region :: mem.rom
+let protect mem region =
+  mem.rom <- region :: mem.rom;
+  for addr = region.base to region.base + region.size - 1 do
+    let addr = Addr.mask addr in
+    let cell = addr lsr 3 in
+    let bits = Char.code (Bytes.unsafe_get mem.prot cell) in
+    Bytes.unsafe_set mem.prot cell (Char.chr (bits lor (1 lsl (addr land 7))))
+  done
 
 let load_image mem ~base image =
   String.iteri (fun i c -> force_write_byte mem (base + i) (Char.code c)) image

@@ -34,9 +34,22 @@ val protect : t -> region -> unit
 (** Mark a region as ROM from now on. *)
 
 val is_protected : t -> int -> bool
-(** Whether a physical address lies in a ROM region. *)
+(** Whether a physical address lies in a ROM region.  O(1): backed by a
+    precomputed protection bitmap, not a scan of the region list. *)
 
 val protected_regions : t -> region list
+
+val set_write_hook : t -> (int -> unit) -> unit
+(** [set_write_hook mem f] makes every mutation of a memory byte —
+    guest stores, {!force_write_byte}, {!load_image}, {!blit}, fault
+    injection, snapshot restore — call [f addr] with the (masked)
+    physical address just written.  At most one hook is active; a new
+    registration replaces the previous one.  Used by the decoded-
+    instruction cache for write invalidation, so that corrupted or
+    self-modified code bytes are re-decoded exactly as real hardware
+    would (the §5.2 mis-decode hazard). *)
+
+val clear_write_hook : t -> unit
 
 val load_image : t -> base:int -> string -> unit
 (** Copy a raw byte string into memory at [base] (bypasses protection,

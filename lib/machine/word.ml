@@ -1,6 +1,6 @@
 type t = int
 
-let mask v = v land 0xffff
+let[@inline] mask v = v land 0xffff
 let mask8 v = v land 0xff
 let low_byte w = w land 0xff
 let high_byte w = (w lsr 8) land 0xff
@@ -8,34 +8,65 @@ let of_bytes ~low ~high = ((high land 0xff) lsl 8) lor (low land 0xff)
 let is_negative w = w land 0x8000 <> 0
 let to_signed w = if is_negative w then w - 0x10000 else w
 
-let add a b =
+(* Packed ALU results: the CPU's instruction loop cannot afford a tuple
+   allocation per arithmetic instruction, so the primitive operations
+   return result, carry and overflow packed into one immediate int (bits
+   0-15: result; bit 16: carry/borrow; bit 17: overflow).  The tuple API
+   below is a thin view for callers off the hot path. *)
+
+let carry_bit = 0x10000
+let overflow_bit = 0x20000
+
+let[@inline] packed_result p = p land 0xffff
+let[@inline] packed_carry p = p land carry_bit <> 0
+let[@inline] packed_overflow p = p land overflow_bit <> 0
+
+let[@inline] add_packed a b =
   let sum = a + b in
   let result = mask sum in
-  let carry = sum > 0xffff in
   (* Overflow: operands share a sign and the result's sign differs. *)
-  let overflow = is_negative a = is_negative b && is_negative result <> is_negative a in
-  (result, carry, overflow)
+  result
+  lor (if sum > 0xffff then carry_bit else 0)
+  lor
+  (if is_negative a = is_negative b && is_negative result <> is_negative a
+   then overflow_bit
+   else 0)
 
-let add_with_carry a b ~carry =
+let[@inline] add_with_carry_packed a b ~carry =
   let sum = a + b + if carry then 1 else 0 in
   let result = mask sum in
-  let carry_out = sum > 0xffff in
-  let overflow = is_negative a = is_negative b && is_negative result <> is_negative a in
-  (result, carry_out, overflow)
+  result
+  lor (if sum > 0xffff then carry_bit else 0)
+  lor
+  (if is_negative a = is_negative b && is_negative result <> is_negative a
+   then overflow_bit
+   else 0)
 
-let sub a b =
+let[@inline] sub_packed a b =
   let diff = a - b in
   let result = mask diff in
-  let borrow = diff < 0 in
-  let overflow = is_negative a <> is_negative b && is_negative result <> is_negative a in
-  (result, borrow, overflow)
+  result
+  lor (if diff < 0 then carry_bit else 0)
+  lor
+  (if is_negative a <> is_negative b && is_negative result <> is_negative a
+   then overflow_bit
+   else 0)
 
-let sub_with_borrow a b ~borrow =
+let[@inline] sub_with_borrow_packed a b ~borrow =
   let diff = a - b - if borrow then 1 else 0 in
   let result = mask diff in
-  let borrow_out = diff < 0 in
-  let overflow = is_negative a <> is_negative b && is_negative result <> is_negative a in
-  (result, borrow_out, overflow)
+  result
+  lor (if diff < 0 then carry_bit else 0)
+  lor
+  (if is_negative a <> is_negative b && is_negative result <> is_negative a
+   then overflow_bit
+   else 0)
+
+let[@inline] unpack p = (packed_result p, packed_carry p, packed_overflow p)
+let add a b = unpack (add_packed a b)
+let add_with_carry a b ~carry = unpack (add_with_carry_packed a b ~carry)
+let sub a b = unpack (sub_packed a b)
+let sub_with_borrow a b ~borrow = unpack (sub_with_borrow_packed a b ~borrow)
 
 let succ w = mask (w + 1)
 let pred w = mask (w - 1)

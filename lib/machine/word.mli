@@ -39,6 +39,24 @@ val sub : t -> t -> t * bool * bool
 
 val sub_with_borrow : t -> t -> borrow:bool -> t * bool * bool
 
+(** {2 Allocation-free ALU}
+
+    The same operations with result, carry and overflow packed into one
+    immediate [int] — bits 0-15 hold the 16-bit result, bit 16 the
+    carry (or borrow) out and bit 17 signed overflow.  The CPU's
+    instruction loop uses these so that an arithmetic instruction
+    allocates nothing; the tuple functions above are defined on top of
+    them and remain the readable interface elsewhere. *)
+
+val add_packed : t -> t -> int
+val add_with_carry_packed : t -> t -> carry:bool -> int
+val sub_packed : t -> t -> int
+val sub_with_borrow_packed : t -> t -> borrow:bool -> int
+
+val packed_result : int -> t
+val packed_carry : int -> bool
+val packed_overflow : int -> bool
+
 val succ : t -> t
 (** Increment modulo 2^16. *)
 

@@ -1,0 +1,313 @@
+(* Differential tests for the decoded-instruction cache: the cached and
+   uncached interpreters must be observationally identical — same
+   per-tick Cpu.event trace and same final machine state — on every
+   seed workload, under self-modifying code and under fault injection
+   into code regions.  This is the faithfulness argument for the §5.2
+   mis-decode hazard: caching never changes what the machine does, only
+   how fast the host simulates it. *)
+
+let pp_event ppf = function
+  | Ssx.Cpu.Executed i -> Format.fprintf ppf "executed %a" Ssx.Instruction.pp i
+  | Ssx.Cpu.Took_interrupt { vector; nmi } ->
+    Format.fprintf ppf "interrupt vector=%d nmi=%b" vector nmi
+  | Ssx.Cpu.Took_exception v -> Format.fprintf ppf "exception %d" v
+  | Ssx.Cpu.Halted_idle -> Format.fprintf ppf "halted"
+  | Ssx.Cpu.Did_reset -> Format.fprintf ppf "reset"
+
+(* Run both machines in lock-step and fail at the first divergent tick,
+   then compare complete final snapshots. *)
+let assert_identical_runs name ~ticks cached uncached =
+  for tick = 1 to ticks do
+    let ec = Ssx.Machine.tick cached in
+    let eu = Ssx.Machine.tick uncached in
+    if ec <> eu then
+      Alcotest.failf "%s: traces diverge at tick %d: cached %a, uncached %a"
+        name tick pp_event ec pp_event eu
+  done;
+  let sc = Ssx.Snapshot.capture cached and su = Ssx.Snapshot.capture uncached in
+  if not (Ssx.Snapshot.equal sc su) then
+    Alcotest.failf "%s: final states differ after identical traces: %a" name
+      (Format.pp_print_list Ssx.Snapshot.pp_difference)
+      (Ssx.Snapshot.diff sc su);
+  match Ssx.Machine.decode_cache cached with
+  | None -> Alcotest.failf "%s: cached machine has no decode cache" name
+  | Some cache ->
+    (* The hot path does not count hits (see Cpu.exec_one), so "the
+       cache was exercised" is: entries were filled, and far fewer fills
+       than executed steps — i.e. almost every step was served from the
+       cache. *)
+    let misses = Ssx.Decode_cache.misses cache in
+    Helpers.check_bool (name ^ ": cache was actually filled") true (misses > 0);
+    (* On long runs almost every step must be a cache hit; short
+       self-modifying workloads legitimately churn the cache. *)
+    if ticks >= 1000 then
+      Helpers.check_bool
+        (name ^ ": cache served most steps")
+        true
+        (misses * 10 < Ssx.Machine.ticks cached)
+
+let differential name ~ticks build =
+  Helpers.case name (fun () ->
+      let cached = build ~decode_cache:true in
+      let uncached = build ~decode_cache:false in
+      assert_identical_runs name ~ticks cached uncached)
+
+(* --- seed workloads -------------------------------------------------- *)
+
+let reinstall_restart ~decode_cache =
+  (Ssos.Reinstall.build ~decode_cache ()).Ssos.System.machine
+
+let reinstall_continue ~decode_cache =
+  (Ssos.Reinstall.build ~decode_cache ~variant:Ssos.Reinstall.Continue ())
+    .Ssos.System.machine
+
+let reinstall_reset_wired ~decode_cache =
+  (Ssos.Reinstall.build ~decode_cache ~wiring:Ssos.Reinstall.Reset_wired ())
+    .Ssos.System.machine
+
+let reinstall_journal ~decode_cache =
+  (Ssos.Reinstall.build ~decode_cache ~guest:(Ssos.Guest.journal_kernel ()) ())
+    .Ssos.System.machine
+
+let reinstall_preemptive ~decode_cache =
+  (Ssos.Reinstall.build ~decode_cache ~timer_period:700
+     ~guest:(Ssos.Guest.preemptive_kernel ()) ())
+    .Ssos.System.machine
+
+let monitor_tasks ~decode_cache =
+  (Ssos.Monitor.build ~decode_cache ()).Ssos.Monitor.system.Ssos.System.machine
+
+let sched_default ~decode_cache =
+  (Ssos.Sched.build ~decode_cache ()).Ssos.Sched.machine
+
+let sched_paper ~decode_cache =
+  (Ssos.Sched.build ~decode_cache ~cs_check:Ssos.Sched.Paper_jb
+     ~ip_mask:Ssos.Sched.Paper_mask ~refresh:false ())
+    .Ssos.Sched.machine
+
+let token_os ~decode_cache =
+  (Ssos.Token_os.build ~decode_cache ()).Ssos.Sched.machine
+
+(* --- fault injection into code regions ------------------------------- *)
+
+(* Same seed on both sides: as long as the traces stay identical, both
+   injectors draw the same faults at the same ticks, so any divergence
+   caused by a stale cached decode of a corrupted code byte would
+   surface as a trace mismatch. *)
+let faulted name ~ticks ~seed ~space build =
+  Helpers.case name (fun () ->
+      let with_injector ~decode_cache =
+        let machine, fault_system = build ~decode_cache in
+        let rng = Ssx_faults.Rng.create seed in
+        let schedule =
+          Ssx_faults.Injector.Every
+            { period = 97; start_tick = 500; stop_tick = ticks }
+        in
+        let injector =
+          Ssx_faults.Injector.attach fault_system ~rng ~space:(space ()) ~schedule
+        in
+        (machine, injector)
+      in
+      let cached, ic = with_injector ~decode_cache:true in
+      let uncached, iu = with_injector ~decode_cache:false in
+      assert_identical_runs name ~ticks cached uncached;
+      Helpers.check_int
+        (name ^ ": both injectors applied the same number of faults")
+        (Ssx_faults.Injector.injected_count ic)
+        (Ssx_faults.Injector.injected_count iu);
+      Helpers.check_bool (name ^ ": faults were actually injected") true
+        (Ssx_faults.Injector.injected_count ic > 0))
+
+let reinstall_fault_target ~decode_cache =
+  let system = Ssos.Reinstall.build ~decode_cache () in
+  (system.Ssos.System.machine, Ssos.System.fault_system system)
+
+let sched_fault_target ~decode_cache =
+  let sched = Ssos.Sched.build ~decode_cache () in
+  (sched.Ssos.Sched.machine, Ssos.Sched.fault_system sched)
+
+(* Corruption aimed exclusively at the guest image (code included): the
+   §5.2 hazard in its purest form — code bytes change under the
+   interpreter's feet and must be re-decoded. *)
+let code_only_space () = Ssos.System.ram_only_fault_space
+
+let full_space () = Ssos.System.default_fault_space
+
+(* --- self-modifying code --------------------------------------------- *)
+
+(* A guest that patches the immediate operand of its own next
+   instruction on every loop iteration.  The first iteration seeds the
+   cache; each later patch must invalidate it, or dx ends up holding a
+   stale immediate. *)
+let self_modifying_immediate decode_cache =
+  let source =
+    "start:\n\
+    \    mov ax, cs\n\
+    \    mov ds, ax\n\
+    \    mov cx, 4\n\
+    \    mov bx, 0x1000\n\
+     loop_top:\n\
+    \    add bx, 0x1111\n\
+    \    mov [target+2], bx\n\
+     target:\n\
+    \    mov dx, 0x9999\n\
+    \    loop loop_top\n\
+    \    hlt\n"
+  in
+  let machine, _ = Helpers.machine_with ~decode_cache source in
+  machine
+
+(* A guest that rewrites the opcode bytes of its (already executed, so
+   already cached) next instruction: two nops become [inc dx]. *)
+let self_modifying_opcode decode_cache =
+  let patch_word =
+    match Ssx.Codec.encode (Ssx.Instruction.Inc_r16 Ssx.Registers.DX) with
+    | [ opcode; operand ] -> opcode lor (operand lsl 8)
+    | _ -> Alcotest.fail "inc dx is expected to encode in two bytes"
+  in
+  let source =
+    "start:\n\
+    \    mov ax, cs\n\
+    \    mov ds, ax\n\
+    \    mov dx, 0\n\
+    \    mov cx, 2\n\
+     loop_top:\n\
+    \    cmp cx, 1\n\
+    \    jne skip_patch\n\
+    \    mov ax, PATCH_WORD\n\
+    \    mov [target], ax\n\
+     skip_patch:\n\
+     target:\n\
+    \    nop\n\
+    \    nop\n\
+    \    loop loop_top\n\
+    \    hlt\n"
+  in
+  let machine, _ =
+    Helpers.machine_with ~symbols:[ ("PATCH_WORD", patch_word) ] ~decode_cache
+      source
+  in
+  machine
+
+let test_self_modifying_immediate () =
+  let cached = self_modifying_immediate true in
+  let uncached = self_modifying_immediate false in
+  assert_identical_runs "self-modifying immediate" ~ticks:60 cached uncached;
+  (* The cached machine is not just consistent but *right*: dx holds the
+     value patched in on the final iteration, not the first cached one. *)
+  Helpers.check_int "dx reflects the last patched immediate" 0x5444
+    (Helpers.regs cached).Ssx.Registers.dx
+
+let test_self_modifying_opcode () =
+  let cached = self_modifying_opcode true in
+  let uncached = self_modifying_opcode false in
+  assert_identical_runs "self-modifying opcode" ~ticks:40 cached uncached;
+  Helpers.check_int "the patched-in inc dx executed" 1
+    (Helpers.regs cached).Ssx.Registers.dx
+
+(* --- direct cache behaviour ------------------------------------------ *)
+
+let test_invalidation_sources () =
+  let machine = Ssx.Machine.create () in
+  let mem = Ssx.Machine.memory machine in
+  let cache =
+    match Ssx.Machine.decode_cache machine with
+    | Some cache -> cache
+    | None -> Alcotest.fail "decode cache should be on by default"
+  in
+  let nop = List.hd (Ssx.Codec.encode Ssx.Instruction.Nop) in
+  Ssx.Memory.write_byte mem 0x5000 nop;
+  let cpu = Ssx.Machine.cpu machine in
+  cpu.Ssx.Cpu.regs.Ssx.Registers.cs <- 0x500;
+  cpu.Ssx.Cpu.regs.Ssx.Registers.ip <- 0;
+  ignore (Ssx.Cpu.fetch_decode cpu);
+  Helpers.check_int "decode filled the slot" 1
+    (Ssx.Decode_cache.cached_len cache 0x5000);
+  (* Plain store invalidates. *)
+  Ssx.Memory.write_byte mem 0x5000 nop;
+  Helpers.check_int "write_byte invalidates" 0
+    (Ssx.Decode_cache.cached_len cache 0x5000);
+  (* A write *into the span* of a longer cached instruction kills it. *)
+  ignore (Ssx.Cpu.fetch_decode cpu);
+  Ssx.Memory.write_byte mem 0x5003 0xFF;
+  Helpers.check_int "span write invalidates the opcode slot" 0
+    (Ssx.Decode_cache.cached_len cache 0x5000);
+  (* force_write_byte (ROM installs) and load_image invalidate too. *)
+  ignore (Ssx.Cpu.fetch_decode cpu);
+  Ssx.Memory.force_write_byte mem 0x5000 nop;
+  Helpers.check_int "force_write_byte invalidates" 0
+    (Ssx.Decode_cache.cached_len cache 0x5000);
+  ignore (Ssx.Cpu.fetch_decode cpu);
+  Ssx.Memory.load_image mem ~base:0x5000 "\x70";
+  Helpers.check_int "load_image invalidates" 0
+    (Ssx.Decode_cache.cached_len cache 0x5000);
+  ignore (Ssx.Cpu.fetch_decode cpu);
+  Ssx.Memory.blit mem ~src:0x6000 ~dst:0x5000 ~len:1;
+  Helpers.check_int "blit invalidates" 0
+    (Ssx.Decode_cache.cached_len cache 0x5000)
+
+let test_toggle_mid_run () =
+  (* Disabling and re-enabling the cache mid-run never changes what the
+     machine computes. *)
+  let reference = self_modifying_immediate false in
+  let toggled = self_modifying_immediate true in
+  for tick = 1 to 60 do
+    if tick = 20 then Ssx.Machine.set_decode_cache toggled false;
+    if tick = 35 then Ssx.Machine.set_decode_cache toggled true;
+    let et = Ssx.Machine.tick toggled and er = Ssx.Machine.tick reference in
+    if et <> er then Alcotest.failf "toggle run diverged at tick %d" tick
+  done;
+  Helpers.check_string "same final digest"
+    (Ssx.Snapshot.digest (Ssx.Snapshot.capture reference))
+    (Ssx.Snapshot.digest (Ssx.Snapshot.capture toggled))
+
+let test_protection_bitmap_matches_regions () =
+  let mem = Ssx.Memory.create () in
+  Ssx.Memory.protect mem { Ssx.Memory.base = 0x5000; size = 0x100 };
+  Ssx.Memory.protect mem { Ssx.Memory.base = 0xF0000; size = 0x800 };
+  let in_region addr { Ssx.Memory.base; size } =
+    addr >= base && addr < base + size
+  in
+  let rng = Ssx_faults.Rng.create 0x9e3779b97f4a7c15L in
+  for _ = 1 to 10_000 do
+    let addr = Ssx_faults.Rng.int rng Ssx.Memory.size in
+    let reference =
+      List.exists (in_region addr) (Ssx.Memory.protected_regions mem)
+    in
+    if Ssx.Memory.is_protected mem addr <> reference then
+      Alcotest.failf "bitmap disagrees with region list at %05X" addr
+  done;
+  (* Region boundaries, exactly. *)
+  Helpers.check_bool "below base unprotected" false
+    (Ssx.Memory.is_protected mem 0x4FFF);
+  Helpers.check_bool "base protected" true (Ssx.Memory.is_protected mem 0x5000);
+  Helpers.check_bool "last byte protected" true
+    (Ssx.Memory.is_protected mem 0x50FF);
+  Helpers.check_bool "past end unprotected" false
+    (Ssx.Memory.is_protected mem 0x5100)
+
+let suite =
+  [ differential "reinstall/restart" ~ticks:50_000 reinstall_restart;
+    differential "reinstall/continue" ~ticks:50_000 reinstall_continue;
+    differential "reinstall/reset-wired" ~ticks:50_000 reinstall_reset_wired;
+    differential "reinstall/journal guest" ~ticks:50_000 reinstall_journal;
+    differential "reinstall/preemptive guest + timer" ~ticks:50_000
+      reinstall_preemptive;
+    differential "monitor/task kernel" ~ticks:50_000 monitor_tasks;
+    differential "scheduler/default" ~ticks:60_000 sched_default;
+    differential "scheduler/paper variant" ~ticks:60_000 sched_paper;
+    differential "token ring OS" ~ticks:60_000 token_os;
+    faulted "faults/reinstall, code-region corruption" ~ticks:40_000
+      ~seed:0x1234L ~space:code_only_space reinstall_fault_target;
+    faulted "faults/reinstall, full fault space" ~ticks:40_000 ~seed:0x5678L
+      ~space:full_space reinstall_fault_target;
+    faulted "faults/scheduler, code-region corruption" ~ticks:40_000
+      ~seed:0x9abcL ~space:code_only_space sched_fault_target;
+    Helpers.case "self-modifying code: patched immediate"
+      test_self_modifying_immediate;
+    Helpers.case "self-modifying code: patched opcode"
+      test_self_modifying_opcode;
+    Helpers.case "every write source invalidates" test_invalidation_sources;
+    Helpers.case "cache toggle mid-run is invisible" test_toggle_mid_run;
+    Helpers.case "protection bitmap matches region list"
+      test_protection_bitmap_matches_regions ]

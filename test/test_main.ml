@@ -25,4 +25,5 @@ let () =
       ("token ring on the tiny OS", Test_token_os.suite);
       ("experiments", Test_experiments.suite);
       ("tooling (trace, snapshot)", Test_tooling.suite);
+      ("decode cache (differential)", Test_differential.suite);
       ("cross-cutting consistency", Test_consistency.suite) ]
