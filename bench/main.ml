@@ -1,22 +1,99 @@
 (* Benchmark harness: regenerates every evaluation table (T1-T10, see
    DESIGN.md and EXPERIMENTS.md), reports deterministic guest-cycle
-   costs, and runs host-side micro-benchmarks of the simulator and
-   tooling with Bechamel.
+   costs, runs host-side micro-benchmarks of the simulator and tooling
+   with Bechamel, and times the parallel snapshot-reset campaign engine
+   against the sequential rebuild path.
 
    Usage:
-     main.exe            full run; writes BENCH_machine.json to the
-                         current directory
-     main.exe --smoke    quick harness exercise: tables + one short
-                         quota-limited Bechamel pass, no JSON written
-                         (wired to the [@bench-smoke] dune alias) *)
+     main.exe            full run; writes BENCH_machine.json and
+                         BENCH_experiments.json to the current directory
+     main.exe --smoke    quick harness exercise: tables + a short
+                         campaign pair + one short quota-limited
+                         Bechamel pass, no JSON written (wired to the
+                         [@bench-smoke] dune alias) *)
 
 let smoke = Array.exists (( = ) "--smoke") Sys.argv
 
 let run_tables () =
   List.iter
-    (fun (_, run) ->
+    (fun ((_, run) : string * (?jobs:int -> unit -> Ssos_experiments.Table.t)) ->
       Format.printf "%a@." Ssos_experiments.Table.pp (run ()))
     Ssos_experiments.Experiments.all
+
+(* ------------------------------------------------- campaign engine *)
+
+let wall_ns f =
+  let t0 = Unix.gettimeofday () in
+  let result = f () in
+  (result, (Unix.gettimeofday () -. t0) *. 1e9)
+
+(* The T1-style benchmark campaign: the section-3 reinstall design under
+   the default fault space.  [seq] is the old engine (fresh build and
+   warmup per trial, one domain); [par] is the new default (snapshot
+   reset, four worker domains).  Both must produce the same summary —
+   the speedup is pure overhead removal. *)
+let campaign_pair () =
+  let trials = if smoke then 4 else 16 in
+  let horizon = if smoke then 20_000 else 40_000 in
+  let warmup = 10_000 in
+  let build () = Ssos.Reinstall.build () in
+  let run_campaign ~strategy ~jobs () =
+    Ssos_experiments.Runner.heartbeat_campaign ~build
+      ~space:Ssos.System.default_fault_space
+      ~spec:(Ssos.Reinstall.weak_spec ())
+      ~burst:10 ~warmup ~horizon ~strategy ~jobs ~trials ~seed:1L ()
+  in
+  Format.printf "== Campaign engine (T1-style, %d trials) ==@." trials;
+  let seq_summary, seq_ns =
+    wall_ns (run_campaign ~strategy:Ssos_experiments.Runner.Rebuild ~jobs:1)
+  in
+  let par_summary, par_ns =
+    wall_ns
+      (run_campaign ~strategy:Ssos_experiments.Runner.Snapshot_reset ~jobs:4)
+  in
+  Format.printf "  sequential rebuild (jobs:1)    %12.0f ns@." seq_ns;
+  Format.printf "  snapshot-reset pool (jobs:4)   %12.0f ns@." par_ns;
+  Format.printf "  campaign speedup:              %11.2fx@." (seq_ns /. par_ns);
+  Format.printf "  summaries bit-identical:       %11s@."
+    (if seq_summary = par_summary then "yes" else "NO (BUG)");
+  (* Per-trial prefix costs: what one trial pays before its horizon run
+     under each strategy — a fresh build plus warmup vs one snapshot
+     restore. *)
+  let rounds = if smoke then 3 else 10 in
+  let _, rebuild_total =
+    wall_ns (fun () ->
+        for _ = 1 to rounds do
+          let system = build () in
+          Ssos.System.run system ~ticks:warmup
+        done)
+  in
+  let rebuild_ns = rebuild_total /. float_of_int rounds in
+  let system = build () in
+  Ssos.System.run system ~ticks:warmup;
+  let snapshot = Ssx.Snapshot.capture system.Ssos.System.machine in
+  let _, reset_total =
+    wall_ns (fun () ->
+        for _ = 1 to rounds do
+          Ssx.Snapshot.restore snapshot system.Ssos.System.machine
+        done)
+  in
+  let reset_ns = reset_total /. float_of_int rounds in
+  Format.printf "  trial prefix, rebuild+warmup:  %12.0f ns@." rebuild_ns;
+  Format.printf "  trial prefix, snapshot reset:  %12.0f ns@." reset_ns;
+  Format.printf "  reset-vs-rebuild speedup:      %11.2fx@.@."
+    (rebuild_ns /. reset_ns);
+  [ ("campaign-t1-seq-ns", seq_ns);
+    ("campaign-t1-par-ns", par_ns);
+    ("campaign-speedup", seq_ns /. par_ns);
+    ("campaign-trials", float_of_int trials);
+    ("campaign-summaries-identical",
+     if seq_summary = par_summary then 1.0 else 0.0);
+    ("trial-rebuild-warmup-ns", rebuild_ns);
+    ("trial-reset-ns", reset_ns);
+    (* Nanoseconds a snapshot reset saves over rebuild+warmup, per
+       trial. *)
+    ("trial-reset-vs-rebuild-ns", rebuild_ns -. reset_ns);
+    ("trial-reset-speedup", rebuild_ns /. reset_ns) ]
 
 (* Guest-cycle costs are deterministic properties of the designs, not
    host-time measurements: report them by direct simulation. *)
@@ -154,11 +231,22 @@ let run_micro () =
   Format.printf "@.";
   rows
 
-(* BENCH_machine.json: flat object of benchmark name -> number, so the
-   driver (and future sessions) can diff runs mechanically.  Written by
-   hand to keep the harness dependency-free. *)
-let write_json ~path micro costs =
+(* Flat JSON object of benchmark name -> number, so the driver (and
+   future sessions) can diff runs mechanically.  Written by hand to
+   keep the harness dependency-free. *)
+let write_flat_json ~path rows =
   let oc = open_out path in
+  Printf.fprintf oc "{\n";
+  List.iteri
+    (fun i (name, v) ->
+      Printf.fprintf oc "  %S: %.2f%s\n" name v
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  Printf.fprintf oc "}\n";
+  close_out oc;
+  Format.printf "wrote %s@." path
+
+let write_json ~path micro costs =
   let json_name name =
     (* Strip Bechamel's group prefix; names contain no characters that
        need escaping. *)
@@ -178,22 +266,18 @@ let write_json ~path micro costs =
       rows @ [ ("decode-cache-speedup", uncached /. cached) ]
     | _ -> rows
   in
-  Printf.fprintf oc "{\n";
-  List.iteri
-    (fun i (name, v) ->
-      Printf.fprintf oc "  %S: %.2f%s\n" name v
-        (if i = List.length rows - 1 then "" else ","))
-    rows;
-  Printf.fprintf oc "}\n";
-  close_out oc;
-  Format.printf "wrote %s@." path
+  write_flat_json ~path rows
 
 let () =
   Format.printf
     "ssos benchmark harness - reproduction of 'Toward Self-Stabilizing \
      Operating Systems' (Dolev & Yagel)@.@.";
   run_tables ();
+  let campaign_rows = campaign_pair () in
   let costs = guest_cycle_costs () in
   print_guest_cycle_costs costs;
   let micro = run_micro () in
-  if not smoke then write_json ~path:"BENCH_machine.json" micro costs
+  if not smoke then begin
+    write_json ~path:"BENCH_machine.json" micro costs;
+    write_flat_json ~path:"BENCH_experiments.json" campaign_rows
+  end

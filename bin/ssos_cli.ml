@@ -115,17 +115,22 @@ let demo design =
 
 (* ---------------------------------------------------------- experiment *)
 
-let experiment id =
+let print_table format table =
+  match format with
+  | "json" -> print_endline (Ssos_experiments.Table.to_json table)
+  | _ -> Format.printf "%a@." Ssos_experiments.Table.pp table
+
+let experiment id format jobs =
   if String.lowercase_ascii id = "all" then begin
     List.iter
-      (fun (_, run) -> Format.printf "%a@." Ssos_experiments.Table.pp (run ()))
+      (fun (_, run) -> print_table format (run ?jobs ()))
       Ssos_experiments.Experiments.all;
     ok
   end
   else
     match Ssos_experiments.Experiments.find id with
     | Some run ->
-      Format.printf "%a@." Ssos_experiments.Table.pp (run ());
+      print_table format (run ?jobs ());
       ok
     | None ->
       Format.printf "unknown experiment %s (expected T1..T10 or all)@." id;
@@ -185,7 +190,7 @@ let trace design ticks entries =
 
 (* ------------------------------------------------------------ campaign *)
 
-let campaign design burst trials seed =
+let campaign design burst trials seed jobs =
   let spec = Ssos.Reinstall.weak_spec () in
   let build, space =
     match design with
@@ -202,8 +207,8 @@ let campaign design burst trials seed =
       ((fun () -> Ssos.Reinstall.build ()), Ssos.System.default_fault_space)
   in
   let summary =
-    Ssos_experiments.Runner.heartbeat_campaign ~build ~space ~spec ~burst ~trials
-      ~seed:(Int64.of_int seed) ()
+    Ssos_experiments.Runner.heartbeat_campaign ~build ~space ~spec ~burst ?jobs
+      ~trials ~seed:(Int64.of_int seed) ()
   in
   Format.printf "design=%s burst=%d trials=%d seed=%d@." design burst trials seed;
   Format.printf "recovered: %d/%d@." summary.Ssos_experiments.Runner.recoveries
@@ -225,9 +230,25 @@ let () =
       Term.(const demo $ design_arg)
   in
   let id_arg = Arg.(value & pos 0 string "all" & info [] ~docv:"ID") in
+  let jobs_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "Worker domains for campaign trials (default: the SSOS_JOBS \
+             environment variable, else the recommended domain count).")
+  in
+  let format_arg =
+    Arg.(
+      value
+      & opt string "text"
+      & info [ "format" ] ~docv:"FORMAT"
+          ~doc:"Output format: $(b,text) (aligned columns) or $(b,json).")
+  in
   let experiment_cmd =
     Cmd.v (Cmd.info "experiment" ~doc:"Regenerate an evaluation table (T1..T10)")
-      Term.(const experiment $ id_arg)
+      Term.(const experiment $ id_arg $ format_arg $ jobs_arg)
   in
   let figures_cmd =
     Cmd.v (Cmd.info "figures" ~doc:"Print the paper's figures as source")
@@ -249,7 +270,9 @@ let () =
   let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED") in
   let campaign_cmd =
     Cmd.v (Cmd.info "campaign" ~doc:"Custom fault-injection campaign")
-      Term.(const campaign $ design_arg $ burst_arg $ trials_arg $ seed_arg)
+      Term.(
+        const campaign $ design_arg $ burst_arg $ trials_arg $ seed_arg
+        $ jobs_arg)
   in
   let default = Term.(ret (const (`Help (`Pager, None)))) in
   let info =

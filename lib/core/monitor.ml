@@ -232,6 +232,14 @@ let build_custom ?nmi_counter_enabled ?hardwired_nmi ?decode_cache
         check machine
       | Ssx.Cpu.Executed _ | Ssx.Cpu.Took_interrupt _ | Ssx.Cpu.Halted_idle
       | Ssx.Cpu.Did_reset -> ());
+  (* The detection log is observational host state; rewind it with the
+     machine on snapshot restore so snapshot-reset trials report exactly
+     what a rebuilt system would. *)
+  Ssx.Machine.add_resettable system.System.machine (fun () ->
+      let detections = monitor.detections and checks = monitor.checks in
+      fun () ->
+        monitor.detections <- detections;
+        monitor.checks <- checks);
   monitor
 
 let build ?nmi_counter_enabled ?hardwired_nmi ?decode_cache ?watchdog_period

@@ -106,7 +106,9 @@ let build ?nmi_counter_enabled ?hardwired_nmi ?decode_cache
   (match timer_period with
   | Some period ->
     let timer = Ssx_devices.Timer.create ~period ~vector:Layout.timer_vector in
-    Ssx.Machine.add_device system.System.machine (Ssx_devices.Timer.device timer)
+    Ssx.Machine.add_device system.System.machine (Ssx_devices.Timer.device timer);
+    Ssx.Machine.add_resettable system.System.machine
+      (Ssx_devices.Timer.resettable timer)
   | None -> ());
   system
 

@@ -217,6 +217,7 @@ let build ?(n = 4) ?(cs_check = Strict_eq) ?(ip_mask = Windowed)
       ~target:Ssx_devices.Watchdog.Nmi_pin
   in
   Ssx.Machine.add_device machine (Ssx_devices.Watchdog.device watchdog);
+  Ssx.Machine.add_resettable machine (Ssx_devices.Watchdog.resettable watchdog);
   let heartbeats =
     Array.init n (fun i ->
         let hb = Ssx_devices.Heartbeat.create () in

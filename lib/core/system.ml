@@ -19,10 +19,12 @@ let build ?nmi_counter_enabled ?hardwired_nmi ?decode_cache
     | `Nmi period ->
       let wd = Ssx_devices.Watchdog.create ~period ~target:Ssx_devices.Watchdog.Nmi_pin in
       Ssx.Machine.add_device machine (Ssx_devices.Watchdog.device wd);
+      Ssx.Machine.add_resettable machine (Ssx_devices.Watchdog.resettable wd);
       Some wd
     | `Reset period ->
       let wd = Ssx_devices.Watchdog.create ~period ~target:Ssx_devices.Watchdog.Reset_pin in
       Ssx.Machine.add_device machine (Ssx_devices.Watchdog.device wd);
+      Ssx.Machine.add_resettable machine (Ssx_devices.Watchdog.resettable wd);
       Some wd
   in
   let heartbeat = Ssx_devices.Heartbeat.create () in

@@ -7,7 +7,12 @@ let attach console ?(port = default_port) machine =
   let write _width value =
     Buffer.add_char console.buffer (Char.chr (value land 0xff))
   in
-  Ssx.Machine.register_port machine ~port ~read:(fun _ -> 0) ~write
+  Ssx.Machine.register_port machine ~port ~read:(fun _ -> 0) ~write;
+  Ssx.Machine.add_resettable machine (fun () ->
+      let contents = Buffer.contents console.buffer in
+      fun () ->
+        Buffer.clear console.buffer;
+        Buffer.add_string console.buffer contents)
 
 let contents console = Buffer.contents console.buffer
 let clear console = Buffer.clear console.buffer

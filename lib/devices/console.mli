@@ -12,7 +12,9 @@ val default_port : int
 val create : unit -> t
 
 val attach : t -> ?port:int -> Ssx.Machine.t -> unit
-(** Register the console's port handler on a machine. *)
+(** Register the console's port handler on a machine, and its buffer
+    with the machine's snapshot machinery
+    ({!Ssx.Machine.add_resettable}). *)
 
 val contents : t -> string
 (** Everything written so far, as text. *)

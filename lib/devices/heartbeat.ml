@@ -15,7 +15,15 @@ let attach hb ?(port = default_port) machine =
       :: hb.samples;
     hb.n <- hb.n + 1
   in
-  Ssx.Machine.register_port machine ~port ~read:(fun _ -> 0) ~write
+  Ssx.Machine.register_port machine ~port ~read:(fun _ -> 0) ~write;
+  (* The sample buffer is part of a trial's observable state: snapshot
+     restore must rewind it along with RAM (the list is immutable, so
+     capturing the head suffices). *)
+  Ssx.Machine.add_resettable machine (fun () ->
+      let samples = hb.samples and n = hb.n in
+      fun () ->
+        hb.samples <- samples;
+        hb.n <- n)
 
 let samples hb = List.rev hb.samples
 let last hb = match hb.samples with [] -> None | s :: _ -> Some s

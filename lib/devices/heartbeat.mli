@@ -15,6 +15,9 @@ val default_port : int
 val create : unit -> t
 
 val attach : t -> ?port:int -> Ssx.Machine.t -> unit
+(** Register the heartbeat's port handler on a machine, and its sample
+    buffer with the machine's snapshot machinery
+    ({!Ssx.Machine.add_resettable}) so snapshot restore rewinds it. *)
 
 val samples : t -> sample list
 (** All samples, oldest first. *)

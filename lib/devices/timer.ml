@@ -20,5 +20,11 @@ let tick timer cpu =
   else timer.counter <- timer.counter - 1
 
 let device timer = Ssx.Device.make ~name:"timer" ~tick:(tick timer)
+
+let resettable timer () =
+  let counter = timer.counter and fired = timer.fired in
+  fun () ->
+    timer.counter <- counter;
+    timer.fired <- fired
 let corrupt timer v = timer.counter <- v
 let fired_count timer = timer.fired

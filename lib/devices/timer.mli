@@ -6,5 +6,10 @@ type t
 
 val create : period:int -> vector:int -> t
 val device : t -> Ssx.Device.t
+
+val resettable : t -> unit -> unit -> unit
+(** Snapshot hook covering the countdown and fired count (register with
+    {!Ssx.Machine.add_resettable} alongside {!device}). *)
+
 val corrupt : t -> int -> unit
 val fired_count : t -> int

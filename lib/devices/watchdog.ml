@@ -29,6 +29,12 @@ let tick wd cpu =
 
 let pet wd = wd.counter <- wd.period
 let device wd = Ssx.Device.make ~name:"watchdog" ~tick:(tick wd)
+
+let resettable wd () =
+  let counter = wd.counter and fired = wd.fired in
+  fun () ->
+    wd.counter <- counter;
+    wd.fired <- fired
 let counter wd = wd.counter
 let corrupt wd v = wd.counter <- v
 let period wd = wd.period

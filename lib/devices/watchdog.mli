@@ -24,6 +24,10 @@ val pet : t -> unit
 val device : t -> Ssx.Device.t
 (** The pluggable device (register with {!Ssx.Machine.add_device}). *)
 
+val resettable : t -> unit -> unit -> unit
+(** Snapshot hook covering the countdown and fired count (register with
+    {!Ssx.Machine.add_resettable} alongside {!device}). *)
+
 val counter : t -> int
 (** Current countdown value (observable state). *)
 

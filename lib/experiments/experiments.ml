@@ -5,12 +5,12 @@ let summary_cells (s : Runner.summary) =
 
 (* ----------------------------------------------------------------- T1 *)
 
-let t1_reinstall_recovery ?(seed = 1L) ?(trials = 30) () =
+let t1_reinstall_recovery ?(seed = 1L) ?(trials = 30) ?jobs () =
   let build () = Ssos.Reinstall.build () in
   let spec = Ssos.Reinstall.weak_spec () in
   let row label space burst =
     let s =
-      Runner.heartbeat_campaign ~build ~space ~spec ~burst ~trials ~seed ()
+      Runner.heartbeat_campaign ~build ~space ~spec ~burst ?jobs ~trials ~seed ()
     in
     (label :: Table.cell_int burst :: summary_cells s)
   in
@@ -31,51 +31,56 @@ let t1_reinstall_recovery ?(seed = 1L) ?(trials = 30) () =
 
 (* ----------------------------------------------------------------- T2 *)
 
-let t2_lemma_bounds ?(seed = 2L) ?(trials = 300) () =
+let t2_lemma_bounds ?(seed = 2L) ?(trials = 300) ?jobs () =
   let period = Ssos.Layout.default_watchdog_period in
   let nmi_max = Ssos.Layout.default_nmi_counter_max in
   (* Figure 1: 8 set-up instructions, IMAGE_SIZE rep steps, 7 tear-down
      instructions, then the first guest instruction. *)
   let handler_bound = 8 + Ssos.Layout.os_image_size + 7 + 1 in
   let entry_bound = period + nmi_max + 2 in
-  let nmi_times = ref [] and restart_times = ref [] in
-  for i = 0 to trials - 1 do
-    let system = Ssos.Reinstall.build () in
-    let machine = system.Ssos.System.machine in
-    let rng = Ssx_faults.Rng.create (Runner.trial_seed seed i) in
-    Ssos.System.run system ~ticks:(Ssx_faults.Rng.int rng period);
-    Runner.scramble_processor rng system;
-    let entered = ref false in
-    Ssx.Machine.on_event machine (fun _ event ->
-        match event with
-        | Ssx.Cpu.Took_interrupt { nmi = true; _ } -> entered := true
-        | _ -> ());
-    let start = Ssx.Machine.ticks machine in
-    (match
-       Ssx.Machine.run_until machine ~limit:(2 * entry_bound) (fun _ -> !entered)
-     with
-    | Some ticks -> nmi_times := ticks :: !nmi_times
-    | None -> nmi_times := (3 * entry_bound) :: !nmi_times);
-    let at_entry = Ssx.Machine.ticks machine in
-    ignore start;
-    let cpu = Ssx.Machine.cpu machine in
-    (match
-       Ssx.Machine.run_until machine ~limit:(2 * handler_bound) (fun _ ->
-           cpu.Ssx.Cpu.regs.Ssx.Registers.cs = Ssos.Layout.os_segment
-           && cpu.Ssx.Cpu.regs.Ssx.Registers.ip <= 8)
-     with
-    | Some _ ->
-      restart_times := (Ssx.Machine.ticks machine - at_entry) :: !restart_times
-    | None -> restart_times := (3 * handler_bound) :: !restart_times)
-  done;
+  let measurements =
+    Pool.run ?jobs trials (fun i ->
+        let system = Ssos.Reinstall.build () in
+        let machine = system.Ssos.System.machine in
+        let rng = Ssx_faults.Rng.create (Runner.trial_seed seed i) in
+        Ssos.System.run system ~ticks:(Ssx_faults.Rng.int rng period);
+        Runner.scramble_processor rng system;
+        let entered = ref false in
+        Ssx.Machine.on_event machine (fun _ event ->
+            match event with
+            | Ssx.Cpu.Took_interrupt { nmi = true; _ } -> entered := true
+            | _ -> ());
+        let nmi_time =
+          match
+            Ssx.Machine.run_until machine ~limit:(2 * entry_bound) (fun _ ->
+                !entered)
+          with
+          | Some ticks -> ticks
+          | None -> 3 * entry_bound
+        in
+        let at_entry = Ssx.Machine.ticks machine in
+        let cpu = Ssx.Machine.cpu machine in
+        let restart_time =
+          match
+            Ssx.Machine.run_until machine ~limit:(2 * handler_bound) (fun _ ->
+                cpu.Ssx.Cpu.regs.Ssx.Registers.cs = Ssos.Layout.os_segment
+                && cpu.Ssx.Cpu.regs.Ssx.Registers.ip <= 8)
+          with
+          | Some _ -> Ssx.Machine.ticks machine - at_entry
+          | None -> 3 * handler_bound
+        in
+        (nmi_time, restart_time))
+  in
+  let nmi_times = Array.to_list (Array.map fst measurements) in
+  let restart_times = Array.to_list (Array.map snd measurements) in
   let stats times =
     let n = List.length times in
     let sum = List.fold_left ( + ) 0 times in
     let maximum = List.fold_left max 0 times in
     (float_of_int sum /. float_of_int n, maximum)
   in
-  let mean_a, max_a = stats !nmi_times in
-  let mean_b, max_b = stats !restart_times in
+  let mean_a, max_a = stats nmi_times in
+  let mean_b, max_b = stats restart_times in
   let violations bound times = List.length (List.filter (fun t -> t > bound) times) in
   { Table.id = "T2";
     title = "Lemma bounds from arbitrary configurations";
@@ -88,22 +93,23 @@ let t2_lemma_bounds ?(seed = 2L) ?(trials = 300) () =
           Table.cell_int entry_bound;
           Table.cell_float ~decimals:0 mean_a;
           Table.cell_int max_a;
-          Printf.sprintf "%d/%d" (violations entry_bound !nmi_times) trials ];
+          Printf.sprintf "%d/%d" (violations entry_bound nmi_times) trials ];
         [ "handler entry -> OS first instruction";
           Table.cell_int handler_bound;
           Table.cell_float ~decimals:0 mean_b;
           Table.cell_int max_b;
-          Printf.sprintf "%d/%d" (violations handler_bound !restart_times) trials ] ] }
+          Printf.sprintf "%d/%d" (violations handler_bound restart_times) trials ] ] }
 
 (* ----------------------------------------------------------------- T3 *)
 
-let t3_approach_comparison ?(seed = 3L) ?(trials = 25) () =
+let t3_approach_comparison ?(seed = 3L) ?(trials = 25) ?jobs () =
   let guest () = Ssos.Guest.task_kernel () in
   let weak = Ssos.Reinstall.weak_spec () in
   let burst = 40 in
   let hb_row label build space =
     let s =
-      Runner.heartbeat_campaign ~build ~space ~spec:weak ~burst ~trials ~seed ()
+      Runner.heartbeat_campaign ~build ~space ~spec:weak ~burst ?jobs ~trials
+        ~seed ()
     in
     (label :: summary_cells s)
   in
@@ -130,7 +136,7 @@ let t3_approach_comparison ?(seed = 3L) ?(trials = 25) () =
       (let s =
          Runner.sched_campaign
            ~build:(fun () -> Ssos.Sched.build ())
-           ~burst ~trials ~seed ()
+           ~burst ?jobs ~trials ~seed ()
        in
        "s5 tailored tiny OS" :: summary_cells s) ]
   in
@@ -145,7 +151,7 @@ let t3_approach_comparison ?(seed = 3L) ?(trials = 25) () =
 
 (* ----------------------------------------------------------------- T4 *)
 
-let t4_period_sweep ?(seed = 4L) ?(trials = 12) () =
+let t4_period_sweep ?(seed = 4L) ?(trials = 12) ?jobs () =
   let horizon = 1_000_000 in
   let beats_with_period period =
     let system = Ssos.Reinstall.build ~watchdog_period:period () in
@@ -165,8 +171,8 @@ let t4_period_sweep ?(seed = 4L) ?(trials = 12) () =
         let s =
           Runner.heartbeat_campaign
             ~build:(fun () -> Ssos.Reinstall.build ~watchdog_period:period ())
-            ~space:Ssos.System.default_fault_space ~spec ~burst:40 ~trials ~seed
-            ()
+            ~space:Ssos.System.default_fault_space ~spec ~burst:40 ?jobs ~trials
+            ~seed ()
         in
         [ Table.cell_int period;
           Table.cell_int beats;
@@ -189,7 +195,7 @@ let t4_period_sweep ?(seed = 4L) ?(trials = 12) () =
 
 (* ----------------------------------------------------------------- T5 *)
 
-let t5_primitive_fairness ?(seed = 5L) ?(trials = 100) () =
+let t5_primitive_fairness ?(seed = 5L) ?(trials = 100) ?jobs () =
   (* Clean-run fairness. *)
   let sched = Ssos.Primitive_sched.build () in
   Ssx.Machine.run sched.Ssos.Primitive_sched.machine ~ticks:200_000;
@@ -200,55 +206,66 @@ let t5_primitive_fairness ?(seed = 5L) ?(trials = 100) () =
   let min_beats = List.fold_left min max_int beats
   and max_beats = List.fold_left max 0 beats in
   (* Convergence from arbitrary processor states. *)
-  let converged = ref 0 and worst = ref 0 in
   let round_bound = 4 * Ssos.Primitive_sched.region_size in
-  for i = 0 to trials - 1 do
-    let sched = Ssos.Primitive_sched.build () in
-    let machine = sched.Ssos.Primitive_sched.machine in
-    let rng = Ssx_faults.Rng.create (Runner.trial_seed seed i) in
-    let regs = (Ssx.Machine.cpu machine).Ssx.Cpu.regs in
-    let word () = Ssx_faults.Rng.int rng 0x10000 in
-    List.iter (fun r -> Ssx.Registers.set16 regs r (word ())) Ssx.Registers.all_reg16;
-    List.iter
-      (fun r -> Ssx.Registers.set_sreg regs r (word ()))
-      Ssx.Registers.all_sreg;
-    regs.Ssx.Registers.ip <- word ();
-    regs.Ssx.Registers.psw <- word ();
-    let all_beat () =
-      Array.for_all
-        (fun hb -> Ssx_devices.Heartbeat.count hb > 0)
-        sched.Ssos.Primitive_sched.heartbeats
-    in
-    match Ssx.Machine.run_until machine ~limit:round_bound (fun _ -> all_beat ()) with
-    | Some ticks ->
-      incr converged;
-      if ticks > !worst then worst := ticks
-    | None -> ()
-  done;
+  let convergences =
+    Pool.run ?jobs trials (fun i ->
+        let sched = Ssos.Primitive_sched.build () in
+        let machine = sched.Ssos.Primitive_sched.machine in
+        let rng = Ssx_faults.Rng.create (Runner.trial_seed seed i) in
+        let regs = (Ssx.Machine.cpu machine).Ssx.Cpu.regs in
+        let word () = Ssx_faults.Rng.int rng 0x10000 in
+        List.iter
+          (fun r -> Ssx.Registers.set16 regs r (word ()))
+          Ssx.Registers.all_reg16;
+        List.iter
+          (fun r -> Ssx.Registers.set_sreg regs r (word ()))
+          Ssx.Registers.all_sreg;
+        regs.Ssx.Registers.ip <- word ();
+        regs.Ssx.Registers.psw <- word ();
+        let all_beat () =
+          Array.for_all
+            (fun hb -> Ssx_devices.Heartbeat.count hb > 0)
+            sched.Ssos.Primitive_sched.heartbeats
+        in
+        Ssx.Machine.run_until machine ~limit:round_bound (fun _ -> all_beat ()))
+  in
+  let converged =
+    Array.fold_left
+      (fun acc t -> if t <> None then acc + 1 else acc)
+      0 convergences
+  in
+  let worst =
+    Array.fold_left
+      (fun acc t -> match t with Some t -> max acc t | None -> acc)
+      0 convergences
+  in
   (* Fault-burst recovery. *)
-  let alive = ref 0 in
   let burst_trials = 30 in
-  for i = 0 to burst_trials - 1 do
-    let sched = Ssos.Primitive_sched.build () in
-    let rng = Ssx_faults.Rng.create (Runner.trial_seed (Int64.add seed 77L) i) in
-    Ssx.Machine.run sched.Ssos.Primitive_sched.machine ~ticks:10_000;
-    ignore
-      (Ssx_faults.Injector.inject_now
-         (Ssos.Primitive_sched.fault_system sched)
-         ~rng
-         ~space:(Ssos.Primitive_sched.fault_space sched)
-         30);
-    Ssx.Machine.run sched.Ssos.Primitive_sched.machine ~ticks:50_000;
-    let end_tick = Ssx.Machine.ticks sched.Ssos.Primitive_sched.machine in
-    if
-      Array.for_all
-        (fun hb ->
-          match Ssx_devices.Heartbeat.last hb with
-          | Some s -> end_tick - s.Ssx_devices.Heartbeat.tick < 1_000
-          | None -> false)
-        sched.Ssos.Primitive_sched.heartbeats
-    then incr alive
-  done;
+  let alive_flags =
+    Pool.run ?jobs burst_trials (fun i ->
+        let sched = Ssos.Primitive_sched.build () in
+        let rng =
+          Ssx_faults.Rng.create (Runner.trial_seed (Int64.add seed 77L) i)
+        in
+        Ssx.Machine.run sched.Ssos.Primitive_sched.machine ~ticks:10_000;
+        ignore
+          (Ssx_faults.Injector.inject_now
+             (Ssos.Primitive_sched.fault_system sched)
+             ~rng
+             ~space:(Ssos.Primitive_sched.fault_space sched)
+             30);
+        Ssx.Machine.run sched.Ssos.Primitive_sched.machine ~ticks:50_000;
+        let end_tick = Ssx.Machine.ticks sched.Ssos.Primitive_sched.machine in
+        Array.for_all
+          (fun hb ->
+            match Ssx_devices.Heartbeat.last hb with
+            | Some s -> end_tick - s.Ssx_devices.Heartbeat.tick < 1_000
+            | None -> false)
+          sched.Ssos.Primitive_sched.heartbeats)
+  in
+  let alive =
+    Array.fold_left (fun acc ok -> if ok then acc + 1 else acc) 0 alive_flags
+  in
   { Table.id = "T5";
     title = "Primitive scheduler (section 5.1): fairness and convergence";
     note =
@@ -260,17 +277,18 @@ let t5_primitive_fairness ?(seed = 5L) ?(trials = 100) () =
           Printf.sprintf "min %d / max %d" min_beats max_beats ];
         [ "fairness spread (max-min)"; Table.cell_int (max_beats - min_beats) ];
         [ Printf.sprintf "arbitrary-start convergence (%d trials)" trials;
-          Table.cell_rate !converged trials ];
-        [ "worst ticks until every process ran"; Table.cell_int !worst ];
-        [ "alive after 30-fault burst"; Table.cell_rate !alive burst_trials ] ] }
+          Table.cell_rate converged trials ];
+        [ "worst ticks until every process ran"; Table.cell_int worst ];
+        [ "alive after 30-fault burst"; Table.cell_rate alive burst_trials ] ] }
 
 (* ----------------------------------------------------------------- T6 *)
 
-let t6_sched_stabilization ?(seed = 6L) ?(trials = 25) () =
+let t6_sched_stabilization ?(seed = 6L) ?(trials = 25) ?jobs () =
   let row label burst =
     let s =
-      Runner.sched_campaign ~build:(fun () -> Ssos.Sched.build ()) ~burst ~trials
-        ~seed ()
+      Runner.sched_campaign
+        ~build:(fun () -> Ssos.Sched.build ())
+        ~burst ?jobs ~trials ~seed ()
     in
     (label :: Table.cell_int burst :: summary_cells s)
   in
@@ -286,39 +304,47 @@ let t6_sched_stabilization ?(seed = 6L) ?(trials = 25) () =
 
 (* ----------------------------------------------------------------- T7 *)
 
-let t7_ablations ?(seed = 7L) ?(trials = 25) () =
+let t7_ablations ?(seed = 7L) ?(trials = 25) ?jobs () =
+  let count_recovered flags =
+    Array.fold_left (fun acc ok -> if ok then acc + 1 else acc) 0 flags
+  in
   let sched_row label build =
-    let s = Runner.sched_campaign ~build ~burst:40 ~trials ~seed () in
+    let s = Runner.sched_campaign ~build ~burst:40 ?jobs ~trials ~seed () in
     (label :: summary_cells s)
   in
   (* NMI-counter and hardwired-vector ablations use the reinstall design
      with targeted control faults. *)
   let reinstall_row label ~nmi_counter_enabled ~hardwired_nmi ~extra_faults =
     let spec = Ssos.Reinstall.weak_spec () in
-    let recovered = ref 0 in
-    for i = 0 to trials - 1 do
-      let system =
-        Ssos.Reinstall.build ~nmi_counter_enabled ~hardwired_nmi ()
-      in
-      let rng = Ssx_faults.Rng.create (Runner.trial_seed seed i) in
-      Ssos.System.run system ~ticks:30_000;
-      List.iter
-        (fun fault ->
-          ignore (Ssx_faults.Fault.apply (Ssos.System.fault_system system) fault))
-        (extra_faults rng);
-      ignore
-        (Ssx_faults.Injector.inject_now
-           (Ssos.System.fault_system system)
-           ~rng ~space:Ssos.System.ram_only_fault_space 30);
-      Ssos.System.run system ~ticks:400_000;
-      let verdict =
-        Ssx_stab.Convergence.judge ~spec
-          ~samples:(Ssx_devices.Heartbeat.samples system.Ssos.System.heartbeat)
-          ~end_tick:(Ssx.Machine.ticks system.Ssos.System.machine)
-      in
-      if Ssx_stab.Convergence.converged verdict then incr recovered
-    done;
-    [ label; Table.cell_rate !recovered trials; "-"; "-" ]
+    let recovered =
+      count_recovered
+        (Pool.run ?jobs trials (fun i ->
+             let system =
+               Ssos.Reinstall.build ~nmi_counter_enabled ~hardwired_nmi ()
+             in
+             let rng = Ssx_faults.Rng.create (Runner.trial_seed seed i) in
+             Ssos.System.run system ~ticks:30_000;
+             List.iter
+               (fun fault ->
+                 ignore
+                   (Ssx_faults.Fault.apply
+                      (Ssos.System.fault_system system)
+                      fault))
+               (extra_faults rng);
+             ignore
+               (Ssx_faults.Injector.inject_now
+                  (Ssos.System.fault_system system)
+                  ~rng ~space:Ssos.System.ram_only_fault_space 30);
+             Ssos.System.run system ~ticks:400_000;
+             let verdict =
+               Ssx_stab.Convergence.judge ~spec
+                 ~samples:
+                   (Ssx_devices.Heartbeat.samples system.Ssos.System.heartbeat)
+                 ~end_tick:(Ssx.Machine.ticks system.Ssos.System.machine)
+             in
+             Ssx_stab.Convergence.converged verdict))
+    in
+    [ label; Table.cell_rate recovered trials; "-"; "-" ]
   in
   (* The silent wedge: nop out the guest's heartbeat port write.  The
      guest keeps looping (and kicking a petted watchdog) while doing
@@ -343,20 +369,22 @@ let t7_ablations ?(seed = 7L) ?(trials = 25) () =
   in
   let wedge_row label build =
     let spec = Ssos.Reinstall.weak_spec () in
-    let recovered = ref 0 in
-    for _ = 0 to trials - 1 do
-      let system = build () in
-      Ssos.System.run system ~ticks:30_000;
-      silent_wedge system;
-      Ssos.System.run system ~ticks:300_000;
-      let verdict =
-        Ssx_stab.Convergence.judge ~spec
-          ~samples:(Ssx_devices.Heartbeat.samples system.Ssos.System.heartbeat)
-          ~end_tick:(Ssx.Machine.ticks system.Ssos.System.machine)
-      in
-      if Ssx_stab.Convergence.converged verdict then incr recovered
-    done;
-    [ label; Table.cell_rate !recovered trials; "-"; "-" ]
+    let recovered =
+      count_recovered
+        (Pool.run ?jobs trials (fun _ ->
+             let system = build () in
+             Ssos.System.run system ~ticks:30_000;
+             silent_wedge system;
+             Ssos.System.run system ~ticks:300_000;
+             let verdict =
+               Ssx_stab.Convergence.judge ~spec
+                 ~samples:
+                   (Ssx_devices.Heartbeat.samples system.Ssos.System.heartbeat)
+                 ~end_tick:(Ssx.Machine.ticks system.Ssos.System.machine)
+             in
+             Ssx_stab.Convergence.converged verdict))
+    in
+    [ label; Table.cell_rate recovered trials; "-"; "-" ]
   in
   let rows =
     [ wedge_row "petted watchdog + silent wedge" (fun () ->
@@ -392,7 +420,7 @@ let t7_ablations ?(seed = 7L) ?(trials = 25) () =
        let s =
          Runner.sched_campaign
            ~build:(fun () -> Ssos.Sched.build ~refresh:true ())
-           ~space:(code_space 4) ~burst:8 ~trials ~seed ()
+           ~space:(code_space 4) ~burst:8 ?jobs ~trials ~seed ()
        in
        ("sched: refresh on, targeted code faults" :: summary_cells s));
       (let code_space n =
@@ -407,7 +435,7 @@ let t7_ablations ?(seed = 7L) ?(trials = 25) () =
        let s =
          Runner.sched_campaign
            ~build:(fun () -> Ssos.Sched.build ~refresh:false ())
-           ~space:(code_space 4) ~burst:8 ~trials ~seed ()
+           ~space:(code_space 4) ~burst:8 ?jobs ~trials ~seed ()
        in
        ("sched: refresh off, targeted code faults" :: summary_cells s));
       reinstall_row "reinstall: nmi counter ON + latch fault + halt"
@@ -436,7 +464,7 @@ let t7_ablations ?(seed = 7L) ?(trials = 25) () =
 
 (* ----------------------------------------------------------------- T8 *)
 
-let t8_monitor_coverage ?(seed = 8L) ?(trials = 25) () =
+let t8_monitor_coverage ?(seed = 8L) ?(trials = 25) ?jobs () =
   let spec = Ssos.Monitor.spec () in
   let classes =
     [ ("task index out of range",
@@ -465,41 +493,51 @@ let t8_monitor_coverage ?(seed = 8L) ?(trials = 25) () =
   let rows =
     List.map
       (fun (label, make_faults) ->
-        let recovered = ref 0 and detected = ref 0 and times = ref [] in
-        for i = 0 to trials - 1 do
-          let monitor = Ssos.Monitor.build () in
-          let system = monitor.Ssos.Monitor.system in
-          let rng = Ssx_faults.Rng.create (Runner.trial_seed seed i) in
-          Ssos.System.run system ~ticks:30_000;
-          List.iter
-            (fun fault ->
-              ignore (Ssx_faults.Fault.apply (Ssos.System.fault_system system) fault))
-            (make_faults rng);
-          Ssos.System.run system ~ticks:300_000;
-          let verdict =
-            Ssx_stab.Convergence.judge ~spec
-              ~samples:(Ssx_devices.Heartbeat.samples system.Ssos.System.heartbeat)
-              ~end_tick:(Ssx.Machine.ticks system.Ssos.System.machine)
-          in
-          if Ssx_stab.Convergence.converged verdict then begin
-            incr recovered;
-            match Ssx_stab.Convergence.recovery_time ~faults_end:30_000 verdict with
-            | Some t -> times := t :: !times
-            | None -> ()
-          end;
-          if Ssos.Monitor.detections monitor <> [] then incr detected
-        done;
+        let outcomes =
+          Pool.run ?jobs trials (fun i ->
+              let monitor = Ssos.Monitor.build () in
+              let system = monitor.Ssos.Monitor.system in
+              let rng = Ssx_faults.Rng.create (Runner.trial_seed seed i) in
+              Ssos.System.run system ~ticks:30_000;
+              List.iter
+                (fun fault ->
+                  ignore
+                    (Ssx_faults.Fault.apply
+                       (Ssos.System.fault_system system)
+                       fault))
+                (make_faults rng);
+              Ssos.System.run system ~ticks:300_000;
+              let verdict =
+                Ssx_stab.Convergence.judge ~spec
+                  ~samples:
+                    (Ssx_devices.Heartbeat.samples system.Ssos.System.heartbeat)
+                  ~end_tick:(Ssx.Machine.ticks system.Ssos.System.machine)
+              in
+              let converged = Ssx_stab.Convergence.converged verdict in
+              let time =
+                if converged then
+                  Ssx_stab.Convergence.recovery_time ~faults_end:30_000 verdict
+                else None
+              in
+              (converged, time, Ssos.Monitor.detections monitor <> []))
+        in
+        let recovered, detected, time_sum, time_count =
+          Array.fold_left
+            (fun (recovered, detected, time_sum, time_count)
+                 (converged, time, was_detected) ->
+              ( (if converged then recovered + 1 else recovered),
+                (if was_detected then detected + 1 else detected),
+                (match time with Some t -> time_sum + t | None -> time_sum),
+                match time with Some _ -> time_count + 1 | None -> time_count ))
+            (0, 0, 0, 0) outcomes
+        in
         let mean =
-          match !times with
-          | [] -> None
-          | ts ->
-            Some
-              (float_of_int (List.fold_left ( + ) 0 ts)
-              /. float_of_int (List.length ts))
+          if time_count = 0 then None
+          else Some (float_of_int time_sum /. float_of_int time_count)
         in
         [ label;
-          Table.cell_rate !detected trials;
-          Table.cell_rate !recovered trials;
+          Table.cell_rate detected trials;
+          Table.cell_rate recovered trials;
           Table.cell_opt_float ~decimals:0 mean ])
       classes
   in
@@ -636,55 +674,60 @@ let t10_composition ?(seed = 10L) () =
 
 (* ---------------------------------------------------------------- T11 *)
 
-let t11_token_ring_os ?(seed = 11L) ?(trials = 15) () =
+let t11_token_ring_os ?(seed = 11L) ?(trials = 15) ?jobs () =
   let row n =
-    let recovered = ref 0 and times = ref [] in
-    for i = 0 to trials - 1 do
-      let sched = Ssos.Token_os.build ~n () in
-      let machine = sched.Ssos.Sched.machine in
-      let rng = Ssx_faults.Rng.create (Runner.trial_seed seed (i + (n * 1000))) in
-      Ssx.Machine.run machine ~ticks:150_000;
-      (* Joint corruption of every layer: processor registers, scheduler
-         soft state, process code/data, and the ring's shared counters. *)
-      ignore
-        (Ssx_faults.Injector.inject_now (Ssos.Sched.fault_system sched) ~rng
-           ~space:(Ssos.Sched.fault_space sched) 20);
-      for m = 0 to n - 1 do
-        Ssos.Token_os.corrupt_state sched m (Ssx_faults.Rng.int rng Ssos.Token_os.k)
-      done;
-      let start = Ssx.Machine.ticks machine in
-      (* Converged = the ring is legitimate and stays so for a full
-         scheduler rotation. *)
-      let rotations_ticks = 4 * n * Ssos.Sched.default_watchdog_period in
-      let rec settle deadline =
-        match Ssos.Token_os.run_until_legitimate sched ~limit:deadline with
-        | None -> None
-        | Some _ ->
-          let at = Ssx.Machine.ticks machine in
-          let stayed = ref true in
-          for _ = 1 to rotations_ticks do
-            ignore (Ssx.Machine.tick machine);
-            if not (Ssos.Token_os.legitimate sched) then stayed := false
+    let results =
+      Pool.run ?jobs trials (fun i ->
+          let sched = Ssos.Token_os.build ~n () in
+          let machine = sched.Ssos.Sched.machine in
+          let rng =
+            Ssx_faults.Rng.create (Runner.trial_seed seed (i + (n * 1000)))
+          in
+          Ssx.Machine.run machine ~ticks:150_000;
+          (* Joint corruption of every layer: processor registers,
+             scheduler soft state, process code/data, and the ring's
+             shared counters. *)
+          ignore
+            (Ssx_faults.Injector.inject_now (Ssos.Sched.fault_system sched)
+               ~rng ~space:(Ssos.Sched.fault_space sched) 20);
+          for m = 0 to n - 1 do
+            Ssos.Token_os.corrupt_state sched m
+              (Ssx_faults.Rng.int rng Ssos.Token_os.k)
           done;
-          if !stayed then Some (at - start)
-          else if Ssx.Machine.ticks machine - start > 2_000_000 then None
-          else settle deadline
-      in
-      match settle 2_000_000 with
-      | Some t ->
-        incr recovered;
-        times := t :: !times
-      | None -> ()
-    done;
+          let start = Ssx.Machine.ticks machine in
+          (* Converged = the ring is legitimate and stays so for a full
+             scheduler rotation. *)
+          let rotations_ticks = 4 * n * Ssos.Sched.default_watchdog_period in
+          let rec settle deadline =
+            match Ssos.Token_os.run_until_legitimate sched ~limit:deadline with
+            | None -> None
+            | Some _ ->
+              let at = Ssx.Machine.ticks machine in
+              let stayed = ref true in
+              for _ = 1 to rotations_ticks do
+                ignore (Ssx.Machine.tick machine);
+                if not (Ssos.Token_os.legitimate sched) then stayed := false
+              done;
+              if !stayed then Some (at - start)
+              else if Ssx.Machine.ticks machine - start > 2_000_000 then None
+              else settle deadline
+          in
+          settle 2_000_000)
+    in
+    let recovered, time_sum, time_count =
+      Array.fold_left
+        (fun (recovered, time_sum, time_count) result ->
+          match result with
+          | Some t -> (recovered + 1, time_sum + t, time_count + 1)
+          | None -> (recovered, time_sum, time_count))
+        (0, 0, 0) results
+    in
     let mean =
-      match !times with
-      | [] -> None
-      | ts ->
-        Some
-          (float_of_int (List.fold_left ( + ) 0 ts) /. float_of_int (List.length ts))
+      if time_count = 0 then None
+      else Some (float_of_int time_sum /. float_of_int time_count)
     in
     [ Printf.sprintf "%d ring machines on the tiny OS" n;
-      Table.cell_rate !recovered trials;
+      Table.cell_rate recovered trials;
       Table.cell_opt_float ~decimals:0 mean ]
   in
   { Table.id = "T11";
@@ -698,7 +741,7 @@ let t11_token_ring_os ?(seed = 11L) ?(trials = 15) () =
 
 (* ---------------------------------------------------------------- T12 *)
 
-let t12_soft_error_rates ?(seed = 12L) ?(trials = 3) () =
+let t12_soft_error_rates ?(seed = 12L) ?(trials = 3) ?jobs () =
   let horizon = 1_000_000 in
   let clean_beats build =
     let system = build () in
@@ -711,6 +754,9 @@ let t12_soft_error_rates ?(seed = 12L) ?(trials = 3) () =
       ("s4 monitor+repair", fun () -> (Ssos.Monitor.build ()).Ssos.Monitor.system) ]
   in
   let baselines = List.map (fun (name, build) -> (name, clean_beats build)) designs in
+  (* [Injector.attach] leaves an armed, stateful hook on the machine, so
+     these trials must rebuild: they are exactly the case the
+     snapshot-reset engine excludes (see DESIGN.md section 4c). *)
   let availability build baseline rate trial =
     let system = build () in
     let rng = Ssx_faults.Rng.create (Runner.trial_seed seed trial) in
@@ -730,12 +776,13 @@ let t12_soft_error_rates ?(seed = 12L) ?(trials = 3) () =
         List.map
           (fun (name, build) ->
             let baseline = List.assoc name baselines in
+            let samples =
+              Pool.run ?jobs trials (availability build baseline rate)
+            in
+            (* Summed in index order: the mean is bit-identical for any
+               worker count. *)
             let mean =
-              List.fold_left
-                (fun acc trial -> acc +. availability build baseline rate trial)
-                0.0
-                (List.init trials Fun.id)
-              /. float_of_int trials
+              Array.fold_left ( +. ) 0.0 samples /. float_of_int trials
             in
             [ Printf.sprintf "%.0e" rate; name;
               Printf.sprintf "%.1f%%" (100.0 *. mean) ])
@@ -868,19 +915,19 @@ let t13_exhaustive_sweeps ?(seed = 13L) () =
           Table.cell_int !reinstall_failures ] ] }
 
 let all =
-  [ ("T1", fun () -> t1_reinstall_recovery ());
-    ("T2", fun () -> t2_lemma_bounds ());
-    ("T3", fun () -> t3_approach_comparison ());
-    ("T4", fun () -> t4_period_sweep ());
-    ("T5", fun () -> t5_primitive_fairness ());
-    ("T6", fun () -> t6_sched_stabilization ());
-    ("T7", fun () -> t7_ablations ());
-    ("T8", fun () -> t8_monitor_coverage ());
-    ("T9", fun () -> t9_weak_vs_strict ());
-    ("T10", fun () -> t10_composition ());
-    ("T11", fun () -> t11_token_ring_os ());
-    ("T12", fun () -> t12_soft_error_rates ());
-    ("T13", fun () -> t13_exhaustive_sweeps ()) ]
+  [ ("T1", fun ?jobs () -> t1_reinstall_recovery ?jobs ());
+    ("T2", fun ?jobs () -> t2_lemma_bounds ?jobs ());
+    ("T3", fun ?jobs () -> t3_approach_comparison ?jobs ());
+    ("T4", fun ?jobs () -> t4_period_sweep ?jobs ());
+    ("T5", fun ?jobs () -> t5_primitive_fairness ?jobs ());
+    ("T6", fun ?jobs () -> t6_sched_stabilization ?jobs ());
+    ("T7", fun ?jobs () -> t7_ablations ?jobs ());
+    ("T8", fun ?jobs () -> t8_monitor_coverage ?jobs ());
+    ("T9", fun ?jobs () -> ignore jobs; t9_weak_vs_strict ());
+    ("T10", fun ?jobs () -> ignore jobs; t10_composition ());
+    ("T11", fun ?jobs () -> t11_token_ring_os ?jobs ());
+    ("T12", fun ?jobs () -> t12_soft_error_rates ?jobs ());
+    ("T13", fun ?jobs () -> ignore jobs; t13_exhaustive_sweeps ()) ]
 
 let find id =
   let id = String.uppercase_ascii id in

@@ -7,35 +7,35 @@
 
     All tables are deterministic functions of their [seed]. *)
 
-val t1_reinstall_recovery : ?seed:int64 -> ?trials:int -> unit -> Table.t
+val t1_reinstall_recovery : ?seed:int64 -> ?trials:int -> ?jobs:int -> unit -> Table.t
 (** E1 — §3 Bochs experiment / Theorem 3.4: recovery rate and time of
     reinstall-and-restart vs fault-burst size. *)
 
-val t2_lemma_bounds : ?seed:int64 -> ?trials:int -> unit -> Table.t
+val t2_lemma_bounds : ?seed:int64 -> ?trials:int -> ?jobs:int -> unit -> Table.t
 (** E2 — Lemmas 3.1–3.3: from arbitrary configurations, ticks until the
     NMI handler entry and until the OS restarts, against the theoretical
     bounds. *)
 
-val t3_approach_comparison : ?seed:int64 -> ?trials:int -> unit -> Table.t
+val t3_approach_comparison : ?seed:int64 -> ?trials:int -> ?jobs:int -> unit -> Table.t
 (** E3 — baselines vs the paper's three designs on identical fault
     campaigns. *)
 
-val t4_period_sweep : ?seed:int64 -> ?trials:int -> unit -> Table.t
+val t4_period_sweep : ?seed:int64 -> ?trials:int -> ?jobs:int -> unit -> Table.t
 (** E4 — availability / recovery-latency trade-off vs watchdog period. *)
 
-val t5_primitive_fairness : ?seed:int64 -> ?trials:int -> unit -> Table.t
+val t5_primitive_fairness : ?seed:int64 -> ?trials:int -> ?jobs:int -> unit -> Table.t
 (** E5 — Theorem 5.1: fairness and convergence of the primitive
     scheduler. *)
 
-val t6_sched_stabilization : ?seed:int64 -> ?trials:int -> unit -> Table.t
+val t6_sched_stabilization : ?seed:int64 -> ?trials:int -> ?jobs:int -> unit -> Table.t
 (** E6 — Lemmas 5.2–5.4 / Theorem 5.5: the self-stabilizing scheduler
     under increasing fault bursts. *)
 
-val t7_ablations : ?seed:int64 -> ?trials:int -> unit -> Table.t
+val t7_ablations : ?seed:int64 -> ?trials:int -> ?jobs:int -> unit -> Table.t
 (** E7 — design-choice ablations: cs validation, ip masking, the NMI
     counter, the hardwired NMI vector. *)
 
-val t8_monitor_coverage : ?seed:int64 -> ?trials:int -> unit -> Table.t
+val t8_monitor_coverage : ?seed:int64 -> ?trials:int -> ?jobs:int -> unit -> Table.t
 (** E8 — §4 predicate monitoring: detection and repair by fault class. *)
 
 val t9_weak_vs_strict : ?seed:int64 -> unit -> Table.t
@@ -46,12 +46,12 @@ val t10_composition : ?seed:int64 -> unit -> Table.t
 (** E10 — layered stabilization (processor -> OS -> application) after
     the fair-composition argument in §1. *)
 
-val t11_token_ring_os : ?seed:int64 -> ?trials:int -> unit -> Table.t
+val t11_token_ring_os : ?seed:int64 -> ?trials:int -> ?jobs:int -> unit -> Table.t
 (** E11 — Dijkstra's token ring as guest processes on the §5.2
     scheduler: machine-level stabilization preservation and the full
     three-layer composition. *)
 
-val t12_soft_error_rates : ?seed:int64 -> ?trials:int -> unit -> Table.t
+val t12_soft_error_rates : ?seed:int64 -> ?trials:int -> ?jobs:int -> unit -> Table.t
 (** E12 — availability under continuous Poisson soft-error rates, the
     fault model of §1's motivation. *)
 
@@ -61,8 +61,10 @@ val t13_exhaustive_sweeps : ?seed:int64 -> unit -> Table.t
     scheduler against adversarial values, and a dense byte-corruption
     sweep of the running image under Figure 1. *)
 
-val all : (string * (unit -> Table.t)) list
-(** [(id, runner)] for every table, in order. *)
+val all : (string * (?jobs:int -> unit -> Table.t)) list
+(** [(id, runner)] for every table, in order.  [jobs] caps the campaign
+    worker-domain count ({!Pool.default_jobs} when omitted); tables
+    whose work is a single run (T9, T10, T13) ignore it. *)
 
-val find : string -> (unit -> Table.t) option
+val find : string -> (?jobs:int -> unit -> Table.t) option
 (** Case-insensitive lookup by id ("t1" … "t13"). *)

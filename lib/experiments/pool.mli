@@ -1,0 +1,43 @@
+(** Work-sharing domain pool.
+
+    Campaigns run many independent, index-keyed trials; this pool
+    shards them across [min (ncores, jobs, n)] domains via an atomic
+    task counter (ncores = [Domain.recommended_domain_count ()]).
+    Results are returned in task order regardless of which domain ran
+    which task or in what interleaving, so campaign output is
+    reproducible: identical for [jobs:1] and [jobs:k].
+
+    If any task raises, the remaining tasks are abandoned, all domains
+    are joined, and the first recorded exception is re-raised with its
+    backtrace. *)
+
+val default_jobs : unit -> int
+(** Worker count used when [?jobs] is omitted:
+    [Domain.recommended_domain_count ()], overridden by the
+    [SSOS_JOBS] environment variable when set and non-empty.  Raises
+    [Invalid_argument] if [SSOS_JOBS] is set but not a positive
+    integer. *)
+
+val run : ?oversubscribe:bool -> ?jobs:int -> int -> (int -> 'a) -> 'a array
+(** [run ?jobs n f] computes [[| f 0; …; f (n-1) |]], evaluating the
+    calls on up to [jobs] domains.  [f] must be safe to call from
+    multiple domains concurrently (distinct indices only — each index
+    is evaluated exactly once).
+
+    Requests beyond the machine's core count are clamped: extra
+    domains cannot add parallelism but do stall every stop-the-world
+    minor collection behind descheduled domains.
+    [~oversubscribe:true] disables the clamp; the differential tests
+    use it to force genuinely concurrent domains even on small
+    machines. *)
+
+val run_with :
+  ?oversubscribe:bool ->
+  ?jobs:int -> init:(unit -> 's) -> int -> ('s -> int -> 'a) -> 'a array
+(** [run_with ?jobs ~init n f] is {!run} with per-worker state: each
+    worker domain calls [init] at most once — lazily, on winning its
+    first task — and passes the result to every [f] call it executes.
+    Used for the snapshot-reset trial engine, where the state is a
+    built machine plus its warmed-up snapshot.  Tasks run on the same
+    worker share state, so [f] must leave the state reusable (e.g. by
+    restoring the snapshot first). *)

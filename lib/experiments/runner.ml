@@ -11,35 +11,35 @@ type summary = {
 }
 
 let summarize outcomes =
-  let trials = List.length outcomes in
-  let recovered = List.filter (fun o -> o.recovered) outcomes in
-  let times = List.filter_map (fun o -> o.recovery_ticks) recovered in
+  (* One pass: trial count, recovery count, and the recovery-time
+     sum/count/max all accumulate in a single fold. *)
+  let trials, recoveries, time_sum, time_count, max_recovery =
+    List.fold_left
+      (fun (trials, recoveries, time_sum, time_count, max_recovery) o ->
+        let trials = trials + 1 in
+        if not o.recovered then
+          (trials, recoveries, time_sum, time_count, max_recovery)
+        else
+          match o.recovery_ticks with
+          | None -> (trials, recoveries + 1, time_sum, time_count, max_recovery)
+          | Some t ->
+            let max_recovery =
+              Some (match max_recovery with None -> t | Some m -> max m t)
+            in
+            (trials, recoveries + 1, time_sum + t, time_count + 1, max_recovery))
+      (0, 0, 0, 0, None) outcomes
+  in
   let mean_recovery =
-    match times with
-    | [] -> None
-    | times ->
-      Some
-        (float_of_int (List.fold_left ( + ) 0 times)
-        /. float_of_int (List.length times))
+    if time_count = 0 then None
+    else Some (float_of_int time_sum /. float_of_int time_count)
   in
-  let max_recovery =
-    match times with [] -> None | t :: rest -> Some (List.fold_left max t rest)
-  in
-  { trials; recoveries = List.length recovered; mean_recovery; max_recovery }
+  { trials; recoveries; mean_recovery; max_recovery }
 
-let trial_seed master i =
-  (* splitmix-style derivation keeps trials independent. *)
-  let rng = Ssx_faults.Rng.create (Int64.add master (Int64.of_int (i * 1337))) in
-  Ssx_faults.Rng.next_int64 rng
+let trial_seed = Ssx_faults.Rng.derive
 
-let heartbeat_trial ~build ~space ~spec ~burst ~warmup ~horizon ~seed =
-  let system = build () in
-  let rng = Ssx_faults.Rng.create seed in
-  Ssos.System.run system ~ticks:warmup;
-  ignore
-    (Ssx_faults.Injector.inject_now (Ssos.System.fault_system system) ~rng ~space
-       burst);
-  Ssos.System.run system ~ticks:horizon;
+type strategy = Rebuild | Snapshot_reset
+
+let heartbeat_outcome ~spec ~warmup system =
   let end_tick = Ssx.Machine.ticks system.Ssos.System.machine in
   let verdict =
     Ssx_stab.Convergence.judge ~spec
@@ -49,12 +49,75 @@ let heartbeat_trial ~build ~space ~spec ~burst ~warmup ~horizon ~seed =
   { recovered = Ssx_stab.Convergence.converged verdict;
     recovery_ticks = Ssx_stab.Convergence.recovery_time ~faults_end:warmup verdict }
 
+let heartbeat_trial ~build ~space ~spec ~burst ~warmup ~horizon ~seed =
+  let system = build () in
+  let rng = Ssx_faults.Rng.create seed in
+  Ssos.System.run system ~ticks:warmup;
+  ignore
+    (Ssx_faults.Injector.inject_now (Ssos.System.fault_system system) ~rng ~space
+       burst);
+  Ssos.System.run system ~ticks:horizon;
+  heartbeat_outcome ~spec ~warmup system
+
 let heartbeat_campaign ~build ~space ~spec ~burst ?(warmup = 30_000)
-    ?(horizon = 400_000) ~trials ~seed () =
-  summarize
-    (List.init trials (fun i ->
-         heartbeat_trial ~build ~space ~spec ~burst ~warmup ~horizon
-           ~seed:(trial_seed seed i)))
+    ?(horizon = 400_000) ?(strategy = Snapshot_reset) ?oversubscribe ?jobs
+    ~trials ~seed () =
+  let outcomes =
+    match strategy with
+    | Rebuild ->
+      Pool.run ?oversubscribe ?jobs trials (fun i ->
+          heartbeat_trial ~build ~space ~spec ~burst ~warmup ~horizon
+            ~seed:(trial_seed seed i))
+    | Snapshot_reset ->
+      (* One machine and one post-warmup snapshot per worker domain.
+         The build-and-warmup prefix is deterministic and fault-free,
+         so restoring the snapshot before each trial is observationally
+         identical to rebuilding and re-warming — at a fraction of the
+         cost. *)
+      Pool.run_with ?oversubscribe ?jobs
+        ~init:(fun () ->
+          let system = build () in
+          Ssos.System.run system ~ticks:warmup;
+          (system, Ssx.Snapshot.capture system.Ssos.System.machine))
+        trials
+        (fun (system, snapshot) i ->
+          Ssx.Snapshot.restore snapshot system.Ssos.System.machine;
+          let rng = Ssx_faults.Rng.create (trial_seed seed i) in
+          ignore
+            (Ssx_faults.Injector.inject_now
+               (Ssos.System.fault_system system)
+               ~rng ~space burst);
+          Ssos.System.run system ~ticks:horizon;
+          heartbeat_outcome ~spec ~warmup system)
+  in
+  summarize (Array.to_list outcomes)
+
+let sched_outcome ~warmup ~max_gap ~window sched =
+  let end_tick = Ssx.Machine.ticks sched.Ssos.Sched.machine in
+  let spec = { (Ssx_stab.Convergence.counter_spec ()) with max_gap; window } in
+  let verdicts =
+    Array.map
+      (fun hb ->
+        Ssx_stab.Convergence.judge ~spec
+          ~samples:(Ssx_devices.Heartbeat.samples hb)
+          ~end_tick)
+      sched.Ssos.Sched.heartbeats
+  in
+  let recovered = Array.for_all Ssx_stab.Convergence.converged verdicts in
+  let recovery_ticks =
+    if not recovered then None
+    else
+      (* The system has recovered once its slowest process has. *)
+      Array.fold_left
+        (fun acc verdict ->
+          match
+            (acc, Ssx_stab.Convergence.recovery_time ~faults_end:warmup verdict)
+          with
+          | Some a, Some b -> Some (max a b)
+          | None, some | some, None -> some)
+        None verdicts
+  in
+  { recovered; recovery_ticks }
 
 let sched_trial ~build ?space ~burst ~warmup ~horizon ~max_gap ~window ~seed () =
   let sched = build () in
@@ -67,40 +130,39 @@ let sched_trial ~build ?space ~burst ~warmup ~horizon ~max_gap ~window ~seed () 
     (Ssx_faults.Injector.inject_now (Ssos.Sched.fault_system sched) ~rng ~space
        burst);
   Ssx.Machine.run sched.Ssos.Sched.machine ~ticks:horizon;
-  let end_tick = Ssx.Machine.ticks sched.Ssos.Sched.machine in
-  let spec = { (Ssx_stab.Convergence.counter_spec ()) with max_gap; window } in
-  let verdicts =
-    Array.to_list
-      (Array.map
-         (fun hb ->
-           Ssx_stab.Convergence.judge ~spec
-             ~samples:(Ssx_devices.Heartbeat.samples hb)
-             ~end_tick)
-         sched.Ssos.Sched.heartbeats)
-  in
-  let recovered = List.for_all Ssx_stab.Convergence.converged verdicts in
-  let recovery_ticks =
-    if not recovered then None
-    else
-      (* The system has recovered once its slowest process has. *)
-      List.fold_left
-        (fun acc verdict ->
-          match
-            (acc, Ssx_stab.Convergence.recovery_time ~faults_end:warmup verdict)
-          with
-          | Some a, Some b -> Some (max a b)
-          | None, some | some, None -> some)
-        None verdicts
-  in
-  { recovered; recovery_ticks }
+  sched_outcome ~warmup ~max_gap ~window sched
 
 let sched_campaign ~build ?space ~burst ?(warmup = 100_000)
-    ?(horizon = 600_000) ?(max_gap = 100_000) ?(window = 150_000) ~trials ~seed
-    () =
-  summarize
-    (List.init trials (fun i ->
-         sched_trial ~build ?space ~burst ~warmup ~horizon ~max_gap ~window
-           ~seed:(trial_seed seed i) ()))
+    ?(horizon = 600_000) ?(max_gap = 100_000) ?(window = 150_000)
+    ?(strategy = Snapshot_reset) ?oversubscribe ?jobs ~trials ~seed () =
+  let outcomes =
+    match strategy with
+    | Rebuild ->
+      Pool.run ?oversubscribe ?jobs trials (fun i ->
+          sched_trial ~build ?space ~burst ~warmup ~horizon ~max_gap ~window
+            ~seed:(trial_seed seed i) ())
+    | Snapshot_reset ->
+      Pool.run_with ?oversubscribe ?jobs
+        ~init:(fun () ->
+          let sched = build () in
+          let space =
+            match space with
+            | Some s -> s
+            | None -> Ssos.Sched.fault_space sched
+          in
+          Ssx.Machine.run sched.Ssos.Sched.machine ~ticks:warmup;
+          (sched, space, Ssx.Snapshot.capture sched.Ssos.Sched.machine))
+        trials
+        (fun (sched, space, snapshot) i ->
+          Ssx.Snapshot.restore snapshot sched.Ssos.Sched.machine;
+          let rng = Ssx_faults.Rng.create (trial_seed seed i) in
+          ignore
+            (Ssx_faults.Injector.inject_now (Ssos.Sched.fault_system sched) ~rng
+               ~space burst);
+          Ssx.Machine.run sched.Ssos.Sched.machine ~ticks:horizon;
+          sched_outcome ~warmup ~max_gap ~window sched)
+  in
+  summarize (Array.to_list outcomes)
 
 let scramble_processor rng system =
   let machine = system.Ssos.System.machine in

@@ -3,7 +3,15 @@
     A campaign runs many independent trials of the same scenario, each
     derived deterministically from the master seed: warm the system up,
     inject a burst of random faults, run a recovery horizon, and judge
-    the observation trace against a legality specification. *)
+    the observation trace against a legality specification.
+
+    Campaigns are parallel and snapshot-reset by default: trials shard
+    across a {!Pool} of domains, and each worker captures the machine
+    once after the deterministic fault-free warmup, then restores that
+    snapshot per trial instead of rebuilding.  Both knobs are
+    observationally pure — the summary is bit-identical for any [jobs]
+    and either {!strategy} (see the differential tests in
+    [test/test_campaigns.ml]). *)
 
 type outcome = {
   recovered : bool;
@@ -20,6 +28,19 @@ type summary = {
 }
 
 val summarize : outcome list -> summary
+(** Single pass over the outcomes, in list order. *)
+
+type strategy =
+  | Rebuild
+      (** Build and warm a fresh system for every trial.  Slow, but
+          makes no assumption beyond [build] being deterministic. *)
+  | Snapshot_reset
+      (** Build and warm once per worker domain, snapshot, and restore
+          the snapshot before each trial.  Requires the warmup prefix
+          to be deterministic and fault-free, and every piece of
+          host-side device state to be registered resettable (see
+          {!Ssx.Machine.add_resettable}); all in-tree system builders
+          satisfy both.  The default. *)
 
 (** One trial over a heartbeat-observed system. *)
 val heartbeat_trial :
@@ -39,10 +60,17 @@ val heartbeat_campaign :
   burst:int ->
   ?warmup:int ->
   ?horizon:int ->
+  ?strategy:strategy ->
+  ?oversubscribe:bool ->
+  ?jobs:int ->
   trials:int ->
   seed:int64 ->
   unit ->
   summary
+(** [jobs] defaults to {!Pool.default_jobs} (the [SSOS_JOBS]
+    environment variable, else the recommended domain count); the
+    effective domain count is clamped to the core count unless
+    [oversubscribe] (see {!Pool.run}). *)
 
 (** One trial over a §5.2 tiny-OS system: every process's private
     heartbeat stream must converge to its strict counter spec. *)
@@ -66,13 +94,18 @@ val sched_campaign :
   ?horizon:int ->
   ?max_gap:int ->
   ?window:int ->
+  ?strategy:strategy ->
+  ?oversubscribe:bool ->
+  ?jobs:int ->
   trials:int ->
   seed:int64 ->
   unit ->
   summary
 
 val trial_seed : int64 -> int -> int64
-(** Derive the seed of trial [i] from the master seed. *)
+(** Derive the seed of trial [i] from the master seed — a splitmix64
+    finalizer over the pair ({!Ssx_faults.Rng.derive}), so seeds are
+    pairwise distinct per master and independent of execution order. *)
 
 val scramble_processor : Ssx_faults.Rng.t -> Ssos.System.t -> unit
 (** Assign arbitrary values to every soft CPU register, the halt flag,

@@ -36,6 +36,48 @@ let pp ppf table =
   List.iter (fun row -> Format.fprintf ppf "%s@," (render row)) table.rows;
   Format.fprintf ppf "@]"
 
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_json table =
+  let buf = Buffer.create 1024 in
+  let string s = Buffer.add_string buf (Printf.sprintf "\"%s\"" (json_escape s)) in
+  let list ~indent render items =
+    Buffer.add_string buf "[";
+    List.iteri
+      (fun i item ->
+        if i > 0 then Buffer.add_string buf ",";
+        Buffer.add_string buf indent;
+        render item)
+      items;
+    Buffer.add_string buf "]"
+  in
+  Buffer.add_string buf "{\n  \"id\": ";
+  string table.id;
+  Buffer.add_string buf ",\n  \"title\": ";
+  string table.title;
+  Buffer.add_string buf ",\n  \"note\": ";
+  string table.note;
+  Buffer.add_string buf ",\n  \"header\": ";
+  list ~indent:"" string table.header;
+  Buffer.add_string buf ",\n  \"rows\": ";
+  list ~indent:"\n    " (list ~indent:"" string) table.rows;
+  Buffer.add_string buf "\n}";
+  Buffer.contents buf
+
 let cell_int v = string_of_int v
 let cell_float ?(decimals = 1) v = Printf.sprintf "%.*f" decimals v
 

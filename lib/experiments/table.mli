@@ -11,6 +11,11 @@ type t = {
 val pp : Format.formatter -> t -> unit
 (** Render with aligned columns. *)
 
+val to_json : t -> string
+(** The table as a JSON object — [id], [title], [note], [header] and
+    [rows] (an array of string arrays), with all strings escaped.  For
+    `ssos experiment --format json` and mechanical diffing. *)
+
 val cell_int : int -> string
 val cell_float : ?decimals:int -> float -> string
 val cell_rate : int -> int -> string

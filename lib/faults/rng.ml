@@ -28,3 +28,17 @@ let float t =
   bits53 /. 9007199254740992.0
 
 let split t = create (next_int64 t)
+
+(* Trial-seed derivation.  The master seed is itself finalized before
+   the stream index is folded in, so the derived sequences of two nearby
+   masters start from unrelated 64-bit points: with the earlier additive
+   scheme (master + i*constant fed into one generator step), masters m
+   and m+constant produced trial-seed sequences that were shifts of one
+   another.  For a fixed master the outputs are pairwise distinct: [mix]
+   is a bijection and the pre-mix values differ by distinct multiples of
+   the (odd) golden gamma. *)
+let derive master i =
+  mix
+    (Int64.add
+       (mix (Int64.add master golden_gamma))
+       (Int64.mul golden_gamma (Int64.of_int (i + 1))))

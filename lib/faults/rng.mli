@@ -24,3 +24,11 @@ val float : t -> float
 
 val split : t -> t
 (** Independent child generator (for parallel sub-experiments). *)
+
+val derive : int64 -> int -> int64
+(** [derive master i] — the seed of independent stream [i] under
+    [master], via a splitmix64 finalizer over the pair.  For a fixed
+    master the results are pairwise distinct in [i] (the finalizer is a
+    bijection applied to distinct inputs), and nearby masters yield
+    unrelated sequences.  This is how campaigns key each trial off the
+    table seed, independent of trial execution order. *)

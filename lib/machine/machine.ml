@@ -14,6 +14,9 @@ type t = {
       (* devices.(i).tick, pre-extracted for the per-tick loop *)
   ports : port_handler array;  (* indexed by port byte, 256 entries *)
   mutable hooks : (t -> Cpu.event -> unit) array;
+  mutable resettables : (unit -> unit -> unit) array;
+      (* device-state capture hooks: calling one captures the device's
+         current host-side state and returns the thunk that restores it *)
 }
 
 let cpu m = m.cpu
@@ -27,17 +30,19 @@ let set_decode_cache m enabled =
   | None, true ->
     let cache = Decode_cache.create ~empty_payload:Cpu.Halted_idle in
     m.cpu.Cpu.decode_cache <- Some cache;
-    Memory.set_write_hook m.mem (fun addr -> Decode_cache.invalidate cache addr)
+    Memory.set_write_hook m.mem (fun addr -> Decode_cache.invalidate cache addr);
+    Memory.set_reload_hook m.mem (fun () -> Decode_cache.clear cache)
   | Some _, false ->
     m.cpu.Cpu.decode_cache <- None;
-    Memory.clear_write_hook m.mem
+    Memory.clear_write_hook m.mem;
+    Memory.clear_reload_hook m.mem
 
 let create ?config ?(decode_cache = true) () =
   let mem = Memory.create () in
   let cpu = Cpu.create ?config mem in
   let m =
     { cpu; mem; devices = [||]; device_ticks = [||];
-      ports = Array.make 256 null_port; hooks = [||] }
+      ports = Array.make 256 null_port; hooks = [||]; resettables = [||] }
   in
   (* Port numbers are a single byte in the instruction encoding, so a
      flat 256-entry table replaces the hashtable (and its per-I/O
@@ -58,6 +63,11 @@ let register_port m ~port ~read ~write =
   m.ports.(port land 0xff) <- { read; write }
 
 let on_event m hook = m.hooks <- Array.append m.hooks [| hook |]
+
+let add_resettable m capture =
+  m.resettables <- Array.append m.resettables [| capture |]
+
+let capture_device_state m = Array.map (fun capture -> capture ()) m.resettables
 
 let tick m =
   let devices = m.device_ticks in

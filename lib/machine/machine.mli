@@ -39,6 +39,22 @@ val register_port :
 val on_event : t -> (t -> Cpu.event -> unit) -> unit
 (** Add a hook called after every processor step. *)
 
+val add_resettable : t -> (unit -> unit -> unit) -> unit
+(** [add_resettable m capture] registers host-side device state with the
+    snapshot machinery.  [capture ()] must record the device's current
+    state and return a thunk that restores exactly that state.  Devices
+    holding mutable state outside the machine's RAM and registers — the
+    heartbeat sample buffer, the watchdog countdown, the console buffer
+    — register themselves here when attached, so {!Snapshot.capture} /
+    {!Snapshot.restore} cover everything a fault-injection trial can
+    mutate.  (The restore thunks act on the captured device instances:
+    device state always restores into the machine it was captured
+    from.) *)
+
+val capture_device_state : t -> (unit -> unit) array
+(** Run every registered capture hook now; the returned thunks restore
+    each device to its state at this instant (used by {!Snapshot}). *)
+
 val tick : t -> Cpu.event
 (** Run one clock tick (devices, then one CPU step). *)
 

@@ -5,6 +5,7 @@ type t = {
   prot : Bytes.t;  (* protection bitmap: bit (addr land 7) of byte (addr lsr 3) *)
   mutable rom : region list;
   mutable on_write : int -> unit;
+  mutable on_reload : unit -> unit;
 }
 
 let size = Addr.memory_size
@@ -15,7 +16,8 @@ let create () =
   { data = Bytes.make size '\000';
     prot = Bytes.make (size lsr 3) '\000';
     rom = [];
-    on_write = no_hook }
+    on_write = no_hook;
+    on_reload = (fun () -> ()) }
 
 let is_protected mem addr =
   Char.code (Bytes.unsafe_get mem.prot (addr lsr 3)) land (1 lsl (addr land 7)) <> 0
@@ -24,6 +26,8 @@ let protected_regions mem = mem.rom
 
 let set_write_hook mem hook = mem.on_write <- hook
 let clear_write_hook mem = mem.on_write <- no_hook
+let set_reload_hook mem hook = mem.on_reload <- hook
+let clear_reload_hook mem = mem.on_reload <- (fun () -> ())
 
 let[@inline] read_byte mem addr = Char.code (Bytes.unsafe_get mem.data (Addr.mask addr))
 
@@ -64,3 +68,29 @@ let blit mem ~src ~dst ~len =
   for i = 0 to len - 1 do
     write_byte mem (dst + i) (read_byte mem (src + i))
   done
+
+(* A region registered through [protect] never wraps the address space
+   in practice; fall back to the per-byte path if one ever does so that
+   [restore_image] keeps the exact write-protection semantics. *)
+let region_in_bounds { base; size = rsize } =
+  base >= 0 && rsize >= 0 && base + rsize <= size
+
+let restore_image mem image =
+  if String.length image <> size then
+    invalid_arg "Memory.restore_image: image must cover the whole memory";
+  if List.for_all region_in_bounds mem.rom then begin
+    let saved =
+      List.map (fun r -> (r, Bytes.sub mem.data r.base r.size)) mem.rom
+    in
+    Bytes.blit_string image 0 mem.data 0 size;
+    List.iter (fun (r, bytes) -> Bytes.blit bytes 0 mem.data r.base r.size) saved;
+    mem.on_reload ()
+  end
+  else
+    String.iteri
+      (fun addr c ->
+        if not (is_protected mem addr) then begin
+          Bytes.unsafe_set mem.data addr c;
+          mem.on_write addr
+        end)
+      image

@@ -51,6 +51,23 @@ val set_write_hook : t -> (int -> unit) -> unit
 
 val clear_write_hook : t -> unit
 
+val set_reload_hook : t -> (unit -> unit) -> unit
+(** [set_reload_hook mem f] makes {!restore_image} call [f] once after
+    rewriting the whole memory, instead of invoking the per-byte write
+    hook a million times.  Used by the decoded-instruction cache to
+    drop every cached entry in one pass on snapshot restore.  At most
+    one hook is active; a new registration replaces the previous one. *)
+
+val clear_reload_hook : t -> unit
+
+val restore_image : t -> string -> unit
+(** [restore_image mem image] rewrites the entire memory from [image]
+    (which must be exactly {!size} bytes, e.g. a {!dump} of the whole
+    address space), preserving the current contents of every protected
+    (ROM) region — identical semantics to a {!write_byte} per address,
+    but performed with bulk blits and a single reload-hook notification.
+    This is the snapshot-restore fast path of the trial engine. *)
+
 val load_image : t -> base:int -> string -> unit
 (** Copy a raw byte string into memory at [base] (bypasses protection,
     for building boot images). *)

@@ -4,8 +4,13 @@ type t = {
   nmi_pin : bool;
   in_nmi : bool;
   intr : int option;
+  reset_pin : bool;
   halted : bool;
+  steps : int;
   ram : string;
+  device_state : (unit -> unit) array;
+      (* restore thunks from the machine's resettable devices, bound to
+         the device instances of the captured machine *)
 }
 
 let capture machine =
@@ -15,8 +20,11 @@ let capture machine =
     nmi_pin = cpu.Cpu.nmi_pin;
     in_nmi = cpu.Cpu.in_nmi;
     intr = cpu.Cpu.intr;
+    reset_pin = cpu.Cpu.reset_pin;
     halted = cpu.Cpu.halted;
-    ram = Memory.dump (Machine.memory machine) ~base:0 ~len:Memory.size }
+    steps = cpu.Cpu.steps;
+    ram = Memory.dump (Machine.memory machine) ~base:0 ~len:Memory.size;
+    device_state = Machine.capture_device_state machine }
 
 let restore snapshot machine =
   let cpu = Machine.cpu machine in
@@ -35,12 +43,11 @@ let restore snapshot machine =
   cpu.Cpu.nmi_pin <- snapshot.nmi_pin;
   cpu.Cpu.in_nmi <- snapshot.in_nmi;
   cpu.Cpu.intr <- snapshot.intr;
+  cpu.Cpu.reset_pin <- snapshot.reset_pin;
   cpu.Cpu.halted <- snapshot.halted;
-  String.iteri
-    (fun addr c ->
-      if not (Memory.is_protected mem addr) then
-        Memory.write_byte mem addr (Char.code c))
-    snapshot.ram
+  cpu.Cpu.steps <- snapshot.steps;
+  Memory.restore_image mem snapshot.ram;
+  Array.iter (fun thunk -> thunk ()) snapshot.device_state
 
 let register_values snapshot =
   List.map
@@ -55,8 +62,10 @@ let register_values snapshot =
       ("idtr", snapshot.idtr);
       ("nmi_pin", if snapshot.nmi_pin then 1 else 0);
       ("in_nmi", if snapshot.in_nmi then 1 else 0);
+      ("reset_pin", if snapshot.reset_pin then 1 else 0);
       ("halted", if snapshot.halted then 1 else 0);
-      ("intr", match snapshot.intr with None -> -1 | Some v -> v) ]
+      ("intr", (match snapshot.intr with None -> -1 | Some v -> v));
+      ("steps", snapshot.steps) ]
 
 let digest snapshot =
   (* FNV-1a (63-bit offset basis) over the register summary and RAM. *)

@@ -1,17 +1,32 @@
 (** Machine-state snapshots.
 
     A snapshot captures the complete soft state of a machine — the
-    register file, control state and a copy of RAM — so tests and
-    experiments can assert determinism, diff states around a fault, or
-    roll a machine back (the host-level analogue of the checkpoint
-    baseline, useful for debugging, not part of any recovery design). *)
+    register file, control state, the machine tick count, a copy of RAM
+    and the state of every resettable device (heartbeat buffers,
+    watchdog countdown, console output; see
+    {!Machine.add_resettable}) — so tests and experiments can assert
+    determinism, diff states around a fault, or roll a machine back.
+
+    Restore is the fast path of the experiments' snapshot-reset trial
+    engine: a campaign warms a system up once, captures, and then
+    restores before each trial instead of rebuilding the system, with
+    bit-identical observable behaviour (the host-level analogue of the
+    checkpoint baseline — a measurement harness, not part of any
+    recovery design). *)
 
 type t
 
 val capture : Machine.t -> t
 val restore : t -> Machine.t -> unit
-(** Restore registers, control state and RAM (ROM regions are skipped:
-    they cannot have changed). *)
+(** Restore registers, control state, the tick count, RAM (ROM regions
+    are skipped: they cannot have changed) and resettable-device state.
+    RAM is rewritten with {!Memory.restore_image}, which drops the
+    decode cache wholesale instead of invalidating a byte at a time.
+    Device state restores into the devices of the machine the snapshot
+    was captured from (for the machine given here, only the CPU, RAM
+    and tick count are written), so restoring into a {e different}
+    machine is meaningful only for machines without resettable
+    devices. *)
 
 val digest : t -> string
 (** A short hexadecimal fingerprint of the whole state — equal digests

@@ -1,0 +1,169 @@
+(* Differential tests for the parallel snapshot-reset campaign engine:
+   the same campaign must produce bit-identical summaries whatever the
+   worker count and whether trials rebuild or snapshot-reset.  This is
+   the license for [Runner]'s defaults (parallel, snapshot-reset). *)
+
+let case = Helpers.case
+let check_int = Helpers.check_int
+let check_bool = Helpers.check_bool
+
+(* ------------------------------------------------------------- pool *)
+
+(* [~oversubscribe:true] below forces the requested number of domains
+   even when the host has fewer cores, so the genuinely concurrent
+   code path is exercised on any machine. *)
+
+let test_pool_run_in_order () =
+  let expected = Array.init 23 (fun i -> i * i) in
+  check_bool "jobs:1" true
+    (Ssos_experiments.Pool.run ~jobs:1 23 (fun i -> i * i) = expected);
+  check_bool "jobs:4" true
+    (Ssos_experiments.Pool.run ~oversubscribe:true ~jobs:4 23 (fun i -> i * i)
+    = expected);
+  check_bool "more jobs than tasks" true
+    (Ssos_experiments.Pool.run ~oversubscribe:true ~jobs:64 23 (fun i -> i * i)
+    = expected);
+  check_int "zero tasks" 0
+    (Array.length (Ssos_experiments.Pool.run ~jobs:4 0 (fun i -> i)))
+
+let test_pool_run_with_shares_state () =
+  let inits = Atomic.make 0 in
+  let results =
+    Ssos_experiments.Pool.run_with ~oversubscribe:true ~jobs:3
+      ~init:(fun () ->
+        ignore (Atomic.fetch_and_add inits 1);
+        Atomic.get inits)
+      12
+      (fun _state i -> 2 * i)
+  in
+  check_bool "results in order" true (results = Array.init 12 (fun i -> 2 * i));
+  (* Lazy per-worker state: at most one init per worker, at least one
+     overall. *)
+  let inits = Atomic.get inits in
+  check_bool "init bounded by jobs" true (inits >= 1 && inits <= 3)
+
+exception Boom of int
+
+let test_pool_propagates_exception () =
+  match
+    Ssos_experiments.Pool.run ~oversubscribe:true ~jobs:4 16 (fun i ->
+        if i = 11 then raise (Boom i) else i)
+  with
+  | _ -> Alcotest.fail "expected the task's exception"
+  | exception Boom 11 -> ()
+  | exception Boom _ ->
+    (* Only index 11 raises, so only [Boom 11] can surface. *)
+    Alcotest.fail "wrong task's exception"
+
+(* --------------------------------------------- campaign differential *)
+
+let check_summary_equal label (a : Ssos_experiments.Runner.summary) b =
+  check_int (label ^ ": trials") a.Ssos_experiments.Runner.trials
+    b.Ssos_experiments.Runner.trials;
+  check_int (label ^ ": recoveries") a.Ssos_experiments.Runner.recoveries
+    b.Ssos_experiments.Runner.recoveries;
+  check_bool (label ^ ": identical summary") true (a = b)
+
+(* Trimmed T1: the section-3 reinstall design under the full default
+   fault space (RAM + registers + control + watchdog). *)
+let heartbeat_summary ~strategy ~jobs =
+  Ssos_experiments.Runner.heartbeat_campaign
+    ~build:(fun () -> Ssos.Reinstall.build ())
+    ~space:Ssos.System.default_fault_space
+    ~spec:(Ssos.Reinstall.weak_spec ())
+    ~burst:10 ~warmup:10_000 ~horizon:120_000 ~strategy ~oversubscribe:true
+    ~jobs ~trials:6 ~seed:42L ()
+
+let test_heartbeat_campaign_differential () =
+  let reference =
+    heartbeat_summary ~strategy:Ssos_experiments.Runner.Rebuild ~jobs:1
+  in
+  check_int "reference ran all trials" 6
+    reference.Ssos_experiments.Runner.trials;
+  check_summary_equal "rebuild jobs:4" reference
+    (heartbeat_summary ~strategy:Ssos_experiments.Runner.Rebuild ~jobs:4);
+  check_summary_equal "snapshot-reset jobs:1" reference
+    (heartbeat_summary ~strategy:Ssos_experiments.Runner.Snapshot_reset ~jobs:1);
+  check_summary_equal "snapshot-reset jobs:4" reference
+    (heartbeat_summary ~strategy:Ssos_experiments.Runner.Snapshot_reset ~jobs:4);
+  (* And the default-strategy entry point reproduces the same numbers. *)
+  check_summary_equal "defaults" reference
+    (Ssos_experiments.Runner.heartbeat_campaign
+       ~build:(fun () -> Ssos.Reinstall.build ())
+       ~space:Ssos.System.default_fault_space
+       ~spec:(Ssos.Reinstall.weak_spec ())
+       ~burst:10 ~warmup:10_000 ~horizon:120_000 ~jobs:2 ~trials:6 ~seed:42L ())
+
+(* Trimmed T6/T7: the section-5.2 scheduler under targeted corruption
+   of the instruction bytes themselves (ROM-adjacent code faults) — the
+   space that exercises [Memory.restore_image]'s ROM-skipping path and
+   the per-process code-refresh machinery. *)
+let sched_summary ~strategy ~jobs =
+  let code_space =
+    { Ssx_faults.Fault.ram_regions =
+        List.init 4 (fun i -> (Ssos.Layout.proc_segment i lsl 4, 48));
+      registers = false;
+      control_state = false;
+      halt_faults = false;
+      idtr_faults = false;
+      watchdog_state = false }
+  in
+  Ssos_experiments.Runner.sched_campaign
+    ~build:(fun () -> Ssos.Sched.build ())
+    ~space:code_space ~burst:8 ~warmup:30_000 ~horizon:200_000
+    ~max_gap:100_000 ~window:120_000 ~strategy ~oversubscribe:true ~jobs
+    ~trials:4 ~seed:9L ()
+
+let test_sched_campaign_differential () =
+  let reference =
+    sched_summary ~strategy:Ssos_experiments.Runner.Rebuild ~jobs:1
+  in
+  check_int "reference ran all trials" 4 reference.Ssos_experiments.Runner.trials;
+  check_summary_equal "rebuild jobs:4" reference
+    (sched_summary ~strategy:Ssos_experiments.Runner.Rebuild ~jobs:4);
+  check_summary_equal "snapshot-reset jobs:1" reference
+    (sched_summary ~strategy:Ssos_experiments.Runner.Snapshot_reset ~jobs:1);
+  check_summary_equal "snapshot-reset jobs:4" reference
+    (sched_summary ~strategy:Ssos_experiments.Runner.Snapshot_reset ~jobs:4)
+
+let test_snapshot_reset_trials_are_independent () =
+  (* Reordering must not matter: a snapshot-reset worker that runs
+     trials back-to-back on one machine reports the same outcome for
+     trial [i] as a fresh machine running only trial [i]. *)
+  let build () = Ssos.Reinstall.build () in
+  let space = Ssos.System.default_fault_space in
+  let spec = Ssos.Reinstall.weak_spec () in
+  let lone =
+    Ssos_experiments.Runner.heartbeat_trial ~build ~space ~spec ~burst:10
+      ~warmup:10_000 ~horizon:120_000
+      ~seed:(Ssos_experiments.Runner.trial_seed 42L 5)
+  in
+  let in_sequence =
+    heartbeat_summary ~strategy:Ssos_experiments.Runner.Snapshot_reset ~jobs:1
+  in
+  let with_only_five =
+    Ssos_experiments.Runner.heartbeat_campaign
+      ~build ~space ~spec ~burst:10 ~warmup:10_000 ~horizon:120_000
+      ~strategy:Ssos_experiments.Runner.Snapshot_reset ~jobs:1 ~trials:5
+      ~seed:42L ()
+  in
+  (* Dropping the last trial from the 6-trial campaign must reproduce
+     the 5-trial campaign plus trial 5's lone outcome. *)
+  check_int "prefix trials" 5 with_only_five.Ssos_experiments.Runner.trials;
+  let expected_recoveries =
+    with_only_five.Ssos_experiments.Runner.recoveries
+    + if lone.Ssos_experiments.Runner.recovered then 1 else 0
+  in
+  check_int "recoveries compose" expected_recoveries
+    in_sequence.Ssos_experiments.Runner.recoveries
+
+let suite =
+  [ case "pool returns results in task order" test_pool_run_in_order;
+    case "pool shares per-worker state" test_pool_run_with_shares_state;
+    case "pool propagates task exceptions" test_pool_propagates_exception;
+    case "heartbeat campaign: jobs/strategy differential"
+      test_heartbeat_campaign_differential;
+    case "sched campaign with code faults: jobs/strategy differential"
+      test_sched_campaign_differential;
+    case "snapshot-reset trials are independent"
+      test_snapshot_reset_trials_are_independent ]

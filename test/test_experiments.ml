@@ -26,6 +26,28 @@ let test_cells () =
   Helpers.check_string "opt none" "-" (Ssos_experiments.Table.cell_opt_float None);
   Helpers.check_string "int" "42" (Ssos_experiments.Table.cell_int 42)
 
+let test_to_json () =
+  let table =
+    { Ssos_experiments.Table.id = "TX";
+      title = "quote \" and backslash \\";
+      note = "line\nbreak";
+      header = [ "a"; "b" ];
+      rows = [ [ "1"; "2" ]; [ "3" ] ] }
+  in
+  let json = Ssos_experiments.Table.to_json table in
+  check_bool "escapes quotes" true
+    (Astring_contains.contains json "quote \\\" and backslash \\\\");
+  check_bool "escapes newlines" true
+    (Astring_contains.contains json "line\\nbreak");
+  check_bool "has id field" true
+    (Astring_contains.contains json "\"id\": \"TX\"");
+  check_bool "has rows" true
+    (Astring_contains.contains json "[\"1\",\"2\"]");
+  (* Same table, same JSON: rendering is deterministic, so tables can
+     be diffed mechanically as strings. *)
+  Helpers.check_string "deterministic" json
+    (Ssos_experiments.Table.to_json table)
+
 let test_registry () =
   check_int "thirteen tables" 13 (List.length Ssos_experiments.Experiments.all);
   check_bool "find t1" true (Ssos_experiments.Experiments.find "t1" <> None);
@@ -47,8 +69,16 @@ let test_summarize () =
   check_bool "max is 300" true (s.Ssos_experiments.Runner.max_recovery = Some 300)
 
 let test_trial_seeds_distinct () =
-  let seeds = List.init 50 (Ssos_experiments.Runner.trial_seed 7L) in
-  check_int "distinct" 50 (List.length (List.sort_uniq compare seeds))
+  (* Pairwise distinct over a campaign-sized index range, and not
+     merely distinct but unrelated across nearby masters (the old
+     additive derivation collided across masters differing by the
+     stride). *)
+  let n = 10_000 in
+  let seeds = List.init n (Ssos_experiments.Runner.trial_seed 7L) in
+  check_int "distinct" n (List.length (List.sort_uniq compare seeds));
+  let nearby = List.init n (Ssos_experiments.Runner.trial_seed 8L) in
+  check_int "distinct across masters" (2 * n)
+    (List.length (List.sort_uniq compare (seeds @ nearby)))
 
 let test_small_t9_runs () =
   (* The cheapest full experiment must execute end-to-end. *)
@@ -75,6 +105,7 @@ let test_heartbeat_campaign_runs () =
 let suite =
   [ case "table pretty-printing" test_table_pp_alignment;
     case "cell formatting" test_cells;
+    case "table to_json" test_to_json;
     case "experiment registry" test_registry;
     case "summarize outcomes" test_summarize;
     case "trial seeds are distinct" test_trial_seeds_distinct;
