@@ -5,12 +5,13 @@
    against the sequential rebuild path.
 
    Usage:
-     main.exe            full run; writes BENCH_machine.json and
-                         BENCH_experiments.json to the current directory
-     main.exe --smoke    quick harness exercise: tables + a short
-                         campaign pair + one short quota-limited
-                         Bechamel pass, no JSON written (wired to the
-                         [@bench-smoke] dune alias) *)
+     main.exe            full run; writes BENCH_machine.json,
+                         BENCH_experiments.json and BENCH_net.json to
+                         the current directory
+     main.exe --smoke    quick harness exercise: tables + short machine
+                         and cluster campaign pairs + one short
+                         quota-limited Bechamel pass, no JSON written
+                         (wired to the [@bench-smoke] dune alias) *)
 
 let smoke = Array.exists (( = ) "--smoke") Sys.argv
 
@@ -94,6 +95,67 @@ let campaign_pair () =
        trial. *)
     ("trial-reset-vs-rebuild-ns", rebuild_ns -. reset_ns);
     ("trial-reset-speedup", rebuild_ns /. reset_ns) ]
+
+(* --------------------------------------------------- network cluster *)
+
+(* Cluster throughput and the distributed campaign engine.  Same shape
+   as the machine benchmarks: raw steps/sec for a benign and a lossy
+   ring, plus a short jobs:1-rebuild vs jobs:4-snapshot-reset campaign
+   pair whose summaries must be bit-identical. *)
+let net_bench () =
+  let steps = if smoke then 600 else 6_000 in
+  let throughput ~faults label =
+    let ring = Ssos_net.Net_ring.build ~n:4 ?faults ~seed:7L () in
+    Ssos_net.Cluster.run ring.Ssos_net.Net_ring.cluster ~steps:200;
+    let _, ns =
+      wall_ns (fun () ->
+          Ssos_net.Cluster.run ring.Ssos_net.Net_ring.cluster ~steps)
+    in
+    let per_sec = float_of_int steps /. (ns /. 1e9) in
+    Format.printf "  %-30s %12.0f cluster-steps/sec@." label per_sec;
+    per_sec
+  in
+  Format.printf "== Network cluster (4-node token ring, %d steps) ==@." steps;
+  let benign = throughput ~faults:None "benign links" in
+  let lossy =
+    throughput
+      ~faults:
+        (Some
+           (fun ~src:_ ~dst:_ ->
+             Ssos_net.Link.lossy ~drop:0.2 ~max_delay:2 ()))
+      "lossy links (drop 0.2)"
+  in
+  let trials = if smoke then 4 else 12 in
+  let corrupt_all rng ring =
+    for i = 0 to ring.Ssos_net.Net_ring.n - 1 do
+      Ssos_net.Net_ring.corrupt_state ring i (Ssx_faults.Rng.int rng 0x10000);
+      Ssos_net.Net_ring.corrupt_view ring i (Ssx_faults.Rng.int rng 0x10000)
+    done
+  in
+  let run_campaign ~strategy ~jobs () =
+    Ssos_experiments.Runner.ring_campaign
+      ~build:(fun () -> Ssos_net.Net_ring.build ~n:4 ~seed:7L ())
+      ~perturb:corrupt_all ~horizon:1_500 ~strategy ~jobs ~trials ~seed:2L ()
+  in
+  let seq_summary, seq_ns =
+    wall_ns (run_campaign ~strategy:Ssos_experiments.Runner.Rebuild ~jobs:1)
+  in
+  let par_summary, par_ns =
+    wall_ns
+      (run_campaign ~strategy:Ssos_experiments.Runner.Snapshot_reset ~jobs:4)
+  in
+  Format.printf "  ring campaign rebuild (jobs:1) %12.0f ns@." seq_ns;
+  Format.printf "  ring campaign reset (jobs:4)   %12.0f ns@." par_ns;
+  Format.printf "  summaries bit-identical:       %11s@.@."
+    (if seq_summary = par_summary then "yes" else "NO (BUG)");
+  [ ("cluster-steps-per-sec", benign);
+    ("cluster-steps-per-sec-lossy", lossy);
+    ("ring-campaign-seq-ns", seq_ns);
+    ("ring-campaign-par-ns", par_ns);
+    ("ring-campaign-speedup", seq_ns /. par_ns);
+    ("ring-campaign-trials", float_of_int trials);
+    ("ring-campaign-summaries-identical",
+     if seq_summary = par_summary then 1.0 else 0.0) ]
 
 (* Guest-cycle costs are deterministic properties of the designs, not
    host-time measurements: report them by direct simulation. *)
@@ -274,10 +336,12 @@ let () =
      Operating Systems' (Dolev & Yagel)@.@.";
   run_tables ();
   let campaign_rows = campaign_pair () in
+  let net_rows = net_bench () in
   let costs = guest_cycle_costs () in
   print_guest_cycle_costs costs;
   let micro = run_micro () in
   if not smoke then begin
     write_json ~path:"BENCH_machine.json" micro costs;
-    write_flat_json ~path:"BENCH_experiments.json" campaign_rows
+    write_flat_json ~path:"BENCH_experiments.json" campaign_rows;
+    write_flat_json ~path:"BENCH_net.json" net_rows
   end

@@ -2,10 +2,12 @@
 
    Subcommands:
      demo <design>      run one of the paper's designs and narrate
-     experiment <id>    regenerate an evaluation table (T1..T10, or all)
+     experiment <id>    regenerate an evaluation table (T1..T15, or all)
      figures            print the paper's figures as assembling source
      listing <figure>   disassemble an assembled figure
-     campaign           custom fault-injection campaign *)
+     trace <design>     run a design and dump its last events
+     campaign           custom fault-injection campaign
+     cluster            multi-machine token ring over lossy links *)
 
 let ok = Cmdliner.Cmd.Exit.ok
 
@@ -133,7 +135,7 @@ let experiment id format jobs =
       print_table format (run ?jobs ());
       ok
     | None ->
-      Format.printf "unknown experiment %s (expected T1..T10 or all)@." id;
+      Format.printf "unknown experiment %s (expected T1..T15 or all)@." id;
       Cmdliner.Cmd.Exit.cli_error
 
 (* ------------------------------------------------------------- figures *)
@@ -173,7 +175,7 @@ let listing which =
 
 (* --------------------------------------------------------------- trace *)
 
-let trace design ticks entries =
+let trace design ticks entries format =
   let machine =
     match design with
     | "monitor" -> (Ssos.Monitor.build ()).Ssos.Monitor.system.Ssos.System.machine
@@ -184,8 +186,11 @@ let trace design ticks entries =
   in
   let trace = Ssx.Trace.attach ~capacity:entries machine in
   Ssx.Machine.run machine ~ticks;
-  Format.printf "last %d events of %s after %d ticks:@.%a@." entries design
-    ticks Ssx.Trace.dump trace;
+  (match format with
+  | "json" -> print_endline (Ssx.Trace.to_json trace)
+  | _ ->
+    Format.printf "last %d events of %s after %d ticks:@.%a@." entries design
+      ticks Ssx.Trace.dump trace);
   ok
 
 (* ------------------------------------------------------------ campaign *)
@@ -218,6 +223,52 @@ let campaign design burst trials seed jobs =
   | None -> ());
   ok
 
+(* ------------------------------------------------------------- cluster *)
+
+let pp_states ring =
+  String.concat " "
+    (Array.to_list
+       (Array.map string_of_int (Ssos_net.Net_ring.states ring)))
+
+let cluster nodes drop corrupt delay limit seed =
+  let benign = drop = 0. && corrupt = 0. && delay = 0 in
+  let faults ~src:_ ~dst:_ =
+    if benign then Ssos_net.Link.benign ()
+    else Ssos_net.Link.lossy ~drop ~corrupt ~max_delay:delay ()
+  in
+  let seed64 = Int64.of_int seed in
+  let ring = Ssos_net.Net_ring.build ~n:nodes ~faults ~seed:seed64 () in
+  Format.printf "== %d-machine token ring (K=%d) ==@." nodes
+    Ssos_net.Net_ring.k;
+  if not benign then
+    Format.printf "links: drop=%.2f corrupt=%.2f max_delay=%d@." drop corrupt
+      delay;
+  Ssos_net.Cluster.run ring.Ssos_net.Net_ring.cluster ~steps:400;
+  Format.printf "after 400 warmup steps: states [%s], %d privilege(s)@."
+    (pp_states ring)
+    (Ssos_net.Net_ring.token_count ring);
+  Format.printf "corrupting every counter and every view with random words...@.";
+  let rng = Ssx_faults.Rng.create (Ssx_faults.Rng.derive seed64 1) in
+  for i = 0 to nodes - 1 do
+    Ssos_net.Net_ring.corrupt_state ring i (Ssx_faults.Rng.int rng 0x10000);
+    Ssos_net.Net_ring.corrupt_view ring i (Ssx_faults.Rng.int rng 0x10000)
+  done;
+  Format.printf "corrupted: states [%s], %d privilege(s)@." (pp_states ring)
+    (Ssos_net.Net_ring.token_count ring);
+  (match Ssos_net.Net_ring.run_until_legitimate ring ~limit with
+  | Some steps ->
+    Format.printf "single privilege restored after %d cluster steps@." steps;
+    Ssos_net.Cluster.run ring.Ssos_net.Net_ring.cluster ~steps:200;
+    Format.printf "200 steps later: states [%s], %d privilege(s), %s@."
+      (pp_states ring)
+      (Ssos_net.Net_ring.token_count ring)
+      (if Ssos_net.Net_ring.legitimate ring then "still legitimate"
+       else "ILLEGITIMATE");
+    ok
+  | None ->
+    Format.printf "no convergence within %d cluster steps@." limit;
+    Cmdliner.Cmd.Exit.cli_error)
+
 (* ----------------------------------------------------------------- cli *)
 
 let () =
@@ -247,7 +298,7 @@ let () =
           ~doc:"Output format: $(b,text) (aligned columns) or $(b,json).")
   in
   let experiment_cmd =
-    Cmd.v (Cmd.info "experiment" ~doc:"Regenerate an evaluation table (T1..T10)")
+    Cmd.v (Cmd.info "experiment" ~doc:"Regenerate an evaluation table (T1..T15)")
       Term.(const experiment $ id_arg $ format_arg $ jobs_arg)
   in
   let figures_cmd =
@@ -263,7 +314,7 @@ let () =
   let entries_arg = Arg.(value & opt int 40 & info [ "entries" ] ~docv:"N") in
   let trace_cmd =
     Cmd.v (Cmd.info "trace" ~doc:"Run a design and dump its last events")
-      Term.(const trace $ design_arg $ ticks_arg $ entries_arg)
+      Term.(const trace $ design_arg $ ticks_arg $ entries_arg $ format_arg)
   in
   let burst_arg = Arg.(value & opt int 40 & info [ "burst" ] ~docv:"N") in
   let trials_arg = Arg.(value & opt int 20 & info [ "trials" ] ~docv:"N") in
@@ -273,6 +324,44 @@ let () =
       Term.(
         const campaign $ design_arg $ burst_arg $ trials_arg $ seed_arg
         $ jobs_arg)
+  in
+  let nodes_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "nodes" ] ~docv:"N" ~doc:"Ring size (at least 2).")
+  in
+  let drop_arg =
+    Arg.(
+      value & opt float 0.0
+      & info [ "drop" ] ~docv:"P" ~doc:"Per-message link drop probability.")
+  in
+  let corrupt_arg =
+    Arg.(
+      value & opt float 0.0
+      & info [ "corrupt" ] ~docv:"P"
+          ~doc:"Per-message link byte-corruption probability.")
+  in
+  let delay_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "delay" ] ~docv:"N"
+          ~doc:"Maximum extra delivery delay in cluster steps.")
+  in
+  let limit_arg =
+    Arg.(
+      value & opt int 5_000
+      & info [ "limit" ] ~docv:"N"
+          ~doc:"Give up after this many cluster steps.")
+  in
+  let cluster_cmd =
+    Cmd.v
+      (Cmd.info "cluster"
+         ~doc:
+           "Run Dijkstra's token ring across NIC-connected machines, corrupt \
+            every node, and watch the ring reconverge")
+      Term.(
+        const cluster $ nodes_arg $ drop_arg $ corrupt_arg $ delay_arg
+        $ limit_arg $ seed_arg)
   in
   let default = Term.(ret (const (`Help (`Pager, None)))) in
   let info =
@@ -285,4 +374,4 @@ let () =
     (Cmd.eval'
        (Cmd.group ~default info
           [ demo_cmd; experiment_cmd; figures_cmd; listing_cmd; trace_cmd;
-            campaign_cmd ]))
+            campaign_cmd; cluster_cmd ]))

@@ -172,11 +172,15 @@ let lower ~line ~resolve ~mnemonic ~operands ~rep =
     match operands with
     | [ Ast.O_reg8 R.AL; Ast.O_imm e ] -> I.In_ (I.Byte, imm8 e)
     | [ Ast.O_reg16 R.AX; Ast.O_imm e ] -> I.In_ (I.Word_, imm8 e)
+    | [ Ast.O_reg8 R.AL; Ast.O_reg16 R.DX ] -> I.In_dx I.Byte
+    | [ Ast.O_reg16 R.AX; Ast.O_reg16 R.DX ] -> I.In_dx I.Word_
     | _ -> bad ())
   | "out" -> (
     match operands with
     | [ Ast.O_imm e; Ast.O_reg8 R.AL ] -> I.Out (imm8 e, I.Byte)
     | [ Ast.O_imm e; Ast.O_reg16 R.AX ] -> I.Out (imm8 e, I.Word_)
+    | [ Ast.O_reg16 R.DX; Ast.O_reg8 R.AL ] -> I.Out_dx I.Byte
+    | [ Ast.O_reg16 R.DX; Ast.O_reg16 R.AX ] -> I.Out_dx I.Word_
     | _ -> bad ())
   | "hlt" -> plain I.Hlt
   | "nop" -> plain I.Nop

@@ -914,6 +914,123 @@ let t13_exhaustive_sweeps ?(seed = 13L) () =
           Table.cell_int !reinstall_runs;
           Table.cell_int !reinstall_failures ] ] }
 
+(* ---------------------------------------------------------------- T14 *)
+
+(* Arbitrary joint corruption of a distributed ring: every node's
+   counter and every node's view of its predecessor. *)
+let corrupt_ring rng ring =
+  for i = 0 to ring.Ssos_net.Net_ring.n - 1 do
+    Ssos_net.Net_ring.corrupt_state ring i (Ssx_faults.Rng.int rng 0x10000);
+    Ssos_net.Net_ring.corrupt_view ring i (Ssx_faults.Rng.int rng 0x10000)
+  done
+
+let t14_ring_link_faults ?(seed = 14L) ?(trials = 12) ?jobs () =
+  let n = 4 in
+  let rates = [ 0.0; 0.05; 0.1; 0.2; 0.4 ] in
+  let rows =
+    List.map
+      (fun drop ->
+        let build () =
+          Ssos_net.Net_ring.build ~n
+            ~faults:(fun ~src:_ ~dst:_ ->
+              Ssos_net.Link.lossy ~drop ~max_delay:2 ())
+            ~seed:(Ssx_faults.Rng.derive seed 100) ()
+        in
+        (* The same master seed across rates pairs the trials: row r and
+           row r' corrupt trial i identically, so differences are the
+           link fault rate's alone. *)
+        let summary =
+          Runner.ring_campaign ~build ~perturb:corrupt_ring ~horizon:4_000
+            ~window:600 ?jobs ~trials ~seed ()
+        in
+        [ Printf.sprintf "%.0f%%" (100. *. drop);
+          Table.cell_rate summary.Runner.recoveries summary.Runner.trials;
+          Table.cell_opt_float ~decimals:0 summary.Runner.mean_recovery;
+          (match summary.Runner.max_recovery with
+          | None -> "-"
+          | Some m -> Table.cell_int m) ])
+      rates
+  in
+  { Table.id = "T14";
+    title = "Distributed token ring: convergence vs link-fault rate";
+    note =
+      "Dijkstra's K-state ring run across 4 machines (one guest per 5.2 \
+       scheduler, counters exchanged over NICs). Each trial corrupts every \
+       counter and every predecessor view with arbitrary words, then the \
+       ring must reconverge to a single privilege over links that drop \
+       each message with the given probability (plus 0-2 steps of delay \
+       jitter). Recovery in cluster steps.";
+    header = [ "drop rate"; "recovered"; "mean steps"; "max steps" ];
+    rows }
+
+(* ---------------------------------------------------------------- T15 *)
+
+let t15_ring_combined_faults ?(seed = 15L) ?(trials = 10) ?jobs () =
+  let n = 4 in
+  let build () =
+    Ssos_net.Net_ring.build ~n ~seed:(Ssx_faults.Rng.derive seed 200) ()
+  in
+  let set_links ring ~drop ~corrupt =
+    Array.iter
+      (fun link ->
+        let f = Ssos_net.Link.faults link in
+        f.Ssos_net.Link.drop <- drop;
+        f.Ssos_net.Link.corrupt <- corrupt)
+      (Ssos_net.Cluster.links ring.Ssos_net.Net_ring.cluster)
+  in
+  let perturb ~burst rng ring =
+    (* Machine faults: [burst] random corruptions from each node's full
+       5.2 fault space (RAM, registers, control state, watchdog),
+       spread over random nodes — a node may lose its scheduler state
+       entirely and must recover through its own watchdog NMI, during
+       which it neither clamps nor forwards counters. *)
+    for _ = 1 to burst do
+      let i = Ssx_faults.Rng.int rng n in
+      let sched = ring.Ssos_net.Net_ring.systems.(i) in
+      ignore
+        (Ssx_faults.Fault.apply
+           (Ssos.Sched.fault_system sched)
+           (Ssx_faults.Fault.random rng (Ssos.Sched.fault_space sched)))
+    done;
+    (* Joint state corruption: arbitrary words in every counter and
+       every view, so the configuration is arbitrary in the paper's
+       sense when the message phase starts. *)
+    corrupt_ring rng ring;
+    (* Message faults: a 150-step phase in which every link drops 30%
+       of messages and corrupts a byte of half the rest.  Healthy nodes
+       partially reconverge during the phase; crashed nodes hold their
+       corrupt counters until their watchdog fires. *)
+    set_links ring ~drop:0.3 ~corrupt:0.5;
+    Ssos_net.Cluster.run ring.Ssos_net.Net_ring.cluster ~steps:150;
+    set_links ring ~drop:0.0 ~corrupt:0.0
+  in
+  let rows =
+    List.map
+      (fun burst ->
+        let summary =
+          Runner.ring_campaign ~build ~perturb:(perturb ~burst) ~horizon:6_000
+            ~window:800 ?jobs ~trials ~seed ()
+        in
+        [ Table.cell_int burst;
+          Table.cell_rate summary.Runner.recoveries summary.Runner.trials;
+          Table.cell_opt_float ~decimals:0 summary.Runner.mean_recovery;
+          (match summary.Runner.max_recovery with
+          | None -> "-"
+          | Some m -> Table.cell_int m) ])
+      [ 2; 4; 8; 16 ]
+  in
+  { Table.id = "T15";
+    title = "Distributed ring under combined memory and message faults";
+    note =
+      "Per-node machine faults (the full 5.2 soft-state fault space), \
+       arbitrary words in every counter and view, and a 150-step \
+       lossy/corrupting phase on every link. Stabilization must compose: \
+       each node's OS recovers via its watchdog NMI, then the ring \
+       reconverges to a single privilege. Recovery in cluster steps from \
+       the end of the message-fault phase.";
+    header = [ "machine faults"; "recovered"; "mean steps"; "max steps" ];
+    rows }
+
 let all =
   [ ("T1", fun ?jobs () -> t1_reinstall_recovery ?jobs ());
     ("T2", fun ?jobs () -> t2_lemma_bounds ?jobs ());
@@ -927,7 +1044,9 @@ let all =
     ("T10", fun ?jobs () -> ignore jobs; t10_composition ());
     ("T11", fun ?jobs () -> t11_token_ring_os ?jobs ());
     ("T12", fun ?jobs () -> t12_soft_error_rates ?jobs ());
-    ("T13", fun ?jobs () -> ignore jobs; t13_exhaustive_sweeps ()) ]
+    ("T13", fun ?jobs () -> ignore jobs; t13_exhaustive_sweeps ());
+    ("T14", fun ?jobs () -> t14_ring_link_faults ?jobs ());
+    ("T15", fun ?jobs () -> t15_ring_combined_faults ?jobs ()) ]
 
 let find id =
   let id = String.uppercase_ascii id in

@@ -61,10 +61,22 @@ val t13_exhaustive_sweeps : ?seed:int64 -> unit -> Table.t
     scheduler against adversarial values, and a dense byte-corruption
     sweep of the running image under Figure 1. *)
 
+val t14_ring_link_faults : ?seed:int64 -> ?trials:int -> ?jobs:int -> unit -> Table.t
+(** E14 — multi-machine clusters (lib/net): Dijkstra's K-state token
+    ring across 4 SSX16 machines exchanging counters over NICs,
+    reconverging from joint state corruption while the links drop each
+    message with increasing probability. *)
+
+val t15_ring_combined_faults : ?seed:int64 -> ?trials:int -> ?jobs:int -> unit -> Table.t
+(** E15 — composed stabilization across the network: per-node machine
+    faults from the full §5.2 fault space plus a lossy/corrupting
+    message phase on every link; each node's OS must self-recover and
+    the distributed layer must then reconverge. *)
+
 val all : (string * (?jobs:int -> unit -> Table.t)) list
 (** [(id, runner)] for every table, in order.  [jobs] caps the campaign
     worker-domain count ({!Pool.default_jobs} when omitted); tables
     whose work is a single run (T9, T10, T13) ignore it. *)
 
 val find : string -> (?jobs:int -> unit -> Table.t) option
-(** Case-insensitive lookup by id ("t1" … "t13"). *)
+(** Case-insensitive lookup by id ("t1" … "t15"). *)

@@ -164,6 +164,55 @@ let sched_campaign ~build ?space ~burst ?(warmup = 100_000)
   in
   summarize (Array.to_list outcomes)
 
+let ring_outcome ~window ~horizon ring =
+  (* The perturbation may itself have stepped the cluster (e.g. a
+     message-fault phase); recovery counts from wherever it ended. *)
+  let faults_end = Ssos_net.Cluster.steps ring.Ssos_net.Net_ring.cluster in
+  let samples = Ssos_net.Net_ring.observe ring ~steps:horizon in
+  let verdict =
+    Ssx_stab.Distributed.judge ~window ~samples
+      ~end_step:(Ssos_net.Cluster.steps ring.Ssos_net.Net_ring.cluster)
+  in
+  { recovered = Ssx_stab.Convergence.converged verdict;
+    recovery_ticks = Ssx_stab.Convergence.recovery_time ~faults_end verdict }
+
+let ring_trial ~build ~perturb ~warmup ~horizon ~window ~seed =
+  let ring = build () in
+  let rng = Ssx_faults.Rng.create seed in
+  Ssos_net.Cluster.run ring.Ssos_net.Net_ring.cluster ~steps:warmup;
+  perturb rng ring;
+  ring_outcome ~window ~horizon ring
+
+let ring_campaign ~build ~perturb ?(warmup = 200) ?(horizon = 2_500)
+    ?(window = 600) ?(strategy = Snapshot_reset) ?oversubscribe ?jobs ~trials
+    ~seed () =
+  let outcomes =
+    match strategy with
+    | Rebuild ->
+      Pool.run ?oversubscribe ?jobs trials (fun i ->
+          ring_trial ~build ~perturb ~warmup ~horizon ~window
+            ~seed:(trial_seed seed i))
+    | Snapshot_reset ->
+      (* One cluster and one post-warmup snapshot per worker domain.
+         Cluster snapshots cover every node (NIC queues ride along as
+         machine resettables), every link — including the mutable
+         fault-model phase — the interleaving RNG and the step
+         counter, so restoring is observationally identical to
+         rebuilding and re-warming. *)
+      Pool.run_with ?oversubscribe ?jobs
+        ~init:(fun () ->
+          let ring = build () in
+          Ssos_net.Cluster.run ring.Ssos_net.Net_ring.cluster ~steps:warmup;
+          (ring, Ssos_net.Cluster.capture ring.Ssos_net.Net_ring.cluster))
+        trials
+        (fun (ring, snapshot) i ->
+          Ssos_net.Cluster.restore ring.Ssos_net.Net_ring.cluster snapshot;
+          let rng = Ssx_faults.Rng.create (trial_seed seed i) in
+          perturb rng ring;
+          ring_outcome ~window ~horizon ring)
+  in
+  summarize (Array.to_list outcomes)
+
 let scramble_processor rng system =
   let machine = system.Ssos.System.machine in
   let cpu = Ssx.Machine.cpu machine in

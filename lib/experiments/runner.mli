@@ -102,6 +102,41 @@ val sched_campaign :
   unit ->
   summary
 
+(** One trial over a distributed token ring ({!Ssos_net.Net_ring}):
+    legality is judged on the joint counter states sampled each cluster
+    step, with {!Ssx_stab.Distributed.judge}.  [perturb] is the trial's
+    fault injection — it may corrupt states and views, apply machine
+    faults to individual nodes, or drive a whole message-fault phase
+    (stepping the cluster itself); recovery is measured in {e cluster
+    steps} from wherever the perturbation left the cluster. *)
+val ring_trial :
+  build:(unit -> Ssos_net.Net_ring.t) ->
+  perturb:(Ssx_faults.Rng.t -> Ssos_net.Net_ring.t -> unit) ->
+  warmup:int ->
+  horizon:int ->
+  window:int ->
+  seed:int64 ->
+  outcome
+
+val ring_campaign :
+  build:(unit -> Ssos_net.Net_ring.t) ->
+  perturb:(Ssx_faults.Rng.t -> Ssos_net.Net_ring.t -> unit) ->
+  ?warmup:int ->
+  ?horizon:int ->
+  ?window:int ->
+  ?strategy:strategy ->
+  ?oversubscribe:bool ->
+  ?jobs:int ->
+  trials:int ->
+  seed:int64 ->
+  unit ->
+  summary
+(** Snapshot-reset uses {!Ssos_net.Cluster.capture}/[restore], which
+    covers node machines (with their NIC queues), link state including
+    the mutable fault-model phase, the interleaving RNG and the step
+    counter — so both strategies and any [jobs] count produce
+    bit-identical summaries, like the machine campaigns above. *)
+
 val trial_seed : int64 -> int -> int64
 (** Derive the seed of trial [i] from the master seed — a splitmix64
     finalizer over the pair ({!Ssx_faults.Rng.derive}), so seeds are

@@ -5,7 +5,7 @@
      0x30-0x36  push/pop family, pushf, popf
      0x40-0x47  jmp, jmp far, call, ret, iret, int, loop
      0x48-0x55  conditional jumps (cond index 0..13)
-     0x60-0x6A  string ops, rep prefix, in/out
+     0x60-0x6E  string ops, rep prefix, in/out (imm and dx port forms)
      0x70-0x77  nop hlt cli sti cld std clc stc;  0x90 nop
    Memory-operand "mode" byte: bits 0-2 base register combination,
    bits 3-5 segment override (0 = none, 1+sreg_index otherwise). *)
@@ -153,6 +153,10 @@ let rec encode instr =
   | Instruction.In_ (Instruction.Word_, port) -> [ 0x68; port land 0xff ]
   | Instruction.Out (port, Instruction.Byte) -> [ 0x69; port land 0xff ]
   | Instruction.Out (port, Instruction.Word_) -> [ 0x6A; port land 0xff ]
+  | Instruction.In_dx Instruction.Byte -> [ 0x6B ]
+  | Instruction.In_dx Instruction.Word_ -> [ 0x6C ]
+  | Instruction.Out_dx Instruction.Byte -> [ 0x6D ]
+  | Instruction.Out_dx Instruction.Word_ -> [ 0x6E ]
   | Instruction.Nop -> [ 0x70 ]
   | Instruction.Hlt -> [ 0x71 ]
   | Instruction.Cli -> [ 0x72 ]
@@ -334,6 +338,10 @@ let rec decode ~fetch ~pos =
   | 0x68 -> (Instruction.In_ (Instruction.Word_, byte 1), 2)
   | 0x69 -> (Instruction.Out (byte 1, Instruction.Byte), 2)
   | 0x6A -> (Instruction.Out (byte 1, Instruction.Word_), 2)
+  | 0x6B -> (Instruction.In_dx Instruction.Byte, 1)
+  | 0x6C -> (Instruction.In_dx Instruction.Word_, 1)
+  | 0x6D -> (Instruction.Out_dx Instruction.Byte, 1)
+  | 0x6E -> (Instruction.Out_dx Instruction.Word_, 1)
   | 0x70 | 0x90 -> (Instruction.Nop, 1)
   | 0x71 -> (Instruction.Hlt, 1)
   | 0x72 -> (Instruction.Cli, 1)

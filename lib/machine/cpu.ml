@@ -523,6 +523,18 @@ let execute cpu instr ~ip0 ~len =
       | Instruction.Word_ -> r.ax
     in
     cpu.io.io_out port width v
+  | Instruction.In_dx width -> (
+    let v = cpu.io.io_in r.dx width in
+    match width with
+    | Instruction.Byte -> Registers.set8 r Registers.AL v
+    | Instruction.Word_ -> r.ax <- Word.mask v)
+  | Instruction.Out_dx width ->
+    let v =
+      match width with
+      | Instruction.Byte -> Registers.get8 r Registers.AL
+      | Instruction.Word_ -> r.ax
+    in
+    cpu.io.io_out r.dx width v
   | Instruction.Hlt -> cpu.halted <- true
   | Instruction.Nop -> ()
   | Instruction.Cli -> r.psw <- Flags.set r.psw Flags.Interrupt false

@@ -71,6 +71,8 @@ type t =
   | Rep of t
   | In_ of width * int
   | Out of int * width
+  | In_dx of width
+  | Out_dx of width
   | Hlt
   | Nop
   | Cli
@@ -184,6 +186,10 @@ let rec pp ppf instr =
   | In_ (Word_, port) -> f "in ax, 0x%02X" port
   | Out (port, Byte) -> f "out 0x%02X, al" port
   | Out (port, Word_) -> f "out 0x%02X, ax" port
+  | In_dx Byte -> f "in al, dx"
+  | In_dx Word_ -> f "in ax, dx"
+  | Out_dx Byte -> f "out dx, al"
+  | Out_dx Word_ -> f "out dx, ax"
   | Hlt -> f "hlt"
   | Nop -> f "nop"
   | Cli -> f "cli"

@@ -102,6 +102,8 @@ type t =
   | Rep of t                    (** rep-prefixed string instruction *)
   | In_ of width * int          (** al/ax := port *)
   | Out of int * width          (** port := al/ax *)
+  | In_dx of width              (** al/ax := port named by dx *)
+  | Out_dx of width             (** port named by dx := al/ax *)
   | Hlt
   | Nop
   | Cli

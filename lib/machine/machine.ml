@@ -67,6 +67,7 @@ let on_event m hook = m.hooks <- Array.append m.hooks [| hook |]
 let add_resettable m capture =
   m.resettables <- Array.append m.resettables [| capture |]
 
+let resettable_count m = Array.length m.resettables
 let capture_device_state m = Array.map (fun capture -> capture ()) m.resettables
 
 let tick m =

@@ -51,6 +51,12 @@ val add_resettable : t -> (unit -> unit -> unit) -> unit
     device state always restores into the machine it was captured
     from.) *)
 
+val resettable_count : t -> int
+(** How many resettable capture hooks are registered — {!Snapshot}
+    records it at capture time and refuses to restore a machine that
+    has since gained devices (their state would silently escape the
+    reset). *)
+
 val capture_device_state : t -> (unit -> unit) array
 (** Run every registered capture hook now; the returned thunks restore
     each device to its state at this instant (used by {!Snapshot}). *)

@@ -27,6 +27,17 @@ let capture machine =
     device_state = Machine.capture_device_state machine }
 
 let restore snapshot machine =
+  (* A device attached after capture has no restore thunk here; silently
+     skipping it would leak trial state across snapshot-reset campaigns
+     (a late-attached NIC kept its queues once).  Refuse instead. *)
+  let now = Machine.resettable_count machine in
+  let captured = Array.length snapshot.device_state in
+  if now > captured then
+    invalid_arg
+      (Printf.sprintf
+         "Snapshot.restore: machine has %d resettable devices but the \
+          snapshot captured %d; attach devices before capturing"
+         now captured);
   let cpu = Machine.cpu machine in
   let mem = Machine.memory machine in
   let dst = cpu.Cpu.regs and src = snapshot.regs in

@@ -26,7 +26,13 @@ val restore : t -> Machine.t -> unit
     was captured from (for the machine given here, only the CPU, RAM
     and tick count are written), so restoring into a {e different}
     machine is meaningful only for machines without resettable
-    devices. *)
+    devices.
+
+    Raises [Invalid_argument] when the machine has {e more} resettable
+    devices than the snapshot captured: a device attached after capture
+    has no restore thunk, and skipping it would silently leak its state
+    across snapshot-reset trials.  Attach every device before
+    capturing. *)
 
 val digest : t -> string
 (** A short hexadecimal fingerprint of the whole state — equal digests

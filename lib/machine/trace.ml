@@ -66,3 +66,49 @@ let dump ppf trace =
   Format.fprintf ppf "@[<v>%a@]"
     (Format.pp_print_list ~pp_sep:Format.pp_print_cut pp_entry)
     (entries trace)
+
+(* lib/machine depends on nothing above the ISA, so the JSON encoder is
+   local — it only ever has to escape mnemonic strings. *)
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let entry_json buf { tick; cs; ip; event } =
+  let kind, detail =
+    match event with
+    | Cpu.Executed instr -> ("executed", Instruction.to_string instr)
+    | Cpu.Took_interrupt { vector; nmi } ->
+      ((if nmi then "nmi" else "interrupt"), string_of_int vector)
+    | Cpu.Took_exception vector -> ("exception", string_of_int vector)
+    | Cpu.Halted_idle -> ("halted", "")
+    | Cpu.Did_reset -> ("reset", "")
+  in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "{\"tick\": %d, \"cs\": \"%04X\", \"ip\": \"%04X\", \"kind\": \"%s\", \
+        \"detail\": \"%s\"}"
+       tick cs ip kind (json_escape detail))
+
+let to_json trace =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "[";
+  List.iteri
+    (fun i entry ->
+      if i > 0 then Buffer.add_string buf ",";
+      Buffer.add_string buf "\n  ";
+      entry_json buf entry)
+    (entries trace);
+  Buffer.add_string buf "\n]";
+  Buffer.contents buf

@@ -30,3 +30,10 @@ val resume : t -> unit
 val pp_entry : Format.formatter -> entry -> unit
 val dump : Format.formatter -> t -> unit
 (** Render the whole buffer, one line per entry. *)
+
+val to_json : t -> string
+(** The buffer as a JSON array, oldest first.  Each entry carries
+    [tick], [cs]/[ip] (hex strings), a [kind]
+    ([executed]/[interrupt]/[nmi]/[exception]/[halted]/[reset]) and a
+    [detail] (the mnemonic, or the vector number).  For
+    [ssos trace --format json] and mechanical diffing. *)

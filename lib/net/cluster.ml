@@ -1,0 +1,150 @@
+module Rng = Ssx_faults.Rng
+
+type policy = Round_robin | Fair_random
+
+type node = { machine : Ssx.Machine.t; nic : Nic.t }
+
+type t = {
+  nodes : node array;
+  policy : policy;
+  ticks_per_slot : int;
+  seed : int64;
+  mutable rng : Rng.t;
+  mutable links : Link.t array;
+  mutable out_links : int list array;  (* node -> link indices, creation order *)
+  mutable step_count : int;
+}
+
+let create ?(policy = Round_robin) ?(ticks_per_slot = 50) ~seed nodes =
+  if Array.length nodes = 0 then invalid_arg "Cluster.create: no nodes";
+  if ticks_per_slot <= 0 then invalid_arg "Cluster.create: ticks_per_slot";
+  { nodes; policy; ticks_per_slot; seed;
+    rng = Rng.create (Rng.derive seed 0);
+    links = [||];
+    out_links = Array.make (Array.length nodes) [];
+    step_count = 0 }
+
+let size t = Array.length t.nodes
+let steps t = t.step_count
+let machine t i = t.nodes.(i).machine
+let nic t i = t.nodes.(i).nic
+let links t = t.links
+
+let connect ?faults t ~src ~dst =
+  let n = size t in
+  if src < 0 || src >= n || dst < 0 || dst >= n || src = dst then
+    invalid_arg "Cluster.connect: bad endpoints";
+  let index = Array.length t.links in
+  let rng = Rng.create (Rng.derive t.seed (index + 1)) in
+  let link = Link.create ?faults ~rng ~src ~dst () in
+  t.links <- Array.append t.links [| link |];
+  t.out_links.(src) <- t.out_links.(src) @ [ index ];
+  link
+
+let ring_edges ~n =
+  if n < 2 then invalid_arg "Cluster.ring_edges: need at least two nodes";
+  List.init n (fun i -> (i, (i + 1) mod n))
+
+let star_edges ~n =
+  if n < 2 then invalid_arg "Cluster.star_edges: need at least two nodes";
+  List.concat (List.init (n - 1) (fun i -> [ (0, i + 1); (i + 1, 0) ]))
+
+let mesh_edges ~n =
+  List.concat
+    (List.init n (fun src ->
+         List.filter_map
+           (fun dst -> if src = dst then None else Some (src, dst))
+           (List.init n Fun.id)))
+
+let connect_many ?faults t edges =
+  List.iter
+    (fun (src, dst) ->
+      let faults = Option.map (fun f -> f ~src ~dst) faults in
+      ignore (connect ?faults t ~src ~dst))
+    edges
+
+let step t =
+  let n = size t in
+  let who =
+    match t.policy with
+    | Round_robin -> t.step_count mod n
+    | Fair_random -> Rng.int t.rng n
+  in
+  let node = t.nodes.(who) in
+  Ssx.Machine.run node.machine ~ticks:t.ticks_per_slot;
+  (match Nic.drain_tx node.nic with
+  | [] -> ()
+  | words ->
+    List.iter
+      (fun index ->
+        let link = t.links.(index) in
+        List.iter (fun w -> Link.send link ~now:t.step_count w) words)
+      t.out_links.(who));
+  t.step_count <- t.step_count + 1;
+  Array.iter
+    (fun link ->
+      List.iter
+        (fun word -> ignore (Nic.deliver t.nodes.(Link.dst link).nic word))
+        (Link.due link ~now:t.step_count))
+    t.links
+
+let run t ~steps =
+  for _ = 1 to steps do
+    step t
+  done
+
+let run_until t ~limit predicate =
+  let rec go consumed =
+    if consumed >= limit then None
+    else begin
+      step t;
+      if predicate t then Some (consumed + 1) else go (consumed + 1)
+    end
+  in
+  go 0
+
+type snapshot = {
+  node_snaps : Ssx.Snapshot.t array;
+  link_restores : (unit -> unit) array;
+  rng : Rng.t;
+  step_count : int;
+}
+
+let capture t =
+  { node_snaps = Array.map (fun n -> Ssx.Snapshot.capture n.machine) t.nodes;
+    link_restores = Array.map Link.capture t.links;
+    rng = Rng.copy t.rng;
+    step_count = t.step_count }
+
+let restore t snapshot =
+  if Array.length snapshot.node_snaps <> size t then
+    invalid_arg "Cluster.restore: node count mismatch";
+  if Array.length snapshot.link_restores <> Array.length t.links then
+    invalid_arg "Cluster.restore: link count mismatch";
+  Array.iteri
+    (fun i snap -> Ssx.Snapshot.restore snap t.nodes.(i).machine)
+    snapshot.node_snaps;
+  Array.iter (fun thunk -> thunk ()) snapshot.link_restores;
+  t.rng <- Rng.copy snapshot.rng;
+  t.step_count <- snapshot.step_count
+
+let capture_node t i = Ssx.Snapshot.capture t.nodes.(i).machine
+let restore_node t i snap = Ssx.Snapshot.restore snap t.nodes.(i).machine
+
+let digest t =
+  let buffer = Buffer.create 256 in
+  Array.iter
+    (fun n ->
+      Buffer.add_string buffer (Ssx.Snapshot.digest (Ssx.Snapshot.capture n.machine));
+      Buffer.add_char buffer ';')
+    t.nodes;
+  Array.iter
+    (fun link -> Buffer.add_string buffer (string_of_int (Link.in_flight link)))
+    t.links;
+  Buffer.add_string buffer (string_of_int t.step_count);
+  (* FNV-1a over the per-node digests, as in Snapshot.digest. *)
+  let h = ref 0x4bf29ce484222325 in
+  String.iter
+    (fun c -> h := (!h lxor Char.code c) * 0x100000001b3 land max_int)
+    (Buffer.contents buffer);
+  Printf.sprintf "%016x" !h

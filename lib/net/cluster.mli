@@ -1,0 +1,83 @@
+(** A deterministic multi-machine stepper.
+
+    A cluster owns N machines (each with an attached {!Nic}) and a set
+    of directed {!Link}s between them.  One cluster {e step}:
+
+    + picks a node under the seeded interleaving policy,
+    + runs it for [ticks_per_slot] machine ticks,
+    + broadcasts everything that node transmitted onto each of its
+      outgoing links, then
+    + delivers every due message (on all links) into the destination
+      NICs, links in creation order.
+
+    The stepper is strictly sequential, so a cluster execution is a
+    pure function of ([seed], construction order, corruption calls) —
+    campaigns parallelize across {e trials} (each worker owns whole
+    clusters), never within one, and summaries are bit-identical for
+    any worker count.
+
+    {!capture} / {!restore} snapshot the whole system — every node (NIC
+    queues ride along via the machine's resettables), every link, the
+    interleaving RNG and the step counter — for snapshot-reset trial
+    engines. *)
+
+type policy =
+  | Round_robin    (** node [steps mod n] runs at each step *)
+  | Fair_random    (** uniformly random node, from the cluster seed *)
+
+type node = { machine : Ssx.Machine.t; nic : Nic.t }
+
+type t
+
+val create :
+  ?policy:policy -> ?ticks_per_slot:int -> seed:int64 -> node array -> t
+(** At least one node; [ticks_per_slot] defaults to 50.  The NICs must
+    already be attached to their machines. *)
+
+val size : t -> int
+val steps : t -> int
+val machine : t -> int -> Ssx.Machine.t
+val nic : t -> int -> Nic.t
+val links : t -> Link.t array
+
+val connect : ?faults:Link.fault_model -> t -> src:int -> dst:int -> Link.t
+(** Add a directed link.  Its RNG is derived from the cluster seed and
+    the link's creation index, so fault streams are per-link
+    independent and reproducible. *)
+
+(** Topologies, as directed edge lists for {!connect}. *)
+
+val ring_edges : n:int -> (int * int) list
+(** [0->1->…->n-1->0]. *)
+
+val star_edges : n:int -> (int * int) list
+(** Hub 0 linked both ways with every spoke. *)
+
+val mesh_edges : n:int -> (int * int) list
+(** Every ordered pair. *)
+
+val connect_many :
+  ?faults:(src:int -> dst:int -> Link.fault_model) ->
+  t -> (int * int) list -> unit
+
+val step : t -> unit
+val run : t -> steps:int -> unit
+
+val run_until : t -> limit:int -> (t -> bool) -> int option
+(** Step until the predicate holds (checked after each step); the
+    number of steps consumed, or [None] at [limit]. *)
+
+type snapshot
+
+val capture : t -> snapshot
+val restore : t -> snapshot -> unit
+(** Restore into the cluster the snapshot was captured from (node
+    snapshots follow {!Ssx.Snapshot.restore} semantics; link state
+    restores into the captured link instances). *)
+
+val capture_node : t -> int -> Ssx.Snapshot.t
+val restore_node : t -> int -> Ssx.Snapshot.t -> unit
+
+val digest : t -> string
+(** Hash of every node's {!Ssx.Snapshot.digest} plus link occupancy and
+    the step count — for cross-run determinism checks. *)

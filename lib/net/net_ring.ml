@@ -1,0 +1,143 @@
+let k = 8
+
+(* One process per machine, so its data segment and heartbeat port are
+   those of process 0. *)
+let data_segment = Ssos.Process.data_segment 0
+let self_off = 0
+let view_off = 2
+let self_addr = (data_segment lsl 4) + self_off
+let view_addr = (data_segment lsl 4) + view_off
+
+let ring_process ~bottom ~index =
+  let nic = Nic.default_base_port in
+  let symbols =
+    [ ("DATA_SEG", data_segment);
+      ("SELF_OFF", self_off);
+      ("PRED_OFF", view_off);
+      ("K_MASK", k - 1);
+      ("NIC_TX", nic);
+      ("NIC_RX", nic + 1);
+      ("NIC_STATUS", nic + 2);
+      ("MY_PORT", Ssos.Layout.process_heartbeat_port 0) ]
+  in
+  (* Every labelled block below starts 16-aligned and fits in one
+     16-byte window, so a preemption's ip masking re-enters at the
+     block's own start; see the replay notes on each block. *)
+  let decide =
+    if bottom then
+      "; block: decide and derive (bottom: move when equal, by\n\
+       ; incrementing modulo K); re-entry is guarded by the comparison\n\
+       derive:\n\
+      \    cmp ax, bx\n\
+      \    jne announce\n\
+      \    inc ax\n\
+      \    and ax, K_MASK\n"
+    else
+      "; block: decide (other: move when different, by copying);\n\
+       ; re-entry re-checks the comparison\n\
+       derive:\n\
+      \    cmp ax, bx\n\
+      \    je announce\n"
+  in
+  let source =
+    "org 0\n\
+     start:\n\
+     ; block: establish the data segment (idempotent)\n\
+    \    mov ax, DATA_SEG\n\
+    \    mov ds, ax\n\
+     align 16\n\
+     ; block: poll for arrivals (pure reads)\n\
+     poll:\n\
+    \    mov dx, NIC_STATUS\n\
+    \    in ax, dx\n\
+    \    cmp ax, 0\n\
+    \    je load\n\
+     align 16\n\
+     ; block: consume one word into the predecessor view; a replayed\n\
+     ; destructive read can only lose a word, and the sender\n\
+     ; retransmits every pass (a corrupted word lands raw and is healed\n\
+     ; when the move commits and the clamp below runs)\n\
+     take:\n\
+    \    mov dx, NIC_RX\n\
+    \    in ax, dx\n\
+    \    mov [PRED_OFF], ax\n\
+    \    jmp poll\n\
+     align 16\n\
+     ; block: load both counters (idempotent)\n\
+     load:\n\
+    \    mov ax, [PRED_OFF]\n\
+    \    mov bx, [SELF_OFF]\n\
+     align 16\n"
+    ^ decide
+    ^ "align 16\n\
+       ; block: commit the move (re-storing the same ax is idempotent)\n\
+       commit:\n\
+      \    mov [SELF_OFF], ax\n\
+       align 16\n\
+       ; block: clamp the counter into 0..K-1 (heals memory corruption)\n\
+       announce:\n\
+      \    mov ax, [SELF_OFF]\n\
+      \    and ax, K_MASK\n\
+      \    mov [SELF_OFF], ax\n\
+       align 16\n\
+       ; block: retransmit unconditionally and report the heartbeat\n\
+       emit:\n\
+      \    mov dx, NIC_TX\n\
+      \    out dx, ax\n\
+      \    out MY_PORT, ax\n\
+      \    jmp start\n"
+  in
+  { Ssos.Process.name = Printf.sprintf "net-ring-%d" index; source; symbols }
+
+type t = {
+  cluster : Cluster.t;
+  systems : Ssos.Sched.t array;
+  n : int;
+}
+
+let build ?(n = 4) ?policy ?ticks_per_slot ?watchdog_period ?capacity ?faults
+    ?decode_cache ~seed () =
+  if n < 2 then invalid_arg "Net_ring.build: need at least two nodes";
+  let systems =
+    Array.init n (fun index ->
+        Ssos.Sched.build ~n:1 ?watchdog_period ?decode_cache
+          ~processes:[| ring_process ~bottom:(index = 0) ~index |] ())
+  in
+  let nodes =
+    Array.map
+      (fun sched ->
+        let nic = Nic.create ?capacity () in
+        Nic.attach nic sched.Ssos.Sched.machine;
+        { Cluster.machine = sched.Ssos.Sched.machine; nic })
+      systems
+  in
+  let cluster = Cluster.create ?policy ?ticks_per_slot ~seed nodes in
+  Cluster.connect_many ?faults cluster (Cluster.ring_edges ~n);
+  { cluster; systems; n }
+
+let node_memory t i = Ssx.Machine.memory (Cluster.machine t.cluster i)
+let states t = Array.init t.n (fun i -> Ssx.Memory.read_word (node_memory t i) self_addr)
+let views t = Array.init t.n (fun i -> Ssx.Memory.read_word (node_memory t i) view_addr)
+
+let sample t =
+  { Ssx_stab.Distributed.step = Cluster.steps t.cluster; states = states t }
+
+let corrupt_state t i v =
+  Ssx.Memory.write_word (node_memory t i) self_addr (Ssx.Word.mask v)
+
+let corrupt_view t i v =
+  Ssx.Memory.write_word (node_memory t i) view_addr (Ssx.Word.mask v)
+
+let token_count t = Ssx_stab.Distributed.token_count ~states:(states t)
+let legitimate t = Ssx_stab.Distributed.legitimate ~states:(states t)
+
+let observe t ~steps =
+  let acc = ref [] in
+  for _ = 1 to steps do
+    Cluster.step t.cluster;
+    acc := sample t :: !acc
+  done;
+  List.rev !acc
+
+let run_until_legitimate t ~limit =
+  Cluster.run_until t.cluster ~limit (fun _ -> legitimate t)

@@ -1,0 +1,79 @@
+(** Dijkstra's K-state token ring across machines.
+
+    Each node of the ring is a whole SSX16 machine running the §5.2
+    self-stabilizing scheduler with a single guest process; the guests
+    exchange counters over {!Nic}s and {!Link}s instead of shared
+    memory (contrast {!Ssos.Token_os}, the single-machine version).
+    Every loop pass a guest drains its RX queue into its {e view} of
+    the predecessor's counter, makes Dijkstra's move — the bottom node
+    increments modulo K when equal, the others copy when different —
+    and unconditionally retransmits its own counter, so dropped or
+    corrupted messages are repaired by the very next pass.
+
+    The guest images follow the repository's replay-idempotence
+    discipline: 16-byte-aligned blocks whose re-entry (after a watchdog
+    preemption masks the instruction pointer back to a block start) is
+    harmless, with the derivation block guarded by its own comparison
+    and the commit block a bare idempotent store.
+
+    Legality is judged on the nodes' true counter states with
+    {!Ssx_stab.Distributed}. *)
+
+val k : int
+(** 8 counter states. *)
+
+val self_addr : int
+(** Physical address of a node's own counter (same on every node). *)
+
+val view_addr : int
+(** Physical address of a node's view of its predecessor's counter. *)
+
+type t = {
+  cluster : Cluster.t;
+  systems : Ssos.Sched.t array;  (** node [i]'s scheduler system *)
+  n : int;
+}
+
+val ring_process : bottom:bool -> index:int -> Ssos.Process.t
+(** The guest source for one node ([index] only names it). *)
+
+val build :
+  ?n:int ->
+  ?policy:Cluster.policy ->
+  ?ticks_per_slot:int ->
+  ?watchdog_period:int ->
+  ?capacity:int ->
+  ?faults:(src:int -> dst:int -> Link.fault_model) ->
+  ?decode_cache:bool ->
+  seed:int64 ->
+  unit ->
+  t
+(** An [n]-node ring (default 4, at least 2), nodes linked
+    [i -> i+1 mod n] with per-link fault models from [faults] (benign
+    when omitted).  All counters start at zero — a legitimate
+    configuration with the single privilege at the bottom. *)
+
+val states : t -> int array
+(** True counters, node order. *)
+
+val views : t -> int array
+(** Predecessor views, node order. *)
+
+val sample : t -> Ssx_stab.Distributed.sample
+
+val corrupt_state : t -> int -> int -> unit
+(** [corrupt_state t i v] — overwrite node [i]'s counter with the raw
+    16-bit [v] (the guest clamps it into range on its next pass). *)
+
+val corrupt_view : t -> int -> int -> unit
+
+val token_count : t -> int
+val legitimate : t -> bool
+
+val observe : t -> steps:int -> Ssx_stab.Distributed.sample list
+(** Run [steps] cluster steps, sampling the joint state after each. *)
+
+val run_until_legitimate : t -> limit:int -> int option
+(** First step at which the joint state is legitimate (which may
+    flicker while messages are in flight — use {!observe} plus
+    {!Ssx_stab.Distributed.judge} for a windowed verdict). *)

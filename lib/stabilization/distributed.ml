@@ -1,0 +1,40 @@
+let privileged ~states i =
+  let n = Array.length states in
+  if i = 0 then states.(0) = states.(n - 1) else states.(i) <> states.(i - 1)
+
+let token_count ~states =
+  let n = Array.length states in
+  let count = ref 0 in
+  for i = 0 to n - 1 do
+    if privileged ~states i then incr count
+  done;
+  !count
+
+let legitimate ~states = token_count ~states = 1
+
+type sample = { step : int; states : int array }
+
+let last_violation ~samples ~end_step =
+  match samples with
+  | [] -> Some end_step
+  | _ ->
+    List.fold_left
+      (fun acc { step; states } ->
+        if legitimate ~states then acc else Some step)
+      None samples
+
+let judge ~window ~samples ~end_step =
+  match last_violation ~samples ~end_step with
+  | None ->
+    if end_step >= window then
+      Convergence.Converged { at_tick = 0; legal_for = end_step }
+    else Convergence.Not_converged { last_violation = None }
+  | Some step ->
+    let legal_for = end_step - step in
+    if legal_for >= window then Convergence.Converged { at_tick = step; legal_for }
+    else Convergence.Not_converged { last_violation = Some step }
+
+let violation_count ~samples =
+  List.fold_left
+    (fun count { states; _ } -> if legitimate ~states then count else count + 1)
+    0 samples

@@ -1,0 +1,35 @@
+(** Legal executions of a distributed token ring.
+
+    Dijkstra's K-state algorithm run across {e machines} (one counter
+    per node, exchanged over a network) has the same legality notion as
+    the shared-memory version: a configuration is legitimate when
+    exactly one node holds a privilege, judged on the nodes' true
+    counter states.  Messages in flight only delay moves; they never
+    create a second privilege in the state view, so the predicate below
+    is an invariant of the stabilized system even under lossy, slow
+    links.
+
+    Convergence is judged post-hoc from a sampled trace of joint
+    states, exactly like {!Convergence.judge} does for heartbeat
+    traces: find the last illegitimate sample; the suffix after it must
+    be at least [window] steps long. *)
+
+val privileged : states:int array -> int -> bool
+(** [privileged ~states i] — node 0 is privileged when its counter
+    equals its predecessor's (the ring's last node); every other node
+    when its counter differs from node [i-1]'s. *)
+
+val token_count : states:int array -> int
+val legitimate : states:int array -> bool
+(** Exactly one privilege. *)
+
+type sample = { step : int; states : int array }
+(** Joint counter state observed at one cluster step. *)
+
+val judge :
+  window:int -> samples:sample list -> end_step:int -> Convergence.verdict
+(** [samples] in increasing [step] order.  A violation is an
+    illegitimate sample; an empty trace is one violation at
+    [end_step]. *)
+
+val violation_count : samples:sample list -> int

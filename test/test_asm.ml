@@ -219,6 +219,34 @@ let test_disasm_symbolized () =
   Alcotest.(check bool) "branch target annotated" true
     (Astring_contains.contains listing "; -> again")
 
+let test_port_io_roundtrip () =
+  (* The NIC guests poll and transmit through both port forms: immediate
+     ports for fixed device registers and dx-named ports computed at run
+     time.  Assemble every form, check the decoded instructions, and check
+     that the disassembler listing reassembles to the same bytes. *)
+  let source =
+    "in al, 0x30\nin ax, 0x31\nout 0x32, al\nout 0x33, ax\n\
+     in al, dx\nin ax, dx\nout dx, al\nout dx, ax\n"
+  in
+  let image = assemble source in
+  let entries = Ssx_asm.Disasm.disassemble image.Ssx_asm.Assemble.bytes in
+  let open Ssx.Instruction in
+  (match List.map (fun e -> e.Ssx_asm.Disasm.instruction) entries with
+  | [ In_ (Byte, 0x30); In_ (Word_, 0x31); Out (0x32, Byte); Out (0x33, Word_);
+      In_dx Byte; In_dx Word_; Out_dx Byte; Out_dx Word_ ] -> ()
+  | _ -> Alcotest.fail "port I/O forms mis-decoded");
+  (* Disassembled text must reassemble to the same bytes. *)
+  let printed =
+    String.concat "\n"
+      (List.map
+         (fun e -> Ssx.Instruction.to_string e.Ssx_asm.Disasm.instruction)
+         entries)
+    ^ "\n"
+  in
+  let reassembled = assemble printed in
+  Helpers.check_string "disassembly reassembles bit-exact"
+    image.Ssx_asm.Assemble.bytes reassembled.Ssx_asm.Assemble.bytes
+
 (* Printer/parser/encoder consistency: assembling the pretty-printed
    form of any instruction must reproduce its own encoding. *)
 let prop_print_parse_encode =
@@ -255,6 +283,7 @@ let suite =
     case "memory operand forms" test_mem_operands;
     case "size keywords in either position" test_size_keywords_anywhere;
     case "rep prefix" test_rep_prefix;
+    case "port I/O round-trip" test_port_io_roundtrip;
     case "far jump syntax" test_far_jump_syntax;
     case "jcc aliases" test_jcc_aliases;
     case "character literals" test_char_literal;

@@ -47,6 +47,7 @@ let representative_instructions =
     Movs Byte; Movs Word_; Stos Byte; Stos Word_; Lods Byte; Lods Word_;
     Rep (Movs Byte); Rep (Stos Word_);
     In_ (Byte, 0x10); In_ (Word_, 0x12); Out (0x10, Byte); Out (0x12, Word_);
+    In_dx Byte; In_dx Word_; Out_dx Byte; Out_dx Word_;
     Hlt; Nop; Cli; Sti; Cld; Std; Clc; Stc ]
 
 let test_roundtrip_representative () =
@@ -67,7 +68,7 @@ let test_invalid_bytes () =
       | Ssx.Instruction.Invalid b' -> check_int "byte preserved" b b'
       | other ->
         Alcotest.failf "0x%02X decoded to %a" b Ssx.Instruction.pp other)
-    [ 0x00; 0x0F; 0x19; 0x3F; 0x56; 0x6B; 0x78; 0xFF ]
+    [ 0x00; 0x0F; 0x19; 0x3F; 0x56; 0x6F; 0x78; 0xFF ]
 
 let test_rep_requires_string_op () =
   (* A rep prefix before a non-string instruction is not an instruction. *)
@@ -148,6 +149,10 @@ let gen_instruction =
       map2 (fun c t -> Ssx.Instruction.Jcc (c, t)) (oneofl Ssx.Instruction.all_conds) word;
       map (fun w -> Ssx.Instruction.Movs w) width;
       map (fun w -> Ssx.Instruction.Rep (Ssx.Instruction.Movs w)) width;
+      map2 (fun w p -> Ssx.Instruction.In_ (w, p)) width byte;
+      map2 (fun p w -> Ssx.Instruction.Out (p, w)) byte width;
+      map (fun w -> Ssx.Instruction.In_dx w) width;
+      map (fun w -> Ssx.Instruction.Out_dx w) width;
       return Ssx.Instruction.Iret; return Ssx.Instruction.Nop;
       return Ssx.Instruction.Hlt; return Ssx.Instruction.Cld ]
 

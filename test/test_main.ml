@@ -24,6 +24,7 @@ let () =
       ("graph algorithms", Test_graph_algorithms.suite);
       ("token ring on the tiny OS", Test_token_os.suite);
       ("experiments", Test_experiments.suite);
+      ("network cluster (lib/net)", Test_net.suite);
       ("campaign engine (differential)", Test_campaigns.suite);
       ("tooling (trace, snapshot)", Test_tooling.suite);
       ("decode cache (differential)", Test_differential.suite);

@@ -1,0 +1,347 @@
+(* lib/net — NIC, lossy links, the cluster stepper and the distributed
+   token ring. *)
+
+let case = Helpers.case
+let check_int = Helpers.check_int
+let check_bool = Helpers.check_bool
+
+module Nic = Ssos_net.Nic
+module Link = Ssos_net.Link
+module Cluster = Ssos_net.Cluster
+module Net_ring = Ssos_net.Net_ring
+module Rng = Ssx_faults.Rng
+
+(* --- NIC ------------------------------------------------------------ *)
+
+let test_nic_guest_io () =
+  (* A guest reads a delivered word through the dx-named RX port and
+     echoes it back out of the TX port. *)
+  let machine, _ =
+    Helpers.machine_with
+      "mov dx, 0x31\n\
+       in ax, dx\n\
+       mov bx, ax\n\
+       mov dx, 0x30\n\
+       out dx, ax\n\
+       out 0x30, ax\n\
+       hlt\n"
+  in
+  let nic = Nic.create () in
+  Nic.attach nic machine;
+  check_bool "delivered" true (Nic.deliver nic 0x1234);
+  Helpers.run_to_halt machine;
+  check_int "guest read the word" 0x1234 (Helpers.regs machine).Ssx.Registers.bx;
+  (match Nic.drain_tx nic with
+  | [ 0x1234; 0x1234 ] -> ()
+  | words ->
+    Alcotest.failf "unexpected TX drain: [%s]"
+      (String.concat "; " (List.map string_of_int words)));
+  let stats = Nic.stats nic in
+  check_int "tx counted" 2 stats.Nic.tx_words;
+  check_int "rx read counted" 1 stats.Nic.rx_read
+
+let test_nic_overflow () =
+  let machine, _ = Helpers.machine_with "hlt\n" in
+  let nic = Nic.create ~capacity:2 () in
+  Nic.attach nic machine;
+  check_bool "first fits" true (Nic.deliver nic 1);
+  check_bool "second fits" true (Nic.deliver nic 2);
+  check_bool "third dropped" false (Nic.deliver nic 3);
+  check_int "pending" 2 (Nic.pending_rx nic);
+  check_int "dropped counted" 1 (Nic.stats nic).Nic.rx_dropped
+
+let test_nic_empty_rx_reads_zero () =
+  let machine, _ =
+    Helpers.machine_with "mov dx, 0x31\nin ax, dx\nmov dx, 0x32\nin ax, dx\nhlt\n"
+  in
+  let nic = Nic.create () in
+  Nic.attach nic machine;
+  Helpers.run_to_halt machine;
+  check_int "empty queue reads zero, status zero" 0
+    (Helpers.regs machine).Ssx.Registers.ax
+
+let test_nic_rx_interrupt () =
+  let machine, _ = Helpers.machine_with "cli\nhlt\n" in
+  let nic = Nic.create ~rx_irq:0x21 () in
+  Nic.attach nic machine;
+  Helpers.run_to_halt machine;
+  let cpu = Ssx.Machine.cpu machine in
+  check_bool "no interrupt while empty" true (cpu.Ssx.Cpu.intr = None);
+  ignore (Nic.deliver nic 7);
+  ignore (Ssx.Machine.tick machine);
+  check_bool "interrupt asserted while pending" true
+    (cpu.Ssx.Cpu.intr = Some 0x21)
+
+let test_nic_snapshot_roundtrip () =
+  let machine, _ = Helpers.machine_with "hlt\n" in
+  let nic = Nic.create () in
+  Nic.attach nic machine;
+  ignore (Nic.deliver nic 11);
+  let snap = Ssx.Snapshot.capture machine in
+  ignore (Nic.deliver nic 22);
+  ignore (Nic.deliver nic 33);
+  Ssx.Snapshot.restore snap machine;
+  check_int "rx queue rewound" 1 (Nic.pending_rx nic);
+  check_int "stats rewound" 1 (Nic.stats nic).Nic.rx_delivered
+
+let test_late_attached_device_refused () =
+  (* The regression this guards: a snapshot captured before a device is
+     attached has no restore thunk for it; restore must refuse rather
+     than silently leak the device's state across trials. *)
+  let machine, _ = Helpers.machine_with "hlt\n" in
+  check_int "no resettables yet" 0 (Ssx.Machine.resettable_count machine);
+  let snap = Ssx.Snapshot.capture machine in
+  let nic = Nic.create () in
+  Nic.attach nic machine;
+  check_int "nic registered" 1 (Ssx.Machine.resettable_count machine);
+  ignore (Nic.deliver nic 42);
+  (match Ssx.Snapshot.restore snap machine with
+  | () -> Alcotest.fail "restore over a late-attached NIC must be refused"
+  | exception Invalid_argument _ -> ());
+  check_int "nic state untouched by the refusal" 1 (Nic.pending_rx nic)
+
+(* --- Link ----------------------------------------------------------- *)
+
+let drain_until link ~last =
+  let out = ref [] in
+  for now = 0 to last do
+    out := !out @ Link.due link ~now
+  done;
+  !out
+
+let test_link_fifo_under_jitter () =
+  let rng = Rng.create 7L in
+  let faults = Link.lossy ~max_delay:9 () in
+  let link = Link.create ~faults ~rng ~src:0 ~dst:1 () in
+  for i = 0 to 49 do
+    Link.send link ~now:i i
+  done;
+  let received = drain_until link ~last:200 in
+  check_int "nothing lost" 50 (List.length received);
+  check_bool "delivered in send order despite jitter" true
+    (received = List.init 50 Fun.id);
+  check_int "queue empty" 0 (Link.in_flight link)
+
+let test_link_faults_deterministic () =
+  let make () =
+    let faults = Link.lossy ~drop:0.3 ~duplicate:0.2 ~max_delay:4 ~corrupt:0.2 () in
+    Link.create ~faults ~rng:(Rng.create 99L) ~src:0 ~dst:1 ()
+  in
+  let run link =
+    for i = 0 to 99 do
+      Link.send link ~now:i (i * 31)
+    done;
+    drain_until link ~last:300
+  in
+  let a = run (make ()) and b = run (make ()) in
+  check_bool "same seed, same stream" true (a = b);
+  check_bool "drops happened" true (List.length a < 100)
+
+let test_link_never_delivers_same_step () =
+  let link = Link.create ~rng:(Rng.create 1L) ~src:0 ~dst:1 () in
+  Link.send link ~now:5 77;
+  check_int "not due at the send step" 0 (List.length (Link.due link ~now:5));
+  check_int "due next step" 1 (List.length (Link.due link ~now:6))
+
+let test_link_capture_restores_fault_phase () =
+  let faults = Link.benign () in
+  let link = Link.create ~faults ~rng:(Rng.create 3L) ~src:0 ~dst:1 () in
+  Link.send link ~now:0 1;
+  let restore = Link.capture link in
+  faults.Link.drop <- 1.0;
+  Link.send link ~now:1 2;
+  Link.send link ~now:2 3;
+  restore ();
+  check_bool "fault phase restored" true (faults.Link.drop = 0.0);
+  check_int "in-flight restored" 1 (Link.in_flight link);
+  check_int "sent counter restored" 1 (Link.sent link)
+
+(* --- guest image discipline ----------------------------------------- *)
+
+let block_labels =
+  [ "start"; "poll"; "take"; "load"; "derive"; "commit"; "announce"; "emit" ]
+
+let test_ring_guest_blocks () =
+  List.iter
+    (fun bottom ->
+      let process = Net_ring.ring_process ~bottom ~index:0 in
+      let image =
+        Ssx_asm.Assemble.assemble ~origin:0
+          ~instr_align:Ssos.Layout.instr_align
+          ~symbols:(Ssos.Rom_builder.layout_symbols @ process.Ssos.Process.symbols)
+          process.Ssos.Process.source
+      in
+      (* Every block starts 16-aligned and fits in one 16-byte window —
+         the replay-idempotence discipline depends on it. *)
+      List.iteri
+        (fun i label ->
+          check_int
+            (Printf.sprintf "%s at block %d (bottom=%b)" label i bottom)
+            (i * 16)
+            (Ssx_asm.Assemble.symbol image label))
+        block_labels;
+      match
+        Ssos.Process.validate ~model:Ssos.Process.Scheduled
+          ~code_len:(String.length image.Ssx_asm.Assemble.bytes)
+          image.Ssx_asm.Assemble.bytes
+      with
+      | Ok () -> ()
+      | Error problems ->
+        Alcotest.failf "guest violates process restrictions: %s"
+          (String.concat "; " problems))
+    [ true; false ]
+
+(* --- cluster + ring ------------------------------------------------- *)
+
+let test_ring_fault_free_stays_legal () =
+  let ring = Net_ring.build ~n:4 ~seed:11L () in
+  let samples = Net_ring.observe ring ~steps:800 in
+  check_int "never illegitimate from the zero state" 0
+    (Ssx_stab.Distributed.violation_count ~samples)
+
+let test_ring_token_circulates () =
+  (* The privilege must move around the whole ring, not sit still. *)
+  let ring = Net_ring.build ~n:4 ~seed:12L () in
+  let seen = Array.make 4 false in
+  let samples = Net_ring.observe ring ~steps:2_000 in
+  List.iter
+    (fun { Ssx_stab.Distributed.states; _ } ->
+      for i = 0 to 3 do
+        if Ssx_stab.Distributed.privileged ~states i then seen.(i) <- true
+      done)
+    samples;
+  check_bool "every node held the privilege" true (Array.for_all Fun.id seen)
+
+let test_cluster_determinism () =
+  let run () =
+    let ring = Net_ring.build ~n:3 ~seed:21L ~policy:Cluster.Fair_random () in
+    Cluster.run ring.Net_ring.cluster ~steps:600;
+    Cluster.digest ring.Net_ring.cluster
+  in
+  Helpers.check_string "identical seeds, identical executions" (run ()) (run ())
+
+let corrupt_everything rng ring =
+  let n = ring.Net_ring.n in
+  for i = 0 to n - 1 do
+    Net_ring.corrupt_state ring i (Rng.int rng 0x10000);
+    Net_ring.corrupt_view ring i (Rng.int rng 0x10000)
+  done
+
+let convergence_bound = 1_200
+(* cluster steps; generous — observed worst cases are well under it *)
+
+let test_ring_converges_from_corruption () =
+  (* Acceptance: from >= 20 random joint corruptions the ring reconverges
+     to a single privilege, within a stated bound. *)
+  let ring = Net_ring.build ~n:4 ~seed:31L () in
+  Cluster.run ring.Net_ring.cluster ~steps:200;
+  let rng = Rng.create 0xC0FFEEL in
+  for trial = 1 to 24 do
+    corrupt_everything rng ring;
+    let samples = Net_ring.observe ring ~steps:(convergence_bound + 600) in
+    match Ssx_stab.Distributed.judge ~window:600 ~samples
+            ~end_step:(Cluster.steps ring.Net_ring.cluster)
+    with
+    | Ssx_stab.Convergence.Converged { at_tick; _ } ->
+      let started = Cluster.steps ring.Net_ring.cluster
+                    - (convergence_bound + 600) in
+      let took = max 0 (at_tick - started) in
+      if took > convergence_bound then
+        Alcotest.failf "trial %d converged only after %d steps" trial took
+    | verdict ->
+      Alcotest.failf "trial %d: %s" trial
+        (Format.asprintf "%a" Ssx_stab.Convergence.pp_verdict verdict)
+  done
+
+let test_ring_converges_under_lossy_links () =
+  let faults ~src:_ ~dst:_ = Link.lossy ~drop:0.2 ~max_delay:3 () in
+  let ring = Net_ring.build ~n:4 ~seed:41L ~faults () in
+  Cluster.run ring.Net_ring.cluster ~steps:200;
+  let rng = Rng.create 0xBEEFL in
+  for trial = 1 to 6 do
+    corrupt_everything rng ring;
+    let samples = Net_ring.observe ring ~steps:3_000 in
+    match Ssx_stab.Distributed.judge ~window:600 ~samples
+            ~end_step:(Cluster.steps ring.Net_ring.cluster)
+    with
+    | Ssx_stab.Convergence.Converged _ -> ()
+    | verdict ->
+      Alcotest.failf "lossy trial %d: %s" trial
+        (Format.asprintf "%a" Ssx_stab.Convergence.pp_verdict verdict)
+  done
+
+let test_cluster_snapshot_reset () =
+  (* Restoring a cluster snapshot must reproduce the continuation
+     bit-exactly, including link and NIC state. *)
+  let ring = Net_ring.build ~n:3 ~seed:51L ~faults:(fun ~src:_ ~dst:_ ->
+      Link.lossy ~drop:0.1 ~max_delay:2 ()) ()
+  in
+  Cluster.run ring.Net_ring.cluster ~steps:300;
+  let snap = Cluster.capture ring.Net_ring.cluster in
+  let continue () =
+    Net_ring.corrupt_state ring 1 0x7777;
+    Cluster.run ring.Net_ring.cluster ~steps:400;
+    Cluster.digest ring.Net_ring.cluster
+  in
+  let first = continue () in
+  Cluster.restore ring.Net_ring.cluster snap;
+  let second = continue () in
+  Helpers.check_string "continuation reproduced after restore" first second
+
+let campaign ~strategy ~jobs () =
+  (* A T14/T15-style campaign in miniature: lossy links, joint
+     corruption plus a message-fault phase that mutates the link fault
+     models mid-trial (so snapshot reset must restore that too). *)
+  let build () =
+    Net_ring.build ~n:3 ~seed:61L
+      ~faults:(fun ~src:_ ~dst:_ -> Link.lossy ~drop:0.1 ~max_delay:2 ())
+      ()
+  in
+  let perturb rng ring =
+    corrupt_everything rng ring;
+    let links = Cluster.links ring.Net_ring.cluster in
+    Array.iter (fun l -> (Link.faults l).Link.drop <- 0.5) links;
+    Cluster.run ring.Net_ring.cluster ~steps:50;
+    Array.iter (fun l -> (Link.faults l).Link.drop <- 0.1) links
+  in
+  Ssos_experiments.Runner.ring_campaign ~build ~perturb ~warmup:150
+    ~horizon:1_500 ~window:500 ~strategy ~oversubscribe:true ~jobs ~trials:6
+    ~seed:71L ()
+
+let test_campaign_jobs_invariance () =
+  (* Acceptance: the same campaign is bit-identical under jobs:1 and
+     jobs:4 — parallelism lives across trials only. *)
+  let one = campaign ~strategy:Ssos_experiments.Runner.Snapshot_reset ~jobs:1 () in
+  let four = campaign ~strategy:Ssos_experiments.Runner.Snapshot_reset ~jobs:4 () in
+  check_bool "summary identical for jobs:1 and jobs:4" true (one = four);
+  check_int "every trial judged" 6 one.Ssos_experiments.Runner.trials
+
+let test_campaign_strategy_invariance () =
+  (* Acceptance: rebuilding per trial and restoring a cluster snapshot
+     per trial produce the same summary — T14/T15 are reproducible
+     under snapshot reset. *)
+  let rebuild = campaign ~strategy:Ssos_experiments.Runner.Rebuild ~jobs:2 () in
+  let reset = campaign ~strategy:Ssos_experiments.Runner.Snapshot_reset ~jobs:3 () in
+  check_bool "summary identical for rebuild and snapshot reset" true
+    (rebuild = reset)
+
+let suite =
+  [ case "nic: guest port I/O" test_nic_guest_io;
+    case "nic: bounded RX queue drops and counts" test_nic_overflow;
+    case "nic: empty RX reads zero" test_nic_empty_rx_reads_zero;
+    case "nic: RX interrupt" test_nic_rx_interrupt;
+    case "nic: snapshot round-trip" test_nic_snapshot_roundtrip;
+    case "snapshot refuses late-attached devices" test_late_attached_device_refused;
+    case "link: FIFO under delay jitter" test_link_fifo_under_jitter;
+    case "link: seeded faults are deterministic" test_link_faults_deterministic;
+    case "link: at least one step of latency" test_link_never_delivers_same_step;
+    case "link: capture restores the fault phase" test_link_capture_restores_fault_phase;
+    case "ring guest: 16-byte replay blocks" test_ring_guest_blocks;
+    case "ring: fault-free run stays legal" test_ring_fault_free_stays_legal;
+    case "ring: the token circulates" test_ring_token_circulates;
+    case "cluster: deterministic execution" test_cluster_determinism;
+    case "ring: converges from 24 joint corruptions" test_ring_converges_from_corruption;
+    case "ring: converges under lossy links" test_ring_converges_under_lossy_links;
+    case "cluster: snapshot reset reproduces continuations" test_cluster_snapshot_reset;
+    case "campaign: bit-identical across jobs" test_campaign_jobs_invariance;
+    case "campaign: bit-identical across strategies" test_campaign_strategy_invariance ]
