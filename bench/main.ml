@@ -157,6 +157,42 @@ let net_bench () =
     ("ring-campaign-summaries-identical",
      if seq_summary = par_summary then 1.0 else 0.0) ]
 
+(* Differential-fuzzer throughput: a fixed-seed campaign against the
+   lib/fuzz reference-interpreter oracle, jobs:1 vs jobs:4.  The two
+   summaries must be bit-identical (shard seeds depend only on the
+   campaign seed, results merge in shard order); the interesting
+   numbers are trial programs/sec and lock-step ticks/sec. *)
+let fuzz_bench () =
+  let iters = if smoke then 300 else 2_000 in
+  Format.printf "== Differential fuzzer (%d programs, seed 9) ==@." iters;
+  let run jobs =
+    wall_ns (fun () -> Ssx_fuzz.Fuzz_loop.run ~jobs ~seed:9L ~iters ())
+  in
+  let seq_summary, seq_ns = run 1 in
+  let par_summary, par_ns = run 4 in
+  let rate ns = float_of_int iters /. (ns /. 1e9) in
+  let tick_rate summary ns =
+    float_of_int summary.Ssx_fuzz.Fuzz_loop.total_ticks /. (ns /. 1e9)
+  in
+  Format.printf "  jobs:1 %12.0f programs/sec %12.0f ticks/sec@."
+    (rate seq_ns) (tick_rate seq_summary seq_ns);
+  Format.printf "  jobs:4 %12.0f programs/sec %12.0f ticks/sec@."
+    (rate par_ns) (tick_rate par_summary par_ns);
+  Format.printf "  summaries bit-identical:       %11s@.@."
+    (if seq_summary = par_summary then "yes" else "NO (BUG)");
+  [ ("fuzz-programs-per-sec-jobs1", rate seq_ns);
+    ("fuzz-programs-per-sec-jobs4", rate par_ns);
+    ("fuzz-ticks-per-sec-jobs1", tick_rate seq_summary seq_ns);
+    ("fuzz-ticks-per-sec-jobs4", tick_rate par_summary par_ns);
+    ("fuzz-speedup", seq_ns /. par_ns);
+    ("fuzz-programs", float_of_int iters);
+    ("fuzz-coverage-points",
+     float_of_int seq_summary.Ssx_fuzz.Fuzz_loop.coverage_points);
+    ("fuzz-divergences",
+     float_of_int (List.length seq_summary.Ssx_fuzz.Fuzz_loop.divergences));
+    ("fuzz-summaries-identical",
+     if seq_summary = par_summary then 1.0 else 0.0) ]
+
 (* Guest-cycle costs are deterministic properties of the designs, not
    host-time measurements: report them by direct simulation. *)
 let guest_cycle_costs () =
@@ -337,11 +373,13 @@ let () =
   run_tables ();
   let campaign_rows = campaign_pair () in
   let net_rows = net_bench () in
+  let fuzz_rows = fuzz_bench () in
   let costs = guest_cycle_costs () in
   print_guest_cycle_costs costs;
   let micro = run_micro () in
   if not smoke then begin
     write_json ~path:"BENCH_machine.json" micro costs;
     write_flat_json ~path:"BENCH_experiments.json" campaign_rows;
-    write_flat_json ~path:"BENCH_net.json" net_rows
+    write_flat_json ~path:"BENCH_net.json" net_rows;
+    write_flat_json ~path:"BENCH_fuzz.json" fuzz_rows
   end

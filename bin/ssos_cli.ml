@@ -7,7 +7,8 @@
      listing <figure>   disassemble an assembled figure
      trace <design>     run a design and dump its last events
      campaign           custom fault-injection campaign
-     cluster            multi-machine token ring over lossy links *)
+     cluster            multi-machine token ring over lossy links
+     fuzz               differential fuzzing against the reference oracle *)
 
 let ok = Cmdliner.Cmd.Exit.ok
 
@@ -269,6 +270,49 @@ let cluster nodes drop corrupt delay limit seed =
     Format.printf "no convergence within %d cluster steps@." limit;
     Cmdliner.Cmd.Exit.cli_error)
 
+(* ---------------------------------------------------------------- fuzz *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let fuzz seed iters jobs out replay_path =
+  match replay_path with
+  | Some path -> (
+    match Ssx_fuzz.Fuzz_loop.replay (read_file path) with
+    | None ->
+      Format.printf "%s: no divergence@." path;
+      ok
+    | Some (tick, detail) ->
+      Format.printf "%s: DIVERGES at tick %d: %s@." path tick detail;
+      Cmdliner.Cmd.Exit.cli_error)
+  | None ->
+    let t0 = Unix.gettimeofday () in
+    let summary =
+      Ssx_fuzz.Fuzz_loop.run ?jobs ~seed:(Int64.of_int seed) ~iters ()
+    in
+    let dt = Unix.gettimeofday () -. t0 in
+    Format.printf "%a@." Ssx_fuzz.Fuzz_loop.pp_summary summary;
+    Format.printf "%.1fs, %.0f ticks/sec@." dt
+      (float_of_int summary.Ssx_fuzz.Fuzz_loop.total_ticks /. dt);
+    List.iter
+      (fun d ->
+        Format.printf "%a@." Ssx_fuzz.Fuzz_loop.pp_divergence d;
+        let name =
+          Printf.sprintf "fuzz-%d-%d-%d.ssx" seed
+            d.Ssx_fuzz.Fuzz_loop.shard d.Ssx_fuzz.Fuzz_loop.iter
+        in
+        let path = Filename.concat out name in
+        let oc = open_out_bin path in
+        output_string oc (Ssx_fuzz.Fuzz_loop.reproducer_text d);
+        close_out oc;
+        Format.printf "reproducer written to %s@." path)
+      summary.Ssx_fuzz.Fuzz_loop.divergences;
+    if summary.Ssx_fuzz.Fuzz_loop.divergences = [] then ok
+    else Cmdliner.Cmd.Exit.cli_error
+
 (* ----------------------------------------------------------------- cli *)
 
 let () =
@@ -363,6 +407,32 @@ let () =
         const cluster $ nodes_arg $ drop_arg $ corrupt_arg $ delay_arg
         $ limit_arg $ seed_arg)
   in
+  let iters_arg =
+    Arg.(
+      value & opt int 2_000
+      & info [ "iters" ] ~docv:"N" ~doc:"Differential programs to run.")
+  in
+  let out_arg =
+    Arg.(
+      value & opt string "."
+      & info [ "out" ] ~docv:"DIR" ~doc:"Directory for reproducer files.")
+  in
+  let replay_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "replay" ] ~docv:"FILE"
+          ~doc:"Re-run a checked-in reproducer instead of fuzzing.")
+  in
+  let fuzz_cmd =
+    Cmd.v
+      (Cmd.info "fuzz"
+         ~doc:
+           "Differentially fuzz the machine against the independent reference \
+            interpreter")
+      Term.(
+        const fuzz $ seed_arg $ iters_arg $ jobs_arg $ out_arg $ replay_arg)
+  in
   let default = Term.(ret (const (`Help (`Pager, None)))) in
   let info =
     Cmd.info "ssos" ~version:"1.0.0"
@@ -374,4 +444,4 @@ let () =
     (Cmd.eval'
        (Cmd.group ~default info
           [ demo_cmd; experiment_cmd; figures_cmd; listing_cmd; trace_cmd;
-            campaign_cmd; cluster_cmd ]))
+            campaign_cmd; cluster_cmd; fuzz_cmd ]))

@@ -1,0 +1,553 @@
+module I = Ssx.Instruction
+module Rng = Ssx_faults.Rng
+module Pool = Ssos_experiments.Pool
+
+type divergence = {
+  program : Gen.program;
+  original : Gen.program;
+  seed : int64;
+  shard : int;
+  iter : int;
+  tick : int;
+  detail : string;
+}
+
+type summary = {
+  programs : int;
+  total_ticks : int;
+  corpus_size : int;
+  coverage_points : int;
+  divergences : divergence list;
+}
+
+(* --- the trial image -------------------------------------------------
+   Every IDT vector (and the hardwired NMI entry) points at a handler
+   segment whose first instruction is [iret], so interrupts, [int n]
+   and faults all service and return instead of wandering into zeroed
+   memory.  Code loads at 64 KiB (segment 0x1000); the stack starts
+   below it at 0000:F000. *)
+
+let trial_code_base = 0x10000
+let code_seg = 0x1000
+let handler_seg = 0x0600
+let handler_phys = handler_seg * 16
+let nmi_idt_base = 0xF0000
+
+let base_image =
+  lazy
+    (let b = Bytes.make Ssx.Memory.size '\000' in
+     let set_entry base vector =
+       let e = base + (4 * vector) in
+       (* offset 0, segment [handler_seg], little-endian words *)
+       Bytes.set b e '\x00';
+       Bytes.set b (e + 1) '\x00';
+       Bytes.set b (e + 2) (Char.chr (handler_seg land 0xff));
+       Bytes.set b (e + 3) (Char.chr ((handler_seg lsr 8) land 0xff))
+     in
+     for v = 0 to 255 do
+       set_entry 0 v
+     done;
+     set_entry nmi_idt_base 2;
+     Bytes.set b handler_phys '\x44' (* iret *);
+     Bytes.unsafe_to_string b)
+
+(* --- trial state reset ------------------------------------------------ *)
+
+let reset_machine m (p : Gen.program) =
+  let mem = Ssx.Machine.memory m in
+  Ssx.Memory.restore_image mem (Lazy.force base_image);
+  Ssx.Memory.load_image mem ~base:trial_code_base p.Gen.code;
+  let cpu = Ssx.Machine.cpu m in
+  let r = cpu.Ssx.Cpu.regs in
+  r.Ssx.Registers.ax <- 0;
+  r.Ssx.Registers.bx <- 0;
+  r.Ssx.Registers.cx <- 0;
+  r.Ssx.Registers.dx <- 0;
+  r.Ssx.Registers.si <- 0;
+  r.Ssx.Registers.di <- 0;
+  r.Ssx.Registers.sp <- 0xF000;
+  r.Ssx.Registers.bp <- 0;
+  r.Ssx.Registers.cs <- code_seg;
+  r.Ssx.Registers.ds <- code_seg;
+  r.Ssx.Registers.es <- code_seg;
+  r.Ssx.Registers.ss <- 0;
+  r.Ssx.Registers.fs <- 0;
+  r.Ssx.Registers.gs <- 0;
+  r.Ssx.Registers.ip <- 0;
+  r.Ssx.Registers.psw <- 0;
+  r.Ssx.Registers.nmi_counter <- 0;
+  cpu.Ssx.Cpu.idtr <- 0;
+  cpu.Ssx.Cpu.nmi_pin <- false;
+  cpu.Ssx.Cpu.in_nmi <- false;
+  cpu.Ssx.Cpu.intr <- None;
+  cpu.Ssx.Cpu.reset_pin <- false;
+  cpu.Ssx.Cpu.halted <- false;
+  cpu.Ssx.Cpu.steps <- 0
+
+let reset_ref (o : Ref_interp.t) (p : Gen.program) =
+  Bytes.blit_string (Lazy.force base_image) 0 o.Ref_interp.mem 0
+    Ssx.Memory.size;
+  Bytes.blit_string p.Gen.code 0 o.Ref_interp.mem trial_code_base
+    (String.length p.Gen.code);
+  o.Ref_interp.ax <- 0;
+  o.Ref_interp.bx <- 0;
+  o.Ref_interp.cx <- 0;
+  o.Ref_interp.dx <- 0;
+  o.Ref_interp.si <- 0;
+  o.Ref_interp.di <- 0;
+  o.Ref_interp.sp <- 0xF000;
+  o.Ref_interp.bp <- 0;
+  o.Ref_interp.cs <- code_seg;
+  o.Ref_interp.ds <- code_seg;
+  o.Ref_interp.es <- code_seg;
+  o.Ref_interp.ss <- 0;
+  o.Ref_interp.fs <- 0;
+  o.Ref_interp.gs <- 0;
+  o.Ref_interp.ip <- 0;
+  o.Ref_interp.psw <- 0;
+  o.Ref_interp.nmi_counter <- 0;
+  o.Ref_interp.idtr <- 0;
+  o.Ref_interp.nmi_pin <- false;
+  o.Ref_interp.in_nmi <- false;
+  o.Ref_interp.intr <- None;
+  o.Ref_interp.reset_pin <- false;
+  o.Ref_interp.halted <- false;
+  o.Ref_interp.steps <- 0
+
+let prepare_machine ?(decode_cache = true) p =
+  let m = Ssx.Machine.create ~decode_cache () in
+  reset_machine m p;
+  m
+
+(* --- lock-step comparison --------------------------------------------- *)
+
+let event_matches (m_ev : Ssx.Cpu.event) (r_ev : Ref_interp.event) =
+  match (m_ev, r_ev) with
+  | Ssx.Cpu.Executed a, Ref_interp.Exec b -> I.equal a b
+  | Ssx.Cpu.Took_interrupt a, Ref_interp.Interrupt b ->
+    a.vector = b.vector && a.nmi = b.nmi
+  | Ssx.Cpu.Took_exception a, Ref_interp.Exception b -> a = b
+  | Ssx.Cpu.Halted_idle, Ref_interp.Idle -> true
+  | Ssx.Cpu.Did_reset, Ref_interp.Reset -> true
+  | _ -> false
+
+let pp_cpu_event ppf = function
+  | Ssx.Cpu.Executed i -> Format.fprintf ppf "exec %a" I.pp i
+  | Ssx.Cpu.Took_interrupt { vector; nmi } ->
+    Format.fprintf ppf "interrupt %d%s" vector (if nmi then " (nmi)" else "")
+  | Ssx.Cpu.Took_exception v -> Format.fprintf ppf "exception %d" v
+  | Ssx.Cpu.Halted_idle -> Format.fprintf ppf "idle"
+  | Ssx.Cpu.Did_reset -> Format.fprintf ppf "reset"
+
+(* First mismatching register/control field, if any. *)
+let state_mismatch m (o : Ref_interp.t) =
+  let cpu = Ssx.Machine.cpu m in
+  let r = cpu.Ssx.Cpu.regs in
+  let fields =
+    [ ("ax", r.Ssx.Registers.ax, o.Ref_interp.ax);
+      ("bx", r.Ssx.Registers.bx, o.Ref_interp.bx);
+      ("cx", r.Ssx.Registers.cx, o.Ref_interp.cx);
+      ("dx", r.Ssx.Registers.dx, o.Ref_interp.dx);
+      ("si", r.Ssx.Registers.si, o.Ref_interp.si);
+      ("di", r.Ssx.Registers.di, o.Ref_interp.di);
+      ("sp", r.Ssx.Registers.sp, o.Ref_interp.sp);
+      ("bp", r.Ssx.Registers.bp, o.Ref_interp.bp);
+      ("cs", r.Ssx.Registers.cs, o.Ref_interp.cs);
+      ("ds", r.Ssx.Registers.ds, o.Ref_interp.ds);
+      ("es", r.Ssx.Registers.es, o.Ref_interp.es);
+      ("ss", r.Ssx.Registers.ss, o.Ref_interp.ss);
+      ("fs", r.Ssx.Registers.fs, o.Ref_interp.fs);
+      ("gs", r.Ssx.Registers.gs, o.Ref_interp.gs);
+      ("ip", r.Ssx.Registers.ip, o.Ref_interp.ip);
+      ("psw", r.Ssx.Registers.psw, o.Ref_interp.psw);
+      ("nmi_counter", r.Ssx.Registers.nmi_counter, o.Ref_interp.nmi_counter);
+      ("halted", Bool.to_int cpu.Ssx.Cpu.halted,
+       Bool.to_int o.Ref_interp.halted);
+      ("in_nmi", Bool.to_int cpu.Ssx.Cpu.in_nmi,
+       Bool.to_int o.Ref_interp.in_nmi);
+      ("nmi_pin", Bool.to_int cpu.Ssx.Cpu.nmi_pin,
+       Bool.to_int o.Ref_interp.nmi_pin) ]
+  in
+  List.find_opt (fun (_, a, b) -> a <> b) fields
+
+let memory_mismatch m (o : Ref_interp.t) =
+  let image = Ssx.Memory.dump (Ssx.Machine.memory m) ~base:0 ~len:Ssx.Memory.size in
+  let oracle = Bytes.unsafe_to_string o.Ref_interp.mem in
+  if String.equal image oracle then None
+  else begin
+    let addr = ref 0 in
+    while String.unsafe_get image !addr = String.unsafe_get oracle !addr do
+      incr addr
+    done;
+    Some
+      (Printf.sprintf "memory at 0x%05X: machine 0x%02X, oracle 0x%02X"
+         !addr
+         (Char.code image.[!addr])
+         (Char.code oracle.[!addr]))
+  end
+
+(* --- coverage signature ----------------------------------------------
+   An execution signature cheap enough to compute every tick: the
+   opcode byte of the executed instruction (interrupt/exception/idle/
+   reset get ids above the byte range) paired with its predecessor,
+   plus the transition of the 7 architectural flag bits. *)
+
+let id_interrupt_nmi = 256
+let id_interrupt = 257
+let id_exception = 258
+let id_idle = 259
+let id_reset = 260
+let id_start = 261
+let id_count = 262
+let bigram_bits = id_count * id_count
+let flag_bits = 1 lsl 14
+let signature_bits = bigram_bits + flag_bits
+
+let event_id = function
+  | Ssx.Cpu.Executed i -> List.hd (Ssx.Codec.encode i)
+  | Ssx.Cpu.Took_interrupt { nmi = true; _ } -> id_interrupt_nmi
+  | Ssx.Cpu.Took_interrupt _ -> id_interrupt
+  | Ssx.Cpu.Took_exception _ -> id_exception
+  | Ssx.Cpu.Halted_idle -> id_idle
+  | Ssx.Cpu.Did_reset -> id_reset
+
+(* The 7 flag bits the ISA defines, squeezed together. *)
+let compress_psw psw =
+  (psw land 1)
+  lor ((psw lsr 2) land 1 lsl 1)
+  lor ((psw lsr 6) land 1 lsl 2)
+  lor ((psw lsr 7) land 1 lsl 3)
+  lor ((psw lsr 9) land 1 lsl 4)
+  lor ((psw lsr 10) land 1 lsl 5)
+  lor ((psw lsr 11) land 1 lsl 6)
+
+type coverage = { bits : Bytes.t; mutable points : int }
+
+let coverage_create () =
+  { bits = Bytes.make ((signature_bits + 7) / 8) '\000'; points = 0 }
+
+(* Returns how many of [indices] were new, setting them. *)
+let coverage_merge cov indices =
+  let fresh = ref 0 in
+  List.iter
+    (fun i ->
+      let cell = i lsr 3 and bit = 1 lsl (i land 7) in
+      let old = Char.code (Bytes.get cov.bits cell) in
+      if old land bit = 0 then begin
+        Bytes.set cov.bits cell (Char.chr (old lor bit));
+        incr fresh
+      end)
+    indices;
+  cov.points <- cov.points + !fresh;
+  !fresh
+
+(* --- one differential trial ------------------------------------------- *)
+
+type trial = { failure : (int * string) option; indices : int list }
+
+let run_trial m o (p : Gen.program) =
+  reset_machine m p;
+  reset_ref o p;
+  let cpu = Ssx.Machine.cpu m in
+  let schedule = ref p.Gen.schedule in
+  let indices = ref [] in
+  let prev_id = ref id_start in
+  let prev_flags = ref 0 in
+  let failure = ref None in
+  let tick = ref 0 in
+  while !failure = None && !tick < p.Gen.steps do
+    (match !schedule with
+    | next :: rest when next = !tick ->
+      Ssx.Cpu.raise_nmi cpu;
+      Ref_interp.raise_nmi o;
+      schedule := rest
+    | _ -> ());
+    let m_ev = Ssx.Machine.tick m in
+    let r_ev = Ref_interp.step o in
+    if not (event_matches m_ev r_ev) then
+      failure :=
+        Some
+          ( !tick,
+            Format.asprintf "event: machine %a, oracle %a" pp_cpu_event m_ev
+              Ref_interp.pp_event r_ev )
+    else begin
+      (match state_mismatch m o with
+      | Some (name, mv, ov) ->
+        failure :=
+          Some
+            ( !tick,
+              Format.asprintf "%s after %a: machine 0x%04X, oracle 0x%04X"
+                name pp_cpu_event m_ev mv ov )
+      | None -> ());
+      let id = event_id m_ev in
+      indices := ((!prev_id * id_count) + id) :: !indices;
+      let flags = compress_psw cpu.Ssx.Cpu.regs.Ssx.Registers.psw in
+      indices :=
+        (bigram_bits + ((!prev_flags lsl 7) lor flags)) :: !indices;
+      prev_id := id;
+      prev_flags := flags
+    end;
+    incr tick
+  done;
+  (match !failure with
+  | None -> (
+    match memory_mismatch m o with
+    | Some detail -> failure := Some (p.Gen.steps, detail)
+    | None -> ())
+  | Some _ -> ());
+  { failure = !failure; indices = !indices }
+
+let run_program ?(decode_cache = true) p =
+  let m = Ssx.Machine.create ~decode_cache () in
+  let o = Ref_interp.create () in
+  (run_trial m o p).failure
+
+(* --- shrinking -------------------------------------------------------- *)
+
+let shrink_budget = 800
+
+let drop_block code i n =
+  String.sub code 0 i ^ String.sub code (i + n) (String.length code - i - n)
+
+let shrink ~reproduces p =
+  let evals = ref 0 in
+  let try_p candidate =
+    if !evals >= shrink_budget then false
+    else begin
+      incr evals;
+      reproduces candidate
+    end
+  in
+  (* Remove blocks at halving granularity while the divergence holds. *)
+  let best = ref p in
+  let block = ref (max 1 (String.length p.Gen.code / 2)) in
+  while !block >= 1 do
+    let i = ref 0 in
+    while !i + !block <= String.length !best.Gen.code do
+      let code = drop_block !best.Gen.code !i !block in
+      if String.length code > 0 then begin
+        let candidate = { !best with Gen.code } in
+        if try_p candidate then best := candidate else i := !i + !block
+      end
+      else i := !i + !block
+    done;
+    block := if !block = 1 then 0 else !block / 2
+  done;
+  (* Normalise surviving bytes toward nop then zero. *)
+  let code = Bytes.of_string !best.Gen.code in
+  for i = 0 to Bytes.length code - 1 do
+    let original = Bytes.get code i in
+    List.iter
+      (fun replacement ->
+        if Bytes.get code i = original && original <> replacement then begin
+          Bytes.set code i replacement;
+          let candidate =
+            { !best with Gen.code = Bytes.to_string code }
+          in
+          if try_p candidate then best := candidate
+          else Bytes.set code i original
+        end)
+      [ '\x70'; '\x00' ]
+  done;
+  (* Thin the NMI schedule. *)
+  let rec thin_schedule () =
+    let sched = !best.Gen.schedule in
+    let dropped =
+      List.find_opt
+        (fun t ->
+          let candidate =
+            { !best with
+              Gen.schedule = List.filter (fun t' -> t' <> t) sched }
+          in
+          if try_p candidate then begin
+            best := candidate;
+            true
+          end
+          else false)
+        sched
+    in
+    if dropped <> None then thin_schedule ()
+  in
+  thin_schedule ();
+  !best
+
+(* --- reproducers ------------------------------------------------------ *)
+
+let reproducer_text d =
+  let buf = Buffer.create 1024 in
+  let p = d.program in
+  Buffer.add_string buf "; ssx16 differential fuzzer reproducer\n";
+  Buffer.add_string buf
+    (Printf.sprintf "; seed: 0x%016Lx  shard: %d  iter: %d\n" d.seed d.shard
+       d.iter);
+  Buffer.add_string buf
+    (Printf.sprintf "; divergence at tick %d: %s\n" d.tick d.detail);
+  Buffer.add_string buf (Printf.sprintf "; steps: %d\n" p.Gen.steps);
+  Buffer.add_string buf
+    (Printf.sprintf "; schedule:%s\n"
+       (String.concat ""
+          (List.map (fun t -> Printf.sprintf " %d" t) p.Gen.schedule)));
+  Buffer.add_string buf "code:\n";
+  (* One db line per eight bytes, each line's disassembly-at-offset-0
+     view appended as a comment for the human reader. *)
+  let len = String.length p.Gen.code in
+  let i = ref 0 in
+  while !i < len do
+    let n = min 8 (len - !i) in
+    let bytes =
+      String.concat ", "
+        (List.init n (fun k ->
+             Printf.sprintf "0x%02X" (Char.code p.Gen.code.[!i + k])))
+    in
+    Buffer.add_string buf (Printf.sprintf "  db %s\n" bytes);
+    i := !i + n
+  done;
+  Buffer.add_string buf ";\n; linear disassembly from offset 0:\n";
+  List.iter
+    (fun entry ->
+      Buffer.add_string buf
+        (Format.asprintf "; %a\n" Ssx_asm.Disasm.pp_entry entry))
+    (Ssx_asm.Disasm.disassemble p.Gen.code);
+  Buffer.contents buf
+
+let header_int text key =
+  let prefix = "; " ^ key ^ ":" in
+  let lines = String.split_on_char '\n' text in
+  match
+    List.find_opt (fun l -> String.length l >= String.length prefix
+                            && String.sub l 0 (String.length prefix) = prefix)
+      lines
+  with
+  | None -> None
+  | Some line ->
+    Some
+      (String.trim
+         (String.sub line (String.length prefix)
+            (String.length line - String.length prefix)))
+
+let program_of_reproducer text =
+  let steps =
+    match header_int text "steps" with
+    | Some s -> int_of_string (List.hd (String.split_on_char ' ' s))
+    | None -> failwith "reproducer: missing '; steps:' header"
+  in
+  let schedule =
+    match header_int text "schedule" with
+    | None -> []
+    | Some s ->
+      String.split_on_char ' ' s
+      |> List.filter (fun tok -> tok <> "")
+      |> List.map int_of_string
+  in
+  let image = Ssx_asm.Assemble.assemble text in
+  { Gen.code = image.Ssx_asm.Assemble.bytes; schedule; steps }
+
+let replay text = run_program (program_of_reproducer text)
+
+(* --- the campaign ------------------------------------------------------ *)
+
+(* Shard count is a function of the iteration budget alone, so the
+   division of work — and therefore every per-shard random stream — is
+   independent of the jobs setting. *)
+let shard_count iters = max 1 (min 32 ((iters + 249) / 250))
+
+let max_corpus = 512
+let max_divergences_per_shard = 5
+
+type shard_result = {
+  sh_programs : int;
+  sh_ticks : int;
+  sh_corpus : Gen.program list;
+  sh_indices : int list;
+  sh_divergences : divergence list;
+}
+
+let run_shard ~seed ~shard ~iters =
+  let rng = Rng.create (Rng.derive seed shard) in
+  let m = Ssx.Machine.create ~decode_cache:true () in
+  let o = Ref_interp.create () in
+  let cov = coverage_create () in
+  let corpus = ref [||] in
+  let divergences = ref [] in
+  let ticks = ref 0 in
+  for iter = 0 to iters - 1 do
+    let p =
+      if Array.length !corpus > 0 && Rng.int rng 3 < 2 then
+        Gen.mutate rng !corpus.(Rng.int rng (Array.length !corpus))
+      else Gen.generate rng
+    in
+    let trial = run_trial m o p in
+    ticks := !ticks + p.Gen.steps;
+    (match trial.failure with
+    | Some (tick, detail)
+      when List.length !divergences < max_divergences_per_shard ->
+      let reproduces candidate = (run_trial m o candidate).failure <> None in
+      let shrunk = shrink ~reproduces p in
+      let tick, detail =
+        match (run_trial m o shrunk).failure with
+        | Some (t, d) -> (t, d)
+        | None -> (tick, detail)
+      in
+      divergences :=
+        { program = shrunk; original = p; seed; shard; iter; tick; detail }
+        :: !divergences
+    | Some _ | None -> ());
+    if trial.failure = None && coverage_merge cov trial.indices > 0 then
+      if Array.length !corpus < max_corpus then
+        corpus := Array.append !corpus [| p |]
+  done;
+  (* Report the lit coverage bits as indices for the cross-shard merge. *)
+  let indices = ref [] in
+  Bytes.iteri
+    (fun cell c ->
+      let c = Char.code c in
+      if c <> 0 then
+        for bit = 0 to 7 do
+          if c land (1 lsl bit) <> 0 then indices := ((cell lsl 3) + bit) :: !indices
+        done)
+    cov.bits;
+  { sh_programs = iters;
+    sh_ticks = !ticks;
+    sh_corpus = Array.to_list !corpus;
+    sh_indices = !indices;
+    sh_divergences = List.rev !divergences }
+
+let run ?jobs ~seed ~iters () =
+  let shards = shard_count iters in
+  let per_shard = iters / shards and extra = iters mod shards in
+  let results =
+    Pool.run ?jobs shards (fun shard ->
+        let iters = per_shard + if shard < extra then 1 else 0 in
+        run_shard ~seed ~shard ~iters)
+  in
+  let cov = coverage_create () in
+  let programs = ref 0 and ticks = ref 0 and corpus = ref 0 in
+  let divergences = ref [] in
+  Array.iter
+    (fun r ->
+      programs := !programs + r.sh_programs;
+      ticks := !ticks + r.sh_ticks;
+      corpus := !corpus + List.length r.sh_corpus;
+      ignore (coverage_merge cov r.sh_indices);
+      divergences := !divergences @ r.sh_divergences)
+    results;
+  { programs = !programs;
+    total_ticks = !ticks;
+    corpus_size = !corpus;
+    coverage_points = cov.points;
+    divergences = !divergences }
+
+let pp_divergence ppf d =
+  Format.fprintf ppf
+    "@[<v>divergence (seed 0x%016Lx, shard %d, iter %d) at tick %d:@,\
+     %s@,shrunk to %d bytes (from %d)@]"
+    d.seed d.shard d.iter d.tick d.detail
+    (String.length d.program.Gen.code)
+    (String.length d.original.Gen.code)
+
+let pp_summary ppf s =
+  Format.fprintf ppf
+    "@[<v>%d programs, %d ticks, corpus %d, %d coverage points, %d divergence%s@]"
+    s.programs s.total_ticks s.corpus_size s.coverage_points
+    (List.length s.divergences)
+    (if List.length s.divergences = 1 then "" else "s")

@@ -1,0 +1,219 @@
+module I = Ssx.Instruction
+module R = Ssx.Registers
+module Rng = Ssx_faults.Rng
+
+type program = { code : string; schedule : int list; steps : int }
+
+let max_code_bytes = 512
+let min_steps = 120
+let max_steps = 500
+
+let pick rng l = List.nth l (Rng.int rng (List.length l))
+
+(* Operand values lean hard on boundaries: arithmetic edge cases live
+   at 0/1/0x7fff/0x8000/0xffff, and decode/address hazards live at the
+   segment-wrap end of the offset space. *)
+let word16 rng =
+  if Rng.int rng 2 = 0 then
+    pick rng [ 0; 1; 2; 0x7fff; 0x8000; 0xfffe; 0xffff ]
+  else Rng.int rng 0x10000
+
+let byte8 rng =
+  if Rng.int rng 2 = 0 then pick rng [ 0; 1; 0x7f; 0x80; 0xfe; 0xff ]
+  else Rng.int rng 0x100
+
+let reg16 rng = pick rng R.all_reg16
+let reg8 rng = pick rng R.all_reg8
+let sreg rng = pick rng R.all_sreg
+
+let base rng =
+  pick rng
+    [ I.No_base; I.Base_bx; I.Base_si; I.Base_di; I.Base_bp;
+      I.Base_bx_si; I.Base_bx_di ]
+
+let mem rng =
+  let seg_override = if Rng.int rng 4 = 0 then Some (sreg rng) else None in
+  let disp =
+    match Rng.int rng 4 with
+    | 0 -> 0xfffd + Rng.int rng 3 (* wraps the 16-bit offset space *)
+    | 1 -> Rng.int rng 64 (* lands in or near the code image *)
+    | _ -> Rng.int rng 0x10000
+  in
+  { I.seg_override; base = base rng; disp }
+
+let alu_op rng =
+  pick rng [ I.Add; I.Adc; I.Sub; I.Sbb; I.And; I.Or; I.Xor; I.Cmp; I.Test ]
+
+let cond rng = pick rng I.all_conds
+let width rng = if Rng.bool rng then I.Byte else I.Word_
+
+(* Jump targets stay near the code image often enough that control
+   actually revisits generated instructions. *)
+let target rng = if Rng.int rng 2 = 0 then Rng.int rng 256 else word16 rng
+
+let instruction rng =
+  match Rng.int rng 40 with
+  | 0 -> I.Mov_r16_imm (reg16 rng, word16 rng)
+  | 1 -> I.Mov_r8_imm (reg8 rng, byte8 rng)
+  | 2 -> I.Mov_r16_r16 (reg16 rng, reg16 rng)
+  | 3 ->
+    (* Writing cs or ss retargets fetch or the stack mid-program —
+       exactly the corruption-like state the oracle must agree on. *)
+    I.Mov_sreg_r16 (sreg rng, reg16 rng)
+  | 4 -> I.Mov_r16_sreg (reg16 rng, sreg rng)
+  | 5 -> I.Mov_r16_mem (reg16 rng, mem rng)
+  | 6 -> I.Mov_mem_r16 (mem rng, reg16 rng)
+  | 7 -> I.Mov_mem_imm (mem rng, word16 rng)
+  | 8 -> I.Mov_r8_mem (reg8 rng, mem rng)
+  | 9 -> I.Mov_mem_r8 (mem rng, reg8 rng)
+  | 10 -> I.Mov_sreg_mem (sreg rng, mem rng)
+  | 11 -> I.Mov_mem_sreg (mem rng, sreg rng)
+  | 12 -> I.Lea (reg16 rng, mem rng)
+  | 13 -> I.Xchg (reg16 rng, reg16 rng)
+  | 14 -> I.Alu_r16_r16 (alu_op rng, reg16 rng, reg16 rng)
+  | 15 -> I.Alu_r16_imm (alu_op rng, reg16 rng, word16 rng)
+  | 16 -> I.Alu_r16_mem (alu_op rng, reg16 rng, mem rng)
+  | 17 -> I.Alu_mem_r16 (alu_op rng, mem rng, reg16 rng)
+  | 18 -> I.Alu_r8_r8 (alu_op rng, reg8 rng, reg8 rng)
+  | 19 -> I.Alu_r8_imm (alu_op rng, reg8 rng, byte8 rng)
+  | 20 -> pick rng [ I.Inc_r16 (reg16 rng); I.Dec_r16 (reg16 rng) ]
+  | 21 -> pick rng [ I.Neg_r16 (reg16 rng); I.Not_r16 (reg16 rng) ]
+  | 22 -> I.Shl_r16 (reg16 rng, Rng.int rng 16)
+  | 23 -> I.Shr_r16 (reg16 rng, Rng.int rng 16)
+  | 24 -> pick rng [ I.Mul_r8 (reg8 rng); I.Div_r8 (reg8 rng) ]
+  | 25 -> pick rng [ I.Mul_r16 (reg16 rng); I.Div_r16 (reg16 rng) ]
+  | 26 -> pick rng [ I.Push_r16 (reg16 rng); I.Pop_r16 (reg16 rng) ]
+  | 27 -> pick rng [ I.Push_sreg (sreg rng); I.Pop_sreg (sreg rng) ]
+  | 28 -> pick rng [ I.Push_imm (word16 rng); I.Pushf; I.Popf ]
+  | 29 -> I.Jmp (target rng)
+  | 30 -> I.Jcc (cond rng, target rng)
+  | 31 -> pick rng [ I.Call (target rng); I.Ret ]
+  | 32 -> I.Loop (target rng)
+  | 33 ->
+    (* Small vectors: the trial image points every IDT entry at a
+       real iret handler, so these exercise service/iret round trips
+       and the NMI re-arm rule. *)
+    I.Int (Rng.int rng 16)
+  | 34 -> I.Iret
+  | 35 ->
+    pick rng
+      [ I.Movs (width rng); I.Stos (width rng); I.Lods (width rng);
+        I.Rep (I.Movs (width rng)); I.Rep (I.Stos (width rng));
+        I.Rep (I.Lods (width rng)) ]
+  | 36 ->
+    pick rng
+      [ I.In_ (width rng, byte8 rng); I.Out (byte8 rng, width rng);
+        I.In_dx (width rng); I.Out_dx (width rng) ]
+  | 37 -> pick rng [ I.Cli; I.Sti; I.Cld; I.Std; I.Clc; I.Stc ]
+  | 38 -> pick rng [ I.Nop; I.Hlt ]
+  | _ ->
+    (* Direct arithmetic on cx/sp: loop counters and stack pointers
+       with boundary values drive the nastiest wrap behaviour. *)
+    pick rng
+      [ I.Mov_r16_imm (R.CX, Rng.int rng 8);
+        I.Mov_r16_imm (R.SP, word16 rng);
+        I.Alu_r16_imm (I.Add, R.SP, word16 rng) ]
+
+let encode_program rng =
+  let n = 4 + Rng.int rng 36 in
+  let buf = Buffer.create 64 in
+  for _ = 1 to n do
+    if Buffer.length buf < max_code_bytes - Ssx.Codec.max_length then
+      List.iter
+        (fun b -> Buffer.add_char buf (Char.chr (b land 0xff)))
+        (Ssx.Codec.encode (instruction rng))
+  done;
+  Buffer.contents buf
+
+let corrupt_bytes rng code =
+  let b = Bytes.of_string code in
+  let n = 1 + Rng.int rng 4 in
+  for _ = 1 to n do
+    if Bytes.length b > 0 then begin
+      let i = Rng.int rng (Bytes.length b) in
+      let v =
+        if Rng.bool rng then Rng.int rng 0x100
+        else Char.code (Bytes.get b i) lxor (1 lsl Rng.int rng 8)
+      in
+      Bytes.set b i (Char.chr (v land 0xff))
+    end
+  done;
+  Bytes.to_string b
+
+let schedule_of rng steps =
+  let n = Rng.int rng 5 in
+  let ticks = List.init n (fun _ -> Rng.int rng steps) in
+  List.sort_uniq compare ticks
+
+let generate rng =
+  let code = encode_program rng in
+  let code = if Rng.int rng 2 = 0 then corrupt_bytes rng code else code in
+  let steps = min_steps + Rng.int rng (max_steps - min_steps) in
+  { code; schedule = schedule_of rng steps; steps }
+
+let clamp_code code =
+  if String.length code > max_code_bytes then String.sub code 0 max_code_bytes
+  else code
+
+let mutate rng p =
+  let b = Bytes.of_string p.code in
+  let code =
+    match Rng.int rng 6 with
+    | 0 | 1 ->
+      (* overwrite *)
+      if Bytes.length b > 0 then
+        Bytes.set b (Rng.int rng (Bytes.length b))
+          (Char.chr (Rng.int rng 0x100));
+      Bytes.to_string b
+    | 2 ->
+      (* bit flip *)
+      if Bytes.length b > 0 then begin
+        let i = Rng.int rng (Bytes.length b) in
+        Bytes.set b i
+          (Char.chr (Char.code (Bytes.get b i) lxor (1 lsl Rng.int rng 8)))
+      end;
+      Bytes.to_string b
+    | 3 ->
+      (* swap two bytes *)
+      if Bytes.length b > 1 then begin
+        let i = Rng.int rng (Bytes.length b)
+        and j = Rng.int rng (Bytes.length b) in
+        let ci = Bytes.get b i in
+        Bytes.set b i (Bytes.get b j);
+        Bytes.set b j ci
+      end;
+      Bytes.to_string b
+    | 4 ->
+      (* insert an instruction's bytes or a random byte *)
+      let insertion =
+        if Rng.bool rng then
+          String.concat ""
+            (List.map
+               (fun v -> String.make 1 (Char.chr (v land 0xff)))
+               (Ssx.Codec.encode (instruction rng)))
+        else String.make 1 (Char.chr (Rng.int rng 0x100))
+      in
+      let i = Rng.int rng (Bytes.length b + 1) in
+      clamp_code
+        (String.sub p.code 0 i ^ insertion
+        ^ String.sub p.code i (String.length p.code - i))
+    | _ ->
+      (* delete a short run *)
+      if Bytes.length b > 1 then begin
+        let i = Rng.int rng (Bytes.length b) in
+        let n = min (1 + Rng.int rng 4) (Bytes.length b - i) in
+        String.sub p.code 0 i
+        ^ String.sub p.code (i + n) (String.length p.code - i - n)
+      end
+      else p.code
+  in
+  let code = if String.length code = 0 then String.make 1 '\x70' else code in
+  let schedule =
+    if Rng.int rng 4 = 0 then schedule_of rng p.steps else p.schedule
+  in
+  let steps =
+    if Rng.int rng 8 = 0 then min_steps + Rng.int rng (max_steps - min_steps)
+    else p.steps
+  in
+  let schedule = List.filter (fun tick -> tick < steps) schedule in
+  { code; schedule; steps }

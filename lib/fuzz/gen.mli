@@ -1,0 +1,28 @@
+(** Seeded program generator and byte-level mutator for the fuzzer.
+
+    A generated {!program} is a code image plus an NMI tick schedule
+    and a tick budget — everything a differential trial needs besides
+    the fixed initial register file.  Generation is biased toward the
+    corners the ROADMAP cares about: boundary operand values,
+    segment-wrapping displacements, stores that hit the code segment
+    (self-modification), [iret]/NMI interleavings, and — via
+    {!mutate} — byte-level corruption that produces illegal encodings
+    and mis-aligned decode streams (the §5.2 hazard). *)
+
+type program = {
+  code : string;  (** raw bytes, loaded at the trial's code base *)
+  schedule : int list;  (** strictly increasing 0-based ticks that raise an NMI *)
+  steps : int;  (** lock-step tick budget *)
+}
+
+val max_code_bytes : int
+(** Upper bound on [code] length for generated and mutated programs. *)
+
+val generate : Ssx_faults.Rng.t -> program
+(** A fresh well-formed-ish program: valid encodings from the full
+    instruction set (about half the time roughed up with a few byte
+    corruptions), a small sorted NMI schedule, and a tick budget. *)
+
+val mutate : Ssx_faults.Rng.t -> program -> program
+(** Corpus-style mutation: byte overwrites, bit flips, swaps, inserts,
+    deletes, and occasional schedule jitter. *)

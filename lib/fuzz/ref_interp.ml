@@ -1,0 +1,781 @@
+(* The oracle: SSX16 re-implemented from the written spec (DESIGN.md
+   §2, codec.mli's opcode map) with no code shared with lib/machine.
+   Where lib/machine is engineered for speed — packed ALU results,
+   decode cache, open-coded loops — this interpreter is written for
+   obviousness: lists of bytes, a ripple-carry adder, one small
+   function per concern.  Divergence between the two under lock-step
+   execution is a genuine bug in one of them. *)
+
+module I = Ssx.Instruction
+module R = Ssx.Registers
+
+type event =
+  | Exec of I.t
+  | Interrupt of { vector : int; nmi : bool }
+  | Exception of int
+  | Idle
+  | Reset
+
+(* Machine parameters, restated from DESIGN.md / Cpu.default_config. *)
+let memory_bytes = 0x100000
+let nmi_counter_max = 200_000
+let nmi_idt_base = 0xF0000
+let reset_cs = 0xF000
+let reset_ip = 0x0000
+let vec_divide_error = 0
+let vec_nmi = 2
+let vec_invalid_opcode = 6
+
+type t = {
+  mem : Bytes.t;
+  mutable ax : int;
+  mutable bx : int;
+  mutable cx : int;
+  mutable dx : int;
+  mutable si : int;
+  mutable di : int;
+  mutable sp : int;
+  mutable bp : int;
+  mutable cs : int;
+  mutable ds : int;
+  mutable es : int;
+  mutable ss : int;
+  mutable fs : int;
+  mutable gs : int;
+  mutable ip : int;
+  mutable psw : int;
+  mutable nmi_counter : int;
+  mutable idtr : int;
+  mutable nmi_pin : bool;
+  mutable in_nmi : bool;
+  mutable intr : int option;
+  mutable reset_pin : bool;
+  mutable halted : bool;
+  mutable steps : int;
+  mutable io_in : int -> I.width -> int;
+  mutable io_out : int -> I.width -> int -> unit;
+}
+
+let create () =
+  { mem = Bytes.make memory_bytes '\000';
+    ax = 0; bx = 0; cx = 0; dx = 0; si = 0; di = 0; sp = 0; bp = 0;
+    cs = 0; ds = 0; es = 0; ss = 0; fs = 0; gs = 0; ip = 0; psw = 0;
+    nmi_counter = 0; idtr = 0; nmi_pin = false; in_nmi = false;
+    intr = None; reset_pin = false; halted = false; steps = 0;
+    io_in = (fun _ _ -> 0); io_out = (fun _ _ _ -> ()) }
+
+(* --- words and memory, spelled out ---------------------------------- *)
+
+let word v = v land 0xffff
+let byte v = v land 0xff
+let phys ~seg ~off = ((seg * 16) + off) land 0xfffff
+
+let read_byte t addr = Char.code (Bytes.get t.mem (addr land 0xfffff))
+
+let write_byte t addr v =
+  Bytes.set t.mem (addr land 0xfffff) (Char.chr (byte v))
+
+let read_word t addr =
+  read_byte t addr lor (read_byte t (addr + 1) lsl 8)
+
+let write_word t addr v =
+  write_byte t addr (v land 0xff);
+  write_byte t (addr + 1) ((v lsr 8) land 0xff)
+
+let load t ~base image =
+  String.iteri (fun i c -> write_byte t (base + i) (Char.code c)) image
+
+let raise_nmi t = t.nmi_pin <- true
+let raise_intr t v = t.intr <- Some v
+
+(* --- flags: one bit position per name, per DESIGN.md §2 ------------- *)
+
+let cf_bit = 0
+let pf_bit = 2
+let zf_bit = 6
+let sf_bit = 7
+let if_bit = 9
+let df_bit = 10
+let of_bit = 11
+
+let flag t bit = (t.psw lsr bit) land 1 = 1
+
+let set_flag t bit v =
+  if v then t.psw <- t.psw lor (1 lsl bit)
+  else t.psw <- t.psw land lnot (1 lsl bit) land 0xffff
+
+(* Even parity of the low eight bits, counted one bit at a time. *)
+let parity_even v =
+  let bits = List.init 8 (fun i -> (v lsr i) land 1) in
+  List.fold_left ( + ) 0 bits mod 2 = 0
+
+let set_zsp t ~width result =
+  let sign_bit = if width = 16 then 0x8000 else 0x80 in
+  set_flag t zf_bit (result = 0);
+  set_flag t sf_bit (result land sign_bit <> 0);
+  set_flag t pf_bit (parity_even result)
+
+(* --- the ALU: a ripple-carry adder, one bit at a time ---------------
+   CF is the adder's carry out; OF is carry-into-the-sign-bit XOR
+   carry-out-of-it, the textbook signed-overflow rule.  Subtraction is
+   a + (lnot b) + (1 - borrow), whose carry out is the complement of
+   the borrow out. *)
+
+let ripple_add ~width a b ~carry_in =
+  let result = ref 0 in
+  let carry = ref (if carry_in then 1 else 0) in
+  let carry_into_msb = ref 0 in
+  for i = 0 to width - 1 do
+    if i = width - 1 then carry_into_msb := !carry;
+    let s = ((a lsr i) land 1) + ((b lsr i) land 1) + !carry in
+    result := !result lor ((s land 1) lsl i);
+    carry := s lsr 1
+  done;
+  (!result, !carry = 1, !carry_into_msb <> !carry)
+
+let add_bits ~width a b ~carry_in =
+  let result, carry_out, overflow = ripple_add ~width a b ~carry_in in
+  (result, carry_out, overflow)
+
+let sub_bits ~width a b ~borrow_in =
+  let mask = (1 lsl width) - 1 in
+  let result, carry_out, overflow =
+    ripple_add ~width a (lnot b land mask) ~carry_in:(not borrow_in)
+  in
+  (result, not carry_out, overflow)
+
+(* 16-bit ALU: returns [Some result] to store back, [None] for the
+   compare/test forms.  Flag behaviour per DESIGN.md: arithmetic forms
+   set ZF SF PF CF OF; logic forms set ZF SF PF and clear CF and OF. *)
+let alu16 t op a b =
+  let arith (result, carry, overflow) store =
+    set_zsp t ~width:16 result;
+    set_flag t cf_bit carry;
+    set_flag t of_bit overflow;
+    if store then Some result else None
+  in
+  let logic result store =
+    set_zsp t ~width:16 result;
+    set_flag t cf_bit false;
+    set_flag t of_bit false;
+    if store then Some result else None
+  in
+  match op with
+  | I.Add -> arith (add_bits ~width:16 a b ~carry_in:false) true
+  | I.Adc -> arith (add_bits ~width:16 a b ~carry_in:(flag t cf_bit)) true
+  | I.Sub -> arith (sub_bits ~width:16 a b ~borrow_in:false) true
+  | I.Sbb -> arith (sub_bits ~width:16 a b ~borrow_in:(flag t cf_bit)) true
+  | I.Cmp -> arith (sub_bits ~width:16 a b ~borrow_in:false) false
+  | I.And -> logic (a land b) true
+  | I.Or -> logic (a lor b) true
+  | I.Xor -> logic (a lxor b) true
+  | I.Test -> logic (a land b) false
+
+(* 8-bit ALU.  The spec quirk worth stating: the 8-bit arithmetic
+   forms update ZF SF PF CF but leave OF alone; the logic forms clear
+   both CF and OF as in the 16-bit case. *)
+let alu8 t op a b =
+  let arith (result, carry, _overflow) store =
+    set_zsp t ~width:8 result;
+    set_flag t cf_bit carry;
+    if store then Some result else None
+  in
+  let logic result store =
+    set_zsp t ~width:8 result;
+    set_flag t cf_bit false;
+    set_flag t of_bit false;
+    if store then Some result else None
+  in
+  match op with
+  | I.Add -> arith (add_bits ~width:8 a b ~carry_in:false) true
+  | I.Adc -> arith (add_bits ~width:8 a b ~carry_in:(flag t cf_bit)) true
+  | I.Sub -> arith (sub_bits ~width:8 a b ~borrow_in:false) true
+  | I.Sbb -> arith (sub_bits ~width:8 a b ~borrow_in:(flag t cf_bit)) true
+  | I.Cmp -> arith (sub_bits ~width:8 a b ~borrow_in:false) false
+  | I.And -> logic (a land b) true
+  | I.Or -> logic (a lor b) true
+  | I.Xor -> logic (a lxor b) true
+  | I.Test -> logic (a land b) false
+
+(* --- registers -------------------------------------------------------- *)
+
+let get16 t = function
+  | R.AX -> t.ax | R.BX -> t.bx | R.CX -> t.cx | R.DX -> t.dx
+  | R.SI -> t.si | R.DI -> t.di | R.SP -> t.sp | R.BP -> t.bp
+
+let set16 t r v =
+  let v = word v in
+  match r with
+  | R.AX -> t.ax <- v | R.BX -> t.bx <- v | R.CX -> t.cx <- v
+  | R.DX -> t.dx <- v | R.SI -> t.si <- v | R.DI -> t.di <- v
+  | R.SP -> t.sp <- v | R.BP -> t.bp <- v
+
+let get8 t = function
+  | R.AL -> t.ax land 0xff | R.AH -> (t.ax lsr 8) land 0xff
+  | R.BL -> t.bx land 0xff | R.BH -> (t.bx lsr 8) land 0xff
+  | R.CL -> t.cx land 0xff | R.CH -> (t.cx lsr 8) land 0xff
+  | R.DL -> t.dx land 0xff | R.DH -> (t.dx lsr 8) land 0xff
+
+let set8 t r v =
+  let v = byte v in
+  let low w = (w land 0xff00) lor v in
+  let high w = (w land 0x00ff) lor (v lsl 8) in
+  match r with
+  | R.AL -> t.ax <- low t.ax | R.AH -> t.ax <- high t.ax
+  | R.BL -> t.bx <- low t.bx | R.BH -> t.bx <- high t.bx
+  | R.CL -> t.cx <- low t.cx | R.CH -> t.cx <- high t.cx
+  | R.DL -> t.dx <- low t.dx | R.DH -> t.dx <- high t.dx
+
+let get_sreg t = function
+  | R.CS -> t.cs | R.DS -> t.ds | R.ES -> t.es
+  | R.SS -> t.ss | R.FS -> t.fs | R.GS -> t.gs
+
+let set_sreg t s v =
+  let v = word v in
+  match s with
+  | R.CS -> t.cs <- v | R.DS -> t.ds <- v | R.ES -> t.es <- v
+  | R.SS -> t.ss <- v | R.FS -> t.fs <- v | R.GS -> t.gs <- v
+
+(* --- the decoder, re-derived from codec.mli's opcode map -------------
+   Own index tables (x86 ModRM order, as the map documents); operand
+   bytes are pulled from an eagerly materialised window so every decode
+   reads the full maximum instruction length. *)
+
+let reg16_table = [ R.AX; R.CX; R.DX; R.BX; R.SP; R.BP; R.SI; R.DI ]
+let reg8_table = [ R.AL; R.CL; R.DL; R.BL; R.AH; R.CH; R.DH; R.BH ]
+let sreg_table = [ R.ES; R.CS; R.SS; R.DS; R.FS; R.GS ]
+
+let base_table =
+  [ I.No_base; I.Base_bx; I.Base_si; I.Base_di; I.Base_bp;
+    I.Base_bx_si; I.Base_bx_di ]
+
+let alu_table = [ I.Add; I.Adc; I.Sub; I.Sbb; I.And; I.Or; I.Xor; I.Cmp; I.Test ]
+
+let cond_table =
+  [ I.B; I.NB; I.BE; I.A; I.E; I.NE; I.L; I.GE; I.LE; I.G; I.S; I.NS; I.O; I.NO ]
+
+let reg16_of_index i = List.nth_opt reg16_table i
+let reg8_of_index i = List.nth_opt reg8_table i
+let sreg_of_index i = List.nth_opt sreg_table i
+
+(* The memory-operand mode byte: bits 0-2 pick the base-register
+   combination, bits 3-5 a segment override (0 = default segment,
+   1 + sreg index otherwise). *)
+let mem_of_mode mode disp =
+  match List.nth_opt base_table (mode land 7) with
+  | None -> None
+  | Some base -> (
+    match (mode lsr 3) land 7 with
+    | 0 -> Some { I.seg_override = None; base; disp }
+    | n -> (
+      match sreg_of_index (n - 1) with
+      | None -> None
+      | Some s -> Some { I.seg_override = Some s; base; disp }))
+
+let string_op_of_byte = function
+  | 0x60 -> Some (I.Movs I.Byte)
+  | 0x61 -> Some (I.Movs I.Word_)
+  | 0x62 -> Some (I.Stos I.Byte)
+  | 0x63 -> Some (I.Stos I.Word_)
+  | 0x64 -> Some (I.Lods I.Byte)
+  | 0x65 -> Some (I.Lods I.Word_)
+  | _ -> None
+
+let decode_window fetch pos =
+  (* Maximum instruction length is 7; read one byte past it so the
+     window functions below never index out of the list. *)
+  List.init 8 (fun k -> fetch (pos + k) land 0xff)
+
+let decode_with ~fetch ~pos =
+  let window = decode_window fetch pos in
+  let b off = List.nth window off in
+  let w off = b off lor (b (off + 1) lsl 8) in
+  let invalid () = (I.Invalid (b 0), 1) in
+  let reg16 off k =
+    match reg16_of_index (b off land 7) with
+    | Some r -> k r
+    | None -> invalid ()
+  in
+  let reg8 off k =
+    match reg8_of_index (b off land 7) with
+    | Some r -> k r
+    | None -> invalid ()
+  in
+  let sreg off k =
+    match sreg_of_index (b off land 7) with
+    | Some s -> k s
+    | None -> invalid ()
+  in
+  let mem off k =
+    match mem_of_mode (b off) (w (off + 1)) with
+    | Some m -> k m
+    | None -> invalid ()
+  in
+  match b 0 with
+  | 0x01 -> reg16 1 (fun r -> (I.Mov_r16_imm (r, w 2), 4))
+  | 0x02 -> reg8 1 (fun r -> (I.Mov_r8_imm (r, b 2), 3))
+  | 0x03 -> (
+    match (reg16_of_index ((b 1 lsr 4) land 7), reg16_of_index (b 1 land 7)) with
+    | Some d, Some s -> (I.Mov_r16_r16 (d, s), 2)
+    | _ -> invalid ())
+  | 0x04 -> (
+    match (sreg_of_index ((b 1 lsr 4) land 7), reg16_of_index (b 1 land 7)) with
+    | Some d, Some s -> (I.Mov_sreg_r16 (d, s), 2)
+    | _ -> invalid ())
+  | 0x05 -> (
+    match (reg16_of_index ((b 1 lsr 4) land 7), sreg_of_index (b 1 land 7)) with
+    | Some d, Some s -> (I.Mov_r16_sreg (d, s), 2)
+    | _ -> invalid ())
+  | 0x06 -> reg16 1 (fun r -> mem 2 (fun m -> (I.Mov_r16_mem (r, m), 5)))
+  | 0x07 -> reg16 1 (fun r -> mem 2 (fun m -> (I.Mov_mem_r16 (m, r), 5)))
+  | 0x08 -> mem 1 (fun m -> (I.Mov_mem_imm (m, w 4), 6))
+  | 0x09 -> reg8 1 (fun r -> mem 2 (fun m -> (I.Mov_r8_mem (r, m), 5)))
+  | 0x0A -> reg8 1 (fun r -> mem 2 (fun m -> (I.Mov_mem_r8 (m, r), 5)))
+  | 0x0B -> sreg 1 (fun s -> mem 2 (fun m -> (I.Mov_sreg_mem (s, m), 5)))
+  | 0x0C -> sreg 1 (fun s -> mem 2 (fun m -> (I.Mov_mem_sreg (m, s), 5)))
+  | 0x0D -> reg16 1 (fun r -> mem 2 (fun m -> (I.Lea (r, m), 5)))
+  | 0x0E -> (
+    match (reg16_of_index ((b 1 lsr 4) land 7), reg16_of_index (b 1 land 7)) with
+    | Some a, Some c -> (I.Xchg (a, c), 2)
+    | _ -> invalid ())
+  | op when op >= 0x10 && op <= 0x18 -> (
+    match List.nth_opt alu_table (op - 0x10) with
+    | None -> invalid ()
+    | Some alu -> (
+      match b 1 with
+      | 0 -> (
+        match
+          (reg16_of_index ((b 2 lsr 4) land 7), reg16_of_index (b 2 land 7))
+        with
+        | Some d, Some s -> (I.Alu_r16_r16 (alu, d, s), 3)
+        | _ -> invalid ())
+      | 1 -> reg16 2 (fun d -> (I.Alu_r16_imm (alu, d, w 3), 5))
+      | 2 -> reg16 2 (fun d -> mem 3 (fun m -> (I.Alu_r16_mem (alu, d, m), 6)))
+      | 3 -> reg16 2 (fun s -> mem 3 (fun m -> (I.Alu_mem_r16 (alu, m, s), 6)))
+      | 4 -> (
+        match
+          (reg8_of_index ((b 2 lsr 4) land 7), reg8_of_index (b 2 land 7))
+        with
+        | Some d, Some s -> (I.Alu_r8_r8 (alu, d, s), 3)
+        | _ -> invalid ())
+      | 5 -> reg8 2 (fun d -> (I.Alu_r8_imm (alu, d, b 3), 4))
+      | _ -> invalid ()))
+  | 0x20 -> reg16 1 (fun r -> (I.Inc_r16 r, 2))
+  | 0x21 -> reg16 1 (fun r -> (I.Dec_r16 r, 2))
+  | 0x22 -> reg16 1 (fun r -> (I.Neg_r16 r, 2))
+  | 0x23 -> reg16 1 (fun r -> (I.Not_r16 r, 2))
+  | 0x24 -> reg16 1 (fun r -> (I.Shl_r16 (r, b 2 land 0xf), 3))
+  | 0x25 -> reg16 1 (fun r -> (I.Shr_r16 (r, b 2 land 0xf), 3))
+  | 0x26 -> reg8 1 (fun r -> (I.Mul_r8 r, 2))
+  | 0x27 -> reg16 1 (fun r -> (I.Mul_r16 r, 2))
+  | 0x28 -> reg8 1 (fun r -> (I.Div_r8 r, 2))
+  | 0x29 -> reg16 1 (fun r -> (I.Div_r16 r, 2))
+  | 0x30 -> reg16 1 (fun r -> (I.Push_r16 r, 2))
+  | 0x31 -> (I.Push_imm (w 1), 3)
+  | 0x32 -> sreg 1 (fun s -> (I.Push_sreg s, 2))
+  | 0x33 -> reg16 1 (fun r -> (I.Pop_r16 r, 2))
+  | 0x34 -> sreg 1 (fun s -> (I.Pop_sreg s, 2))
+  | 0x35 -> (I.Pushf, 1)
+  | 0x36 -> (I.Popf, 1)
+  | 0x40 -> (I.Jmp (w 1), 3)
+  | 0x41 -> (I.Jmp_far (w 3, w 1), 5)
+  | 0x42 -> (I.Call (w 1), 3)
+  | 0x43 -> (I.Ret, 1)
+  | 0x44 -> (I.Iret, 1)
+  | 0x45 -> (I.Int (b 1), 2)
+  | 0x46 -> (I.Loop (w 1), 3)
+  | op when op >= 0x48 && op <= 0x55 -> (
+    match List.nth_opt cond_table (op - 0x48) with
+    | Some c -> (I.Jcc (c, w 1), 3)
+    | None -> invalid ())
+  | (0x60 | 0x61 | 0x62 | 0x63 | 0x64 | 0x65) as op -> (
+    match string_op_of_byte op with
+    | Some s -> (s, 1)
+    | None -> invalid ())
+  | 0x66 -> (
+    (* rep only prefixes the six one-byte string ops; anything else
+       after 0x66 makes the prefix itself the invalid byte. *)
+    match string_op_of_byte (b 1) with
+    | Some body -> (I.Rep body, 2)
+    | None -> invalid ())
+  | 0x67 -> (I.In_ (I.Byte, b 1), 2)
+  | 0x68 -> (I.In_ (I.Word_, b 1), 2)
+  | 0x69 -> (I.Out (b 1, I.Byte), 2)
+  | 0x6A -> (I.Out (b 1, I.Word_), 2)
+  | 0x6B -> (I.In_dx I.Byte, 1)
+  | 0x6C -> (I.In_dx I.Word_, 1)
+  | 0x6D -> (I.Out_dx I.Byte, 1)
+  | 0x6E -> (I.Out_dx I.Word_, 1)
+  | 0x70 | 0x90 -> (I.Nop, 1)
+  | 0x71 -> (I.Hlt, 1)
+  | 0x72 -> (I.Cli, 1)
+  | 0x73 -> (I.Sti, 1)
+  | 0x74 -> (I.Cld, 1)
+  | 0x75 -> (I.Std, 1)
+  | 0x76 -> (I.Clc, 1)
+  | 0x77 -> (I.Stc, 1)
+  | _ -> invalid ()
+
+let decode t ~pos =
+  let fetch p = read_byte t (phys ~seg:t.cs ~off:(word p)) in
+  decode_with ~fetch ~pos
+
+let decode_bytes s ~pos =
+  let fetch i = if i >= 0 && i < String.length s then Char.code s.[i] else 0 in
+  decode_with ~fetch ~pos
+
+(* --- interrupts ------------------------------------------------------- *)
+
+let push t v =
+  t.sp <- word (t.sp - 2);
+  write_word t (phys ~seg:t.ss ~off:t.sp) v
+
+let pop t =
+  let v = read_word t (phys ~seg:t.ss ~off:t.sp) in
+  t.sp <- word (t.sp + 2);
+  v
+
+let service t vector ~nmi ~return_ip =
+  push t t.psw;
+  push t t.cs;
+  push t return_ip;
+  set_flag t if_bit false;
+  if nmi then t.nmi_counter <- nmi_counter_max;
+  let base = if nmi then nmi_idt_base else t.idtr in
+  let entry = (base + (4 * vector)) land 0xfffff in
+  let off = read_word t entry in
+  let seg = read_word t (entry + 2) in
+  t.cs <- seg;
+  t.ip <- off;
+  t.halted <- false
+
+exception Fault of int
+
+(* --- execution -------------------------------------------------------- *)
+
+let effective_address t (m : I.mem) =
+  let base_value =
+    match m.I.base with
+    | I.No_base -> 0
+    | I.Base_bx -> t.bx
+    | I.Base_si -> t.si
+    | I.Base_di -> t.di
+    | I.Base_bp -> t.bp
+    | I.Base_bx_si -> word (t.bx + t.si)
+    | I.Base_bx_di -> word (t.bx + t.di)
+  in
+  let seg =
+    match m.I.seg_override with
+    | Some s -> get_sreg t s
+    | None -> (
+      (* bp-based addressing defaults to the stack segment. *)
+      match m.I.base with
+      | I.Base_bp -> t.ss
+      | _ -> t.ds)
+  in
+  phys ~seg ~off:(word (base_value + m.I.disp))
+
+let read_mem16 t m = read_word t (effective_address t m)
+let write_mem16 t m v = write_word t (effective_address t m) v
+let read_mem8 t m = read_byte t (effective_address t m)
+let write_mem8 t m v = write_byte t (effective_address t m) v
+
+let cond_holds t cond =
+  let cf = flag t cf_bit
+  and zf = flag t zf_bit
+  and sf = flag t sf_bit
+  and ov = flag t of_bit in
+  match cond with
+  | I.B -> cf
+  | I.NB -> not cf
+  | I.BE -> cf || zf
+  | I.A -> not (cf || zf)
+  | I.E -> zf
+  | I.NE -> not zf
+  | I.L -> sf <> ov
+  | I.GE -> sf = ov
+  | I.LE -> zf || sf <> ov
+  | I.G -> (not zf) && sf = ov
+  | I.S -> sf
+  | I.NS -> not sf
+  | I.O -> ov
+  | I.NO -> not ov
+
+let string_delta t = function
+  | I.Byte -> if flag t df_bit then -1 else 1
+  | I.Word_ -> if flag t df_bit then -2 else 2
+
+let exec_string_unit t op width =
+  let delta = string_delta t width in
+  (match (op, width) with
+  | `Movs, I.Byte ->
+    let v = read_byte t (phys ~seg:t.ds ~off:t.si) in
+    write_byte t (phys ~seg:t.es ~off:t.di) v;
+    t.si <- word (t.si + delta);
+    t.di <- word (t.di + delta)
+  | `Movs, I.Word_ ->
+    let v = read_word t (phys ~seg:t.ds ~off:t.si) in
+    write_word t (phys ~seg:t.es ~off:t.di) v;
+    t.si <- word (t.si + delta);
+    t.di <- word (t.di + delta)
+  | `Stos, I.Byte ->
+    write_byte t (phys ~seg:t.es ~off:t.di) (t.ax land 0xff);
+    t.di <- word (t.di + delta)
+  | `Stos, I.Word_ ->
+    write_word t (phys ~seg:t.es ~off:t.di) t.ax;
+    t.di <- word (t.di + delta)
+  | `Lods, I.Byte ->
+    set8 t R.AL (read_byte t (phys ~seg:t.ds ~off:t.si));
+    t.si <- word (t.si + delta)
+  | `Lods, I.Word_ ->
+    t.ax <- read_word t (phys ~seg:t.ds ~off:t.si);
+    t.si <- word (t.si + delta))
+
+let string_op_kind = function
+  | I.Movs w -> (`Movs, w)
+  | I.Stos w -> (`Stos, w)
+  | I.Lods w -> (`Lods, w)
+  | _ -> assert false
+
+(* [ip] has already been advanced past the instruction; [ip0] is the
+   instruction's own offset (where rep resumes and faults return). *)
+let execute t instr ~ip0 =
+  match instr with
+  | I.Mov_r16_imm (r, v) -> set16 t r v
+  | I.Mov_r8_imm (r, v) -> set8 t r v
+  | I.Mov_r16_r16 (d, s) -> set16 t d (get16 t s)
+  | I.Mov_sreg_r16 (d, s) -> set_sreg t d (get16 t s)
+  | I.Mov_r16_sreg (d, s) -> set16 t d (get_sreg t s)
+  | I.Mov_r16_mem (d, m) -> set16 t d (read_mem16 t m)
+  | I.Mov_mem_r16 (m, s) -> write_mem16 t m (get16 t s)
+  | I.Mov_mem_imm (m, v) -> write_mem16 t m v
+  | I.Mov_r8_mem (d, m) -> set8 t d (read_mem8 t m)
+  | I.Mov_mem_r8 (m, s) -> write_mem8 t m (get8 t s)
+  | I.Mov_sreg_mem (d, m) -> set_sreg t d (read_mem16 t m)
+  | I.Mov_mem_sreg (m, s) -> write_mem16 t m (get_sreg t s)
+  | I.Lea (d, m) ->
+    let base_value =
+      match m.I.base with
+      | I.No_base -> 0
+      | I.Base_bx -> t.bx
+      | I.Base_si -> t.si
+      | I.Base_di -> t.di
+      | I.Base_bp -> t.bp
+      | I.Base_bx_si -> word (t.bx + t.si)
+      | I.Base_bx_di -> word (t.bx + t.di)
+    in
+    set16 t d (word (base_value + m.I.disp))
+  | I.Xchg (a, b) ->
+    let va = get16 t a and vb = get16 t b in
+    set16 t a vb;
+    set16 t b va
+  | I.Alu_r16_r16 (op, d, s) -> (
+    match alu16 t op (get16 t d) (get16 t s) with
+    | Some r -> set16 t d r
+    | None -> ())
+  | I.Alu_r16_imm (op, d, v) -> (
+    match alu16 t op (get16 t d) v with
+    | Some r -> set16 t d r
+    | None -> ())
+  | I.Alu_r16_mem (op, d, m) -> (
+    match alu16 t op (get16 t d) (read_mem16 t m) with
+    | Some r -> set16 t d r
+    | None -> ())
+  | I.Alu_mem_r16 (op, m, s) -> (
+    match alu16 t op (read_mem16 t m) (get16 t s) with
+    | Some r -> write_mem16 t m r
+    | None -> ())
+  | I.Alu_r8_r8 (op, d, s) -> (
+    match alu8 t op (get8 t d) (get8 t s) with
+    | Some r -> set8 t d r
+    | None -> ())
+  | I.Alu_r8_imm (op, d, v) -> (
+    match alu8 t op (get8 t d) v with
+    | Some r -> set8 t d r
+    | None -> ())
+  | I.Inc_r16 r ->
+    (* inc and dec update ZF SF PF OF but preserve CF. *)
+    let result, _carry, overflow = add_bits ~width:16 (get16 t r) 1 ~carry_in:false in
+    set16 t r result;
+    set_zsp t ~width:16 result;
+    set_flag t of_bit overflow
+  | I.Dec_r16 r ->
+    let result, _borrow, overflow = sub_bits ~width:16 (get16 t r) 1 ~borrow_in:false in
+    set16 t r result;
+    set_zsp t ~width:16 result;
+    set_flag t of_bit overflow
+  | I.Neg_r16 r ->
+    let v = get16 t r in
+    let result, _borrow, overflow = sub_bits ~width:16 0 v ~borrow_in:false in
+    set16 t r result;
+    set_zsp t ~width:16 result;
+    set_flag t cf_bit (v <> 0);
+    set_flag t of_bit overflow
+  | I.Not_r16 r -> set16 t r (lnot (get16 t r))
+  | I.Shl_r16 (r, n) ->
+    if n > 0 then begin
+      let v = get16 t r in
+      let shifted = v lsl n in
+      let result = word shifted in
+      set16 t r result;
+      set_zsp t ~width:16 result;
+      set_flag t cf_bit (shifted land 0x10000 <> 0);
+      set_flag t of_bit false
+    end
+  | I.Shr_r16 (r, n) ->
+    if n > 0 then begin
+      let v = get16 t r in
+      let result = v lsr n in
+      set16 t r result;
+      set_zsp t ~width:16 result;
+      set_flag t cf_bit ((v lsr (n - 1)) land 1 <> 0);
+      set_flag t of_bit false
+    end
+  | I.Mul_r8 src ->
+    let product = get8 t R.AL * get8 t src in
+    t.ax <- word product;
+    let upper = (t.ax lsr 8) land 0xff <> 0 in
+    set_flag t cf_bit upper;
+    set_flag t of_bit upper
+  | I.Mul_r16 src ->
+    let product = t.ax * get16 t src in
+    t.ax <- word product;
+    t.dx <- word (product lsr 16);
+    let upper = t.dx <> 0 in
+    set_flag t cf_bit upper;
+    set_flag t of_bit upper
+  | I.Div_r8 src ->
+    let divisor = get8 t src in
+    if divisor = 0 then raise (Fault vec_divide_error);
+    let quotient = t.ax / divisor and remainder = t.ax mod divisor in
+    if quotient > 0xff then raise (Fault vec_divide_error);
+    t.ax <- (remainder lsl 8) lor quotient
+  | I.Div_r16 src ->
+    let divisor = get16 t src in
+    if divisor = 0 then raise (Fault vec_divide_error);
+    let dividend = (t.dx lsl 16) lor t.ax in
+    let quotient = dividend / divisor and remainder = dividend mod divisor in
+    if quotient > 0xffff then raise (Fault vec_divide_error);
+    t.ax <- quotient;
+    t.dx <- remainder
+  | I.Push_r16 r -> push t (get16 t r)
+  | I.Push_imm v -> push t v
+  | I.Push_sreg s -> push t (get_sreg t s)
+  | I.Pop_r16 r -> set16 t r (pop t)
+  | I.Pop_sreg s -> set_sreg t s (pop t)
+  | I.Pushf -> push t t.psw
+  | I.Popf -> t.psw <- pop t
+  | I.Jmp target -> t.ip <- target
+  | I.Jmp_far (seg, off) ->
+    t.cs <- seg;
+    t.ip <- off
+  | I.Jcc (cond, target) -> if cond_holds t cond then t.ip <- target
+  | I.Call target ->
+    push t t.ip;
+    t.ip <- target
+  | I.Ret -> t.ip <- pop t
+  | I.Iret ->
+    t.ip <- pop t;
+    t.cs <- pop t;
+    t.psw <- pop t;
+    (* iret re-arms NMI acceptance (the paper's augmentation). *)
+    t.nmi_counter <- 0;
+    t.in_nmi <- false
+  | I.Int vector -> service t vector ~nmi:false ~return_ip:t.ip
+  | I.Loop target ->
+    t.cx <- word (t.cx - 1);
+    if t.cx <> 0 then t.ip <- target
+  | I.Movs _ | I.Stos _ | I.Lods _ ->
+    let kind, width = string_op_kind instr in
+    exec_string_unit t kind width
+  | I.Rep body ->
+    (* One string unit per tick; ip re-points at the rep until cx
+       drains so interrupts can preempt and resume it. *)
+    if t.cx = 0 then ()
+    else begin
+      let kind, width = string_op_kind body in
+      exec_string_unit t kind width;
+      t.cx <- word (t.cx - 1);
+      if t.cx <> 0 then t.ip <- ip0
+    end
+  | I.In_ (width, port) -> (
+    let v = t.io_in port width in
+    match width with
+    | I.Byte -> set8 t R.AL v
+    | I.Word_ -> t.ax <- word v)
+  | I.Out (port, width) ->
+    let v = match width with I.Byte -> get8 t R.AL | I.Word_ -> t.ax in
+    t.io_out port width v
+  | I.In_dx width -> (
+    let v = t.io_in t.dx width in
+    match width with
+    | I.Byte -> set8 t R.AL v
+    | I.Word_ -> t.ax <- word v)
+  | I.Out_dx width ->
+    let v = match width with I.Byte -> get8 t R.AL | I.Word_ -> t.ax in
+    t.io_out t.dx width v
+  | I.Hlt -> t.halted <- true
+  | I.Nop -> ()
+  | I.Cli -> set_flag t if_bit false
+  | I.Sti -> set_flag t if_bit true
+  | I.Cld -> set_flag t df_bit false
+  | I.Std -> set_flag t df_bit true
+  | I.Clc -> set_flag t cf_bit false
+  | I.Stc -> set_flag t cf_bit true
+  | I.Invalid _ -> raise (Fault vec_invalid_opcode)
+
+let reset t =
+  t.ax <- 0; t.bx <- 0; t.cx <- 0; t.dx <- 0;
+  t.si <- 0; t.di <- 0; t.sp <- 0; t.bp <- 0;
+  t.ds <- 0; t.es <- 0; t.ss <- 0; t.fs <- 0; t.gs <- 0;
+  t.cs <- reset_cs;
+  t.ip <- reset_ip;
+  t.psw <- 0;
+  t.nmi_counter <- 0;
+  t.in_nmi <- false;
+  t.halted <- false;
+  t.reset_pin <- false
+
+let step t =
+  t.steps <- t.steps + 1;
+  if t.reset_pin then begin
+    reset t;
+    Reset
+  end
+  else begin
+    (* The NMI countdown register decrements every tick and physically
+       cannot exceed its maximum, so corrupted values are clamped. *)
+    if t.nmi_counter > nmi_counter_max then t.nmi_counter <- nmi_counter_max;
+    if t.nmi_counter > 0 then t.nmi_counter <- t.nmi_counter - 1;
+    if t.nmi_pin && t.nmi_counter = 0 then begin
+      t.nmi_pin <- false;
+      service t vec_nmi ~nmi:true ~return_ip:t.ip;
+      Interrupt { vector = vec_nmi; nmi = true }
+    end
+    else
+      match t.intr with
+      | Some vector when flag t if_bit ->
+        t.intr <- None;
+        service t vector ~nmi:false ~return_ip:t.ip;
+        Interrupt { vector; nmi = false }
+      | Some _ | None ->
+        if t.halted then Idle
+        else begin
+          let ip0 = t.ip in
+          let instr, len = decode t ~pos:ip0 in
+          t.ip <- word (ip0 + len);
+          match execute t instr ~ip0 with
+          | () -> Exec instr
+          | exception Fault vector ->
+            service t vector ~nmi:false ~return_ip:ip0;
+            Exception vector
+        end
+  end
+
+let pp_event ppf = function
+  | Exec i -> Format.fprintf ppf "exec %a" I.pp i
+  | Interrupt { vector; nmi } ->
+    Format.fprintf ppf "interrupt %d%s" vector (if nmi then " (nmi)" else "")
+  | Exception v -> Format.fprintf ppf "exception %d" v
+  | Idle -> Format.fprintf ppf "idle"
+  | Reset -> Format.fprintf ppf "reset"

@@ -1,0 +1,89 @@
+(** An independent reference interpreter for SSX16.
+
+    This is the differential fuzzer's oracle: a second, deliberately
+    naive implementation of the machine semantics written directly from
+    DESIGN.md and [codec.mli], sharing {e no} decoder, ALU or flags
+    code with [lib/machine].  The only things it reuses from [ssx] are
+    the instruction AST constructors (so divergence reports can print
+    both sides with the same pretty-printer) and the register {e name}
+    types those constructors mention.  Everything observable — opcode
+    tables, operand decoding, effective addresses, every flag bit — is
+    re-derived here, so a lock-step divergence between [Machine] and
+    [Ref_interp] is a real bug in one of the two implementations, not a
+    shared mistake.
+
+    The implementation favours obviousness over speed: decoding
+    materialises the whole 8-byte window as a list, the ALU is a
+    bit-by-bit ripple-carry adder, and parity walks a list of bits.
+    It models the machine under {!Cpu.default_config} only (NMI
+    countdown register enabled, hardwired NMI IDT at 0xF0000, reset
+    vector F000:0000) and a machine with no ROM regions — exactly the
+    configuration the fuzzer drives. *)
+
+type event =
+  | Exec of Ssx.Instruction.t
+  | Interrupt of { vector : int; nmi : bool }
+  | Exception of int
+  | Idle
+  | Reset
+
+type t = {
+  mem : Bytes.t;  (** 1 MiB, physical *)
+  mutable ax : int;
+  mutable bx : int;
+  mutable cx : int;
+  mutable dx : int;
+  mutable si : int;
+  mutable di : int;
+  mutable sp : int;
+  mutable bp : int;
+  mutable cs : int;
+  mutable ds : int;
+  mutable es : int;
+  mutable ss : int;
+  mutable fs : int;
+  mutable gs : int;
+  mutable ip : int;
+  mutable psw : int;
+  mutable nmi_counter : int;
+  mutable idtr : int;
+  mutable nmi_pin : bool;
+  mutable in_nmi : bool;
+  mutable intr : int option;
+  mutable reset_pin : bool;
+  mutable halted : bool;
+  mutable steps : int;
+  mutable io_in : int -> Ssx.Instruction.width -> int;
+  mutable io_out : int -> Ssx.Instruction.width -> int -> unit;
+}
+
+val create : unit -> t
+(** Fresh machine: all registers and memory zero, null I/O (port reads
+    return 0, writes are ignored — the same as a bare {!Machine.t} with
+    no devices). *)
+
+val load : t -> base:int -> string -> unit
+(** Copy an image into physical memory at [base] (wrapping at 1 MiB). *)
+
+val read_byte : t -> int -> int
+val write_byte : t -> int -> int -> unit
+
+val raise_nmi : t -> unit
+val raise_intr : t -> int -> unit
+
+val step : t -> event
+(** One clock tick, mirroring the documented [Cpu.step] order: reset
+    pin, NMI countdown clamp + decrement, NMI delivery, maskable
+    interrupt delivery, halt idle, else fetch-decode-execute (faults
+    vector through the IDT and report [Exception]). *)
+
+val decode : t -> pos:int -> Ssx.Instruction.t * int
+(** Decode at code-segment offset [pos] using this interpreter's own
+    opcode tables (never raises; undecodable bytes yield
+    [Ssx.Instruction.Invalid] with length 1). *)
+
+val decode_bytes : string -> pos:int -> Ssx.Instruction.t * int
+(** Decode straight out of a string (bytes beyond the end read as 0),
+    for cross-checking against [Codec.decode_bytes]. *)
+
+val pp_event : Format.formatter -> event -> unit

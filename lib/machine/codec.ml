@@ -170,7 +170,7 @@ let rec encode instr =
 let encoded_length instr = List.length (encode instr)
 let max_length = 7
 
-let rec decode ~fetch ~pos =
+let decode ~fetch ~pos =
   let byte off = fetch (pos + off) land 0xff in
   let word off = Word.of_bytes ~low:(byte off) ~high:(byte (off + 1)) in
   let invalid () = (Instruction.Invalid (byte 0), 1) in
@@ -329,10 +329,17 @@ let rec decode ~fetch ~pos =
   | 0x64 -> (Instruction.Lods Instruction.Byte, 1)
   | 0x65 -> (Instruction.Lods Instruction.Word_, 1)
   | 0x66 -> (
-    let body, len = decode ~fetch ~pos:(pos + 1) in
-    match body with
-    | Instruction.Movs _ | Instruction.Stos _ | Instruction.Lods _ ->
-      (Instruction.Rep body, 1 + len)
+    (* rep only prefixes the six one-byte string ops, so the body is
+       decoded by direct inspection rather than recursion: a run of
+       0x66 bytes filling a wrapping code segment must not recurse
+       once per prefix byte. *)
+    match byte 1 with
+    | 0x60 -> (Instruction.Rep (Instruction.Movs Instruction.Byte), 2)
+    | 0x61 -> (Instruction.Rep (Instruction.Movs Instruction.Word_), 2)
+    | 0x62 -> (Instruction.Rep (Instruction.Stos Instruction.Byte), 2)
+    | 0x63 -> (Instruction.Rep (Instruction.Stos Instruction.Word_), 2)
+    | 0x64 -> (Instruction.Rep (Instruction.Lods Instruction.Byte), 2)
+    | 0x65 -> (Instruction.Rep (Instruction.Lods Instruction.Word_), 2)
     | _ -> invalid ())
   | 0x67 -> (Instruction.In_ (Instruction.Byte, byte 1), 2)
   | 0x68 -> (Instruction.In_ (Instruction.Word_, byte 1), 2)

@@ -175,6 +175,73 @@ let prop_decode_total =
         len >= 1 && len <= Ssx.Codec.max_length
       end)
 
+(* Exhaustive first-byte coverage: every opcode byte 0x00–0xFF either
+   decodes to a real instruction or to the documented [Invalid]
+   behaviour (length one, byte preserved) — no silent fallthrough —
+   and the decode agrees with lib/fuzz's independent reference
+   decoder on instruction and length for every operand tail tried. *)
+
+let documented_first_byte =
+  let ranges =
+    [ (0x01, 0x0E); (* mov / lea / xchg *)
+      (0x10, 0x18); (* ALU with form byte *)
+      (0x20, 0x29); (* inc dec neg not shl shr mul div *)
+      (0x30, 0x36); (* push / pop / pushf / popf *)
+      (0x40, 0x46); (* jmp / call / ret / iret / int / loop *)
+      (0x48, 0x55); (* conditional jumps *)
+      (0x60, 0x6E); (* string ops, rep, port I/O *)
+      (0x70, 0x77); (* nop hlt cli sti cld std clc stc *)
+      (0x90, 0x90) (* nop alias *) ]
+  in
+  fun b -> List.exists (fun (lo, hi) -> b >= lo && b <= hi) ranges
+
+let operand_tails =
+  [ String.make 8 '\x00';
+    String.make 8 '\xff';
+    "\x01\x23\x45\x67\x89\xab\xcd\xef";
+    String.make 8 '\x60';
+    (* rep bodies *)
+    "\x05\x04\x03\x02\x01\x00\x07\x06" ]
+
+let test_first_byte_exhaustive () =
+  for b0 = 0 to 0xFF do
+    let decoded_valid = ref false in
+    List.iter
+      (fun tail ->
+        let code = String.make 1 (Char.chr b0) ^ tail in
+        let instr, len = Ssx.Codec.decode_bytes code ~pos:0 in
+        let oracle, oracle_len =
+          Ssx_fuzz.Ref_interp.decode_bytes code ~pos:0
+        in
+        if not (Ssx.Instruction.equal instr oracle) then
+          Alcotest.failf "0x%02X: machine %a, oracle %a" b0
+            Ssx.Instruction.pp instr Ssx.Instruction.pp oracle;
+        if len <> oracle_len then
+          Alcotest.failf "0x%02X: machine length %d, oracle length %d" b0
+            len oracle_len;
+        match instr with
+        | Ssx.Instruction.Invalid b' ->
+            check_int "invalid length one" 1 len;
+            check_int "invalid byte preserved" b0 b'
+        | _ -> decoded_valid := true)
+      operand_tails;
+    if !decoded_valid && not (documented_first_byte b0) then
+      Alcotest.failf "undocumented byte 0x%02X decoded to an instruction" b0;
+    if (not !decoded_valid) && documented_first_byte b0 then
+      Alcotest.failf "documented byte 0x%02X never decoded" b0
+  done
+
+let test_rep_prefix_run_terminates () =
+  (* Regression: the decoder used to recurse once per 0x66 prefix
+     byte, which never bottomed out on a wrapping code segment made
+     entirely of prefixes.  The fetch below models exactly that
+     segment; decode must return the one-byte Invalid immediately. *)
+  let instr, len = Ssx.Codec.decode ~fetch:(fun _ -> 0x66) ~pos:0 in
+  check_int "length one" 1 len;
+  match instr with
+  | Ssx.Instruction.Invalid 0x66 -> ()
+  | other -> Alcotest.failf "decoded to %a" Ssx.Instruction.pp other
+
 let suite =
   [ case "roundtrip representative instructions" test_roundtrip_representative;
     case "all conditional jumps" test_all_conditions;
@@ -182,5 +249,8 @@ let suite =
     case "rep requires a string op" test_rep_requires_string_op;
     case "0x90 is an alias for nop" test_nop_aliases;
     case "encoded lengths bounded" test_lengths_bounded;
-    case "encoding is variable-length" test_variable_length ]
+    case "encoding is variable-length" test_variable_length;
+    case "first byte exhaustive vs oracle decoder" test_first_byte_exhaustive;
+    case "a run of rep prefixes terminates decode"
+      test_rep_prefix_run_terminates ]
   @ List.map QCheck_alcotest.to_alcotest [ prop_roundtrip; prop_decode_total ]

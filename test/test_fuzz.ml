@@ -1,0 +1,187 @@
+(* Tier-1 coverage of lib/fuzz: a fixed-seed differential smoke budget,
+   campaign determinism across job counts, snapshot round-trips over
+   fuzz-generated machines, interrupt-schedule replay determinism, the
+   shrinker, the reproducer format, and replay of every checked-in
+   regression under test/regressions/. *)
+
+let case = Helpers.case
+let check_int = Helpers.check_int
+let check_bool = Helpers.check_bool
+let check_string = Helpers.check_string
+module FL = Ssx_fuzz.Fuzz_loop
+module Gen = Ssx_fuzz.Gen
+module Rng = Ssx_faults.Rng
+
+(* A quick fixed-seed differential budget.  The full 2,000-program
+   budget lives behind the @fuzz-smoke alias; this keeps a smaller
+   always-on slice inside `dune runtest` so a semantics regression
+   fails the ordinary test run too. *)
+let test_differential_smoke () =
+  let summary = FL.run ~jobs:2 ~seed:11L ~iters:300 () in
+  check_int "trials executed" 300 summary.FL.programs;
+  check_bool "ticks executed" true (summary.FL.total_ticks > 0);
+  check_bool "coverage lit" true (summary.FL.coverage_points > 0);
+  check_bool "corpus grew" true (summary.FL.corpus_size > 0);
+  (match summary.FL.divergences with
+  | [] -> ()
+  | d :: _ ->
+      Alcotest.failf "unexpected divergence: %a" FL.pp_divergence d)
+
+(* Shard seeds derive from the campaign seed alone and Pool returns
+   results in task-index order, so a campaign is a pure function of
+   (seed, iters) — the jobs knob must not leak into the summary. *)
+let test_campaign_jobs_determinism () =
+  let run jobs = FL.run ~jobs ~seed:23L ~iters:200 () in
+  let s1 = run 1 and s4 = run 4 in
+  check_bool "jobs:1 = jobs:4" true (s1 = s4)
+
+(* Snapshot round-trip over fuzz-shaped machines: capture, perturb,
+   restore, re-capture — digests must be bit-exact.  Every third
+   machine carries a NIC with pending RX data so device queues go
+   through the same resettable machinery. *)
+let test_snapshot_roundtrip_fuzzed () =
+  let rng = Rng.create 0xF00DL in
+  for i = 0 to 49 do
+    let program = Gen.generate rng in
+    let machine = FL.prepare_machine program in
+    if i mod 3 = 0 then begin
+      let nic = Ssos_net.Nic.create ~rx_irq:3 () in
+      Ssos_net.Nic.attach nic machine;
+      ignore (Ssos_net.Nic.deliver nic 0xBEEF);
+      ignore (Ssos_net.Nic.deliver nic (i land 0xFFFF))
+    end;
+    Ssx.Machine.run machine ~ticks:(min 64 program.Gen.steps);
+    let before = Ssx.Snapshot.capture machine in
+    Ssx.Machine.run machine ~ticks:32;
+    Ssx.Snapshot.restore before machine;
+    let after = Ssx.Snapshot.capture machine in
+    if not (Ssx.Snapshot.equal before after) then
+      Alcotest.failf "machine %d: digest %s became %s after restore" i
+        (Ssx.Snapshot.digest before)
+        (Ssx.Snapshot.digest after)
+  done
+
+(* Memory.restore_image rewrites all of RAM behind the decode cache's
+   back, so it must drop the cache wholesale rather than invalidate a
+   byte at a time. *)
+let test_restore_image_clears_decode_cache () =
+  let program = { Gen.code = "\x70\x70\x70\x71"; schedule = []; steps = 8 } in
+  let machine = FL.prepare_machine program in
+  Ssx.Machine.run machine ~ticks:2;
+  let cache =
+    match Ssx.Machine.decode_cache machine with
+    | Some c -> c
+    | None -> Alcotest.fail "expected a decode cache"
+  in
+  check_int "warm entry" 1
+    (Ssx.Decode_cache.cached_len cache FL.trial_code_base);
+  Ssx.Memory.restore_image (Ssx.Machine.memory machine)
+    (String.make Ssx.Memory.size '\000');
+  check_int "entry dropped" 0
+    (Ssx.Decode_cache.cached_len cache FL.trial_code_base)
+
+(* Replay one program with its NMI schedule and digest the trace. *)
+let trace_digest ~decode_cache program =
+  let machine = FL.prepare_machine ~decode_cache program in
+  let trace = Ssx.Trace.attach ~capacity:256 machine in
+  let schedule = ref program.Gen.schedule in
+  for tick = 0 to program.Gen.steps - 1 do
+    (match !schedule with
+    | t :: rest when t = tick ->
+        Ssx.Cpu.raise_nmi (Ssx.Machine.cpu machine);
+        schedule := rest
+    | _ -> ());
+    ignore (Ssx.Machine.tick machine)
+  done;
+  Digest.to_hex (Digest.string (Ssx.Trace.to_json trace))
+
+(* Same program + same NMI tick schedule must produce the same trace
+   whether or not the decode cache is installed, and whether the
+   replay runs on one worker or four. *)
+let test_interrupt_schedule_determinism () =
+  let rng = Rng.create 0xCAFEL in
+  let rec with_schedule () =
+    let p = Gen.generate rng in
+    if p.Gen.schedule = [] then with_schedule () else p
+  in
+  let program = with_schedule () in
+  let reference = trace_digest ~decode_cache:true program in
+  check_string "decode cache off matches" reference
+    (trace_digest ~decode_cache:false program);
+  let replay jobs =
+    Ssos_experiments.Pool.run ~oversubscribe:true ~jobs 6 (fun _ ->
+        trace_digest ~decode_cache:true program)
+  in
+  Array.iter (check_string "jobs:1 replay matches" reference) (replay 1);
+  Array.iter (check_string "jobs:4 replay matches" reference) (replay 4)
+
+(* The shrinker against a synthetic predicate: a single interesting
+   byte buried in nops must survive minimisation, and nearly
+   everything else must go. *)
+let test_shrink_minimises () =
+  let code =
+    String.concat ""
+      [ String.make 20 '\x70'; "\x2a"; String.make 20 '\x70' ]
+  in
+  let program = { Gen.code; schedule = [ 1; 5; 9 ]; steps = 200 } in
+  let reproduces p = String.contains p.Gen.code '\x2a' in
+  let shrunk = FL.shrink ~reproduces program in
+  check_bool "still reproduces" true (reproduces shrunk);
+  check_bool "code minimised" true (String.length shrunk.Gen.code <= 4);
+  check_bool "schedule thinned" true
+    (List.length shrunk.Gen.schedule <= List.length program.Gen.schedule)
+
+(* Reproducer text must carry everything a trial needs: parsing it
+   back (through the real assembler) recovers code, schedule and tick
+   budget byte-exactly. *)
+let test_reproducer_roundtrip () =
+  let program =
+    { Gen.code = "\x01\x00\x23\x00\xff\x70\x71\x10\x01\x34\x12";
+      schedule = [ 3; 17; 90 ];
+      steps = 250 }
+  in
+  let divergence =
+    { FL.program; original = program; seed = 0xDEADBEEFL; shard = 2;
+      iter = 41; tick = 7; detail = "synthetic round-trip fixture" }
+  in
+  let text = FL.reproducer_text divergence in
+  let parsed = FL.program_of_reproducer text in
+  check_string "code" program.Gen.code parsed.Gen.code;
+  check_int "steps" program.Gen.steps parsed.Gen.steps;
+  check_bool "schedule" true (program.Gen.schedule = parsed.Gen.schedule)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* Every checked-in reproducer replays without divergence. *)
+let test_regressions_replay () =
+  let dir = "regressions" in
+  let files =
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".ssx")
+    |> List.sort compare
+  in
+  check_bool "regression corpus present" true (files <> []);
+  List.iter
+    (fun file ->
+      match FL.replay (read_file (Filename.concat dir file)) with
+      | None -> ()
+      | Some (tick, detail) ->
+          Alcotest.failf "%s diverges at tick %d: %s" file tick detail)
+    files
+
+let suite =
+  [ case "fixed-seed differential smoke" test_differential_smoke;
+    case "campaign is jobs-independent" test_campaign_jobs_determinism;
+    case "snapshot round-trip over fuzzed machines"
+      test_snapshot_roundtrip_fuzzed;
+    case "restore_image clears the decode cache"
+      test_restore_image_clears_decode_cache;
+    case "interrupt schedule replays deterministically"
+      test_interrupt_schedule_determinism;
+    case "shrinker minimises against a predicate" test_shrink_minimises;
+    case "reproducer text round-trips" test_reproducer_roundtrip;
+    case "checked-in regressions replay clean" test_regressions_replay ]

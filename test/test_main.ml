@@ -28,4 +28,5 @@ let () =
       ("campaign engine (differential)", Test_campaigns.suite);
       ("tooling (trace, snapshot)", Test_tooling.suite);
       ("decode cache (differential)", Test_differential.suite);
-      ("cross-cutting consistency", Test_consistency.suite) ]
+      ("cross-cutting consistency", Test_consistency.suite);
+      ("differential fuzzer", Test_fuzz.suite) ]

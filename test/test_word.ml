@@ -71,6 +71,174 @@ let test_parity () =
 let test_pp () =
   Helpers.check_string "format" "0x00FF" (Format.asprintf "%a" Ssx.Word.pp 0xFF)
 
+(* --- Seeded randomized flag properties --------------------------------
+   The packed ALU helpers — and the CPU's logic and shift paths built
+   on top of them — are checked against a bit-serial reference: a
+   ripple adder for carry/overflow, per-bit loops for logic, shifts one
+   position at a time tracking the last bit shifted out. *)
+
+module Rng = Ssx_faults.Rng
+
+let cases_per_op = 200
+
+let ripple_add a b ~carry_in =
+  let result = ref 0 and carry = ref (if carry_in then 1 else 0) in
+  let carry_into_msb = ref 0 in
+  for i = 0 to 15 do
+    if i = 15 then carry_into_msb := !carry;
+    let s = ((a lsr i) land 1) + ((b lsr i) land 1) + !carry in
+    result := !result lor ((s land 1) lsl i);
+    carry := s lsr 1
+  done;
+  (!result, !carry = 1, !carry_into_msb <> !carry)
+
+let ripple_sub a b ~borrow_in =
+  let r, c, o = ripple_add a (lnot b land 0xFFFF) ~carry_in:(not borrow_in) in
+  (r, not c, o)
+
+let ref_parity_even v =
+  let bits = ref 0 in
+  for i = 0 to 7 do bits := !bits + ((v lsr i) land 1) done;
+  !bits mod 2 = 0
+
+let boundary = [| 0x0000; 0x0001; 0x7FFF; 0x8000; 0xFFFF |]
+
+let rand_word rng =
+  if Rng.int rng 4 = 0 then boundary.(Rng.int rng 5)
+  else Rng.int rng 0x10000
+
+let check_triple name i (r, c, o) (r', c', o') =
+  if r <> r' || c <> c' || o <> o' then
+    Alcotest.failf "%s case %d: got (0x%04X, %b, %b), reference (0x%04X, %b, %b)"
+      name i r c o r' c' o'
+
+let test_add_matches_reference () =
+  let rng = Rng.create 101L in
+  for i = 1 to cases_per_op do
+    let a = rand_word rng and b = rand_word rng in
+    let carry = Rng.bool rng in
+    check_triple "add" i (Ssx.Word.add a b) (ripple_add a b ~carry_in:false);
+    check_triple "adc" i
+      (Ssx.Word.add_with_carry a b ~carry)
+      (ripple_add a b ~carry_in:carry)
+  done
+
+let test_sub_matches_reference () =
+  let rng = Rng.create 102L in
+  for i = 1 to cases_per_op do
+    let a = rand_word rng and b = rand_word rng in
+    let borrow = Rng.bool rng in
+    check_triple "sub" i (Ssx.Word.sub a b) (ripple_sub a b ~borrow_in:false);
+    check_triple "sbb" i
+      (Ssx.Word.sub_with_borrow a b ~borrow)
+      (ripple_sub a b ~borrow_in:borrow)
+  done
+
+let test_parity_matches_reference () =
+  let rng = Rng.create 103L in
+  for _ = 1 to cases_per_op do
+    let v = rand_word rng in
+    Helpers.check_bool "parity" (ref_parity_even v) (Ssx.Word.parity_even v)
+  done
+
+(* One reused bare machine: poke the encoded instruction at cs:0 (the
+   write invalidates any cached decode), set the inputs, tick once. *)
+let alu_machine = lazy (Ssx.Machine.create ())
+
+let exec_one instr ~ax ~cx ~psw =
+  let machine = Lazy.force alu_machine in
+  let mem = Ssx.Machine.memory machine in
+  let bytes = Ssx.Codec.encode instr in
+  List.iteri (fun i b -> Ssx.Memory.write_byte mem (0x10000 + i) b) bytes;
+  let cpu = Ssx.Machine.cpu machine in
+  let regs = cpu.Ssx.Cpu.regs in
+  regs.Ssx.Registers.cs <- 0x1000;
+  regs.Ssx.Registers.ip <- 0;
+  regs.Ssx.Registers.ax <- ax;
+  regs.Ssx.Registers.cx <- cx;
+  regs.Ssx.Registers.psw <- psw;
+  cpu.Ssx.Cpu.halted <- false;
+  ignore (Ssx.Machine.tick machine);
+  (regs.Ssx.Registers.ax, regs.Ssx.Registers.psw)
+
+let check_flag name i psw flag expected =
+  if Ssx.Flags.get psw flag <> expected then
+    Alcotest.failf "%s case %d: flag %d expected %b in psw 0x%04X" name i
+      (Ssx.Flags.bit flag) expected psw
+
+let check_zsp name i psw result =
+  check_flag name i psw Ssx.Flags.Zero (result = 0);
+  check_flag name i psw Ssx.Flags.Sign (result land 0x8000 <> 0);
+  check_flag name i psw Ssx.Flags.Parity (ref_parity_even result)
+
+let test_logic_matches_reference () =
+  let ops =
+    [ ("and", Ssx.Instruction.And, ( land ));
+      ("or", Ssx.Instruction.Or, ( lor ));
+      ("xor", Ssx.Instruction.Xor, ( lxor )) ]
+  in
+  let rng = Rng.create 104L in
+  List.iter
+    (fun (name, op, bitf) ->
+      for i = 1 to cases_per_op do
+        let a = rand_word rng and b = rand_word rng in
+        let psw = rand_word rng in
+        let result, psw' =
+          exec_one
+            (Ssx.Instruction.Alu_r16_r16 (op, Ssx.Registers.AX,
+                                          Ssx.Registers.CX))
+            ~ax:a ~cx:b ~psw
+        in
+        let expected = ref 0 in
+        for bit = 0 to 15 do
+          let v = bitf ((a lsr bit) land 1) ((b lsr bit) land 1) in
+          expected := !expected lor (v lsl bit)
+        done;
+        Helpers.check_int name !expected result;
+        check_flag name i psw' Ssx.Flags.Carry false;
+        check_flag name i psw' Ssx.Flags.Overflow false;
+        check_zsp name i psw' result;
+        (* non-arithmetic flags ride through untouched *)
+        check_flag name i psw' Ssx.Flags.Interrupt
+          (Ssx.Flags.get psw Ssx.Flags.Interrupt);
+        check_flag name i psw' Ssx.Flags.Direction
+          (Ssx.Flags.get psw Ssx.Flags.Direction)
+      done)
+    ops
+
+let test_shifts_match_reference () =
+  let rng = Rng.create 105L in
+  List.iter
+    (fun (name, make, step) ->
+      for i = 1 to cases_per_op do
+        let v = rand_word rng and n = Rng.int rng 16 in
+        let psw = rand_word rng in
+        let result, psw' = exec_one (make n) ~ax:v ~cx:0 ~psw in
+        if n = 0 then begin
+          (* a zero count is a no-op: value and every flag unchanged *)
+          Helpers.check_int (name ^ " n=0 value") v result;
+          Helpers.check_int (name ^ " n=0 psw") psw psw'
+        end
+        else begin
+          let r = ref v and cf = ref false in
+          for _ = 1 to n do
+            let r', cf' = step !r in
+            r := r';
+            cf := cf'
+          done;
+          Helpers.check_int name !r result;
+          check_flag name i psw' Ssx.Flags.Carry !cf;
+          check_flag name i psw' Ssx.Flags.Overflow false;
+          check_zsp name i psw' result
+        end
+      done)
+    [ ("shl",
+       (fun n -> Ssx.Instruction.Shl_r16 (Ssx.Registers.AX, n)),
+       fun r -> ((r lsl 1) land 0xFFFF, (r lsr 15) land 1 = 1));
+      ("shr",
+       (fun n -> Ssx.Instruction.Shr_r16 (Ssx.Registers.AX, n)),
+       fun r -> (r lsr 1, r land 1 = 1)) ]
+
 let word_gen = QCheck.map (fun v -> v land 0xffff) QCheck.int
 
 let prop_mask_idempotent =
@@ -112,7 +280,12 @@ let suite =
     case "sub with borrow" test_sub_with_borrow;
     case "succ and pred wrap" test_succ_pred;
     case "parity" test_parity;
-    case "pretty printing" test_pp ]
+    case "pretty printing" test_pp;
+    case "add/adc match the ripple reference" test_add_matches_reference;
+    case "sub/sbb match the ripple reference" test_sub_matches_reference;
+    case "parity matches a popcount reference" test_parity_matches_reference;
+    case "logic flags match the bit reference" test_logic_matches_reference;
+    case "shift flags match the bit reference" test_shifts_match_reference ]
   @ List.map QCheck_alcotest.to_alcotest
       [ prop_mask_idempotent; prop_bytes_roundtrip; prop_add_commutative;
         prop_sub_inverts_add; prop_signed_range ]
