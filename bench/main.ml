@@ -6,8 +6,9 @@
 
    Usage:
      main.exe            full run; writes BENCH_machine.json,
-                         BENCH_experiments.json and BENCH_net.json to
-                         the current directory
+                         BENCH_experiments.json, BENCH_net.json,
+                         BENCH_fuzz.json and BENCH_obs.json to the
+                         current directory
      main.exe --smoke    quick harness exercise: tables + short machine
                          and cluster campaign pairs + one short
                          quota-limited Bechamel pass, no JSON written
@@ -23,10 +24,11 @@ let run_tables () =
 
 (* ------------------------------------------------- campaign engine *)
 
-let wall_ns f =
-  let t0 = Unix.gettimeofday () in
-  let result = f () in
-  (result, (Unix.gettimeofday () -. t0) *. 1e9)
+(* Host-side timing goes through the obs span path: [timed name f]
+   returns [f ()]'s result and the elapsed nanoseconds, and — when
+   metrics are enabled — records a [span.<name>-ns] histogram in the
+   shared registry.  Same timing code as the CLI's [--metrics] runs. *)
+let timed = Ssos_obs.Obs.timed
 
 (* The T1-style benchmark campaign: the section-3 reinstall design under
    the default fault space.  [seq] is the old engine (fresh build and
@@ -46,10 +48,11 @@ let campaign_pair () =
   in
   Format.printf "== Campaign engine (T1-style, %d trials) ==@." trials;
   let seq_summary, seq_ns =
-    wall_ns (run_campaign ~strategy:Ssos_experiments.Runner.Rebuild ~jobs:1)
+    timed "campaign-t1-seq"
+      (run_campaign ~strategy:Ssos_experiments.Runner.Rebuild ~jobs:1)
   in
   let par_summary, par_ns =
-    wall_ns
+    timed "campaign-t1-par"
       (run_campaign ~strategy:Ssos_experiments.Runner.Snapshot_reset ~jobs:4)
   in
   Format.printf "  sequential rebuild (jobs:1)    %12.0f ns@." seq_ns;
@@ -62,7 +65,7 @@ let campaign_pair () =
      restore. *)
   let rounds = if smoke then 3 else 10 in
   let _, rebuild_total =
-    wall_ns (fun () ->
+    timed "trial-rebuild-warmup" (fun () ->
         for _ = 1 to rounds do
           let system = build () in
           Ssos.System.run system ~ticks:warmup
@@ -73,7 +76,7 @@ let campaign_pair () =
   Ssos.System.run system ~ticks:warmup;
   let snapshot = Ssx.Snapshot.capture system.Ssos.System.machine in
   let _, reset_total =
-    wall_ns (fun () ->
+    timed "trial-reset" (fun () ->
         for _ = 1 to rounds do
           Ssx.Snapshot.restore snapshot system.Ssos.System.machine
         done)
@@ -104,11 +107,11 @@ let campaign_pair () =
    pair whose summaries must be bit-identical. *)
 let net_bench () =
   let steps = if smoke then 600 else 6_000 in
-  let throughput ~faults label =
+  let throughput ~faults ~span label =
     let ring = Ssos_net.Net_ring.build ~n:4 ?faults ~seed:7L () in
     Ssos_net.Cluster.run ring.Ssos_net.Net_ring.cluster ~steps:200;
     let _, ns =
-      wall_ns (fun () ->
+      timed span (fun () ->
           Ssos_net.Cluster.run ring.Ssos_net.Net_ring.cluster ~steps)
     in
     let per_sec = float_of_int steps /. (ns /. 1e9) in
@@ -116,14 +119,14 @@ let net_bench () =
     per_sec
   in
   Format.printf "== Network cluster (4-node token ring, %d steps) ==@." steps;
-  let benign = throughput ~faults:None "benign links" in
+  let benign = throughput ~faults:None ~span:"cluster-benign" "benign links" in
   let lossy =
     throughput
       ~faults:
         (Some
            (fun ~src:_ ~dst:_ ->
              Ssos_net.Link.lossy ~drop:0.2 ~max_delay:2 ()))
-      "lossy links (drop 0.2)"
+      ~span:"cluster-lossy" "lossy links (drop 0.2)"
   in
   let trials = if smoke then 4 else 12 in
   let corrupt_all rng ring =
@@ -138,10 +141,11 @@ let net_bench () =
       ~perturb:corrupt_all ~horizon:1_500 ~strategy ~jobs ~trials ~seed:2L ()
   in
   let seq_summary, seq_ns =
-    wall_ns (run_campaign ~strategy:Ssos_experiments.Runner.Rebuild ~jobs:1)
+    timed "ring-campaign-seq"
+      (run_campaign ~strategy:Ssos_experiments.Runner.Rebuild ~jobs:1)
   in
   let par_summary, par_ns =
-    wall_ns
+    timed "ring-campaign-par"
       (run_campaign ~strategy:Ssos_experiments.Runner.Snapshot_reset ~jobs:4)
   in
   Format.printf "  ring campaign rebuild (jobs:1) %12.0f ns@." seq_ns;
@@ -166,7 +170,9 @@ let fuzz_bench () =
   let iters = if smoke then 300 else 2_000 in
   Format.printf "== Differential fuzzer (%d programs, seed 9) ==@." iters;
   let run jobs =
-    wall_ns (fun () -> Ssx_fuzz.Fuzz_loop.run ~jobs ~seed:9L ~iters ())
+    timed
+      (Printf.sprintf "fuzz-jobs%d" jobs)
+      (fun () -> Ssx_fuzz.Fuzz_loop.run ~jobs ~seed:9L ~iters ())
   in
   let seq_summary, seq_ns = run 1 in
   let par_summary, par_ns = run 4 in
@@ -292,30 +298,32 @@ let micro_tests () =
     [ machine_tick; machine_tick_uncached; assemble_figure1;
       assemble_scheduler; disassemble; token_round; build_system ]
 
-(* Returns [(name, ns_per_run)] rows, sorted by name. *)
-let run_micro () =
+(* Runs a Bechamel test group and returns [(name, ns_per_run)] rows,
+   sorted by name. *)
+let bechamel_rows tests =
   let open Bechamel in
-  Format.printf "== Micro-benchmarks (host time, Bechamel OLS%s) ==@."
-    (if smoke then ", smoke quota" else "");
   let instances = Toolkit.Instance.[ monotonic_clock ] in
   let cfg =
     if smoke then Benchmark.cfg ~limit:200 ~stabilize:false ~quota:(Time.second 0.05) ()
     else Benchmark.cfg ~limit:2000 ~stabilize:true ~quota:(Time.second 0.5) ()
   in
-  let raw = Benchmark.all cfg instances (micro_tests ()) in
+  let raw = Benchmark.all cfg instances tests in
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
   in
   let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
-  let rows =
-    Hashtbl.fold
-      (fun name ols acc ->
-        match Analyze.OLS.estimates ols with
-        | Some [ estimate ] -> (name, estimate) :: acc
-        | Some _ | None -> acc)
-      results []
-    |> List.sort compare
-  in
+  Hashtbl.fold
+    (fun name ols acc ->
+      match Analyze.OLS.estimates ols with
+      | Some [ estimate ] -> (name, estimate) :: acc
+      | Some _ | None -> acc)
+    results []
+  |> List.sort compare
+
+let run_micro () =
+  Format.printf "== Micro-benchmarks (host time, Bechamel OLS%s) ==@."
+    (if smoke then ", smoke quota" else "");
+  let rows = bechamel_rows (micro_tests ()) in
   List.iter
     (fun (name, ns) -> Format.printf "  %-28s %12.1f ns/run@." name ns)
     rows;
@@ -328,6 +336,114 @@ let run_micro () =
   | _ -> ());
   Format.printf "@.";
   rows
+
+(* ----------------------------------------------------- observability *)
+
+(* The cost pair behind DESIGN.md §4f: the same warmed reinstall system
+   ticked with instrumentation hooks attached ([~obs:true]) and without
+   ([~obs:false]), plus a baseline built through the plain pre-obs call
+   shape ([build ()] with metrics disabled, which attaches nothing).
+   Disabled-mode overhead is baseline-vs-off — the two run identical
+   code, so anything above noise would mean the [?obs] plumbing leaks
+   cost into the uninstrumented path.  The target is under 2%. *)
+let obs_machine_pair () =
+  Format.printf "== Observability cost (machine-tick pair, hooks on/off) ==@.";
+  let block = if smoke then 100_000 else 400_000 in
+  let reps = if smoke then 7 else 11 in
+  let warmed build =
+    let system = build () in
+    Ssos.System.run system ~ticks:30_000;
+    system
+  in
+  (* Min-of-N over interleaved repetitions, each on a freshly built and
+     warmed system: baseline and obs-off run identical machine code, so
+     an OLS fit on separate quotas would drown the comparison in
+     scheduler noise, and a single long-lived instance pins whatever
+     heap placement it happened to get.  Rebuilding per repetition
+     samples placements; the per-variant minimum converges to the
+     machine's best case and is stable to well under a percent. *)
+  let variants =
+    [| ("obs-tick-baseline", fun () -> Ssos.Reinstall.build ());
+       ("obs-tick-off", fun () -> Ssos.Reinstall.build ~obs:false ());
+       ("obs-tick-on", fun () -> Ssos.Reinstall.build ~obs:true ()) |]
+  in
+  let best = Array.make 3 infinity in
+  for rep = 0 to reps - 1 do
+    (* Rotate the measurement order each repetition so no variant
+       always runs first (or last) within a triple. *)
+    for k = 0 to 2 do
+      let slot = (rep + k) mod 3 in
+      let span, build = variants.(slot) in
+      let system = warmed build in
+      let (), ns =
+        timed span (fun () ->
+            Ssx.Machine.run system.Ssos.System.machine ~ticks:block)
+      in
+      if ns < best.(slot) then best.(slot) <- ns
+    done
+  done;
+  let per100 slot = best.(slot) /. float_of_int block *. 100. in
+  let base = per100 0 and off_ns = per100 1 and on_ns = per100 2 in
+  Format.printf "  machine-tick-x100 baseline     %12.1f ns@." base;
+  Format.printf "  machine-tick-x100 obs-off      %12.1f ns@." off_ns;
+  Format.printf "  machine-tick-x100 obs-on       %12.1f ns@." on_ns;
+  let disabled_pct = (off_ns -. base) /. base *. 100. in
+  let enabled_pct = (on_ns -. off_ns) /. off_ns *. 100. in
+  Format.printf "  disabled-mode overhead:        %11.2f%%@." disabled_pct;
+  Format.printf "  enabled-mode overhead:         %11.2f%%@." enabled_pct;
+  Format.printf "  disabled overhead under 2%%:    %11s@.@."
+    (if disabled_pct < 2.0 then "yes" else "NO (BUG)");
+  [ ("obs-machine-tick-baseline-ns", base);
+    ("obs-machine-tick-off-ns", off_ns);
+    ("obs-machine-tick-on-ns", on_ns);
+    ("obs-disabled-overhead-pct", disabled_pct);
+    ("obs-enabled-overhead-pct", enabled_pct);
+    ("obs-disabled-under-2pct", if disabled_pct < 2.0 then 1.0 else 0.0) ]
+
+(* Metrics-dump smoke: with metrics enabled, one instrumented system
+   run plus a one-trial campaign must leave the registry covering every
+   layer the CLI's [--metrics] dump promises — machine, device, fault,
+   campaign and pool families all present.  Resets the registry and
+   switch afterwards so the rest of the harness stays uninstrumented. *)
+let obs_dump_smoke () =
+  let open Ssos_obs in
+  Obs.reset ();
+  Obs.set_enabled true;
+  let system = Ssos.Reinstall.build ~obs:true () in
+  Ssos.System.run system ~ticks:20_000;
+  let (_ : Ssos_experiments.Runner.summary) =
+    Ssos_experiments.Runner.heartbeat_campaign
+      ~build:(fun () -> Ssos.Reinstall.build ())
+      ~space:Ssos.System.default_fault_space
+      ~spec:(Ssos.Reinstall.weak_spec ())
+      ~burst:4 ~warmup:5_000 ~horizon:10_000
+      ~strategy:Ssos_experiments.Runner.Snapshot_reset ~jobs:1 ~trials:1
+      ~seed:3L ()
+  in
+  let snap = Obs.snapshot () in
+  let covers prefix =
+    List.exists
+      (fun (row : Obs.row) -> String.starts_with ~prefix row.Obs.name)
+      snap.Obs.rows
+  in
+  let families = [ "machine."; "device."; "fault."; "campaign"; "pool." ] in
+  let missing = List.filter (fun family -> not (covers family)) families in
+  let events = List.length snap.Obs.recent_events in
+  Obs.set_enabled false;
+  Obs.reset ();
+  Format.printf "== Metrics-dump smoke (registry coverage) ==@.";
+  Format.printf "  registry rows:                 %11d@."
+    (List.length snap.Obs.rows);
+  Format.printf "  recent events:                 %11d@." events;
+  (match missing with
+  | [] ->
+    Format.printf "  families covered:              %11s@.@." "yes"
+  | missing ->
+    Format.printf "  MISSING families:              %s@.@."
+      (String.concat " " missing));
+  [ ("obs-smoke-rows", float_of_int (List.length snap.Obs.rows));
+    ("obs-smoke-events", float_of_int events);
+    ("obs-smoke-families-covered", if missing = [] then 1.0 else 0.0) ]
 
 (* Flat JSON object of benchmark name -> number, so the driver (and
    future sessions) can diff runs mechanically.  Written by hand to
@@ -377,9 +493,11 @@ let () =
   let costs = guest_cycle_costs () in
   print_guest_cycle_costs costs;
   let micro = run_micro () in
+  let obs_rows = obs_machine_pair () @ obs_dump_smoke () in
   if not smoke then begin
     write_json ~path:"BENCH_machine.json" micro costs;
     write_flat_json ~path:"BENCH_experiments.json" campaign_rows;
     write_flat_json ~path:"BENCH_net.json" net_rows;
-    write_flat_json ~path:"BENCH_fuzz.json" fuzz_rows
+    write_flat_json ~path:"BENCH_fuzz.json" fuzz_rows;
+    write_flat_json ~path:"BENCH_obs.json" obs_rows
   end

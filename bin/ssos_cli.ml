@@ -12,6 +12,37 @@
 
 let ok = Cmdliner.Cmd.Exit.ok
 
+(* ------------------------------------------------------------- metrics *)
+
+(* Every subcommand accepts a global [--metrics[=FORMAT]] flag.  Giving
+   it raises the observability switch before the command runs (so
+   builders attach their instrumentation) and dumps the whole registry
+   after it finishes — as an aligned table, or as JSON lines with
+   [--metrics=json]. *)
+let metrics_arg =
+  let open Cmdliner in
+  Arg.(
+    value
+    & opt ~vopt:(Some `Table) (some (enum [ ("table", `Table); ("json", `Json) ])) None
+    & info [ "metrics" ] ~docv:"FORMAT"
+        ~doc:
+          "Enable the observability layer and dump the metric registry \
+           after the command: $(b,table) (default) or $(b,json) (one JSON \
+           object per line).")
+
+let run_with_metrics metrics thunk =
+  (match metrics with
+  | Some _ -> Ssos_obs.Obs.set_enabled true
+  | None -> ());
+  let code = thunk () in
+  (match metrics with
+  | Some `Table ->
+    Format.printf "%a@." Ssos_obs.Obs.pp_table (Ssos_obs.Obs.snapshot ())
+  | Some `Json ->
+    print_string (Ssos_obs.Obs.to_json_lines (Ssos_obs.Obs.snapshot ()))
+  | None -> ());
+  code
+
 (* ---------------------------------------------------------------- demo *)
 
 let heartbeat_tail system n =
@@ -105,15 +136,14 @@ let demo_primitive () =
         (Ssx_devices.Heartbeat.count hb))
     sched.Ssos.Primitive_sched.heartbeats
 
+(* The design argument is an [Arg.enum]: an unknown name is rejected by
+   cmdliner itself, with usage on stderr and a non-zero exit. *)
 let demo design =
   (match design with
-  | "reinstall" -> demo_reinstall ()
-  | "monitor" -> demo_monitor ()
-  | "sched" -> demo_sched ()
-  | "primitive" -> demo_primitive ()
-  | other ->
-    Format.printf "unknown design %s (expected reinstall|monitor|sched|primitive)@."
-      other);
+  | `Reinstall -> demo_reinstall ()
+  | `Monitor -> demo_monitor ()
+  | `Sched -> demo_sched ()
+  | `Primitive -> demo_primitive ());
   ok
 
 (* ---------------------------------------------------------- experiment *)
@@ -136,7 +166,8 @@ let experiment id format jobs =
       print_table format (run ?jobs ());
       ok
     | None ->
-      Format.printf "unknown experiment %s (expected T1..T15 or all)@." id;
+      Format.eprintf "ssos: unknown experiment %s (expected T1..T15 or all)@."
+        id;
       Cmdliner.Cmd.Exit.cli_error
 
 (* ------------------------------------------------------------- figures *)
@@ -148,20 +179,7 @@ let figures () =
     Ssos.Reinstall.figure1_source Ssos.Sched.figures_2_to_5_source;
   ok
 
-let listing which =
-  let source =
-    match which with
-    | "1" | "figure1" -> Some Ssos.Reinstall.figure1_source
-    | "2-5" | "scheduler" -> Some Ssos.Sched.figures_2_to_5_source
-    | "monitor" -> Some Ssos.Monitor.monitor_source
-    | "checkpoint" -> Some Ssos.Baselines.checkpoint_source
-    | _ -> None
-  in
-  match source with
-  | None ->
-    Format.printf "unknown figure %s (expected 1|2-5|monitor|checkpoint)@." which;
-    Cmdliner.Cmd.Exit.cli_error
-  | Some source ->
+let listing source =
     let symbols =
       Ssos.Rom_builder.layout_symbols
       @ [ ("RESTART_ENTRY", Ssos.Layout.recovery_offset);
@@ -176,22 +194,28 @@ let listing which =
 
 (* --------------------------------------------------------------- trace *)
 
+let design_name = function
+  | `Reinstall -> "reinstall"
+  | `Monitor -> "monitor"
+  | `Sched -> "sched"
+  | `Primitive -> "primitive"
+
 let trace design ticks entries format =
   let machine =
     match design with
-    | "monitor" -> (Ssos.Monitor.build ()).Ssos.Monitor.system.Ssos.System.machine
-    | "sched" -> (Ssos.Sched.build ()).Ssos.Sched.machine
-    | "primitive" ->
+    | `Monitor -> (Ssos.Monitor.build ()).Ssos.Monitor.system.Ssos.System.machine
+    | `Sched -> (Ssos.Sched.build ()).Ssos.Sched.machine
+    | `Primitive ->
       (Ssos.Primitive_sched.build ()).Ssos.Primitive_sched.machine
-    | "reinstall" | _ -> (Ssos.Reinstall.build ()).Ssos.System.machine
+    | `Reinstall -> (Ssos.Reinstall.build ()).Ssos.System.machine
   in
   let trace = Ssx.Trace.attach ~capacity:entries machine in
   Ssx.Machine.run machine ~ticks;
   (match format with
   | "json" -> print_endline (Ssx.Trace.to_json trace)
   | _ ->
-    Format.printf "last %d events of %s after %d ticks:@.%a@." entries design
-      ticks Ssx.Trace.dump trace);
+    Format.printf "last %d events of %s after %d ticks:@.%a@." entries
+      (design_name design) ticks Ssx.Trace.dump trace);
   ok
 
 (* ------------------------------------------------------------ campaign *)
@@ -200,21 +224,29 @@ let campaign design burst trials seed jobs =
   let spec = Ssos.Reinstall.weak_spec () in
   let build, space =
     match design with
-    | "none" ->
+    | `None ->
       ((fun () -> Ssos.Baselines.none ()), Ssos.System.default_fault_space)
-    | "reset-only" ->
+    | `Reset_only ->
       ((fun () -> Ssos.Baselines.reset_only ()), Ssos.System.default_fault_space)
-    | "checkpoint" ->
+    | `Checkpoint ->
       ((fun () -> Ssos.Baselines.checkpoint ()), Ssos.Baselines.checkpoint_fault_space)
-    | "monitor" ->
+    | `Monitor ->
       ( (fun () -> (Ssos.Monitor.build ()).Ssos.Monitor.system),
         Ssos.System.default_fault_space )
-    | "reinstall" | _ ->
+    | `Reinstall ->
       ((fun () -> Ssos.Reinstall.build ()), Ssos.System.default_fault_space)
   in
   let summary =
     Ssos_experiments.Runner.heartbeat_campaign ~build ~space ~spec ~burst ?jobs
       ~trials ~seed:(Int64.of_int seed) ()
+  in
+  let design =
+    match design with
+    | `None -> "none"
+    | `Reset_only -> "reset-only"
+    | `Checkpoint -> "checkpoint"
+    | `Monitor -> "monitor"
+    | `Reinstall -> "reinstall"
   in
   Format.printf "design=%s burst=%d trials=%d seed=%d@." design burst trials seed;
   Format.printf "recovered: %d/%d@." summary.Ssos_experiments.Runner.recoveries
@@ -317,12 +349,21 @@ let fuzz seed iters jobs out replay_path =
 
 let () =
   let open Cmdliner in
+  (* Wrap a deferred command body with the global [--metrics] flag: the
+     flag parses for every subcommand, and the body only runs under
+     [run_with_metrics]. *)
+  let with_metrics thunk_term = Term.(const run_with_metrics $ metrics_arg $ thunk_term) in
+  let design_conv =
+    Arg.enum
+      [ ("reinstall", `Reinstall); ("monitor", `Monitor); ("sched", `Sched);
+        ("primitive", `Primitive) ]
+  in
   let design_arg =
-    Arg.(value & pos 0 string "reinstall" & info [] ~docv:"DESIGN")
+    Arg.(value & pos 0 design_conv `Reinstall & info [] ~docv:"DESIGN")
   in
   let demo_cmd =
     Cmd.v (Cmd.info "demo" ~doc:"Run one of the paper's designs and narrate")
-      Term.(const demo $ design_arg)
+      (with_metrics Term.(const (fun d () -> demo d) $ design_arg))
   in
   let id_arg = Arg.(value & pos 0 string "all" & info [] ~docv:"ID") in
   let jobs_arg =
@@ -343,31 +384,62 @@ let () =
   in
   let experiment_cmd =
     Cmd.v (Cmd.info "experiment" ~doc:"Regenerate an evaluation table (T1..T15)")
-      Term.(const experiment $ id_arg $ format_arg $ jobs_arg)
+      (with_metrics
+         Term.(
+           const (fun id format jobs () -> experiment id format jobs)
+           $ id_arg $ format_arg $ jobs_arg))
   in
   let figures_cmd =
     Cmd.v (Cmd.info "figures" ~doc:"Print the paper's figures as source")
-      Term.(const figures $ const ())
+      (with_metrics Term.(const (fun () () -> figures ()) $ const ()))
   in
-  let which_arg = Arg.(value & pos 0 string "1" & info [] ~docv:"FIGURE") in
+  let which_conv =
+    Arg.enum
+      [ ("1", Ssos.Reinstall.figure1_source);
+        ("figure1", Ssos.Reinstall.figure1_source);
+        ("2-5", Ssos.Sched.figures_2_to_5_source);
+        ("scheduler", Ssos.Sched.figures_2_to_5_source);
+        ("monitor", Ssos.Monitor.monitor_source);
+        ("checkpoint", Ssos.Baselines.checkpoint_source) ]
+  in
+  let which_arg =
+    Arg.(
+      value
+      & pos 0 which_conv Ssos.Reinstall.figure1_source
+      & info [] ~docv:"FIGURE")
+  in
   let listing_cmd =
     Cmd.v (Cmd.info "listing" ~doc:"Disassemble an assembled figure")
-      Term.(const listing $ which_arg)
+      (with_metrics Term.(const (fun w () -> listing w) $ which_arg))
   in
   let ticks_arg = Arg.(value & opt int 30_000 & info [ "ticks" ] ~docv:"N") in
   let entries_arg = Arg.(value & opt int 40 & info [ "entries" ] ~docv:"N") in
   let trace_cmd =
     Cmd.v (Cmd.info "trace" ~doc:"Run a design and dump its last events")
-      Term.(const trace $ design_arg $ ticks_arg $ entries_arg $ format_arg)
+      (with_metrics
+         Term.(
+           const (fun d ticks entries format () -> trace d ticks entries format)
+           $ design_arg $ ticks_arg $ entries_arg $ format_arg))
   in
   let burst_arg = Arg.(value & opt int 40 & info [ "burst" ] ~docv:"N") in
   let trials_arg = Arg.(value & opt int 20 & info [ "trials" ] ~docv:"N") in
   let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED") in
+  let campaign_design_conv =
+    Arg.enum
+      [ ("reinstall", `Reinstall); ("monitor", `Monitor); ("none", `None);
+        ("reset-only", `Reset_only); ("checkpoint", `Checkpoint) ]
+  in
+  let campaign_design_arg =
+    Arg.(value & pos 0 campaign_design_conv `Reinstall & info [] ~docv:"DESIGN")
+  in
   let campaign_cmd =
     Cmd.v (Cmd.info "campaign" ~doc:"Custom fault-injection campaign")
-      Term.(
-        const campaign $ design_arg $ burst_arg $ trials_arg $ seed_arg
-        $ jobs_arg)
+      (with_metrics
+         Term.(
+           const (fun d burst trials seed jobs () ->
+               campaign d burst trials seed jobs)
+           $ campaign_design_arg $ burst_arg $ trials_arg $ seed_arg
+           $ jobs_arg))
   in
   let nodes_arg =
     Arg.(
@@ -403,9 +475,12 @@ let () =
          ~doc:
            "Run Dijkstra's token ring across NIC-connected machines, corrupt \
             every node, and watch the ring reconverge")
-      Term.(
-        const cluster $ nodes_arg $ drop_arg $ corrupt_arg $ delay_arg
-        $ limit_arg $ seed_arg)
+      (with_metrics
+         Term.(
+           const (fun nodes drop corrupt delay limit seed () ->
+               cluster nodes drop corrupt delay limit seed)
+           $ nodes_arg $ drop_arg $ corrupt_arg $ delay_arg $ limit_arg
+           $ seed_arg))
   in
   let iters_arg =
     Arg.(
@@ -430,8 +505,11 @@ let () =
          ~doc:
            "Differentially fuzz the machine against the independent reference \
             interpreter")
-      Term.(
-        const fuzz $ seed_arg $ iters_arg $ jobs_arg $ out_arg $ replay_arg)
+      (with_metrics
+         Term.(
+           const (fun seed iters jobs out replay () ->
+               fuzz seed iters jobs out replay)
+           $ seed_arg $ iters_arg $ jobs_arg $ out_arg $ replay_arg))
   in
   let default = Term.(ret (const (`Help (`Pager, None)))) in
   let info =

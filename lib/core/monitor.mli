@@ -43,6 +43,8 @@ val build :
   ?nmi_counter_enabled:bool ->
   ?hardwired_nmi:bool ->
   ?decode_cache:bool ->
+  ?obs:bool ->
+  ?obs_label:string ->
   ?watchdog_period:int ->
   ?tasks:int ->
   ?predicates_enabled:bool ->
@@ -55,6 +57,8 @@ val build_custom :
   ?nmi_counter_enabled:bool ->
   ?hardwired_nmi:bool ->
   ?decode_cache:bool ->
+  ?obs:bool ->
+  ?obs_label:string ->
   ?watchdog_period:int ->
   ?code_integrity:bool ->
   guest:Guest.t ->

@@ -36,6 +36,8 @@ val build :
   ?nmi_counter_enabled:bool ->
   ?hardwired_nmi:bool ->
   ?decode_cache:bool ->
+  ?obs:bool ->
+  ?obs_label:string ->
   ?watchdog_period:int ->
   ?variant:variant ->
   ?wiring:wiring ->

@@ -189,7 +189,11 @@ let build_rom ~n ~cs_check ~ip_mask ~refresh ~images =
 
 let build ?(n = 4) ?(cs_check = Strict_eq) ?(ip_mask = Windowed)
     ?(refresh = true) ?(watchdog_period = default_watchdog_period)
-    ?nmi_counter_enabled ?hardwired_nmi ?decode_cache ?processes () =
+    ?nmi_counter_enabled ?hardwired_nmi ?decode_cache ?obs ?(obs_label = "")
+    ?processes () =
+  let obs =
+    match obs with Some v -> v | None -> Ssos_obs.Obs.enabled ()
+  in
   let processes =
     match processes with
     | Some processes ->
@@ -225,6 +229,18 @@ let build ?(n = 4) ?(cs_check = Strict_eq) ?(ip_mask = Windowed)
           machine;
         hb)
   in
+  if obs then begin
+    ignore (Ssos_obs.Machine_obs.attach ~label:obs_label machine);
+    Ssos_obs.Device_obs.watchdog ~label:obs_label watchdog;
+    Array.iteri
+      (fun i hb ->
+        let label =
+          if obs_label = "" then string_of_int i
+          else Printf.sprintf "%s/%d" obs_label i
+        in
+        Ssos_obs.Device_obs.heartbeat ~label hb)
+      heartbeats
+  end;
   Ssx.Cpu.reset (Ssx.Machine.cpu machine);
   { machine; watchdog; heartbeats; processes; n }
 

@@ -7,8 +7,12 @@ type t = {
   guest : Guest.t;
 }
 
-let build ?nmi_counter_enabled ?hardwired_nmi ?decode_cache
-    ?(watchdog = `Nmi Layout.default_watchdog_period) ~rom ~guest () =
+let build ?nmi_counter_enabled ?hardwired_nmi ?decode_cache ?obs
+    ?(obs_label = "") ?(watchdog = `Nmi Layout.default_watchdog_period) ~rom
+    ~guest () =
+  let obs =
+    match obs with Some v -> v | None -> Ssos_obs.Obs.enabled ()
+  in
   let config = Layout.machine_config ?nmi_counter_enabled ?hardwired_nmi () in
   let machine = Ssx.Machine.create ~config ?decode_cache () in
   Rom_builder.install rom (Ssx.Machine.memory machine);
@@ -35,6 +39,14 @@ let build ?nmi_counter_enabled ?hardwired_nmi ?decode_cache
   Ssx_devices.Nvstore.add nvstore ~name:"os"
     ~base:((Layout.os_segment lsl 4))
     (Guest.image_bytes guest);
+  (* Instrumentation attaches only when observability resolves on, so a
+     plain build keeps the exact uninstrumented execution path. *)
+  if obs then begin
+    ignore (Ssos_obs.Machine_obs.attach ~label:obs_label machine);
+    Option.iter (Ssos_obs.Device_obs.watchdog ~label:obs_label) watchdog;
+    Ssos_obs.Device_obs.heartbeat ~label:obs_label heartbeat;
+    Ssos_obs.Device_obs.nvstore ~label:obs_label nvstore
+  end;
   Ssx.Cpu.reset (Ssx.Machine.cpu machine);
   { machine; watchdog; heartbeat; console; nvstore; guest }
 

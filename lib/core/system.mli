@@ -20,6 +20,8 @@ val build :
   ?nmi_counter_enabled:bool ->
   ?hardwired_nmi:bool ->
   ?decode_cache:bool ->
+  ?obs:bool ->
+  ?obs_label:string ->
   ?watchdog:[ `Nmi of int | `Reset of int | `None ] ->
   rom:Rom_builder.t ->
   guest:Guest.t ->
@@ -29,7 +31,13 @@ val build :
     and set the IDTR to the ROM IDT.  [`Nmi period] (the default wiring
     in the paper's designs) or [`Reset period] choose the watchdog pin.
     The CPU starts at the reset vector; nothing is pre-installed in RAM
-    unless the caller does so. *)
+    unless the caller does so.
+
+    [obs] (default {!Ssos_obs.Obs.enabled}) attaches the observability
+    layer — machine event counters plus watchdog/heartbeat/nvstore
+    gauges, under names suffixed [{id=obs_label}] when a label is
+    given.  When it resolves false nothing attaches and the machine
+    runs the exact uninstrumented path. *)
 
 val fault_system : t -> Ssx_faults.Fault.system
 

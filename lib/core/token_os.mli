@@ -35,6 +35,8 @@ val build :
   ?cs_check:Sched.cs_check ->
   ?refresh:bool ->
   ?decode_cache:bool ->
+  ?obs:bool ->
+  ?obs_label:string ->
   unit ->
   Sched.t
 (** The tiny OS scheduling an [n]-machine ring (default 4). *)

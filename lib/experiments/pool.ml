@@ -45,18 +45,38 @@ let run_with ?(oversubscribe = false) ?jobs ~init n f =
   if n <= 0 then [||]
   else begin
     let jobs = resolve_jobs ~oversubscribe jobs n in
+    (* Per-worker throughput counters ([pool.worker{id=k}.tasks]) are
+       registered only when observability is on; they count completed
+       tasks per domain, which is the one campaign quantity that *does*
+       legitimately vary with the interleaving. *)
+    let task_counters =
+      if Ssos_obs.Obs.enabled () then begin
+        Ssos_obs.Obs.set_int (Ssos_obs.Obs.gauge "pool.jobs") jobs;
+        Some
+          (Array.init jobs (fun w ->
+               Ssos_obs.Obs.counter
+                 (Printf.sprintf "pool.worker{id=%d}.tasks" w)))
+      end
+      else None
+    in
+    let count_task wid =
+      match task_counters with
+      | Some counters -> Ssos_obs.Obs.incr counters.(wid)
+      | None -> ()
+    in
     let results = Array.make n None in
     let fill_sequentially () =
       let state = init () in
       for i = 0 to n - 1 do
-        results.(i) <- Some (f state i)
+        results.(i) <- Some (f state i);
+        count_task 0
       done
     in
     if jobs = 1 then fill_sequentially ()
     else begin
       let next = Atomic.make 0 in
       let failure = Atomic.make None in
-      let worker () =
+      let worker wid =
         let state = ref None in
         let force_state () =
           match !state with
@@ -71,7 +91,9 @@ let run_with ?(oversubscribe = false) ?jobs ~init n f =
             let i = Atomic.fetch_and_add next 1 in
             if i < n then begin
               (match f (force_state ()) i with
-              | v -> results.(i) <- Some v
+              | v ->
+                results.(i) <- Some v;
+                count_task wid
               | exception exn ->
                 let bt = Printexc.get_raw_backtrace () in
                 (* Keep the first failure; losing CAS races just means
@@ -83,9 +105,11 @@ let run_with ?(oversubscribe = false) ?jobs ~init n f =
         in
         loop ()
       in
-      let spawned = Array.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+      let spawned =
+        Array.init (jobs - 1) (fun w -> Domain.spawn (fun () -> worker w))
+      in
       (* The calling domain is worker number [jobs]. *)
-      worker ();
+      worker (jobs - 1);
       Array.iter Domain.join spawned;
       match Atomic.get failure with
       | Some (exn, bt) -> Printexc.raise_with_backtrace exn bt

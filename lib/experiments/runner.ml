@@ -35,6 +35,40 @@ let summarize outcomes =
   in
   { trials; recoveries; mean_recovery; max_recovery }
 
+(* Campaign telemetry.  [summarize] stays a pure fold over outcomes —
+   the summary a caller sees is computed the same way with metrics on
+   or off — and the observability layer is fed afterwards, from the
+   same outcomes: per-campaign trial/recovery counters, a
+   recovery-time histogram (whose exact count/sum/max side-cars carry
+   everything the summary holds), and last-campaign gauges. *)
+let publish ~campaign outcomes summary =
+  if Ssos_obs.Obs.enabled () then begin
+    let name stat = Printf.sprintf "campaign{id=%s}.%s" campaign stat in
+    Ssos_obs.Obs.incr ~by:summary.trials
+      (Ssos_obs.Obs.counter (name "trials"));
+    Ssos_obs.Obs.incr ~by:summary.recoveries
+      (Ssos_obs.Obs.counter (name "recoveries"));
+    let hist = Ssos_obs.Obs.histogram (name "recovery-ticks") in
+    List.iter
+      (fun o ->
+        match o.recovery_ticks with
+        | Some t when o.recovered -> Ssos_obs.Obs.observe hist (float_of_int t)
+        | Some _ | None -> ())
+      outcomes;
+    Option.iter
+      (Ssos_obs.Obs.set (Ssos_obs.Obs.gauge (name "mean-recovery-ticks")))
+      summary.mean_recovery;
+    Option.iter
+      (Ssos_obs.Obs.set_int (Ssos_obs.Obs.gauge (name "max-recovery-ticks")))
+      summary.max_recovery;
+    Ssos_obs.Obs.event "campaign.summary"
+      ~fields:
+        [ ("campaign", campaign);
+          ("trials", string_of_int summary.trials);
+          ("recoveries", string_of_int summary.recoveries) ]
+  end;
+  summary
+
 let trial_seed = Ssx_faults.Rng.derive
 
 type strategy = Rebuild | Snapshot_reset
@@ -90,7 +124,8 @@ let heartbeat_campaign ~build ~space ~spec ~burst ?(warmup = 30_000)
           Ssos.System.run system ~ticks:horizon;
           heartbeat_outcome ~spec ~warmup system)
   in
-  summarize (Array.to_list outcomes)
+  let outcomes = Array.to_list outcomes in
+  publish ~campaign:"heartbeat" outcomes (summarize outcomes)
 
 let sched_outcome ~warmup ~max_gap ~window sched =
   let end_tick = Ssx.Machine.ticks sched.Ssos.Sched.machine in
@@ -162,7 +197,8 @@ let sched_campaign ~build ?space ~burst ?(warmup = 100_000)
           Ssx.Machine.run sched.Ssos.Sched.machine ~ticks:horizon;
           sched_outcome ~warmup ~max_gap ~window sched)
   in
-  summarize (Array.to_list outcomes)
+  let outcomes = Array.to_list outcomes in
+  publish ~campaign:"sched" outcomes (summarize outcomes)
 
 let ring_outcome ~window ~horizon ring =
   (* The perturbation may itself have stepped the cluster (e.g. a
@@ -211,7 +247,8 @@ let ring_campaign ~build ~perturb ?(warmup = 200) ?(horizon = 2_500)
           perturb rng ring;
           ring_outcome ~window ~horizon ring)
   in
-  summarize (Array.to_list outcomes)
+  let outcomes = Array.to_list outcomes in
+  publish ~campaign:"ring" outcomes (summarize outcomes)
 
 let scramble_processor rng system =
   let machine = system.Ssos.System.machine in

@@ -125,6 +125,19 @@ let random rng space =
       | _ -> if space.halt_faults then Spurious_halt else Ip (word ()))
     | `Watchdog -> Watchdog_counter (Rng.int rng 0x1000000)
 
+let kind_name = function
+  | Ram_bit_flip _ -> "ram-bit-flip"
+  | Ram_byte _ -> "ram-byte"
+  | Reg16 _ -> "reg16"
+  | Sreg _ -> "sreg"
+  | Ip _ -> "ip"
+  | Psw _ -> "psw"
+  | Nmi_counter _ -> "nmi-counter"
+  | Nmi_latch _ -> "nmi-latch"
+  | Idtr _ -> "idtr"
+  | Spurious_halt -> "spurious-halt"
+  | Watchdog_counter _ -> "watchdog-counter"
+
 let pp ppf = function
   | Ram_bit_flip { addr; bit } ->
     Format.fprintf ppf "ram-bit-flip %a bit %d" Ssx.Addr.pp addr bit

@@ -53,5 +53,10 @@ val random : Rng.t -> space -> t
 (** Draw a random fault: 60% memory, and the rest spread over the
     enabled register/control/watchdog classes. *)
 
+val kind_name : t -> string
+(** The constructor as a stable kebab-case tag ([ram-bit-flip], [ip],
+    [watchdog-counter], …) — the label the injector's per-kind
+    observability counters are keyed by. *)
+
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string

@@ -14,10 +14,26 @@ type t = {
   mutable armed : bool;
 }
 
+(* Observability is published only after a fault has actually landed,
+   and never consumes randomness, so campaigns with metrics on replay
+   the exact fault streams of campaigns with metrics off. *)
+let publish tick fault =
+  if Ssos_obs.Obs.enabled () then begin
+    Ssos_obs.Obs.incr (Ssos_obs.Obs.counter "fault.injected");
+    Ssos_obs.Obs.incr
+      (Ssos_obs.Obs.counter
+         (Printf.sprintf "fault.injected{kind=%s}" (Fault.kind_name fault)));
+    Ssos_obs.Obs.event "fault.injected"
+      ~fields:
+        [ ("tick", string_of_int tick); ("fault", Fault.to_string fault) ]
+  end
+
 let apply_random injector tick =
   let fault = Fault.random injector.rng injector.space in
-  if Fault.apply injector.system fault then
-    injector.log <- (tick, fault) :: injector.log
+  if Fault.apply injector.system fault then begin
+    injector.log <- (tick, fault) :: injector.log;
+    publish tick fault
+  end
 
 let faults_due injector tick =
   match injector.schedule with
@@ -54,7 +70,10 @@ let inject_now system ~rng ~space n =
     if k = 0 then List.rev acc
     else
       let fault = Fault.random rng space in
-      if Fault.apply system fault then loop (k - 1) (fault :: acc)
+      if Fault.apply system fault then begin
+        publish (Ssx.Machine.ticks system.Fault.machine) fault;
+        loop (k - 1) (fault :: acc)
+      end
       else loop k acc
   in
   loop n []

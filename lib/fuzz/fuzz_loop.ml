@@ -454,6 +454,17 @@ let shard_count iters = max 1 (min 32 ((iters + 249) / 250))
 let max_corpus = 512
 let max_divergences_per_shard = 5
 
+(* Corpus entries are keyed by a digest of the whole program — code,
+   NMI schedule, step budget — so a mutation that reproduces an
+   existing member byte-for-byte can never occupy a second slot of the
+   bounded corpus. *)
+let corpus_key (p : Gen.program) =
+  let d = Ssx.Digest.create () in
+  Ssx.Digest.add_string d p.Gen.code;
+  List.iter (Ssx.Digest.add_int24 d) p.Gen.schedule;
+  Ssx.Digest.add_int24 d p.Gen.steps;
+  Ssx.Digest.to_hex d
+
 type shard_result = {
   sh_programs : int;
   sh_ticks : int;
@@ -468,6 +479,7 @@ let run_shard ~seed ~shard ~iters =
   let o = Ref_interp.create () in
   let cov = coverage_create () in
   let corpus = ref [||] in
+  let corpus_seen = Hashtbl.create 64 in
   let divergences = ref [] in
   let ticks = ref 0 in
   for iter = 0 to iters - 1 do
@@ -493,8 +505,13 @@ let run_shard ~seed ~shard ~iters =
         :: !divergences
     | Some _ | None -> ());
     if trial.failure = None && coverage_merge cov trial.indices > 0 then
-      if Array.length !corpus < max_corpus then
-        corpus := Array.append !corpus [| p |]
+      if Array.length !corpus < max_corpus then begin
+        let key = corpus_key p in
+        if not (Hashtbl.mem corpus_seen key) then begin
+          Hashtbl.add corpus_seen key ();
+          corpus := Array.append !corpus [| p |]
+        end
+      end
   done;
   (* Report the lit coverage bits as indices for the cross-shard merge. *)
   let indices = ref [] in
@@ -531,11 +548,36 @@ let run ?jobs ~seed ~iters () =
       ignore (coverage_merge cov r.sh_indices);
       divergences := !divergences @ r.sh_divergences)
     results;
-  { programs = !programs;
-    total_ticks = !ticks;
-    corpus_size = !corpus;
-    coverage_points = cov.points;
-    divergences = !divergences }
+  let summary =
+    { programs = !programs;
+      total_ticks = !ticks;
+      corpus_size = !corpus;
+      coverage_points = cov.points;
+      divergences = !divergences }
+  in
+  (* Published after the summary is assembled, so the result is
+     bit-identical with metrics on or off. *)
+  if Ssos_obs.Obs.enabled () then begin
+    Ssos_obs.Obs.incr ~by:summary.programs
+      (Ssos_obs.Obs.counter "fuzz.programs");
+    Ssos_obs.Obs.incr ~by:summary.total_ticks
+      (Ssos_obs.Obs.counter "fuzz.ticks");
+    Ssos_obs.Obs.incr
+      ~by:(List.length summary.divergences)
+      (Ssos_obs.Obs.counter "fuzz.divergences");
+    Ssos_obs.Obs.set_int
+      (Ssos_obs.Obs.gauge "fuzz.corpus-size")
+      summary.corpus_size;
+    Ssos_obs.Obs.set_int
+      (Ssos_obs.Obs.gauge "fuzz.coverage-points")
+      summary.coverage_points;
+    Ssos_obs.Obs.event "fuzz.summary"
+      ~fields:
+        [ ("programs", string_of_int summary.programs);
+          ("coverage", string_of_int summary.coverage_points);
+          ("divergences", string_of_int (List.length summary.divergences)) ]
+  end;
+  summary
 
 let pp_divergence ppf d =
   Format.fprintf ppf

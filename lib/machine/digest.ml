@@ -1,0 +1,28 @@
+(* FNV-1a with the 64-bit parameters, folded into OCaml's 63-bit native
+   int by [land max_int] after every multiply — exactly the arithmetic
+   the inline copies in Snapshot and Cluster always performed, so the
+   hex output is unchanged by the deduplication. *)
+
+type t = { mutable h : int }
+
+let offset_basis = 0x4bf29ce484222325
+let prime = 0x100000001b3
+
+let create () = { h = offset_basis }
+
+let[@inline] add_byte t byte =
+  t.h <- (t.h lxor (byte land 0xff)) * prime land max_int
+
+let add_string t s = String.iter (fun c -> add_byte t (Char.code c)) s
+
+let add_int24 t v =
+  add_byte t v;
+  add_byte t (v asr 8);
+  add_byte t (v asr 16)
+
+let to_hex t = Printf.sprintf "%016x" t.h
+
+let string s =
+  let t = create () in
+  add_string t s;
+  to_hex t

@@ -1,0 +1,36 @@
+(** The repo's one content digest: FNV-1a folded to 63 bits.
+
+    Snapshot state hashing, cluster-wide configuration digests and fuzz
+    corpus keying all need the same thing — a fast, dependency-free,
+    deterministic fingerprint with a stable printable form — and each
+    used to hand-roll it.  This module is the single implementation;
+    the regression suite pins its output against the historical inline
+    versions byte for byte.
+
+    Not cryptographic.  Collisions are astronomically unlikely for the
+    state spaces involved but an adversary could construct one; nothing
+    here is used for integrity against an attacker. *)
+
+type t
+(** A digest in progress (mutable accumulator). *)
+
+val create : unit -> t
+(** Fresh accumulator at the FNV-1a offset basis (63-bit variant
+    [0x4bf29ce484222325]). *)
+
+val add_byte : t -> int -> unit
+(** Mix one byte (only the low 8 bits of the argument are used). *)
+
+val add_string : t -> string -> unit
+(** Mix every byte of the string in order. *)
+
+val add_int24 : t -> int -> unit
+(** Mix the low 24 bits of an integer, least-significant byte first —
+    the encoding {!Snapshot.digest} uses for register values. *)
+
+val to_hex : t -> string
+(** Current value as 16 lowercase hex digits (zero-padded). *)
+
+val string : string -> string
+(** [string s] is the one-shot digest of [s] — [create], [add_string],
+    [to_hex]. *)

@@ -6,6 +6,8 @@ type t = {
   mutable rom : region list;
   mutable on_write : int -> unit;
   mutable on_reload : unit -> unit;
+  mutable writes : int;
+  mutable rom_refusals : int;
 }
 
 let size = Addr.memory_size
@@ -17,7 +19,9 @@ let create () =
     prot = Bytes.make (size lsr 3) '\000';
     rom = [];
     on_write = no_hook;
-    on_reload = (fun () -> ()) }
+    on_reload = (fun () -> ());
+    writes = 0;
+    rom_refusals = 0 }
 
 let is_protected mem addr =
   Char.code (Bytes.unsafe_get mem.prot (addr lsr 3)) land (1 lsl (addr land 7)) <> 0
@@ -33,15 +37,21 @@ let[@inline] read_byte mem addr = Char.code (Bytes.unsafe_get mem.data (Addr.mas
 
 let write_byte mem addr v =
   let addr = Addr.mask addr in
-  if not (is_protected mem addr) then begin
+  if is_protected mem addr then mem.rom_refusals <- mem.rom_refusals + 1
+  else begin
     Bytes.unsafe_set mem.data addr (Char.chr (v land 0xff));
+    mem.writes <- mem.writes + 1;
     mem.on_write addr
   end
 
 let force_write_byte mem addr v =
   let addr = Addr.mask addr in
   Bytes.unsafe_set mem.data addr (Char.chr (v land 0xff));
+  mem.writes <- mem.writes + 1;
   mem.on_write addr
+
+let write_count mem = mem.writes
+let rom_refusal_count mem = mem.rom_refusals
 
 let read_word mem addr =
   Word.of_bytes ~low:(read_byte mem addr) ~high:(read_byte mem (Addr.mask (addr + 1)))

@@ -39,6 +39,18 @@ val is_protected : t -> int -> bool
 
 val protected_regions : t -> region list
 
+val write_count : t -> int
+(** Total byte writes accepted through {!write_byte},
+    {!force_write_byte} and the paths built on them ({!write_word},
+    {!load_image}, {!blit}).  Plain int accounting kept unconditionally
+    — a single increment on the store path — and surfaced as a sampled
+    observability gauge. *)
+
+val rom_refusal_count : t -> int
+(** Writes {!write_byte} silently dropped because the target byte lies
+    in a protected (ROM) region — the §2 "ROM remains unchanged"
+    guarantee made visible. *)
+
 val set_write_hook : t -> (int -> unit) -> unit
 (** [set_write_hook mem f] makes every mutation of a memory byte —
     guest stores, {!force_write_byte}, {!load_image}, {!blit}, fault

@@ -79,20 +79,15 @@ let register_values snapshot =
       ("steps", snapshot.steps) ]
 
 let digest snapshot =
-  (* FNV-1a (63-bit offset basis) over the register summary and RAM. *)
-  let h = ref 0x4bf29ce484222325 in
-  let mix byte =
-    h := (!h lxor byte) * 0x100000001b3 land max_int
-  in
+  (* FNV-1a over the register summary and RAM. *)
+  let d = Digest.create () in
   List.iter
     (fun (name, v) ->
-      String.iter (fun c -> mix (Char.code c)) name;
-      mix (v land 0xff);
-      mix ((v asr 8) land 0xff);
-      mix ((v asr 16) land 0xff))
+      Digest.add_string d name;
+      Digest.add_int24 d v)
     (register_values snapshot);
-  String.iter (fun c -> mix (Char.code c)) snapshot.ram;
-  Printf.sprintf "%016x" !h
+  Digest.add_string d snapshot.ram;
+  Digest.to_hex d
 
 let equal a b = register_values a = register_values b && a.ram = b.ram
 

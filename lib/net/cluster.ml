@@ -131,6 +131,35 @@ let restore t snapshot =
 let capture_node t i = Ssx.Snapshot.capture t.nodes.(i).machine
 let restore_node t i snap = Ssx.Snapshot.restore snap t.nodes.(i).machine
 
+let observe ?(prefix = "net") (t : t) =
+  let open Ssos_obs in
+  Obs.sample (prefix ^ ".cluster.steps") (fun () -> float_of_int t.step_count);
+  Obs.sample (prefix ^ ".cluster.nodes") (fun () -> float_of_int (size t));
+  Array.iter
+    (fun link ->
+      let name stat =
+        Printf.sprintf "%s.link{%d->%d}.%s" prefix (Link.src link)
+          (Link.dst link) stat
+      in
+      let stat n read = Obs.sample (name n) (fun () -> float_of_int (read link)) in
+      stat "sent" Link.sent;
+      stat "delivered" Link.delivered;
+      stat "dropped" Link.dropped;
+      stat "corrupted" Link.corrupted;
+      stat "in-flight" Link.in_flight)
+    t.links;
+  Array.iteri
+    (fun i node ->
+      let name stat = Printf.sprintf "%s.nic{id=%d}.%s" prefix i stat in
+      let stat n read =
+        Obs.sample (name n) (fun () -> float_of_int (read (Nic.stats node.nic)))
+      in
+      stat "tx-words" (fun s -> s.Nic.tx_words);
+      stat "rx-delivered" (fun s -> s.Nic.rx_delivered);
+      stat "rx-dropped" (fun s -> s.Nic.rx_dropped);
+      stat "rx-read" (fun s -> s.Nic.rx_read))
+    t.nodes
+
 let digest t =
   let buffer = Buffer.create 256 in
   Array.iter
@@ -142,9 +171,4 @@ let digest t =
     (fun link -> Buffer.add_string buffer (string_of_int (Link.in_flight link)))
     t.links;
   Buffer.add_string buffer (string_of_int t.step_count);
-  (* FNV-1a over the per-node digests, as in Snapshot.digest. *)
-  let h = ref 0x4bf29ce484222325 in
-  String.iter
-    (fun c -> h := (!h lxor Char.code c) * 0x100000001b3 land max_int)
-    (Buffer.contents buffer);
-  Printf.sprintf "%016x" !h
+  Ssx.Digest.string (Buffer.contents buffer)

@@ -78,6 +78,15 @@ val restore : t -> snapshot -> unit
 val capture_node : t -> int -> Ssx.Snapshot.t
 val restore_node : t -> int -> Ssx.Snapshot.t -> unit
 
+val observe : ?prefix:string -> t -> unit
+(** Register sampled observability gauges for the whole cluster under
+    [<prefix>.…] (default ["net"]): step/node counts, per-link
+    [link{src->dst}.sent/delivered/dropped/corrupted/in-flight], and
+    per-node [nic{id=i}.tx-words/rx-delivered/rx-dropped/rx-read].
+    Sampling closures are read only at {!Ssos_obs.Obs.snapshot} time,
+    so observing a cluster costs nothing while it runs and never
+    perturbs its deterministic execution. *)
+
 val digest : t -> string
 (** Hash of every node's {!Ssx.Snapshot.digest} plus link occupancy and
     the step count — for cross-run determinism checks. *)

@@ -25,12 +25,14 @@ type t = {
   mutable last_deliver_at : int;
   mutable sent : int;
   mutable dropped : int;
+  mutable delivered : int;
+  mutable corrupted : int;
 }
 
 let create ?faults ~rng ~src ~dst () =
   let faults = match faults with Some f -> f | None -> benign () in
   { src; dst; faults; rng; queue = Queue.create ();
-    last_deliver_at = 0; sent = 0; dropped = 0 }
+    last_deliver_at = 0; sent = 0; dropped = 0; delivered = 0; corrupted = 0 }
 
 let src t = t.src
 let dst t = t.dst
@@ -38,6 +40,8 @@ let faults t = t.faults
 let in_flight t = Queue.length t.queue
 let sent t = t.sent
 let dropped t = t.dropped
+let delivered t = t.delivered
+let corrupted t = t.corrupted
 
 (* Probability draws are skipped entirely at probability zero, so a
    benign link consumes no randomness and its behaviour is independent
@@ -54,6 +58,7 @@ let enqueue t ~now word =
   t.last_deliver_at <- deliver_at;
   let word =
     if chance t t.faults.corrupt then begin
+      t.corrupted <- t.corrupted + 1;
       let garbage = Rng.int t.rng 256 in
       if Rng.bool t.rng then (word land 0xFF00) lor garbage
       else (word land 0x00FF) lor (garbage lsl 8)
@@ -76,6 +81,7 @@ let due t ~now =
     match Queue.peek t.queue with
     | deliver_at, word when deliver_at <= now ->
       ignore (Queue.pop t.queue);
+      t.delivered <- t.delivered + 1;
       pop (word :: acc)
     | _ -> List.rev acc
     | exception Queue.Empty -> List.rev acc
@@ -86,6 +92,7 @@ let capture t =
   let queue = Queue.copy t.queue in
   let last_deliver_at = t.last_deliver_at in
   let sent = t.sent and dropped = t.dropped in
+  let delivered = t.delivered and corrupted = t.corrupted in
   let rng = Rng.copy t.rng in
   let { drop; duplicate; max_delay; corrupt } = t.faults in
   fun () ->
@@ -94,6 +101,8 @@ let capture t =
     t.last_deliver_at <- last_deliver_at;
     t.sent <- sent;
     t.dropped <- dropped;
+    t.delivered <- delivered;
+    t.corrupted <- corrupted;
     t.rng <- Rng.copy rng;
     t.faults.drop <- drop;
     t.faults.duplicate <- duplicate;

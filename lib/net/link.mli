@@ -51,6 +51,13 @@ val sent : t -> int
 
 val dropped : t -> int
 
+val delivered : t -> int
+(** Words actually handed to the receiver by {!due}. *)
+
+val corrupted : t -> int
+(** Words that had a byte garbled in flight (they still count as
+    delivered when they arrive). *)
+
 val capture : t -> unit -> unit
 (** Record the link's full state — queue, FIFO clamp, fault-model
     fields, RNG — and return a thunk restoring exactly that state

@@ -96,11 +96,15 @@ type t = {
 }
 
 let build ?(n = 4) ?policy ?ticks_per_slot ?watchdog_period ?capacity ?faults
-    ?decode_cache ~seed () =
+    ?decode_cache ?obs ~seed () =
   if n < 2 then invalid_arg "Net_ring.build: need at least two nodes";
+  let obs =
+    match obs with Some v -> v | None -> Ssos_obs.Obs.enabled ()
+  in
   let systems =
     Array.init n (fun index ->
-        Ssos.Sched.build ~n:1 ?watchdog_period ?decode_cache
+        Ssos.Sched.build ~n:1 ?watchdog_period ?decode_cache ~obs
+          ~obs_label:(Printf.sprintf "node%d" index)
           ~processes:[| ring_process ~bottom:(index = 0) ~index |] ())
   in
   let nodes =
@@ -113,6 +117,7 @@ let build ?(n = 4) ?policy ?ticks_per_slot ?watchdog_period ?capacity ?faults
   in
   let cluster = Cluster.create ?policy ?ticks_per_slot ~seed nodes in
   Cluster.connect_many ?faults cluster (Cluster.ring_edges ~n);
+  if obs then Cluster.observe cluster;
   { cluster; systems; n }
 
 let node_memory t i = Ssx.Machine.memory (Cluster.machine t.cluster i)

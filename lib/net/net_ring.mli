@@ -45,13 +45,18 @@ val build :
   ?capacity:int ->
   ?faults:(src:int -> dst:int -> Link.fault_model) ->
   ?decode_cache:bool ->
+  ?obs:bool ->
   seed:int64 ->
   unit ->
   t
 (** An [n]-node ring (default 4, at least 2), nodes linked
     [i -> i+1 mod n] with per-link fault models from [faults] (benign
     when omitted).  All counters start at zero — a legitimate
-    configuration with the single privilege at the bottom. *)
+    configuration with the single privilege at the bottom.
+
+    [obs] (default {!Ssos_obs.Obs.enabled}) instruments every node's
+    machine (labelled [node<i>]) and registers the cluster's link/NIC
+    gauges via {!Cluster.observe}. *)
 
 val states : t -> int array
 (** True counters, node order. *)

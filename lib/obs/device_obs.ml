@@ -1,0 +1,22 @@
+let metric ~label device stat =
+  match label with
+  | "" -> Printf.sprintf "device.%s.%s" device stat
+  | label -> Printf.sprintf "device.%s{id=%s}.%s" device label stat
+
+let watchdog ?(label = "") wd =
+  Obs.sample
+    (metric ~label "watchdog" "bites")
+    (fun () -> float_of_int (Ssx_devices.Watchdog.fired_count wd));
+  Obs.sample
+    (metric ~label "watchdog" "counter")
+    (fun () -> float_of_int (Ssx_devices.Watchdog.counter wd))
+
+let heartbeat ?(label = "") hb =
+  Obs.sample
+    (metric ~label "heartbeat" "count")
+    (fun () -> float_of_int (Ssx_devices.Heartbeat.count hb))
+
+let nvstore ?(label = "") nv =
+  Obs.sample
+    (metric ~label "nvstore" "images")
+    (fun () -> float_of_int (List.length (Ssx_devices.Nvstore.names nv)))

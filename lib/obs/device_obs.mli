@@ -1,0 +1,19 @@
+(** Device instrumentation: sampled gauges over the devices' existing
+    public counters.  Nothing is added to the device hot paths — each
+    registration is a closure the registry reads only at
+    {!Obs.snapshot} time.
+
+    Metric names are [device.<device>.<stat>], or
+    [device.<device>{id=<label>}.<stat>] when a label distinguishes
+    instances (e.g. the per-process heartbeat ports of the
+    scheduler). *)
+
+val watchdog : ?label:string -> Ssx_devices.Watchdog.t -> unit
+(** Registers [bites] (times the watchdog fired) and [counter] (current
+    countdown value). *)
+
+val heartbeat : ?label:string -> Ssx_devices.Heartbeat.t -> unit
+(** Registers [count] (samples recorded so far). *)
+
+val nvstore : ?label:string -> Ssx_devices.Nvstore.t -> unit
+(** Registers [images] (stored golden images). *)

@@ -1,0 +1,58 @@
+type t = {
+  tick_count : Obs.counter;
+  executed : Obs.counter;
+  interrupts : Obs.counter;
+  nmis : Obs.counter;
+  exceptions : Obs.counter;
+  idle : Obs.counter;
+  resets : Obs.counter;
+}
+
+let metric_name ~label base =
+  match label with
+  | "" -> "machine." ^ base
+  | label -> Printf.sprintf "machine.%s{id=%s}" base label
+
+let attach ?(label = "") machine =
+  let name base = metric_name ~label base in
+  let t =
+    { tick_count = Obs.counter (name "ticks");
+      executed = Obs.counter (name "executed");
+      interrupts = Obs.counter (name "interrupts");
+      nmis = Obs.counter (name "nmis");
+      exceptions = Obs.counter (name "exceptions");
+      idle = Obs.counter (name "idle");
+      resets = Obs.counter (name "resets") }
+  in
+  Ssx.Machine.on_event machine (fun _machine event ->
+      Obs.incr t.tick_count;
+      match event with
+      | Ssx.Cpu.Executed _ -> Obs.incr t.executed
+      | Ssx.Cpu.Took_interrupt { nmi = true; _ } -> Obs.incr t.nmis
+      | Ssx.Cpu.Took_interrupt _ -> Obs.incr t.interrupts
+      | Ssx.Cpu.Took_exception _ -> Obs.incr t.exceptions
+      | Ssx.Cpu.Halted_idle -> Obs.incr t.idle
+      | Ssx.Cpu.Did_reset -> Obs.incr t.resets);
+  Obs.sample (name "steps") (fun () ->
+      float_of_int (Ssx.Machine.ticks machine));
+  let mem = Ssx.Machine.memory machine in
+  Obs.sample (name "mem.writes") (fun () ->
+      float_of_int (Ssx.Memory.write_count mem));
+  Obs.sample (name "mem.rom-refusals") (fun () ->
+      float_of_int (Ssx.Memory.rom_refusal_count mem));
+  (* Re-read the cache on every sample: [set_decode_cache] may swap it
+     out (or in) after attachment. *)
+  let cache_stat read =
+    fun () ->
+      match Ssx.Machine.decode_cache machine with
+      | None -> 0.
+      | Some cache -> float_of_int (read cache)
+  in
+  Obs.sample (name "decode-cache.hits") (cache_stat Ssx.Decode_cache.hits);
+  Obs.sample (name "decode-cache.misses") (cache_stat Ssx.Decode_cache.misses);
+  Obs.sample
+    (name "decode-cache.invalidations")
+    (cache_stat Ssx.Decode_cache.invalidations);
+  t
+
+let ticks t = Obs.counter_value t.tick_count

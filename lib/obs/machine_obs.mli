@@ -1,0 +1,29 @@
+(** Machine-level instrumentation, attached through the machine's
+    existing hook arrays — the simulator itself knows nothing about
+    telemetry, and an uninstrumented machine runs the exact
+    pre-observability fast path.
+
+    {!attach} registers, under [machine.<base>] (or
+    [machine.<base>{id=<label>}] when a label is given):
+
+    - event counters fed by an [on_event] hook: [ticks], [executed],
+      [interrupts], [nmis], [exceptions], [idle], [resets];
+    - sampled gauges read only at snapshot time: [steps] (the CPU step
+      counter), [mem.writes] and [mem.rom-refusals] (from
+      {!Ssx.Memory}'s write accounting), and — when the decode cache is
+      on — [decode-cache.hits], [decode-cache.misses] and
+      [decode-cache.invalidations].
+
+    Counters are shared across machines instrumented under the same
+    name (campaign trials aggregate); sampled gauges follow the most
+    recently attached instance. *)
+
+type t
+
+val attach : ?label:string -> Ssx.Machine.t -> t
+(** Instrument [machine].  Adds one event hook; the machine's behaviour
+    is unchanged. *)
+
+val ticks : t -> int
+(** Total events counted through the hook (all instrumented machines
+    sharing this name). *)

@@ -157,6 +157,43 @@ let test_snapshot_reset_trials_are_independent () =
   check_int "recoveries compose" expected_recoveries
     in_sequence.Ssos_experiments.Runner.recoveries
 
+let test_campaign_obs_invariance () =
+  (* Metrics publish after the summary is computed and never touch the
+     trial RNGs, so a campaign is bit-identical with instrumentation on
+     or off — and, with it on, across worker counts. *)
+  let module Obs = Ssos_obs.Obs in
+  Obs.reset ();
+  Obs.set_enabled false;
+  let off = heartbeat_summary ~strategy:Ssos_experiments.Runner.Snapshot_reset ~jobs:1 in
+  Obs.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.set_enabled false;
+      Obs.reset ())
+    (fun () ->
+      let on1 =
+        heartbeat_summary ~strategy:Ssos_experiments.Runner.Snapshot_reset ~jobs:1
+      in
+      check_summary_equal "obs on, jobs:1" off on1;
+      let on4 =
+        heartbeat_summary ~strategy:Ssos_experiments.Runner.Snapshot_reset ~jobs:4
+      in
+      check_summary_equal "obs on, jobs:4" off on4;
+      (* The run left the promised per-layer metrics behind. *)
+      let rows = (Obs.snapshot ()).Obs.rows in
+      let has name = List.exists (fun (r : Obs.row) -> r.Obs.name = name) rows in
+      let has_prefix p =
+        List.exists
+          (fun (r : Obs.row) -> String.starts_with ~prefix:p r.Obs.name)
+          rows
+      in
+      check_bool "campaign trial counter" true (has "campaign{id=heartbeat}.trials");
+      check_bool "recovery histogram" true (has "campaign{id=heartbeat}.recovery-ticks");
+      check_bool "fault counters" true (has "fault.injected");
+      check_bool "per-kind fault counters" true (has_prefix "fault.injected{kind=");
+      check_bool "pool worker throughput" true (has_prefix "pool.worker{id=");
+      check_bool "machine counters" true (has "machine.ticks"))
+
 let suite =
   [ case "pool returns results in task order" test_pool_run_in_order;
     case "pool shares per-worker state" test_pool_run_with_shares_state;
@@ -166,4 +203,6 @@ let suite =
     case "sched campaign with code faults: jobs/strategy differential"
       test_sched_campaign_differential;
     case "snapshot-reset trials are independent"
-      test_snapshot_reset_trials_are_independent ]
+      test_snapshot_reset_trials_are_independent;
+    case "campaign is bit-identical with metrics on or off"
+      test_campaign_obs_invariance ]

@@ -1,0 +1,93 @@
+(* Drives the installed ssos_cli binary as a subprocess: argument
+   validation must reach stderr with a non-zero exit, and the global
+   --metrics flag must dump a parseable registry. *)
+
+let case = Helpers.case
+let check_int = Helpers.check_int
+let check_bool = Helpers.check_bool
+let contains = Astring_contains.contains
+
+(* Tests run in _build/default/test; the binary is a declared dune
+   dependency one directory over. *)
+let binary = "../bin/ssos_cli.exe"
+
+let read_all channel =
+  let buf = Buffer.create 1024 in
+  (try
+     while true do
+       Buffer.add_channel buf channel 1
+     done
+   with End_of_file -> ());
+  Buffer.contents buf
+
+(* Run the CLI with [args]; returns (exit code, stdout, stderr).
+   Signals fail the test — the CLI must exit, not crash. *)
+let run_cli args =
+  let command = Printf.sprintf "%s %s" binary args in
+  let stdout_c, stdin_c, stderr_c =
+    Unix.open_process_full command (Unix.environment ())
+  in
+  close_out stdin_c;
+  let out = read_all stdout_c in
+  let err = read_all stderr_c in
+  match Unix.close_process_full (stdout_c, stdin_c, stderr_c) with
+  | Unix.WEXITED code -> (code, out, err)
+  | Unix.WSIGNALED n | Unix.WSTOPPED n ->
+    Alcotest.failf "ssos_cli killed by signal %d" n
+
+let test_unknown_subcommand_rejected () =
+  let code, _out, err = run_cli "frobnicate" in
+  check_bool "non-zero exit" true (code <> 0);
+  check_bool "names the bad command" true (contains err "frobnicate");
+  check_bool "points at --help" true (contains err "--help")
+
+let test_unknown_demo_design_rejected () =
+  let code, _out, err = run_cli "demo bogus" in
+  check_bool "non-zero exit" true (code <> 0);
+  check_bool "invalid value on stderr" true (contains err "invalid value");
+  (* The error enumerates the valid designs. *)
+  check_bool "lists alternatives" true (contains err "reinstall")
+
+let test_unknown_flag_rejected () =
+  let code, _out, err = run_cli "demo --no-such-flag" in
+  check_bool "non-zero exit" true (code <> 0);
+  check_bool "unknown option on stderr" true (contains err "--no-such-flag")
+
+let test_unknown_experiment_rejected () =
+  let code, _out, err = run_cli "experiment T99" in
+  check_bool "non-zero exit" true (code <> 0);
+  check_bool "unknown experiment on stderr" true
+    (contains err "unknown experiment")
+
+(* --metrics=json after a real run: exit 0 and one JSON object per
+   line, covering the machine and device layers the demo exercises. *)
+let test_metrics_json_dump () =
+  let code, out, _err = run_cli "demo reinstall --metrics=json" in
+  check_int "exit 0" 0 code;
+  let json_lines =
+    String.split_on_char '\n' out
+    |> List.filter (fun l -> String.length l > 0 && l.[0] = '{')
+  in
+  check_bool "emits JSON lines" true (json_lines <> []);
+  List.iter
+    (fun line ->
+      check_bool "line closes its object" true
+        (line.[String.length line - 1] = '}'))
+    json_lines;
+  let has affix = List.exists (fun l -> contains l affix) json_lines in
+  check_bool "machine metrics present" true (has {|"name": "machine.ticks"|});
+  check_bool "device metrics present" true (has {|"name": "device.|});
+  check_bool "kinds tagged" true (has {|"kind": "counter"|})
+
+let test_metrics_table_dump () =
+  let code, out, _err = run_cli "demo reinstall --metrics" in
+  check_int "exit 0" 0 code;
+  check_bool "table mentions machine.ticks" true (contains out "machine.ticks")
+
+let suite =
+  [ case "unknown subcommand is rejected" test_unknown_subcommand_rejected;
+    case "unknown demo design is rejected" test_unknown_demo_design_rejected;
+    case "unknown flag is rejected" test_unknown_flag_rejected;
+    case "unknown experiment id is rejected" test_unknown_experiment_rejected;
+    case "--metrics=json dumps a parseable registry" test_metrics_json_dump;
+    case "--metrics dumps the pretty table" test_metrics_table_dump ]

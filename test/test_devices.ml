@@ -124,6 +124,81 @@ let test_timer_clamps () =
   check_bool "fires within a period from a corrupt state" true
     (Ssx_devices.Timer.fired_count timer >= 1)
 
+let test_heartbeat_snapshot_roundtrip () =
+  (* The heartbeat registers its buffer with the snapshot machinery:
+     capture mid-trace, keep running, restore — the trace must rewind
+     to the capture point exactly. *)
+  let machine, _ =
+    Helpers.machine_with
+      "    mov ax, 1\nbeat:\n    out 0x12, ax\n    inc ax\n    jmp beat\n"
+  in
+  let hb = Ssx_devices.Heartbeat.create () in
+  Ssx_devices.Heartbeat.attach hb machine;
+  Helpers.run_steps machine 60;
+  let at_capture = Ssx_devices.Heartbeat.samples hb in
+  check_bool "samples before capture" true (at_capture <> []);
+  let snapshot = Ssx.Snapshot.capture machine in
+  Helpers.run_steps machine 60;
+  check_bool "more samples accrue" true
+    (Ssx_devices.Heartbeat.count hb > List.length at_capture);
+  Ssx.Snapshot.restore snapshot machine;
+  check_bool "trace rewound to the capture point" true
+    (Ssx_devices.Heartbeat.samples hb = at_capture);
+  (* And the rewound machine replays identically: same count again. *)
+  Helpers.run_steps machine 60;
+  let replayed = Ssx_devices.Heartbeat.count hb in
+  Ssx.Snapshot.restore snapshot machine;
+  Helpers.run_steps machine 60;
+  check_int "deterministic replay" replayed (Ssx_devices.Heartbeat.count hb)
+
+let test_nvstore_snapshot_roundtrip () =
+  (* Nvstore golden images are host state outside the machine: a
+     snapshot restore repairs the installed RAM copy, and the golden
+     bytes themselves are untouched by capture/restore. *)
+  let machine = idle_machine () in
+  let mem = Ssx.Machine.memory machine in
+  let store = Ssx_devices.Nvstore.create () in
+  Ssx_devices.Nvstore.add store ~name:"img" ~base:0x4000 "golden";
+  Ssx_devices.Nvstore.install store mem "img";
+  let snapshot = Ssx.Snapshot.capture machine in
+  Ssx.Memory.write_byte mem 0x4002 0xFF;
+  check_bool "installed copy corrupted" false
+    (Ssx_devices.Nvstore.verify store mem "img");
+  Ssx.Snapshot.restore snapshot machine;
+  check_bool "restore repairs the installed copy" true
+    (Ssx_devices.Nvstore.verify store mem "img");
+  check_bool "golden image itself untouched" true
+    (Ssx_devices.Nvstore.find store "img" = Some (0x4000, "golden"))
+
+let test_device_state_survives_reset_pin () =
+  (* A watchdog on the reset pin restarts the CPU, not the world: the
+     heartbeat trace and the nvstore image survive the reset. *)
+  let machine, _ =
+    Helpers.machine_with
+      "    mov ax, 1\nbeat:\n    out 0x12, ax\n    inc ax\n    jmp beat\n"
+  in
+  let cpu = Ssx.Machine.cpu machine in
+  let seg, off = cpu.Ssx.Cpu.config.Ssx.Cpu.reset_vector in
+  Ssx.Memory.write_byte (Ssx.Machine.memory machine)
+    (Ssx.Addr.physical ~seg ~off) 0x71;
+  let hb = Ssx_devices.Heartbeat.create () in
+  Ssx_devices.Heartbeat.attach hb machine;
+  let store = Ssx_devices.Nvstore.create () in
+  Ssx_devices.Nvstore.add store ~name:"img" ~base:0x4000 "golden";
+  Ssx_devices.Nvstore.install store (Ssx.Machine.memory machine) "img";
+  let wd =
+    Ssx_devices.Watchdog.create ~period:30 ~target:Ssx_devices.Watchdog.Reset_pin
+  in
+  Ssx.Machine.add_device machine (Ssx_devices.Watchdog.device wd);
+  Helpers.run_steps machine 100;
+  check_bool "the reset happened" true
+    (Ssx_devices.Watchdog.fired_count wd >= 1);
+  check_bool "parked at the reset vector" true cpu.Ssx.Cpu.halted;
+  check_bool "heartbeat trace survives the reset" true
+    (Ssx_devices.Heartbeat.count hb > 0);
+  check_bool "nvstore image survives the reset" true
+    (Ssx_devices.Nvstore.verify store (Ssx.Machine.memory machine) "img")
+
 let test_invalid_periods_rejected () =
   check_bool "watchdog" true
     (match Ssx_devices.Watchdog.create ~period:0 ~target:Ssx_devices.Watchdog.Nmi_pin with
@@ -144,4 +219,8 @@ let suite =
     case "non-volatile store" test_nvstore;
     case "timer raises maskable interrupts" test_timer_interrupts;
     case "timer clamps corrupted counters" test_timer_clamps;
+    case "heartbeat trace snapshot round-trip" test_heartbeat_snapshot_roundtrip;
+    case "nvstore snapshot round-trip" test_nvstore_snapshot_roundtrip;
+    case "device state survives a reset-pin reset"
+      test_device_state_survives_reset_pin;
     case "invalid periods rejected" test_invalid_periods_rejected ]

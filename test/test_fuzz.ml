@@ -173,6 +173,38 @@ let test_regressions_replay () =
           Alcotest.failf "%s diverges at tick %d: %s" file tick detail)
     files
 
+let test_fuzz_obs_invariance () =
+  (* Metrics publish from the assembled summary, after the campaign:
+     identical results with instrumentation on or off, and the gauges
+     mirror the summary they were derived from. *)
+  let module Obs = Ssos_obs.Obs in
+  Obs.reset ();
+  Obs.set_enabled false;
+  let off = FL.run ~jobs:2 ~seed:5L ~iters:80 () in
+  Obs.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.set_enabled false;
+      Obs.reset ())
+    (fun () ->
+      let on_ = FL.run ~jobs:2 ~seed:5L ~iters:80 () in
+      check_bool "summary identical with metrics on" true (off = on_);
+      let rows = (Obs.snapshot ()).Obs.rows in
+      let value name =
+        match List.find_opt (fun (r : Obs.row) -> r.Obs.name = name) rows with
+        | Some { Obs.value = Obs.Counter n; _ } -> float_of_int n
+        | Some { Obs.value = Obs.Gauge v; _ } -> v
+        | Some _ | None -> Alcotest.failf "no metric %s" name
+      in
+      check_bool "programs counter" true
+        (value "fuzz.programs" = float_of_int on_.FL.programs);
+      check_bool "ticks counter" true
+        (value "fuzz.ticks" = float_of_int on_.FL.total_ticks);
+      check_bool "corpus gauge" true
+        (value "fuzz.corpus-size" = float_of_int on_.FL.corpus_size);
+      check_bool "coverage gauge" true
+        (value "fuzz.coverage-points" = float_of_int on_.FL.coverage_points))
+
 let suite =
   [ case "fixed-seed differential smoke" test_differential_smoke;
     case "campaign is jobs-independent" test_campaign_jobs_determinism;
@@ -184,4 +216,6 @@ let suite =
       test_interrupt_schedule_determinism;
     case "shrinker minimises against a predicate" test_shrink_minimises;
     case "reproducer text round-trips" test_reproducer_roundtrip;
-    case "checked-in regressions replay clean" test_regressions_replay ]
+    case "checked-in regressions replay clean" test_regressions_replay;
+    case "campaign is bit-identical with metrics on or off"
+      test_fuzz_obs_invariance ]

@@ -29,4 +29,6 @@ let () =
       ("tooling (trace, snapshot)", Test_tooling.suite);
       ("decode cache (differential)", Test_differential.suite);
       ("cross-cutting consistency", Test_consistency.suite);
-      ("differential fuzzer", Test_fuzz.suite) ]
+      ("differential fuzzer", Test_fuzz.suite);
+      ("observability (lib/obs)", Test_obs.suite);
+      ("cli argument validation and --metrics", Test_cli.suite) ]

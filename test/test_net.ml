@@ -325,6 +325,60 @@ let test_campaign_strategy_invariance () =
   check_bool "summary identical for rebuild and snapshot reset" true
     (rebuild = reset)
 
+let test_campaign_obs_invariance () =
+  (* Cluster digests and campaign summaries are bit-identical with
+     metrics on or off: link counters feed sampled gauges only, and
+     nothing on the send/deliver path consumes extra randomness. *)
+  let module Obs = Ssos_obs.Obs in
+  Obs.reset ();
+  Obs.set_enabled false;
+  let off = campaign ~strategy:Ssos_experiments.Runner.Snapshot_reset ~jobs:2 () in
+  let digest_off =
+    let ring = Net_ring.build ~n:3 ~seed:61L ~obs:false () in
+    Cluster.run ring.Net_ring.cluster ~steps:400;
+    Cluster.digest ring.Net_ring.cluster
+  in
+  Obs.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.set_enabled false;
+      Obs.reset ())
+    (fun () ->
+      let on_ = campaign ~strategy:Ssos_experiments.Runner.Snapshot_reset ~jobs:2 () in
+      check_bool "summary identical with metrics on" true (off = on_);
+      Obs.reset ();
+      let ring = Net_ring.build ~n:3 ~seed:61L ~obs:true () in
+      Cluster.run ring.Net_ring.cluster ~steps:400;
+      check_bool "digest identical with metrics on" true
+        (digest_off = Cluster.digest ring.Net_ring.cluster);
+      (* The instrumented build registered per-link and per-NIC gauges,
+         and their values agree with the link counters. *)
+      let rows = (Obs.snapshot ()).Obs.rows in
+      let gauge name =
+        match
+          List.find_opt (fun (r : Obs.row) -> r.Obs.name = name) rows
+        with
+        | Some { Obs.value = Obs.Gauge v; _ } -> v
+        | Some _ | None -> Alcotest.failf "no gauge %s" name
+      in
+      let link = (Cluster.links ring.Net_ring.cluster).(0) in
+      let prefix =
+        Printf.sprintf "net.link{%d->%d}" (Link.src link) (Link.dst link)
+      in
+      check_bool "sent gauge tracks the link" true
+        (gauge (prefix ^ ".sent") = float_of_int (Link.sent link));
+      check_bool "delivered gauge tracks the link" true
+        (gauge (prefix ^ ".delivered") = float_of_int (Link.delivered link));
+      check_bool "cluster step gauge" true
+        (gauge "net.cluster.steps" = 400.);
+      (* Word conservation: everything submitted was delivered, dropped
+         or is still in flight (corruption garbles, it never consumes). *)
+      Array.iter
+        (fun l ->
+          check_int "sent = delivered + dropped + in-flight" (Link.sent l)
+            (Link.delivered l + Link.dropped l + Link.in_flight l))
+        (Cluster.links ring.Net_ring.cluster))
+
 let suite =
   [ case "nic: guest port I/O" test_nic_guest_io;
     case "nic: bounded RX queue drops and counts" test_nic_overflow;
@@ -344,4 +398,6 @@ let suite =
     case "ring: converges under lossy links" test_ring_converges_under_lossy_links;
     case "cluster: snapshot reset reproduces continuations" test_cluster_snapshot_reset;
     case "campaign: bit-identical across jobs" test_campaign_jobs_invariance;
-    case "campaign: bit-identical across strategies" test_campaign_strategy_invariance ]
+    case "campaign: bit-identical across strategies" test_campaign_strategy_invariance;
+    case "campaign and digest: bit-identical with metrics on"
+      test_campaign_obs_invariance ]
