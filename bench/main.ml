@@ -162,42 +162,50 @@ let net_bench () =
      if seq_summary = par_summary then 1.0 else 0.0) ]
 
 (* Differential-fuzzer throughput: a fixed-seed campaign against the
-   lib/fuzz reference-interpreter oracle, jobs:1 vs jobs:4.  The two
-   summaries must be bit-identical (shard seeds depend only on the
-   campaign seed, results merge in shard order); the interesting
+   lib/fuzz reference-interpreter oracle — jobs:1 vs jobs:4 (with the
+   block compiler, the default) plus a jobs:1 pass through the plain
+   interpreter.  All summaries must be bit-identical (shard seeds
+   depend only on the campaign seed, results merge in shard order, and
+   the compiler never changes observable execution); the interesting
    numbers are trial programs/sec and lock-step ticks/sec. *)
 let fuzz_bench () =
   let iters = if smoke then 300 else 2_000 in
   Format.printf "== Differential fuzzer (%d programs, seed 9) ==@." iters;
-  let run jobs =
-    timed
-      (Printf.sprintf "fuzz-jobs%d" jobs)
-      (fun () -> Ssx_fuzz.Fuzz_loop.run ~jobs ~seed:9L ~iters ())
+  let run ~jit ~span jobs =
+    timed span (fun () -> Ssx_fuzz.Fuzz_loop.run ~jobs ~jit ~seed:9L ~iters ())
   in
-  let seq_summary, seq_ns = run 1 in
-  let par_summary, par_ns = run 4 in
+  let seq_summary, seq_ns = run ~jit:true ~span:"fuzz-jobs1" 1 in
+  let par_summary, par_ns = run ~jit:true ~span:"fuzz-jobs4" 4 in
+  let nojit_summary, nojit_ns = run ~jit:false ~span:"fuzz-nojit" 1 in
   let rate ns = float_of_int iters /. (ns /. 1e9) in
   let tick_rate summary ns =
     float_of_int summary.Ssx_fuzz.Fuzz_loop.total_ticks /. (ns /. 1e9)
   in
+  let identical = seq_summary = par_summary && seq_summary = nojit_summary in
   Format.printf "  jobs:1 %12.0f programs/sec %12.0f ticks/sec@."
     (rate seq_ns) (tick_rate seq_summary seq_ns);
   Format.printf "  jobs:4 %12.0f programs/sec %12.0f ticks/sec@."
     (rate par_ns) (tick_rate par_summary par_ns);
+  Format.printf "  no-jit %12.0f programs/sec %12.0f ticks/sec@."
+    (rate nojit_ns) (tick_rate nojit_summary nojit_ns);
+  Format.printf "  jit ticks/sec speedup:         %11.2fx@."
+    (nojit_ns /. seq_ns);
   Format.printf "  summaries bit-identical:       %11s@.@."
-    (if seq_summary = par_summary then "yes" else "NO (BUG)");
+    (if identical then "yes" else "NO (BUG)");
   [ ("fuzz-programs-per-sec-jobs1", rate seq_ns);
     ("fuzz-programs-per-sec-jobs4", rate par_ns);
+    ("fuzz-programs-per-sec-nojit", rate nojit_ns);
     ("fuzz-ticks-per-sec-jobs1", tick_rate seq_summary seq_ns);
     ("fuzz-ticks-per-sec-jobs4", tick_rate par_summary par_ns);
+    ("fuzz-ticks-per-sec-nojit", tick_rate nojit_summary nojit_ns);
+    ("fuzz-jit-speedup", nojit_ns /. seq_ns);
     ("fuzz-speedup", seq_ns /. par_ns);
     ("fuzz-programs", float_of_int iters);
     ("fuzz-coverage-points",
      float_of_int seq_summary.Ssx_fuzz.Fuzz_loop.coverage_points);
     ("fuzz-divergences",
      float_of_int (List.length seq_summary.Ssx_fuzz.Fuzz_loop.divergences));
-    ("fuzz-summaries-identical",
-     if seq_summary = par_summary then 1.0 else 0.0) ]
+    ("fuzz-summaries-identical", if identical then 1.0 else 0.0) ]
 
 (* Guest-cycle costs are deterministic properties of the designs, not
    host-time measurements: report them by direct simulation. *)
@@ -241,18 +249,26 @@ let print_guest_cycle_costs costs =
 
 let micro_tests () =
   let open Bechamel in
-  (* The decode-cache pair: the same reinstall system warmed into its
-     steady state, once with the write-invalidated decode cache (the
-     default) and once re-decoding from raw bytes every tick.  Warming
-     matters — it fills the cache and gets the OS past its boot path so
-     both benchmarks measure the steady-state watchdog/reinstall loop. *)
-  let warmed ~decode_cache =
-    let system = Ssos.Reinstall.build ~decode_cache () in
+  (* The execution-engine triple: the same reinstall system warmed into
+     its steady state, run through the basic-block compiler (the
+     default), through the write-invalidated decode cache alone, and
+     re-decoding from raw bytes every tick.  Warming matters — it fills
+     the cache / block table and gets the OS past its boot path so all
+     three benchmarks measure the steady-state watchdog/reinstall
+     loop. *)
+  let warmed ~decode_cache ~jit =
+    let system = Ssos.Reinstall.build ~decode_cache ~jit () in
     Ssos.System.run system ~ticks:30_000;
     system
   in
-  let tick_cached = warmed ~decode_cache:true in
-  let tick_uncached = warmed ~decode_cache:false in
+  let tick_jit = warmed ~decode_cache:true ~jit:true in
+  let tick_cached = warmed ~decode_cache:true ~jit:false in
+  let tick_uncached = warmed ~decode_cache:false ~jit:false in
+  let machine_tick_jit =
+    Test.make ~name:"machine-tick-x100-jit"
+      (Staged.stage (fun () ->
+           Ssx.Machine.run tick_jit.Ssos.System.machine ~ticks:100))
+  in
   let machine_tick =
     Test.make ~name:"machine-tick-x100"
       (Staged.stage (fun () ->
@@ -295,12 +311,16 @@ let micro_tests () =
       (Staged.stage (fun () -> ignore (Ssos.Reinstall.build ())))
   in
   Test.make_grouped ~name:"micro"
-    [ machine_tick; machine_tick_uncached; assemble_figure1;
-      assemble_scheduler; disassemble; token_round; build_system ]
+    [ machine_tick_jit; machine_tick; machine_tick_uncached;
+      assemble_figure1; assemble_scheduler; disassemble; token_round;
+      build_system ]
 
 (* Runs a Bechamel test group and returns [(name, ns_per_run)] rows,
-   sorted by name. *)
+   sorted by name.  The campaign sections above leave a large major
+   heap behind; compact it first so the OLS slopes measure the timed
+   loop rather than straggler GC work. *)
 let bechamel_rows tests =
+  Gc.compact ();
   let open Bechamel in
   let instances = Toolkit.Instance.[ monotonic_clock ] in
   let cfg =
@@ -333,6 +353,13 @@ let run_micro () =
    with
   | Some cached, Some uncached when cached > 0. ->
     Format.printf "  decode-cache speedup:        %11.2fx@." (uncached /. cached)
+  | _ -> ());
+  (match
+     ( List.assoc_opt "micro/machine-tick-x100-jit" rows,
+       List.assoc_opt "micro/machine-tick-x100-uncached" rows )
+   with
+  | Some jit, Some uncached when jit > 0. ->
+    Format.printf "  block-compiler speedup:      %11.2fx@." (uncached /. jit)
   | _ -> ());
   Format.printf "@.";
   rows
@@ -478,6 +505,15 @@ let write_json ~path micro costs =
     with
     | Some cached, Some uncached when cached > 0. ->
       rows @ [ ("decode-cache-speedup", uncached /. cached) ]
+    | _ -> rows
+  in
+  let rows =
+    match
+      ( List.assoc_opt "micro/machine-tick-x100-jit" micro,
+        List.assoc_opt "micro/machine-tick-x100-uncached" micro )
+    with
+    | Some jit, Some uncached when jit > 0. ->
+      rows @ [ ("jit-speedup", uncached /. jit) ]
     | _ -> rows
   in
   write_flat_json ~path rows

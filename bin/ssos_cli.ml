@@ -30,7 +30,22 @@ let metrics_arg =
            after the command: $(b,table) (default) or $(b,json) (one JSON \
            object per line).")
 
-let run_with_metrics metrics thunk =
+(* Every subcommand also accepts [--no-jit]: drop the process-wide
+   default for the basic-block compiler so all machines built by the
+   command run on the plain interpreter (same observable behaviour,
+   slower — for timing comparisons and differential smoke runs). *)
+let no_jit_arg =
+  let open Cmdliner in
+  Arg.(
+    value & flag
+    & info [ "no-jit" ]
+        ~doc:
+          "Disable the basic-block threaded-code compiler; execute \
+           through the plain interpreter.  Observable behaviour is \
+           identical, only slower.")
+
+let run_with_metrics metrics no_jit thunk =
+  if no_jit then Ssx.Machine.set_jit_default false;
   (match metrics with
   | Some _ -> Ssos_obs.Obs.set_enabled true
   | None -> ());
@@ -352,7 +367,9 @@ let () =
   (* Wrap a deferred command body with the global [--metrics] flag: the
      flag parses for every subcommand, and the body only runs under
      [run_with_metrics]. *)
-  let with_metrics thunk_term = Term.(const run_with_metrics $ metrics_arg $ thunk_term) in
+  let with_metrics thunk_term =
+    Term.(const run_with_metrics $ metrics_arg $ no_jit_arg $ thunk_term)
+  in
   let design_conv =
     Arg.enum
       [ ("reinstall", `Reinstall); ("monitor", `Monitor); ("sched", `Sched);

@@ -200,12 +200,12 @@ let code_integrity_predicate ~guest =
   in
   Ssx_stab.Predicate.make ~name:"code-matches-golden" holds
 
-let build_custom ?nmi_counter_enabled ?hardwired_nmi ?decode_cache ?obs
+let build_custom ?nmi_counter_enabled ?hardwired_nmi ?decode_cache ?jit ?obs
     ?obs_label ?(watchdog_period = Layout.default_watchdog_period)
     ?(code_integrity = true) ~guest ~predicates () =
   let rom = build_rom ~guest in
   let system =
-    System.build ?nmi_counter_enabled ?hardwired_nmi ?decode_cache ?obs
+    System.build ?nmi_counter_enabled ?hardwired_nmi ?decode_cache ?jit ?obs
       ?obs_label ~watchdog:(`Nmi watchdog_period) ~rom ~guest ()
   in
   let predicates =
@@ -242,11 +242,11 @@ let build_custom ?nmi_counter_enabled ?hardwired_nmi ?decode_cache ?obs
         monitor.checks <- checks);
   monitor
 
-let build ?nmi_counter_enabled ?hardwired_nmi ?decode_cache ?obs ?obs_label
-    ?watchdog_period ?(tasks = 4) ?(predicates_enabled = true) () =
+let build ?nmi_counter_enabled ?hardwired_nmi ?decode_cache ?jit ?obs
+    ?obs_label ?watchdog_period ?(tasks = 4) ?(predicates_enabled = true) () =
   let guest = Guest.task_kernel ~tasks () in
   let predicates = if predicates_enabled then guest_predicates ~tasks else [] in
-  build_custom ?nmi_counter_enabled ?hardwired_nmi ?decode_cache ?obs
+  build_custom ?nmi_counter_enabled ?hardwired_nmi ?decode_cache ?jit ?obs
     ?obs_label ?watchdog_period ~code_integrity:predicates_enabled ~guest
     ~predicates ()
 

@@ -43,6 +43,7 @@ val build :
   ?nmi_counter_enabled:bool ->
   ?hardwired_nmi:bool ->
   ?decode_cache:bool ->
+  ?jit:bool ->
   ?obs:bool ->
   ?obs_label:string ->
   ?watchdog_period:int ->
@@ -57,6 +58,7 @@ val build_custom :
   ?nmi_counter_enabled:bool ->
   ?hardwired_nmi:bool ->
   ?decode_cache:bool ->
+  ?jit:bool ->
   ?obs:bool ->
   ?obs_label:string ->
   ?watchdog_period:int ->

@@ -7,14 +7,14 @@ type t = {
   guest : Guest.t;
 }
 
-let build ?nmi_counter_enabled ?hardwired_nmi ?decode_cache ?obs
+let build ?nmi_counter_enabled ?hardwired_nmi ?decode_cache ?jit ?obs
     ?(obs_label = "") ?(watchdog = `Nmi Layout.default_watchdog_period) ~rom
     ~guest () =
   let obs =
     match obs with Some v -> v | None -> Ssos_obs.Obs.enabled ()
   in
   let config = Layout.machine_config ?nmi_counter_enabled ?hardwired_nmi () in
-  let machine = Ssx.Machine.create ~config ?decode_cache () in
+  let machine = Ssx.Machine.create ~config ?decode_cache ?jit () in
   Rom_builder.install rom (Ssx.Machine.memory machine);
   (Ssx.Machine.cpu machine).Ssx.Cpu.idtr <- Layout.rom_base + Layout.idt_offset;
   let watchdog =

@@ -20,6 +20,7 @@ val build :
   ?nmi_counter_enabled:bool ->
   ?hardwired_nmi:bool ->
   ?decode_cache:bool ->
+  ?jit:bool ->
   ?obs:bool ->
   ?obs_label:string ->
   ?watchdog:[ `Nmi of int | `Reset of int | `None ] ->

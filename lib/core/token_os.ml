@@ -61,10 +61,10 @@ let ring_process ~n ~index =
   in
   { Process.name = Printf.sprintf "ring-%d" index; source; symbols }
 
-let build ?(n = 4) ?watchdog_period ?cs_check ?refresh ?decode_cache ?obs
-    ?obs_label () =
+let build ?(n = 4) ?watchdog_period ?cs_check ?refresh ?decode_cache ?jit
+    ?obs ?obs_label () =
   let processes = Array.init n (fun index -> ring_process ~n ~index) in
-  Sched.build ~n ?watchdog_period ?cs_check ?refresh ?decode_cache ?obs
+  Sched.build ~n ?watchdog_period ?cs_check ?refresh ?decode_cache ?jit ?obs
     ?obs_label ~processes ()
 
 let states sched =

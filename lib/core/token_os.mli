@@ -35,6 +35,7 @@ val build :
   ?cs_check:Sched.cs_check ->
   ?refresh:bool ->
   ?decode_cache:bool ->
+  ?jit:bool ->
   ?obs:bool ->
   ?obs_label:string ->
   unit ->

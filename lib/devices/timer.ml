@@ -19,7 +19,24 @@ let tick timer cpu =
   end
   else timer.counter <- timer.counter - 1
 
-let device timer = Ssx.Device.make ~name:"timer" ~tick:(tick timer)
+(* Same countdown shape as the watchdog: after the clamp, the next
+   [counter - 1] ticks only decrement, so they form a quiescence window
+   the quiet runner may batch (see {!Ssx.Device}). *)
+let quiescent timer () =
+  let c =
+    if timer.counter > timer.period || timer.counter < 0 then timer.period
+    else timer.counter
+  in
+  if c <= 1 then 0 else c - 1
+
+let advance timer n =
+  if timer.counter > timer.period || timer.counter < 0 then
+    timer.counter <- timer.period;
+  timer.counter <- timer.counter - n
+
+let device timer =
+  Ssx.Device.make ~name:"timer" ~quiescent:(quiescent timer)
+    ~advance:(advance timer) ~tick:(tick timer) ()
 
 let resettable timer () =
   let counter = timer.counter and fired = timer.fired in

@@ -28,7 +28,24 @@ let tick wd cpu =
   else wd.counter <- wd.counter - 1
 
 let pet wd = wd.counter <- wd.period
-let device wd = Ssx.Device.make ~name:"watchdog" ~tick:(tick wd)
+
+(* Quiescence window for the block compiler's quiet runner: with the
+   counter clamped into range, the next [counter - 1] ticks are pure
+   decrements — no pin can be raised before the tick that reaches 1.
+   Nothing can pet the watchdog mid-window ([pet] is wired to port I/O,
+   which ends basic blocks), so [advance n] — clamp once, subtract [n]
+   — lands on exactly the state [n] individual ticks would. *)
+let quiescent wd () =
+  let c = if wd.counter > wd.period || wd.counter < 0 then wd.period else wd.counter in
+  if c <= 1 then 0 else c - 1
+
+let advance wd n =
+  if wd.counter > wd.period || wd.counter < 0 then wd.counter <- wd.period;
+  wd.counter <- wd.counter - n
+
+let device wd =
+  Ssx.Device.make ~name:"watchdog" ~quiescent:(quiescent wd)
+    ~advance:(advance wd) ~tick:(tick wd) ()
 
 let resettable wd () =
   let counter = wd.counter and fired = wd.fired in

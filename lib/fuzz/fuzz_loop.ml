@@ -114,8 +114,8 @@ let reset_ref (o : Ref_interp.t) (p : Gen.program) =
   o.Ref_interp.halted <- false;
   o.Ref_interp.steps <- 0
 
-let prepare_machine ?(decode_cache = true) p =
-  let m = Ssx.Machine.create ~decode_cache () in
+let prepare_machine ?(decode_cache = true) ?jit p =
+  let m = Ssx.Machine.create ~decode_cache ?jit () in
   reset_machine m p;
   m
 
@@ -139,51 +139,80 @@ let pp_cpu_event ppf = function
   | Ssx.Cpu.Halted_idle -> Format.fprintf ppf "idle"
   | Ssx.Cpu.Did_reset -> Format.fprintf ppf "reset"
 
-(* First mismatching register/control field, if any. *)
+(* First mismatching register/control field, if any.  Runs every tick
+   of every trial: the matching case must not allocate, so this is an
+   open-coded compare chain rather than a field list. *)
 let state_mismatch m (o : Ref_interp.t) =
   let cpu = Ssx.Machine.cpu m in
   let r = cpu.Ssx.Cpu.regs in
-  let fields =
-    [ ("ax", r.Ssx.Registers.ax, o.Ref_interp.ax);
-      ("bx", r.Ssx.Registers.bx, o.Ref_interp.bx);
-      ("cx", r.Ssx.Registers.cx, o.Ref_interp.cx);
-      ("dx", r.Ssx.Registers.dx, o.Ref_interp.dx);
-      ("si", r.Ssx.Registers.si, o.Ref_interp.si);
-      ("di", r.Ssx.Registers.di, o.Ref_interp.di);
-      ("sp", r.Ssx.Registers.sp, o.Ref_interp.sp);
-      ("bp", r.Ssx.Registers.bp, o.Ref_interp.bp);
-      ("cs", r.Ssx.Registers.cs, o.Ref_interp.cs);
-      ("ds", r.Ssx.Registers.ds, o.Ref_interp.ds);
-      ("es", r.Ssx.Registers.es, o.Ref_interp.es);
-      ("ss", r.Ssx.Registers.ss, o.Ref_interp.ss);
-      ("fs", r.Ssx.Registers.fs, o.Ref_interp.fs);
-      ("gs", r.Ssx.Registers.gs, o.Ref_interp.gs);
-      ("ip", r.Ssx.Registers.ip, o.Ref_interp.ip);
-      ("psw", r.Ssx.Registers.psw, o.Ref_interp.psw);
-      ("nmi_counter", r.Ssx.Registers.nmi_counter, o.Ref_interp.nmi_counter);
-      ("halted", Bool.to_int cpu.Ssx.Cpu.halted,
-       Bool.to_int o.Ref_interp.halted);
-      ("in_nmi", Bool.to_int cpu.Ssx.Cpu.in_nmi,
-       Bool.to_int o.Ref_interp.in_nmi);
-      ("nmi_pin", Bool.to_int cpu.Ssx.Cpu.nmi_pin,
-       Bool.to_int o.Ref_interp.nmi_pin) ]
-  in
-  List.find_opt (fun (_, a, b) -> a <> b) fields
+  if r.Ssx.Registers.ax <> o.Ref_interp.ax then
+    Some ("ax", r.Ssx.Registers.ax, o.Ref_interp.ax)
+  else if r.Ssx.Registers.bx <> o.Ref_interp.bx then
+    Some ("bx", r.Ssx.Registers.bx, o.Ref_interp.bx)
+  else if r.Ssx.Registers.cx <> o.Ref_interp.cx then
+    Some ("cx", r.Ssx.Registers.cx, o.Ref_interp.cx)
+  else if r.Ssx.Registers.dx <> o.Ref_interp.dx then
+    Some ("dx", r.Ssx.Registers.dx, o.Ref_interp.dx)
+  else if r.Ssx.Registers.si <> o.Ref_interp.si then
+    Some ("si", r.Ssx.Registers.si, o.Ref_interp.si)
+  else if r.Ssx.Registers.di <> o.Ref_interp.di then
+    Some ("di", r.Ssx.Registers.di, o.Ref_interp.di)
+  else if r.Ssx.Registers.sp <> o.Ref_interp.sp then
+    Some ("sp", r.Ssx.Registers.sp, o.Ref_interp.sp)
+  else if r.Ssx.Registers.bp <> o.Ref_interp.bp then
+    Some ("bp", r.Ssx.Registers.bp, o.Ref_interp.bp)
+  else if r.Ssx.Registers.cs <> o.Ref_interp.cs then
+    Some ("cs", r.Ssx.Registers.cs, o.Ref_interp.cs)
+  else if r.Ssx.Registers.ds <> o.Ref_interp.ds then
+    Some ("ds", r.Ssx.Registers.ds, o.Ref_interp.ds)
+  else if r.Ssx.Registers.es <> o.Ref_interp.es then
+    Some ("es", r.Ssx.Registers.es, o.Ref_interp.es)
+  else if r.Ssx.Registers.ss <> o.Ref_interp.ss then
+    Some ("ss", r.Ssx.Registers.ss, o.Ref_interp.ss)
+  else if r.Ssx.Registers.fs <> o.Ref_interp.fs then
+    Some ("fs", r.Ssx.Registers.fs, o.Ref_interp.fs)
+  else if r.Ssx.Registers.gs <> o.Ref_interp.gs then
+    Some ("gs", r.Ssx.Registers.gs, o.Ref_interp.gs)
+  else if r.Ssx.Registers.ip <> o.Ref_interp.ip then
+    Some ("ip", r.Ssx.Registers.ip, o.Ref_interp.ip)
+  else if r.Ssx.Registers.psw <> o.Ref_interp.psw then
+    Some ("psw", r.Ssx.Registers.psw, o.Ref_interp.psw)
+  else if r.Ssx.Registers.nmi_counter <> o.Ref_interp.nmi_counter then
+    Some
+      ("nmi_counter", r.Ssx.Registers.nmi_counter, o.Ref_interp.nmi_counter)
+  else if cpu.Ssx.Cpu.halted <> o.Ref_interp.halted then
+    Some
+      ( "halted",
+        Bool.to_int cpu.Ssx.Cpu.halted,
+        Bool.to_int o.Ref_interp.halted )
+  else if cpu.Ssx.Cpu.in_nmi <> o.Ref_interp.in_nmi then
+    Some
+      ( "in_nmi",
+        Bool.to_int cpu.Ssx.Cpu.in_nmi,
+        Bool.to_int o.Ref_interp.in_nmi )
+  else if cpu.Ssx.Cpu.nmi_pin <> o.Ref_interp.nmi_pin then
+    Some
+      ( "nmi_pin",
+        Bool.to_int cpu.Ssx.Cpu.nmi_pin,
+        Bool.to_int o.Ref_interp.nmi_pin )
+  else None
 
 let memory_mismatch m (o : Ref_interp.t) =
-  let image = Ssx.Memory.dump (Ssx.Machine.memory m) ~base:0 ~len:Ssx.Memory.size in
-  let oracle = Bytes.unsafe_to_string o.Ref_interp.mem in
-  if String.equal image oracle then None
+  (* Zero-copy: one memcmp of the live backing store against the
+     oracle's image, instead of dumping a 1 MiB copy per trial. *)
+  let image = Ssx.Memory.unsafe_contents (Ssx.Machine.memory m) in
+  let oracle = o.Ref_interp.mem in
+  if Bytes.equal image oracle then None
   else begin
     let addr = ref 0 in
-    while String.unsafe_get image !addr = String.unsafe_get oracle !addr do
+    while Bytes.unsafe_get image !addr = Bytes.unsafe_get oracle !addr do
       incr addr
     done;
     Some
       (Printf.sprintf "memory at 0x%05X: machine 0x%02X, oracle 0x%02X"
          !addr
-         (Char.code image.[!addr])
-         (Char.code oracle.[!addr]))
+         (Char.code (Bytes.get image !addr))
+         (Char.code (Bytes.get oracle !addr)))
   end
 
 (* --- coverage signature ----------------------------------------------
@@ -203,8 +232,12 @@ let bigram_bits = id_count * id_count
 let flag_bits = 1 lsl 14
 let signature_bits = bigram_bits + flag_bits
 
-let event_id = function
-  | Ssx.Cpu.Executed i -> List.hd (Ssx.Codec.encode i)
+(* [fetch_byte] is the opcode byte the oracle is about to fetch
+   (pre-tick cs:ip), which for an [Executed] event is exactly the first
+   byte {!Ssx.Codec.encode} would emit — read from memory instead of
+   re-encoding the instruction every tick. *)
+let event_id ~fetch_byte = function
+  | Ssx.Cpu.Executed _ -> fetch_byte
   | Ssx.Cpu.Took_interrupt { nmi = true; _ } -> id_interrupt_nmi
   | Ssx.Cpu.Took_interrupt _ -> id_interrupt
   | Ssx.Cpu.Took_exception _ -> id_exception
@@ -226,31 +259,38 @@ type coverage = { bits : Bytes.t; mutable points : int }
 let coverage_create () =
   { bits = Bytes.make ((signature_bits + 7) / 8) '\000'; points = 0 }
 
-(* Returns how many of [indices] were new, setting them. *)
-let coverage_merge cov indices =
+(* Returns how many of [indices.(0 .. n-1)] were new, setting them. *)
+let coverage_merge cov indices n =
   let fresh = ref 0 in
-  List.iter
-    (fun i ->
-      let cell = i lsr 3 and bit = 1 lsl (i land 7) in
-      let old = Char.code (Bytes.get cov.bits cell) in
-      if old land bit = 0 then begin
-        Bytes.set cov.bits cell (Char.chr (old lor bit));
-        incr fresh
-      end)
-    indices;
+  for k = 0 to n - 1 do
+    let i = Array.unsafe_get indices k in
+    let cell = i lsr 3 and bit = 1 lsl (i land 7) in
+    let old = Char.code (Bytes.get cov.bits cell) in
+    if old land bit = 0 then begin
+      Bytes.set cov.bits cell (Char.chr (old lor bit));
+      incr fresh
+    end
+  done;
   cov.points <- cov.points + !fresh;
   !fresh
 
 (* --- one differential trial ------------------------------------------- *)
 
-type trial = { failure : (int * string) option; indices : int list }
+type trial = {
+  failure : (int * string) option;
+  indices : int array;  (* signature indices, 2 per clean tick *)
+  n_indices : int;
+}
 
 let run_trial m o (p : Gen.program) =
   reset_machine m p;
   reset_ref o p;
   let cpu = Ssx.Machine.cpu m in
   let schedule = ref p.Gen.schedule in
-  let indices = ref [] in
+  (* One flat signature buffer per trial (2 slots per clean tick)
+     instead of two cons cells per tick. *)
+  let indices = Array.make (2 * p.Gen.steps) 0 in
+  let n_indices = ref 0 in
   let prev_id = ref id_start in
   let prev_flags = ref 0 in
   let failure = ref None in
@@ -262,6 +302,11 @@ let run_trial m o (p : Gen.program) =
       Ref_interp.raise_nmi o;
       schedule := rest
     | _ -> ());
+    let fetch_byte =
+      Char.code
+        (Bytes.unsafe_get o.Ref_interp.mem
+           (Ssx.Addr.physical ~seg:o.Ref_interp.cs ~off:o.Ref_interp.ip))
+    in
     let m_ev = Ssx.Machine.tick m in
     let r_ev = Ref_interp.step o in
     if not (event_matches m_ev r_ev) then
@@ -279,11 +324,12 @@ let run_trial m o (p : Gen.program) =
               Format.asprintf "%s after %a: machine 0x%04X, oracle 0x%04X"
                 name pp_cpu_event m_ev mv ov )
       | None -> ());
-      let id = event_id m_ev in
-      indices := ((!prev_id * id_count) + id) :: !indices;
+      let id = event_id ~fetch_byte m_ev in
+      indices.(!n_indices) <- (!prev_id * id_count) + id;
       let flags = compress_psw cpu.Ssx.Cpu.regs.Ssx.Registers.psw in
-      indices :=
-        (bigram_bits + ((!prev_flags lsl 7) lor flags)) :: !indices;
+      indices.(!n_indices + 1) <-
+        bigram_bits + ((!prev_flags lsl 7) lor flags);
+      n_indices := !n_indices + 2;
       prev_id := id;
       prev_flags := flags
     end;
@@ -295,10 +341,10 @@ let run_trial m o (p : Gen.program) =
     | Some detail -> failure := Some (p.Gen.steps, detail)
     | None -> ())
   | Some _ -> ());
-  { failure = !failure; indices = !indices }
+  { failure = !failure; indices; n_indices = !n_indices }
 
-let run_program ?(decode_cache = true) p =
-  let m = Ssx.Machine.create ~decode_cache () in
+let run_program ?(decode_cache = true) ?jit p =
+  let m = Ssx.Machine.create ~decode_cache ?jit () in
   let o = Ref_interp.create () in
   (run_trial m o p).failure
 
@@ -442,7 +488,7 @@ let program_of_reproducer text =
   let image = Ssx_asm.Assemble.assemble text in
   { Gen.code = image.Ssx_asm.Assemble.bytes; schedule; steps }
 
-let replay text = run_program (program_of_reproducer text)
+let replay ?jit text = run_program ?jit (program_of_reproducer text)
 
 (* --- the campaign ------------------------------------------------------ *)
 
@@ -469,13 +515,13 @@ type shard_result = {
   sh_programs : int;
   sh_ticks : int;
   sh_corpus : Gen.program list;
-  sh_indices : int list;
+  sh_indices : int array;
   sh_divergences : divergence list;
 }
 
-let run_shard ~seed ~shard ~iters =
+let run_shard ?jit ~seed ~shard ~iters () =
   let rng = Rng.create (Rng.derive seed shard) in
-  let m = Ssx.Machine.create ~decode_cache:true () in
+  let m = Ssx.Machine.create ~decode_cache:true ?jit () in
   let o = Ref_interp.create () in
   let cov = coverage_create () in
   let corpus = ref [||] in
@@ -504,7 +550,8 @@ let run_shard ~seed ~shard ~iters =
         { program = shrunk; original = p; seed; shard; iter; tick; detail }
         :: !divergences
     | Some _ | None -> ());
-    if trial.failure = None && coverage_merge cov trial.indices > 0 then
+    if trial.failure = None && coverage_merge cov trial.indices trial.n_indices > 0
+    then
       if Array.length !corpus < max_corpus then begin
         let key = corpus_key p in
         if not (Hashtbl.mem corpus_seen key) then begin
@@ -523,19 +570,31 @@ let run_shard ~seed ~shard ~iters =
           if c land (1 lsl bit) <> 0 then indices := ((cell lsl 3) + bit) :: !indices
         done)
     cov.bits;
+  (* Per-shard throughput accounting (observability only; the summary
+     is assembled from the returned record, so campaign results stay
+     bit-identical with metrics on or off).  Together with the pool's
+     [pool.jobs] gauge and [pool.worker{id=k}.tasks] counters this
+     shows where campaign time went when jobs scaling looks flat. *)
+  if Ssos_obs.Obs.enabled () then begin
+    Ssos_obs.Obs.incr ~by:iters
+      (Ssos_obs.Obs.counter
+         (Printf.sprintf "fuzz.shard{id=%d}.programs" shard));
+    Ssos_obs.Obs.incr ~by:!ticks
+      (Ssos_obs.Obs.counter (Printf.sprintf "fuzz.shard{id=%d}.ticks" shard))
+  end;
   { sh_programs = iters;
     sh_ticks = !ticks;
     sh_corpus = Array.to_list !corpus;
-    sh_indices = !indices;
+    sh_indices = Array.of_list !indices;
     sh_divergences = List.rev !divergences }
 
-let run ?jobs ~seed ~iters () =
+let run ?jobs ?jit ~seed ~iters () =
   let shards = shard_count iters in
   let per_shard = iters / shards and extra = iters mod shards in
   let results =
     Pool.run ?jobs shards (fun shard ->
         let iters = per_shard + if shard < extra then 1 else 0 in
-        run_shard ~seed ~shard ~iters)
+        run_shard ?jit ~seed ~shard ~iters ())
   in
   let cov = coverage_create () in
   let programs = ref 0 and ticks = ref 0 and corpus = ref 0 in
@@ -545,7 +604,7 @@ let run ?jobs ~seed ~iters () =
       programs := !programs + r.sh_programs;
       ticks := !ticks + r.sh_ticks;
       corpus := !corpus + List.length r.sh_corpus;
-      ignore (coverage_merge cov r.sh_indices);
+      ignore (coverage_merge cov r.sh_indices (Array.length r.sh_indices));
       divergences := !divergences @ r.sh_divergences)
     results;
   let summary =

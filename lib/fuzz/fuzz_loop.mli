@@ -41,16 +41,20 @@ type summary = {
   divergences : divergence list;
 }
 
-val run : ?jobs:int -> seed:int64 -> iters:int -> unit -> summary
-(** Run a campaign of [iters] differential trials. *)
+val run : ?jobs:int -> ?jit:bool -> seed:int64 -> iters:int -> unit -> summary
+(** Run a campaign of [iters] differential trials.  [jit] selects the
+    machine-side block compiler (default: the process-wide
+    {!Ssx.Machine} default); summaries are bit-identical either way,
+    and for any [jobs]. *)
 
 val run_program :
-  ?decode_cache:bool -> Gen.program -> (int * string) option
+  ?decode_cache:bool -> ?jit:bool -> Gen.program -> (int * string) option
 (** One differential trial; [Some (tick, detail)] on divergence.
     [decode_cache] selects the machine-side configuration (the oracle
     has no cache); default [true]. *)
 
-val prepare_machine : ?decode_cache:bool -> Gen.program -> Ssx.Machine.t
+val prepare_machine :
+  ?decode_cache:bool -> ?jit:bool -> Gen.program -> Ssx.Machine.t
 (** A fresh machine in the fuzzer's initial trial state (vector image,
     program code, trial register file) without stepping it — for tests
     that want fuzz-shaped machines to snapshot or trace. *)
@@ -75,7 +79,7 @@ val program_of_reproducer : string -> Gen.program
     assembler over the text, so hand-edited reproducers also work).
     @raise Failure on a text without the fuzzer's headers. *)
 
-val replay : string -> (int * string) option
+val replay : ?jit:bool -> string -> (int * string) option
 (** [replay text] re-runs a reproducer differentially (cache on). *)
 
 val pp_divergence : Format.formatter -> divergence -> unit

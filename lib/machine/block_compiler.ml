@@ -1,0 +1,868 @@
+(* Basic-block threaded-code compiler for SSX16.
+
+   The interpreter pays a per-tick fetch/decode/dispatch price even
+   with the decode cache: probe, bounds pair, and one walk of the
+   instruction match per executed instruction.  This module discovers
+   basic blocks — straight-line instruction runs ending at a control
+   transfer, port I/O, iret, a CS write, or a length cap — and compiles
+   each into an array of closures with operands pre-resolved (register
+   accessors, effective-address components, successor ip constants are
+   all baked at compile time).  Executing a block is then an indirect
+   call per instruction with no decode, no operand matching and no
+   per-instruction event allocation.
+
+   Soundness against self-modifying and corrupted code (§5.2 of the
+   paper) rests on one invariant: a block executes only while the code
+   bytes it was compiled from are byte-identical to memory.  Two layers
+   enforce it cheaply:
+
+   - every memory write (guest stores, [rep movs] sweeps, fault
+     injection, image loads — anything behind {!Memory.set_write_hook})
+     bumps a generation counter for its 256-byte page via {!note_write};
+     a block records the generations of the (at most two) pages its
+     span covers and is fresh while they are unchanged;
+   - when the generations have moved, the block's recorded code bytes
+     are compared against memory directly: untouched blocks (e.g. a
+     stack page shared with code) refresh their generations and keep
+     running, modified blocks are recompiled from the bytes now in
+     memory — exactly the re-decode an uncached interpreter performs.
+
+   Freshness is checked at every block entry, after every
+   memory-writing instruction inside a block, and on every tick of the
+   single-step path, so a store into the *currently executing* block
+   takes effect at the next instruction boundary — the same granularity
+   as the per-tick interpreter.  {!clear} (wired to snapshot restore
+   and taken reset pins) invalidates every block in O(1) by bumping an
+   epoch. *)
+
+open Registers
+open Instruction
+
+type op = {
+  exec : Cpu.t -> Cpu.event;
+  base_event : Cpu.event;  (* prebuilt [Executed]; anything else means a fault *)
+  op_ip : Word.t;          (* offset of the opcode byte *)
+  writes_mem : bool;       (* may store to memory without ending the block *)
+  self_loop : int;
+  (* [loop] targeting its own address — the shape of every delay and
+     polling loop: the fall-through ip when >= 0, [-1] otherwise.  The
+     run loops fuse consecutive executions of such an op (per-tick
+     device/pin/step/NMI semantics preserved) instead of re-entering
+     the one-instruction block through the cursor every tick. *)
+}
+
+type block = {
+  ops : op array;
+  n_ops : int;
+  start_pa : int;
+  span : int;       (* code bytes covered: [start_pa, start_pa + span) *)
+  b_cs : Word.t;
+  bytes : string;   (* the code bytes at compile time — ground truth *)
+  b_epoch : int;
+  page0 : int;
+  page1 : int;
+  mutable g0 : int; (* page generations last seen matching [bytes] *)
+  mutable g1 : int;
+}
+
+let page_shift = 8
+let page_count = Addr.memory_size lsr page_shift
+let max_block_bytes = 128 (* spans at most two 256-byte pages *)
+let max_block_ops = 32
+
+let no_op =
+  { exec = (fun _ -> assert false); base_event = Cpu.Halted_idle;
+    op_ip = 0; writes_mem = false; self_loop = -1 }
+
+let dummy_block =
+  { ops = [||]; n_ops = 0; start_pa = 0; span = 0; b_cs = -1; bytes = "";
+    b_epoch = -1; page0 = 0; page1 = 0; g0 = 0; g1 = 0 }
+
+type t = {
+  blocks : block array;  (* indexed by start physical address *)
+  gens : int array;      (* per-page write generation *)
+  mutable epoch : int;
+  mutable version : int; (* bumped on every write and every {!clear} *)
+  mutable cur : block;   (* cursor: resume point for straight-line runs *)
+  mutable cur_ix : int;
+  mutable cur_version : int; (* [version] when [cur] was last validated *)
+  mutable built : int;
+  mutable retranslations : int; (* rebuilds forced by changed code bytes *)
+  mutable block_ticks : int;    (* instructions executed via compiled ops *)
+  scratch : Tick_counters.t;    (* sink for counts nobody reads *)
+}
+
+let create () =
+  { blocks = Array.make Addr.memory_size dummy_block;
+    gens = Array.make page_count 0;
+    epoch = 0; version = 0; cur = dummy_block; cur_ix = 0; cur_version = -1;
+    built = 0; retranslations = 0; block_ticks = 0;
+    scratch = Tick_counters.make () }
+
+let built t = t.built
+let retranslations t = t.retranslations
+let block_ticks t = t.block_ticks
+
+let note_write t addr =
+  let page = addr lsr page_shift in
+  Array.unsafe_set t.gens page (Array.unsafe_get t.gens page + 1);
+  t.version <- t.version + 1
+
+let clear t =
+  t.epoch <- t.epoch + 1;
+  t.version <- t.version + 1;
+  t.cur <- dummy_block;
+  t.cur_ix <- 0;
+  t.cur_version <- -1
+
+let[@inline] fresh t b =
+  Array.unsafe_get t.gens b.page0 = b.g0
+  && Array.unsafe_get t.gens b.page1 = b.g1
+
+(* The block's pages have been written: decide by comparing the actual
+   code bytes.  Unchanged bytes (writes elsewhere in the page) refresh
+   the recorded generations; changed bytes condemn the block. *)
+let revalidate t b mem =
+  let same = ref true in
+  let i = ref 0 in
+  while !same && !i < b.span do
+    if Memory.read_byte mem (b.start_pa + !i)
+       <> Char.code (String.unsafe_get b.bytes !i)
+    then same := false;
+    incr i
+  done;
+  if !same then begin
+    b.g0 <- Array.unsafe_get t.gens b.page0;
+    b.g1 <- Array.unsafe_get t.gens b.page1;
+    true
+  end
+  else false
+
+(* --- per-instruction compilation ------------------------------------- *)
+
+let getter16 = function
+  | AX -> (fun r -> r.ax) | BX -> (fun r -> r.bx)
+  | CX -> (fun r -> r.cx) | DX -> (fun r -> r.dx)
+  | SI -> (fun r -> r.si) | DI -> (fun r -> r.di)
+  | SP -> (fun r -> r.sp) | BP -> (fun r -> r.bp)
+
+let setter16 = function
+  | AX -> (fun r v -> r.ax <- v land 0xffff)
+  | BX -> (fun r v -> r.bx <- v land 0xffff)
+  | CX -> (fun r v -> r.cx <- v land 0xffff)
+  | DX -> (fun r v -> r.dx <- v land 0xffff)
+  | SI -> (fun r v -> r.si <- v land 0xffff)
+  | DI -> (fun r v -> r.di <- v land 0xffff)
+  | SP -> (fun r v -> r.sp <- v land 0xffff)
+  | BP -> (fun r v -> r.bp <- v land 0xffff)
+
+let sreg_getter = function
+  | CS -> (fun r -> r.cs) | DS -> (fun r -> r.ds) | ES -> (fun r -> r.es)
+  | SS -> (fun r -> r.ss) | FS -> (fun r -> r.fs) | GS -> (fun r -> r.gs)
+
+(* Effective address with the base/segment selection resolved at
+   compile time; the masking chain reproduces {!Cpu.effective_address}
+   (double 16-bit masking collapses: both are mod 2^16 of the sum). *)
+let ea_fn (m : Instruction.mem) =
+  let disp = m.disp in
+  let base : Registers.t -> int =
+    match m.base with
+    | No_base -> (fun _ -> 0)
+    | Base_bx -> (fun r -> r.bx)
+    | Base_si -> (fun r -> r.si)
+    | Base_di -> (fun r -> r.di)
+    | Base_bp -> (fun r -> r.bp)
+    | Base_bx_si -> (fun r -> r.bx + r.si)
+    | Base_bx_di -> (fun r -> r.bx + r.di)
+  in
+  let seg =
+    sreg_getter
+      (match m.seg_override with
+      | Some s -> s
+      | None -> Instruction.default_segment m.base)
+  in
+  fun r -> Addr.physical ~seg:(seg r) ~off:(Word.mask (base r + disp))
+
+(* Instructions after which the successor address is not the textual
+   successor (or not compile-time determined): block enders. *)
+let is_terminator = function
+  | Jmp _ | Jmp_far _ | Jcc _ | Call _ | Ret | Iret | Int _ | Loop _
+  | Rep _ | Hlt | Invalid _ -> true
+  (* Port I/O is device-visible: handlers may read machine state or
+     raise pins, so architectural state must be spilled and pins
+     re-polled right after — end the block. *)
+  | In_ _ | Out _ | In_dx _ | Out_dx _ -> true
+  (* A CS write invalidates every baked ip→pa mapping downstream. *)
+  | Mov_sreg_r16 (CS, _) | Mov_sreg_mem (CS, _) | Pop_sreg CS -> true
+  | _ -> false
+
+let writes_memory = function
+  | Mov_mem_r16 _ | Mov_mem_imm _ | Mov_mem_r8 _ | Mov_mem_sreg _
+  | Alu_mem_r16 _
+  | Push_r16 _ | Push_imm _ | Push_sreg _ | Pushf
+  | Movs _ | Stos _ -> true
+  | _ -> false
+
+(* Compile one decoded instruction into an [op].  The fallback calls
+   {!Cpu.dispatch} — the interpreter's own execute stage — so every
+   instruction is covered; the explicit cases below additionally
+   pre-resolve operands for the forms that dominate guest code.  Each
+   closure must reproduce {!Cpu.execute} for its instruction exactly
+   (the jit-on/jit-off differential suite pins this). *)
+let compile_op instr ~ip0 ~len : op =
+  let event = Cpu.Executed instr in
+  let ip1 = Word.mask (ip0 + len) in
+  let writes_mem = writes_memory instr in
+  let mk ?(self_loop = -1) exec =
+    { exec; base_event = event; op_ip = ip0; writes_mem; self_loop }
+  in
+  let generic =
+    lazy (mk (fun cpu -> Cpu.dispatch cpu instr ~ip0 ~len event))
+  in
+  match instr with
+  | Nop -> mk (fun cpu -> cpu.Cpu.regs.ip <- ip1; event)
+  | Mov_r16_imm (reg, v) ->
+    let set = setter16 reg in
+    mk (fun cpu ->
+        let r = cpu.Cpu.regs in
+        r.ip <- ip1; set r v; event)
+  | Mov_r16_r16 (d, s) ->
+    let get = getter16 s and set = setter16 d in
+    mk (fun cpu ->
+        let r = cpu.Cpu.regs in
+        r.ip <- ip1; set r (get r); event)
+  | Mov_r16_mem (d, m) ->
+    let ea = ea_fn m and set = setter16 d in
+    mk (fun cpu ->
+        let r = cpu.Cpu.regs in
+        r.ip <- ip1;
+        set r (Memory.read_word cpu.Cpu.mem (ea r));
+        event)
+  | Mov_mem_r16 (m, s) ->
+    let ea = ea_fn m and get = getter16 s in
+    mk (fun cpu ->
+        let r = cpu.Cpu.regs in
+        r.ip <- ip1;
+        Memory.write_word cpu.Cpu.mem (ea r) (get r);
+        event)
+  | Mov_mem_imm (m, v) ->
+    let ea = ea_fn m in
+    mk (fun cpu ->
+        let r = cpu.Cpu.regs in
+        r.ip <- ip1;
+        Memory.write_word cpu.Cpu.mem (ea r) v;
+        event)
+  | Alu_r16_r16 (op, d, s) ->
+    let get_d = getter16 d and get_s = getter16 s in
+    (match op with
+    | Cmp | Test ->
+      mk (fun cpu ->
+          let r = cpu.Cpu.regs in
+          r.ip <- ip1;
+          ignore (Cpu.alu16 cpu op (get_d r) (get_s r));
+          event)
+    | _ ->
+      let set = setter16 d in
+      mk (fun cpu ->
+          let r = cpu.Cpu.regs in
+          r.ip <- ip1;
+          set r (Cpu.alu16 cpu op (get_d r) (get_s r));
+          event))
+  | Alu_r16_imm (op, d, v) ->
+    let get = getter16 d in
+    (match op with
+    | Cmp | Test ->
+      mk (fun cpu ->
+          let r = cpu.Cpu.regs in
+          r.ip <- ip1;
+          ignore (Cpu.alu16 cpu op (get r) v);
+          event)
+    | _ ->
+      let set = setter16 d in
+      mk (fun cpu ->
+          let r = cpu.Cpu.regs in
+          r.ip <- ip1;
+          set r (Cpu.alu16 cpu op (get r) v);
+          event))
+  | Alu_r16_mem (op, d, m) ->
+    let get = getter16 d and ea = ea_fn m in
+    (match op with
+    | Cmp | Test ->
+      mk (fun cpu ->
+          let r = cpu.Cpu.regs in
+          r.ip <- ip1;
+          ignore (Cpu.alu16 cpu op (get r) (Memory.read_word cpu.Cpu.mem (ea r)));
+          event)
+    | _ ->
+      let set = setter16 d in
+      mk (fun cpu ->
+          let r = cpu.Cpu.regs in
+          r.ip <- ip1;
+          set r (Cpu.alu16 cpu op (get r) (Memory.read_word cpu.Cpu.mem (ea r)));
+          event))
+  | Inc_r16 reg ->
+    let get = getter16 reg and set = setter16 reg in
+    mk (fun cpu ->
+        let r = cpu.Cpu.regs in
+        r.ip <- ip1;
+        let p = Word.add_packed (get r) 1 in
+        let result = Word.packed_result p in
+        set r result;
+        let psw = Flags.of_result r.psw result in
+        r.psw <- Flags.set psw Flags.Overflow (Word.packed_overflow p);
+        event)
+  | Dec_r16 reg ->
+    let get = getter16 reg and set = setter16 reg in
+    mk (fun cpu ->
+        let r = cpu.Cpu.regs in
+        r.ip <- ip1;
+        let p = Word.sub_packed (get r) 1 in
+        let result = Word.packed_result p in
+        set r result;
+        let psw = Flags.of_result r.psw result in
+        r.psw <- Flags.set psw Flags.Overflow (Word.packed_overflow p);
+        event)
+  | Push_r16 reg ->
+    let get = getter16 reg in
+    mk (fun cpu ->
+        let r = cpu.Cpu.regs in
+        r.ip <- ip1;
+        Cpu.push cpu (get r);
+        event)
+  | Pop_r16 reg ->
+    let set = setter16 reg in
+    mk (fun cpu ->
+        let r = cpu.Cpu.regs in
+        r.ip <- ip1;
+        set r (Cpu.pop cpu);
+        event)
+  | Lea (d, m) ->
+    (* Address arithmetic without the segment: resolve base at compile
+       time like {!ea_fn} but keep the 16-bit offset. *)
+    let set = setter16 d in
+    let disp = m.disp in
+    let base : Registers.t -> int =
+      (match m.base with
+      | No_base -> (fun _ -> 0)
+      | Base_bx -> (fun r -> r.bx)
+      | Base_si -> (fun r -> r.si)
+      | Base_di -> (fun r -> r.di)
+      | Base_bp -> (fun r -> r.bp)
+      | Base_bx_si -> (fun r -> r.bx + r.si)
+      | Base_bx_di -> (fun r -> r.bx + r.di))
+    in
+    mk (fun cpu ->
+        let r = cpu.Cpu.regs in
+        r.ip <- ip1;
+        set r (base r + disp);
+        event)
+  | Cli ->
+    mk (fun cpu ->
+        let r = cpu.Cpu.regs in
+        r.ip <- ip1;
+        r.psw <- Flags.set r.psw Flags.Interrupt false;
+        event)
+  | Sti ->
+    mk (fun cpu ->
+        let r = cpu.Cpu.regs in
+        r.ip <- ip1;
+        r.psw <- Flags.set r.psw Flags.Interrupt true;
+        event)
+  | Jmp target ->
+    mk (fun cpu -> cpu.Cpu.regs.ip <- target; event)
+  | Jcc (c, target) ->
+    mk (fun cpu ->
+        let r = cpu.Cpu.regs in
+        r.ip <- (if Cpu.cond_holds cpu c then target else ip1);
+        event)
+  | Loop target ->
+    let self_loop = if target = ip0 then ip1 else -1 in
+    mk ~self_loop (fun cpu ->
+        let r = cpu.Cpu.regs in
+        r.cx <- Word.pred r.cx;
+        r.ip <- (if r.cx <> 0 then target else ip1);
+        event)
+  | Call target ->
+    mk (fun cpu ->
+        Cpu.push cpu ip1;
+        cpu.Cpu.regs.ip <- target;
+        event)
+  | Ret ->
+    mk (fun cpu -> cpu.Cpu.regs.ip <- Cpu.pop cpu; event)
+  | _ -> Lazy.force generic
+
+(* --- block discovery -------------------------------------------------- *)
+
+(* Compile the straight-line run starting at the current cs:ip.  Returns
+   [None] when even the first instruction's decode window is not linear
+   (16-bit or 20-bit wrap) — those positions always take the
+   interpreter path, mirroring the decode cache's cacheability rule. *)
+let build t cpu =
+  let r = cpu.Cpu.regs in
+  let mem = cpu.Cpu.mem in
+  let cs = r.cs in
+  let start_ip = r.ip in
+  let fetch pos =
+    Memory.read_byte mem (Addr.physical ~seg:cs ~off:(Word.mask pos))
+  in
+  if start_ip > Cpu.cacheable_ip_limit then None
+  else begin
+    let start_pa = Addr.physical ~seg:cs ~off:start_ip in
+    if start_pa > Cpu.cacheable_pa_limit then None
+    else begin
+      let ops = ref [] in
+      let count = ref 0 in
+      let ip = ref start_ip in
+      let last_pa = ref start_pa in
+      let continue_ = ref true in
+      while !continue_ do
+        if !count >= max_block_ops || !ip > Cpu.cacheable_ip_limit then
+          continue_ := false
+        else begin
+          let pa = Addr.physical ~seg:cs ~off:!ip in
+          (* Keep the whole span linear and within the byte cap; the +1
+             leaves room for a rep prefix exceeding [Codec.max_length]. *)
+          if
+            pa < start_pa
+            || pa > Cpu.cacheable_pa_limit
+            || pa - start_pa + Codec.max_length + 1 > max_block_bytes
+          then continue_ := false
+          else begin
+            let instr, len = Codec.decode ~fetch ~pos:!ip in
+            ops := compile_op instr ~ip0:!ip ~len :: !ops;
+            incr count;
+            ip := !ip + len;
+            last_pa := pa;
+            if is_terminator instr then continue_ := false
+          end
+        end
+      done;
+      match !ops with
+      | [] -> None
+      | rev_ops ->
+        let ops = Array.of_list (List.rev rev_ops) in
+        (* The guarded window must cover every byte the decoder may have
+           {e examined}, not just the bytes it consumed: an opcode with
+           an invalid operand byte decodes to [Invalid] of length 1
+           only after reading past it, so a later write to that operand
+           byte must condemn the block.  Over-approximate with a full
+           decode window after the last opcode byte (clamped at the end
+           of memory; the build guard above kept it within the byte
+           cap, hence within two pages). *)
+        let window_end =
+          min Addr.memory_size (!last_pa + Codec.max_length + 1)
+        in
+        let span = window_end - start_pa in
+        let bytes = Memory.dump mem ~base:start_pa ~len:span in
+        let page0 = start_pa lsr page_shift in
+        let page1 = (start_pa + span - 1) lsr page_shift in
+        let b =
+          { ops; n_ops = Array.length ops; start_pa; span; b_cs = cs; bytes;
+            b_epoch = t.epoch; page0; page1;
+            g0 = Array.unsafe_get t.gens page0;
+            g1 = Array.unsafe_get t.gens page1 }
+        in
+        if t.blocks.(start_pa) != dummy_block
+           && t.blocks.(start_pa).b_epoch = t.epoch
+        then t.retranslations <- t.retranslations + 1;
+        t.blocks.(start_pa) <- b;
+        t.built <- t.built + 1;
+        Some b
+    end
+  end
+
+(* The op to execute at the current cs:ip, advancing nothing.  Fast
+   path: the cursor (the block being run straight through) still
+   matches.  Returns [no_op] when the position is uncompilable. *)
+let current_op t cpu =
+  let r = cpu.Cpu.regs in
+  let b = t.cur in
+  let ix = t.cur_ix in
+  if
+    ix < b.n_ops
+    && b.b_cs = r.cs
+    && (Array.unsafe_get b.ops ix).op_ip = r.ip
+    && (t.version = t.cur_version
+       || (b.b_epoch = t.epoch
+          && (fresh t b || revalidate t b cpu.Cpu.mem)
+          && begin
+               t.cur_version <- t.version;
+               true
+             end))
+  then Array.unsafe_get b.ops ix
+  else if r.ip > Cpu.cacheable_ip_limit then no_op
+  else begin
+    let pa = Addr.physical ~seg:r.cs ~off:r.ip in
+    if pa > Cpu.cacheable_pa_limit then no_op
+    else begin
+      let b = Array.unsafe_get t.blocks pa in
+      if
+        b.b_epoch = t.epoch && b.b_cs = r.cs
+        && (fresh t b || revalidate t b cpu.Cpu.mem)
+      then begin
+        t.cur <- b;
+        t.cur_ix <- 0;
+        t.cur_version <- t.version;
+        Array.unsafe_get b.ops 0
+      end
+      else
+        match build t cpu with
+        | Some b ->
+          t.cur <- b;
+          t.cur_ix <- 0;
+          t.cur_version <- t.version;
+          Array.unsafe_get b.ops 0
+        | None -> no_op
+    end
+  end
+
+(* --- stepping --------------------------------------------------------- *)
+
+(* One architectural clock tick.  This mirrors {!Cpu.step} exactly
+   (the jit-on/jit-off differential suite pins the two together); the
+   only difference is that the execute stage goes through the block
+   table, and a taken reset pin also clears it. *)
+let step_cpu t cpu =
+  cpu.Cpu.steps <- cpu.Cpu.steps + 1;
+  if cpu.Cpu.reset_pin then begin
+    Cpu.reset cpu;
+    clear t;
+    Cpu.Did_reset
+  end
+  else begin
+    let r = cpu.Cpu.regs in
+    let config = cpu.Cpu.config in
+    if config.Cpu.nmi_counter_enabled then begin
+      if r.nmi_counter > config.Cpu.nmi_counter_max then
+        r.nmi_counter <- config.Cpu.nmi_counter_max;
+      if r.nmi_counter > 0 then r.nmi_counter <- r.nmi_counter - 1
+    end;
+    if cpu.Cpu.nmi_pin && Cpu.nmi_acceptable cpu then begin
+      cpu.Cpu.nmi_pin <- false;
+      Cpu.service cpu Cpu.vec_nmi ~nmi:true ~return_ip:r.ip;
+      Cpu.Took_interrupt { vector = Cpu.vec_nmi; nmi = true }
+    end
+    else
+      match cpu.Cpu.intr with
+      | Some vector when Flags.get r.psw Flags.Interrupt ->
+        cpu.Cpu.intr <- None;
+        Cpu.service cpu vector ~nmi:false ~return_ip:r.ip;
+        Cpu.Took_interrupt { vector; nmi = false }
+      | Some _ | None ->
+        if cpu.Cpu.halted then Cpu.Halted_idle
+        else begin
+          let op = current_op t cpu in
+          if op == no_op then Cpu.exec_one cpu
+          else begin
+            t.cur_ix <- t.cur_ix + 1;
+            t.block_ticks <- t.block_ticks + 1;
+            op.exec cpu
+          end
+        end
+  end
+
+(* Per-tick time that every non-reset tick pays: the step counter and
+   the NMI countdown (§2).  Kept exact per tick — port handlers and
+   devices may read [steps] mid-run. *)
+let[@inline] tick_time cpu =
+  cpu.Cpu.steps <- cpu.Cpu.steps + 1;
+  let config = cpu.Cpu.config in
+  if config.Cpu.nmi_counter_enabled then begin
+    let r = cpu.Cpu.regs in
+    if r.nmi_counter > config.Cpu.nmi_counter_max then
+      r.nmi_counter <- config.Cpu.nmi_counter_max;
+    if r.nmi_counter > 0 then r.nmi_counter <- r.nmi_counter - 1
+  end
+
+(* Straight-line run with no devices: pins cannot change while a block
+   executes (no hooks, no devices; port I/O and [hlt] end blocks), so
+   they are polled at block boundaries only, and a halted CPU with no
+   pending wake-up is idle for the whole remaining budget. *)
+let run_quiet0 t cpu ~(c : Tick_counters.t) ~budget =
+  let i = ref 0 in
+  while !i < budget do
+    if cpu.Cpu.reset_pin || cpu.Cpu.nmi_pin || cpu.Cpu.intr != None then begin
+      Tick_counters.note c (step_cpu t cpu);
+      incr i
+    end
+    else if cpu.Cpu.halted then begin
+      let n = budget - !i in
+      cpu.Cpu.steps <- cpu.Cpu.steps + n;
+      (let config = cpu.Cpu.config in
+       if config.Cpu.nmi_counter_enabled then begin
+         let r = cpu.Cpu.regs in
+         let c0 = min r.nmi_counter config.Cpu.nmi_counter_max in
+         r.nmi_counter <- (if c0 > n then c0 - n else 0)
+       end);
+      c.Tick_counters.ticks <- c.Tick_counters.ticks + n;
+      c.Tick_counters.idle <- c.Tick_counters.idle + n;
+      i := budget
+    end
+    else begin
+      let op = current_op t cpu in
+      if op == no_op then begin
+        Tick_counters.note c (step_cpu t cpu);
+        incr i
+      end
+      else if op.self_loop >= 0 then begin
+        (* Fused self-targeting [loop]: with no devices and no hooks,
+           pins cannot change and the code byte pair cannot be rewritten
+           mid-burst, so the whole burst batches — per-tick step counts
+           and the NMI countdown collapse to closed forms (the countdown
+           only clamps once, then decrements). *)
+        let r = cpu.Cpu.regs in
+        let rem = budget - !i in
+        let cx0 = r.cx in
+        let iters = if cx0 = 0 then 0x10000 else cx0 in
+        let k = if iters <= rem then iters else rem in
+        cpu.Cpu.steps <- cpu.Cpu.steps + k;
+        (let config = cpu.Cpu.config in
+         if config.Cpu.nmi_counter_enabled then begin
+           let c0 = min r.nmi_counter config.Cpu.nmi_counter_max in
+           r.nmi_counter <- (if c0 > k then c0 - k else 0)
+         end);
+        r.cx <- (cx0 - k) land 0xffff;
+        if iters <= rem then begin
+          r.ip <- op.self_loop;
+          t.cur_ix <- t.cur_ix + 1
+        end;
+        t.block_ticks <- t.block_ticks + k;
+        i := !i + k;
+        c.Tick_counters.ticks <- c.Tick_counters.ticks + k;
+        c.Tick_counters.executed <- c.Tick_counters.executed + k
+      end
+      else begin
+        let b = t.cur in
+        let ops = b.ops in
+        let n = b.n_ops in
+        let fuel = ref (budget - !i) in
+        let ix = ref t.cur_ix in
+        let k = ref 0 in
+        let faults = ref 0 in
+        let stop = ref false in
+        while (not !stop) && !ix < n && !fuel > 0 do
+          let op = Array.unsafe_get ops !ix in
+          tick_time cpu;
+          let ev = op.exec cpu in
+          incr k;
+          incr ix;
+          decr fuel;
+          if ev != op.base_event then begin
+            incr faults;
+            stop := true
+          end
+          else if op.writes_mem && not (fresh t b) then stop := true
+        done;
+        t.cur_ix <- !ix;
+        t.block_ticks <- t.block_ticks + !k;
+        i := !i + !k;
+        c.Tick_counters.ticks <- c.Tick_counters.ticks + !k;
+        c.Tick_counters.executed <- c.Tick_counters.executed + !k - !faults;
+        c.Tick_counters.exceptions <- c.Tick_counters.exceptions + !faults
+      end
+    end
+  done
+
+(* One device: the shape of every single-machine system in the repo
+   (the watchdog).  The device runs every tick and may raise pins, so
+   pins are re-polled per tick; the block cursor still removes the
+   fetch/decode/dispatch work.  A device that declares a quiescence
+   window ({!Device.quiescent}) additionally lets the fused self-loop
+   below batch that many ticks in closed form. *)
+let run_quiet_dev t cpu ~(dev : Device.t) ~(c : Tick_counters.t) ~budget =
+  let tick_dev = dev.Device.tick in
+  let quiescent = dev.Device.quiescent in
+  let advance = dev.Device.advance in
+  let i = ref 0 in
+  while !i < budget do
+    tick_dev cpu;
+    if
+      cpu.Cpu.reset_pin || cpu.Cpu.nmi_pin || cpu.Cpu.intr != None
+      || cpu.Cpu.halted
+    then begin
+      Tick_counters.note c (step_cpu t cpu);
+      incr i
+    end
+    else begin
+      (* Inlined cursor fast path of {!current_op}: the common tick
+         resumes the current block with no write (and no clear) since
+         it was last validated, so one int compare replaces the
+         generation checks. *)
+      let r = cpu.Cpu.regs in
+      let b = t.cur in
+      let ix = t.cur_ix in
+      if
+        t.version = t.cur_version
+        && ix < b.n_ops
+        && b.b_cs = r.cs
+        && (Array.unsafe_get b.ops ix).op_ip = r.ip
+      then begin
+        let op = Array.unsafe_get b.ops ix in
+        if op.self_loop >= 0 then begin
+          (* Fused self-targeting [loop].  Per-tick semantics are kept
+             intact — the device runs first every tick and may raise
+             pins or write memory (visible as a [t.version] move, at
+             which point the architectural machine would refetch the
+             loop's own bytes) — but the cursor re-match, closure
+             dispatch and counter read-modify-writes are hoisted out of
+             the burst. *)
+          let config = cpu.Cpu.config in
+          let nmi_en = config.Cpu.nmi_counter_enabled in
+          let nmi_max = config.Cpu.nmi_counter_max in
+          let v0 = t.version in
+          let k = ref 1 in
+          let looping = ref true in
+          let pending = ref false in
+          (* First tick: the device ran and pins were clear above. *)
+          cpu.Cpu.steps <- cpu.Cpu.steps + 1;
+          if nmi_en then begin
+            if r.nmi_counter > nmi_max then r.nmi_counter <- nmi_max;
+            if r.nmi_counter > 0 then r.nmi_counter <- r.nmi_counter - 1
+          end;
+          r.cx <- (r.cx - 1) land 0xffff;
+          if r.cx = 0 then looping := false;
+          while !looping && !i + !k < budget do
+            let win = quiescent () in
+            if win > 0 then begin
+              (* The device promises [win] silent ticks: apply as many
+                 of them as the budget and the loop count allow in one
+                 closed-form move.  [r.cx] is exactly the number of
+                 iterations left before fall-through, so [n >= 1] and
+                 no batched tick can cross the loop exit, a pin, or a
+                 memory write. *)
+              let rem = budget - !i - !k in
+              let n = if win < rem then win else rem in
+              let n = if n < r.cx then n else r.cx in
+              advance n;
+              cpu.Cpu.steps <- cpu.Cpu.steps + n;
+              if nmi_en then begin
+                let c0 =
+                  if r.nmi_counter > nmi_max then nmi_max else r.nmi_counter
+                in
+                if c0 > 0 then
+                  r.nmi_counter <- (if c0 > n then c0 - n else 0)
+                else r.nmi_counter <- c0
+              end;
+              r.cx <- r.cx - n;
+              k := !k + n;
+              if r.cx = 0 then looping := false
+            end
+            else begin
+              tick_dev cpu;
+              if
+                cpu.Cpu.reset_pin || cpu.Cpu.nmi_pin || cpu.Cpu.intr != None
+                || cpu.Cpu.halted
+                || t.version <> v0
+              then begin
+                looping := false;
+                pending := true
+              end
+              else begin
+                cpu.Cpu.steps <- cpu.Cpu.steps + 1;
+                if nmi_en then begin
+                  if r.nmi_counter > nmi_max then r.nmi_counter <- nmi_max;
+                  if r.nmi_counter > 0 then r.nmi_counter <- r.nmi_counter - 1
+                end;
+                r.cx <- (r.cx - 1) land 0xffff;
+                incr k;
+                if r.cx = 0 then looping := false
+              end
+            end
+          done;
+          if r.cx = 0 then begin
+            (* Exhausted: fall through to the textual successor. *)
+            r.ip <- op.self_loop;
+            t.cur_ix <- ix + 1
+          end;
+          t.block_ticks <- t.block_ticks + !k;
+          c.Tick_counters.ticks <- c.Tick_counters.ticks + !k;
+          c.Tick_counters.executed <- c.Tick_counters.executed + !k;
+          i := !i + !k;
+          if !pending then begin
+            (* The device already ran for this tick; complete it through
+               the stepper (which revalidates and services pins). *)
+            Tick_counters.note c (step_cpu t cpu);
+            incr i
+          end
+        end
+        else begin
+          t.cur_ix <- ix + 1;
+          t.block_ticks <- t.block_ticks + 1;
+          tick_time cpu;
+          let ev = op.exec cpu in
+          c.Tick_counters.ticks <- c.Tick_counters.ticks + 1;
+          if ev == op.base_event then
+            c.Tick_counters.executed <- c.Tick_counters.executed + 1
+          else
+            c.Tick_counters.exceptions <- c.Tick_counters.exceptions + 1;
+          incr i
+        end
+      end
+      else begin
+        let op = current_op t cpu in
+        if op == no_op then Tick_counters.note c (step_cpu t cpu)
+        else begin
+          t.cur_ix <- t.cur_ix + 1;
+          t.block_ticks <- t.block_ticks + 1;
+          tick_time cpu;
+          let ev = op.exec cpu in
+          c.Tick_counters.ticks <- c.Tick_counters.ticks + 1;
+          if ev == op.base_event then
+            c.Tick_counters.executed <- c.Tick_counters.executed + 1
+          else
+            c.Tick_counters.exceptions <- c.Tick_counters.exceptions + 1
+        end;
+        incr i
+      end
+    end
+  done
+
+let run_quiet_devs t cpu ~(devices : Device.t array) ~(c : Tick_counters.t)
+    ~budget =
+  let ticks = Array.map (fun d -> d.Device.tick) devices in
+  let ndev = Array.length ticks in
+  let i = ref 0 in
+  while !i < budget do
+    for d = 0 to ndev - 1 do
+      (Array.unsafe_get ticks d) cpu
+    done;
+    if
+      cpu.Cpu.reset_pin || cpu.Cpu.nmi_pin || cpu.Cpu.intr != None
+      || cpu.Cpu.halted
+    then Tick_counters.note c (step_cpu t cpu)
+    else begin
+      let op = current_op t cpu in
+      if op == no_op then Tick_counters.note c (step_cpu t cpu)
+      else begin
+        t.cur_ix <- t.cur_ix + 1;
+        t.block_ticks <- t.block_ticks + 1;
+        tick_time cpu;
+        let ev = op.exec cpu in
+        c.Tick_counters.ticks <- c.Tick_counters.ticks + 1;
+        if ev == op.base_event then
+          c.Tick_counters.executed <- c.Tick_counters.executed + 1
+        else
+          c.Tick_counters.exceptions <- c.Tick_counters.exceptions + 1
+      end
+    end;
+    incr i
+  done
+
+let run_quiet t cpu ~(devices : Device.t array) ~counters ~budget =
+  let c =
+    match counters with
+    | Some _ -> Tick_counters.make ()
+    | None ->
+      (* Nobody reads the accumulator: reuse the machine-local sink to
+         avoid per-call allocation (fields just grow, harmlessly). *)
+      t.scratch
+  in
+  (match Array.length devices with
+  | 0 -> run_quiet0 t cpu ~c ~budget
+  | 1 -> run_quiet_dev t cpu ~dev:(Array.unsafe_get devices 0) ~c ~budget
+  | _ -> run_quiet_devs t cpu ~devices ~c ~budget);
+  match counters with
+  | Some tc ->
+    Tick_counters.add tc c;
+    Tick_counters.flush tc
+  | None -> ()

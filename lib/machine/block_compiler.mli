@@ -1,0 +1,72 @@
+(** Basic-block threaded-code compiler (ROADMAP item 2, DESIGN §4g).
+
+    Discovers basic blocks — straight-line runs ending at control
+    transfers, port I/O, [iret]/[int], CS writes, [hlt], or a length
+    cap — and compiles each into an array of closures with operands and
+    successor-ip constants pre-resolved, keyed by the physical address
+    of the first opcode byte.  Executing compiled code skips
+    fetch/decode/dispatch entirely.
+
+    The §5.2 self-modifying-code contract is preserved: every memory
+    write (routed here from {!Memory.set_write_hook} by {!Machine})
+    bumps a per-page generation; a block runs only while its recorded
+    code bytes are proven identical to memory (fresh generations, or a
+    direct byte comparison that tolerates unrelated writes into the
+    same page).  Freshness is rechecked at block entry, after each
+    memory-writing instruction, and on every single-stepped tick —
+    guest stores into compiled code, including the currently executing
+    block, force re-translation at the next instruction boundary.
+    {!clear} (snapshot restore, taken reset pins) drops every block.
+
+    Observable behaviour — events, architectural state after every
+    tick, device and port interleaving — is identical to the
+    interpreter; only speed changes.  The jit-on/jit-off differential
+    suite asserts this. *)
+
+type t
+
+val create : unit -> t
+(** Empty block table.  One per machine; install {!note_write} /
+    {!clear} on the machine's memory hooks (see {!Machine.set_jit}). *)
+
+val note_write : t -> int -> unit
+(** Memory write notification: bump the written page's generation. *)
+
+val clear : t -> unit
+(** Invalidate every block (O(1) epoch bump) and drop the cursor. *)
+
+val step_cpu : t -> Cpu.t -> Cpu.event
+(** One clock tick, exactly as {!Cpu.step} would perform it, with the
+    execute stage routed through the block table.  Uncompilable
+    positions (wrapping decode windows) fall back to the
+    interpreter. *)
+
+val run_quiet :
+  t ->
+  Cpu.t ->
+  devices:Device.t array ->
+  counters:Tick_counters.t option ->
+  budget:int ->
+  unit
+(** Run exactly [budget] ticks of a machine with {e no event hooks}:
+    device ticks first each tick, then the CPU step through the block
+    table.  With no devices, interrupt pins are polled at block
+    boundaries only (nothing can assert them mid-block) and a halted
+    CPU idles in O(1); with devices, pins are re-polled every tick.
+    A single device that declares a quiescence window
+    ({!Device.quiescent}) lets self-targeting delay loops batch whole
+    window-sized runs of ticks in closed form.  [steps] and the NMI
+    countdown stay exact per tick (port handlers read them); event
+    counts are batched into [counters] with one flush per call. *)
+
+(** {1 Stats} *)
+
+val built : t -> int
+(** Blocks compiled since creation (including re-translations). *)
+
+val retranslations : t -> int
+(** Blocks recompiled over a live same-epoch predecessor — the §5.2
+    path: code bytes changed under a compiled block. *)
+
+val block_ticks : t -> int
+(** Ticks executed through compiled ops (vs interpreter fallback). *)

@@ -106,3 +106,52 @@ val read_idt_entry : t -> base:int -> int -> Word.t * Word.t
 val in_nmi_state : t -> bool
 (** The paper's "nmi state": the NMI pin is set and the next step will
     enter the NMI handler. *)
+
+(** {1 Execution internals}
+
+    Exported for {!Block_compiler}, which pre-compiles straight-line
+    instruction runs into closures and therefore needs the same
+    primitive operations the interpreter's [execute] uses.  Nothing
+    else should call these. *)
+
+exception Fault of int
+(** Machine exception raised mid-execution; vectors through the IDT. *)
+
+val service : t -> int -> nmi:bool -> return_ip:Word.t -> unit
+(** Deliver an interrupt/exception: push psw/cs/[return_ip], clear IF,
+    arm the NMI counter (when [nmi]) and load the handler address. *)
+
+val execute : t -> Instruction.t -> ip0:Word.t -> len:int -> unit
+(** Run one already-decoded instruction.  [r.ip] must already be
+    advanced to [ip0 + len]; may raise {!Fault}. *)
+
+val dispatch : t -> Instruction.t -> ip0:Word.t -> len:int -> event -> event
+(** Advance [ip] past the instruction, {!execute} it, and turn a
+    {!Fault} into IDT dispatch + [Took_exception].  [event] is the
+    prebuilt [Executed] value returned on normal completion. *)
+
+val exec_one : t -> event
+(** Fetch-decode-execute at the current [cs:ip] (decode cache aware).
+    The execute stage of {!step}, without the interrupt prologue. *)
+
+val nmi_acceptable : t -> bool
+(** Whether a pending NMI would be accepted this step. *)
+
+val effective_address : t -> Instruction.mem -> int
+val alu16 : t -> Instruction.alu_op -> int -> int -> int
+val alu8 : t -> Instruction.alu_op -> int -> int -> int
+(** ALU with flag update; return the value to store back, or {!no_store}
+    for the compare/test forms. *)
+
+val no_store : int
+
+val cond_holds : t -> Instruction.cond -> bool
+val push : t -> Word.t -> unit
+val pop : t -> Word.t
+
+val cacheable_ip_limit : int
+val cacheable_pa_limit : int
+(** Largest [ip] / physical opcode address for which the whole decode
+    window is linear (no 16-bit or 20-bit wrap) — the precondition both
+    the decode cache and the block compiler require before keying
+    anything by physical address. *)

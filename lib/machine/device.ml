@@ -1,3 +1,9 @@
-type t = { name : string; tick : Cpu.t -> unit }
+type t = {
+  name : string;
+  tick : Cpu.t -> unit;
+  quiescent : unit -> int;
+  advance : int -> unit;
+}
 
-let make ~name ~tick = { name; tick }
+let make ?(quiescent = fun () -> 0) ?(advance = fun _ -> ()) ~name ~tick () =
+  { name; tick; quiescent; advance }

@@ -3,11 +3,33 @@
     A device observes the clock: on every machine tick its [tick]
     function runs before the CPU step and may assert interrupt pins or
     mutate its own state.  Devices expose I/O ports through the machine's
-    port table (see {!Machine.register_port}). *)
+    port table (see {!Machine.register_port}).
+
+    {2 Quiescence}
+
+    A device whose tick is a pure internal countdown can declare how
+    long it will stay silent: [quiescent ()] returns the number of
+    upcoming ticks during which [tick] is guaranteed to raise no pins
+    and touch no machine-visible state (memory, ports), and
+    [advance n] (for any [n <= quiescent ()]) applies those [n]
+    countdowns at once with the same final device state as [n]
+    individual [tick] calls.  The block compiler's quiet runner uses
+    the pair to batch delay loops in closed form instead of calling
+    the device closure every tick.  The defaults — a zero window and a
+    no-op advance — are always sound: a device that cannot look ahead
+    simply keeps its per-tick cadence. *)
 
 type t = {
   name : string;
   tick : Cpu.t -> unit;
+  quiescent : unit -> int;
+  advance : int -> unit;
 }
 
-val make : name:string -> tick:(Cpu.t -> unit) -> t
+val make :
+  ?quiescent:(unit -> int) ->
+  ?advance:(int -> unit) ->
+  name:string ->
+  tick:(Cpu.t -> unit) ->
+  unit ->
+  t

@@ -17,32 +17,83 @@ type t = {
   mutable resettables : (unit -> unit -> unit) array;
       (* device-state capture hooks: calling one captures the device's
          current host-side state and returns the thunk that restores it *)
+  mutable jit : Block_compiler.t option;
+  mutable counters : Tick_counters.t option;
+      (* batched event accounting; installed by Machine_obs *)
 }
 
 let cpu m = m.cpu
 let memory m = m.mem
 let ticks m = m.cpu.Cpu.steps
 let decode_cache m = m.cpu.Cpu.decode_cache
+let jit m = m.jit
+let tick_counters m = m.counters
 
-let set_decode_cache m enabled =
-  match (m.cpu.Cpu.decode_cache, enabled) with
-  | Some _, true | None, false -> ()
-  | None, true ->
-    let cache = Decode_cache.create ~empty_payload:Cpu.Halted_idle in
-    m.cpu.Cpu.decode_cache <- Some cache;
-    Memory.set_write_hook m.mem (fun addr -> Decode_cache.invalidate cache addr);
-    Memory.set_reload_hook m.mem (fun () -> Decode_cache.clear cache)
-  | Some _, false ->
-    m.cpu.Cpu.decode_cache <- None;
+let attach_tick_counters m =
+  match m.counters with
+  | Some c -> c
+  | None ->
+    let c = Tick_counters.make () in
+    m.counters <- Some c;
+    c
+
+(* The decode cache and the block table share the single memory write /
+   reload hook pair: reinstall the composed hooks whenever either side
+   is toggled. *)
+let refresh_mem_hooks m =
+  match (m.cpu.Cpu.decode_cache, m.jit) with
+  | None, None ->
     Memory.clear_write_hook m.mem;
     Memory.clear_reload_hook m.mem
+  | Some cache, None ->
+    Memory.set_write_hook m.mem (fun addr -> Decode_cache.invalidate cache addr);
+    Memory.set_reload_hook m.mem (fun () -> Decode_cache.clear cache)
+  | None, Some jit ->
+    Memory.set_write_hook m.mem (fun addr -> Block_compiler.note_write jit addr);
+    Memory.set_reload_hook m.mem (fun () -> Block_compiler.clear jit)
+  | Some cache, Some jit ->
+    Memory.set_write_hook m.mem (fun addr ->
+        Decode_cache.invalidate cache addr;
+        Block_compiler.note_write jit addr);
+    Memory.set_reload_hook m.mem (fun () ->
+        Decode_cache.clear cache;
+        Block_compiler.clear jit)
 
-let create ?config ?(decode_cache = true) () =
+let set_decode_cache m enabled =
+  (match (m.cpu.Cpu.decode_cache, enabled) with
+  | Some _, true | None, false -> ()
+  | None, true ->
+    m.cpu.Cpu.decode_cache <-
+      Some (Decode_cache.create ~empty_payload:Cpu.Halted_idle)
+  | Some _, false -> m.cpu.Cpu.decode_cache <- None);
+  refresh_mem_hooks m
+
+let set_jit m enabled =
+  (match (m.jit, enabled) with
+  | Some _, true | None, false -> ()
+  | None, true -> m.jit <- Some (Block_compiler.create ())
+  | Some _, false -> m.jit <- None);
+  refresh_mem_hooks m
+
+(* Default from the environment, like [Obs.enabled] / SSOS_OBS: the jit
+   is on unless SSOS_JIT is "0", "false" or empty. *)
+let jit_env_default =
+  match Sys.getenv_opt "SSOS_JIT" with
+  | Some ("0" | "false" | "") -> false
+  | Some _ | None -> true
+
+let jit_default = ref jit_env_default
+let set_jit_default v = jit_default := v
+let jit_default_enabled () = !jit_default
+
+let create ?config ?(decode_cache = true) ?jit () =
+  let jit = match jit with Some v -> v | None -> !jit_default in
   let mem = Memory.create () in
   let cpu = Cpu.create ?config mem in
   let m =
     { cpu; mem; devices = [||]; device_ticks = [||];
-      ports = Array.make 256 null_port; hooks = [||]; resettables = [||] }
+      ports = Array.make 256 null_port; hooks = [||]; resettables = [||];
+      jit = None; counters = None }
   in
   (* Port numbers are a single byte in the instruction encoding, so a
      flat 256-entry table replaces the hashtable (and its per-I/O
@@ -53,6 +104,7 @@ let create ?config ?(decode_cache = true) () =
   in
   cpu.Cpu.io <- { Cpu.io_in; io_out };
   set_decode_cache m decode_cache;
+  set_jit m jit;
   m
 
 let add_device m device =
@@ -75,7 +127,16 @@ let tick m =
   for i = 0 to Array.length devices - 1 do
     (Array.unsafe_get devices i) m.cpu
   done;
-  let event = Cpu.step m.cpu in
+  let event =
+    match m.jit with
+    | Some jit -> Block_compiler.step_cpu jit m.cpu
+    | None -> Cpu.step m.cpu
+  in
+  (match m.counters with
+  | Some c ->
+    Tick_counters.note c event;
+    Tick_counters.flush c
+  | None -> ());
   let hooks = m.hooks in
   for i = 0 to Array.length hooks - 1 do
     (Array.unsafe_get hooks i) m event
@@ -83,27 +144,51 @@ let tick m =
   event
 
 let run m ~ticks =
-  (* Open-coded [tick]: the arrays are re-read every iteration (hooks
-     may be registered from a port handler mid-run), but the common
-     shapes — no devices, or the single watchdog of the paper's systems
-     — skip the loop set-up entirely. *)
+  (* Three shapes, re-decided every chunk (hooks and devices may be
+     registered from a port handler mid-run):
+
+     - jit and no event hooks: hand a whole chunk to the block
+       compiler's straight-line loops ({!Block_compiler.run_quiet});
+     - jit with hooks: per-tick stepping through the block table, so
+       hooks see every event at the usual granularity;
+     - no jit: the open-coded interpreter loop, with the common device
+       shapes (none, or the single watchdog) specialised. *)
   let cpu = m.cpu in
-  for _ = 1 to ticks do
+  let remaining = ref ticks in
+  while !remaining > 0 do
     let devs = m.device_ticks in
-    (match Array.length devs with
-    | 0 -> ()
-    | 1 -> (Array.unsafe_get devs 0) cpu
-    | n ->
-      for i = 0 to n - 1 do
-        (Array.unsafe_get devs i) cpu
-      done);
-    let event = Cpu.step cpu in
     let hooks = m.hooks in
-    if Array.length hooks > 0 then
-      for i = 0 to Array.length hooks - 1 do
-        (Array.unsafe_get hooks i) m event
-      done
-  done
+    match m.jit with
+    | Some jit when Array.length hooks = 0 ->
+      let chunk = if !remaining < 4096 then !remaining else 4096 in
+      Block_compiler.run_quiet jit cpu ~devices:m.devices ~counters:m.counters
+        ~budget:chunk;
+      remaining := !remaining - chunk
+    | jit ->
+      (match Array.length devs with
+      | 0 -> ()
+      | 1 -> (Array.unsafe_get devs 0) cpu
+      | n ->
+        for i = 0 to n - 1 do
+          (Array.unsafe_get devs i) cpu
+        done);
+      let event =
+        match jit with
+        | Some jit -> Block_compiler.step_cpu jit cpu
+        | None -> Cpu.step cpu
+      in
+      (match m.counters with
+      | Some c -> Tick_counters.note c event
+      | None -> ());
+      if Array.length hooks > 0 then
+        for i = 0 to Array.length hooks - 1 do
+          (Array.unsafe_get hooks i) m event
+        done;
+      decr remaining
+  done;
+  match m.counters with
+  | Some c -> Tick_counters.flush c
+  | None -> ()
 
 let run_until m ~limit pred =
   let rec loop n =

@@ -7,12 +7,17 @@
 
 type t
 
-val create : ?config:Cpu.config -> ?decode_cache:bool -> unit -> t
+val create : ?config:Cpu.config -> ?decode_cache:bool -> ?jit:bool -> unit -> t
 (** Fresh machine with empty memory and no devices.  [decode_cache]
     (default [true]) installs the write-invalidated decoded-instruction
     cache ({!Decode_cache}) and wires memory write notification to it;
     pass [false] to force raw re-decoding on every step (the reference
-    interpreter the differential tests compare against). *)
+    interpreter the differential tests compare against).  [jit]
+    (default: on unless the [SSOS_JIT] environment variable is "0",
+    "false" or empty) additionally installs the basic-block compiler
+    ({!Block_compiler}); it shares the memory write/reload hooks with
+    the decode cache, and either feature may be toggled independently
+    at any time — observable execution never changes, only speed. *)
 
 val cpu : t -> Cpu.t
 val memory : t -> Memory.t
@@ -25,6 +30,29 @@ val decode_cache : t -> Cpu.event Decode_cache.t option
 val set_decode_cache : t -> bool -> unit
 (** Enable (fresh, empty) or disable the decode cache at any time.
     Either way the observable execution is unchanged — only speed. *)
+
+val jit : t -> Block_compiler.t option
+(** The machine's block compiler, if enabled (for stats and tests). *)
+
+val set_jit : t -> bool -> unit
+(** Enable (fresh, empty) or disable the block compiler at any time.
+    Either way the observable execution is unchanged — only speed. *)
+
+val set_jit_default : bool -> unit
+(** Override the process-wide default for [?jit] (initially the
+    [SSOS_JIT] environment setting).  Affects machines created
+    afterwards; the CLI's [--no-jit] flag calls this. *)
+
+val jit_default_enabled : unit -> bool
+(** The current process-wide [?jit] default. *)
+
+val tick_counters : t -> Tick_counters.t option
+(** The batched event counters, when observability has attached some. *)
+
+val attach_tick_counters : t -> Tick_counters.t
+(** Install (or fetch the already-installed) batched event counters.
+    The run loops count each step event into them and flush once per
+    {!run}/{!tick}; {!Machine_obs} registers the flush sink. *)
 
 val add_device : t -> Device.t -> unit
 

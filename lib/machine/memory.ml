@@ -50,6 +50,8 @@ let force_write_byte mem addr v =
   mem.writes <- mem.writes + 1;
   mem.on_write addr
 
+let unsafe_contents mem = mem.data
+
 let write_count mem = mem.writes
 let rom_refusal_count mem = mem.rom_refusals
 
@@ -72,7 +74,14 @@ let protect mem region =
 let load_image mem ~base image =
   String.iteri (fun i c -> force_write_byte mem (base + i) (Char.code c)) image
 
-let dump mem ~base ~len = String.init len (fun i -> Char.chr (read_byte mem (base + i)))
+let dump mem ~base ~len =
+  (* In-bounds extractions (every caller in practice; campaign digests
+     and the fuzzer's full-image compare do this per trial) are one
+     blit; only a range that wraps the address space pays the per-byte
+     masked path. *)
+  if base >= 0 && len >= 0 && base + len <= size then
+    Bytes.sub_string mem.data base len
+  else String.init len (fun i -> Char.chr (read_byte mem (base + i)))
 
 let blit mem ~src ~dst ~len =
   for i = 0 to len - 1 do

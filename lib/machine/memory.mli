@@ -84,6 +84,14 @@ val load_image : t -> base:int -> string -> unit
 (** Copy a raw byte string into memory at [base] (bypasses protection,
     for building boot images). *)
 
+val unsafe_contents : t -> Bytes.t
+(** The live backing store, zero-copy.  Read-only by contract: writing
+    through it bypasses write protection, write accounting and the
+    write hook (so the decode cache and block compiler would go stale).
+    Exists for whole-image comparisons that would otherwise {!dump} a
+    fresh copy per call — the differential fuzzer's per-trial memory
+    check. *)
+
 val dump : t -> base:int -> len:int -> string
 (** Extract [len] raw bytes starting at [base]. *)
 

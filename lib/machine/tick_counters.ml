@@ -1,0 +1,49 @@
+(* Plain-int per-machine event accounting, batched toward lib/obs.
+
+   The observability layer used to count events with a per-tick
+   [Machine.on_event] hook — seven atomic increments per tick, ~40%
+   overhead when enabled (BENCH_obs.json).  Instead the machine now
+   bumps these plain mutable fields (free on the tick path, and the
+   block-compiled run loops bump them once per straight-line block) and
+   calls [flush] once per [Machine.run]/[Machine.tick], where the
+   registered sink moves the accumulated deltas into the shared atomic
+   registry. *)
+
+type t = {
+  mutable ticks : int;
+  mutable executed : int;
+  mutable interrupts : int;
+  mutable nmis : int;
+  mutable exceptions : int;
+  mutable idle : int;
+  mutable resets : int;
+  mutable flush_fn : t -> unit;
+}
+
+let make () =
+  { ticks = 0; executed = 0; interrupts = 0; nmis = 0; exceptions = 0;
+    idle = 0; resets = 0; flush_fn = (fun _ -> ()) }
+
+let note t (event : Cpu.event) =
+  t.ticks <- t.ticks + 1;
+  match event with
+  | Cpu.Executed _ -> t.executed <- t.executed + 1
+  | Cpu.Took_interrupt { nmi = true; _ } -> t.nmis <- t.nmis + 1
+  | Cpu.Took_interrupt _ -> t.interrupts <- t.interrupts + 1
+  | Cpu.Took_exception _ -> t.exceptions <- t.exceptions + 1
+  | Cpu.Halted_idle -> t.idle <- t.idle + 1
+  | Cpu.Did_reset -> t.resets <- t.resets + 1
+
+(* Merge a local accumulator (the run loops count into a stack-local
+   record so the machine-shared one isn't touched per tick). *)
+let add t c =
+  t.ticks <- t.ticks + c.ticks;
+  t.executed <- t.executed + c.executed;
+  t.interrupts <- t.interrupts + c.interrupts;
+  t.nmis <- t.nmis + c.nmis;
+  t.exceptions <- t.exceptions + c.exceptions;
+  t.idle <- t.idle + c.idle;
+  t.resets <- t.resets + c.resets
+
+let set_flush t f = t.flush_fn <- f
+let flush t = t.flush_fn t

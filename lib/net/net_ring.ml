@@ -96,14 +96,14 @@ type t = {
 }
 
 let build ?(n = 4) ?policy ?ticks_per_slot ?watchdog_period ?capacity ?faults
-    ?decode_cache ?obs ~seed () =
+    ?decode_cache ?jit ?obs ~seed () =
   if n < 2 then invalid_arg "Net_ring.build: need at least two nodes";
   let obs =
     match obs with Some v -> v | None -> Ssos_obs.Obs.enabled ()
   in
   let systems =
     Array.init n (fun index ->
-        Ssos.Sched.build ~n:1 ?watchdog_period ?decode_cache ~obs
+        Ssos.Sched.build ~n:1 ?watchdog_period ?decode_cache ?jit ~obs
           ~obs_label:(Printf.sprintf "node%d" index)
           ~processes:[| ring_process ~bottom:(index = 0) ~index |] ())
   in

@@ -45,6 +45,7 @@ val build :
   ?capacity:int ->
   ?faults:(src:int -> dst:int -> Link.fault_model) ->
   ?decode_cache:bool ->
+  ?jit:bool ->
   ?obs:bool ->
   seed:int64 ->
   unit ->

@@ -77,12 +77,14 @@ let attach t machine =
     ~read:(fun _ -> Queue.length t.rx)
     ~write:(fun _ _ -> ());
   Ssx.Machine.add_device machine
-    (Ssx.Device.make ~name:"nic" ~tick:(fun cpu ->
+    (Ssx.Device.make ~name:"nic"
+       ~tick:(fun cpu ->
          match t.rx_irq with
          | Some vector
            when (not (Queue.is_empty t.rx)) && cpu.Ssx.Cpu.intr = None ->
            Ssx.Cpu.raise_intr cpu vector
-         | _ -> ()));
+         | _ -> ())
+       ());
   Ssx.Machine.add_resettable machine (fun () ->
       let tx = Queue.copy t.tx and rx = Queue.copy t.rx in
       let tx_words = t.tx_words and rx_delivered = t.rx_delivered

@@ -13,6 +13,41 @@ let metric_name ~label base =
   | "" -> "machine." ^ base
   | label -> Printf.sprintf "machine.%s{id=%s}" base label
 
+(* Publish the accumulated plain-int deltas into the shared atomic
+   registry and zero them.  This runs once per [Machine.run] /
+   [Machine.tick], not per event — the batching that takes obs-enabled
+   overhead from seven atomic increments per tick to (amortised)
+   nothing. *)
+let publish t (c : Ssx.Tick_counters.t) =
+  if c.Ssx.Tick_counters.ticks > 0 then begin
+    Obs.incr ~by:c.Ssx.Tick_counters.ticks t.tick_count;
+    c.Ssx.Tick_counters.ticks <- 0
+  end;
+  if c.Ssx.Tick_counters.executed > 0 then begin
+    Obs.incr ~by:c.Ssx.Tick_counters.executed t.executed;
+    c.Ssx.Tick_counters.executed <- 0
+  end;
+  if c.Ssx.Tick_counters.interrupts > 0 then begin
+    Obs.incr ~by:c.Ssx.Tick_counters.interrupts t.interrupts;
+    c.Ssx.Tick_counters.interrupts <- 0
+  end;
+  if c.Ssx.Tick_counters.nmis > 0 then begin
+    Obs.incr ~by:c.Ssx.Tick_counters.nmis t.nmis;
+    c.Ssx.Tick_counters.nmis <- 0
+  end;
+  if c.Ssx.Tick_counters.exceptions > 0 then begin
+    Obs.incr ~by:c.Ssx.Tick_counters.exceptions t.exceptions;
+    c.Ssx.Tick_counters.exceptions <- 0
+  end;
+  if c.Ssx.Tick_counters.idle > 0 then begin
+    Obs.incr ~by:c.Ssx.Tick_counters.idle t.idle;
+    c.Ssx.Tick_counters.idle <- 0
+  end;
+  if c.Ssx.Tick_counters.resets > 0 then begin
+    Obs.incr ~by:c.Ssx.Tick_counters.resets t.resets;
+    c.Ssx.Tick_counters.resets <- 0
+  end
+
 let attach ?(label = "") machine =
   let name base = metric_name ~label base in
   let t =
@@ -24,15 +59,8 @@ let attach ?(label = "") machine =
       idle = Obs.counter (name "idle");
       resets = Obs.counter (name "resets") }
   in
-  Ssx.Machine.on_event machine (fun _machine event ->
-      Obs.incr t.tick_count;
-      match event with
-      | Ssx.Cpu.Executed _ -> Obs.incr t.executed
-      | Ssx.Cpu.Took_interrupt { nmi = true; _ } -> Obs.incr t.nmis
-      | Ssx.Cpu.Took_interrupt _ -> Obs.incr t.interrupts
-      | Ssx.Cpu.Took_exception _ -> Obs.incr t.exceptions
-      | Ssx.Cpu.Halted_idle -> Obs.incr t.idle
-      | Ssx.Cpu.Did_reset -> Obs.incr t.resets);
+  let counters = Ssx.Machine.attach_tick_counters machine in
+  Ssx.Tick_counters.set_flush counters (publish t);
   Obs.sample (name "steps") (fun () ->
       float_of_int (Ssx.Machine.ticks machine));
   let mem = Ssx.Machine.memory machine in
@@ -40,8 +68,9 @@ let attach ?(label = "") machine =
       float_of_int (Ssx.Memory.write_count mem));
   Obs.sample (name "mem.rom-refusals") (fun () ->
       float_of_int (Ssx.Memory.rom_refusal_count mem));
-  (* Re-read the cache on every sample: [set_decode_cache] may swap it
-     out (or in) after attachment. *)
+  (* Re-read the cache (and block table) on every sample:
+     [set_decode_cache] / [set_jit] may swap them out or in after
+     attachment. *)
   let cache_stat read =
     fun () ->
       match Ssx.Machine.decode_cache machine with
@@ -53,6 +82,17 @@ let attach ?(label = "") machine =
   Obs.sample
     (name "decode-cache.invalidations")
     (cache_stat Ssx.Decode_cache.invalidations);
+  let jit_stat read =
+    fun () ->
+      match Ssx.Machine.jit machine with
+      | None -> 0.
+      | Some jit -> float_of_int (read jit)
+  in
+  Obs.sample (name "jit.blocks-built") (jit_stat Ssx.Block_compiler.built);
+  Obs.sample
+    (name "jit.retranslations")
+    (jit_stat Ssx.Block_compiler.retranslations);
+  Obs.sample (name "jit.block-ticks") (jit_stat Ssx.Block_compiler.block_ticks);
   t
 
 let ticks t = Obs.counter_value t.tick_count

@@ -1,18 +1,22 @@
-(** Machine-level instrumentation, attached through the machine's
-    existing hook arrays — the simulator itself knows nothing about
-    telemetry, and an uninstrumented machine runs the exact
+(** Machine-level instrumentation — the simulator itself knows nothing
+    about telemetry, and an uninstrumented machine runs the exact
     pre-observability fast path.
 
     {!attach} registers, under [machine.<base>] (or
     [machine.<base>{id=<label>}] when a label is given):
 
-    - event counters fed by an [on_event] hook: [ticks], [executed],
-      [interrupts], [nmis], [exceptions], [idle], [resets];
+    - event counters fed by the machine's batched
+      {!Ssx.Tick_counters}: [ticks], [executed], [interrupts], [nmis],
+      [exceptions], [idle], [resets].  The run loops count events in
+      plain mutable fields and flush the deltas here once per
+      [Machine.run]/[Machine.tick] — not per event, so enabling
+      observability no longer forces a per-tick hook walk;
     - sampled gauges read only at snapshot time: [steps] (the CPU step
       counter), [mem.writes] and [mem.rom-refusals] (from
-      {!Ssx.Memory}'s write accounting), and — when the decode cache is
-      on — [decode-cache.hits], [decode-cache.misses] and
-      [decode-cache.invalidations].
+      {!Ssx.Memory}'s write accounting), [decode-cache.hits]/
+      [.misses]/[.invalidations] when the decode cache is on, and
+      [jit.blocks-built]/[.retranslations]/[.block-ticks] when the
+      block compiler is on.
 
     Counters are shared across machines instrumented under the same
     name (campaign trials aggregate); sampled gauges follow the most
@@ -21,9 +25,10 @@
 type t
 
 val attach : ?label:string -> Ssx.Machine.t -> t
-(** Instrument [machine].  Adds one event hook; the machine's behaviour
+(** Instrument [machine].  Installs the machine's batched tick
+    counters and registers their flush sink; the machine's behaviour
     is unchanged. *)
 
 val ticks : t -> int
-(** Total events counted through the hook (all instrumented machines
-    sharing this name). *)
+(** Total ticks counted (all instrumented machines sharing this
+    name; includes only flushed batches). *)

@@ -1,0 +1,23 @@
+(* Short-run (x100) engine comparison, mimicking the bechamel shape. *)
+let time f =
+  let t0 = Unix.gettimeofday () in
+  f ();
+  Unix.gettimeofday () -. t0
+
+let () =
+  let warmed ~decode_cache ~jit =
+    let system = Ssos.Reinstall.build ~decode_cache ~jit ~obs:false () in
+    Ssos.System.run system ~ticks:30_000;
+    system.Ssos.System.machine
+  in
+  let reps = 20_000 in
+  let probe name m =
+    ignore (time (fun () -> for _ = 1 to 1000 do Ssx.Machine.run m ~ticks:100 done));
+    let dt = time (fun () ->
+      for _ = 1 to reps do Ssx.Machine.run m ~ticks:100 done) in
+    Printf.printf "%-10s %8.1f ns/x100-run  (%.1f ns/tick)\n%!" name
+      (dt /. float_of_int reps *. 1e9) (dt /. float_of_int reps *. 1e7)
+  in
+  probe "jit" (warmed ~decode_cache:true ~jit:true);
+  probe "cached" (warmed ~decode_cache:true ~jit:false);
+  probe "uncached" (warmed ~decode_cache:false ~jit:false)

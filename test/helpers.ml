@@ -7,8 +7,8 @@ let case name f = Alcotest.test_case name `Quick f
 
 (* Build a bare machine with a program assembled at [seg]:0 and the CPU
    pointed at it.  No ROM, no devices: pure ISA semantics. *)
-let machine_with ?(seg = 0x1000) ?(symbols = []) ?decode_cache source =
-  let machine = Ssx.Machine.create ?decode_cache () in
+let machine_with ?(seg = 0x1000) ?(symbols = []) ?decode_cache ?jit source =
+  let machine = Ssx.Machine.create ?decode_cache ?jit () in
   let image = Ssx_asm.Assemble.assemble ~origin:0 ~symbols source in
   Ssx.Memory.load_image (Ssx.Machine.memory machine) ~base:(seg lsl 4)
     image.Ssx_asm.Assemble.bytes;

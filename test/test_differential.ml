@@ -1,10 +1,11 @@
-(* Differential tests for the decoded-instruction cache: the cached and
-   uncached interpreters must be observationally identical — same
-   per-tick Cpu.event trace and same final machine state — on every
-   seed workload, under self-modifying code and under fault injection
-   into code regions.  This is the faithfulness argument for the §5.2
-   mis-decode hazard: caching never changes what the machine does, only
-   how fast the host simulates it. *)
+(* Differential tests for the two acceleration layers: the decoded-
+   instruction cache and the basic-block compiler.  The accelerated and
+   plain interpreters must be observationally identical — same per-tick
+   Cpu.event trace and same final machine state — on every seed
+   workload, under self-modifying code and under fault injection into
+   code regions.  This is the faithfulness argument for the §5.2
+   mis-decode hazard: caching or compiling never changes what the
+   machine does, only how fast the host simulates it. *)
 
 let pp_event ppf = function
   | Ssx.Cpu.Executed i -> Format.fprintf ppf "executed %a" Ssx.Instruction.pp i
@@ -16,19 +17,21 @@ let pp_event ppf = function
 
 (* Run both machines in lock-step and fail at the first divergent tick,
    then compare complete final snapshots. *)
-let assert_identical_runs name ~ticks cached uncached =
+let assert_lockstep name ~ticks fast slow =
   for tick = 1 to ticks do
-    let ec = Ssx.Machine.tick cached in
-    let eu = Ssx.Machine.tick uncached in
-    if ec <> eu then
-      Alcotest.failf "%s: traces diverge at tick %d: cached %a, uncached %a"
-        name tick pp_event ec pp_event eu
+    let ef = Ssx.Machine.tick fast in
+    let es = Ssx.Machine.tick slow in
+    if ef <> es then
+      Alcotest.failf "%s: traces diverge at tick %d: fast %a, plain %a" name
+        tick pp_event ef pp_event es
   done;
-  let sc = Ssx.Snapshot.capture cached and su = Ssx.Snapshot.capture uncached in
-  if not (Ssx.Snapshot.equal sc su) then
+  let sf = Ssx.Snapshot.capture fast and ss = Ssx.Snapshot.capture slow in
+  if not (Ssx.Snapshot.equal sf ss) then
     Alcotest.failf "%s: final states differ after identical traces: %a" name
       (Format.pp_print_list Ssx.Snapshot.pp_difference)
-      (Ssx.Snapshot.diff sc su);
+      (Ssx.Snapshot.diff sf ss)
+
+let assert_cache_exercised name ~ticks cached =
   match Ssx.Machine.decode_cache cached with
   | None -> Alcotest.failf "%s: cached machine has no decode cache" name
   | Some cache ->
@@ -46,84 +49,131 @@ let assert_identical_runs name ~ticks cached uncached =
         true
         (misses * 10 < Ssx.Machine.ticks cached)
 
+let assert_jit_exercised name machine =
+  match Ssx.Machine.jit machine with
+  | None -> Alcotest.failf "%s: jit machine has no block compiler" name
+  | Some jit ->
+    Helpers.check_bool
+      (name ^ ": blocks were compiled")
+      true
+      (Ssx.Block_compiler.built jit > 0);
+    Helpers.check_bool
+      (name ^ ": ticks ran through compiled blocks")
+      true
+      (Ssx.Block_compiler.block_ticks jit > 0)
+
+let assert_identical_runs name ~ticks cached uncached =
+  assert_lockstep name ~ticks cached uncached;
+  assert_cache_exercised name ~ticks cached
+
+(* Decode cache differential: cached vs raw re-decoding, block compiler
+   off on both sides so every step actually consults the cache. *)
 let differential name ~ticks build =
   Helpers.case name (fun () ->
-      let cached = build ~decode_cache:true in
-      let uncached = build ~decode_cache:false in
+      let cached = build ~decode_cache:true ~jit:false in
+      let uncached = build ~decode_cache:false ~jit:false in
       assert_identical_runs name ~ticks cached uncached)
+
+(* Block compiler differential: same workload through compiled blocks
+   vs the cached interpreter. *)
+let jit_differential name ~ticks build =
+  let name = "jit " ^ name in
+  Helpers.case name (fun () ->
+      let compiled = build ~decode_cache:true ~jit:true in
+      let interpreted = build ~decode_cache:true ~jit:false in
+      assert_lockstep name ~ticks compiled interpreted;
+      assert_jit_exercised name compiled)
 
 (* --- seed workloads -------------------------------------------------- *)
 
-let reinstall_restart ~decode_cache =
-  (Ssos.Reinstall.build ~decode_cache ()).Ssos.System.machine
+let reinstall_restart ~decode_cache ~jit =
+  (Ssos.Reinstall.build ~decode_cache ~jit ()).Ssos.System.machine
 
-let reinstall_continue ~decode_cache =
-  (Ssos.Reinstall.build ~decode_cache ~variant:Ssos.Reinstall.Continue ())
+let reinstall_continue ~decode_cache ~jit =
+  (Ssos.Reinstall.build ~decode_cache ~jit ~variant:Ssos.Reinstall.Continue ())
     .Ssos.System.machine
 
-let reinstall_reset_wired ~decode_cache =
-  (Ssos.Reinstall.build ~decode_cache ~wiring:Ssos.Reinstall.Reset_wired ())
+let reinstall_reset_wired ~decode_cache ~jit =
+  (Ssos.Reinstall.build ~decode_cache ~jit ~wiring:Ssos.Reinstall.Reset_wired
+     ())
     .Ssos.System.machine
 
-let reinstall_journal ~decode_cache =
-  (Ssos.Reinstall.build ~decode_cache ~guest:(Ssos.Guest.journal_kernel ()) ())
+let reinstall_journal ~decode_cache ~jit =
+  (Ssos.Reinstall.build ~decode_cache ~jit ~guest:(Ssos.Guest.journal_kernel ())
+     ())
     .Ssos.System.machine
 
-let reinstall_preemptive ~decode_cache =
-  (Ssos.Reinstall.build ~decode_cache ~timer_period:700
+let reinstall_preemptive ~decode_cache ~jit =
+  (Ssos.Reinstall.build ~decode_cache ~jit ~timer_period:700
      ~guest:(Ssos.Guest.preemptive_kernel ()) ())
     .Ssos.System.machine
 
-let monitor_tasks ~decode_cache =
-  (Ssos.Monitor.build ~decode_cache ()).Ssos.Monitor.system.Ssos.System.machine
+let monitor_tasks ~decode_cache ~jit =
+  (Ssos.Monitor.build ~decode_cache ~jit ()).Ssos.Monitor.system
+    .Ssos.System.machine
 
-let sched_default ~decode_cache =
-  (Ssos.Sched.build ~decode_cache ()).Ssos.Sched.machine
+let sched_default ~decode_cache ~jit =
+  (Ssos.Sched.build ~decode_cache ~jit ()).Ssos.Sched.machine
 
-let sched_paper ~decode_cache =
-  (Ssos.Sched.build ~decode_cache ~cs_check:Ssos.Sched.Paper_jb
+let sched_paper ~decode_cache ~jit =
+  (Ssos.Sched.build ~decode_cache ~jit ~cs_check:Ssos.Sched.Paper_jb
      ~ip_mask:Ssos.Sched.Paper_mask ~refresh:false ())
     .Ssos.Sched.machine
 
-let token_os ~decode_cache =
-  (Ssos.Token_os.build ~decode_cache ()).Ssos.Sched.machine
+let token_os ~decode_cache ~jit =
+  (Ssos.Token_os.build ~decode_cache ~jit ()).Ssos.Sched.machine
 
 (* --- fault injection into code regions ------------------------------- *)
 
 (* Same seed on both sides: as long as the traces stay identical, both
    injectors draw the same faults at the same ticks, so any divergence
-   caused by a stale cached decode of a corrupted code byte would
-   surface as a trace mismatch. *)
-let faulted name ~ticks ~seed ~space build =
+   caused by a stale cached decode (or a stale compiled block) of a
+   corrupted code byte would surface as a trace mismatch. *)
+let faulted_pair name ~ticks ~seed ~space ~fast ~slow ~exercised build =
   Helpers.case name (fun () ->
-      let with_injector ~decode_cache =
-        let machine, fault_system = build ~decode_cache in
+      let with_injector build_machine =
+        let machine, fault_system = build_machine build in
         let rng = Ssx_faults.Rng.create seed in
         let schedule =
           Ssx_faults.Injector.Every
             { period = 97; start_tick = 500; stop_tick = ticks }
         in
         let injector =
-          Ssx_faults.Injector.attach fault_system ~rng ~space:(space ()) ~schedule
+          Ssx_faults.Injector.attach fault_system ~rng ~space:(space ())
+            ~schedule
         in
         (machine, injector)
       in
-      let cached, ic = with_injector ~decode_cache:true in
-      let uncached, iu = with_injector ~decode_cache:false in
-      assert_identical_runs name ~ticks cached uncached;
+      let fast_machine, i_fast = with_injector fast in
+      let slow_machine, i_slow = with_injector slow in
+      assert_lockstep name ~ticks fast_machine slow_machine;
+      exercised name ~ticks fast_machine;
       Helpers.check_int
         (name ^ ": both injectors applied the same number of faults")
-        (Ssx_faults.Injector.injected_count ic)
-        (Ssx_faults.Injector.injected_count iu);
+        (Ssx_faults.Injector.injected_count i_fast)
+        (Ssx_faults.Injector.injected_count i_slow);
       Helpers.check_bool (name ^ ": faults were actually injected") true
-        (Ssx_faults.Injector.injected_count ic > 0))
+        (Ssx_faults.Injector.injected_count i_fast > 0))
 
-let reinstall_fault_target ~decode_cache =
-  let system = Ssos.Reinstall.build ~decode_cache () in
+let faulted name ~ticks ~seed ~space build =
+  faulted_pair name ~ticks ~seed ~space
+    ~fast:(fun build -> build ~decode_cache:true ~jit:false)
+    ~slow:(fun build -> build ~decode_cache:false ~jit:false)
+    ~exercised:assert_cache_exercised build
+
+let jit_faulted name ~ticks ~seed ~space build =
+  faulted_pair ("jit " ^ name) ~ticks ~seed ~space
+    ~fast:(fun build -> build ~decode_cache:true ~jit:true)
+    ~slow:(fun build -> build ~decode_cache:true ~jit:false)
+    ~exercised:(fun name ~ticks:_ machine -> assert_jit_exercised name machine)
+    build
+
+let reinstall_fault_target ~decode_cache ~jit =
+  let system = Ssos.Reinstall.build ~decode_cache ~jit () in
   (system.Ssos.System.machine, Ssos.System.fault_system system)
 
-let sched_fault_target ~decode_cache =
-  let sched = Ssos.Sched.build ~decode_cache () in
+let sched_fault_target ~decode_cache ~jit =
+  let sched = Ssos.Sched.build ~decode_cache ~jit () in
   (sched.Ssos.Sched.machine, Ssos.Sched.fault_system sched)
 
 (* Corruption aimed exclusively at the guest image (code included): the
@@ -137,9 +187,11 @@ let full_space () = Ssos.System.default_fault_space
 
 (* A guest that patches the immediate operand of its own next
    instruction on every loop iteration.  The first iteration seeds the
-   cache; each later patch must invalidate it, or dx ends up holding a
-   stale immediate. *)
-let self_modifying_immediate decode_cache =
+   cache (and compiles the surrounding block); each later patch must
+   invalidate it, or dx ends up holding a stale immediate.  For the
+   block compiler this is the store-into-the-*current*-block case: the
+   patching [mov] and its target live in the same straight-line run. *)
+let self_modifying_immediate ~decode_cache ~jit =
   let source =
     "start:\n\
     \    mov ax, cs\n\
@@ -154,12 +206,13 @@ let self_modifying_immediate decode_cache =
     \    loop loop_top\n\
     \    hlt\n"
   in
-  let machine, _ = Helpers.machine_with ~decode_cache source in
+  let machine, _ = Helpers.machine_with ~decode_cache ~jit source in
   machine
 
 (* A guest that rewrites the opcode bytes of its (already executed, so
-   already cached) next instruction: two nops become [inc dx]. *)
-let self_modifying_opcode decode_cache =
+   already cached/compiled) next instruction: two nops become
+   [inc dx]. *)
+let self_modifying_opcode ~decode_cache ~jit =
   let patch_word =
     match Ssx.Codec.encode (Ssx.Instruction.Inc_r16 Ssx.Registers.DX) with
     | [ opcode; operand ] -> opcode lor (operand lsl 8)
@@ -185,13 +238,52 @@ let self_modifying_opcode decode_cache =
   in
   let machine, _ =
     Helpers.machine_with ~symbols:[ ("PATCH_WORD", patch_word) ] ~decode_cache
-      source
+      ~jit source
+  in
+  machine
+
+(* The cross-block variant: the patch site and its target sit in
+   different basic blocks (a [jmp] separates them), and the target
+   block has already executed — so it is compiled — when the store
+   lands.  The write must condemn the *other* block, not the one
+   currently running. *)
+let cross_block_patch ~decode_cache ~jit =
+  let patch_word =
+    match Ssx.Codec.encode (Ssx.Instruction.Inc_r16 Ssx.Registers.DX) with
+    | [ opcode; operand ] -> opcode lor (operand lsl 8)
+    | _ -> Alcotest.fail "inc dx is expected to encode in two bytes"
+  in
+  let source =
+    "start:\n\
+    \    mov ax, cs\n\
+    \    mov ds, ax\n\
+    \    mov dx, 0\n\
+    \    mov cx, 3\n\
+     loop_top:\n\
+    \    jmp target_block\n\
+     target_block:\n\
+     target:\n\
+    \    nop\n\
+    \    nop\n\
+    \    jmp patcher\n\
+     patcher:\n\
+    \    cmp cx, 2\n\
+    \    jne skip_patch\n\
+    \    mov ax, PATCH_WORD\n\
+    \    mov [target], ax\n\
+     skip_patch:\n\
+    \    loop loop_top\n\
+    \    hlt\n"
+  in
+  let machine, _ =
+    Helpers.machine_with ~symbols:[ ("PATCH_WORD", patch_word) ] ~decode_cache
+      ~jit source
   in
   machine
 
 let test_self_modifying_immediate () =
-  let cached = self_modifying_immediate true in
-  let uncached = self_modifying_immediate false in
+  let cached = self_modifying_immediate ~decode_cache:true ~jit:false in
+  let uncached = self_modifying_immediate ~decode_cache:false ~jit:false in
   assert_identical_runs "self-modifying immediate" ~ticks:60 cached uncached;
   (* The cached machine is not just consistent but *right*: dx holds the
      value patched in on the final iteration, not the first cached one. *)
@@ -199,16 +291,109 @@ let test_self_modifying_immediate () =
     (Helpers.regs cached).Ssx.Registers.dx
 
 let test_self_modifying_opcode () =
-  let cached = self_modifying_opcode true in
-  let uncached = self_modifying_opcode false in
+  let cached = self_modifying_opcode ~decode_cache:true ~jit:false in
+  let uncached = self_modifying_opcode ~decode_cache:false ~jit:false in
   assert_identical_runs "self-modifying opcode" ~ticks:40 cached uncached;
   Helpers.check_int "the patched-in inc dx executed" 1
     (Helpers.regs cached).Ssx.Registers.dx
 
+let test_jit_self_modifying_immediate () =
+  let compiled = self_modifying_immediate ~decode_cache:true ~jit:true in
+  let interpreted = self_modifying_immediate ~decode_cache:true ~jit:false in
+  assert_lockstep "jit self-modifying immediate" ~ticks:60 compiled interpreted;
+  assert_jit_exercised "jit self-modifying immediate" compiled;
+  Helpers.check_int "dx reflects the last patched immediate" 0x5444
+    (Helpers.regs compiled).Ssx.Registers.dx
+
+let test_jit_self_modifying_opcode () =
+  let compiled = self_modifying_opcode ~decode_cache:true ~jit:true in
+  let interpreted = self_modifying_opcode ~decode_cache:true ~jit:false in
+  assert_lockstep "jit self-modifying opcode" ~ticks:40 compiled interpreted;
+  assert_jit_exercised "jit self-modifying opcode" compiled;
+  Helpers.check_int "the patched-in inc dx executed" 1
+    (Helpers.regs compiled).Ssx.Registers.dx
+
+let test_jit_cross_block_patch () =
+  let compiled = cross_block_patch ~decode_cache:true ~jit:true in
+  let interpreted = cross_block_patch ~decode_cache:true ~jit:false in
+  assert_lockstep "jit cross-block patch" ~ticks:80 compiled interpreted;
+  assert_jit_exercised "jit cross-block patch" compiled;
+  (* The target block runs three times and the patch (one two-byte
+     [inc dx] over both nops) lands after its second pass, so only the
+     final pass increments dx. *)
+  Helpers.check_int "the cross-block patch took effect" 1
+    (Helpers.regs compiled).Ssx.Registers.dx;
+  (match Ssx.Machine.jit compiled with
+  | Some jit ->
+    Helpers.check_bool "the condemned block was re-translated" true
+      (Ssx.Block_compiler.retranslations jit > 0)
+  | None -> Alcotest.fail "jit machine has no block compiler")
+
+(* --- NMI in the middle of a block ------------------------------------ *)
+
+(* A long straight-line run compiles into one block; NMIs raised at
+   ticks that land mid-block must be accepted at exactly the same
+   instruction boundary as in the interpreter, the handler must run,
+   and the block must resume correctly from its interior. *)
+let test_jit_nmi_mid_block () =
+  let source =
+    "start:\n\
+    \    mov ax, cs\n\
+    \    mov ds, ax\n\
+    \    mov bx, 0\n\
+     loop_top:\n\
+    \    inc bx\n\
+    \    inc bx\n\
+    \    inc bx\n\
+    \    inc bx\n\
+    \    inc bx\n\
+    \    inc bx\n\
+    \    inc bx\n\
+    \    inc bx\n\
+    \    jmp loop_top\n\
+     handler:\n\
+    \    inc dx\n\
+    \    iret\n"
+  in
+  let build ~jit =
+    let machine, image = Helpers.machine_with ~decode_cache:true ~jit source in
+    (* The default CPU config dispatches NMIs through a hardwired IDT at
+       0xF0000; point vector 2 at the handler. *)
+    let mem = Ssx.Machine.memory machine in
+    let handler_ip =
+      List.assoc "handler" image.Ssx_asm.Assemble.symbols
+    in
+    Ssx.Memory.write_word mem (0xF0000 + (4 * 2)) handler_ip;
+    Ssx.Memory.write_word mem (0xF0000 + (4 * 2) + 2) 0x1000;
+    machine
+  in
+  let compiled = build ~jit:true in
+  let interpreted = build ~jit:false in
+  for tick = 1 to 400 do
+    (* A prime stride so the NMI lands at every offset within the
+       8-instruction straight-line body over the course of the run. *)
+    if tick mod 13 = 0 then begin
+      Ssx.Cpu.raise_nmi (Ssx.Machine.cpu compiled);
+      Ssx.Cpu.raise_nmi (Ssx.Machine.cpu interpreted)
+    end;
+    let ec = Ssx.Machine.tick compiled in
+    let ei = Ssx.Machine.tick interpreted in
+    if ec <> ei then
+      Alcotest.failf "jit nmi mid-block: diverged at tick %d: jit %a, plain %a"
+        tick pp_event ec pp_event ei
+  done;
+  let sc = Ssx.Snapshot.capture compiled in
+  let si = Ssx.Snapshot.capture interpreted in
+  Helpers.check_string "same final digest" (Ssx.Snapshot.digest si)
+    (Ssx.Snapshot.digest sc);
+  assert_jit_exercised "jit nmi mid-block" compiled;
+  Helpers.check_bool "the handler actually ran" true
+    ((Helpers.regs compiled).Ssx.Registers.dx > 0)
+
 (* --- direct cache behaviour ------------------------------------------ *)
 
 let test_invalidation_sources () =
-  let machine = Ssx.Machine.create () in
+  let machine = Ssx.Machine.create ~jit:false () in
   let mem = Ssx.Machine.memory machine in
   let cache =
     match Ssx.Machine.decode_cache machine with
@@ -249,13 +434,28 @@ let test_invalidation_sources () =
 let test_toggle_mid_run () =
   (* Disabling and re-enabling the cache mid-run never changes what the
      machine computes. *)
-  let reference = self_modifying_immediate false in
-  let toggled = self_modifying_immediate true in
+  let reference = self_modifying_immediate ~decode_cache:false ~jit:false in
+  let toggled = self_modifying_immediate ~decode_cache:true ~jit:false in
   for tick = 1 to 60 do
     if tick = 20 then Ssx.Machine.set_decode_cache toggled false;
     if tick = 35 then Ssx.Machine.set_decode_cache toggled true;
     let et = Ssx.Machine.tick toggled and er = Ssx.Machine.tick reference in
     if et <> er then Alcotest.failf "toggle run diverged at tick %d" tick
+  done;
+  Helpers.check_string "same final digest"
+    (Ssx.Snapshot.digest (Ssx.Snapshot.capture reference))
+    (Ssx.Snapshot.digest (Ssx.Snapshot.capture toggled))
+
+let test_jit_toggle_mid_run () =
+  (* Same for the block compiler: toggling it mid-run (fresh, empty
+     block table on re-enable) is invisible. *)
+  let reference = self_modifying_immediate ~decode_cache:true ~jit:false in
+  let toggled = self_modifying_immediate ~decode_cache:true ~jit:true in
+  for tick = 1 to 60 do
+    if tick = 20 then Ssx.Machine.set_jit toggled false;
+    if tick = 35 then Ssx.Machine.set_jit toggled true;
+    let et = Ssx.Machine.tick toggled and er = Ssx.Machine.tick reference in
+    if et <> er then Alcotest.failf "jit toggle run diverged at tick %d" tick
   done;
   Helpers.check_string "same final digest"
     (Ssx.Snapshot.digest (Ssx.Snapshot.capture reference))
@@ -297,17 +497,41 @@ let suite =
     differential "scheduler/default" ~ticks:60_000 sched_default;
     differential "scheduler/paper variant" ~ticks:60_000 sched_paper;
     differential "token ring OS" ~ticks:60_000 token_os;
+    jit_differential "reinstall/restart" ~ticks:50_000 reinstall_restart;
+    jit_differential "reinstall/continue" ~ticks:50_000 reinstall_continue;
+    jit_differential "reinstall/reset-wired" ~ticks:50_000
+      reinstall_reset_wired;
+    jit_differential "reinstall/journal guest" ~ticks:50_000 reinstall_journal;
+    jit_differential "reinstall/preemptive guest + timer" ~ticks:50_000
+      reinstall_preemptive;
+    jit_differential "monitor/task kernel" ~ticks:50_000 monitor_tasks;
+    jit_differential "scheduler/default" ~ticks:60_000 sched_default;
+    jit_differential "scheduler/paper variant" ~ticks:60_000 sched_paper;
+    jit_differential "token ring OS" ~ticks:60_000 token_os;
     faulted "faults/reinstall, code-region corruption" ~ticks:40_000
       ~seed:0x1234L ~space:code_only_space reinstall_fault_target;
     faulted "faults/reinstall, full fault space" ~ticks:40_000 ~seed:0x5678L
       ~space:full_space reinstall_fault_target;
     faulted "faults/scheduler, code-region corruption" ~ticks:40_000
       ~seed:0x9abcL ~space:code_only_space sched_fault_target;
+    jit_faulted "faults/reinstall, code-region corruption" ~ticks:40_000
+      ~seed:0x1234L ~space:code_only_space reinstall_fault_target;
+    jit_faulted "faults/reinstall, full fault space" ~ticks:40_000
+      ~seed:0x5678L ~space:full_space reinstall_fault_target;
+    jit_faulted "faults/scheduler, code-region corruption" ~ticks:40_000
+      ~seed:0x9abcL ~space:code_only_space sched_fault_target;
     Helpers.case "self-modifying code: patched immediate"
       test_self_modifying_immediate;
     Helpers.case "self-modifying code: patched opcode"
       test_self_modifying_opcode;
+    Helpers.case "jit self-modifying code: patched immediate"
+      test_jit_self_modifying_immediate;
+    Helpers.case "jit self-modifying code: patched opcode"
+      test_jit_self_modifying_opcode;
+    Helpers.case "jit cross-block patch" test_jit_cross_block_patch;
+    Helpers.case "jit NMI mid-block" test_jit_nmi_mid_block;
     Helpers.case "every write source invalidates" test_invalidation_sources;
     Helpers.case "cache toggle mid-run is invisible" test_toggle_mid_run;
+    Helpers.case "jit toggle mid-run is invisible" test_jit_toggle_mid_run;
     Helpers.case "protection bitmap matches region list"
       test_protection_bitmap_matches_regions ]

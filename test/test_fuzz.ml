@@ -35,6 +35,16 @@ let test_campaign_jobs_determinism () =
   let s1 = run 1 and s4 = run 4 in
   check_bool "jobs:1 = jobs:4" true (s1 = s4)
 
+(* The machine-side block compiler must not leak into campaign results
+   either: summaries are bit-identical with the compiler on or off,
+   whatever the jobs knob says. *)
+let test_campaign_jit_determinism () =
+  let run ~jit jobs = FL.run ~jobs ~jit ~seed:29L ~iters:200 () in
+  let reference = run ~jit:false 1 in
+  check_bool "jit:1 = interp:1" true (run ~jit:true 1 = reference);
+  check_bool "jit:4 = interp:1" true (run ~jit:true 4 = reference);
+  check_bool "interp:4 = interp:1" true (run ~jit:false 4 = reference)
+
 (* Snapshot round-trip over fuzz-shaped machines: capture, perturb,
    restore, re-capture — digests must be bit-exact.  Every third
    machine carries a NIC with pending RX data so device queues go
@@ -66,7 +76,9 @@ let test_snapshot_roundtrip_fuzzed () =
    byte at a time. *)
 let test_restore_image_clears_decode_cache () =
   let program = { Gen.code = "\x70\x70\x70\x71"; schedule = []; steps = 8 } in
-  let machine = FL.prepare_machine program in
+  (* Block compiler off: this test asserts decode-cache fill counts,
+     which only the plain interpreter path populates. *)
+  let machine = FL.prepare_machine ~jit:false program in
   Ssx.Machine.run machine ~ticks:2;
   let cache =
     match Ssx.Machine.decode_cache machine with
@@ -81,8 +93,8 @@ let test_restore_image_clears_decode_cache () =
     (Ssx.Decode_cache.cached_len cache FL.trial_code_base)
 
 (* Replay one program with its NMI schedule and digest the trace. *)
-let trace_digest ~decode_cache program =
-  let machine = FL.prepare_machine ~decode_cache program in
+let trace_digest ~decode_cache ~jit program =
+  let machine = FL.prepare_machine ~decode_cache ~jit program in
   let trace = Ssx.Trace.attach ~capacity:256 machine in
   let schedule = ref program.Gen.schedule in
   for tick = 0 to program.Gen.steps - 1 do
@@ -105,12 +117,14 @@ let test_interrupt_schedule_determinism () =
     if p.Gen.schedule = [] then with_schedule () else p
   in
   let program = with_schedule () in
-  let reference = trace_digest ~decode_cache:true program in
+  let reference = trace_digest ~decode_cache:true ~jit:false program in
   check_string "decode cache off matches" reference
-    (trace_digest ~decode_cache:false program);
+    (trace_digest ~decode_cache:false ~jit:false program);
+  check_string "block compiler on matches" reference
+    (trace_digest ~decode_cache:true ~jit:true program);
   let replay jobs =
     Ssos_experiments.Pool.run ~oversubscribe:true ~jobs 6 (fun _ ->
-        trace_digest ~decode_cache:true program)
+        trace_digest ~decode_cache:true ~jit:false program)
   in
   Array.iter (check_string "jobs:1 replay matches" reference) (replay 1);
   Array.iter (check_string "jobs:4 replay matches" reference) (replay 4)
@@ -167,10 +181,15 @@ let test_regressions_replay () =
   check_bool "regression corpus present" true (files <> []);
   List.iter
     (fun file ->
-      match FL.replay (read_file (Filename.concat dir file)) with
-      | None -> ()
-      | Some (tick, detail) ->
-          Alcotest.failf "%s diverges at tick %d: %s" file tick detail)
+      let text = read_file (Filename.concat dir file) in
+      List.iter
+        (fun jit ->
+          match FL.replay ~jit text with
+          | None -> ()
+          | Some (tick, detail) ->
+              Alcotest.failf "%s (jit:%b) diverges at tick %d: %s" file jit
+                tick detail)
+        [ false; true ])
     files
 
 let test_fuzz_obs_invariance () =
@@ -208,6 +227,7 @@ let test_fuzz_obs_invariance () =
 let suite =
   [ case "fixed-seed differential smoke" test_differential_smoke;
     case "campaign is jobs-independent" test_campaign_jobs_determinism;
+    case "campaign is jit-independent" test_campaign_jit_determinism;
     case "snapshot round-trip over fuzzed machines"
       test_snapshot_roundtrip_fuzzed;
     case "restore_image clears the decode cache"
