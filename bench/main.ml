@@ -18,7 +18,8 @@ let smoke = Array.exists (( = ) "--smoke") Sys.argv
 
 let run_tables () =
   List.iter
-    (fun ((_, run) : string * (?jobs:int -> unit -> Ssos_experiments.Table.t)) ->
+    (fun ((_, run) :
+           string * (?jobs:int -> ?shards:int -> unit -> Ssos_experiments.Table.t)) ->
       Format.printf "%a@." Ssos_experiments.Table.pp (run ()))
     Ssos_experiments.Experiments.all
 
@@ -160,6 +161,66 @@ let net_bench () =
     ("ring-campaign-trials", float_of_int trials);
     ("ring-campaign-summaries-identical",
      if seq_summary = par_summary then 1.0 else 0.0) ]
+
+(* Cluster scale: big rings under the sharded stepper vs the sequential
+   one.  Latency 32 gives the conservative stepper a 31-step horizon,
+   so barrier costs amortize; light slots (8 guest ticks) and machines
+   without the decode cache or block compiler keep the *stepper* the
+   bottleneck — this section measures stepper scaling, not interpreter
+   speed, and at a thousand nodes per-machine jit tables would dominate
+   memory.  The two steppers are bit-identical (test/test_net.ml), so
+   the speedup is pure wall-clock: the sharded stepper's per-shard
+   delivery calendars turn the sequential O(links)-per-step scan into
+   O(due links), and on multi-core hosts the shards additionally run in
+   parallel (this is the single-core-honest number; see DESIGN.md
+   §4h). *)
+let net_scale_bench () =
+  let shards = 4 in
+  let sizes = if smoke then [ 64 ] else [ 64; 256; 1024 ] in
+  let steps = if smoke then 200 else 2_000 in
+  let reps = if smoke then 1 else 3 in
+  Format.printf
+    "== Cluster scale (ring, latency 32, %d steps, seq vs shards:%d) ==@."
+    steps shards;
+  let rows =
+    List.concat_map
+      (fun n ->
+        let throughput span runner =
+          let best = ref infinity in
+          for _ = 1 to reps do
+            let ring =
+              Ssos_net.Net_ring.build ~n ~ticks_per_slot:8 ~latency:32
+                ~decode_cache:false ~jit:false ~seed:11L ()
+            in
+            let cluster = ring.Ssos_net.Net_ring.cluster in
+            runner cluster ~steps:64;
+            let (), ns = timed span (fun () -> runner cluster ~steps) in
+            if ns < !best then best := ns
+          done;
+          float_of_int steps /. (!best /. 1e9)
+        in
+        let seq =
+          throughput
+            (Printf.sprintf "cluster-scale-seq-n%d" n)
+            Ssos_net.Cluster.run
+        in
+        let par =
+          throughput
+            (Printf.sprintf "cluster-scale-shards-n%d" n)
+            (fun cluster ~steps ->
+              Ssos_net.Cluster.run_sharded ~shards cluster ~steps)
+        in
+        Format.printf
+          "  n=%-5d seq %10.0f steps/sec   shards:%d %10.0f steps/sec   \
+           %5.2fx@."
+          n seq shards par (par /. seq);
+        [ (Printf.sprintf "cluster-steps-per-sec-n%d" n, seq);
+          (Printf.sprintf "cluster-steps-per-sec-n%d-shards%d" n shards, par) ]
+        @ if n = 1024 then [ ("shard-speedup", par /. seq) ] else [])
+      sizes
+  in
+  Format.printf "@.";
+  rows
 
 (* Differential-fuzzer throughput: a fixed-seed campaign against the
    lib/fuzz reference-interpreter oracle — jobs:1 vs jobs:4 (with the
@@ -524,7 +585,7 @@ let () =
      Operating Systems' (Dolev & Yagel)@.@.";
   run_tables ();
   let campaign_rows = campaign_pair () in
-  let net_rows = net_bench () in
+  let net_rows = net_bench () @ net_scale_bench () in
   let fuzz_rows = fuzz_bench () in
   let costs = guest_cycle_costs () in
   print_guest_cycle_costs costs;

@@ -168,17 +168,17 @@ let print_table format table =
   | "json" -> print_endline (Ssos_experiments.Table.to_json table)
   | _ -> Format.printf "%a@." Ssos_experiments.Table.pp table
 
-let experiment id format jobs =
+let experiment id format jobs shards =
   if String.lowercase_ascii id = "all" then begin
     List.iter
-      (fun (_, run) -> print_table format (run ?jobs ()))
+      (fun (_, run) -> print_table format (run ?jobs ?shards ()))
       Ssos_experiments.Experiments.all;
     ok
   end
   else
     match Ssos_experiments.Experiments.find id with
     | Some run ->
-      print_table format (run ?jobs ());
+      print_table format (run ?jobs ?shards ());
       ok
     | None ->
       Format.eprintf "ssos: unknown experiment %s (expected T1..T15 or all)@."
@@ -278,20 +278,33 @@ let pp_states ring =
     (Array.to_list
        (Array.map string_of_int (Ssos_net.Net_ring.states ring)))
 
-let cluster nodes drop corrupt delay limit seed =
+let cluster nodes drop corrupt delay limit seed shards latency =
   let benign = drop = 0. && corrupt = 0. && delay = 0 in
   let faults ~src:_ ~dst:_ =
     if benign then Ssos_net.Link.benign ()
     else Ssos_net.Link.lossy ~drop ~corrupt ~max_delay:delay ()
   in
   let seed64 = Int64.of_int seed in
-  let ring = Ssos_net.Net_ring.build ~n:nodes ~faults ~seed:seed64 () in
+  let ring =
+    Ssos_net.Net_ring.build ~n:nodes ~latency ~faults ~seed:seed64 ()
+  in
+  (* With --shards the warmup and tail runs go through the sharded
+     stepper and convergence is detected from the sharded per-slot log;
+     every printed line is bit-identical for any shard count. *)
+  let run cluster ~steps =
+    match shards with
+    | None -> Ssos_net.Cluster.run cluster ~steps
+    | Some shards -> Ssos_net.Cluster.run_sharded ~shards cluster ~steps
+  in
   Format.printf "== %d-machine token ring (K=%d) ==@." nodes
     Ssos_net.Net_ring.k;
   if not benign then
     Format.printf "links: drop=%.2f corrupt=%.2f max_delay=%d@." drop corrupt
       delay;
-  Ssos_net.Cluster.run ring.Ssos_net.Net_ring.cluster ~steps:400;
+  (match shards with
+  | Some s -> Format.printf "stepper: %d shard(s), link latency %d@." s latency
+  | None -> if latency > 1 then Format.printf "link latency %d@." latency);
+  run ring.Ssos_net.Net_ring.cluster ~steps:400;
   Format.printf "after 400 warmup steps: states [%s], %d privilege(s)@."
     (pp_states ring)
     (Ssos_net.Net_ring.token_count ring);
@@ -303,10 +316,10 @@ let cluster nodes drop corrupt delay limit seed =
   done;
   Format.printf "corrupted: states [%s], %d privilege(s)@." (pp_states ring)
     (Ssos_net.Net_ring.token_count ring);
-  (match Ssos_net.Net_ring.run_until_legitimate ring ~limit with
+  (match Ssos_net.Net_ring.run_until_legitimate ?shards ring ~limit with
   | Some steps ->
     Format.printf "single privilege restored after %d cluster steps@." steps;
-    Ssos_net.Cluster.run ring.Ssos_net.Net_ring.cluster ~steps:200;
+    run ring.Ssos_net.Net_ring.cluster ~steps:200;
     Format.printf "200 steps later: states [%s], %d privilege(s), %s@."
       (pp_states ring)
       (Ssos_net.Net_ring.token_count ring)
@@ -399,12 +412,23 @@ let () =
       & info [ "format" ] ~docv:"FORMAT"
           ~doc:"Output format: $(b,text) (aligned columns) or $(b,json).")
   in
+  let shards_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "shards" ] ~docv:"N"
+          ~doc:
+            "Shard the cluster stepper across N domains (within each \
+             trial).  Results are bit-identical for any shard count; \
+             clusters with link latency 1 fall back to sequential \
+             stepping.")
+  in
   let experiment_cmd =
     Cmd.v (Cmd.info "experiment" ~doc:"Regenerate an evaluation table (T1..T15)")
       (with_metrics
          Term.(
-           const (fun id format jobs () -> experiment id format jobs)
-           $ id_arg $ format_arg $ jobs_arg))
+           const (fun id format jobs shards () -> experiment id format jobs shards)
+           $ id_arg $ format_arg $ jobs_arg $ shards_arg))
   in
   let figures_cmd =
     Cmd.v (Cmd.info "figures" ~doc:"Print the paper's figures as source")
@@ -486,6 +510,14 @@ let () =
       & info [ "limit" ] ~docv:"N"
           ~doc:"Give up after this many cluster steps.")
   in
+  let latency_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "latency" ] ~docv:"N"
+          ~doc:
+            "Minimum link latency in cluster steps (at least 1).  Values \
+             above 1 give $(b,--shards) its synchronization horizon.")
+  in
   let cluster_cmd =
     Cmd.v
       (Cmd.info "cluster"
@@ -494,10 +526,10 @@ let () =
             every node, and watch the ring reconverge")
       (with_metrics
          Term.(
-           const (fun nodes drop corrupt delay limit seed () ->
-               cluster nodes drop corrupt delay limit seed)
+           const (fun nodes drop corrupt delay limit seed shards latency () ->
+               cluster nodes drop corrupt delay limit seed shards latency)
            $ nodes_arg $ drop_arg $ corrupt_arg $ delay_arg $ limit_arg
-           $ seed_arg))
+           $ seed_arg $ shards_arg $ latency_arg))
   in
   let iters_arg =
     Arg.(

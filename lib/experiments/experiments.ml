@@ -924,7 +924,7 @@ let corrupt_ring rng ring =
     Ssos_net.Net_ring.corrupt_view ring i (Ssx_faults.Rng.int rng 0x10000)
   done
 
-let t14_ring_link_faults ?(seed = 14L) ?(trials = 12) ?jobs () =
+let t14_ring_link_faults ?(seed = 14L) ?(trials = 12) ?jobs ?shards () =
   let n = 4 in
   let rates = [ 0.0; 0.05; 0.1; 0.2; 0.4 ] in
   let rows =
@@ -941,7 +941,7 @@ let t14_ring_link_faults ?(seed = 14L) ?(trials = 12) ?jobs () =
            link fault rate's alone. *)
         let summary =
           Runner.ring_campaign ~build ~perturb:corrupt_ring ~horizon:4_000
-            ~window:600 ?jobs ~trials ~seed ()
+            ~window:600 ?jobs ?shards ~trials ~seed ()
         in
         [ Printf.sprintf "%.0f%%" (100. *. drop);
           Table.cell_rate summary.Runner.recoveries summary.Runner.trials;
@@ -965,7 +965,7 @@ let t14_ring_link_faults ?(seed = 14L) ?(trials = 12) ?jobs () =
 
 (* ---------------------------------------------------------------- T15 *)
 
-let t15_ring_combined_faults ?(seed = 15L) ?(trials = 10) ?jobs () =
+let t15_ring_combined_faults ?(seed = 15L) ?(trials = 10) ?jobs ?shards () =
   let n = 4 in
   let build () =
     Ssos_net.Net_ring.build ~n ~seed:(Ssx_faults.Rng.derive seed 200) ()
@@ -1009,7 +1009,7 @@ let t15_ring_combined_faults ?(seed = 15L) ?(trials = 10) ?jobs () =
       (fun burst ->
         let summary =
           Runner.ring_campaign ~build ~perturb:(perturb ~burst) ~horizon:6_000
-            ~window:800 ?jobs ~trials ~seed ()
+            ~window:800 ?jobs ?shards ~trials ~seed ()
         in
         [ Table.cell_int burst;
           Table.cell_rate summary.Runner.recoveries summary.Runner.trials;
@@ -1032,21 +1032,21 @@ let t15_ring_combined_faults ?(seed = 15L) ?(trials = 10) ?jobs () =
     rows }
 
 let all =
-  [ ("T1", fun ?jobs () -> t1_reinstall_recovery ?jobs ());
-    ("T2", fun ?jobs () -> t2_lemma_bounds ?jobs ());
-    ("T3", fun ?jobs () -> t3_approach_comparison ?jobs ());
-    ("T4", fun ?jobs () -> t4_period_sweep ?jobs ());
-    ("T5", fun ?jobs () -> t5_primitive_fairness ?jobs ());
-    ("T6", fun ?jobs () -> t6_sched_stabilization ?jobs ());
-    ("T7", fun ?jobs () -> t7_ablations ?jobs ());
-    ("T8", fun ?jobs () -> t8_monitor_coverage ?jobs ());
-    ("T9", fun ?jobs () -> ignore jobs; t9_weak_vs_strict ());
-    ("T10", fun ?jobs () -> ignore jobs; t10_composition ());
-    ("T11", fun ?jobs () -> t11_token_ring_os ?jobs ());
-    ("T12", fun ?jobs () -> t12_soft_error_rates ?jobs ());
-    ("T13", fun ?jobs () -> ignore jobs; t13_exhaustive_sweeps ());
-    ("T14", fun ?jobs () -> t14_ring_link_faults ?jobs ());
-    ("T15", fun ?jobs () -> t15_ring_combined_faults ?jobs ()) ]
+  [ ("T1", fun ?jobs ?shards () -> ignore shards; t1_reinstall_recovery ?jobs ());
+    ("T2", fun ?jobs ?shards () -> ignore shards; t2_lemma_bounds ?jobs ());
+    ("T3", fun ?jobs ?shards () -> ignore shards; t3_approach_comparison ?jobs ());
+    ("T4", fun ?jobs ?shards () -> ignore shards; t4_period_sweep ?jobs ());
+    ("T5", fun ?jobs ?shards () -> ignore shards; t5_primitive_fairness ?jobs ());
+    ("T6", fun ?jobs ?shards () -> ignore shards; t6_sched_stabilization ?jobs ());
+    ("T7", fun ?jobs ?shards () -> ignore shards; t7_ablations ?jobs ());
+    ("T8", fun ?jobs ?shards () -> ignore shards; t8_monitor_coverage ?jobs ());
+    ("T9", fun ?jobs ?shards () -> ignore jobs; ignore shards; t9_weak_vs_strict ());
+    ("T10", fun ?jobs ?shards () -> ignore jobs; ignore shards; t10_composition ());
+    ("T11", fun ?jobs ?shards () -> ignore shards; t11_token_ring_os ?jobs ());
+    ("T12", fun ?jobs ?shards () -> ignore shards; t12_soft_error_rates ?jobs ());
+    ("T13", fun ?jobs ?shards () -> ignore jobs; ignore shards; t13_exhaustive_sweeps ());
+    ("T14", fun ?jobs ?shards () -> t14_ring_link_faults ?jobs ?shards ());
+    ("T15", fun ?jobs ?shards () -> t15_ring_combined_faults ?jobs ?shards ()) ]
 
 let find id =
   let id = String.uppercase_ascii id in

@@ -61,22 +61,29 @@ val t13_exhaustive_sweeps : ?seed:int64 -> unit -> Table.t
     scheduler against adversarial values, and a dense byte-corruption
     sweep of the running image under Figure 1. *)
 
-val t14_ring_link_faults : ?seed:int64 -> ?trials:int -> ?jobs:int -> unit -> Table.t
+val t14_ring_link_faults :
+  ?seed:int64 -> ?trials:int -> ?jobs:int -> ?shards:int -> unit -> Table.t
 (** E14 — multi-machine clusters (lib/net): Dijkstra's K-state token
     ring across 4 SSX16 machines exchanging counters over NICs,
     reconverging from joint state corruption while the links drop each
-    message with increasing probability. *)
+    message with increasing probability.  [shards] parallelizes within
+    each trial ({!Runner.ring_campaign}); the table is bit-identical
+    for any value. *)
 
-val t15_ring_combined_faults : ?seed:int64 -> ?trials:int -> ?jobs:int -> unit -> Table.t
+val t15_ring_combined_faults :
+  ?seed:int64 -> ?trials:int -> ?jobs:int -> ?shards:int -> unit -> Table.t
 (** E15 — composed stabilization across the network: per-node machine
     faults from the full §5.2 fault space plus a lossy/corrupting
     message phase on every link; each node's OS must self-recover and
-    the distributed layer must then reconverge. *)
+    the distributed layer must then reconverge.  [shards] as in T14. *)
 
-val all : (string * (?jobs:int -> unit -> Table.t)) list
+val all : (string * (?jobs:int -> ?shards:int -> unit -> Table.t)) list
 (** [(id, runner)] for every table, in order.  [jobs] caps the campaign
     worker-domain count ({!Pool.default_jobs} when omitted); tables
-    whose work is a single run (T9, T10, T13) ignore it. *)
+    whose work is a single run (T9, T10, T13) ignore it.  [shards]
+    shards the cluster stepper within trials — only the distributed
+    tables (T14, T15) use it; all tables are bit-identical for any
+    value of either knob. *)
 
-val find : string -> (?jobs:int -> unit -> Table.t) option
+val find : string -> (?jobs:int -> ?shards:int -> unit -> Table.t) option
 (** Case-insensitive lookup by id ("t1" … "t15"). *)

@@ -200,11 +200,11 @@ let sched_campaign ~build ?space ~burst ?(warmup = 100_000)
   let outcomes = Array.to_list outcomes in
   publish ~campaign:"sched" outcomes (summarize outcomes)
 
-let ring_outcome ~window ~horizon ring =
+let ring_outcome ?shards ~window ~horizon ring =
   (* The perturbation may itself have stepped the cluster (e.g. a
      message-fault phase); recovery counts from wherever it ended. *)
   let faults_end = Ssos_net.Cluster.steps ring.Ssos_net.Net_ring.cluster in
-  let samples = Ssos_net.Net_ring.observe ring ~steps:horizon in
+  let samples = Ssos_net.Net_ring.observe ?shards ring ~steps:horizon in
   let verdict =
     Ssx_stab.Distributed.judge ~window ~samples
       ~end_step:(Ssos_net.Cluster.steps ring.Ssos_net.Net_ring.cluster)
@@ -212,22 +212,34 @@ let ring_outcome ~window ~horizon ring =
   { recovered = Ssx_stab.Convergence.converged verdict;
     recovery_ticks = Ssx_stab.Convergence.recovery_time ~faults_end verdict }
 
-let ring_trial ~build ~perturb ~warmup ~horizon ~window ~seed =
+let warmup_cluster ?shards cluster ~steps =
+  match shards with
+  | None -> Ssos_net.Cluster.run cluster ~steps
+  | Some shards -> Ssos_net.Cluster.run_sharded ~shards cluster ~steps
+
+let ring_trial ?shards ~build ~perturb ~warmup ~horizon ~window ~seed () =
   let ring = build () in
   let rng = Ssx_faults.Rng.create seed in
-  Ssos_net.Cluster.run ring.Ssos_net.Net_ring.cluster ~steps:warmup;
+  warmup_cluster ?shards ring.Ssos_net.Net_ring.cluster ~steps:warmup;
   perturb rng ring;
-  ring_outcome ~window ~horizon ring
+  ring_outcome ?shards ~window ~horizon ring
 
+(* [shards] parallelizes *within* each trial via the sharded cluster
+   stepper — orthogonal to [jobs], which parallelizes across trials.
+   The two compose (each worker domain's trials shard further), but the
+   useful configurations are jobs-only for many small clusters and
+   shards-only for a few big ones.  Summaries are bit-identical for any
+   [shards], because the sharded stepper and the reconstructed sample
+   streams are (Cluster.run_sharded / Net_ring.observe). *)
 let ring_campaign ~build ~perturb ?(warmup = 200) ?(horizon = 2_500)
-    ?(window = 600) ?(strategy = Snapshot_reset) ?oversubscribe ?jobs ~trials
-    ~seed () =
+    ?(window = 600) ?(strategy = Snapshot_reset) ?oversubscribe ?jobs ?shards
+    ~trials ~seed () =
   let outcomes =
     match strategy with
     | Rebuild ->
       Pool.run ?oversubscribe ?jobs trials (fun i ->
-          ring_trial ~build ~perturb ~warmup ~horizon ~window
-            ~seed:(trial_seed seed i))
+          ring_trial ?shards ~build ~perturb ~warmup ~horizon ~window
+            ~seed:(trial_seed seed i) ())
     | Snapshot_reset ->
       (* One cluster and one post-warmup snapshot per worker domain.
          Cluster snapshots cover every node (NIC queues ride along as
@@ -238,14 +250,14 @@ let ring_campaign ~build ~perturb ?(warmup = 200) ?(horizon = 2_500)
       Pool.run_with ?oversubscribe ?jobs
         ~init:(fun () ->
           let ring = build () in
-          Ssos_net.Cluster.run ring.Ssos_net.Net_ring.cluster ~steps:warmup;
+          warmup_cluster ?shards ring.Ssos_net.Net_ring.cluster ~steps:warmup;
           (ring, Ssos_net.Cluster.capture ring.Ssos_net.Net_ring.cluster))
         trials
         (fun (ring, snapshot) i ->
           Ssos_net.Cluster.restore ring.Ssos_net.Net_ring.cluster snapshot;
           let rng = Ssx_faults.Rng.create (trial_seed seed i) in
           perturb rng ring;
-          ring_outcome ~window ~horizon ring)
+          ring_outcome ?shards ~window ~horizon ring)
   in
   let outcomes = Array.to_list outcomes in
   publish ~campaign:"ring" outcomes (summarize outcomes)

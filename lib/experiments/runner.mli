@@ -110,12 +110,14 @@ val sched_campaign :
     (stepping the cluster itself); recovery is measured in {e cluster
     steps} from wherever the perturbation left the cluster. *)
 val ring_trial :
+  ?shards:int ->
   build:(unit -> Ssos_net.Net_ring.t) ->
   perturb:(Ssx_faults.Rng.t -> Ssos_net.Net_ring.t -> unit) ->
   warmup:int ->
   horizon:int ->
   window:int ->
   seed:int64 ->
+  unit ->
   outcome
 
 val ring_campaign :
@@ -127,6 +129,7 @@ val ring_campaign :
   ?strategy:strategy ->
   ?oversubscribe:bool ->
   ?jobs:int ->
+  ?shards:int ->
   trials:int ->
   seed:int64 ->
   unit ->
@@ -135,7 +138,13 @@ val ring_campaign :
     covers node machines (with their NIC queues), link state including
     the mutable fault-model phase, the interleaving RNG and the step
     counter — so both strategies and any [jobs] count produce
-    bit-identical summaries, like the machine campaigns above. *)
+    bit-identical summaries, like the machine campaigns above.
+
+    [shards] parallelizes {e within} each trial via the sharded cluster
+    stepper ({!Ssos_net.Cluster.run_sharded}) — orthogonal to [jobs],
+    which parallelizes across trials.  Use jobs for many small
+    clusters, shards for a few big ones.  Summaries stay bit-identical
+    for any [shards] value. *)
 
 val trial_seed : int64 -> int -> int64
 (** Derive the seed of trial [i] from the master seed — a splitmix64

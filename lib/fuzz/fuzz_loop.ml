@@ -1,6 +1,5 @@
 module I = Ssx.Instruction
 module Rng = Ssx_faults.Rng
-module Pool = Ssos_experiments.Pool
 
 type divergence = {
   program : Gen.program;

@@ -51,8 +51,22 @@ type op = {
      the one-instruction block through the cursor every tick. *)
 }
 
+(* A superinstruction: two adjacent ops compiled into one closure that
+   performs both ticks' architectural work ([tick_time] twice included).
+   Only built when the *first* op is from the [can_lead] set — provably
+   no fault path, no memory write, falls through — so nothing between
+   the two ticks is observable in a device-free run.  [f_base]/
+   [f_writes] describe the second op, whose fault/staleness handling
+   the caller still performs. *)
+type fused = {
+  f_exec : Cpu.t -> Cpu.event;
+  f_base : Cpu.event;
+  f_writes : bool;
+}
+
 type block = {
   ops : op array;
+  pairs : fused array;  (* [pairs.(i)] covers ops [i, i+1]; [no_fused] gaps *)
   n_ops : int;
   start_pa : int;
   span : int;       (* code bytes covered: [start_pa, start_pa + span) *)
@@ -74,9 +88,13 @@ let no_op =
   { exec = (fun _ -> assert false); base_event = Cpu.Halted_idle;
     op_ip = 0; writes_mem = false; self_loop = -1 }
 
+let no_fused =
+  { f_exec = (fun _ -> assert false); f_base = Cpu.Halted_idle;
+    f_writes = false }
+
 let dummy_block =
-  { ops = [||]; n_ops = 0; start_pa = 0; span = 0; b_cs = -1; bytes = "";
-    b_epoch = -1; page0 = 0; page1 = 0; g0 = 0; g1 = 0 }
+  { ops = [||]; pairs = [||]; n_ops = 0; start_pa = 0; span = 0; b_cs = -1;
+    bytes = ""; b_epoch = -1; page0 = 0; page1 = 0; g0 = 0; g1 = 0 }
 
 type t = {
   blocks : block array;  (* indexed by start physical address *)
@@ -89,6 +107,7 @@ type t = {
   mutable built : int;
   mutable retranslations : int; (* rebuilds forced by changed code bytes *)
   mutable block_ticks : int;    (* instructions executed via compiled ops *)
+  mutable fused_ticks : int;    (* ticks executed through superinstructions *)
   scratch : Tick_counters.t;    (* sink for counts nobody reads *)
 }
 
@@ -96,12 +115,13 @@ let create () =
   { blocks = Array.make Addr.memory_size dummy_block;
     gens = Array.make page_count 0;
     epoch = 0; version = 0; cur = dummy_block; cur_ix = 0; cur_version = -1;
-    built = 0; retranslations = 0; block_ticks = 0;
+    built = 0; retranslations = 0; block_ticks = 0; fused_ticks = 0;
     scratch = Tick_counters.make () }
 
 let built t = t.built
 let retranslations t = t.retranslations
 let block_ticks t = t.block_ticks
+let fused_ticks t = t.fused_ticks
 
 let note_write t addr =
   let page = addr lsr page_shift in
@@ -139,6 +159,19 @@ let revalidate t b mem =
   else false
 
 (* --- per-instruction compilation ------------------------------------- *)
+
+(* Per-tick time that every non-reset tick pays: the step counter and
+   the NMI countdown (§2).  Kept exact per tick — port handlers and
+   devices may read [steps] mid-run. *)
+let[@inline] tick_time cpu =
+  cpu.Cpu.steps <- cpu.Cpu.steps + 1;
+  let config = cpu.Cpu.config in
+  if config.Cpu.nmi_counter_enabled then begin
+    let r = cpu.Cpu.regs in
+    if r.nmi_counter > config.Cpu.nmi_counter_max then
+      r.nmi_counter <- config.Cpu.nmi_counter_max;
+    if r.nmi_counter > 0 then r.nmi_counter <- r.nmi_counter - 1
+  end
 
 let getter16 = function
   | AX -> (fun r -> r.ax) | BX -> (fun r -> r.bx)
@@ -391,6 +424,117 @@ let compile_op instr ~ip0 ~len : op =
     mk (fun cpu -> cpu.Cpu.regs.ip <- Cpu.pop cpu; event)
   | _ -> Lazy.force generic
 
+(* --- superinstructions ------------------------------------------------ *)
+
+(* Instructions allowed to *lead* a fused pair: exactly the explicitly
+   compiled cases of [compile_op] minus memory writers and terminators.
+   Their closures always return their base event (no fault path), never
+   store, and fall through to the textual successor, so between the two
+   ticks of a fused pair the fault check, the staleness check and the
+   cursor advance are all statically known to do nothing.  They also
+   touch neither the step counter nor the NMI countdown, so the two
+   [tick_time] moves commute past the first op and a pair may batch
+   them up front. *)
+let can_lead = function
+  | Nop | Mov_r16_imm _ | Mov_r16_r16 _ | Mov_r16_mem _
+  | Alu_r16_r16 _ | Alu_r16_imm _ | Alu_r16_mem _
+  | Inc_r16 _ | Dec_r16 _ | Pop_r16 _ | Lea _ | Cli | Sti -> true
+  | _ -> false
+
+(* Compile ops [i, i+1] into one superinstruction.  [ip2] is the second
+   instruction's fall-through ip.  The specialized cases fuse the pairs
+   that dominate the repo's guest code — compare-and-branch loop heads,
+   counted loops, and back-to-back register loads — eliding the
+   intermediate ip store (unobservable: the first op cannot fault and
+   nothing runs between the two ticks); everything else gets the
+   generic two-closure form, which still saves the dispatch loop
+   iteration.  Each case must reproduce two [Cpu.execute] steps exactly
+   (the jit-on/jit-off differential suites pin this). *)
+let fuse op1 op2 instr1 instr2 ~ip2 =
+  let ev2 = op2.base_event in
+  let mk f_exec = { f_exec; f_base = ev2; f_writes = op2.writes_mem } in
+  match instr1, instr2 with
+  | Mov_r16_imm (a, va), Mov_r16_imm (b, vb) ->
+    let set_a = setter16 a and set_b = setter16 b in
+    mk (fun cpu ->
+        tick_time cpu;
+        tick_time cpu;
+        let r = cpu.Cpu.regs in
+        r.ip <- ip2;
+        set_a r va;
+        set_b r vb;
+        ev2)
+  | Mov_r16_imm (a, va), Jmp target ->
+    let set_a = setter16 a in
+    mk (fun cpu ->
+        tick_time cpu;
+        tick_time cpu;
+        let r = cpu.Cpu.regs in
+        r.ip <- target;
+        set_a r va;
+        ev2)
+  | Alu_r16_imm (Cmp, d, v), Jcc (c, target) ->
+    let get = getter16 d in
+    mk (fun cpu ->
+        tick_time cpu;
+        tick_time cpu;
+        let r = cpu.Cpu.regs in
+        ignore (Cpu.alu16 cpu Cmp (get r) v);
+        r.ip <- (if Cpu.cond_holds cpu c then target else ip2);
+        ev2)
+  | Alu_r16_r16 (Cmp, d, s), Jcc (c, target) ->
+    let get_d = getter16 d and get_s = getter16 s in
+    mk (fun cpu ->
+        tick_time cpu;
+        tick_time cpu;
+        let r = cpu.Cpu.regs in
+        ignore (Cpu.alu16 cpu Cmp (get_d r) (get_s r));
+        r.ip <- (if Cpu.cond_holds cpu c then target else ip2);
+        ev2)
+  | Alu_r16_mem (Cmp, d, m), Jcc (c, target) ->
+    let get = getter16 d and ea = ea_fn m in
+    mk (fun cpu ->
+        tick_time cpu;
+        tick_time cpu;
+        let r = cpu.Cpu.regs in
+        ignore
+          (Cpu.alu16 cpu Cmp (get r) (Memory.read_word cpu.Cpu.mem (ea r)));
+        r.ip <- (if Cpu.cond_holds cpu c then target else ip2);
+        ev2)
+  | Dec_r16 d, Jcc (c, target) ->
+    let get = getter16 d and set = setter16 d in
+    mk (fun cpu ->
+        tick_time cpu;
+        tick_time cpu;
+        let r = cpu.Cpu.regs in
+        let p = Word.sub_packed (get r) 1 in
+        let result = Word.packed_result p in
+        set r result;
+        let psw = Flags.of_result r.psw result in
+        r.psw <- Flags.set psw Flags.Overflow (Word.packed_overflow p);
+        r.ip <- (if Cpu.cond_holds cpu c then target else ip2);
+        ev2)
+  | Inc_r16 d, Jcc (c, target) ->
+    let get = getter16 d and set = setter16 d in
+    mk (fun cpu ->
+        tick_time cpu;
+        tick_time cpu;
+        let r = cpu.Cpu.regs in
+        let p = Word.add_packed (get r) 1 in
+        let result = Word.packed_result p in
+        set r result;
+        let psw = Flags.of_result r.psw result in
+        r.psw <- Flags.set psw Flags.Overflow (Word.packed_overflow p);
+        r.ip <- (if Cpu.cond_holds cpu c then target else ip2);
+        ev2)
+  | _ ->
+    let e1 = op1.exec and e2 = op2.exec in
+    mk (fun cpu ->
+        tick_time cpu;
+        ignore (e1 cpu);
+        tick_time cpu;
+        e2 cpu)
+
 (* --- block discovery -------------------------------------------------- *)
 
 (* Compile the straight-line run starting at the current cs:ip.  Returns
@@ -429,7 +573,7 @@ let build t cpu =
           then continue_ := false
           else begin
             let instr, len = Codec.decode ~fetch ~pos:!ip in
-            ops := compile_op instr ~ip0:!ip ~len :: !ops;
+            ops := (compile_op instr ~ip0:!ip ~len, instr, Word.mask (!ip + len)) :: !ops;
             incr count;
             ip := !ip + len;
             last_pa := pa;
@@ -440,7 +584,19 @@ let build t cpu =
       match !ops with
       | [] -> None
       | rev_ops ->
-        let ops = Array.of_list (List.rev rev_ops) in
+        let annotated = Array.of_list (List.rev rev_ops) in
+        let ops = Array.map (fun (op, _, _) -> op) annotated in
+        (* Fuse adjacent pairs whose lead op satisfies [can_lead]; the
+           last slot stays [no_fused] (no successor), so indexing
+           [pairs] at any valid op index is safe. *)
+        let nops = Array.length ops in
+        let pairs = Array.make nops no_fused in
+        for idx = 0 to nops - 2 do
+          let op1, instr1, _ = annotated.(idx) in
+          let op2, instr2, ip2 = annotated.(idx + 1) in
+          if can_lead instr1 then
+            pairs.(idx) <- fuse op1 op2 instr1 instr2 ~ip2
+        done;
         (* The guarded window must cover every byte the decoder may have
            {e examined}, not just the bytes it consumed: an opcode with
            an invalid operand byte decodes to [Invalid] of length 1
@@ -457,7 +613,7 @@ let build t cpu =
         let page0 = start_pa lsr page_shift in
         let page1 = (start_pa + span - 1) lsr page_shift in
         let b =
-          { ops; n_ops = Array.length ops; start_pa; span; b_cs = cs; bytes;
+          { ops; pairs; n_ops = nops; start_pa; span; b_cs = cs; bytes;
             b_epoch = t.epoch; page0; page1;
             g0 = Array.unsafe_get t.gens page0;
             g1 = Array.unsafe_get t.gens page1 }
@@ -561,19 +717,6 @@ let step_cpu t cpu =
         end
   end
 
-(* Per-tick time that every non-reset tick pays: the step counter and
-   the NMI countdown (§2).  Kept exact per tick — port handlers and
-   devices may read [steps] mid-run. *)
-let[@inline] tick_time cpu =
-  cpu.Cpu.steps <- cpu.Cpu.steps + 1;
-  let config = cpu.Cpu.config in
-  if config.Cpu.nmi_counter_enabled then begin
-    let r = cpu.Cpu.regs in
-    if r.nmi_counter > config.Cpu.nmi_counter_max then
-      r.nmi_counter <- config.Cpu.nmi_counter_max;
-    if r.nmi_counter > 0 then r.nmi_counter <- r.nmi_counter - 1
-  end
-
 (* Straight-line run with no devices: pins cannot change while a block
    executes (no hooks, no devices; port I/O and [hlt] end blocks), so
    they are polled at block boundaries only, and a halted CPU with no
@@ -634,6 +777,7 @@ let run_quiet0 t cpu ~(c : Tick_counters.t) ~budget =
       else begin
         let b = t.cur in
         let ops = b.ops in
+        let pairs = b.pairs in
         let n = b.n_ops in
         let fuel = ref (budget - !i) in
         let ix = ref t.cur_ix in
@@ -641,17 +785,36 @@ let run_quiet0 t cpu ~(c : Tick_counters.t) ~budget =
         let faults = ref 0 in
         let stop = ref false in
         while (not !stop) && !ix < n && !fuel > 0 do
-          let op = Array.unsafe_get ops !ix in
-          tick_time cpu;
-          let ev = op.exec cpu in
-          incr k;
-          incr ix;
-          decr fuel;
-          if ev != op.base_event then begin
-            incr faults;
-            stop := true
+          let pair = Array.unsafe_get pairs !ix in
+          if pair != no_fused && !fuel >= 2 then begin
+            (* Superinstruction: two ticks in one call.  The lead op
+               cannot fault or write memory ([can_lead]), so the only
+               checks needed are the trailing op's — same tests as two
+               trips around this loop, minus one iteration. *)
+            let ev = pair.f_exec cpu in
+            t.fused_ticks <- t.fused_ticks + 2;
+            k := !k + 2;
+            ix := !ix + 2;
+            fuel := !fuel - 2;
+            if ev != pair.f_base then begin
+              incr faults;
+              stop := true
+            end
+            else if pair.f_writes && not (fresh t b) then stop := true
           end
-          else if op.writes_mem && not (fresh t b) then stop := true
+          else begin
+            let op = Array.unsafe_get ops !ix in
+            tick_time cpu;
+            let ev = op.exec cpu in
+            incr k;
+            incr ix;
+            decr fuel;
+            if ev != op.base_event then begin
+              incr faults;
+              stop := true
+            end
+            else if op.writes_mem && not (fresh t b) then stop := true
+          end
         done;
         t.cur_ix <- !ix;
         t.block_ticks <- t.block_ticks + !k;
@@ -782,6 +945,49 @@ let run_quiet_dev t cpu ~(dev : Device.t) ~(c : Tick_counters.t) ~budget =
             (* The device already ran for this tick; complete it through
                the stepper (which revalidates and services pins). *)
             Tick_counters.note c (step_cpu t cpu);
+            incr i
+          end
+        end
+        else if
+          Array.unsafe_get b.pairs ix != no_fused && !i + 1 < budget
+        then begin
+          (* Fused pair on the device path: the device must still run
+             between the two ticks, so [f_exec] (which batches both
+             ticks) is unusable here.  Instead the lead op executes —
+             it cannot fault or write memory ([can_lead]) — the device
+             ticks, and if nothing was raised the trailing op completes
+             without re-running the cursor match.  If the device did
+             raise a pin or write memory ([t.version] moved), the
+             second tick completes through the stepper, exactly like
+             the self-loop burst's pending tick. *)
+          t.cur_ix <- ix + 1;
+          t.block_ticks <- t.block_ticks + 1;
+          tick_time cpu;
+          ignore (op.exec cpu);
+          c.Tick_counters.ticks <- c.Tick_counters.ticks + 1;
+          c.Tick_counters.executed <- c.Tick_counters.executed + 1;
+          incr i;
+          tick_dev cpu;
+          if
+            cpu.Cpu.reset_pin || cpu.Cpu.nmi_pin || cpu.Cpu.intr != None
+            || cpu.Cpu.halted
+            || t.version <> t.cur_version
+          then begin
+            Tick_counters.note c (step_cpu t cpu);
+            incr i
+          end
+          else begin
+            let op2 = Array.unsafe_get b.ops (ix + 1) in
+            t.cur_ix <- ix + 2;
+            t.block_ticks <- t.block_ticks + 1;
+            t.fused_ticks <- t.fused_ticks + 2;
+            tick_time cpu;
+            let ev2 = op2.exec cpu in
+            c.Tick_counters.ticks <- c.Tick_counters.ticks + 1;
+            if ev2 == op2.base_event then
+              c.Tick_counters.executed <- c.Tick_counters.executed + 1
+            else
+              c.Tick_counters.exceptions <- c.Tick_counters.exceptions + 1;
             incr i
           end
         end

@@ -70,3 +70,7 @@ val retranslations : t -> int
 
 val block_ticks : t -> int
 (** Ticks executed through compiled ops (vs interpreter fallback). *)
+
+val fused_ticks : t -> int
+(** Ticks executed through fused two-op superinstructions (a subset of
+    {!block_ticks}; always even — each fused pair covers two ticks). *)

@@ -8,6 +8,7 @@ type t = {
   nodes : node array;
   policy : policy;
   ticks_per_slot : int;
+  latency : int;  (* minimum link latency, and thus the shard lookahead *)
   seed : int64;
   mutable rng : Rng.t;
   mutable links : Link.t array;
@@ -15,10 +16,12 @@ type t = {
   mutable step_count : int;
 }
 
-let create ?(policy = Round_robin) ?(ticks_per_slot = 50) ~seed nodes =
+let create ?(policy = Round_robin) ?(ticks_per_slot = 50) ?(latency = 1) ~seed
+    nodes =
   if Array.length nodes = 0 then invalid_arg "Cluster.create: no nodes";
   if ticks_per_slot <= 0 then invalid_arg "Cluster.create: ticks_per_slot";
-  { nodes; policy; ticks_per_slot; seed;
+  if latency < 1 then invalid_arg "Cluster.create: latency";
+  { nodes; policy; ticks_per_slot; latency; seed;
     rng = Rng.create (Rng.derive seed 0);
     links = [||];
     out_links = Array.make (Array.length nodes) [];
@@ -26,6 +29,7 @@ let create ?(policy = Round_robin) ?(ticks_per_slot = 50) ~seed nodes =
 
 let size t = Array.length t.nodes
 let steps t = t.step_count
+let latency t = t.latency
 let machine t i = t.nodes.(i).machine
 let nic t i = t.nodes.(i).nic
 let links t = t.links
@@ -36,7 +40,7 @@ let connect ?faults t ~src ~dst =
     invalid_arg "Cluster.connect: bad endpoints";
   let index = Array.length t.links in
   let rng = Rng.create (Rng.derive t.seed (index + 1)) in
-  let link = Link.create ?faults ~rng ~src ~dst () in
+  let link = Link.create ~latency:t.latency ?faults ~rng ~src ~dst () in
   t.links <- Array.append t.links [| link |];
   t.out_links.(src) <- t.out_links.(src) @ [ index ];
   link
@@ -56,12 +60,65 @@ let mesh_edges ~n =
            (fun dst -> if src = dst then None else Some (src, dst))
            (List.init n Fun.id)))
 
+let torus_edges ~rows ~cols =
+  if rows < 2 || cols < 2 then invalid_arg "Cluster.torus_edges: need 2x2";
+  let id r c = (((r + rows) mod rows) * cols) + ((c + cols) mod cols) in
+  List.concat
+    (List.init rows (fun r ->
+         List.concat
+           (List.init cols (fun c ->
+                let src = id r c in
+                (* On a 2-wide dimension both wraparound neighbours are
+                   the same node; sort_uniq keeps the edge list simple. *)
+                let neighbours =
+                  List.sort_uniq compare
+                    [ id (r - 1) c; id (r + 1) c; id r (c - 1); id r (c + 1) ]
+                in
+                List.map (fun dst -> (src, dst)) neighbours))))
+
+let random_edges ~n ~degree ~seed =
+  if n < 2 then invalid_arg "Cluster.random_edges: need at least two nodes";
+  if degree < 1 || degree > n - 1 then
+    invalid_arg "Cluster.random_edges: degree";
+  let rng = Rng.create seed in
+  List.concat
+    (List.init n (fun src ->
+         (* Ring successor first — the backbone that makes the graph
+            strongly connected by construction — then [degree - 1]
+            distinct random extras. *)
+         let succ = (src + 1) mod n in
+         let chosen = ref [ succ ] in
+         let count = ref 1 in
+         while !count < degree do
+           let dst = Rng.int rng n in
+           if dst <> src && not (List.mem dst !chosen) then begin
+             chosen := dst :: !chosen;
+             incr count
+           end
+         done;
+         List.rev_map (fun dst -> (src, dst)) !chosen))
+
 let connect_many ?faults t edges =
   List.iter
     (fun (src, dst) ->
       let faults = Option.map (fun f -> f ~src ~dst) faults in
       ignore (connect ?faults t ~src ~dst))
     edges
+
+(* Run one node's slot and return what it transmitted.  Shared between
+   the sequential and sharded steppers so the machine-facing half of a
+   step is a single code path. *)
+let run_node_collect t who =
+  let node = t.nodes.(who) in
+  Ssx.Machine.run node.machine ~ticks:t.ticks_per_slot;
+  Nic.drain_tx node.nic
+
+let deliver_due t link ~now =
+  match Link.due link ~now with
+  | [] -> ()
+  | words ->
+    let nic = t.nodes.(Link.dst link).nic in
+    List.iter (fun word -> ignore (Nic.deliver nic word)) words
 
 let step t =
   let n = size t in
@@ -70,9 +127,7 @@ let step t =
     | Round_robin -> t.step_count mod n
     | Fair_random -> Rng.int t.rng n
   in
-  let node = t.nodes.(who) in
-  Ssx.Machine.run node.machine ~ticks:t.ticks_per_slot;
-  (match Nic.drain_tx node.nic with
+  (match run_node_collect t who with
   | [] -> ()
   | words ->
     List.iter
@@ -81,12 +136,7 @@ let step t =
         List.iter (fun w -> Link.send link ~now:t.step_count w) words)
       t.out_links.(who));
   t.step_count <- t.step_count + 1;
-  Array.iter
-    (fun link ->
-      List.iter
-        (fun word -> ignore (Nic.deliver t.nodes.(Link.dst link).nic word))
-        (Link.due link ~now:t.step_count))
-    t.links
+  Array.iter (fun link -> deliver_due t link ~now:t.step_count) t.links
 
 let run t ~steps =
   for _ = 1 to steps do
@@ -102,6 +152,224 @@ let run_until t ~limit predicate =
     end
   in
   go 0
+
+(* --- sharded stepping (conservative DES) ----------------------------- *)
+
+(* Contiguous block partition: shard k owns nodes [k*n/shards,
+   (k+1)*n/shards).  A link belongs to the shard of its *destination*,
+   so all links feeding one NIC live in one shard and their relative
+   creation order — which fixes the per-NIC delivery interleaving — is
+   preserved. *)
+let shard_of ~shards ~n i = i * shards / n
+
+(* The conservative-DES window.  A word sent at step [s] becomes
+   deliverable no earlier than step [s + latency] (Link.enqueue), and
+   delivery scans run with [now = s' + 1], so the earliest scan that can
+   pop it is the one after step [s + latency - 1].  A shard advancing
+   [h <= latency - 1] steps blind therefore cannot miss a delivery it
+   has not yet been told about: everything sent inside a window first
+   comes due in the *next* window, after the barrier has exchanged it.
+   See DESIGN.md §4h for the full argument.
+
+   Every shard replays the complete global schedule (its own copy of
+   the cluster RNG included), runs only the slots of nodes it owns, and
+   scans only the links it owns.  Cross-shard sends go into
+   double-buffered per-(source shard, owner shard) outboxes indexed by
+   window parity — written by the source's shard during window [w],
+   drained by the owner at the start of window [w + 1] via ordinary
+   [Link.send ~now:s] calls in step order, so the link's own RNG
+   stream (drop/jitter/corruption draws) is consumed exactly as in the
+   sequential run.  The barrier publishes the plain outbox writes
+   (Pool.Barrier).
+
+   Workers must not leak exceptions (a dead worker hangs its peers at
+   the barrier), so window bodies are guarded: the first exception is
+   parked in [poison], every shard checks it before starting a window,
+   and all shards still perform the same number of barrier waits. *)
+let run_sharded_gen ~shards ?horizon ~record t ~steps =
+  if steps < 0 then invalid_arg "Cluster.run_sharded: steps";
+  let n = size t in
+  let shards =
+    (* latency 1 means zero lookahead: nothing to overlap, stay
+       sequential.  Callers get the documented fallback silently so
+       shard count can be varied without caring about the topology. *)
+    if t.latency < 2 then 1 else max 1 (min shards n)
+  in
+  let h =
+    let cap = max 1 (t.latency - 1) in
+    match horizon with
+    | None -> cap
+    | Some k when k >= 1 -> min k cap
+    | Some _ -> invalid_arg "Cluster.run_sharded: horizon"
+  in
+  if steps = 0 then []
+  else begin
+    let base = t.step_count in
+    let nlinks = Array.length t.links in
+    let owner =
+      Array.map (fun link -> shard_of ~shards ~n (Link.dst link)) t.links
+    in
+    let owned =
+      Array.init shards (fun k ->
+          let acc = ref [] in
+          for li = nlinks - 1 downto 0 do
+            if owner.(li) = k then acc := li :: !acc
+          done;
+          !acc)
+    in
+    (* Cross-shard mail, double-buffered by window parity.  One cell
+       per (source shard, owner shard) pair — a single writer during a
+       window, a single reader at the next window's start — holding
+       [(link, step, words)] sends in reverse step order.  A link has
+       one source node, hence one writing shard, so its sends all land
+       in one cell and replay in step order after the [List.rev]. *)
+    let outboxes = Array.init 2 (fun _ -> Array.make_matrix shards shards []) in
+    let nwindows = (steps + h - 1) / h in
+    (* Logical shards vs physical domains, the classic conservative-DES
+       split: the partition (and with it every observable) is fixed by
+       [shards] alone, while the shard bodies are multiplexed onto at
+       most {!Pool.default_jobs} domains — one domain just runs its
+       shards' window bodies back to back before the barrier.  A shard
+       only touches its own nodes, its own links and its own nodes'
+       outbox slots during a window, so bodies commute within a window
+       and the multiplexing is invisible.  Spawning more domains than
+       cores would actively hurt: every minor GC is a stop-the-world
+       rendezvous across domains the scheduler then has to rotate
+       through. *)
+    let domains = max 1 (min shards (Pool.default_jobs ())) in
+    let barrier = Pool.Barrier.create domains in
+    let poison = Atomic.make None in
+    let rngs = Array.init shards (fun _ -> Rng.copy t.rng) in
+    let logs = Array.make shards [] in
+    (* Per-shard delivery calendar: [deliver_at -> links whose head
+       message lands then], owned links only.  Per-link delivery steps
+       are non-decreasing (the FIFO clamp), so a queue's head — the
+       only message [due] can return next — changes only when [due]
+       pops it; a send behind a non-empty queue never does.  The
+       calendar therefore stays exact under two maintenance events:
+       re-schedule after a pop, and schedule when a send lands on an
+       empty queue.  That makes the per-step delivery work O(due links)
+       — one hash probe and the pops — instead of the sequential
+       stepper's O(links) scan; at a thousand nodes the scan *is* the
+       stepper's cost, so this is where the sharded stepper wins even
+       before any parallelism.  At each step the due links are
+       processed in creation order (the sort below), the order the
+       sequential scan uses, so shared-destination NICs see the same
+       RX interleaving. *)
+    let calendars = Array.init shards (fun _ -> Hashtbl.create 64) in
+    let worker d =
+      let members =
+        let acc = ref [] in
+        for me = shards - 1 downto 0 do
+          if me * domains / shards = d then acc := me :: !acc
+        done;
+        !acc
+      in
+      let schedule me li =
+        match Link.next_deliver_at t.links.(li) with
+        | Some at ->
+          let cal = calendars.(me) in
+          Hashtbl.replace cal at
+            (li :: Option.value (Hashtbl.find_opt cal at) ~default:[])
+        | None -> ()
+      in
+      let send_all me li ~now words =
+        let link = t.links.(li) in
+        let was_empty = Link.in_flight link = 0 in
+        List.iter (fun w -> Link.send link ~now w) words;
+        if was_empty then schedule me li
+      in
+      let apply_inbox me parity =
+        for src = 0 to shards - 1 do
+          match outboxes.(parity).(src).(me) with
+          | [] -> ()
+          | pending ->
+            outboxes.(parity).(src).(me) <- [];
+            List.iter
+              (fun (li, s, words) -> send_all me li ~now:s words)
+              (List.rev pending)
+        done
+      in
+      let window me w =
+        if w > 0 then apply_inbox me ((w - 1) land 1);
+        let wstart = base + (w * h) in
+        let wlen = min h (steps - (w * h)) in
+        let cal = calendars.(me) in
+        for s = wstart to wstart + wlen - 1 do
+          let who =
+            match t.policy with
+            | Round_robin -> s mod n
+            | Fair_random -> Rng.int rngs.(me) n
+          in
+          if shard_of ~shards ~n who = me then begin
+            (match run_node_collect t who with
+            | [] -> ()
+            | words ->
+              List.iter
+                (fun li ->
+                  let dst = owner.(li) in
+                  if dst = me then send_all me li ~now:s words
+                  else
+                    outboxes.(w land 1).(me).(dst) <-
+                      (li, s, words) :: outboxes.(w land 1).(me).(dst))
+                t.out_links.(who));
+            match record with
+            | None -> ()
+            | Some f -> logs.(me) <- (s, who, f t who) :: logs.(me)
+          end;
+          let now = s + 1 in
+          match Hashtbl.find_opt cal now with
+          | None -> ()
+          | Some due ->
+            Hashtbl.remove cal now;
+            List.iter
+              (fun li ->
+                deliver_due t t.links.(li) ~now;
+                schedule me li)
+              (List.sort compare due)
+        done
+      in
+      let guarded body =
+        if Atomic.get poison = None then
+          try body ()
+          with exn ->
+            let bt = Printexc.get_raw_backtrace () in
+            ignore (Atomic.compare_and_set poison None (Some (exn, bt)))
+      in
+      (* Seed each calendar from the links' current in-flight heads —
+         the only full scan of the run. *)
+      List.iter (fun me -> List.iter (schedule me) owned.(me)) members;
+      for w = 0 to nwindows - 1 do
+        List.iter (fun me -> guarded (fun () -> window me w)) members;
+        Pool.Barrier.await barrier
+      done;
+      (* The final window's cross-shard traffic was never drained; flush
+         it so link occupancy (part of the digest) matches the
+         sequential run exactly. *)
+      List.iter
+        (fun me -> guarded (fun () -> apply_inbox me ((nwindows - 1) land 1)))
+        members
+    in
+    let (_ : unit array) = Pool.run_shards ~shards:domains worker in
+    (match Atomic.get poison with
+    | Some (exn, bt) -> Printexc.raise_with_backtrace exn bt
+    | None -> ());
+    t.rng <- rngs.(0);
+    t.step_count <- base + steps;
+    Array.to_list logs
+    |> List.concat_map List.rev
+    |> List.sort (fun (s1, _, _) (s2, _, _) -> compare s1 s2)
+  end
+
+let run_sharded ?(shards = Pool.default_jobs ()) ?horizon t ~steps =
+  let (_ : (int * int * unit) list) =
+    run_sharded_gen ~shards ?horizon ~record:None t ~steps
+  in
+  ()
+
+let run_sharded_log ?(shards = Pool.default_jobs ()) ?horizon ~record t ~steps
+    =
+  run_sharded_gen ~shards ?horizon ~record:(Some record) t ~steps
 
 type snapshot = {
   node_snaps : Ssx.Snapshot.t array;
@@ -131,34 +399,91 @@ let restore t snapshot =
 let capture_node t i = Ssx.Snapshot.capture t.nodes.(i).machine
 let restore_node t i snap = Ssx.Snapshot.restore snap t.nodes.(i).machine
 
-let observe ?(prefix = "net") (t : t) =
+let observe ?(prefix = "net") ?per_link (t : t) =
   let open Ssos_obs in
+  (* Per-link/per-NIC gauges are invaluable on a handful of nodes and a
+     registry bomb at n=1024 (five gauges per link, four per NIC —
+     thousands of entries for one cluster), so above 64 nodes the
+     default flips to topology aggregates. *)
+  let per_link = match per_link with Some b -> b | None -> size t <= 64 in
   Obs.sample (prefix ^ ".cluster.steps") (fun () -> float_of_int t.step_count);
   Obs.sample (prefix ^ ".cluster.nodes") (fun () -> float_of_int (size t));
-  Array.iter
-    (fun link ->
-      let name stat =
-        Printf.sprintf "%s.link{%d->%d}.%s" prefix (Link.src link)
-          (Link.dst link) stat
-      in
-      let stat n read = Obs.sample (name n) (fun () -> float_of_int (read link)) in
-      stat "sent" Link.sent;
-      stat "delivered" Link.delivered;
-      stat "dropped" Link.dropped;
-      stat "corrupted" Link.corrupted;
-      stat "in-flight" Link.in_flight)
-    t.links;
-  Array.iteri
-    (fun i node ->
-      let name stat = Printf.sprintf "%s.nic{id=%d}.%s" prefix i stat in
-      let stat n read =
-        Obs.sample (name n) (fun () -> float_of_int (read (Nic.stats node.nic)))
-      in
-      stat "tx-words" (fun s -> s.Nic.tx_words);
-      stat "rx-delivered" (fun s -> s.Nic.rx_delivered);
-      stat "rx-dropped" (fun s -> s.Nic.rx_dropped);
-      stat "rx-read" (fun s -> s.Nic.rx_read))
-    t.nodes
+  if per_link then begin
+    Array.iter
+      (fun link ->
+        let name stat =
+          Printf.sprintf "%s.link{%d->%d}.%s" prefix (Link.src link)
+            (Link.dst link) stat
+        in
+        let stat n read =
+          Obs.sample (name n) (fun () -> float_of_int (read link))
+        in
+        stat "sent" Link.sent;
+        stat "delivered" Link.delivered;
+        stat "dropped" Link.dropped;
+        stat "corrupted" Link.corrupted;
+        stat "in-flight" Link.in_flight)
+      t.links;
+    Array.iteri
+      (fun i node ->
+        let name stat = Printf.sprintf "%s.nic{id=%d}.%s" prefix i stat in
+        let stat n read =
+          Obs.sample (name n) (fun () ->
+              float_of_int (read (Nic.stats node.nic)))
+        in
+        stat "tx-words" (fun s -> s.Nic.tx_words);
+        stat "rx-delivered" (fun s -> s.Nic.rx_delivered);
+        stat "rx-dropped" (fun s -> s.Nic.rx_dropped);
+        stat "rx-read" (fun s -> s.Nic.rx_read))
+      t.nodes
+  end
+  else begin
+    (* Aggregates stay O(1) registry entries no matter the topology;
+       the closures walk the link array only at snapshot time, so the
+       running cluster never pays for them. *)
+    Obs.sample (prefix ^ ".links.count") (fun () ->
+        float_of_int (Array.length t.links));
+    let total name read =
+      Obs.sample (prefix ^ ".links." ^ name) (fun () ->
+          float_of_int (Array.fold_left (fun acc l -> acc + read l) 0 t.links))
+    in
+    total "sent" Link.sent;
+    total "delivered" Link.delivered;
+    total "dropped" Link.dropped;
+    total "corrupted" Link.corrupted;
+    total "in-flight" Link.in_flight;
+    (* The shape of loss across links, without naming the links: a
+       distribution snapshot (quantiles of per-link drop counts).  One
+       hot link in a healthy mesh shows up as max >> p99. *)
+    let drops_at q () =
+      let nlinks = Array.length t.links in
+      if nlinks = 0 then 0.
+      else begin
+        let drops = Array.map Link.dropped t.links in
+        Array.sort compare drops;
+        let idx =
+          min (nlinks - 1)
+            (int_of_float ((q *. float_of_int (nlinks - 1)) +. 0.5))
+        in
+        float_of_int drops.(idx)
+      end
+    in
+    Obs.sample (prefix ^ ".links.drops.p50") (drops_at 0.5);
+    Obs.sample (prefix ^ ".links.drops.p90") (drops_at 0.9);
+    Obs.sample (prefix ^ ".links.drops.p99") (drops_at 0.99);
+    Obs.sample (prefix ^ ".links.drops.max") (drops_at 1.0);
+    let nic_total name read =
+      Obs.sample (prefix ^ ".nics." ^ name) (fun () ->
+          float_of_int
+            (Array.fold_left
+               (fun acc node -> acc + read (Nic.stats node.nic))
+               0 t.nodes))
+    in
+    nic_total "tx-words" (fun s -> s.Nic.tx_words);
+    nic_total "rx-delivered" (fun s -> s.Nic.rx_delivered);
+    nic_total "rx-dropped" (fun s -> s.Nic.rx_dropped);
+    nic_total "rx-read" (fun s -> s.Nic.rx_read)
+  end
 
 let digest t =
   let buffer = Buffer.create 256 in

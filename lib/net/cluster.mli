@@ -10,11 +10,13 @@
     + delivers every due message (on all links) into the destination
       NICs, links in creation order.
 
-    The stepper is strictly sequential, so a cluster execution is a
-    pure function of ([seed], construction order, corruption calls) —
-    campaigns parallelize across {e trials} (each worker owns whole
-    clusters), never within one, and summaries are bit-identical for
-    any worker count.
+    A cluster execution is a pure function of ([seed], construction
+    order, corruption calls).  The reference stepper ({!step}/{!run})
+    is strictly sequential; {!run_sharded} executes the {e same}
+    schedule on several domains using the links' minimum latency as a
+    conservative-DES lookahead, and is bit-identical to the sequential
+    stepper — same digests, same per-NIC delivery streams — for any
+    shard count (DESIGN.md §4h).
 
     {!capture} / {!restore} snapshot the whole system — every node (NIC
     queues ride along via the machine's resettables), every link, the
@@ -30,12 +32,18 @@ type node = { machine : Ssx.Machine.t; nic : Nic.t }
 type t
 
 val create :
-  ?policy:policy -> ?ticks_per_slot:int -> seed:int64 -> node array -> t
-(** At least one node; [ticks_per_slot] defaults to 50.  The NICs must
+  ?policy:policy -> ?ticks_per_slot:int -> ?latency:int -> seed:int64 ->
+  node array -> t
+(** At least one node; [ticks_per_slot] defaults to 50.  [latency]
+    (default 1, at least 1) is the minimum in-flight time, in cluster
+    steps, of every link subsequently created by {!connect}; it is
+    fixed at creation because it bounds the sharded stepper's
+    synchronization horizon ([latency - 1] steps).  The NICs must
     already be attached to their machines. *)
 
 val size : t -> int
 val steps : t -> int
+val latency : t -> int
 val machine : t -> int -> Ssx.Machine.t
 val nic : t -> int -> Nic.t
 val links : t -> Link.t array
@@ -54,7 +62,19 @@ val star_edges : n:int -> (int * int) list
 (** Hub 0 linked both ways with every spoke. *)
 
 val mesh_edges : n:int -> (int * int) list
-(** Every ordered pair. *)
+(** Every ordered pair — O(n²) links; prefer {!torus_edges} or
+    {!random_edges} beyond a few dozen nodes. *)
+
+val torus_edges : rows:int -> cols:int -> (int * int) list
+(** 2-D torus on [rows * cols] nodes (node [r*cols + c]): each node
+    links to its four wraparound neighbours, deduplicated on 2-wide
+    dimensions.  O(n) links, diameter [(rows + cols) / 2]. *)
+
+val random_edges : n:int -> degree:int -> seed:int64 -> (int * int) list
+(** Seeded random digraph with exact out-degree [degree] (in [1, n-1]):
+    every node links to its ring successor — so the graph is strongly
+    connected by construction — plus [degree - 1] distinct random
+    targets.  Deterministic in [seed]. *)
 
 val connect_many :
   ?faults:(src:int -> dst:int -> Link.fault_model) ->
@@ -67,22 +87,66 @@ val run_until : t -> limit:int -> (t -> bool) -> int option
 (** Step until the predicate holds (checked after each step); the
     number of steps consumed, or [None] at [limit]. *)
 
+val run_sharded : ?shards:int -> ?horizon:int -> t -> steps:int -> unit
+(** [run_sharded ~shards t ~steps] advances the cluster [steps] steps
+    on up to [shards] domains (default {!Pool.default_jobs}), with
+    results — node states, link queues and counters, NIC streams,
+    {!digest} — bit-identical to [run t ~steps] for any shard count.
+
+    Nodes are partitioned into contiguous blocks, one domain each; a
+    link belongs to its destination's shard.  Shards advance freely
+    through windows of [latency - 1] steps (the conservative-DES
+    lookahead: nothing sent inside a window can come due before the
+    next one) and exchange cross-shard traffic at a barrier between
+    windows.  [?horizon] caps the window length below the lookahead —
+    useful only for stress-testing the exchange; the default is the
+    full lookahead.
+
+    When [latency] is 1 there is no lookahead and the call silently
+    falls back to one shard (sequential), so callers can thread a
+    [--shards] knob without caring about the topology.  If a node
+    raises mid-run the first exception is re-raised here after all
+    shards have stopped; the cluster is left partially stepped. *)
+
+val run_sharded_log :
+  ?shards:int -> ?horizon:int -> record:(t -> int -> 'a) ->
+  t -> steps:int -> (int * int * 'a) list
+(** {!run_sharded}, additionally calling [record t who] on the owning
+    shard immediately after node [who]'s slot ran at each step, and
+    returning the [(step, node, value)] entries merged in step order
+    (exactly one per step).  Because a node's machine state only
+    changes while it runs, this is enough to reconstruct the full
+    per-step state matrix a sequential observer would have seen —
+    {!Net_ring.observe} does exactly that.  [record] runs on worker
+    domains: it must only touch the given node and allocate its own
+    result. *)
+
 type snapshot
 
 val capture : t -> snapshot
 val restore : t -> snapshot -> unit
 (** Restore into the cluster the snapshot was captured from (node
     snapshots follow {!Ssx.Snapshot.restore} semantics; link state
-    restores into the captured link instances). *)
+    restores into the captured link instances).  Snapshots taken at any
+    step — including mid-horizon, between two sharded windows — restore
+    exactly: all in-flight cross-shard traffic lives in link queues by
+    the time {!run_sharded} returns. *)
 
 val capture_node : t -> int -> Ssx.Snapshot.t
 val restore_node : t -> int -> Ssx.Snapshot.t -> unit
 
-val observe : ?prefix:string -> t -> unit
+val observe : ?prefix:string -> ?per_link:bool -> t -> unit
 (** Register sampled observability gauges for the whole cluster under
-    [<prefix>.…] (default ["net"]): step/node counts, per-link
-    [link{src->dst}.sent/delivered/dropped/corrupted/in-flight], and
-    per-node [nic{id=i}.tx-words/rx-delivered/rx-dropped/rx-read].
+    [<prefix>.…] (default ["net"]): step/node counts, plus either
+
+    - {e per-link mode} ([?per_link:true], the default up to 64 nodes):
+      [link{src->dst}.sent/delivered/dropped/corrupted/in-flight] and
+      [nic{id=i}.tx-words/rx-delivered/rx-dropped/rx-read] per node; or
+    - {e aggregate mode} (the default above 64 nodes): topology totals
+      [links.{count,sent,delivered,dropped,corrupted,in-flight}], the
+      drop distribution across links [links.drops.{p50,p90,p99,max}],
+      and NIC totals [nics.*] — O(1) registry entries at any scale.
+
     Sampling closures are read only at {!Ssos_obs.Obs.snapshot} time,
     so observing a cluster costs nothing while it runs and never
     perturbs its deterministic execution. *)

@@ -19,6 +19,7 @@ let lossy ?(drop = 0.) ?(duplicate = 0.) ?(max_delay = 0) ?(corrupt = 0.) () =
 type t = {
   src : int;
   dst : int;
+  latency : int;  (* minimum steps in flight; immutable, >= 1 *)
   faults : fault_model;
   mutable rng : Rng.t;
   queue : (int * int) Queue.t;  (* (deliver_at, word), deliver_at ascending *)
@@ -29,13 +30,15 @@ type t = {
   mutable corrupted : int;
 }
 
-let create ?faults ~rng ~src ~dst () =
+let create ?(latency = 1) ?faults ~rng ~src ~dst () =
+  if latency < 1 then invalid_arg "Link.create: latency";
   let faults = match faults with Some f -> f | None -> benign () in
-  { src; dst; faults; rng; queue = Queue.create ();
+  { src; dst; latency; faults; rng; queue = Queue.create ();
     last_deliver_at = 0; sent = 0; dropped = 0; delivered = 0; corrupted = 0 }
 
 let src t = t.src
 let dst t = t.dst
+let latency t = t.latency
 let faults t = t.faults
 let in_flight t = Queue.length t.queue
 let sent t = t.sent
@@ -54,7 +57,7 @@ let enqueue t ~now word =
     else Rng.int t.rng (t.faults.max_delay + 1)
   in
   (* FIFO under jitter: never deliver before an earlier message. *)
-  let deliver_at = max (now + 1 + jitter) t.last_deliver_at in
+  let deliver_at = max (now + t.latency + jitter) t.last_deliver_at in
   t.last_deliver_at <- deliver_at;
   let word =
     if chance t t.faults.corrupt then begin
@@ -76,7 +79,14 @@ let send t ~now word =
     if chance t t.faults.duplicate then enqueue t ~now word
   end
 
+let next_deliver_at t =
+  match Queue.peek_opt t.queue with
+  | Some (deliver_at, _) -> Some deliver_at
+  | None -> None
+
 let due t ~now =
+  if Queue.is_empty t.queue then []
+  else
   let rec pop acc =
     match Queue.peek t.queue with
     | deliver_at, word when deliver_at <= now ->

@@ -31,18 +31,34 @@ val lossy : ?drop:float -> ?duplicate:float -> ?max_delay:int ->
 type t
 
 val create :
+  ?latency:int ->
   ?faults:fault_model -> rng:Ssx_faults.Rng.t -> src:int -> dst:int -> unit -> t
+(** [latency] (default 1, at least 1) is the {e minimum} number of
+    cluster steps a word spends in flight; random jitter from the fault
+    model adds on top.  It is immutable: the sharded stepper's
+    synchronization horizon is derived from it at {!Cluster.create}
+    time, so letting experiments shrink it mid-run would silently break
+    the conservative-DES exchange (DESIGN.md §4h). *)
 
 val src : t -> int
 val dst : t -> int
+val latency : t -> int
 val faults : t -> fault_model
 
 val send : t -> now:int -> int -> unit
 (** Submit one word at cluster step [now]; it becomes deliverable at
-    step [now + 1] or later, per the fault model. *)
+    step [now + latency] or later, per the fault model. *)
 
 val due : t -> now:int -> int list
 (** Pop every message whose delivery step has arrived, in order. *)
+
+val next_deliver_at : t -> int option
+(** Delivery step of the earliest in-flight message, if any — a peek,
+    nothing is popped.  Per-link delivery steps are non-decreasing (the
+    FIFO clamp), so this is the step at which {!due} next returns
+    something.  The sharded stepper uses it to bucket each link's next
+    delivery once per horizon window instead of scanning every link
+    every step (DESIGN.md §4h). *)
 
 val in_flight : t -> int
 

@@ -95,8 +95,8 @@ type t = {
   n : int;
 }
 
-let build ?(n = 4) ?policy ?ticks_per_slot ?watchdog_period ?capacity ?faults
-    ?decode_cache ?jit ?obs ~seed () =
+let build ?(n = 4) ?policy ?ticks_per_slot ?latency ?edges ?watchdog_period
+    ?capacity ?faults ?decode_cache ?jit ?obs ~seed () =
   if n < 2 then invalid_arg "Net_ring.build: need at least two nodes";
   let obs =
     match obs with Some v -> v | None -> Ssos_obs.Obs.enabled ()
@@ -115,8 +115,11 @@ let build ?(n = 4) ?policy ?ticks_per_slot ?watchdog_period ?capacity ?faults
         { Cluster.machine = sched.Ssos.Sched.machine; nic })
       systems
   in
-  let cluster = Cluster.create ?policy ?ticks_per_slot ~seed nodes in
-  Cluster.connect_many ?faults cluster (Cluster.ring_edges ~n);
+  let cluster = Cluster.create ?policy ?ticks_per_slot ?latency ~seed nodes in
+  let edges =
+    match edges with Some e -> e | None -> Cluster.ring_edges ~n
+  in
+  Cluster.connect_many ?faults cluster edges;
   if obs then Cluster.observe cluster;
   { cluster; systems; n }
 
@@ -136,13 +139,82 @@ let corrupt_view t i v =
 let token_count t = Ssx_stab.Distributed.token_count ~states:(states t)
 let legitimate t = Ssx_stab.Distributed.legitimate ~states:(states t)
 
-let observe t ~steps =
-  let acc = ref [] in
-  for _ = 1 to steps do
-    Cluster.step t.cluster;
-    acc := sample t :: !acc
-  done;
-  List.rev !acc
+(* [record] for the sharded runs below: a node's counter word, read on
+   the owning shard right after the node's slot.  A node's memory only
+   changes while the node itself runs (delivery just queues words in the
+   destination NIC), so the per-step log is enough to replay the exact
+   state matrix a sequential observer would have sampled. *)
+let record_state cluster who =
+  Ssx.Memory.read_word (Ssx.Machine.memory (Cluster.machine cluster who))
+    self_addr
 
-let run_until_legitimate t ~limit =
-  Cluster.run_until t.cluster ~limit (fun _ -> legitimate t)
+let observe ?shards t ~steps =
+  match shards with
+  | None ->
+    let acc = ref [] in
+    for _ = 1 to steps do
+      Cluster.step t.cluster;
+      acc := sample t :: !acc
+    done;
+    List.rev !acc
+  | Some shards ->
+    let base = Cluster.steps t.cluster in
+    let current = states t in
+    let log =
+      Cluster.run_sharded_log ~shards ~record:record_state t.cluster ~steps
+    in
+    let rec go s log acc =
+      if s >= base + steps then List.rev acc
+      else begin
+        let log =
+          match log with
+          | (ls, who, v) :: rest when ls = s ->
+            current.(who) <- v;
+            rest
+          | _ -> log
+        in
+        go (s + 1) log
+          ({ Ssx_stab.Distributed.step = s + 1; states = Array.copy current }
+          :: acc)
+      end
+    in
+    go base log []
+
+let run_until_legitimate ?shards t ~limit =
+  match shards with
+  | None -> Cluster.run_until t.cluster ~limit (fun _ -> legitimate t)
+  | Some shards ->
+    (* Chunked: each chunk is one sharded run whose per-step log is
+       replayed to find the exact first legitimate step.  The chunk
+       length depends only on the cluster (not on [shards]), so both
+       the returned step and the final cluster state are shard-count
+       invariant; the cluster does overshoot to the chunk boundary. *)
+    let chunk = 16 * max 1 (Cluster.latency t.cluster - 1) in
+    let base = Cluster.steps t.cluster in
+    let current = states t in
+    let rec go consumed =
+      if consumed >= limit then None
+      else begin
+        let steps = min chunk (limit - consumed) in
+        let log =
+          Cluster.run_sharded_log ~shards ~record:record_state t.cluster
+            ~steps
+        in
+        let found =
+          List.fold_left
+            (fun found (s, who, v) ->
+              current.(who) <- v;
+              match found with
+              | Some _ -> found
+              | None ->
+                if Ssx_stab.Distributed.legitimate ~states:current then
+                  Some (s + 1 - base)
+                else None)
+            None log
+        in
+        match found with
+        | Some consumed -> Some consumed
+        | None -> go (consumed + steps)
+      end
+    in
+    go 0

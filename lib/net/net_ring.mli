@@ -41,6 +41,8 @@ val build :
   ?n:int ->
   ?policy:Cluster.policy ->
   ?ticks_per_slot:int ->
+  ?latency:int ->
+  ?edges:(int * int) list ->
   ?watchdog_period:int ->
   ?capacity:int ->
   ?faults:(src:int -> dst:int -> Link.fault_model) ->
@@ -54,6 +56,12 @@ val build :
     [i -> i+1 mod n] with per-link fault models from [faults] (benign
     when omitted).  All counters start at zero — a legitimate
     configuration with the single privilege at the bottom.
+
+    [latency] is the cluster link latency ({!Cluster.create}); values
+    above 1 give the sharded stepper its lookahead.  [edges] replaces
+    the ring topology with an arbitrary edge list (the guests still run
+    the ring protocol — useful for differential and scale tests where
+    only deterministic traffic matters, not convergence).
 
     [obs] (default {!Ssos_obs.Obs.enabled}) instruments every node's
     machine (labelled [node<i>]) and registers the cluster's link/NIC
@@ -76,10 +84,18 @@ val corrupt_view : t -> int -> int -> unit
 val token_count : t -> int
 val legitimate : t -> bool
 
-val observe : t -> steps:int -> Ssx_stab.Distributed.sample list
-(** Run [steps] cluster steps, sampling the joint state after each. *)
+val observe : ?shards:int -> t -> steps:int -> Ssx_stab.Distributed.sample list
+(** Run [steps] cluster steps, sampling the joint state after each.
+    With [?shards] the run uses {!Cluster.run_sharded_log} and the
+    sample list is reconstructed from the per-slot log — bit-identical
+    to the sequential sampling for any shard count, because a node's
+    state only changes during its own slot. *)
 
-val run_until_legitimate : t -> limit:int -> int option
+val run_until_legitimate : ?shards:int -> t -> limit:int -> int option
 (** First step at which the joint state is legitimate (which may
     flicker while messages are in flight — use {!observe} plus
-    {!Ssx_stab.Distributed.judge} for a windowed verdict). *)
+    {!Ssx_stab.Distributed.judge} for a windowed verdict).  With
+    [?shards] the search runs in sharded chunks: the returned step is
+    still exact and shard-count invariant, but the cluster itself may
+    have advanced past it, up to the end of the chunk (a fixed multiple
+    of the latency horizon) containing it. *)

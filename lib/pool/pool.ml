@@ -122,3 +122,80 @@ let run_with ?(oversubscribe = false) ?jobs ~init n f =
 
 let run ?oversubscribe ?jobs n f =
   run_with ?oversubscribe ?jobs ~init:(fun () -> ()) n (fun () i -> f i)
+
+(* --- phase-synchronized workers -------------------------------------- *)
+
+(* The work-sharing pool above is for *independent* tasks: any domain
+   may take any index, and nobody waits for anybody.  Sharded cluster
+   stepping needs the opposite shape — a fixed set of workers that
+   advance through the same sequence of phases in lockstep, with all
+   of phase [p]'s writes visible to every worker before any of them
+   starts phase [p+1].  That is a classic sense-reversing barrier. *)
+
+module Barrier = struct
+  type t = {
+    parties : int;
+    mutex : Mutex.t;
+    cond : Condition.t;
+    mutable count : int;
+    mutable sense : bool;
+  }
+
+  let create parties =
+    if parties < 1 then invalid_arg "Pool.Barrier.create: parties";
+    { parties; mutex = Mutex.create (); cond = Condition.create ();
+      count = 0; sense = false }
+
+  let parties t = t.parties
+
+  (* Sense-reversing, blocking.  A blocking barrier instead of a spin:
+     with more parties than cores (always, on a single-core host) a
+     spinner burns the rest of its timeslice waiting for a party the
+     scheduler has not run yet, turning each rendezvous into
+     milliseconds; [Condition.wait] hands the core over immediately.
+     The mutex also makes crossing the barrier a happens-before edge
+     between all parties — plain writes made before [await] (the
+     outbox exchange in [Ssos_net.Cluster]) are visible after it,
+     exactly like [Domain.join] is for the task pool. *)
+  let await t =
+    if t.parties > 1 then begin
+      Mutex.lock t.mutex;
+      let target = not t.sense in
+      t.count <- t.count + 1;
+      if t.count = t.parties then begin
+        t.count <- 0;
+        t.sense <- target;
+        Condition.broadcast t.cond
+      end
+      else
+        while t.sense <> target do
+          Condition.wait t.cond t.mutex
+        done;
+      Mutex.unlock t.mutex
+    end
+end
+
+(* Spawn exactly [shards] workers — one per shard index, the calling
+   domain included as the last — and return their results in shard
+   order.  Unlike {!run} there is no work stealing and no clamping:
+   the workers are expected to rendezvous on a {!Barrier}, so the
+   caller gets precisely the parties it asked for or the whole scheme
+   deadlocks.  [f] must not raise: a worker that dies mid-phase can
+   never reach the barrier again and would hang its peers, so callers
+   wrap their phase bodies and turn exceptions into a poison flag
+   checked at phase boundaries (see {!Ssos_net.Cluster.run_sharded}). *)
+let run_shards ~shards f =
+  if shards < 1 then invalid_arg "Pool.run_shards: shards";
+  if shards = 1 then [| f 0 |]
+  else begin
+    let results = Array.make shards None in
+    let spawned =
+      Array.init (shards - 1) (fun k ->
+          Domain.spawn (fun () -> results.(k) <- Some (f k)))
+    in
+    results.(shards - 1) <- Some (f (shards - 1));
+    Array.iter Domain.join spawned;
+    Array.map
+      (function Some v -> v | None -> assert false (* joined *))
+      results
+  end

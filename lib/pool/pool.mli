@@ -41,3 +41,42 @@ val run_with :
     built machine plus its warmed-up snapshot.  Tasks run on the same
     worker share state, so [f] must leave the state reusable (e.g. by
     restoring the snapshot first). *)
+
+(** {1 Phase-synchronized workers}
+
+    The task pool above runs {e independent} trials; sharded cluster
+    stepping instead needs a fixed worker set advancing through the
+    same phases in lockstep.  {!Barrier.await} is the rendezvous:
+    crossing it is a happens-before edge between all parties, so plain
+    (non-atomic) writes made before the barrier are visible to every
+    party after it — the property the conservative-DES cluster stepper
+    relies on to exchange in-flight messages (DESIGN.md §4h). *)
+
+module Barrier : sig
+  type t
+
+  val create : int -> t
+  (** A reusable sense-reversing barrier for the given number of
+      parties (at least 1; a 1-party barrier is free and never
+      blocks). *)
+
+  val parties : t -> int
+
+  val await : t -> unit
+  (** Block until all parties have called {!await}, then release them
+      together.  Reusable immediately: the implementation is
+      sense-reversing, so a fast party may re-enter the next round
+      while slow parties are still leaving the previous one. *)
+end
+
+val run_shards : shards:int -> (int -> 'a) -> 'a array
+(** [run_shards ~shards f] runs [f 0 … f (shards-1)] on exactly
+    [shards] concurrent domains (the calling domain is the last) and
+    returns the results in shard order.  No work stealing and no
+    core-count clamping — the workers are expected to rendezvous on a
+    {!Barrier}, which requires precisely the parties asked for.
+
+    [f] must not raise: a worker that dies can never reach the barrier
+    again and would hang its peers.  Callers catch exceptions inside
+    their phase bodies and turn them into a poison flag checked at
+    phase boundaries. *)

@@ -16,20 +16,20 @@ let check_bool = Helpers.check_bool
 let test_pool_run_in_order () =
   let expected = Array.init 23 (fun i -> i * i) in
   check_bool "jobs:1" true
-    (Ssos_experiments.Pool.run ~jobs:1 23 (fun i -> i * i) = expected);
+    (Pool.run ~jobs:1 23 (fun i -> i * i) = expected);
   check_bool "jobs:4" true
-    (Ssos_experiments.Pool.run ~oversubscribe:true ~jobs:4 23 (fun i -> i * i)
+    (Pool.run ~oversubscribe:true ~jobs:4 23 (fun i -> i * i)
     = expected);
   check_bool "more jobs than tasks" true
-    (Ssos_experiments.Pool.run ~oversubscribe:true ~jobs:64 23 (fun i -> i * i)
+    (Pool.run ~oversubscribe:true ~jobs:64 23 (fun i -> i * i)
     = expected);
   check_int "zero tasks" 0
-    (Array.length (Ssos_experiments.Pool.run ~jobs:4 0 (fun i -> i)))
+    (Array.length (Pool.run ~jobs:4 0 (fun i -> i)))
 
 let test_pool_run_with_shares_state () =
   let inits = Atomic.make 0 in
   let results =
-    Ssos_experiments.Pool.run_with ~oversubscribe:true ~jobs:3
+    Pool.run_with ~oversubscribe:true ~jobs:3
       ~init:(fun () ->
         ignore (Atomic.fetch_and_add inits 1);
         Atomic.get inits)
@@ -46,7 +46,7 @@ exception Boom of int
 
 let test_pool_propagates_exception () =
   match
-    Ssos_experiments.Pool.run ~oversubscribe:true ~jobs:4 16 (fun i ->
+    Pool.run ~oversubscribe:true ~jobs:4 16 (fun i ->
         if i = 11 then raise (Boom i) else i)
   with
   | _ -> Alcotest.fail "expected the task's exception"
@@ -194,6 +194,52 @@ let test_campaign_obs_invariance () =
       check_bool "pool worker throughput" true (has_prefix "pool.worker{id=");
       check_bool "machine counters" true (has "machine.ticks"))
 
+(* ------------------------------------------ sharded stepper invariance *)
+
+(* The within-trial sharded cluster stepper must be invisible at the
+   campaign level: same summary for any shard count, composed with any
+   worker count and strategy.  Latency 4 so the conservative horizon
+   actually engages (latency < 2 falls back to sequential stepping),
+   lossy links so the replayed per-link RNG schedules are exercised. *)
+let ring_summary ~jobs ~shards =
+  let build () =
+    Ssos_net.Net_ring.build ~n:6 ~latency:4
+      ~faults:(fun ~src:_ ~dst:_ ->
+        Ssos_net.Link.lossy ~drop:0.1 ~max_delay:2 ())
+      ~seed:77L ()
+  in
+  let perturb rng ring =
+    for i = 0 to ring.Ssos_net.Net_ring.n - 1 do
+      Ssos_net.Net_ring.corrupt_state ring i (Ssx_faults.Rng.int rng 0x10000);
+      Ssos_net.Net_ring.corrupt_view ring i (Ssx_faults.Rng.int rng 0x10000)
+    done
+  in
+  Ssos_experiments.Runner.ring_campaign ~build ~perturb ~horizon:8_000
+    ~window:600 ~oversubscribe:true ~jobs ~shards ~trials:3 ~seed:5L ()
+
+let test_ring_campaign_shards_differential () =
+  let reference = ring_summary ~jobs:1 ~shards:1 in
+  check_int "reference ran all trials" 3
+    reference.Ssos_experiments.Runner.trials;
+  check_bool "reference recovered at least once" true
+    (reference.Ssos_experiments.Runner.recoveries > 0);
+  check_summary_equal "shards:2" reference (ring_summary ~jobs:1 ~shards:2);
+  check_summary_equal "shards:4" reference (ring_summary ~jobs:1 ~shards:4);
+  check_summary_equal "jobs:2 shards:3" reference
+    (ring_summary ~jobs:2 ~shards:3)
+
+let test_tables_shards_invariant () =
+  (* The published T14/T15 tables are bit-identical for any --shards,
+     exactly as their doc comments promise. *)
+  let t14 shards =
+    Ssos_experiments.Experiments.t14_ring_link_faults ~trials:1 ~shards ()
+  in
+  let t15 shards =
+    Ssos_experiments.Experiments.t15_ring_combined_faults ~trials:1 ~shards ()
+  in
+  check_bool "T14 shards:1 = shards:4" true (t14 1 = t14 4);
+  check_bool "T15 shards:1 = shards:4" true (t15 1 = t15 4)
+
 let suite =
   [ case "pool returns results in task order" test_pool_run_in_order;
     case "pool shares per-worker state" test_pool_run_with_shares_state;
@@ -205,4 +251,7 @@ let suite =
     case "snapshot-reset trials are independent"
       test_snapshot_reset_trials_are_independent;
     case "campaign is bit-identical with metrics on or off"
-      test_campaign_obs_invariance ]
+      test_campaign_obs_invariance;
+    case "ring campaign: shards/jobs differential"
+      test_ring_campaign_shards_differential;
+    case "T14/T15 tables are shard-invariant" test_tables_shards_invariant ]

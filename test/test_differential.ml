@@ -390,6 +390,80 @@ let test_jit_nmi_mid_block () =
   Helpers.check_bool "the handler actually ran" true
     ((Helpers.regs compiled).Ssx.Registers.dx > 0)
 
+(* --- fused superinstruction pairs ------------------------------------ *)
+
+(* The per-tick lockstep tests above drive [Machine.tick], which steps
+   one op at a time; the fused two-op superinstructions only fire
+   inside the quiet run loops used by [Machine.run].  These tests
+   drive [Machine.run] in odd-sized chunks so the quiet loops see
+   budgets that end mid-pair (fuel = 1 with a pair available), forcing
+   the single-op fallback at chunk boundaries, and compare full
+   snapshot digests against the plain interpreter after every chunk. *)
+
+let fused_chunks = [ 7; 1; 13; 2; 1; 97; 3; 251; 499; 1021; 4999 ]
+
+(* A guest dominated by fusible pairs: back-to-back register loads
+   (mov/mov), a dec/jnz counted inner loop, and a cmp/je loop exit —
+   one of each specialized [fuse] shape plus generic pairs. *)
+let fused_pairs_guest ~decode_cache ~jit =
+  let source =
+    "start:\n\
+    \    mov ax, cs\n\
+    \    mov ds, ax\n\
+    \    mov cx, 400\n\
+     outer:\n\
+    \    mov ax, 3\n\
+    \    mov bx, 5\n\
+    \    add ax, bx\n\
+    \    mov dx, 7\n\
+     inner:\n\
+    \    dec dx\n\
+    \    jnz inner\n\
+    \    add si, ax\n\
+    \    cmp cx, 1\n\
+    \    je finish\n\
+    \    dec cx\n\
+    \    jmp outer\n\
+     finish:\n\
+    \    hlt\n"
+  in
+  let machine, _ = Helpers.machine_with ~decode_cache ~jit source in
+  machine
+
+let assert_fused_exercised name machine =
+  match Ssx.Machine.jit machine with
+  | None -> Alcotest.failf "%s: jit machine has no block compiler" name
+  | Some jit ->
+    Helpers.check_bool
+      (name ^ ": superinstructions actually fired")
+      true
+      (Ssx.Block_compiler.fused_ticks jit > 0)
+
+let chunked_run_differential name build =
+  let compiled = build ~decode_cache:true ~jit:true in
+  let interpreted = build ~decode_cache:true ~jit:false in
+  List.iteri
+    (fun i ticks ->
+      Ssx.Machine.run compiled ~ticks;
+      Ssx.Machine.run interpreted ~ticks;
+      let dc = Ssx.Snapshot.digest (Ssx.Snapshot.capture compiled) in
+      let di = Ssx.Snapshot.digest (Ssx.Snapshot.capture interpreted) in
+      if dc <> di then
+        Alcotest.failf "%s: digests diverge after chunk %d (%d ticks)" name i
+          ticks)
+    fused_chunks;
+  assert_fused_exercised name compiled
+
+let test_fused_pairs_quiet () =
+  chunked_run_differential "fused pairs, no devices" fused_pairs_guest
+
+(* Same discipline through [run_quiet_dev]: the reinstall system has a
+   watchdog device ticking between the two halves of every pair, and
+   its NMIs land mid-pair, exercising the pending-tick fallback. *)
+let test_fused_pairs_device_path () =
+  chunked_run_differential "fused pairs, watchdog device"
+    reinstall_restart
+
 (* --- direct cache behaviour ------------------------------------------ *)
 
 let test_invalidation_sources () =
@@ -530,6 +604,8 @@ let suite =
       test_jit_self_modifying_opcode;
     Helpers.case "jit cross-block patch" test_jit_cross_block_patch;
     Helpers.case "jit NMI mid-block" test_jit_nmi_mid_block;
+    Helpers.case "jit fused pairs: chunked quiet run" test_fused_pairs_quiet;
+    Helpers.case "jit fused pairs: device path" test_fused_pairs_device_path;
     Helpers.case "every write source invalidates" test_invalidation_sources;
     Helpers.case "cache toggle mid-run is invisible" test_toggle_mid_run;
     Helpers.case "jit toggle mid-run is invisible" test_jit_toggle_mid_run;

@@ -123,7 +123,7 @@ let test_interrupt_schedule_determinism () =
   check_string "block compiler on matches" reference
     (trace_digest ~decode_cache:true ~jit:true program);
   let replay jobs =
-    Ssos_experiments.Pool.run ~oversubscribe:true ~jobs 6 (fun _ ->
+    Pool.run ~oversubscribe:true ~jobs 6 (fun _ ->
         trace_digest ~decode_cache:true ~jit:false program)
   in
   Array.iter (check_string "jobs:1 replay matches" reference) (replay 1);

@@ -288,6 +288,211 @@ let test_cluster_snapshot_reset () =
   let second = continue () in
   Helpers.check_string "continuation reproduced after restore" first second
 
+(* --- sharded stepper: differential against the sequential reference -- *)
+
+let lossy_faults ~src:_ ~dst:_ = Link.lossy ~drop:0.15 ~max_delay:2 ()
+
+(* Each (name, n, edges) triple is a topology the sharded stepper must
+   reproduce bit-exactly.  The guests always run the ring protocol; for
+   the non-ring shapes only deterministic traffic matters. *)
+let diff_topologies =
+  [ ("ring", 8, Cluster.ring_edges ~n:8);
+    ("star", 8, Cluster.star_edges ~n:8);
+    ("torus", 9, Cluster.torus_edges ~rows:3 ~cols:3);
+    ("random", 8, Cluster.random_edges ~n:8 ~degree:3 ~seed:0xD1CEL) ]
+
+let test_sharded_digest_matrix () =
+  (* Acceptance: sequential vs shards 1/2/4/8, every topology, both
+     policies, lossy links throughout — identical digests. *)
+  let configs =
+    List.concat_map
+      (fun (name, n, edges) ->
+        List.map
+          (fun policy -> (name, n, edges, policy, Some lossy_faults))
+          [ Cluster.Round_robin; Cluster.Fair_random ])
+      diff_topologies
+    @ [ ("ring-benign", 8, Cluster.ring_edges ~n:8, Cluster.Round_robin, None) ]
+  in
+  List.iter
+    (fun (name, n, edges, policy, faults) ->
+      let build () =
+        Net_ring.build ~n ~policy ~latency:4 ~edges ?faults ~seed:81L ()
+      in
+      let reference =
+        let ring = build () in
+        Cluster.run ring.Net_ring.cluster ~steps:400;
+        Cluster.digest ring.Net_ring.cluster
+      in
+      List.iter
+        (fun shards ->
+          let ring = build () in
+          Cluster.run_sharded ~shards ring.Net_ring.cluster ~steps:400;
+          Helpers.check_string
+            (Printf.sprintf "%s/%s: sequential = shards:%d" name
+               (match policy with
+               | Cluster.Round_robin -> "rr"
+               | Cluster.Fair_random -> "fair")
+               shards)
+            reference
+            (Cluster.digest ring.Net_ring.cluster))
+        [ 1; 2; 4; 8 ])
+    configs
+
+let test_sharded_snapshot_mid_horizon () =
+  (* Capture after a sharded run whose last window was partial (95 is
+     not a multiple of the horizon 7), then show the same continuation
+     comes out of a sharded run and a sequential run from the
+     restored point. *)
+  let ring =
+    Net_ring.build ~n:6 ~latency:8 ~faults:lossy_faults ~seed:82L ()
+  in
+  Cluster.run_sharded ~shards:4 ring.Net_ring.cluster ~steps:95;
+  let snap = Cluster.capture ring.Net_ring.cluster in
+  Cluster.run_sharded ~shards:2 ring.Net_ring.cluster ~steps:101;
+  let sharded = Cluster.digest ring.Net_ring.cluster in
+  Cluster.restore ring.Net_ring.cluster snap;
+  Cluster.run ring.Net_ring.cluster ~steps:101;
+  Helpers.check_string "mid-horizon snapshot: sharded and sequential continuations agree"
+    sharded
+    (Cluster.digest ring.Net_ring.cluster)
+
+let test_sharded_observe_invariance () =
+  (* The reconstructed sample stream equals the sequential one. *)
+  let build () =
+    Net_ring.build ~n:5 ~policy:Cluster.Fair_random ~latency:4
+      ~faults:lossy_faults ~seed:83L ()
+  in
+  let sequential =
+    let ring = build () in
+    Net_ring.observe ring ~steps:300
+  in
+  List.iter
+    (fun shards ->
+      let ring = build () in
+      let samples = Net_ring.observe ~shards ring ~steps:300 in
+      check_bool
+        (Printf.sprintf "samples identical at shards:%d" shards)
+        true (samples = sequential))
+    [ 1; 2; 4 ]
+
+let test_sharded_convergence_step_invariance () =
+  (* run_until_legitimate returns the exact first legitimate step under
+     any shard count, equal to the sequential answer. *)
+  let build () =
+    let ring = Net_ring.build ~n:4 ~latency:4 ~seed:84L () in
+    Cluster.run ring.Net_ring.cluster ~steps:200;
+    let rng = Rng.create 0xABBAL in
+    corrupt_everything rng ring;
+    ring
+  in
+  let sequential = Net_ring.run_until_legitimate (build ()) ~limit:4_000 in
+  check_bool "sequential converged" true (sequential <> None);
+  List.iter
+    (fun shards ->
+      let answer =
+        Net_ring.run_until_legitimate ~shards (build ()) ~limit:4_000
+      in
+      check_bool
+        (Printf.sprintf "same first legitimate step at shards:%d" shards)
+        true (answer = sequential))
+    [ 2; 4 ]
+
+(* --- sparse topologies ----------------------------------------------- *)
+
+let degrees ~n edges =
+  let out = Array.make n 0 and in_ = Array.make n 0 in
+  List.iter
+    (fun (s, d) ->
+      out.(s) <- out.(s) + 1;
+      in_.(d) <- in_.(d) + 1)
+    edges;
+  (out, in_)
+
+let reachable ~n edges ~from =
+  let adj = Array.make n [] in
+  List.iter (fun (s, d) -> adj.(s) <- d :: adj.(s)) edges;
+  let seen = Array.make n false in
+  let rec visit i =
+    if not seen.(i) then begin
+      seen.(i) <- true;
+      List.iter visit adj.(i)
+    end
+  in
+  visit from;
+  Array.for_all Fun.id seen
+
+let test_torus_topology () =
+  let rows = 4 and cols = 5 in
+  let n = rows * cols in
+  let edges = Cluster.torus_edges ~rows ~cols in
+  let out, in_ = degrees ~n edges in
+  check_bool "out-degree 4 everywhere" true (Array.for_all (( = ) 4) out);
+  check_bool "in-degree 4 everywhere" true (Array.for_all (( = ) 4) in_);
+  check_bool "no self loops" true (List.for_all (fun (s, d) -> s <> d) edges);
+  check_bool "strongly connected" true
+    (List.for_all (fun from -> reachable ~n edges ~from) (List.init n Fun.id));
+  (* 2-wide dimensions deduplicate the wraparound pair. *)
+  let out2, _ = degrees ~n:6 (Cluster.torus_edges ~rows:2 ~cols:3) in
+  check_bool "rows=2 dedupes to out-degree 3" true
+    (Array.for_all (( = ) 3) out2)
+
+let test_random_topology () =
+  let n = 32 and degree = 4 in
+  let edges = Cluster.random_edges ~n ~degree ~seed:0xFEEDL in
+  let out, _ = degrees ~n edges in
+  check_bool "exact out-degree" true (Array.for_all (( = ) degree) out);
+  check_bool "no self loops" true (List.for_all (fun (s, d) -> s <> d) edges);
+  check_int "no duplicate edges" (List.length edges)
+    (List.length (List.sort_uniq compare edges));
+  check_bool "strongly connected" true
+    (List.for_all (fun from -> reachable ~n edges ~from) (List.init n Fun.id));
+  check_bool "deterministic in the seed" true
+    (edges = Cluster.random_edges ~n ~degree ~seed:0xFEEDL);
+  check_bool "seed changes the graph" true
+    (edges <> Cluster.random_edges ~n ~degree ~seed:0xBEEFL)
+
+let test_observe_aggregate_mode () =
+  let module Obs = Ssos_obs.Obs in
+  Obs.reset ();
+  Obs.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.set_enabled false;
+      Obs.reset ())
+    (fun () ->
+      let ring = Net_ring.build ~n:4 ~faults:lossy_faults ~obs:false ~seed:85L () in
+      Cluster.observe ~prefix:"agg" ~per_link:false ring.Net_ring.cluster;
+      Cluster.run ring.Net_ring.cluster ~steps:500;
+      let rows = (Obs.snapshot ()).Obs.rows in
+      let gauge name =
+        match List.find_opt (fun (r : Obs.row) -> r.Obs.name = name) rows with
+        | Some { Obs.value = Obs.Gauge v; _ } -> v
+        | Some _ | None -> Alcotest.failf "no gauge %s" name
+      in
+      check_bool "no per-link entries in aggregate mode" true
+        (List.for_all
+           (fun (r : Obs.row) ->
+             not
+               (String.length r.Obs.name >= 9
+               && String.sub r.Obs.name 0 9 = "agg.link{"))
+           rows);
+      let links = Cluster.links ring.Net_ring.cluster in
+      let sum read =
+        float_of_int (Array.fold_left (fun acc l -> acc + read l) 0 links)
+      in
+      check_bool "total sent" true (gauge "agg.links.sent" = sum Link.sent);
+      check_bool "total dropped" true
+        (gauge "agg.links.dropped" = sum Link.dropped);
+      check_bool "total delivered" true
+        (gauge "agg.links.delivered" = sum Link.delivered);
+      check_bool "link count" true
+        (gauge "agg.links.count" = float_of_int (Array.length links));
+      let drops = Array.map Link.dropped links in
+      Array.sort compare drops;
+      check_bool "drop max" true
+        (gauge "agg.links.drops.max"
+        = float_of_int drops.(Array.length drops - 1)))
+
 let campaign ~strategy ~jobs () =
   (* A T14/T15-style campaign in miniature: lossy links, joint
      corruption plus a message-fault phase that mutates the link fault
@@ -397,6 +602,13 @@ let suite =
     case "ring: converges from 24 joint corruptions" test_ring_converges_from_corruption;
     case "ring: converges under lossy links" test_ring_converges_under_lossy_links;
     case "cluster: snapshot reset reproduces continuations" test_cluster_snapshot_reset;
+    case "sharded: digest matrix vs sequential" test_sharded_digest_matrix;
+    case "sharded: mid-horizon snapshot round-trip" test_sharded_snapshot_mid_horizon;
+    case "sharded: observe samples invariant" test_sharded_observe_invariance;
+    case "sharded: convergence step invariant" test_sharded_convergence_step_invariance;
+    case "topology: torus degree and connectivity" test_torus_topology;
+    case "topology: random graph degree and connectivity" test_random_topology;
+    case "observe: aggregate mode totals" test_observe_aggregate_mode;
     case "campaign: bit-identical across jobs" test_campaign_jobs_invariance;
     case "campaign: bit-identical across strategies" test_campaign_strategy_invariance;
     case "campaign and digest: bit-identical with metrics on"
