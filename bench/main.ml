@@ -7,8 +7,8 @@
    Usage:
      main.exe            full run; writes BENCH_machine.json,
                          BENCH_experiments.json, BENCH_net.json,
-                         BENCH_fuzz.json and BENCH_obs.json to the
-                         current directory
+                         BENCH_rsm.json, BENCH_fuzz.json and
+                         BENCH_obs.json to the current directory
      main.exe --smoke    quick harness exercise: tables + short machine
                          and cluster campaign pairs + one short
                          quota-limited Bechamel pass, no JSON written
@@ -221,6 +221,83 @@ let net_scale_bench () =
   in
   Format.printf "@.";
   rows
+
+(* ------------------------------------------------- replicated service *)
+
+(* Client-request throughput of the lib/rsm replicated key-value
+   service: requests committed per second and cluster steps per second
+   while a seeded open-loop workload runs against a converged cluster.
+   n=5 stays within the K=8 single-token guarantee; 16 and 64 measure
+   how serving scales when the cluster is larger than the tag space
+   (throughput only — see Service's docs).  The shards pair reruns the
+   same workload through the sharded stepper and checks the responses
+   and the cluster digest are bit-identical. *)
+let rsm_bench () =
+  let sizes = if smoke then [ 5 ] else [ 5; 16; 64 ] in
+  let steps = if smoke then 400 else 2_000 in
+  Format.printf "== Replicated state machine (lib/rsm, %d serve steps) ==@."
+    steps;
+  let size_rows =
+    List.concat_map
+      (fun n ->
+        let service = Ssos_rsm.Service.build ~n ~obs:false ~seed:21L () in
+        Ssos_net.Cluster.run service.Ssos_rsm.Service.cluster ~steps:400;
+        let wl =
+          Ssos_rsm.Workload.create service
+            (Ssos_rsm.Workload.schedule ~rate:0.05 ~n
+               ~slots:((steps / n) + 1)
+               ~seed:22L ())
+        in
+        Ssos_rsm.Workload.discard wl;
+        let (), ns =
+          timed
+            (Printf.sprintf "rsm-serve-n%d" n)
+            (fun () -> Ssos_rsm.Workload.run wl ~steps)
+        in
+        let steps_per_sec = float_of_int steps /. (ns /. 1e9) in
+        let committed = Ssos_rsm.Workload.matched wl in
+        let requests_per_sec = float_of_int committed /. (ns /. 1e9) in
+        Format.printf
+          "  n=%-4d %10.0f cluster-steps/sec %8.0f committed-requests/sec \
+           (%d/%d answered)@."
+          n steps_per_sec requests_per_sec committed
+          (Ssos_rsm.Workload.injected wl);
+        [ (Printf.sprintf "rsm-steps-per-sec-n%d" n, steps_per_sec);
+          (Printf.sprintf "rsm-requests-per-sec-n%d" n, requests_per_sec) ])
+      sizes
+  in
+  let serve shards =
+    let service =
+      Ssos_rsm.Service.build ~n:5 ~obs:false ~latency:3 ~seed:23L ()
+    in
+    Ssos_net.Cluster.run service.Ssos_rsm.Service.cluster ~steps:400;
+    let wl =
+      Ssos_rsm.Workload.create service
+        (Ssos_rsm.Workload.schedule ~rate:0.05 ~n:5 ~slots:((steps / 5) + 1)
+           ~seed:23L ())
+    in
+    Ssos_rsm.Workload.discard wl;
+    let (), ns =
+      timed
+        (Printf.sprintf "rsm-serve-shards%d" shards)
+        (fun () -> Ssos_rsm.Workload.run ~shards wl ~steps)
+    in
+    ( Ssos_rsm.Workload.responses wl,
+      Ssos_net.Cluster.digest service.Ssos_rsm.Service.cluster,
+      ns )
+  in
+  let seq_resp, seq_digest, seq_ns = serve 1 in
+  let par_resp, par_digest, par_ns = serve 4 in
+  let identical = seq_resp = par_resp && seq_digest = par_digest in
+  Format.printf "  serve seq (shards:1)  %12.0f ns@." seq_ns;
+  Format.printf "  serve par (shards:4)  %12.0f ns@." par_ns;
+  Format.printf "  responses+digest bit-identical: %s@.@."
+    (if identical then "yes" else "NO (BUG)");
+  size_rows
+  @ [ ("rsm-serve-seq-ns", seq_ns);
+      ("rsm-serve-par-ns", par_ns);
+      ("rsm-serve-shard-speedup", seq_ns /. par_ns);
+      ("rsm-serve-shards-identical", if identical then 1.0 else 0.0) ]
 
 (* Differential-fuzzer throughput: a fixed-seed campaign against the
    lib/fuzz reference-interpreter oracle — jobs:1 vs jobs:4 (with the
@@ -586,6 +663,7 @@ let () =
   run_tables ();
   let campaign_rows = campaign_pair () in
   let net_rows = net_bench () @ net_scale_bench () in
+  let rsm_rows = rsm_bench () in
   let fuzz_rows = fuzz_bench () in
   let costs = guest_cycle_costs () in
   print_guest_cycle_costs costs;
@@ -595,6 +673,7 @@ let () =
     write_json ~path:"BENCH_machine.json" micro costs;
     write_flat_json ~path:"BENCH_experiments.json" campaign_rows;
     write_flat_json ~path:"BENCH_net.json" net_rows;
+    write_flat_json ~path:"BENCH_rsm.json" rsm_rows;
     write_flat_json ~path:"BENCH_fuzz.json" fuzz_rows;
     write_flat_json ~path:"BENCH_obs.json" obs_rows
   end

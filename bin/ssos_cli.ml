@@ -330,6 +330,97 @@ let cluster nodes drop corrupt delay limit seed shards latency =
     Format.printf "no convergence within %d cluster steps@." limit;
     Cmdliner.Cmd.Exit.cli_error)
 
+(* ----------------------------------------------------------------- rsm *)
+
+let rsm nodes drop rate faults steps limit seed shards latency =
+  let seed64 = Int64.of_int seed in
+  let link_faults ~src:_ ~dst:_ =
+    if drop = 0. then Ssos_net.Link.benign ()
+    else Ssos_net.Link.lossy ~drop ~max_delay:1 ()
+  in
+  let service =
+    Ssos_rsm.Service.build ~n:nodes ~latency ~faults:link_faults ~seed:seed64 ()
+  in
+  let cluster = service.Ssos_rsm.Service.cluster in
+  let run ~steps =
+    match shards with
+    | None -> Ssos_net.Cluster.run cluster ~steps
+    | Some shards -> Ssos_net.Cluster.run_sharded ~shards cluster ~steps
+  in
+  let pp_states () =
+    String.concat " "
+      (Array.to_list
+         (Array.map string_of_int (Ssos_rsm.Service.states service)))
+  in
+  Format.printf "== %d-replica key-value state machine (K=%d, %d keys) ==@."
+    nodes Ssos_rsm.Wire.k Ssos_rsm.Wire.keys;
+  if drop > 0. then Format.printf "links: drop=%.2f max_delay=1@." drop;
+  (match shards with
+  | Some s -> Format.printf "stepper: %d shard(s), link latency %d@." s latency
+  | None -> if latency > 1 then Format.printf "link latency %d@." latency);
+  run ~steps:400;
+  Format.printf "after 400 warmup steps: tokens [%s]@." (pp_states ());
+  let rng = Ssx_faults.Rng.create (Ssx_faults.Rng.derive seed64 1) in
+  if faults > 0 then begin
+    Format.printf "injecting %d machine faults across random replicas...@."
+      faults;
+    for _ = 1 to faults do
+      let i = Ssx_faults.Rng.int rng nodes in
+      let sched = service.Ssos_rsm.Service.systems.(i) in
+      ignore
+        (Ssx_faults.Fault.apply
+           (Ssos.Sched.fault_system sched)
+           (Ssx_faults.Fault.random rng (Ssos.Sched.fault_space sched)))
+    done
+  end;
+  Format.printf
+    "corrupting every replica's counter, view, store and tag row...@.";
+  for i = 0 to nodes - 1 do
+    Ssos_rsm.Service.corrupt_state service i (Ssx_faults.Rng.int rng 0x10000);
+    Ssos_rsm.Service.corrupt_view service i (Ssx_faults.Rng.int rng 0x10000);
+    for k = 0 to Ssos_rsm.Wire.keys - 1 do
+      Ssos_rsm.Service.corrupt_kv service i k (Ssx_faults.Rng.int rng 0x10000);
+      Ssos_rsm.Service.corrupt_tag service i k (Ssx_faults.Rng.int rng 0x10000)
+    done
+  done;
+  let faults_end = Ssos_net.Cluster.steps cluster in
+  let samples = Ssos_rsm.Service.observe ?shards service ~steps:limit in
+  let verdict =
+    Ssx_stab.Distributed.rsm_judge ~window:400 ~samples
+      ~end_step:(Ssos_net.Cluster.steps cluster)
+  in
+  let converged = Ssx_stab.Convergence.converged verdict in
+  (match Ssx_stab.Convergence.recovery_time ~faults_end verdict with
+  | Some t when converged ->
+    Format.printf
+      "converged after %d cluster steps: tokens [%s], stores coherent@." t
+      (pp_states ())
+  | _ -> Format.printf "NO CONVERGENCE within %d cluster steps@." limit);
+  let wl =
+    Ssos_rsm.Workload.create service
+      (Ssos_rsm.Workload.schedule ~rate ~n:nodes
+         ~slots:(((steps + nodes - 1) / nodes) + 1)
+         ~seed:(Ssx_faults.Rng.derive seed64 2) ())
+  in
+  Ssos_rsm.Workload.discard wl;
+  let init = Ssos_rsm.Service.kv service 0 in
+  Ssos_rsm.Workload.run ?shards wl ~steps;
+  let committed = Ssos_rsm.Workload.matched wl in
+  let linearized =
+    Ssx_stab.Distributed.linearizable ~init ~ops:(Ssos_rsm.Workload.ops wl)
+    = None
+  in
+  Format.printf
+    "served %d steps of client traffic at rate %.2f: %d injected, %d \
+     committed, %d lost, %s@."
+    steps rate
+    (Ssos_rsm.Workload.injected wl)
+    committed (Ssos_rsm.Workload.lost wl)
+    (if linearized then "responses linearizable"
+     else "RESPONSES NOT LINEARIZABLE");
+  if converged && committed > 0 && linearized then ok
+  else Cmdliner.Cmd.Exit.cli_error
+
 (* ---------------------------------------------------------------- fuzz *)
 
 let read_file path =
@@ -531,6 +622,44 @@ let () =
            $ nodes_arg $ drop_arg $ corrupt_arg $ delay_arg $ limit_arg
            $ seed_arg $ shards_arg $ latency_arg))
   in
+  let rsm_nodes_arg =
+    Arg.(
+      value & opt int 5
+      & info [ "nodes" ] ~docv:"N" ~doc:"Replica count (at least 2).")
+  in
+  let rate_arg =
+    Arg.(
+      value & opt float 0.05
+      & info [ "rate" ] ~docv:"P"
+          ~doc:"Per-replica-slot client request probability.")
+  in
+  let faults_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "faults" ] ~docv:"N"
+          ~doc:
+            "Machine faults injected across random replicas before the \
+             state corruption.")
+  in
+  let steps_arg =
+    Arg.(
+      value & opt int 1_200
+      & info [ "steps" ] ~docv:"N" ~doc:"Serve-phase length in cluster steps.")
+  in
+  let rsm_cmd =
+    Cmd.v
+      (Cmd.info "rsm"
+         ~doc:
+           "Run the replicated key-value state machine, corrupt every \
+            replica, watch it reconverge, then serve client traffic and \
+            check the responses linearize")
+      (with_metrics
+         Term.(
+           const (fun nodes drop rate faults steps limit seed shards latency () ->
+               rsm nodes drop rate faults steps limit seed shards latency)
+           $ rsm_nodes_arg $ drop_arg $ rate_arg $ faults_arg $ steps_arg
+           $ limit_arg $ seed_arg $ shards_arg $ latency_arg))
+  in
   let iters_arg =
     Arg.(
       value & opt int 2_000
@@ -571,4 +700,4 @@ let () =
     (Cmd.eval'
        (Cmd.group ~default info
           [ demo_cmd; experiment_cmd; figures_cmd; listing_cmd; trace_cmd;
-            campaign_cmd; cluster_cmd; fuzz_cmd ]))
+            campaign_cmd; cluster_cmd; rsm_cmd; fuzz_cmd ]))

@@ -1031,6 +1031,131 @@ let t15_ring_combined_faults ?(seed = 15L) ?(trials = 10) ?jobs ?shards () =
     header = [ "machine faults"; "recovered"; "mean steps"; "max steps" ];
     rows }
 
+(* ---------------------------------------------------------------- T16 *)
+
+(* Arbitrary joint corruption of a replicated service: every replica's
+   token counter, view, and the whole store with its tag row. *)
+let corrupt_rsm rng (service : Ssos_rsm.Service.t) =
+  for i = 0 to service.Ssos_rsm.Service.n - 1 do
+    Ssos_rsm.Service.corrupt_state service i (Ssx_faults.Rng.int rng 0x10000);
+    Ssos_rsm.Service.corrupt_view service i (Ssx_faults.Rng.int rng 0x10000);
+    for k = 0 to Ssos_rsm.Wire.keys - 1 do
+      Ssos_rsm.Service.corrupt_kv service i k (Ssx_faults.Rng.int rng 0x10000);
+      Ssos_rsm.Service.corrupt_tag service i k (Ssx_faults.Rng.int rng 0x10000)
+    done
+  done
+
+let rsm_summary_cells (s : Runner.rsm_summary) =
+  [ Table.cell_rate s.Runner.core.Runner.recoveries s.Runner.core.Runner.trials;
+    Table.cell_opt_float ~decimals:0 s.Runner.core.Runner.mean_recovery;
+    Table.cell_float ~decimals:1 s.Runner.mean_committed;
+    Table.cell_float ~decimals:1 s.Runner.mean_lost;
+    Table.cell_rate s.Runner.linearized s.Runner.core.Runner.trials ]
+
+let t16_rsm_link_faults ?(seed = 16L) ?(trials = 8) ?jobs ?shards () =
+  let n = 5 in
+  let rates = [ 0.0; 0.05; 0.1; 0.2; 0.3 ] in
+  let rows =
+    List.map
+      (fun drop ->
+        let build () =
+          Ssos_rsm.Service.build ~n ~obs:false
+            ~faults:(fun ~src:_ ~dst:_ ->
+              Ssos_net.Link.lossy ~drop ~max_delay:1 ())
+            ~seed:(Ssx_faults.Rng.derive seed 100) ()
+        in
+        (* Same master seed across rates: row r and row r' corrupt and
+           serve trial i identically, so differences are the drop
+           rate's alone. *)
+        let summary =
+          Runner.rsm_campaign ~build ~perturb:corrupt_rsm ?jobs ?shards
+            ~trials ~seed ()
+        in
+        Printf.sprintf "%.0f%%" (100. *. drop) :: rsm_summary_cells summary)
+      rates
+  in
+  { Table.id = "T16";
+    title = "Replicated state machine: commit throughput vs link-fault rate";
+    note =
+      "A 5-replica key-value log (lib/rsm) riding the token ring: replicas \
+       serve client get/put traffic only while holding the token, and \
+       replicate by retransmitting their tagged store every pass. Each \
+       trial corrupts every replica's counter, view, store and tag row \
+       with arbitrary words; the service must reconverge (common store \
+       prefix) and then serve a seeded client workload linearizably while \
+       the links keep dropping messages at the given rate. Recovery in \
+       cluster steps; committed/lost are per-trial means over the \
+       1200-step serve phase.";
+    header =
+      [ "drop rate"; "recovered"; "mean steps"; "committed"; "lost";
+        "linearized" ];
+    rows }
+
+(* ---------------------------------------------------------------- T17 *)
+
+let t17_rsm_combined_faults ?(seed = 17L) ?(trials = 8) ?jobs ?shards () =
+  let n = 5 in
+  let build () =
+    Ssos_rsm.Service.build ~n ~obs:false
+      ~seed:(Ssx_faults.Rng.derive seed 200) ()
+  in
+  let set_links (service : Ssos_rsm.Service.t) ~drop ~corrupt =
+    Array.iter
+      (fun link ->
+        let f = Ssos_net.Link.faults link in
+        f.Ssos_net.Link.drop <- drop;
+        f.Ssos_net.Link.corrupt <- corrupt)
+      (Ssos_net.Cluster.links service.Ssos_rsm.Service.cluster)
+  in
+  let perturb ~burst rng (service : Ssos_rsm.Service.t) =
+    (* Machine faults: [burst] random corruptions from each node's full
+       5.2 fault space, spread over random nodes — a replica may lose
+       its scheduler state entirely and recover through its own
+       watchdog NMI, during which it neither relays frames nor serves. *)
+    for _ = 1 to burst do
+      let i = Ssx_faults.Rng.int rng n in
+      let sched = service.Ssos_rsm.Service.systems.(i) in
+      ignore
+        (Ssx_faults.Fault.apply
+           (Ssos.Sched.fault_system sched)
+           (Ssx_faults.Fault.random rng (Ssos.Sched.fault_space sched)))
+    done;
+    corrupt_rsm rng service;
+    (* Message faults: a 150-step phase in which every link drops 30%
+       of frames and corrupts a byte of half the rest, then clean
+       links for the judged recovery and the serve phase (corrupting
+       links during serving would forge store writes, which no
+       replication protocol can linearize through). *)
+    set_links service ~drop:0.3 ~corrupt:0.5;
+    Ssos_net.Cluster.run service.Ssos_rsm.Service.cluster ~steps:150;
+    set_links service ~drop:0.0 ~corrupt:0.0
+  in
+  let rows =
+    List.map
+      (fun burst ->
+        let summary =
+          Runner.rsm_campaign ~build ~perturb:(perturb ~burst)
+            ~horizon:3_500 ~window:500 ?jobs ?shards ~trials ~seed ()
+        in
+        Table.cell_int burst :: rsm_summary_cells summary)
+      [ 2; 4; 8 ]
+  in
+  { Table.id = "T17";
+    title = "Replicated state machine under combined machine and message faults";
+    note =
+      "Per-replica machine faults (the full 5.2 soft-state fault space), \
+       arbitrary words in every counter, view, store and tag row, and a \
+       150-step lossy/corrupting phase on every link. Stabilization must \
+       compose end to end: each node's OS recovers via its watchdog NMI, \
+       the ring reconverges, the stores rejoin a common prefix, and the \
+       service then serves fresh client traffic linearizably. Mean steps \
+       is the MTTR from the end of the message phase; lost counts \
+       accepted-but-unanswered requests (the lost window).";
+    header =
+      [ "machine faults"; "recovered"; "mean steps"; "committed"; "lost";
+        "linearized" ];
+    rows }
+
 let all =
   [ ("T1", fun ?jobs ?shards () -> ignore shards; t1_reinstall_recovery ?jobs ());
     ("T2", fun ?jobs ?shards () -> ignore shards; t2_lemma_bounds ?jobs ());
@@ -1046,7 +1171,9 @@ let all =
     ("T12", fun ?jobs ?shards () -> ignore shards; t12_soft_error_rates ?jobs ());
     ("T13", fun ?jobs ?shards () -> ignore jobs; ignore shards; t13_exhaustive_sweeps ());
     ("T14", fun ?jobs ?shards () -> t14_ring_link_faults ?jobs ?shards ());
-    ("T15", fun ?jobs ?shards () -> t15_ring_combined_faults ?jobs ?shards ()) ]
+    ("T15", fun ?jobs ?shards () -> t15_ring_combined_faults ?jobs ?shards ());
+    ("T16", fun ?jobs ?shards () -> t16_rsm_link_faults ?jobs ?shards ());
+    ("T17", fun ?jobs ?shards () -> t17_rsm_combined_faults ?jobs ?shards ()) ]
 
 let find id =
   let id = String.uppercase_ascii id in

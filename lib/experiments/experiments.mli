@@ -77,13 +77,28 @@ val t15_ring_combined_faults :
     message phase on every link; each node's OS must self-recover and
     the distributed layer must then reconverge.  [shards] as in T14. *)
 
+val t16_rsm_link_faults :
+  ?seed:int64 -> ?trials:int -> ?jobs:int -> ?shards:int -> unit -> Table.t
+(** E16 — the replicated key-value state machine (lib/rsm): commit
+    throughput, convergence steps and serve-phase linearizability vs
+    link drop rate, after arbitrary joint corruption of every replica's
+    protocol state and store.  [shards] as in T14. *)
+
+val t17_rsm_combined_faults :
+  ?seed:int64 -> ?trials:int -> ?jobs:int -> ?shards:int -> unit -> Table.t
+(** E17 — the replicated service under combined faults: per-replica
+    machine faults, arbitrary state corruption and a lossy/corrupting
+    message phase; measures the MTTR from the end of the message phase
+    and the lost-request window, then checks that fresh client traffic
+    linearizes.  [shards] as in T14. *)
+
 val all : (string * (?jobs:int -> ?shards:int -> unit -> Table.t)) list
 (** [(id, runner)] for every table, in order.  [jobs] caps the campaign
     worker-domain count ({!Pool.default_jobs} when omitted); tables
     whose work is a single run (T9, T10, T13) ignore it.  [shards]
     shards the cluster stepper within trials — only the distributed
-    tables (T14, T15) use it; all tables are bit-identical for any
+    tables (T14–T17) use it; all tables are bit-identical for any
     value of either knob. *)
 
 val find : string -> (?jobs:int -> ?shards:int -> unit -> Table.t) option
-(** Case-insensitive lookup by id ("t1" … "t15"). *)
+(** Case-insensitive lookup by id ("t1" … "t17"). *)

@@ -262,6 +262,124 @@ let ring_campaign ~build ~perturb ?(warmup = 200) ?(horizon = 2_500)
   let outcomes = Array.to_list outcomes in
   publish ~campaign:"ring" outcomes (summarize outcomes)
 
+type rsm_outcome = {
+  base : outcome;
+  committed : int;
+  lost : int;
+  linearizable : bool;
+}
+
+type rsm_summary = {
+  core : summary;
+  mean_committed : float;
+  mean_lost : float;
+  linearized : int;
+}
+
+let rsm_summarize outcomes =
+  let core = summarize (List.map (fun o -> o.base) outcomes) in
+  let committed, lost, linearized =
+    List.fold_left
+      (fun (c, l, n) o ->
+        (c + o.committed, l + o.lost, if o.linearizable then n + 1 else n))
+      (0, 0, 0) outcomes
+  in
+  let per x =
+    if core.trials = 0 then 0. else float_of_int x /. float_of_int core.trials
+  in
+  { core;
+    mean_committed = per committed;
+    mean_lost = per lost;
+    linearized }
+
+let rsm_publish ~campaign outcomes summary =
+  ignore (publish ~campaign (List.map (fun o -> o.base) outcomes) summary.core);
+  if Ssos_obs.Obs.enabled () then begin
+    let name stat = Printf.sprintf "campaign{id=%s}.%s" campaign stat in
+    List.iter
+      (fun o ->
+        Ssos_obs.Obs.incr ~by:o.committed
+          (Ssos_obs.Obs.counter (name "committed"));
+        Ssos_obs.Obs.incr ~by:o.lost (Ssos_obs.Obs.counter (name "lost")))
+      outcomes;
+    Ssos_obs.Obs.incr ~by:summary.linearized
+      (Ssos_obs.Obs.counter (name "linearized"))
+  end;
+  summary
+
+(* The serve-phase schedule is derived from the trial seed on a fixed
+   side stream, so it is independent of the perturbation's rng draws
+   and identical for any jobs/shards split. *)
+let rsm_schedule ~rate ~serve_steps ~tseed (service : Ssos_rsm.Service.t) =
+  let n = service.Ssos_rsm.Service.n in
+  Ssos_rsm.Workload.schedule ~rate ~n
+    ~slots:(((serve_steps + n - 1) / n) + 1)
+    ~seed:(Ssx_faults.Rng.derive tseed 0x5e12e) ()
+
+let rsm_trial_body ?shards ~perturb ~horizon ~window ~rate ~serve_steps ~tseed
+    (service : Ssos_rsm.Service.t) =
+  let rng = Ssx_faults.Rng.create tseed in
+  perturb rng service;
+  (* The perturbation may itself step the cluster (a message-fault
+     phase); recovery counts from wherever it ended. *)
+  let faults_end = Ssos_net.Cluster.steps service.Ssos_rsm.Service.cluster in
+  let samples = Ssos_rsm.Service.observe ?shards service ~steps:horizon in
+  let verdict =
+    Ssx_stab.Distributed.rsm_judge ~window ~samples
+      ~end_step:(Ssos_net.Cluster.steps service.Ssos_rsm.Service.cluster)
+  in
+  let base =
+    { recovered = Ssx_stab.Convergence.converged verdict;
+      recovery_ticks = Ssx_stab.Convergence.recovery_time ~faults_end verdict }
+  in
+  (* Serve phase: fresh client traffic against the recovered service.
+     The linearizability reference starts from replica 0's store as of
+     serve start — exactly the judge's common store when converged. *)
+  let wl =
+    Ssos_rsm.Workload.create service
+      (rsm_schedule ~rate ~serve_steps ~tseed service)
+  in
+  Ssos_rsm.Workload.discard wl;
+  let init = Ssos_rsm.Service.kv service 0 in
+  Ssos_rsm.Workload.run ?shards wl ~steps:serve_steps;
+  { base;
+    committed = Ssos_rsm.Workload.matched wl;
+    lost = Ssos_rsm.Workload.lost wl;
+    linearizable =
+      Ssx_stab.Distributed.linearizable ~init ~ops:(Ssos_rsm.Workload.ops wl)
+      = None }
+
+let rsm_trial ?shards ~build ~perturb ~warmup ~horizon ~window ~rate
+    ~serve_steps ~seed () =
+  let service = build () in
+  warmup_cluster ?shards service.Ssos_rsm.Service.cluster ~steps:warmup;
+  rsm_trial_body ?shards ~perturb ~horizon ~window ~rate ~serve_steps
+    ~tseed:seed service
+
+let rsm_campaign ~build ~perturb ?(warmup = 400) ?(horizon = 2_500)
+    ?(window = 400) ?(rate = 0.05) ?(serve_steps = 1_200)
+    ?(strategy = Snapshot_reset) ?oversubscribe ?jobs ?shards ~trials ~seed () =
+  let outcomes =
+    match strategy with
+    | Rebuild ->
+      Pool.run ?oversubscribe ?jobs trials (fun i ->
+          rsm_trial ?shards ~build ~perturb ~warmup ~horizon ~window ~rate
+            ~serve_steps ~seed:(trial_seed seed i) ())
+    | Snapshot_reset ->
+      Pool.run_with ?oversubscribe ?jobs
+        ~init:(fun () ->
+          let service = build () in
+          warmup_cluster ?shards service.Ssos_rsm.Service.cluster ~steps:warmup;
+          (service, Ssos_net.Cluster.capture service.Ssos_rsm.Service.cluster))
+        trials
+        (fun (service, snapshot) i ->
+          Ssos_net.Cluster.restore service.Ssos_rsm.Service.cluster snapshot;
+          rsm_trial_body ?shards ~perturb ~horizon ~window ~rate ~serve_steps
+            ~tseed:(trial_seed seed i) service)
+  in
+  let outcomes = Array.to_list outcomes in
+  rsm_publish ~campaign:"rsm" outcomes (rsm_summarize outcomes)
+
 let scramble_processor rng system =
   let machine = system.Ssos.System.machine in
   let cpu = Ssx.Machine.cpu machine in

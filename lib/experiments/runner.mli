@@ -146,6 +146,71 @@ val ring_campaign :
     clusters, shards for a few big ones.  Summaries stay bit-identical
     for any [shards] value. *)
 
+(** {1 Replicated state machine campaigns}
+
+    Trials over an {!Ssos_rsm.Service}: warm the cluster up, perturb it
+    (state corruption, per-node machine faults, and/or a message-fault
+    phase), judge recovery with the two-part replicated-state-machine
+    legality ({!Ssx_stab.Distributed.rsm_judge}), then drive a fresh
+    client workload at the recovered service and check the committed
+    responses for linearizability against replica 0's store. *)
+
+type rsm_outcome = {
+  base : outcome;  (** convergence, judged over the recovery horizon *)
+  committed : int;  (** client requests answered during the serve phase *)
+  lost : int;  (** requests accepted but never answered *)
+  linearizable : bool;
+      (** serve-phase responses replay cleanly against the reference
+          map ({!Ssx_stab.Distributed.linearizable}) *)
+}
+
+type rsm_summary = {
+  core : summary;
+  mean_committed : float;  (** per trial *)
+  mean_lost : float;  (** per trial *)
+  linearized : int;  (** trials whose serve phase linearized *)
+}
+
+val rsm_summarize : rsm_outcome list -> rsm_summary
+
+val rsm_trial :
+  ?shards:int ->
+  build:(unit -> Ssos_rsm.Service.t) ->
+  perturb:(Ssx_faults.Rng.t -> Ssos_rsm.Service.t -> unit) ->
+  warmup:int ->
+  horizon:int ->
+  window:int ->
+  rate:float ->
+  serve_steps:int ->
+  seed:int64 ->
+  unit ->
+  rsm_outcome
+
+val rsm_campaign :
+  build:(unit -> Ssos_rsm.Service.t) ->
+  perturb:(Ssx_faults.Rng.t -> Ssos_rsm.Service.t -> unit) ->
+  ?warmup:int ->
+  ?horizon:int ->
+  ?window:int ->
+  ?rate:float ->
+  ?serve_steps:int ->
+  ?strategy:strategy ->
+  ?oversubscribe:bool ->
+  ?jobs:int ->
+  ?shards:int ->
+  trials:int ->
+  seed:int64 ->
+  unit ->
+  rsm_summary
+(** Like {!ring_campaign}, with a serve phase appended to each trial:
+    after the recovery horizon is judged, a seeded open-loop workload
+    (probability [rate] of one request per node slot, default 0.05)
+    runs for [serve_steps] cluster steps and its responses are checked
+    for linearizability.  The serve schedule is derived from the trial
+    seed on a fixed side stream, so summaries are bit-identical for any
+    [jobs], [shards] and either {!strategy} — the same guarantees as
+    the other campaigns, extended to the traffic counts. *)
+
 val trial_seed : int64 -> int -> int64
 (** Derive the seed of trial [i] from the master seed — a splitmix64
     finalizer over the pair ({!Ssx_faults.Rng.derive}), so seeds are

@@ -71,10 +71,18 @@ val torus_edges : rows:int -> cols:int -> (int * int) list
     dimensions.  O(n) links, diameter [(rows + cols) / 2]. *)
 
 val random_edges : n:int -> degree:int -> seed:int64 -> (int * int) list
-(** Seeded random digraph with exact out-degree [degree] (in [1, n-1]):
-    every node links to its ring successor — so the graph is strongly
-    connected by construction — plus [degree - 1] distinct random
-    targets.  Deterministic in [seed]. *)
+(** Seeded random digraph, out-degree [degree] (in [1, n-1]) distinct
+    targets per node, {e guaranteed strongly connected}: disconnected
+    draws — which would make convergence experiments silently
+    meaningless — are rejected and retried under seeds derived from
+    [seed], up to 64 attempts.  For [degree >= 2] a retry is almost
+    never needed (the failure probability per draw is well under 3/4
+    even at the small-n worst case, so 64 draws are astronomically
+    safe); if every attempt is disconnected (typical only for
+    [degree = 1], a random functional graph) the last draw is
+    {e repaired} by adding the missing ring-successor edges, raising
+    some out-degrees by one.  Deterministic in the arguments either
+    way. *)
 
 val connect_many :
   ?faults:(src:int -> dst:int -> Link.fault_model) ->

@@ -8,6 +8,7 @@ type t = {
   mutable rx_delivered : int;
   mutable rx_dropped : int;
   mutable rx_read : int;
+  mutable rx_hwm : int;
 }
 
 type stats = {
@@ -15,6 +16,7 @@ type stats = {
   rx_delivered : int;
   rx_dropped : int;
   rx_read : int;
+  rx_hwm : int;
 }
 
 let default_base_port = 0x30
@@ -25,7 +27,7 @@ let create ?(base_port = default_base_port) ?(capacity = default_capacity)
   if capacity <= 0 then invalid_arg "Nic.create: capacity must be positive";
   { base_port; capacity; rx_irq;
     tx = Queue.create (); rx = Queue.create ();
-    tx_words = 0; rx_delivered = 0; rx_dropped = 0; rx_read = 0 }
+    tx_words = 0; rx_delivered = 0; rx_dropped = 0; rx_read = 0; rx_hwm = 0 }
 
 let base_port t = t.base_port
 let tx_port t = t.base_port
@@ -36,7 +38,7 @@ let pending_tx t = Queue.length t.tx
 
 let stats (t : t) : stats =
   { tx_words = t.tx_words; rx_delivered = t.rx_delivered;
-    rx_dropped = t.rx_dropped; rx_read = t.rx_read }
+    rx_dropped = t.rx_dropped; rx_read = t.rx_read; rx_hwm = t.rx_hwm }
 
 let deliver t word =
   if Queue.length t.rx >= t.capacity then begin
@@ -46,8 +48,16 @@ let deliver t word =
   else begin
     Queue.push (Ssx.Word.mask word) t.rx;
     t.rx_delivered <- t.rx_delivered + 1;
+    let depth = Queue.length t.rx in
+    if depth > t.rx_hwm then t.rx_hwm <- depth;
     true
   end
+
+let observe ?label (t : t) =
+  Ssos_obs.Device_obs.nic ?label
+    ~rx_hwm:(fun () -> t.rx_hwm)
+    ~rx_dropped:(fun () -> t.rx_dropped)
+    ()
 
 let drain_tx t =
   let rec pop acc =
@@ -88,11 +98,13 @@ let attach t machine =
   Ssx.Machine.add_resettable machine (fun () ->
       let tx = Queue.copy t.tx and rx = Queue.copy t.rx in
       let tx_words = t.tx_words and rx_delivered = t.rx_delivered
-      and rx_dropped = t.rx_dropped and rx_read = t.rx_read in
+      and rx_dropped = t.rx_dropped and rx_read = t.rx_read
+      and rx_hwm = t.rx_hwm in
       fun () ->
         refill t.tx tx;
         refill t.rx rx;
         t.tx_words <- tx_words;
         t.rx_delivered <- rx_delivered;
         t.rx_dropped <- rx_dropped;
-        t.rx_read <- rx_read)
+        t.rx_read <- rx_read;
+        t.rx_hwm <- rx_hwm)

@@ -26,6 +26,7 @@ type stats = {
   rx_delivered : int; (** words accepted into the RX queue *)
   rx_dropped : int;   (** words lost to RX-queue overflow *)
   rx_read : int;      (** words the guest consumed *)
+  rx_hwm : int;       (** deepest RX-queue occupancy ever reached *)
 }
 
 val default_base_port : int
@@ -55,3 +56,11 @@ val drain_tx : t -> int list
 val pending_rx : t -> int
 val pending_tx : t -> int
 val stats : t -> stats
+
+val observe : ?label:string -> t -> unit
+(** Register this instance's RX high-water mark and drop counter as
+    sampled gauges via {!Ssos_obs.Device_obs.nic}
+    ([device.nic{id=<label>}.rx-hwm] / [.rx-dropped]) — the
+    backpressure view of a NIC that {!Cluster.observe} does not cover
+    (e.g. the client-facing NICs of an RSM service).  Snapshot
+    restores roll the high-water mark back with the queues. *)

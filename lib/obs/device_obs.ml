@@ -20,3 +20,14 @@ let nvstore ?(label = "") nv =
   Obs.sample
     (metric ~label "nvstore" "images")
     (fun () -> float_of_int (List.length (Ssx_devices.Nvstore.names nv)))
+
+(* The NIC lives above this library (lib/net depends on lib/obs), so
+   its gauges are registered through plain thunks; [Ssos_net.Nic.observe]
+   is the caller that closes them over an instance. *)
+let nic ?(label = "") ~rx_hwm ~rx_dropped () =
+  Obs.sample
+    (metric ~label "nic" "rx-hwm")
+    (fun () -> float_of_int (rx_hwm ()));
+  Obs.sample
+    (metric ~label "nic" "rx-dropped")
+    (fun () -> float_of_int (rx_dropped ()))

@@ -17,3 +17,11 @@ val heartbeat : ?label:string -> Ssx_devices.Heartbeat.t -> unit
 
 val nvstore : ?label:string -> Ssx_devices.Nvstore.t -> unit
 (** Registers [images] (stored golden images). *)
+
+val nic :
+  ?label:string -> rx_hwm:(unit -> int) -> rx_dropped:(unit -> int) -> unit ->
+  unit
+(** Registers [rx-hwm] (deepest RX-queue occupancy) and [rx-dropped]
+    (words lost to overflow) for one NIC instance.  Takes thunks
+    rather than the NIC itself because the NIC type lives above this
+    library; use [Ssos_net.Nic.observe] to register an instance. *)

@@ -1,0 +1,334 @@
+(* One process per machine, so its data segment and heartbeat port are
+   those of process 0 (same convention as Net_ring). *)
+let data_segment = Ssos.Process.data_segment 0
+let base = data_segment lsl 4
+let self_off = 0x00
+let view_off = 0x02
+let next_off = 0x04
+let req_off = 0x06
+let tagf_off = 0x08
+let seent_off = 0x10
+let kv_off = 0x20
+let self_addr = base + self_off
+let view_addr = base + view_off
+let seent_addr key = base + seent_off + (2 * key)
+let kv_addr key = base + kv_off + (2 * key)
+let client_base_port = 0x40
+
+let process ~bottom ~index =
+  let nic = Ssos_net.Nic.default_base_port in
+  let symbols =
+    [ ("DATA_SEG", data_segment);
+      ("SELF_OFF", self_off);
+      ("VIEW_OFF", view_off);
+      ("NEXT_OFF", next_off);
+      ("REQ_OFF", req_off);
+      ("TAGF_OFF", tagf_off);
+      ("SEENT_OFF", seent_off);
+      ("KV_OFF", kv_off);
+      ("K_MASK", Wire.k - 1);
+      ("NIC_TX", nic);
+      ("NIC_RX", nic + 1);
+      ("NIC_STATUS", nic + 2);
+      ("CL_TX", client_base_port);
+      ("CL_RX", client_base_port + 1);
+      ("CL_STATUS", client_base_port + 2);
+      ("MY_PORT", Ssos.Layout.process_heartbeat_port 0) ]
+    @ List.concat
+        (List.init Wire.keys (fun k ->
+             [ (Printf.sprintf "SEENT%d" k, seent_off + (2 * k));
+               (Printf.sprintf "KVW%d" k, kv_off + (2 * k));
+               (Printf.sprintf "KEYB%d" k, k lsl 8) ]))
+  in
+  (* Every labelled block starts 16-aligned and fits one 16-byte
+     window, so a preemption's ip masking re-enters at the block's own
+     start with the registers the scheduler restored.  Each block
+     either derives everything it needs from memory (pure replay), or
+     performs only idempotent stores, or — where a destructive read or
+     a port write cannot be made idempotent — is annotated with why
+     the replay effect is benign. *)
+  let decide2 =
+    if bottom then
+      "; block: decide (bottom: move when the token came back equal);\n\
+       ; re-entry re-checks the comparison\n\
+       decide2:\n\
+      \    and bx, K_MASK\n\
+      \    cmp ax, bx\n\
+      \    jne emitgate\n"
+    else
+      "; block: decide (other: move when different); re-entry re-checks\n\
+       decide2:\n\
+      \    and bx, K_MASK\n\
+      \    cmp ax, bx\n\
+      \    je emitgate\n"
+  in
+  let syncgate2 =
+    if bottom then
+      "; block: stale-frame guard (pure comparison).  The predecessor\n\
+       ; retransmits its whole frame every pass, so after this node has\n\
+       ; moved and served client puts, stale words from the frame it\n\
+       ; moved on would clobber the freshly served values.  Links are\n\
+       ; FIFO, so the only frames arriving after a move carry the tag\n\
+       ; the node moved on — until the predecessor itself moves again.\n\
+       ; Bottom moves on tag == SELF (Dijkstra's move-when-equal), so\n\
+       ; it accepts exactly those and ignores the rest (its own stale\n\
+       ; frame is tagged SELF - 1 after the increment).\n\
+       syncgate2:\n\
+      \    cmp bx, [SELF_OFF]\n\
+      \    jne poll\n"
+    else
+      "; block: stale-frame guard (pure comparison; see the bottom\n\
+       ; variant's note).  A non-bottom node moves on tag != SELF\n\
+       ; (move-when-different), and its stale frame is tagged SELF, so\n\
+       ; it ignores exactly tag == SELF.\n\
+       syncgate2:\n\
+      \    cmp bx, [SELF_OFF]\n\
+      \    je poll\n"
+  in
+  let move =
+    if bottom then
+      "; block: derive the move (bottom increments modulo K); the\n\
+       ; derivation reloads the view from memory, so a replay is exact\n\
+       move:\n\
+      \    mov ax, [VIEW_OFF]\n\
+      \    inc ax\n\
+      \    and ax, K_MASK\n\
+       align 16\n\
+       ; block: stage the move (idempotent store)\n\
+       move2:\n\
+      \    mov [NEXT_OFF], ax\n\
+      \    jmp serve\n"
+    else
+      "; block: stage the move (other copies the view; idempotent)\n\
+       move:\n\
+      \    mov [NEXT_OFF], ax\n\
+      \    jmp serve\n"
+  in
+  (* The completeness check and the frame transmit are unrolled — one
+     block pair per key with the key's displacement baked in — instead
+     of looping on a register cursor.  A loop counter in a register
+     cannot survive the replay discipline: a preemption between the
+     cursor increment and the loop test replays the increment, and a
+     cursor knocked off the 0,2,..,2K sequence turns an equality-
+     terminated loop into a runaway (observed as a node emitting
+     nonstop garbage until si wrapped 64K, starving its successor).
+     Unrolled, every block is a pure comparison or an idempotent
+     rebuild-and-emit, and replay is harmless by construction. *)
+  let chk_blocks =
+    String.concat ""
+      (List.init Wire.keys (fun k ->
+           Printf.sprintf
+             "align 16\n\
+              ; block: completeness check, key %d (pure; ax = view)\n\
+              chk%d:\n\
+             \    cmp ax, [SEENT%d]\n\
+             \    jne emitgate\n"
+             k k k))
+  in
+  let emit_blocks =
+    String.concat ""
+      (List.init Wire.keys (fun k ->
+           Printf.sprintf
+             "align 16\n\
+              ; block: build the key-%d sync word (pure derivation)\n\
+              emitw%d:\n\
+             \    mov ax, [KVW%d]\n\
+             \    and ax, 0x00FF\n\
+             \    or ax, KEYB%d\n\
+              align 16\n\
+              ; block: tag and transmit it; a replay duplicates the\n\
+              ; word, which the receiver applies idempotently\n\
+              emitx%d:\n\
+             \    or ax, [TAGF_OFF]\n\
+             \    mov dx, NIC_TX\n\
+             \    out dx, ax\n"
+             k k k k k))
+  in
+  let source =
+    "org 0\n\
+     start:\n\
+     ; block: establish the data segment (idempotent; re-run each pass\n\
+     ; so a corrupted ds heals within one pass)\n\
+    \    mov ax, DATA_SEG\n\
+    \    mov ds, ax\n\
+     align 16\n\
+     ; block: poll the cluster NIC (pure reads)\n\
+     poll:\n\
+    \    mov dx, NIC_STATUS\n\
+    \    in ax, dx\n\
+    \    cmp ax, 0\n\
+    \    je decide\n\
+     align 16\n\
+     ; block: pop one word and classify it; a replayed destructive\n\
+     ; read can only lose a word, and the sender retransmits its\n\
+     ; whole frame every pass\n\
+     take:\n\
+    \    mov dx, NIC_RX\n\
+    \    in ax, dx\n\
+    \    mov bx, ax\n\
+    \    and bx, 0x8000\n\
+    \    jne sync\n\
+     align 16\n\
+     ; block: token word -> view (idempotent clamp and store)\n\
+     token:\n\
+    \    and ax, K_MASK\n\
+    \    mov [VIEW_OFF], ax\n\
+    \    jmp poll\n\
+     align 16\n\
+     ; block: sync word -> key index in si (pure derivation from ax,\n\
+     ; which the scheduler restores across preemptions)\n\
+     sync:\n\
+    \    mov bx, ax\n\
+    \    shr bx, 7\n\
+    \    and bx, 0x000E\n\
+    \    mov si, bx\n\
+     align 16\n\
+     ; block: derive the frame tag (pure derivation from ax)\n\
+     syncgate:\n\
+    \    mov bx, ax\n\
+    \    shr bx, 11\n\
+    \    and bx, K_MASK\n\
+     align 16\n"
+    ^ syncgate2
+    ^ "align 16\n\
+       ; block: record the frame tag for this key (idempotent store;\n\
+       ; bx still holds the tag across a replay — registers are\n\
+       ; restored — and the value store below reruns with it)\n\
+       synctag:\n\
+      \    mov [si+SEENT_OFF], bx\n\
+       align 16\n\
+       ; block: store the value, clamped to a byte (idempotent; also\n\
+       ; heals kv memory corruption as frames re-arrive)\n\
+       syncval:\n\
+      \    and ax, 0x00FF\n\
+      \    mov [si+KV_OFF], ax\n\
+      \    jmp poll\n\
+       align 16\n\
+       ; block: load view and self, clamped (pure)\n\
+       decide:\n\
+    \    mov ax, [VIEW_OFF]\n\
+    \    and ax, K_MASK\n\
+    \    mov bx, [SELF_OFF]\n\
+     align 16\n"
+    ^ decide2
+    (* frame-completeness gate — every key must carry the view's tag
+       before the move is enabled; see [chk_blocks] above *)
+    ^ chk_blocks ^ "align 16\n" ^ move
+    ^ "align 16\n\
+       ; block: client-serve gate (pure reads); requests are only\n\
+       ; served here, between enabling and committing a move, so the\n\
+       ; token's total order serializes every operation in the ring\n\
+       serve:\n\
+      \    mov dx, CL_STATUS\n\
+      \    in ax, dx\n\
+      \    cmp ax, 0\n\
+      \    je commit\n\
+       align 16\n\
+       ; block: pop one request into the staging slot; a replay can\n\
+       ; only lose the popped request (a dropped request, never a\n\
+       ; half-applied one — nothing below runs without the slot)\n\
+       spop:\n\
+      \    mov dx, CL_RX\n\
+      \    in ax, dx\n\
+      \    mov [REQ_OFF], ax\n\
+      \    jmp skey\n\
+       align 16\n\
+       ; block: reject the empty word (a pop that raced an empty\n\
+       ; queue, or a cleared slot on replay)\n\
+       skey:\n\
+      \    mov ax, [REQ_OFF]\n\
+      \    cmp ax, 0\n\
+      \    je serve\n\
+       align 16\n\
+       ; block: derive the key index from the staged request (pure)\n\
+       skey2:\n\
+      \    mov bx, ax\n\
+      \    shr bx, 7\n\
+      \    and bx, 0x000E\n\
+      \    mov si, bx\n\
+       align 16\n\
+       ; block: dispatch on the op bit (pure reload from the slot)\n\
+       sput:\n\
+      \    mov ax, [REQ_OFF]\n\
+      \    and ax, 0x8000\n\
+      \    je sresp\n\
+       align 16\n\
+       ; block: apply the put (idempotent — rederived from the slot)\n\
+       sput2:\n\
+      \    mov ax, [REQ_OFF]\n\
+      \    and ax, 0x00FF\n\
+      \    mov [si+KV_OFF], ax\n\
+       align 16\n\
+       ; block: build the response — echo the request with the value\n\
+       ; byte replaced by the store's (pure reload)\n\
+       sresp:\n\
+      \    mov ax, [REQ_OFF]\n\
+      \    and ax, 0xFF00\n\
+      \    or ax, [si+KV_OFF]\n\
+       align 16\n\
+       ; block: transmit the response; a replay that re-enters here\n\
+       ; duplicates it — consecutive duplicates carry the same rolling\n\
+       ; request id, so the workload drops them (see Workload)\n\
+       sresp2:\n\
+      \    mov dx, CL_TX\n\
+      \    out dx, ax\n\
+      \    jmp sclear\n\
+       align 16\n\
+       ; block: retire the staged request (idempotent)\n\
+       sclear:\n\
+      \    mov word [REQ_OFF], 0\n\
+      \    jmp serve\n\
+       align 16\n\
+       ; block: commit the staged move (idempotent clamp and store)\n\
+       commit:\n\
+      \    mov ax, [NEXT_OFF]\n\
+      \    and ax, K_MASK\n\
+      \    mov [SELF_OFF], ax\n\
+       align 16\n\
+       ; block: transmit pacing (pure reads).  The cluster picks up TX\n\
+       ; only at the end of the node's slot, so a nonzero TX count\n\
+       ; means this slot's frame is already queued: emitting again\n\
+       ; would flood the successor faster than it can drain (it must\n\
+       ; spend ~20 ticks per word) and starve its decide step.  One\n\
+       ; frame per slot keeps every queue bounded without flow-control\n\
+       ; state that faults could corrupt.\n\
+       emitgate:\n\
+      \    mov dx, NIC_TX\n\
+      \    in ax, dx\n\
+      \    cmp ax, 0\n\
+      \    jne finish\n\
+       align 16\n\
+       ; block: clamp the counter in place (idempotent; heals a\n\
+       ; corrupted counter every pass, like Net_ring's announce)\n\
+       emitprep:\n\
+      \    mov ax, [SELF_OFF]\n\
+      \    and ax, K_MASK\n\
+      \    mov [SELF_OFF], ax\n\
+       align 16\n\
+       ; block: derive the frame-tag bits 0x8000 | self << 11 (pure\n\
+       ; reload from the clamped counter, so a replay is exact)\n\
+       emitprep2:\n\
+      \    mov ax, [SELF_OFF]\n\
+      \    shl ax, 11\n\
+      \    or ax, 0x8000\n\
+       align 16\n\
+       ; block: store the tag bits (idempotent store)\n\
+       emitgo:\n\
+      \    mov [TAGF_OFF], ax\n"
+    ^ emit_blocks
+    ^ "align 16\n\
+       ; block: transmit the token (a duplicated token is idempotent)\n\
+       emittok:\n\
+      \    mov dx, NIC_TX\n\
+      \    mov ax, [SELF_OFF]\n\
+      \    and ax, K_MASK\n\
+      \    out dx, ax\n\
+       align 16\n\
+       ; block: report the heartbeat and restart the pass\n\
+       finish:\n\
+      \    out MY_PORT, ax\n\
+      \    jmp start\n"
+  in
+  { Ssos.Process.name = Printf.sprintf "rsm-replica-%d" index;
+    source;
+    symbols }

@@ -1,0 +1,44 @@
+(** The replica guest: one self-stabilizing key-value state machine
+    node as a single §5.2 process.
+
+    Protocol (token-sequenced replication with frame-completeness
+    gating; see DESIGN.md §4i).  Each node runs Dijkstra's K-state
+    token ring over the cluster NIC, and every pass retransmits its
+    {e whole} store as a frame of eight [SYNC] words tagged with its
+    counter, followed by a [TOKEN] word.  A receiver records, per key,
+    the tag of the last [SYNC] that wrote it; the node {e moves} (in
+    Dijkstra's sense) only when its view of the predecessor's counter
+    enables a move {e and} every key carries that very tag — i.e. it
+    holds a complete copy of the predecessor's store as of the
+    predecessor's last move.  At the move — and only then — the node
+    drains its client NIC, applying puts to the store and answering
+    each request, then commits the new counter.  Since moves are
+    totally ordered by the token, so are all client operations.
+
+    Layout: replay-idempotent 16-byte blocks per the §5.2 scheduler
+    discipline (see the per-block comments in the source).  All state
+    lives in the process-0 data segment:
+
+    - [0x00] SELF — own counter (the bounded tag, 0..K-1)
+    - [0x02] VIEW — view of the predecessor's counter
+    - [0x04] NEXT — staged move, committed after serving
+    - [0x06] REQ  — client-request staging slot
+    - [0x08] TAGF — precomputed frame-tag bits for emission
+    - [0x10] SEENT\[8\] — per-key tag of the last SYNC that wrote it
+    - [0x20] KV\[8\]    — the store *)
+
+val data_segment : int
+val self_addr : int
+val view_addr : int
+val seent_addr : int -> int
+(** Physical address of SEENT[key]. *)
+
+val kv_addr : int -> int
+(** Physical address of KV[key]. *)
+
+val client_base_port : int
+(** 0x40 — the client NIC's port block (the cluster NIC keeps 0x30). *)
+
+val process : bottom:bool -> index:int -> Ssos.Process.t
+(** The guest source for one node; [bottom] selects Dijkstra's
+    increment-when-equal move, everyone else copies-when-different. *)

@@ -1,0 +1,188 @@
+type t = {
+  cluster : Ssos_net.Cluster.t;
+  systems : Ssos.Sched.t array;
+  clients : Ssos_net.Nic.t array;
+  n : int;
+}
+
+(* One replica pass — drain a 9-word frame, run the completeness check,
+   serve clients, retransmit 9 words — costs roughly 300-350 ticks.  The
+   slot must fit at least one full pass, or nodes structurally fall
+   behind the predecessor's one-frame-per-slot output and the RX queue
+   backlogs into drops; 600 leaves room for a backlog-draining pass. *)
+let default_ticks_per_slot = 600
+
+let build ?(n = 5) ?policy ?(ticks_per_slot = default_ticks_per_slot) ?latency
+    ?edges
+    ?watchdog_period ?(capacity = 64) ?(client_capacity = 8) ?faults
+    ?decode_cache ?jit ?obs ~seed () =
+  if n < 2 then invalid_arg "Service.build: need at least two nodes";
+  let obs = match obs with Some v -> v | None -> Ssos_obs.Obs.enabled () in
+  let systems =
+    Array.init n (fun index ->
+        Ssos.Sched.build ~n:1 ?watchdog_period ?decode_cache ?jit ~obs
+          ~obs_label:(Printf.sprintf "rsm%d" index)
+          ~processes:[| Replica.process ~bottom:(index = 0) ~index |] ())
+  in
+  (* The client NIC attaches first so each machine's port map and
+     resettable order are fixed by construction, independent of later
+     cluster wiring. *)
+  let clients =
+    Array.map
+      (fun sched ->
+        let client =
+          Ssos_net.Nic.create ~base_port:Replica.client_base_port
+            ~capacity:client_capacity ()
+        in
+        Ssos_net.Nic.attach client sched.Ssos.Sched.machine;
+        client)
+      systems
+  in
+  let nodes =
+    Array.map
+      (fun sched ->
+        let nic = Ssos_net.Nic.create ~capacity () in
+        Ssos_net.Nic.attach nic sched.Ssos.Sched.machine;
+        { Ssos_net.Cluster.machine = sched.Ssos.Sched.machine; nic })
+      systems
+  in
+  let cluster =
+    Ssos_net.Cluster.create ?policy ~ticks_per_slot ?latency ~seed nodes
+  in
+  let edges =
+    match edges with Some e -> e | None -> Ssos_net.Cluster.ring_edges ~n
+  in
+  Ssos_net.Cluster.connect_many ?faults cluster edges;
+  if obs then begin
+    Ssos_net.Cluster.observe cluster;
+    Array.iteri
+      (fun i client ->
+        Ssos_net.Nic.observe ~label:(Printf.sprintf "client%d" i) client)
+      clients
+  end;
+  { cluster; systems; clients; n }
+
+let node_memory t i = Ssx.Machine.memory (Ssos_net.Cluster.machine t.cluster i)
+
+let states t =
+  Array.init t.n (fun i -> Ssx.Memory.read_word (node_memory t i) Replica.self_addr)
+
+let views t =
+  Array.init t.n (fun i -> Ssx.Memory.read_word (node_memory t i) Replica.view_addr)
+
+let kv t i =
+  let mem = node_memory t i in
+  Array.init Wire.keys (fun key -> Ssx.Memory.read_word mem (Replica.kv_addr key))
+
+let kvs t = Array.init t.n (kv t)
+
+let sample t =
+  { Ssx_stab.Distributed.step = Ssos_net.Cluster.steps t.cluster;
+    states = states t;
+    kvs = kvs t }
+
+let corrupt_state t i v =
+  Ssx.Memory.write_word (node_memory t i) Replica.self_addr (Ssx.Word.mask v)
+
+let corrupt_view t i v =
+  Ssx.Memory.write_word (node_memory t i) Replica.view_addr (Ssx.Word.mask v)
+
+let corrupt_kv t i key v =
+  Ssx.Memory.write_word (node_memory t i) (Replica.kv_addr key) (Ssx.Word.mask v)
+
+let corrupt_tag t i key v =
+  Ssx.Memory.write_word (node_memory t i) (Replica.seent_addr key) (Ssx.Word.mask v)
+
+let legitimate t =
+  Ssx_stab.Distributed.rsm_legitimate ~states:(states t) ~kvs:(kvs t)
+
+(* [record] for the sharded runs below: the node's counter plus a copy
+   of its store, read on the owning shard right after the node's slot.
+   A node's memory only changes while it runs (delivery just queues
+   words in the destination NIC), so the per-step log reconstructs the
+   exact (states, kvs) matrices a sequential observer would sample. *)
+let record_node cluster who =
+  let mem = Ssx.Machine.memory (Ssos_net.Cluster.machine cluster who) in
+  ( Ssx.Memory.read_word mem Replica.self_addr,
+    Array.init Wire.keys (fun key ->
+        Ssx.Memory.read_word mem (Replica.kv_addr key)) )
+
+let observe ?shards t ~steps =
+  match shards with
+  | None ->
+    let acc = ref [] in
+    for _ = 1 to steps do
+      Ssos_net.Cluster.step t.cluster;
+      acc := sample t :: !acc
+    done;
+    List.rev !acc
+  | Some shards ->
+    let base = Ssos_net.Cluster.steps t.cluster in
+    let current_states = states t in
+    let current_kvs = kvs t in
+    let log =
+      Ssos_net.Cluster.run_sharded_log ~shards ~record:record_node t.cluster
+        ~steps
+    in
+    let rec go s log acc =
+      if s >= base + steps then List.rev acc
+      else begin
+        let log =
+          match log with
+          | (ls, who, (state, kv)) :: rest when ls = s ->
+            current_states.(who) <- state;
+            current_kvs.(who) <- kv;
+            rest
+          | _ -> log
+        in
+        go (s + 1) log
+          ({ Ssx_stab.Distributed.step = s + 1;
+             states = Array.copy current_states;
+             kvs = Array.map Array.copy current_kvs }
+          :: acc)
+      end
+    in
+    go base log []
+
+let run_until_stable ?shards t ~limit =
+  match shards with
+  | None -> Ssos_net.Cluster.run_until t.cluster ~limit (fun _ -> legitimate t)
+  | Some shards ->
+    (* Chunked like {!Net_ring.run_until_legitimate}: each chunk is one
+       sharded run whose log is replayed to find the exact first stable
+       step; the chunk length depends only on the cluster, so the
+       result is shard-count invariant (the cluster overshoots to the
+       chunk boundary). *)
+    let chunk = 16 * max 1 (Ssos_net.Cluster.latency t.cluster - 1) in
+    let base = Ssos_net.Cluster.steps t.cluster in
+    let current_states = states t in
+    let current_kvs = kvs t in
+    let rec go consumed =
+      if consumed >= limit then None
+      else begin
+        let steps = min chunk (limit - consumed) in
+        let log =
+          Ssos_net.Cluster.run_sharded_log ~shards ~record:record_node
+            t.cluster ~steps
+        in
+        let found =
+          List.fold_left
+            (fun found (s, who, (state, kv)) ->
+              current_states.(who) <- state;
+              current_kvs.(who) <- kv;
+              match found with
+              | Some _ -> found
+              | None ->
+                if
+                  Ssx_stab.Distributed.rsm_legitimate ~states:current_states
+                    ~kvs:current_kvs
+                then Some (s + 1 - base)
+                else None)
+            None log
+        in
+        match found with
+        | Some consumed -> Some consumed
+        | None -> go (consumed + steps)
+      end
+    in
+    go 0

@@ -1,0 +1,94 @@
+(** A self-stabilizing replicated key-value service on a {!Ssos_net}
+    cluster.
+
+    Each node is a whole SSX16 machine running the §5.2 scheduler with
+    one {!Replica} guest.  The replicas run a token-sequenced
+    replication protocol (see {!Replica} and DESIGN.md §4i) over the
+    cluster NICs; every node additionally carries a {e client} NIC
+    (ports from {!Replica.client_base_port}) through which a
+    {!Workload} injects get/put requests and collects responses.
+
+    Legality is two-part ({!Ssx_stab.Distributed.rsm_legitimate}): the
+    token ring is legitimate on the true counters {e and} every
+    replica's store is identical.  Both hold from the all-zero start
+    and re-emerge after arbitrary transient faults. *)
+
+type t = {
+  cluster : Ssos_net.Cluster.t;
+  systems : Ssos.Sched.t array;  (** node [i]'s scheduler system *)
+  clients : Ssos_net.Nic.t array;  (** node [i]'s client-facing NIC *)
+  n : int;
+}
+
+val build :
+  ?n:int ->
+  ?policy:Ssos_net.Cluster.policy ->
+  ?ticks_per_slot:int ->
+  ?latency:int ->
+  ?edges:(int * int) list ->
+  ?watchdog_period:int ->
+  ?capacity:int ->
+  ?client_capacity:int ->
+  ?faults:(src:int -> dst:int -> Ssos_net.Link.fault_model) ->
+  ?decode_cache:bool ->
+  ?jit:bool ->
+  ?obs:bool ->
+  seed:int64 ->
+  unit ->
+  t
+(** An [n]-node service (default 5, at least 2), ring-linked
+    [i -> i+1 mod n] unless [edges] overrides the topology (the
+    protocol still assumes the ring order for its guarantees).
+    [ticks_per_slot] defaults to 200 — a replica pass is longer than a
+    {!Ssos_net.Net_ring} pass, since it serves clients and retransmits
+    a whole frame.  [capacity] (default 64) bounds the cluster NIC RX
+    queue; [client_capacity] (default 8) the client NIC RX queue —
+    requests arriving into a full queue are dropped and counted
+    ({!Ssos_net.Nic.stats}).
+
+    The bounded-tag protocol stabilizes for [n <= Wire.k] (= 8); larger
+    clusters still run deterministically for throughput measurement,
+    but the Dijkstra argument needs more counter states than nodes.
+
+    [obs] (default {!Ssos_obs.Obs.enabled}) instruments every node
+    (labelled [rsm<i>]), the cluster links, and each client NIC's
+    high-water mark and drop counter (labelled [client<i>]). *)
+
+val states : t -> int array
+(** True replica counters, node order. *)
+
+val views : t -> int array
+
+val kv : t -> int -> int array
+(** Node [i]'s store, one word (value byte) per key. *)
+
+val kvs : t -> int array array
+
+val sample : t -> Ssx_stab.Distributed.rsm_sample
+
+val corrupt_state : t -> int -> int -> unit
+val corrupt_view : t -> int -> int -> unit
+
+val corrupt_kv : t -> int -> int -> int -> unit
+(** [corrupt_kv t i key v] — overwrite one store word with a raw 16-bit
+    value (replicas clamp values to a byte as frames re-arrive). *)
+
+val corrupt_tag : t -> int -> int -> int -> unit
+(** Overwrite node [i]'s received-frame tag for [key] — fakes a
+    complete frame and can trigger a transiently incoherent move. *)
+
+val legitimate : t -> bool
+(** {!Ssx_stab.Distributed.rsm_legitimate} on the current state. *)
+
+val observe :
+  ?shards:int -> t -> steps:int -> Ssx_stab.Distributed.rsm_sample list
+(** Run [steps] cluster steps, sampling counters and stores after each.
+    With [?shards] the run uses {!Ssos_net.Cluster.run_sharded_log} and
+    reconstructs the sample list from the per-slot log — bit-identical
+    to sequential sampling for any shard count. *)
+
+val run_until_stable : ?shards:int -> t -> limit:int -> int option
+(** First step at which the joint state is {!legitimate} (which may
+    flicker while a frame is in flight — use {!observe} plus
+    {!Ssx_stab.Distributed.rsm_judge} for a windowed verdict).  Sharded
+    semantics as {!Ssos_net.Net_ring.run_until_legitimate}. *)

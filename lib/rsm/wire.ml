@@ -1,0 +1,31 @@
+let keys = 8
+let k = 8
+
+let sync ~tag ~key ~value =
+  0x8000 lor ((tag land (k - 1)) lsl 11) lor ((key land (keys - 1)) lsl 8)
+  lor (value land 0xFF)
+
+let token counter = counter land (k - 1)
+let is_sync word = word land 0x8000 <> 0
+
+let request ~put ~rid ~key ~value =
+  if rid < 1 || rid > 15 then invalid_arg "Wire.request: rid must be in 1..15";
+  (if put then 0x8000 else 0)
+  lor (rid lsl 11)
+  lor ((key land (keys - 1)) lsl 8)
+  lor (value land 0xFF)
+
+type op = {
+  put : bool;
+  rid : int;
+  key : int;
+  value : int;
+}
+
+let decode word =
+  { put = word land 0x8000 <> 0;
+    rid = (word lsr 11) land 0xF;
+    key = (word lsr 8) land (keys - 1);
+    value = word land 0xFF }
+
+let match_byte word = (word lsr 8) land 0xFF

@@ -1,0 +1,51 @@
+(** Word formats of the replicated key-value state machine.
+
+    Two wire vocabularies share the 16-bit word:
+
+    {e Replication} (cluster NIC, node [i] -> node [i+1]):
+
+    - [SYNC]  word: bit 15 set; bits 13-11 the frame {e tag} (the
+      sender's bounded Dijkstra counter, 0..K-1); bits 10-8 the key;
+      bits 7-0 the value byte.  Eight of these — one per key — carry
+      the sender's whole store.
+    - [TOKEN] word: bit 15 clear; bits 2-0 the sender's counter.
+
+    {e Client traffic} (client NIC):
+
+    - request: bit 15 the op (1 = put, 0 = get); bits 14-11 a rolling
+      request id in 1..15 (never 0, so the all-zero word is not a
+      valid request and a replayed pop that reads an empty queue
+      self-identifies as junk); bits 10-8 the key; bits 7-0 the value
+      (puts) or 0 (gets).
+    - response: the request word with the value byte replaced by the
+      store's value at serve time — a put echoes what it wrote, a get
+      carries what it read.  Bits 15-8 (op, id, key) are echoed
+      verbatim, which is what lets the workload match responses to
+      requests. *)
+
+val keys : int
+(** 8 keys, 3 bits. *)
+
+val k : int
+(** 8 counter states — the bounded tag space. *)
+
+val sync : tag:int -> key:int -> value:int -> int
+val token : int -> int
+val is_sync : int -> bool
+
+val request : put:bool -> rid:int -> key:int -> value:int -> int
+(** [rid] must be in 1..15. *)
+
+type op = {
+  put : bool;
+  rid : int;
+  key : int;
+  value : int;  (** request: argument; response: value at serve time *)
+}
+
+val decode : int -> op
+(** Decode a request or response word (same layout). *)
+
+val match_byte : int -> int
+(** Bits 15-8 of a request/response word — the (op, id, key) triple a
+    response echoes, used to pair it with its request. *)

@@ -1,0 +1,133 @@
+type t = {
+  service : Service.t;
+  schedule : (int * int) array array;
+  cursor : int array;
+  slot : int array;
+  injected : int list array;  (* per node, newest first *)
+  dropped : int array;
+  last_word : int array;  (* per node, for consecutive-duplicate dedup *)
+  mutable responses : (int * int * int) list;  (* newest first *)
+}
+
+let schedule ?(rate = 0.05) ~n ~slots ~seed () =
+  if rate < 0.0 || rate > 1.0 then invalid_arg "Workload.schedule: rate";
+  Array.init n (fun node ->
+      let rng = Ssx_faults.Rng.create (Ssx_faults.Rng.derive seed (node + 1)) in
+      let rid = ref 0 in
+      let acc = ref [] in
+      for slot = 1 to slots do
+        if Ssx_faults.Rng.float rng < rate then begin
+          let put = Ssx_faults.Rng.bool rng in
+          let key = Ssx_faults.Rng.int rng Wire.keys in
+          let value = if put then Ssx_faults.Rng.int rng 256 else 0 in
+          rid := (!rid mod 15) + 1;
+          acc := (slot, Wire.request ~put ~rid:!rid ~key ~value) :: !acc
+        end
+      done;
+      Array.of_list (List.rev !acc))
+
+let create service schedule =
+  let n = service.Service.n in
+  if Array.length schedule <> n then
+    invalid_arg "Workload.create: schedule size does not match node count";
+  { service;
+    schedule;
+    cursor = Array.make n 0;
+    slot = Array.make n 0;
+    injected = Array.make n [];
+    dropped = Array.make n 0;
+    last_word = Array.make n 0;
+    responses = [] }
+
+let discard t =
+  Array.iter
+    (fun client -> ignore (Ssos_net.Nic.drain_tx client))
+    t.service.Service.clients
+
+(* Runs on the owning worker domain right after node [who]'s slot: it
+   touches only [who]'s cells of the per-node arrays and allocates its
+   own result, as {!Ssos_net.Cluster.run_sharded_log} requires — which
+   is what makes the whole workload shard-count invariant. *)
+let record t _cluster who =
+  t.slot.(who) <- t.slot.(who) + 1;
+  let slot = t.slot.(who) in
+  let sched = t.schedule.(who) in
+  let len = Array.length sched in
+  while
+    t.cursor.(who) < len
+    && fst sched.(t.cursor.(who)) <= slot
+  do
+    let _, word = sched.(t.cursor.(who)) in
+    t.cursor.(who) <- t.cursor.(who) + 1;
+    if Ssos_net.Nic.deliver t.service.Service.clients.(who) word then
+      t.injected.(who) <- word :: t.injected.(who)
+    else t.dropped.(who) <- t.dropped.(who) + 1
+  done;
+  Ssos_net.Nic.drain_tx t.service.Service.clients.(who)
+
+let run ?(shards = 1) t ~steps =
+  let log =
+    Ssos_net.Cluster.run_sharded_log ~shards ~record:(record t)
+      t.service.Service.cluster ~steps
+  in
+  (* Merge in step order (the log carries exactly one entry per step).
+     A replica's transmit block may replay after a watchdog preemption
+     and emit the same response word twice in a row; genuine
+     consecutive responses always differ in the rolling request id, so
+     dropping per-node consecutive duplicates is exact. *)
+  List.iter
+    (fun (step, who, words) ->
+      List.iter
+        (fun word ->
+          if word <> t.last_word.(who) then begin
+            t.last_word.(who) <- word;
+            t.responses <- (step, who, word) :: t.responses
+          end)
+        words)
+    log
+
+let responses t = List.rev t.responses
+
+let ops t =
+  List.rev_map
+    (fun (_, _, word) ->
+      let op = Wire.decode word in
+      { Ssx_stab.Distributed.is_put = op.Wire.put;
+        key = op.Wire.key;
+        value = op.Wire.value })
+    t.responses
+
+let injected t =
+  Array.fold_left (fun acc words -> acc + List.length words) 0 t.injected
+
+let dropped t = Array.fold_left ( + ) 0 t.dropped
+
+let matched t =
+  (* Pair responses with injected requests per node, as multisets of
+     the echoed (op, id, key) byte: a response commits a request when
+     one injected request with that byte is still unmatched. *)
+  let tables =
+    Array.map
+      (fun words ->
+        let table = Hashtbl.create 16 in
+        List.iter
+          (fun word ->
+            let byte = Wire.match_byte word in
+            Hashtbl.replace table byte
+              (1 + Option.value ~default:0 (Hashtbl.find_opt table byte)))
+          words;
+        table)
+      t.injected
+  in
+  List.fold_left
+    (fun acc (_, who, word) ->
+      let table = tables.(who) in
+      let byte = Wire.match_byte word in
+      match Hashtbl.find_opt table byte with
+      | Some count when count > 0 ->
+        Hashtbl.replace table byte (count - 1);
+        acc + 1
+      | Some _ | None -> acc)
+    0 t.responses
+
+let lost t = injected t - matched t

@@ -1,0 +1,68 @@
+(** The client driver: seeded open-loop get/put traffic against a
+    {!Service}, injected through the per-node client NICs while the
+    cluster runs, with responses collected in exact serve order.
+
+    The whole driver is built on
+    {!Ssos_net.Cluster.run_sharded_log}'s record hook — requests are
+    delivered (and responses drained) on the owning shard right after
+    the node's slot, keyed off a per-node slot counter rather than
+    wall-clock steps — so injection times, drops, responses, and every
+    derived count are bit-identical for any shard count.
+
+    Response order {e is} serve order: a node serves only during its
+    own slot, exactly one node slot runs per cluster step, the client
+    TX queue is FIFO, and the merged log is sorted by step.  Since
+    replicas serve only at token moves, that order is also the token's
+    total order over operations — which is what makes
+    {!Ssx_stab.Distributed.linearizable} on {!ops} a sound check. *)
+
+type t
+
+val schedule :
+  ?rate:float -> n:int -> slots:int -> seed:int64 -> unit ->
+  (int * int) array array
+(** Per-node request schedules: at each of [slots] per-node slots, with
+    probability [rate] (default 0.05) one request — a put of a random
+    value or a get, uniform over the {!Wire.keys} keys, request ids
+    rolling 1..15 — derived from [seed] (stream [node + 1]), ordered by
+    slot. *)
+
+val create : Service.t -> (int * int) array array -> t
+(** A fresh driver over [service] with one [(slot, request)] array per
+    node (from {!schedule}, or hand-built).  Injection state, counters,
+    and collected responses all start empty. *)
+
+val discard : t -> unit
+(** Drain and discard whatever is sitting in the client TX queues —
+    stale responses from an earlier phase (e.g. junk served from a
+    corrupted staging slot during fault recovery).  Call before the
+    first {!run} when the service has a past. *)
+
+val run : ?shards:int -> t -> steps:int -> unit
+(** Advance the cluster [steps] steps (default one shard, i.e.
+    sequential), injecting scheduled requests and accumulating
+    responses.  May be called repeatedly; per-node slot counters carry
+    across calls.  Consecutive duplicate response words from one node —
+    the transmit block's replay artifact — are dropped exactly, since
+    genuine consecutive responses differ in the rolling request id. *)
+
+val responses : t -> (int * int * int) list
+(** [(step, node, word)] in serve order. *)
+
+val ops : t -> Ssx_stab.Distributed.kv_op list
+(** The responses decoded for the linearizability judge. *)
+
+val injected : t -> int
+(** Requests accepted into client RX queues so far. *)
+
+val dropped : t -> int
+(** Requests lost to client RX overflow (back-pressure, visible as the
+    NIC drop counters under [--metrics]). *)
+
+val matched : t -> int
+(** Responses paired 1:1 with injected requests per node by the echoed
+    (op, id, key) byte — the committed-request count. *)
+
+val lost : t -> int
+(** [injected - matched]: requests accepted but never answered (e.g.
+    still queued when the run ended, or popped by a replayed read). *)

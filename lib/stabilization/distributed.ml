@@ -38,3 +38,58 @@ let violation_count ~samples =
   List.fold_left
     (fun count { states; _ } -> if legitimate ~states then count else count + 1)
     0 samples
+
+(* ------------------- replicated state machines (lib/rsm) ----------- *)
+
+type rsm_sample = { step : int; states : int array; kvs : int array array }
+
+let coherent ~kvs =
+  Array.length kvs = 0
+  ||
+  let first = kvs.(0) in
+  Array.for_all (fun row -> row = first) kvs
+
+let rsm_legitimate ~states ~kvs = legitimate ~states && coherent ~kvs
+
+let rsm_last_violation ~samples ~end_step =
+  match samples with
+  | [] -> Some end_step
+  | _ ->
+    List.fold_left
+      (fun acc (s : rsm_sample) ->
+        if rsm_legitimate ~states:s.states ~kvs:s.kvs then acc else Some s.step)
+      None samples
+
+let rsm_judge ~window ~samples ~end_step =
+  match rsm_last_violation ~samples ~end_step with
+  | None ->
+    if end_step >= window then
+      Convergence.Converged { at_tick = 0; legal_for = end_step }
+    else Convergence.Not_converged { last_violation = None }
+  | Some step ->
+    let legal_for = end_step - step in
+    if legal_for >= window then Convergence.Converged { at_tick = step; legal_for }
+    else Convergence.Not_converged { last_violation = Some step }
+
+let rsm_violation_count ~samples =
+  List.fold_left
+    (fun count (s : rsm_sample) ->
+      if rsm_legitimate ~states:s.states ~kvs:s.kvs then count else count + 1)
+    0 samples
+
+type kv_op = { is_put : bool; key : int; value : int }
+
+let linearizable ~init ~ops =
+  let reference = Array.copy init in
+  let rec go i = function
+    | [] -> None
+    | { is_put; key; value } :: rest ->
+      if key < 0 || key >= Array.length reference then Some i
+      else if is_put then begin
+        reference.(key) <- value;
+        go (i + 1) rest
+      end
+      else if value <> reference.(key) then Some i
+      else go (i + 1) rest
+  in
+  go 0 ops

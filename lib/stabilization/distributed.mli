@@ -33,3 +33,50 @@ val judge :
     [end_step]. *)
 
 val violation_count : samples:sample list -> int
+
+(** {1 Replicated state machines}
+
+    The two-part legality notion of a token-sequenced replicated
+    key-value machine (lib/rsm): (a) the ring's counter states are
+    legitimate in Dijkstra's sense {e and} every replica holds the same
+    store — the logs have converged to a common prefix, witnessed by
+    the stores they fold to — and (b) the client responses served after
+    convergence replay linearizably against a single reference map.
+    Both judges stay generic over plain integer matrices and operation
+    lists, so this module needs no knowledge of the RSM wire format. *)
+
+type rsm_sample = { step : int; states : int array; kvs : int array array }
+(** Joint counter states plus every replica's store (one row per node,
+    node order), observed at one cluster step. *)
+
+val coherent : kvs:int array array -> bool
+(** All store rows equal. *)
+
+val rsm_legitimate : states:int array -> kvs:int array array -> bool
+(** {!legitimate} on the counters and {!coherent} on the stores. *)
+
+val rsm_judge :
+  window:int -> samples:rsm_sample list -> end_step:int ->
+  Convergence.verdict
+(** Windowed verdict over a trace of {!rsm_sample}s, exactly like
+    {!judge}: the suffix after the last violation must be at least
+    [window] steps long.  Replica coherence flickers while a frame is
+    in flight mid-move, which is why a windowed last-violation judge is
+    required rather than a first-hit search. *)
+
+val rsm_violation_count : samples:rsm_sample list -> int
+
+type kv_op = { is_put : bool; key : int; value : int }
+(** One client response, decoded: for a put, [value] is what the
+    replica wrote; for a get, what it read. *)
+
+val linearizable : init:int array -> ops:kv_op list -> int option
+(** Replay [ops] — client responses in serve order — against a
+    reference map starting at [init].  Puts update the reference; a get
+    must return exactly the reference's current value.  [None] when the
+    whole trace is consistent, [Some i] for the index of the first
+    violating (stale or phantom) response.  Sound as a linearizability
+    check because the RSM serves requests only at token moves: the
+    token's total order is the linearization order, and responses are
+    collected in exactly that order (one node slot per cluster step,
+    FIFO queues per node). *)

@@ -240,6 +240,58 @@ let test_tables_shards_invariant () =
   check_bool "T14 shards:1 = shards:4" true (t14 1 = t14 4);
   check_bool "T15 shards:1 = shards:4" true (t15 1 = t15 4)
 
+(* ------------------------------------------------ rsm campaign *)
+
+(* The replicated-service campaign adds a serve phase (client traffic
+   plus a linearizability verdict) after the judged recovery; its
+   summary must stay bit-identical across worker and shard counts just
+   like the plain ring campaign.  Latency 3 so the sharded stepper's
+   conservative horizon engages; lossy links so the per-link RNG replay
+   is exercised; the perturbation corrupts every replica's counter,
+   view, store and received-frame tags. *)
+let rsm_summary_run ~jobs ~shards =
+  let build () =
+    Ssos_rsm.Service.build ~n:5 ~obs:false ~latency:3
+      ~faults:(fun ~src:_ ~dst:_ ->
+        Ssos_net.Link.lossy ~drop:0.1 ~max_delay:1 ())
+      ~seed:31L ()
+  in
+  let perturb rng (service : Ssos_rsm.Service.t) =
+    for i = 0 to service.Ssos_rsm.Service.n - 1 do
+      Ssos_rsm.Service.corrupt_state service i (Ssx_faults.Rng.int rng 0x10000);
+      Ssos_rsm.Service.corrupt_view service i (Ssx_faults.Rng.int rng 0x10000);
+      for k = 0 to Ssos_rsm.Wire.keys - 1 do
+        Ssos_rsm.Service.corrupt_kv service i k (Ssx_faults.Rng.int rng 0x10000);
+        Ssos_rsm.Service.corrupt_tag service i k (Ssx_faults.Rng.int rng 0x10000)
+      done
+    done
+  in
+  Ssos_experiments.Runner.rsm_campaign ~build ~perturb ~oversubscribe:true
+    ~jobs ~shards ~trials:2 ~seed:13L ()
+
+let test_rsm_campaign_differential () =
+  let reference = rsm_summary_run ~jobs:1 ~shards:1 in
+  check_int "reference ran all trials" 2
+    reference.Ssos_experiments.Runner.core.Ssos_experiments.Runner.trials;
+  check_bool "reference linearized at least one trial" true
+    (reference.Ssos_experiments.Runner.linearized > 0);
+  check_bool "jobs:4" true (rsm_summary_run ~jobs:4 ~shards:1 = reference);
+  check_bool "shards:4" true (rsm_summary_run ~jobs:1 ~shards:4 = reference);
+  check_bool "jobs:4 shards:4" true
+    (rsm_summary_run ~jobs:4 ~shards:4 = reference)
+
+let test_rsm_tables_shards_invariant () =
+  (* The published T16/T17 tables are bit-identical for any --shards,
+     exactly as their doc comments promise. *)
+  let t16 shards =
+    Ssos_experiments.Experiments.t16_rsm_link_faults ~trials:1 ~shards ()
+  in
+  let t17 shards =
+    Ssos_experiments.Experiments.t17_rsm_combined_faults ~trials:1 ~shards ()
+  in
+  check_bool "T16 shards:1 = shards:4" true (t16 1 = t16 4);
+  check_bool "T17 shards:1 = shards:4" true (t17 1 = t17 4)
+
 let suite =
   [ case "pool returns results in task order" test_pool_run_in_order;
     case "pool shares per-worker state" test_pool_run_with_shares_state;
@@ -254,4 +306,6 @@ let suite =
       test_campaign_obs_invariance;
     case "ring campaign: shards/jobs differential"
       test_ring_campaign_shards_differential;
-    case "T14/T15 tables are shard-invariant" test_tables_shards_invariant ]
+    case "T14/T15 tables are shard-invariant" test_tables_shards_invariant;
+    case "rsm campaign: jobs/shards differential" test_rsm_campaign_differential;
+    case "T16/T17 tables are shard-invariant" test_rsm_tables_shards_invariant ]

@@ -25,6 +25,7 @@ let () =
       ("token ring on the tiny OS", Test_token_os.suite);
       ("experiments", Test_experiments.suite);
       ("network cluster (lib/net)", Test_net.suite);
+      ("replicated state machine (lib/rsm)", Test_rsm.suite);
       ("campaign engine (differential)", Test_campaigns.suite);
       ("tooling (trace, snapshot)", Test_tooling.suite);
       ("decode cache (differential)", Test_differential.suite);

@@ -50,6 +50,47 @@ let test_nic_overflow () =
   check_int "pending" 2 (Nic.pending_rx nic);
   check_int "dropped counted" 1 (Nic.stats nic).Nic.rx_dropped
 
+let test_nic_hwm_and_drops () =
+  (* The RX high-water mark records the deepest queue occupancy ever
+     reached — not the current depth — and overflow drops are counted;
+     both publish through Device_obs as back-pressure gauges. *)
+  let machine, _ =
+    Helpers.machine_with "mov dx, 0x31\nin ax, dx\nin ax, dx\nhlt\n"
+  in
+  let nic = Nic.create ~capacity:3 () in
+  Nic.attach nic machine;
+  check_int "hwm starts at zero" 0 (Nic.stats nic).Nic.rx_hwm;
+  check_bool "first fits" true (Nic.deliver nic 1);
+  check_bool "second fits" true (Nic.deliver nic 2);
+  check_int "hwm tracks occupancy" 2 (Nic.stats nic).Nic.rx_hwm;
+  check_bool "third fits" true (Nic.deliver nic 3);
+  check_bool "fourth dropped" false (Nic.deliver nic 4);
+  Helpers.run_to_halt machine;
+  check_int "guest drained two words" 1 (Nic.pending_rx nic);
+  let stats = Nic.stats nic in
+  check_int "hwm is the deepest occupancy, not the current" 3 stats.Nic.rx_hwm;
+  check_int "overflow counted" 1 stats.Nic.rx_dropped;
+  let module Obs = Ssos_obs.Obs in
+  Obs.reset ();
+  Obs.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.set_enabled false;
+      Obs.reset ())
+    (fun () ->
+      Nic.observe ~label:"t" nic;
+      let rows = (Obs.snapshot ()).Obs.rows in
+      let gauge name =
+        match
+          List.find_opt (fun (r : Obs.row) -> r.Obs.name = name) rows
+        with
+        | Some { Obs.value = Obs.Gauge v; _ } -> v
+        | Some _ | None -> Alcotest.failf "no gauge %s" name
+      in
+      check_bool "rx-hwm gauge" true (gauge "device.nic{id=t}.rx-hwm" = 3.);
+      check_bool "rx-dropped gauge" true
+        (gauge "device.nic{id=t}.rx-dropped" = 1.))
+
 let test_nic_empty_rx_reads_zero () =
   let machine, _ =
     Helpers.machine_with "mov dx, 0x31\nin ax, dx\nmov dx, 0x32\nin ax, dx\nhlt\n"
@@ -205,9 +246,10 @@ let test_ring_token_circulates () =
   let seen = Array.make 4 false in
   let samples = Net_ring.observe ring ~steps:2_000 in
   List.iter
-    (fun { Ssx_stab.Distributed.states; _ } ->
+    (fun (s : Ssx_stab.Distributed.sample) ->
       for i = 0 to 3 do
-        if Ssx_stab.Distributed.privileged ~states i then seen.(i) <- true
+        if Ssx_stab.Distributed.privileged ~states:s.states i then
+          seen.(i) <- true
       done)
     samples;
   check_bool "every node held the privilege" true (Array.for_all Fun.id seen)
@@ -451,6 +493,34 @@ let test_random_topology () =
   check_bool "seed changes the graph" true
     (edges <> Cluster.random_edges ~n ~degree ~seed:0xBEEFL)
 
+let test_random_topology_properties () =
+  (* Across small sizes, degrees and many seeds, every draw must be a
+     simple strongly connected digraph.  Out-degree is [>= degree], not
+     [=]: disconnected degree-1 draws are repaired by adding
+     ring-successor edges, which can only raise degrees. *)
+  for n = 4 to 12 do
+    for degree = 1 to 3 do
+      for seed = 1 to 20 do
+        let label = Printf.sprintf "n=%d degree=%d seed=%d" n degree seed in
+        let edges =
+          Cluster.random_edges ~n ~degree
+            ~seed:(Int64.of_int ((n * 1000) + (degree * 100) + seed))
+        in
+        let out, _ = degrees ~n edges in
+        check_bool (label ^ ": out-degree covers the request") true
+          (Array.for_all (fun d -> d >= degree) out);
+        check_bool (label ^ ": no self loops") true
+          (List.for_all (fun (s, d) -> s <> d) edges);
+        check_int (label ^ ": no duplicate edges") (List.length edges)
+          (List.length (List.sort_uniq compare edges));
+        check_bool (label ^ ": strongly connected") true
+          (List.for_all
+             (fun from -> reachable ~n edges ~from)
+             (List.init n Fun.id))
+      done
+    done
+  done
+
 let test_observe_aggregate_mode () =
   let module Obs = Ssos_obs.Obs in
   Obs.reset ();
@@ -587,6 +657,7 @@ let test_campaign_obs_invariance () =
 let suite =
   [ case "nic: guest port I/O" test_nic_guest_io;
     case "nic: bounded RX queue drops and counts" test_nic_overflow;
+    case "nic: RX high-water mark and drop gauges" test_nic_hwm_and_drops;
     case "nic: empty RX reads zero" test_nic_empty_rx_reads_zero;
     case "nic: RX interrupt" test_nic_rx_interrupt;
     case "nic: snapshot round-trip" test_nic_snapshot_roundtrip;
@@ -608,6 +679,8 @@ let suite =
     case "sharded: convergence step invariant" test_sharded_convergence_step_invariance;
     case "topology: torus degree and connectivity" test_torus_topology;
     case "topology: random graph degree and connectivity" test_random_topology;
+    case "topology: random graphs are simple and connected across seeds"
+      test_random_topology_properties;
     case "observe: aggregate mode totals" test_observe_aggregate_mode;
     case "campaign: bit-identical across jobs" test_campaign_jobs_invariance;
     case "campaign: bit-identical across strategies" test_campaign_strategy_invariance;
