@@ -7,8 +7,9 @@
    Usage:
      main.exe            full run; writes BENCH_machine.json,
                          BENCH_experiments.json, BENCH_net.json,
-                         BENCH_rsm.json, BENCH_fuzz.json and
-                         BENCH_obs.json to the current directory
+                         BENCH_rsm.json, BENCH_fuzz.json,
+                         BENCH_adversary.json and BENCH_obs.json to
+                         the current directory
      main.exe --smoke    quick harness exercise: tables + short machine
                          and cluster campaign pairs + one short
                          quota-limited Bechamel pass, no JSON written
@@ -345,6 +346,64 @@ let fuzz_bench () =
      float_of_int (List.length seq_summary.Ssx_fuzz.Fuzz_loop.divergences));
     ("fuzz-summaries-identical", if identical then 1.0 else 0.0) ]
 
+(* ----------------------------------------------------------- adversary *)
+
+(* The exhaustive abstract checker and the adversarial scheduling
+   daemons (DESIGN.md §4j): configurations analyzed per second by
+   Model.analyze — one BFS plus one backward-induction pass over all
+   K^n ring configurations — and cluster throughput under the
+   state-inspecting adaptive daemon, whose per-step guard inspection
+   and scoring is the interesting overhead against the round-robin
+   baseline. *)
+let adversary_bench () =
+  let n, k = if smoke then (4, 5) else (6, 7) in
+  let table = ref None in
+  let (), analyze_ns =
+    timed "model-analyze" (fun () ->
+        table := Some (Ssx_stab.Model.analyze ~n ~k))
+  in
+  let tb = Option.get !table in
+  let size = tb.Ssx_stab.Model.model.Ssx_stab.Model.size in
+  let configs_per_sec = float_of_int size /. (analyze_ns /. 1e9) in
+  Format.printf "== Adversary (checker + adaptive daemon) ==@.";
+  Format.printf
+    "  checker n=%d K=%d: %d configs  %12.0f configs/sec  (worst-case \
+     bound %d, divergent %d)@."
+    n k size configs_per_sec
+    (Ssx_stab.Model.worst_bound tb)
+    (Ssx_stab.Model.divergent tb);
+  let steps = if smoke then 600 else 6_000 in
+  let throughput label policy span =
+    let ring = Ssos_net.Net_ring.build ~n:4 ~policy ~seed:31L () in
+    Ssos_net.Cluster.run ring.Ssos_net.Net_ring.cluster ~steps:200;
+    let (), ns =
+      timed span (fun () ->
+          Ssos_net.Cluster.run ring.Ssos_net.Net_ring.cluster ~steps)
+    in
+    let per_sec = float_of_int steps /. (ns /. 1e9) in
+    Format.printf "  %-30s %12.0f cluster-steps/sec@." label per_sec;
+    per_sec
+  in
+  let rr =
+    throughput "round-robin baseline" Ssos_net.Cluster.Round_robin
+      "adversary-ring-rr"
+  in
+  let adaptive =
+    throughput "adaptive daemon"
+      (Ssos_net.Cluster.Daemon
+         (Ssx_stab.Adversary.adaptive ~k:Ssos_net.Net_ring.k ()))
+      "adversary-ring-adaptive"
+  in
+  Format.printf "  adaptive daemon overhead:      %11.2fx@.@."
+    (rr /. adaptive);
+  [ ("model-analyze-configs", float_of_int size);
+    ("model-analyze-ns", analyze_ns);
+    ("model-analyze-configs-per-sec", configs_per_sec);
+    ("model-worst-bound", float_of_int (Ssx_stab.Model.worst_bound tb));
+    ("adversary-ring-steps-per-sec-round-robin", rr);
+    ("adversary-ring-steps-per-sec-adaptive", adaptive);
+    ("adaptive-daemon-overhead", rr /. adaptive) ]
+
 (* Guest-cycle costs are deterministic properties of the designs, not
    host-time measurements: report them by direct simulation. *)
 let guest_cycle_costs () =
@@ -665,6 +724,7 @@ let () =
   let net_rows = net_bench () @ net_scale_bench () in
   let rsm_rows = rsm_bench () in
   let fuzz_rows = fuzz_bench () in
+  let adversary_rows = adversary_bench () in
   let costs = guest_cycle_costs () in
   print_guest_cycle_costs costs;
   let micro = run_micro () in
@@ -675,5 +735,6 @@ let () =
     write_flat_json ~path:"BENCH_net.json" net_rows;
     write_flat_json ~path:"BENCH_rsm.json" rsm_rows;
     write_flat_json ~path:"BENCH_fuzz.json" fuzz_rows;
+    write_flat_json ~path:"BENCH_adversary.json" adversary_rows;
     write_flat_json ~path:"BENCH_obs.json" obs_rows
   end

@@ -2,12 +2,13 @@
 
    Subcommands:
      demo <design>      run one of the paper's designs and narrate
-     experiment <id>    regenerate an evaluation table (T1..T15, or all)
+     experiment <id>    regenerate an evaluation table (T1..T19, or all)
      figures            print the paper's figures as assembling source
      listing <figure>   disassemble an assembled figure
      trace <design>     run a design and dump its last events
      campaign           custom fault-injection campaign
      cluster            multi-machine token ring over lossy links
+     adversary          adversarial daemons + exhaustive abstract checker
      fuzz               differential fuzzing against the reference oracle *)
 
 let ok = Cmdliner.Cmd.Exit.ok
@@ -181,7 +182,7 @@ let experiment id format jobs shards =
       print_table format (run ?jobs ?shards ());
       ok
     | None ->
-      Format.eprintf "ssos: unknown experiment %s (expected T1..T15 or all)@."
+      Format.eprintf "ssos: unknown experiment %s (expected T1..T19 or all)@."
         id;
       Cmdliner.Cmd.Exit.cli_error
 
@@ -421,6 +422,163 @@ let rsm nodes drop rate faults steps limit seed shards latency =
   if converged && committed > 0 && linearized then ok
   else Cmdliner.Cmd.Exit.cli_error
 
+(* ----------------------------------------------------------- adversary *)
+
+let make_daemon daemon victim down_from down_for period =
+  match daemon with
+  | `Round_robin -> ("round-robin", Ssos_net.Cluster.Round_robin)
+  | `Fair_random -> ("fair-random", Ssos_net.Cluster.Fair_random)
+  | `Starve ->
+    let d = Ssx_stab.Adversary.starve ~victim () in
+    (d.Ssx_stab.Adversary.name, Ssos_net.Cluster.Daemon d)
+  | `Crash ->
+    let d = Ssx_stab.Adversary.crash ?period ~down_from ~down_for ~victim () in
+    (d.Ssx_stab.Adversary.name, Ssos_net.Cluster.Daemon d)
+  | `Adaptive ->
+    let d = Ssx_stab.Adversary.adaptive ~k:Ssos_net.Net_ring.k () in
+    (d.Ssx_stab.Adversary.name, Ssos_net.Cluster.Daemon d)
+
+(* Exhaustively analyze the abstract ring when the state space fits,
+   then drive concrete adversarial trials and check the checker's
+   worst-case bound dominates the observed post-burn-in move count.
+   A domination violation is a real soundness bug: non-zero exit. *)
+let adversary_ring nodes daemon victim down_from down_for period drop trials
+    seed limit =
+  let k = Ssos_net.Net_ring.k in
+  let table =
+    match Ssx_stab.Model.create ~n:nodes ~k with
+    | exception Invalid_argument _ -> None
+    | _ -> Some (Ssx_stab.Model.analyze ~n:nodes ~k)
+  in
+  (match table with
+  | Some tb ->
+    let m = tb.Ssx_stab.Model.model in
+    Format.printf
+      "== exhaustive checker: n=%d K=%d (%d configurations) ==@."
+      nodes k m.Ssx_stab.Model.size;
+    Format.printf
+      "legitimate: %d  divergent: %d  best-case bound: %d  worst-case \
+       bound: %d@."
+      (Ssx_stab.Model.legitimate_count tb)
+      (Ssx_stab.Model.divergent tb)
+      (Ssx_stab.Model.best_bound tb)
+      (Ssx_stab.Model.worst_bound tb)
+  | None ->
+    Format.printf
+      "== checker skipped: K^n exceeds the state-space cap ==@.");
+  let name, policy = make_daemon daemon victim down_from down_for period in
+  Format.printf "== %d-node ring under daemon %s, drop=%.2f ==@." nodes name
+    drop;
+  let seed64 = Int64.of_int seed in
+  let violations = ref 0 in
+  let recovered = ref 0 in
+  for trial = 0 to trials - 1 do
+    let faults ~src:_ ~dst:_ =
+      if drop = 0. then Ssos_net.Link.benign ()
+      else Ssos_net.Link.lossy ~drop ~max_delay:2 ()
+    in
+    let ring =
+      Ssos_net.Net_ring.build ~n:nodes ~policy ~faults
+        ~seed:(Ssx_faults.Rng.derive seed64 trial) ()
+    in
+    Ssos_net.Cluster.run ring.Ssos_net.Net_ring.cluster ~steps:200;
+    let rng =
+      Ssx_faults.Rng.create (Ssx_faults.Rng.derive seed64 (1000 + trial))
+    in
+    for i = 0 to nodes - 1 do
+      Ssos_net.Net_ring.corrupt_state ring i (Ssx_faults.Rng.int rng 0x10000);
+      Ssos_net.Net_ring.corrupt_view ring i (Ssx_faults.Rng.int rng 0x10000)
+    done;
+    let mt = Ssos_net.Net_ring.converge_moves ~limit ring in
+    let domination =
+      match (table, mt.Ssos_net.Net_ring.converged) with
+      | Some tb, Some _ ->
+        let bound = Ssx_stab.Model.worst_bound tb in
+        if mt.Ssos_net.Net_ring.tail_moves <= bound then "  (<= bound)"
+        else begin
+          incr violations;
+          Printf.sprintf "  VIOLATION: tail %d > bound %d"
+            mt.Ssos_net.Net_ring.tail_moves bound
+        end
+      | _ -> ""
+    in
+    (match mt.Ssos_net.Net_ring.converged with
+    | Some steps ->
+      incr recovered;
+      Format.printf
+        "trial %d: converged in %d steps, %d moves (%d off-model, tail \
+         %d)%s@."
+        trial steps mt.Ssos_net.Net_ring.total_moves
+        mt.Ssos_net.Net_ring.off_model_moves mt.Ssos_net.Net_ring.tail_moves
+        domination
+    | None ->
+      Format.printf
+        "trial %d: NO CONVERGENCE in %d steps, %d moves (%d off-model)@."
+        trial limit mt.Ssos_net.Net_ring.total_moves
+        mt.Ssos_net.Net_ring.off_model_moves)
+  done;
+  Format.printf "recovered %d/%d, domination violations: %d@." !recovered
+    trials !violations;
+  if !violations = 0 then ok else Cmdliner.Cmd.Exit.cli_error
+
+let adversary_rsm nodes daemon victim down_from down_for period drop trials
+    seed limit =
+  let name, policy = make_daemon daemon victim down_from down_for period in
+  Format.printf "== %d-replica rsm under daemon %s, drop=%.2f ==@." nodes
+    name drop;
+  let seed64 = Int64.of_int seed in
+  let recovered = ref 0 in
+  for trial = 0 to trials - 1 do
+    let link_faults ~src:_ ~dst:_ =
+      if drop = 0. then Ssos_net.Link.benign ()
+      else Ssos_net.Link.lossy ~drop ~max_delay:1 ()
+    in
+    let service =
+      Ssos_rsm.Service.build ~n:nodes ~policy ~faults:link_faults
+        ~seed:(Ssx_faults.Rng.derive seed64 trial) ()
+    in
+    let cluster = service.Ssos_rsm.Service.cluster in
+    Ssos_net.Cluster.run cluster ~steps:400;
+    let rng =
+      Ssx_faults.Rng.create (Ssx_faults.Rng.derive seed64 (1000 + trial))
+    in
+    for i = 0 to nodes - 1 do
+      Ssos_rsm.Service.corrupt_state service i (Ssx_faults.Rng.int rng 0x10000);
+      Ssos_rsm.Service.corrupt_view service i (Ssx_faults.Rng.int rng 0x10000);
+      for key = 0 to Ssos_rsm.Wire.keys - 1 do
+        Ssos_rsm.Service.corrupt_kv service i key
+          (Ssx_faults.Rng.int rng 0x10000);
+        Ssos_rsm.Service.corrupt_tag service i key
+          (Ssx_faults.Rng.int rng 0x10000)
+      done
+    done;
+    let faults_end = Ssos_net.Cluster.steps cluster in
+    let samples = Ssos_rsm.Service.observe service ~steps:limit in
+    let verdict =
+      Ssx_stab.Distributed.rsm_judge ~window:400 ~samples
+        ~end_step:(Ssos_net.Cluster.steps cluster)
+    in
+    match
+      ( Ssx_stab.Convergence.converged verdict,
+        Ssx_stab.Convergence.recovery_time ~faults_end verdict )
+    with
+    | true, Some t ->
+      incr recovered;
+      Format.printf "trial %d: converged in %d steps@." trial t
+    | _ -> Format.printf "trial %d: NO CONVERGENCE in %d steps@." trial limit
+  done;
+  Format.printf "recovered %d/%d@." !recovered trials;
+  ok
+
+let adversary rsm nodes daemon victim down_from down_for period drop trials
+    seed limit =
+  if rsm then
+    adversary_rsm nodes daemon victim down_from down_for period drop trials
+      seed limit
+  else
+    adversary_ring nodes daemon victim down_from down_for period drop trials
+      seed limit
+
 (* ---------------------------------------------------------------- fuzz *)
 
 let read_file path =
@@ -515,7 +673,7 @@ let () =
              stepping.")
   in
   let experiment_cmd =
-    Cmd.v (Cmd.info "experiment" ~doc:"Regenerate an evaluation table (T1..T15)")
+    Cmd.v (Cmd.info "experiment" ~doc:"Regenerate an evaluation table (T1..T19)")
       (with_metrics
          Term.(
            const (fun id format jobs shards () -> experiment id format jobs shards)
@@ -660,6 +818,75 @@ let () =
            $ rsm_nodes_arg $ drop_arg $ rate_arg $ faults_arg $ steps_arg
            $ limit_arg $ seed_arg $ shards_arg $ latency_arg))
   in
+  let daemon_conv =
+    Arg.enum
+      [ ("round-robin", `Round_robin); ("fair-random", `Fair_random);
+        ("starve", `Starve); ("crash", `Crash); ("adaptive", `Adaptive) ]
+  in
+  let daemon_arg =
+    Arg.(
+      value & opt daemon_conv `Adaptive
+      & info [ "daemon" ] ~docv:"DAEMON"
+          ~doc:
+            "Scheduling daemon: $(b,round-robin), $(b,fair-random), \
+             $(b,starve), $(b,crash) or $(b,adaptive) (default).")
+  in
+  let victim_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "victim" ] ~docv:"I"
+          ~doc:"Victim node for the starve and crash daemons.")
+  in
+  let down_from_arg =
+    Arg.(
+      value & opt int 200
+      & info [ "down-from" ] ~docv:"N"
+          ~doc:"First step of the crash daemon's outage window.")
+  in
+  let down_for_arg =
+    Arg.(
+      value & opt int 400
+      & info [ "down-for" ] ~docv:"N"
+          ~doc:"Length of the crash daemon's outage window.")
+  in
+  let period_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "period" ] ~docv:"N"
+          ~doc:"Make the crash daemon's outages recur with this period.")
+  in
+  let rsm_flag =
+    Arg.(
+      value & flag
+      & info [ "rsm" ]
+          ~doc:
+            "Drive the replicated state machine instead of the bare token \
+             ring (no exhaustive checker or domination check; the rsm \
+             protocol state is larger than the K-state abstraction).")
+  in
+  let adv_trials_arg =
+    Arg.(
+      value & opt int 3
+      & info [ "trials" ] ~docv:"N" ~doc:"Adversarial trials to run.")
+  in
+  let adversary_cmd =
+    Cmd.v
+      (Cmd.info "adversary"
+         ~doc:
+           "Exhaustively check the abstract K-state ring, then stress the \
+            concrete cluster under an adversarial scheduling daemon and \
+            verify the worst-case bound dominates the observed moves")
+      (with_metrics
+         Term.(
+           const (fun rsm nodes daemon victim down_from down_for period drop
+                      trials seed limit () ->
+               adversary rsm nodes daemon victim down_from down_for period
+                 drop trials seed limit)
+           $ rsm_flag $ nodes_arg $ daemon_arg $ victim_arg $ down_from_arg
+           $ down_for_arg $ period_arg $ drop_arg $ adv_trials_arg $ seed_arg
+           $ limit_arg))
+  in
   let iters_arg =
     Arg.(
       value & opt int 2_000
@@ -700,4 +927,4 @@ let () =
     (Cmd.eval'
        (Cmd.group ~default info
           [ demo_cmd; experiment_cmd; figures_cmd; listing_cmd; trace_cmd;
-            campaign_cmd; cluster_cmd; rsm_cmd; fuzz_cmd ]))
+            campaign_cmd; cluster_cmd; rsm_cmd; adversary_cmd; fuzz_cmd ]))

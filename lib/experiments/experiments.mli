@@ -92,13 +92,31 @@ val t17_rsm_combined_faults :
     and the lost-request window, then checks that fresh client traffic
     linearizes.  [shards] as in T14. *)
 
+val t18_ring_daemon_matrix :
+  ?seed:int64 -> ?trials:int -> ?jobs:int -> ?shards:int -> unit -> Table.t
+(** E18 — the T14 scenario re-run under the full scheduling-daemon
+    matrix (round-robin, fair-random, starving, crash-and-resurrect,
+    adaptive adversary; {!Ssx_stab.Adversary}) at two link drop rates,
+    reporting the exact convergence distribution (nearest-rank
+    p50/p90/p99/max, {!Runner.distribution}) instead of the mean.
+    [shards] as in T14; stateful daemons make the sharded stepper fall
+    back to its sequential path, so the table stays bit-identical. *)
+
+val t19_rsm_daemon_matrix :
+  ?seed:int64 -> ?trials:int -> ?jobs:int -> ?shards:int -> unit -> Table.t
+(** E19 — the replicated state machine under the daemon matrix at a
+    fixed 10% link drop rate: convergence distribution plus serve-phase
+    commit/lost counts and linearizability.  Starvation kills liveness
+    but never safety; recurring crash outages show up as lost
+    throughput.  [shards] as in T14. *)
+
 val all : (string * (?jobs:int -> ?shards:int -> unit -> Table.t)) list
 (** [(id, runner)] for every table, in order.  [jobs] caps the campaign
     worker-domain count ({!Pool.default_jobs} when omitted); tables
     whose work is a single run (T9, T10, T13) ignore it.  [shards]
     shards the cluster stepper within trials — only the distributed
-    tables (T14–T17) use it; all tables are bit-identical for any
+    tables (T14–T19) use it; all tables are bit-identical for any
     value of either knob. *)
 
 val find : string -> (?jobs:int -> ?shards:int -> unit -> Table.t) option
-(** Case-insensitive lookup by id ("t1" … "t17"). *)
+(** Case-insensitive lookup by id ("t1" … "t19"). *)

@@ -35,6 +35,39 @@ let summarize outcomes =
   in
   { trials; recoveries; mean_recovery; max_recovery }
 
+type distribution = {
+  samples : int;
+  p50 : int;
+  p90 : int;
+  p99 : int;
+  max : int;
+}
+
+(* Exact nearest-rank percentile over the sorted recovery times: the
+   q-percentile is the ceil(q * samples)-th smallest. *)
+let nearest_rank sorted q =
+  let count = Array.length sorted in
+  let rank = int_of_float (ceil (q *. float_of_int count)) in
+  sorted.(max 0 (min (count - 1) (rank - 1)))
+
+let distribution outcomes =
+  let times =
+    List.filter_map
+      (fun o -> if o.recovered then o.recovery_ticks else None)
+      outcomes
+  in
+  match times with
+  | [] -> None
+  | times ->
+    let sorted = Array.of_list times in
+    Array.sort compare sorted;
+    Some
+      { samples = Array.length sorted;
+        p50 = nearest_rank sorted 0.5;
+        p90 = nearest_rank sorted 0.9;
+        p99 = nearest_rank sorted 0.99;
+        max = sorted.(Array.length sorted - 1) }
+
 (* Campaign telemetry.  [summarize] stays a pure fold over outcomes —
    the summary a caller sees is computed the same way with metrics on
    or off — and the observability layer is fed afterwards, from the
@@ -231,7 +264,7 @@ let ring_trial ?shards ~build ~perturb ~warmup ~horizon ~window ~seed () =
    shards-only for a few big ones.  Summaries are bit-identical for any
    [shards], because the sharded stepper and the reconstructed sample
    streams are (Cluster.run_sharded / Net_ring.observe). *)
-let ring_campaign ~build ~perturb ?(warmup = 200) ?(horizon = 2_500)
+let ring_campaign_outcomes ~build ~perturb ?(warmup = 200) ?(horizon = 2_500)
     ?(window = 600) ?(strategy = Snapshot_reset) ?oversubscribe ?jobs ?shards
     ~trials ~seed () =
   let outcomes =
@@ -260,7 +293,14 @@ let ring_campaign ~build ~perturb ?(warmup = 200) ?(horizon = 2_500)
           ring_outcome ?shards ~window ~horizon ring)
   in
   let outcomes = Array.to_list outcomes in
-  publish ~campaign:"ring" outcomes (summarize outcomes)
+  ignore (publish ~campaign:"ring" outcomes (summarize outcomes));
+  outcomes
+
+let ring_campaign ~build ~perturb ?warmup ?horizon ?window ?strategy
+    ?oversubscribe ?jobs ?shards ~trials ~seed () =
+  summarize
+    (ring_campaign_outcomes ~build ~perturb ?warmup ?horizon ?window ?strategy
+       ?oversubscribe ?jobs ?shards ~trials ~seed ())
 
 type rsm_outcome = {
   base : outcome;
@@ -356,7 +396,7 @@ let rsm_trial ?shards ~build ~perturb ~warmup ~horizon ~window ~rate
   rsm_trial_body ?shards ~perturb ~horizon ~window ~rate ~serve_steps
     ~tseed:seed service
 
-let rsm_campaign ~build ~perturb ?(warmup = 400) ?(horizon = 2_500)
+let rsm_campaign_outcomes ~build ~perturb ?(warmup = 400) ?(horizon = 2_500)
     ?(window = 400) ?(rate = 0.05) ?(serve_steps = 1_200)
     ?(strategy = Snapshot_reset) ?oversubscribe ?jobs ?shards ~trials ~seed () =
   let outcomes =
@@ -378,7 +418,14 @@ let rsm_campaign ~build ~perturb ?(warmup = 400) ?(horizon = 2_500)
             ~tseed:(trial_seed seed i) service)
   in
   let outcomes = Array.to_list outcomes in
-  rsm_publish ~campaign:"rsm" outcomes (rsm_summarize outcomes)
+  ignore (rsm_publish ~campaign:"rsm" outcomes (rsm_summarize outcomes));
+  outcomes
+
+let rsm_campaign ~build ~perturb ?warmup ?horizon ?window ?rate ?serve_steps
+    ?strategy ?oversubscribe ?jobs ?shards ~trials ~seed () =
+  rsm_summarize
+    (rsm_campaign_outcomes ~build ~perturb ?warmup ?horizon ?window ?rate
+       ?serve_steps ?strategy ?oversubscribe ?jobs ?shards ~trials ~seed ())
 
 let scramble_processor rng system =
   let machine = system.Ssos.System.machine in

@@ -30,6 +30,23 @@ type summary = {
 val summarize : outcome list -> summary
 (** Single pass over the outcomes, in list order. *)
 
+type distribution = {
+  samples : int;  (** recovered trials contributing a recovery time *)
+  p50 : int;
+  p90 : int;
+  p99 : int;
+  max : int;
+}
+(** Convergence-time distribution over the recovered trials' recovery
+    times, by exact nearest-rank percentile (sort the samples; the
+    [q]-percentile is the [ceil (q * samples)]-th).  Campaign tables
+    T18/T19 report these per scheduling daemon; the same data reaches
+    the lib/obs [campaign{…}.recovery-ticks] histogram, whose bucketed
+    {!Ssos_obs.Obs.quantile} estimates agree to bucket resolution. *)
+
+val distribution : outcome list -> distribution option
+(** [None] when no trial recovered with a recovery time. *)
+
 type strategy =
   | Rebuild
       (** Build and warm a fresh system for every trial.  Slow, but
@@ -120,6 +137,25 @@ val ring_trial :
   unit ->
   outcome
 
+val ring_campaign_outcomes :
+  build:(unit -> Ssos_net.Net_ring.t) ->
+  perturb:(Ssx_faults.Rng.t -> Ssos_net.Net_ring.t -> unit) ->
+  ?warmup:int ->
+  ?horizon:int ->
+  ?window:int ->
+  ?strategy:strategy ->
+  ?oversubscribe:bool ->
+  ?jobs:int ->
+  ?shards:int ->
+  trials:int ->
+  seed:int64 ->
+  unit ->
+  outcome list
+(** The full per-trial outcome list, in trial order — for callers that
+    need more than {!summarize}'s moments (e.g. an exact
+    {!distribution}).  Publishes campaign telemetry as a side effect,
+    exactly like {!ring_campaign} (which is [summarize] of this). *)
+
 val ring_campaign :
   build:(unit -> Ssos_net.Net_ring.t) ->
   perturb:(Ssx_faults.Rng.t -> Ssos_net.Net_ring.t -> unit) ->
@@ -185,6 +221,25 @@ val rsm_trial :
   seed:int64 ->
   unit ->
   rsm_outcome
+
+val rsm_campaign_outcomes :
+  build:(unit -> Ssos_rsm.Service.t) ->
+  perturb:(Ssx_faults.Rng.t -> Ssos_rsm.Service.t -> unit) ->
+  ?warmup:int ->
+  ?horizon:int ->
+  ?window:int ->
+  ?rate:float ->
+  ?serve_steps:int ->
+  ?strategy:strategy ->
+  ?oversubscribe:bool ->
+  ?jobs:int ->
+  ?shards:int ->
+  trials:int ->
+  seed:int64 ->
+  unit ->
+  rsm_outcome list
+(** Per-trial outcomes in trial order, telemetry published;
+    {!rsm_campaign} is [rsm_summarize] of this. *)
 
 val rsm_campaign :
   build:(unit -> Ssos_rsm.Service.t) ->

@@ -1,6 +1,6 @@
 module Rng = Ssx_faults.Rng
 
-type policy = Round_robin | Fair_random
+type policy = Round_robin | Fair_random | Daemon of Ssx_stab.Adversary.t
 
 type node = { machine : Ssx.Machine.t; nic : Nic.t }
 
@@ -14,6 +14,8 @@ type t = {
   mutable links : Link.t array;
   mutable out_links : int list array;  (* node -> link indices, creation order *)
   mutable step_count : int;
+  mutable abstract : (int -> int) option;  (* per-node state for daemons *)
+  mutable skipped_slots : int;  (* slots a daemon idled (crashed node) *)
 }
 
 let create ?(policy = Round_robin) ?(ticks_per_slot = 50) ?(latency = 1) ~seed
@@ -25,11 +27,34 @@ let create ?(policy = Round_robin) ?(ticks_per_slot = 50) ?(latency = 1) ~seed
     rng = Rng.create (Rng.derive seed 0);
     links = [||];
     out_links = Array.make (Array.length nodes) [];
-    step_count = 0 }
+    step_count = 0;
+    abstract = None;
+    skipped_slots = 0 }
 
 let size t = Array.length t.nodes
 let steps t = t.step_count
 let latency t = t.latency
+let policy t = t.policy
+let skipped_slots t = t.skipped_slots
+let set_abstract t read = t.abstract <- Some read
+
+(* Which node runs step [now]?  [None] is an idle slot: no node runs,
+   but deliveries and the step counter still advance.  The RNG passed
+   in is the sequential stepper's own or a shard's replayed copy —
+   either way the policy consumes the identical stream. *)
+let choose_slot t ~now rng =
+  let n = size t in
+  match t.policy with
+  | Round_robin -> Some (now mod n)
+  | Fair_random -> Some (Rng.int rng n)
+  | Daemon d ->
+    Ssx_stab.Adversary.choose d
+      { Ssx_stab.Adversary.now; size = n; rng; state = t.abstract }
+
+let stateful_policy t =
+  match t.policy with
+  | Daemon d -> d.Ssx_stab.Adversary.stateful
+  | Round_robin | Fair_random -> false
 let machine t i = t.nodes.(i).machine
 let nic t i = t.nodes.(i).nic
 let links t = t.links
@@ -174,20 +199,17 @@ let deliver_due t link ~now =
     List.iter (fun word -> ignore (Nic.deliver nic word)) words
 
 let step t =
-  let n = size t in
-  let who =
-    match t.policy with
-    | Round_robin -> t.step_count mod n
-    | Fair_random -> Rng.int t.rng n
-  in
-  (match run_node_collect t who with
-  | [] -> ()
-  | words ->
-    List.iter
-      (fun index ->
-        let link = t.links.(index) in
-        List.iter (fun w -> Link.send link ~now:t.step_count w) words)
-      t.out_links.(who));
+  (match choose_slot t ~now:t.step_count t.rng with
+  | None -> t.skipped_slots <- t.skipped_slots + 1
+  | Some who -> (
+    match run_node_collect t who with
+    | [] -> ()
+    | words ->
+      List.iter
+        (fun index ->
+          let link = t.links.(index) in
+          List.iter (fun w -> Link.send link ~now:t.step_count w) words)
+        t.out_links.(who)));
   t.step_count <- t.step_count + 1;
   Array.iter (fun link -> deliver_due t link ~now:t.step_count) t.links
 
@@ -244,9 +266,12 @@ let run_sharded_gen ~shards ?horizon ~record t ~steps =
   let n = size t in
   let shards =
     (* latency 1 means zero lookahead: nothing to overlap, stay
-       sequential.  Callers get the documented fallback silently so
-       shard count can be varied without caring about the topology. *)
-    if t.latency < 2 then 1 else max 1 (min shards n)
+       sequential.  A stateful daemon (the adaptive adversary) reads
+       other nodes' live state each step, which only a sequential
+       schedule makes well-defined, so it forces one shard too.
+       Callers get the documented fallback silently so shard count can
+       be varied without caring about the topology or policy. *)
+    if t.latency < 2 || stateful_policy t then 1 else max 1 (min shards n)
   in
   let h =
     let cap = max 1 (t.latency - 1) in
@@ -349,27 +374,28 @@ let run_sharded_gen ~shards ?horizon ~record t ~steps =
         let wlen = min h (steps - (w * h)) in
         let cal = calendars.(me) in
         for s = wstart to wstart + wlen - 1 do
-          let who =
-            match t.policy with
-            | Round_robin -> s mod n
-            | Fair_random -> Rng.int rngs.(me) n
-          in
-          if shard_of ~shards ~n who = me then begin
-            (match run_node_collect t who with
-            | [] -> ()
-            | words ->
-              List.iter
-                (fun li ->
-                  let dst = owner.(li) in
-                  if dst = me then send_all me li ~now:s words
-                  else
-                    outboxes.(w land 1).(me).(dst) <-
-                      (li, s, words) :: outboxes.(w land 1).(me).(dst))
-                t.out_links.(who));
-            match record with
-            | None -> ()
-            | Some f -> logs.(me) <- (s, who, f t who) :: logs.(me)
-          end;
+          (* Every shard replays the full schedule (same RNG copy, same
+             daemon), so idle slots are agreed on by all shards; shard 0
+             alone accounts for them. *)
+          (match choose_slot t ~now:s rngs.(me) with
+          | None -> if me = 0 then t.skipped_slots <- t.skipped_slots + 1
+          | Some who ->
+            if shard_of ~shards ~n who = me then begin
+              (match run_node_collect t who with
+              | [] -> ()
+              | words ->
+                List.iter
+                  (fun li ->
+                    let dst = owner.(li) in
+                    if dst = me then send_all me li ~now:s words
+                    else
+                      outboxes.(w land 1).(me).(dst) <-
+                        (li, s, words) :: outboxes.(w land 1).(me).(dst))
+                  t.out_links.(who));
+              match record with
+              | None -> ()
+              | Some f -> logs.(me) <- (s, who, f t who) :: logs.(me)
+            end);
           let now = s + 1 in
           match Hashtbl.find_opt cal now with
           | None -> ()
@@ -429,13 +455,15 @@ type snapshot = {
   link_restores : (unit -> unit) array;
   rng : Rng.t;
   step_count : int;
+  skipped_slots : int;
 }
 
 let capture t =
   { node_snaps = Array.map (fun n -> Ssx.Snapshot.capture n.machine) t.nodes;
     link_restores = Array.map Link.capture t.links;
     rng = Rng.copy t.rng;
-    step_count = t.step_count }
+    step_count = t.step_count;
+    skipped_slots = t.skipped_slots }
 
 let restore t snapshot =
   if Array.length snapshot.node_snaps <> size t then
@@ -447,7 +475,8 @@ let restore t snapshot =
     snapshot.node_snaps;
   Array.iter (fun thunk -> thunk ()) snapshot.link_restores;
   t.rng <- Rng.copy snapshot.rng;
-  t.step_count <- snapshot.step_count
+  t.step_count <- snapshot.step_count;
+  t.skipped_slots <- snapshot.skipped_slots
 
 let capture_node t i = Ssx.Snapshot.capture t.nodes.(i).machine
 let restore_node t i snap = Ssx.Snapshot.restore snap t.nodes.(i).machine
@@ -461,6 +490,18 @@ let observe ?(prefix = "net") ?per_link (t : t) =
   let per_link = match per_link with Some b -> b | None -> size t <= 64 in
   Obs.sample (prefix ^ ".cluster.steps") (fun () -> float_of_int t.step_count);
   Obs.sample (prefix ^ ".cluster.nodes") (fun () -> float_of_int (size t));
+  (* Daemon telemetry is O(1) entries and registered in both modes, so
+     adversarial campaigns stay observable at any cluster size. *)
+  (match t.policy with
+  | Daemon d ->
+    let dname = d.Ssx_stab.Adversary.name in
+    Obs.sample
+      (Printf.sprintf "%s.daemon{%s}.skipped-slots" prefix dname)
+      (fun () -> float_of_int t.skipped_slots);
+    Obs.sample
+      (Printf.sprintf "%s.daemon{%s}.stateful" prefix dname)
+      (fun () -> if d.Ssx_stab.Adversary.stateful then 1. else 0.)
+  | Round_robin | Fair_random -> ());
   if per_link then begin
     Array.iter
       (fun link ->

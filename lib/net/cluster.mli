@@ -26,6 +26,13 @@
 type policy =
   | Round_robin    (** node [steps mod n] runs at each step *)
   | Fair_random    (** uniformly random node, from the cluster seed *)
+  | Daemon of Ssx_stab.Adversary.t
+      (** an unfair/adversarial scheduling daemon (starvation,
+          crash-and-resurrect, adaptive); may return no node at all —
+          an {e idle slot}, in which deliveries and the step counter
+          still advance.  Same determinism/digest/snapshot contracts
+          as the built-ins; a [stateful] daemon forces {!run_sharded}
+          sequential (see there). *)
 
 type node = { machine : Ssx.Machine.t; nic : Nic.t }
 
@@ -44,6 +51,18 @@ val create :
 val size : t -> int
 val steps : t -> int
 val latency : t -> int
+val policy : t -> policy
+
+val skipped_slots : t -> int
+(** Slots a daemon idled so far (zero under the built-in policies);
+    snapshot-restored along with the step counter. *)
+
+val set_abstract : t -> (int -> int) -> unit
+(** Register the per-node abstract state reader handed to {!Daemon}
+    policies ([state] in {!Ssx_stab.Adversary.view}) — e.g.
+    {!Net_ring} registers each node's raw counter word.  Stateful
+    daemons raise if no reader was registered. *)
+
 val machine : t -> int -> Ssx.Machine.t
 val nic : t -> int -> Nic.t
 val links : t -> Link.t array
@@ -112,9 +131,14 @@ val run_sharded : ?shards:int -> ?horizon:int -> t -> steps:int -> unit
 
     When [latency] is 1 there is no lookahead and the call silently
     falls back to one shard (sequential), so callers can thread a
-    [--shards] knob without caring about the topology.  If a node
-    raises mid-run the first exception is re-raised here after all
-    shards have stopped; the cluster is left partially stepped. *)
+    [--shards] knob without caring about the topology.  A [stateful]
+    {!Daemon} forces the same fallback: it inspects other nodes' live
+    state each step, which only the sequential schedule makes
+    well-defined — so its digests are trivially shard-count invariant
+    too.  Pure daemons replay on every shard exactly like the built-in
+    policies.  If a node raises mid-run the first exception is
+    re-raised here after all shards have stopped; the cluster is left
+    partially stepped. *)
 
 val run_sharded_log :
   ?shards:int -> ?horizon:int -> record:(t -> int -> 'a) ->
@@ -122,7 +146,8 @@ val run_sharded_log :
 (** {!run_sharded}, additionally calling [record t who] on the owning
     shard immediately after node [who]'s slot ran at each step, and
     returning the [(step, node, value)] entries merged in step order
-    (exactly one per step).  Because a node's machine state only
+    (one per step, except idle daemon slots, which — running no node —
+    log nothing).  Because a node's machine state only
     changes while it runs, this is enough to reconstruct the full
     per-step state matrix a sequential observer would have seen —
     {!Net_ring.observe} does exactly that.  [record] runs on worker

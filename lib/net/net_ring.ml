@@ -116,6 +116,11 @@ let build ?(n = 4) ?policy ?ticks_per_slot ?latency ?edges ?watchdog_period
       systems
   in
   let cluster = Cluster.create ?policy ?ticks_per_slot ?latency ~seed nodes in
+  (* Adversarial daemons get the abstract ring state: each node's raw
+     counter word (the adaptive adversary clamps it into [0, K)). *)
+  Cluster.set_abstract cluster (fun i ->
+      Ssx.Memory.read_word (Ssx.Machine.memory (Cluster.machine cluster i))
+        self_addr);
   let edges =
     match edges with Some e -> e | None -> Cluster.ring_edges ~n
   in
@@ -179,6 +184,52 @@ let observe ?shards t ~steps =
       end
     in
     go base log []
+
+type move_trace = {
+  converged : int option;
+  total_moves : int;
+  off_model_moves : int;
+  tail_moves : int;
+}
+
+(* Sequential on purpose: the walk projects the joint configuration
+   after every single cluster step, which is exactly what the sharded
+   stepper amortizes away. *)
+let converge_moves ?(limit = 5_000) t =
+  let proj () = Array.map (fun w -> w mod k) (states t) in
+  let prev = ref (proj ()) in
+  let total = ref 0 and off = ref 0 and tail = ref 0 in
+  let converged = ref None in
+  let step = ref 0 in
+  while !converged = None && !step < limit do
+    Cluster.step t.cluster;
+    incr step;
+    let next = proj () in
+    let p = !prev in
+    for i = 0 to t.n - 1 do
+      if next.(i) <> p.(i) then begin
+        incr total;
+        (* Dijkstra's move from the {e true} previous configuration:
+           anything else means the node fired on a stale view (or a
+           clamp healed a corrupted word into a new residue). *)
+        let fired =
+          if i = 0 then p.(0) = p.(t.n - 1) && next.(0) = (p.(0) + 1) mod k
+          else p.(i) <> p.(i - 1) && next.(i) = p.(i - 1)
+        in
+        if fired then incr tail
+        else begin
+          incr off;
+          tail := 0
+        end
+      end
+    done;
+    prev := next;
+    if legitimate t then converged := Some !step
+  done;
+  { converged = !converged;
+    total_moves = !total;
+    off_model_moves = !off;
+    tail_moves = !tail }
 
 let run_until_legitimate ?shards t ~limit =
   match shards with

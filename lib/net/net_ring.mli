@@ -91,6 +91,29 @@ val observe : ?shards:int -> t -> steps:int -> Ssx_stab.Distributed.sample list
     to the sequential sampling for any shard count, because a node's
     state only changes during its own slot. *)
 
+type move_trace = {
+  converged : int option;  (** steps to the first legitimate joint state *)
+  total_moves : int;  (** projected counter changes (abstract moves) *)
+  off_model_moves : int;
+      (** moves that are not Dijkstra's rule applied to the true
+          previous configuration — a node firing on a stale view of its
+          predecessor, or a clamp healing a corrupted word *)
+  tail_moves : int;
+      (** model moves after the last off-model move — the quantity the
+          exhaustive checker's worst-case bound dominates
+          ({!Ssx_stab.Model.worst_bound}; DESIGN.md §4j) *)
+}
+
+val converge_moves : ?limit:int -> t -> move_trace
+(** Step the cluster sequentially (one step at a time, up to [limit]),
+    projecting the joint configuration (counters mod K) after every
+    step and classifying each projected change against Dijkstra's
+    abstract transition relation.  The concrete ring is message-passing
+    — a node may fire on a {e stale} view, which is a move the shared-
+    memory model has no counterpart for — so the checker's worst-case
+    bound applies to the move sequence {e after} the last off-model
+    move ([tail_moves]), not to [total_moves]. *)
+
 val run_until_legitimate : ?shards:int -> t -> limit:int -> int option
 (** First step at which the joint state is legitimate (which may
     flicker while messages are in flight — use {!observe} plus

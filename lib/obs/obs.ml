@@ -191,6 +191,40 @@ let snapshot () =
   { rows = List.sort (fun a b -> compare a.name b.name) rows;
     recent_events = events () }
 
+(* Bucketed quantile estimation.  The nearest-rank sample's bucket is
+   exact (cumulative counts); within the bucket we interpolate
+   linearly, with the exact min/max side-cars bounding the first and
+   the +inf bucket.  Resolution is thus the bucket width — the exact
+   quantile is guaranteed to lie in the same bucket. *)
+let quantile value q =
+  if not (q >= 0. && q <= 1.) then invalid_arg "Obs.quantile";
+  match value with
+  | Counter _ | Gauge _ -> None
+  | Histogram { buckets; counts; count; min; max; _ } ->
+    if count = 0 then None
+    else begin
+      let rank =
+        Stdlib.max 1
+          (Stdlib.min count (int_of_float (ceil (q *. float_of_int count))))
+      in
+      let nb = Array.length buckets in
+      let rec go i cum =
+        if i > nb then Some max
+        else begin
+          let here = counts.(i) in
+          if cum + here >= rank then begin
+            let lower = if i = 0 then min else Stdlib.max min buckets.(i - 1) in
+            let upper = if i = nb then max else Stdlib.min max buckets.(i) in
+            let upper = Stdlib.max lower upper in
+            let frac = float_of_int (rank - cum) /. float_of_int here in
+            Some (lower +. (frac *. (upper -. lower)))
+          end
+          else go (i + 1) (cum + here)
+        end
+      in
+      go 0 0
+    end
+
 (* ------------------------------------------------------------ sinks *)
 
 let pp_value ppf = function

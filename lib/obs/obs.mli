@@ -125,6 +125,16 @@ type snapshot = { rows : row list; recent_events : event list }
 
 val snapshot : unit -> snapshot
 
+val quantile : value -> float -> float option
+(** [quantile value q] (with [q] in [0, 1]) estimates the [q]-quantile
+    of a snapshot {!Histogram} from its bucket counts: the bucket
+    holding the nearest-rank sample is found exactly, then the value
+    is linearly interpolated inside it, clamped to the exact [min]/
+    [max] side-cars (so the under- and overflow buckets stay finite).
+    The estimate therefore always lands in the same bucket as the true
+    sample quantile.  [None] for empty histograms and for
+    {!Counter}/{!Gauge} values. *)
+
 val pp_table : Format.formatter -> snapshot -> unit
 (** Aligned two-column table, histograms summarised inline. *)
 

@@ -49,6 +49,12 @@ let build ?(n = 5) ?policy ?(ticks_per_slot = default_ticks_per_slot) ?latency
   let cluster =
     Ssos_net.Cluster.create ?policy ~ticks_per_slot ?latency ~seed nodes
   in
+  (* Adversarial daemons see the abstract ring state — each replica's
+     raw token counter word. *)
+  Ssos_net.Cluster.set_abstract cluster (fun i ->
+      Ssx.Memory.read_word
+        (Ssx.Machine.memory (Ssos_net.Cluster.machine cluster i))
+        Replica.self_addr);
   let edges =
     match edges with Some e -> e | None -> Ssos_net.Cluster.ring_edges ~n
   in

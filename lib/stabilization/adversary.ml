@@ -1,0 +1,125 @@
+type view = {
+  now : int;
+  size : int;
+  rng : Ssx_faults.Rng.t;
+  state : (int -> int) option;
+}
+
+type t = {
+  name : string;
+  stateful : bool;
+  choose : view -> int option;
+}
+
+let choose t view = t.choose view
+
+let custom ~name ?(stateful = false) choose = { name; stateful; choose }
+
+let starve ?(release = max_int) ~victim () =
+  if victim < 0 then invalid_arg "Adversary.starve: victim";
+  let choose v =
+    if victim >= v.size then invalid_arg "Adversary.starve: victim";
+    if v.now >= release then Some (v.now mod v.size)
+    else begin
+      (* Round-robin over the other size-1 nodes, skipping the victim
+         by shifting the indices at or above it up by one. *)
+      let r = v.now mod (v.size - 1) in
+      Some (if r >= victim then r + 1 else r)
+    end
+  in
+  { name = Printf.sprintf "starve{%d}" victim; stateful = false; choose }
+
+let crash ?period ~down_from ~down_for ~victim () =
+  if victim < 0 then invalid_arg "Adversary.crash: victim";
+  if down_from < 0 || down_for < 0 then invalid_arg "Adversary.crash: window";
+  (match period with
+  | Some p when p < down_for -> invalid_arg "Adversary.crash: period"
+  | _ -> ());
+  let down now =
+    now >= down_from
+    &&
+    match period with
+    | None -> now < down_from + down_for
+    | Some p -> (now - down_from) mod p < down_for
+  in
+  let choose v =
+    if victim >= v.size then invalid_arg "Adversary.crash: victim";
+    let who = v.now mod v.size in
+    if who = victim && down v.now then None else Some who
+  in
+  { name = Printf.sprintf "crash{%d}" victim; stateful = false; choose }
+
+(* Dijkstra's guards on a clamped configuration copy; kept local so the
+   daemon works at any cluster size without a [Model.create] size cap. *)
+let ring_enabled config i =
+  let n = Array.length config in
+  if i = 0 then config.(0) = config.(n - 1) else config.(i) <> config.(i - 1)
+
+let ring_token_count config =
+  let count = ref 0 in
+  for i = 0 to Array.length config - 1 do
+    if ring_enabled config i then incr count
+  done;
+  !count
+
+let distinct_values config =
+  let seen = Hashtbl.create 8 in
+  Array.iter (fun v -> Hashtbl.replace seen v ()) config;
+  Hashtbl.length seen
+
+let adaptive ?table ~k () =
+  if k < 2 then invalid_arg "Adversary.adaptive: k";
+  (match table with
+  | Some tb when tb.Model.model.Model.k <> k ->
+    invalid_arg "Adversary.adaptive: table k mismatch"
+  | _ -> ());
+  let choose v =
+    let read =
+      match v.state with
+      | Some f -> f
+      | None -> invalid_arg "Adversary.adaptive: no abstract state reader"
+    in
+    let n = v.size in
+    let config = Array.init n (fun i -> ((read i mod k) + k) mod k) in
+    let score_after i =
+      let next = Array.copy config in
+      if i = 0 then next.(0) <- (next.(0) + 1) mod k
+      else next.(i) <- next.(i - 1);
+      match table with
+      | Some tb ->
+        if tb.Model.model.Model.n <> n then
+          invalid_arg "Adversary.adaptive: table n mismatch"
+        else begin
+          match Model.worst_of tb next with
+          | -1 -> max_int  (* divergent: the adversary's jackpot *)
+          | w -> w
+        end
+      | None -> (ring_token_count next * (n + 1)) + distinct_values next
+    in
+    let best = ref None in
+    for i = 0 to n - 1 do
+      if ring_enabled config i then begin
+        let s = score_after i in
+        match !best with
+        | Some (_, sbest) when s <= sbest -> ()
+        | _ -> best := Some (i, s)
+      end
+    done;
+    (* Some node is always enabled (uniform values enable node 0). *)
+    match !best with
+    | None -> None
+    | Some (t, _) ->
+      (* Realizing the abstract move on a message-passing ring takes
+         two kinds of slots: the target only fires once it has {e seen}
+         its predecessor's current value, and its view only refreshes
+         when the predecessor is scheduled (every node retransmits on
+         every pass).  Scheduling the target alone would deadlock on a
+         stale view — the daemon would starve the ring by accident
+         instead of steering it.  So alternate by step parity: even
+         slots run the target's predecessor (announce), odd slots run
+         the target (read and move).  Both halves are pure in
+         (now, config), so snapshot-restore and trial partitioning
+         replay identically. *)
+      Some (if v.now land 1 = 0 then (t + n - 1) mod n else t)
+  in
+  { name = "adaptive"; stateful = true; choose }

@@ -1,0 +1,187 @@
+type t = { n : int; k : int; size : int }
+
+let max_size = 1 lsl 24
+
+let create ~n ~k =
+  if n < 2 then invalid_arg "Model.create: need at least two nodes";
+  if k < 2 then invalid_arg "Model.create: need at least two states";
+  let size = ref 1 in
+  for _ = 1 to n do
+    if !size > max_size / k then invalid_arg "Model.create: k^n too large";
+    size := !size * k
+  done;
+  { n; k; size = !size }
+
+let encode t config =
+  if Array.length config <> t.n then invalid_arg "Model.encode: length";
+  Array.fold_right
+    (fun x acc ->
+      if x < 0 || x >= t.k then invalid_arg "Model.encode: out of range";
+      (acc * t.k) + x)
+    config 0
+
+let decode t index =
+  if index < 0 || index >= t.size then invalid_arg "Model.decode: index";
+  let config = Array.make t.n 0 in
+  let rest = ref index in
+  for i = 0 to t.n - 1 do
+    config.(i) <- !rest mod t.k;
+    rest := !rest / t.k
+  done;
+  config
+
+let clamp t v = ((v mod t.k) + t.k) mod t.k
+
+let enabled t config i =
+  if i = 0 then config.(0) = config.(t.n - 1) else config.(i) <> config.(i - 1)
+
+let fire t config i =
+  if i = 0 then config.(0) <- (config.(0) + 1) mod t.k
+  else config.(i) <- config.(i - 1)
+
+let enabled_nodes t config =
+  let acc = ref [] in
+  for i = t.n - 1 downto 0 do
+    if enabled t config i then acc := i :: !acc
+  done;
+  !acc
+
+let token_count t config =
+  let count = ref 0 in
+  for i = 0 to t.n - 1 do
+    if enabled t config i then incr count
+  done;
+  !count
+
+let legitimate t config = token_count t config = 1
+
+type table = {
+  model : t;
+  best : int array;
+  worst : int array;
+}
+
+(* Both solves need the transition graph {config -> successor under
+   one enabled node's move}.  Firing node i changes digit i alone, so
+   a successor index is [idx + (new - old) * k^i] — no re-encode.  The
+   graph is walked twice: a counting pass sizes a reverse-adjacency
+   CSR (BFS and backward induction both traverse predecessors), then a
+   fill pass writes it.  Every configuration has at least one enabled
+   node (if nodes 1..n-1 are all disabled the values are uniform and
+   node 0 is enabled), so there are no deadlocks to special-case. *)
+let analyze ~n ~k =
+  let m = create ~n ~k in
+  let size = m.size in
+  let pow = Array.make n 1 in
+  for i = 1 to n - 1 do
+    pow.(i) <- pow.(i - 1) * k
+  done;
+  let digits = Array.make n 0 in
+  let decode_into index =
+    let rest = ref index in
+    for i = 0 to n - 1 do
+      digits.(i) <- !rest mod k;
+      rest := !rest / k
+    done
+  in
+  let successor index i =
+    if i = 0 then index + ((((digits.(0) + 1) mod k) - digits.(0)) * pow.(0))
+    else index + ((digits.(i - 1) - digits.(i)) * pow.(i))
+  in
+  (* [each_successor idx f] calls [f] once per enabled node's move;
+     [decode_into idx] must have run. *)
+  let each_successor index f =
+    if digits.(0) = digits.(n - 1) then f (successor index 0);
+    for i = 1 to n - 1 do
+      if digits.(i) <> digits.(i - 1) then f (successor index i)
+    done
+  in
+  let legit = Array.make size false in
+  let outdeg = Array.make size 0 in
+  let indeg = Array.make size 0 in
+  for index = 0 to size - 1 do
+    decode_into index;
+    legit.(index) <- legitimate m digits;
+    each_successor index (fun succ ->
+        outdeg.(index) <- outdeg.(index) + 1;
+        indeg.(succ) <- indeg.(succ) + 1)
+  done;
+  let rev_off = Array.make (size + 1) 0 in
+  for index = 0 to size - 1 do
+    rev_off.(index + 1) <- rev_off.(index) + indeg.(index)
+  done;
+  let rev = Array.make rev_off.(size) 0 in
+  let cursor = Array.copy rev_off in
+  for index = 0 to size - 1 do
+    decode_into index;
+    each_successor index (fun succ ->
+        rev.(cursor.(succ)) <- index;
+        cursor.(succ) <- cursor.(succ) + 1)
+  done;
+  let each_predecessor index f =
+    for p = rev_off.(index) to rev_off.(index + 1) - 1 do
+      f rev.(p)
+    done
+  in
+  (* Best case: multi-source BFS from the legitimate set over reverse
+     edges — best.(c) is the exact min moves to legitimacy. *)
+  let best = Array.make size (-1) in
+  let queue = Queue.create () in
+  for index = 0 to size - 1 do
+    if legit.(index) then begin
+      best.(index) <- 0;
+      Queue.push index queue
+    end
+  done;
+  while not (Queue.is_empty queue) do
+    let s = Queue.pop queue in
+    each_predecessor s (fun p ->
+        if best.(p) < 0 then begin
+          best.(p) <- best.(s) + 1;
+          Queue.push p queue
+        end)
+  done;
+  (* Worst case: backward induction.  A non-legitimate configuration
+     resolves once all its successors have, to 1 + max over them; the
+     out-degree countdown schedules that exactly.  Whatever never
+     resolves lies on (or inescapably reaches) a cycle avoiding the
+     legitimate set — the adversary's win — and keeps worst = -1. *)
+  let worst = Array.make size (-1) in
+  let pending = Array.copy outdeg in
+  let best_succ = Array.make size 0 in
+  for index = 0 to size - 1 do
+    if legit.(index) then begin
+      worst.(index) <- 0;
+      Queue.push index queue
+    end
+  done;
+  while not (Queue.is_empty queue) do
+    let s = Queue.pop queue in
+    each_predecessor s (fun p ->
+        if not legit.(p) && worst.(p) < 0 then begin
+          if worst.(s) > best_succ.(p) then best_succ.(p) <- worst.(s);
+          pending.(p) <- pending.(p) - 1;
+          if pending.(p) = 0 then begin
+            worst.(p) <- best_succ.(p) + 1;
+            Queue.push p queue
+          end
+        end)
+  done;
+  { model = m; best; worst }
+
+let lookup values table config =
+  let m = table.model in
+  if Array.length config <> m.n then invalid_arg "Model: config length";
+  values.(encode m (Array.map (clamp m) config))
+
+let best_of table config = lookup table.best table config
+let worst_of table config = lookup table.worst table config
+
+let best_bound table = Array.fold_left max 0 table.best
+let worst_bound table = Array.fold_left max 0 table.worst
+
+let divergent table =
+  Array.fold_left (fun acc w -> if w < 0 then acc + 1 else acc) 0 table.worst
+
+let legitimate_count table =
+  Array.fold_left (fun acc w -> if w = 0 then acc + 1 else acc) 0 table.worst

@@ -1,0 +1,95 @@
+(** Exhaustive explicit-state checker for Dijkstra's K-state ring on
+    {e abstracted} configurations.
+
+    The concrete ring ({!Ssos_net.Net_ring}) is a message-passing
+    system: whole SSX16 machines exchanging counters over NICs.  Its
+    stabilization argument, though, lives one level up, on the
+    abstract protocol state — the vector of n counters in [0, K).
+    This module enumerates {e all} K{^ n} abstract configurations and
+    computes, for every one of them, the exact number of protocol
+    moves to the legitimate set
+
+    - under a {e best-case} (cooperative) central daemon — multi-source
+      BFS from the legitimate configurations over reversed transition
+      edges; and
+    - under a {e worst-case} (adversarial) central daemon — backward
+      induction: a configuration resolves once every successor has,
+      to [1 + max] over them.  Configurations that never resolve are
+      exactly those from which the adversary can postpone legitimacy
+      forever (they sit on or reach a cycle avoiding the legitimate
+      set), so non-stabilization — e.g. K < n — is {e detected}, not
+      asserted away.
+
+    Campaigns use the resulting tables two ways: the adaptive
+    adversary ({!Adversary.adaptive}) can steer concrete executions
+    with exact worst-case values, and the differential tests assert
+    that no concrete adversarial run ever needs more abstract moves
+    than [worst_bound] — turning the suite's sampled convergence
+    claims into verified bounds for small n (DESIGN.md §4j). *)
+
+type t = private { n : int; k : int; size : int }
+(** A ring shape: [n] nodes with counters in [0, k); [size = k]{^ n}. *)
+
+val create : n:int -> k:int -> t
+(** Requires [n >= 2], [k >= 2] and [k]{^ n}[ <= 2]{^ 24} (the
+    enumeration cap — about 16.7M configurations). *)
+
+val encode : t -> int array -> int
+(** Configuration (length [n], entries in [0, k)) to index in
+    [0, size). *)
+
+val decode : t -> int -> int array
+(** Inverse of {!encode}. *)
+
+val clamp : t -> int -> int
+(** Project an arbitrary (possibly corrupted) counter word into
+    [0, k) — the abstraction the checker works in. *)
+
+(** Protocol semantics on raw configuration arrays (Dijkstra's K-state
+    ring, the exact moves the {!Ssos_net.Net_ring} guest makes):
+    node 0 is privileged iff [x0 = x(n-1)] and fires by incrementing
+    modulo K; node [i > 0] is privileged iff [xi <> x(i-1)] and fires
+    by copying. *)
+
+val enabled : t -> int array -> int -> bool
+val fire : t -> int array -> int -> unit
+(** In place; only meaningful when {!enabled}. *)
+
+val enabled_nodes : t -> int array -> int list
+val token_count : t -> int array -> int
+val legitimate : t -> int array -> bool
+(** Exactly one privilege. *)
+
+type table = {
+  model : t;
+  best : int array;   (** exact min moves to legitimacy, per config *)
+  worst : int array;  (** exact max moves under the adversarial daemon;
+                          [-1] marks a divergent configuration *)
+}
+
+val analyze : n:int -> k:int -> table
+(** Enumerate all [k]{^ n} configurations and solve both daemons
+    exactly.  Cost is O(size · n) time and memory. *)
+
+val best_of : table -> int array -> int
+val worst_of : table -> int array -> int
+(** Per-configuration lookups; the array is clamped entrywise first,
+    so raw (corrupted) concrete states can be passed directly. *)
+
+val best_bound : table -> int
+(** [max] over all configurations of [best] — what even a cooperative
+    daemon needs from the worst initial configuration.  Always
+    [<= n - 1] for this protocol. *)
+
+val worst_bound : table -> int
+(** [max] over all {e resolved} configurations of [worst].  When
+    {!divergent} is zero this is the exact global worst-case
+    convergence bound. *)
+
+val divergent : table -> int
+(** Number of configurations from which the adversary wins outright
+    (never reaches legitimacy).  Zero exactly when the protocol
+    self-stabilizes under the unfair central daemon at this (n, k);
+    Dijkstra's theorem gives zero for [k >= n]. *)
+
+val legitimate_count : table -> int

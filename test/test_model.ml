@@ -1,0 +1,233 @@
+(* lib/stabilization/model — the exhaustive explicit-state checker for
+   Dijkstra's K-state ring on abstract configurations. *)
+
+let case = Helpers.case
+let check_int = Helpers.check_int
+let check_bool = Helpers.check_bool
+
+module Model = Ssx_stab.Model
+
+(* Closed form for the legitimate set: exactly one privilege.  Node 0
+   alone: all equal (k configs).  Node i > 0 alone: x0..x(i-1) equal to
+   some a, xi..x(n-1) equal to some b <> a — (n-1) positions times
+   k * (k-1) value pairs. *)
+let legit_closed_form ~n ~k = k + ((n - 1) * k * (k - 1))
+
+let test_encode_decode_roundtrip () =
+  let m = Model.create ~n:4 ~k:5 in
+  for idx = 0 to m.Model.size - 1 do
+    let config = Model.decode m idx in
+    check_int "decode/encode round-trip" idx (Model.encode m config)
+  done;
+  let rng = Ssx_faults.Rng.create 0x5EEDL in
+  for _ = 1 to 200 do
+    let config = Array.init 4 (fun _ -> Ssx_faults.Rng.int rng 5) in
+    check_bool "encode/decode round-trip" true
+      (Model.decode m (Model.encode m config) = config)
+  done;
+  check_int "clamp a corrupted word" 4 (Model.clamp m 0x1238);
+  check_int "clamp a negative word" 3 (Model.clamp m (-2))
+
+let test_hand_checks_n3_k4 () =
+  (* Everything small enough to verify by hand: n=3, K=4, 64 configs. *)
+  let tb = Model.analyze ~n:3 ~k:4 in
+  let m = tb.Model.model in
+  check_int "size" 64 m.Model.size;
+  check_int "legitimate count" 28 (Model.legitimate_count tb);
+  check_int "legitimate count closed form" (legit_closed_form ~n:3 ~k:4)
+    (Model.legitimate_count tb);
+  check_int "no divergence at K = n + 1" 0 (Model.divergent tb);
+  (* [0;0;0]: only node 0 is privileged — legitimate, zero moves. *)
+  check_bool "uniform config is legitimate" true
+    (Model.legitimate m [| 0; 0; 0 |]);
+  check_int "legitimate config needs no moves" 0 (Model.best_of tb [| 0; 0; 0 |]);
+  check_int "legitimate config fears no daemon" 0
+    (Model.worst_of tb [| 0; 0; 0 |]);
+  (* [0;1;0]: all three nodes privileged — one move under a cooperative
+     daemon (fire node 1 or node 2), never more than the global worst. *)
+  check_int "three tokens" 3 (Model.token_count m [| 0; 1; 0 |]);
+  check_bool "node 0 enabled (x0 = x2)" true (Model.enabled m [| 0; 1; 0 |] 0);
+  check_int "one cooperative move from [0;1;0]" 1
+    (Model.best_of tb [| 0; 1; 0 |]);
+  check_bool "worst >= best at [0;1;0]" true
+    (Model.worst_of tb [| 0; 1; 0 |] >= Model.best_of tb [| 0; 1; 0 |]);
+  (* fire semantics: node 0 increments mod K, others copy. *)
+  let c = [| 3; 3; 3 |] in
+  Model.fire m c 0;
+  check_bool "bottom increments modulo K" true (c = [| 0; 3; 3 |]);
+  let c = [| 0; 1; 0 |] in
+  Model.fire m c 1;
+  check_bool "copier copies" true (c = [| 0; 0; 0 |]);
+  (* lookups clamp raw words entrywise. *)
+  check_int "raw corrupted words clamp before lookup"
+    (Model.best_of tb [| 0; 1; 0 |])
+    (Model.best_of tb [| 0x1234; 0xABC1; 0x5678 |])
+
+let test_grid_k_n_plus_one () =
+  (* The ISSUE's grid: n = 3..6 at K = n + 1, full enumeration.  The
+     protocol stabilizes (no divergent configuration) and the bounds
+     behave: 0 < best <= n - 1 <= worst, worst >= best pointwise. *)
+  List.iter
+    (fun n ->
+      let k = n + 1 in
+      let tb = Model.analyze ~n ~k in
+      let m = tb.Model.model in
+      check_int (Printf.sprintf "n=%d: size k^n" n)
+        (int_of_float (float_of_int k ** float_of_int n))
+        m.Model.size;
+      check_int (Printf.sprintf "n=%d: divergent" n) 0 (Model.divergent tb);
+      check_int
+        (Printf.sprintf "n=%d: legitimate count" n)
+        (legit_closed_form ~n ~k)
+        (Model.legitimate_count tb);
+      check_bool
+        (Printf.sprintf "n=%d: best bound in (0, n-1]" n)
+        true
+        (Model.best_bound tb > 0 && Model.best_bound tb <= n - 1);
+      check_bool
+        (Printf.sprintf "n=%d: worst bound dominates best bound" n)
+        true
+        (Model.worst_bound tb >= Model.best_bound tb);
+      (* Pointwise: every configuration resolved, worst >= best, and
+         zero moves exactly on the legitimate set. *)
+      let zeros = ref 0 in
+      for idx = 0 to m.Model.size - 1 do
+        let b = tb.Model.best.(idx) and w = tb.Model.worst.(idx) in
+        if w < b then
+          Alcotest.failf "n=%d: config %d has worst %d < best %d" n idx w b;
+        if b = 0 then incr zeros
+      done;
+      check_int
+        (Printf.sprintf "n=%d: zero-distance set is the legitimate set" n)
+        (Model.legitimate_count tb)
+        !zeros)
+    [ 3; 4; 5; 6 ]
+
+let test_guest_k_pinned_bounds () =
+  (* At the concrete guest's K = 8 the exact global bounds are pinned;
+     the differential tests in test_adversary.ml compare concrete runs
+     against these tables. *)
+  List.iter
+    (fun (n, best, worst) ->
+      let tb = Model.analyze ~n ~k:8 in
+      check_int (Printf.sprintf "n=%d K=8: best bound" n) best
+        (Model.best_bound tb);
+      check_int (Printf.sprintf "n=%d K=8: worst bound" n) worst
+        (Model.worst_bound tb))
+    [ (3, 1, 2); (4, 2, 13); (5, 3, 24); (6, 4, 38) ]
+
+let test_divergence_detected_below_k_min () =
+  (* Dijkstra's ring stabilizes under the unfair central daemon iff
+     K >= n - 1.  The checker must detect (not assume) both sides. *)
+  check_int "n=4 K=3 (= n-1) stabilizes" 0
+    (Model.divergent (Model.analyze ~n:4 ~k:3));
+  check_int "n=5 K=4 (= n-1) stabilizes" 0
+    (Model.divergent (Model.analyze ~n:5 ~k:4));
+  check_int "n=4 K=2 diverges (8 configs)" 8
+    (Model.divergent (Model.analyze ~n:4 ~k:2));
+  check_int "n=5 K=3 diverges (27 configs)" 27
+    (Model.divergent (Model.analyze ~n:5 ~k:3));
+  (* A divergent configuration reports -1 through worst_of. *)
+  let tb = Model.analyze ~n:4 ~k:2 in
+  let found = ref None in
+  for idx = 0 to tb.Model.model.Model.size - 1 do
+    if tb.Model.worst.(idx) = -1 && !found = None then found := Some idx
+  done;
+  match !found with
+  | None -> Alcotest.fail "no divergent configuration found"
+  | Some idx ->
+    check_int "worst_of reports divergence as -1" (-1)
+      (Model.worst_of tb (Model.decode tb.Model.model idx))
+
+(* Independent re-solution of both daemons, by different algorithms
+   than the library's (forward BFS per configuration for the best case;
+   Bellman value iteration for the worst case), compared exhaustively
+   on a small shape. *)
+let test_brute_force_cross_check () =
+  let n = 3 and k = 4 in
+  let tb = Model.analyze ~n ~k in
+  let m = tb.Model.model in
+  let size = m.Model.size in
+  let successors idx =
+    let config = Model.decode m idx in
+    List.map
+      (fun i ->
+        let next = Array.copy config in
+        Model.fire m next i;
+        Model.encode m next)
+      (Model.enabled_nodes m config)
+  in
+  (* Best: per-config forward BFS to the legitimate set. *)
+  let bfs_best start =
+    if Model.legitimate m (Model.decode m start) then 0
+    else begin
+      let dist = Array.make size (-1) in
+      dist.(start) <- 0;
+      let q = Queue.create () in
+      Queue.add start q;
+      let answer = ref (-1) in
+      while !answer = -1 && not (Queue.is_empty q) do
+        let u = Queue.pop q in
+        List.iter
+          (fun v ->
+            if !answer = -1 && dist.(v) = -1 then begin
+              dist.(v) <- dist.(u) + 1;
+              if Model.legitimate m (Model.decode m v) then
+                answer := dist.(v)
+              else Queue.add v q
+            end)
+          (successors u)
+      done;
+      !answer
+    end
+  in
+  (* Worst: value iteration.  Start every non-legitimate config at
+     "unresolved"; a config resolves to 1 + max successor once all its
+     successors have resolved; iterate to fixpoint (at most [size]
+     rounds), leftovers are divergent. *)
+  let worst = Array.make size (-1) in
+  for idx = 0 to size - 1 do
+    if Model.legitimate m (Model.decode m idx) then worst.(idx) <- 0
+  done;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for idx = 0 to size - 1 do
+      if worst.(idx) = -1 then begin
+        let succ = successors idx in
+        if List.for_all (fun v -> worst.(v) >= 0) succ then begin
+          worst.(idx) <-
+            1 + List.fold_left (fun acc v -> max acc worst.(v)) 0 succ;
+          changed := true
+        end
+      end
+    done
+  done;
+  for idx = 0 to size - 1 do
+    if tb.Model.best.(idx) <> bfs_best idx then
+      Alcotest.failf "config %d: best %d <> BFS %d" idx tb.Model.best.(idx)
+        (bfs_best idx);
+    if tb.Model.worst.(idx) <> worst.(idx) then
+      Alcotest.failf "config %d: worst %d <> value iteration %d" idx
+        tb.Model.worst.(idx) worst.(idx)
+  done
+
+let test_create_validation () =
+  let invalid f = match f () with
+    | exception Invalid_argument _ -> true
+    | _ -> false
+  in
+  check_bool "n < 2 rejected" true (invalid (fun () -> Model.create ~n:1 ~k:4));
+  check_bool "k < 2 rejected" true (invalid (fun () -> Model.create ~n:3 ~k:1));
+  check_bool "k^n over the cap rejected" true
+    (invalid (fun () -> Model.create ~n:9 ~k:8))
+
+let suite =
+  [ case "encode/decode/clamp round-trips" test_encode_decode_roundtrip;
+    case "hand checks at n=3 K=4" test_hand_checks_n3_k4;
+    case "exhaustive grid n=3..6 at K=n+1" test_grid_k_n_plus_one;
+    case "pinned exact bounds at the guest K=8" test_guest_k_pinned_bounds;
+    case "divergence detected below K = n-1" test_divergence_detected_below_k_min;
+    case "brute-force cross-check (BFS + value iteration)"
+      test_brute_force_cross_check;
+    case "create validates its shape" test_create_validation ]

@@ -343,9 +343,18 @@ let diff_topologies =
     ("torus", 9, Cluster.torus_edges ~rows:3 ~cols:3);
     ("random", 8, Cluster.random_edges ~n:8 ~degree:3 ~seed:0xD1CEL) ]
 
+let policy_label = function
+  | Cluster.Round_robin -> "rr"
+  | Cluster.Fair_random -> "fair"
+  | Cluster.Daemon d -> d.Ssx_stab.Adversary.name
+
 let test_sharded_digest_matrix () =
-  (* Acceptance: sequential vs shards 1/2/4/8, every topology, both
-     policies, lossy links throughout — identical digests. *)
+  (* Acceptance: sequential vs shards 1/2/4/8, every topology, every
+     policy — the built-ins and the adversarial daemons — with lossy
+     links throughout: identical digests.  The pure daemons replay on
+     every shard like the built-ins; the stateful adaptive adversary
+     exercises the forced-sequential fallback. *)
+  let ring8 = Cluster.ring_edges ~n:8 in
   let configs =
     List.concat_map
       (fun (name, n, edges) ->
@@ -353,7 +362,24 @@ let test_sharded_digest_matrix () =
           (fun policy -> (name, n, edges, policy, Some lossy_faults))
           [ Cluster.Round_robin; Cluster.Fair_random ])
       diff_topologies
-    @ [ ("ring-benign", 8, Cluster.ring_edges ~n:8, Cluster.Round_robin, None) ]
+    @ [ ("ring-benign", 8, ring8, Cluster.Round_robin, None);
+        ( "ring",
+          8,
+          ring8,
+          Cluster.Daemon (Ssx_stab.Adversary.starve ~victim:2 ()),
+          Some lossy_faults );
+        ( "ring",
+          8,
+          ring8,
+          Cluster.Daemon
+            (Ssx_stab.Adversary.crash ~victim:5 ~down_from:100 ~down_for:120
+               ()),
+          Some lossy_faults );
+        ( "ring",
+          8,
+          ring8,
+          Cluster.Daemon (Ssx_stab.Adversary.adaptive ~k:Net_ring.k ()),
+          Some lossy_faults ) ]
   in
   List.iter
     (fun (name, n, edges, policy, faults) ->
@@ -371,10 +397,7 @@ let test_sharded_digest_matrix () =
           Cluster.run_sharded ~shards ring.Net_ring.cluster ~steps:400;
           Helpers.check_string
             (Printf.sprintf "%s/%s: sequential = shards:%d" name
-               (match policy with
-               | Cluster.Round_robin -> "rr"
-               | Cluster.Fair_random -> "fair")
-               shards)
+               (policy_label policy) shards)
             reference
             (Cluster.digest ring.Net_ring.cluster))
         [ 1; 2; 4; 8 ])

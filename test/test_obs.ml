@@ -100,6 +100,80 @@ let test_default_buckets_ascending () =
   check_bool "covers 1e2..5e9" true
     (b.(0) = 1e2 && b.(Array.length b - 1) = 5e9)
 
+(* ------------------------------------------------------- quantiles *)
+
+let test_quantile_agrees_with_exact () =
+  (* The documented contract: the bucketed estimate always lands in
+     the same bucket as the exact nearest-rank sample quantile, and is
+     clamped to the min/max side-cars. *)
+  with_obs (fun () ->
+      let buckets = [| 10.; 20.; 50.; 100.; 200.; 500. |] in
+      let h = Obs.histogram ~buckets "q.lat" in
+      (* A deterministic long-tailed sample set spanning under- and
+         overflow buckets. *)
+      let samples =
+        List.init 100 (fun i ->
+            let i = i + 1 in
+            if i <= 50 then float_of_int i  (* 1..50 *)
+            else if i <= 90 then float_of_int (50 + ((i - 50) * 3))
+            else float_of_int (200 + ((i - 90) * 70)))  (* up to 900 *)
+      in
+      List.iter (Obs.observe h) samples;
+      let value =
+        match find_row "q.lat" with
+        | Some { Obs.value; _ } -> value
+        | None -> Alcotest.fail "histogram row missing"
+      in
+      let sorted = Array.of_list (List.sort compare samples) in
+      let exact q =
+        (* nearest rank: the ceil (q * samples)-th smallest. *)
+        let rank = int_of_float (ceil (q *. float_of_int (Array.length sorted))) in
+        sorted.(max 0 (rank - 1))
+      in
+      let bucket_of v =
+        let i = ref 0 in
+        while !i < Array.length buckets && v > buckets.(!i) do incr i done;
+        !i
+      in
+      List.iter
+        (fun q ->
+          match Obs.quantile value q with
+          | None -> Alcotest.failf "no quantile at %g" q
+          | Some est ->
+            check_int
+              (Printf.sprintf "p%g lands in the exact sample's bucket"
+                 (100. *. q))
+              (bucket_of (exact q)) (bucket_of est);
+            check_bool
+              (Printf.sprintf "p%g within side-cars" (100. *. q))
+              true
+              (est >= sorted.(0) && est <= sorted.(Array.length sorted - 1)))
+        [ 0.5; 0.9; 0.99 ];
+      (* The extremes stay inside the exact side-cars: p0 lands in the
+         lowest sample's bucket bounded below by the true min, and p100
+         — which falls in the +inf overflow bucket — clamps to the true
+         max (the side-car is the only finite upper bound there). *)
+      (match Obs.quantile value 0.0 with
+      | None -> Alcotest.fail "no p0"
+      | Some est ->
+        check_int "p0 lands in the min's bucket" (bucket_of sorted.(0))
+          (bucket_of est);
+        check_bool "p0 bounded below by min" true (est >= sorted.(0)));
+      check_bool "p100 clamps to max" true
+        (Obs.quantile value 1.0 = Some sorted.(Array.length sorted - 1));
+      (* Non-histogram values and empty histograms have no quantiles. *)
+      check_bool "counter has no quantile" true
+        (Obs.quantile (Obs.Counter 5) 0.5 = None);
+      check_bool "gauge has no quantile" true
+        (Obs.quantile (Obs.Gauge 5.) 0.5 = None);
+      let empty = Obs.histogram ~buckets "q.empty" in
+      ignore empty;
+      match find_row "q.empty" with
+      | Some { Obs.value; _ } ->
+        check_bool "empty histogram has no quantile" true
+          (Obs.quantile value 0.5 = None)
+      | None -> Alcotest.fail "empty histogram row missing")
+
 (* --------------------------------------------------------- events *)
 
 let test_event_ring_bounded () =
@@ -286,6 +360,8 @@ let suite =
     case "snapshot rows are sorted" test_snapshot_rows_sorted;
     case "histogram buckets and side-cars" test_histogram;
     case "default buckets are sane" test_default_buckets_ascending;
+    case "bucketed quantiles agree with exact nearest-rank"
+      test_quantile_agrees_with_exact;
     case "event ring is bounded" test_event_ring_bounded;
     case "disabled switch is inert" test_disabled_is_inert;
     case "timed spans record histogram, gauge and event"
