@@ -2,12 +2,13 @@
 
    Subcommands:
      demo <design>      run one of the paper's designs and narrate
-     experiment <id>    regenerate an evaluation table (T1..T19, or all)
+     experiment <id>    regenerate an evaluation table (T1..T20, or all)
      figures            print the paper's figures as assembling source
      listing <figure>   disassemble an assembled figure
      trace <design>     run a design and dump its last events
      campaign           custom fault-injection campaign
      cluster            multi-machine token ring over lossy links
+     serve              closed-loop continuous operation with SLO metrics
      adversary          adversarial daemons + exhaustive abstract checker
      fuzz               differential fuzzing against the reference oracle *)
 
@@ -182,7 +183,7 @@ let experiment id format jobs shards =
       print_table format (run ?jobs ?shards ());
       ok
     | None ->
-      Format.eprintf "ssos: unknown experiment %s (expected T1..T19 or all)@."
+      Format.eprintf "ssos: unknown experiment %s (expected T1..T20 or all)@."
         id;
       Cmdliner.Cmd.Exit.cli_error
 
@@ -420,6 +421,75 @@ let rsm nodes drop rate faults steps limit seed shards latency =
     (if linearized then "responses linearizable"
      else "RESPONSES NOT LINEARIZABLE");
   if converged && committed > 0 && linearized then ok
+  else Cmdliner.Cmd.Exit.cli_error
+
+(* --------------------------------------------------------------- serve *)
+
+let serve nodes rate fault_rate duration epoch slo_avail slo_p99 seed shards
+    jobs latency quiet require_incident =
+  let open Ssos_serve.Engine in
+  let slo = { default_slo with availability = slo_avail; max_p99 = slo_p99 } in
+  let pp_lat ppf v =
+    if v < 0 then Format.fprintf ppf "   -" else Format.fprintf ppf "%4d" v
+  in
+  let report =
+    if quiet then None
+    else
+      Some
+        (fun w ->
+          Format.printf
+            "epoch %4d | step %8d | inj %5d com %5d | avail %.3f p50 %a p99 \
+             %a |%s%s%s@."
+            w.epoch w.step w.w_injected w.w_committed w.w_availability pp_lat
+            w.w_p50 pp_lat w.w_p99
+            (if w.ring_legal then " ring-legal" else " RING-ILLEGAL")
+            (if w.healthy then "" else " UNHEALTHY")
+            (if w.faults_landed > 0 then
+               Printf.sprintf " +%d fault(s)" w.faults_landed
+             else ""))
+  in
+  let s =
+    serve ~nodes ~rate ~fault_rate ~epoch ~latency ~slo ?shards ?jobs ?report
+      ~duration ~seed:(Int64.of_int seed) ()
+  in
+  Format.printf
+    "== served %d steps (%d epochs) on %d replicas, fault rate %.4f ==@."
+    s.duration s.epochs s.nodes fault_rate;
+  Format.printf
+    "requests: %d injected, %d committed, %d dropped | availability %.4f \
+     (worst window %.4f)@."
+    s.injected s.committed s.dropped s.availability s.min_window_availability;
+  Format.printf "latency: p50 %a, p99 %a cluster steps@." pp_lat s.p50 pp_lat
+    s.p99;
+  (match s.fault_arrivals with
+  | [] -> Format.printf "faults: none landed@."
+  | arrivals ->
+    Format.printf "faults:%s@."
+      (String.concat ","
+         (List.map (fun (k, n) -> Printf.sprintf " %s x%d" k n) arrivals)));
+  Format.printf "incidents: %d detected, %d repaired, %d engine reset(s)@."
+    s.detected s.repaired s.repairs;
+  List.iter
+    (fun i ->
+      Format.printf "  %-18s opened@%d %s%s@." i.cause i.opened_at
+        (match i.closed_at with
+        | Some t -> Printf.sprintf "closed@%d (mttr %d steps)" t (t - i.opened_at)
+        | None -> "STILL OPEN")
+        (if i.repair_fired then " [engine reset]" else ""))
+    s.incidents;
+  List.iter
+    (fun m ->
+      Format.printf "  mttr %-13s %d incident(s), mean %.0f, max %d steps@."
+        m.kind m.incidents m.mean_steps m.max_steps)
+    s.mttr;
+  Format.printf "final ring legality: %s@." (if s.final_legal then "yes" else "NO");
+  Format.printf "SLO (availability >= %.2f): %s@." slo.availability
+    (if s.slo_met then "MET" else "BREACHED");
+  if require_incident && s.repaired = 0 then begin
+    Format.printf "required a detected+repaired incident: none closed@.";
+    Cmdliner.Cmd.Exit.cli_error
+  end
+  else if s.slo_met then ok
   else Cmdliner.Cmd.Exit.cli_error
 
 (* ----------------------------------------------------------- adversary *)
@@ -673,7 +743,7 @@ let () =
              stepping.")
   in
   let experiment_cmd =
-    Cmd.v (Cmd.info "experiment" ~doc:"Regenerate an evaluation table (T1..T19)")
+    Cmd.v (Cmd.info "experiment" ~doc:"Regenerate an evaluation table (T1..T20)")
       (with_metrics
          Term.(
            const (fun id format jobs shards () -> experiment id format jobs shards)
@@ -818,6 +888,84 @@ let () =
            $ rsm_nodes_arg $ drop_arg $ rate_arg $ faults_arg $ steps_arg
            $ limit_arg $ seed_arg $ shards_arg $ latency_arg))
   in
+  let fault_rate_arg =
+    Arg.(
+      value & opt float 0.0
+      & info [ "fault-rate" ] ~docv:"P"
+          ~doc:
+            "Per-step probability of a background fault landing on a \
+             uniformly chosen replica (full machine fault space).")
+  in
+  let duration_arg =
+    Arg.(
+      value & opt int 3_000
+      & info [ "duration" ] ~docv:"N"
+          ~doc:"Cluster steps to serve after warmup.")
+  in
+  let epoch_arg =
+    Arg.(
+      value & opt int 150
+      & info [ "epoch" ] ~docv:"N"
+          ~doc:
+            "Observation window in cluster steps: metrics, detection and \
+             repair all happen at epoch boundaries.")
+  in
+  let slo_arg =
+    Arg.(
+      value & opt float 0.85
+      & info [ "slo" ] ~docv:"A"
+          ~doc:
+            "Availability floor in [0,1]: a trailing window below it is an \
+             SLO breach, and the exit status reports whether the whole run \
+             met it.")
+  in
+  let slo_p99_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "slo-p99" ] ~docv:"N"
+          ~doc:
+            "Optional p99 latency ceiling in cluster steps (0 disables the \
+             latency detector).")
+  in
+  let serve_latency_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "latency" ] ~docv:"N"
+          ~doc:
+            "Link latency in cluster steps (at least 1).  Values above 1 \
+             give $(b,--shards) its synchronization horizon.")
+  in
+  let quiet_arg =
+    Arg.(
+      value & flag
+      & info [ "quiet" ] ~doc:"Suppress the per-epoch dashboard lines.")
+  in
+  let require_incident_arg =
+    Arg.(
+      value & flag
+      & info [ "require-incident" ]
+          ~doc:
+            "Exit non-zero unless at least one incident was detected and \
+             closed by a verified-healthy window (for smoke tests of the \
+             full detect/repair cycle).")
+  in
+  let serve_cmd =
+    Cmd.v
+      (Cmd.info "serve"
+         ~doc:
+           "Run the replicated service as a closed loop — continuous client \
+            traffic, background faults, SLO detection, reset-pulse repair — \
+            and report windowed availability, latency percentiles and MTTR")
+      (with_metrics
+         Term.(
+           const (fun nodes rate fault_rate duration epoch slo slo_p99 seed
+                      shards jobs latency quiet require_incident () ->
+               serve nodes rate fault_rate duration epoch slo slo_p99 seed
+                 shards jobs latency quiet require_incident)
+           $ rsm_nodes_arg $ rate_arg $ fault_rate_arg $ duration_arg
+           $ epoch_arg $ slo_arg $ slo_p99_arg $ seed_arg $ shards_arg
+           $ jobs_arg $ serve_latency_arg $ quiet_arg $ require_incident_arg))
+  in
   let daemon_conv =
     Arg.enum
       [ ("round-robin", `Round_robin); ("fair-random", `Fair_random);
@@ -927,4 +1075,5 @@ let () =
     (Cmd.eval'
        (Cmd.group ~default info
           [ demo_cmd; experiment_cmd; figures_cmd; listing_cmd; trace_cmd;
-            campaign_cmd; cluster_cmd; rsm_cmd; adversary_cmd; fuzz_cmd ]))
+            campaign_cmd; cluster_cmd; rsm_cmd; serve_cmd; adversary_cmd;
+            fuzz_cmd ]))

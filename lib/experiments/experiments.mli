@@ -110,6 +110,14 @@ val t19_rsm_daemon_matrix :
     but never safety; recurring crash outages show up as lost
     throughput.  [shards] as in T14. *)
 
+val t20_serve_fault_rates :
+  ?seed:int64 -> ?duration:int -> ?jobs:int -> ?shards:int -> unit -> Table.t
+(** E20 — continuous operation ({!Ssos_serve.Engine}): overall and
+    worst-window availability, latency p50/p99, detected/repaired
+    incident counts and mean MTTR of the closed serve loop vs the
+    background fault rate — the production scenario of §1's
+    motivation, run as a deterministic simulation. *)
+
 val all : (string * (?jobs:int -> ?shards:int -> unit -> Table.t)) list
 (** [(id, runner)] for every table, in order.  [jobs] caps the campaign
     worker-domain count ({!Pool.default_jobs} when omitted); tables
@@ -119,4 +127,4 @@ val all : (string * (?jobs:int -> ?shards:int -> unit -> Table.t)) list
     value of either knob. *)
 
 val find : string -> (?jobs:int -> ?shards:int -> unit -> Table.t) option
-(** Case-insensitive lookup by id ("t1" … "t19"). *)
+(** Case-insensitive lookup by id ("t1" … "t20"). *)

@@ -104,7 +104,12 @@ let publish ~campaign outcomes summary =
 
 let trial_seed = Ssx_faults.Rng.derive
 
-type strategy = Rebuild | Snapshot_reset
+(* The trial plumbing — per-trial seed derivation, Rebuild vs
+   Snapshot_reset, the worker pool — lives in Ssos_serve.Cycle now;
+   the campaigns below are thin wrappers.  The re-expression is
+   call-for-call identical to the old inline loops, so every summary
+   is bit-identical (pinned by test_campaigns.ml). *)
+type strategy = Ssos_serve.Cycle.strategy = Rebuild | Snapshot_reset
 
 let heartbeat_outcome ~spec ~warmup system =
   let end_tick = Ssx.Machine.ticks system.Ssos.System.machine in
@@ -127,37 +132,26 @@ let heartbeat_trial ~build ~space ~spec ~burst ~warmup ~horizon ~seed =
   heartbeat_outcome ~spec ~warmup system
 
 let heartbeat_campaign ~build ~space ~spec ~burst ?(warmup = 30_000)
-    ?(horizon = 400_000) ?(strategy = Snapshot_reset) ?oversubscribe ?jobs
-    ~trials ~seed () =
+    ?(horizon = 400_000) ?strategy ?oversubscribe ?jobs ~trials ~seed () =
   let outcomes =
-    match strategy with
-    | Rebuild ->
-      Pool.run ?oversubscribe ?jobs trials (fun i ->
-          heartbeat_trial ~build ~space ~spec ~burst ~warmup ~horizon
-            ~seed:(trial_seed seed i))
-    | Snapshot_reset ->
-      (* One machine and one post-warmup snapshot per worker domain.
-         The build-and-warmup prefix is deterministic and fault-free,
-         so restoring the snapshot before each trial is observationally
-         identical to rebuilding and re-warming — at a fraction of the
-         cost. *)
-      Pool.run_with ?oversubscribe ?jobs
-        ~init:(fun () ->
-          let system = build () in
-          Ssos.System.run system ~ticks:warmup;
-          (system, Ssx.Snapshot.capture system.Ssos.System.machine))
-        trials
-        (fun (system, snapshot) i ->
-          Ssx.Snapshot.restore snapshot system.Ssos.System.machine;
-          let rng = Ssx_faults.Rng.create (trial_seed seed i) in
-          ignore
-            (Ssx_faults.Injector.inject_now
-               (Ssos.System.fault_system system)
-               ~rng ~space burst);
-          Ssos.System.run system ~ticks:horizon;
-          heartbeat_outcome ~spec ~warmup system)
+    Ssos_serve.Cycle.trials ?strategy ?oversubscribe ?jobs ~trials ~seed
+      ~rebuild:(fun ~seed ->
+        heartbeat_trial ~build ~space ~spec ~burst ~warmup ~horizon ~seed)
+      ~warm:(fun () ->
+        let system = build () in
+        Ssos.System.run system ~ticks:warmup;
+        (system, Ssx.Snapshot.capture system.Ssos.System.machine))
+      ~reset:(fun (system, snapshot) ~seed ->
+        Ssx.Snapshot.restore snapshot system.Ssos.System.machine;
+        let rng = Ssx_faults.Rng.create seed in
+        ignore
+          (Ssx_faults.Injector.inject_now
+             (Ssos.System.fault_system system)
+             ~rng ~space burst);
+        Ssos.System.run system ~ticks:horizon;
+        heartbeat_outcome ~spec ~warmup system)
+      ()
   in
-  let outcomes = Array.to_list outcomes in
   publish ~campaign:"heartbeat" outcomes (summarize outcomes)
 
 let sched_outcome ~warmup ~max_gap ~window sched =
@@ -201,36 +195,32 @@ let sched_trial ~build ?space ~burst ~warmup ~horizon ~max_gap ~window ~seed () 
   sched_outcome ~warmup ~max_gap ~window sched
 
 let sched_campaign ~build ?space ~burst ?(warmup = 100_000)
-    ?(horizon = 600_000) ?(max_gap = 100_000) ?(window = 150_000)
-    ?(strategy = Snapshot_reset) ?oversubscribe ?jobs ~trials ~seed () =
+    ?(horizon = 600_000) ?(max_gap = 100_000) ?(window = 150_000) ?strategy
+    ?oversubscribe ?jobs ~trials ~seed () =
   let outcomes =
-    match strategy with
-    | Rebuild ->
-      Pool.run ?oversubscribe ?jobs trials (fun i ->
-          sched_trial ~build ?space ~burst ~warmup ~horizon ~max_gap ~window
-            ~seed:(trial_seed seed i) ())
-    | Snapshot_reset ->
-      Pool.run_with ?oversubscribe ?jobs
-        ~init:(fun () ->
-          let sched = build () in
-          let space =
-            match space with
-            | Some s -> s
-            | None -> Ssos.Sched.fault_space sched
-          in
-          Ssx.Machine.run sched.Ssos.Sched.machine ~ticks:warmup;
-          (sched, space, Ssx.Snapshot.capture sched.Ssos.Sched.machine))
-        trials
-        (fun (sched, space, snapshot) i ->
-          Ssx.Snapshot.restore snapshot sched.Ssos.Sched.machine;
-          let rng = Ssx_faults.Rng.create (trial_seed seed i) in
-          ignore
-            (Ssx_faults.Injector.inject_now (Ssos.Sched.fault_system sched) ~rng
-               ~space burst);
-          Ssx.Machine.run sched.Ssos.Sched.machine ~ticks:horizon;
-          sched_outcome ~warmup ~max_gap ~window sched)
+    Ssos_serve.Cycle.trials ?strategy ?oversubscribe ?jobs ~trials ~seed
+      ~rebuild:(fun ~seed ->
+        sched_trial ~build ?space ~burst ~warmup ~horizon ~max_gap ~window
+          ~seed ())
+      ~warm:(fun () ->
+        let sched = build () in
+        let space =
+          match space with
+          | Some s -> s
+          | None -> Ssos.Sched.fault_space sched
+        in
+        Ssx.Machine.run sched.Ssos.Sched.machine ~ticks:warmup;
+        (sched, space, Ssx.Snapshot.capture sched.Ssos.Sched.machine))
+      ~reset:(fun (sched, space, snapshot) ~seed ->
+        Ssx.Snapshot.restore snapshot sched.Ssos.Sched.machine;
+        let rng = Ssx_faults.Rng.create seed in
+        ignore
+          (Ssx_faults.Injector.inject_now (Ssos.Sched.fault_system sched) ~rng
+             ~space burst);
+        Ssx.Machine.run sched.Ssos.Sched.machine ~ticks:horizon;
+        sched_outcome ~warmup ~max_gap ~window sched)
+      ()
   in
-  let outcomes = Array.to_list outcomes in
   publish ~campaign:"sched" outcomes (summarize outcomes)
 
 let ring_outcome ?shards ~window ~horizon ring =
@@ -265,34 +255,28 @@ let ring_trial ?shards ~build ~perturb ~warmup ~horizon ~window ~seed () =
    [shards], because the sharded stepper and the reconstructed sample
    streams are (Cluster.run_sharded / Net_ring.observe). *)
 let ring_campaign_outcomes ~build ~perturb ?(warmup = 200) ?(horizon = 2_500)
-    ?(window = 600) ?(strategy = Snapshot_reset) ?oversubscribe ?jobs ?shards
-    ~trials ~seed () =
+    ?(window = 600) ?strategy ?oversubscribe ?jobs ?shards ~trials ~seed () =
   let outcomes =
-    match strategy with
-    | Rebuild ->
-      Pool.run ?oversubscribe ?jobs trials (fun i ->
-          ring_trial ?shards ~build ~perturb ~warmup ~horizon ~window
-            ~seed:(trial_seed seed i) ())
-    | Snapshot_reset ->
-      (* One cluster and one post-warmup snapshot per worker domain.
-         Cluster snapshots cover every node (NIC queues ride along as
-         machine resettables), every link — including the mutable
-         fault-model phase — the interleaving RNG and the step
-         counter, so restoring is observationally identical to
-         rebuilding and re-warming. *)
-      Pool.run_with ?oversubscribe ?jobs
-        ~init:(fun () ->
-          let ring = build () in
-          warmup_cluster ?shards ring.Ssos_net.Net_ring.cluster ~steps:warmup;
-          (ring, Ssos_net.Cluster.capture ring.Ssos_net.Net_ring.cluster))
-        trials
-        (fun (ring, snapshot) i ->
-          Ssos_net.Cluster.restore ring.Ssos_net.Net_ring.cluster snapshot;
-          let rng = Ssx_faults.Rng.create (trial_seed seed i) in
-          perturb rng ring;
-          ring_outcome ?shards ~window ~horizon ring)
+    Ssos_serve.Cycle.trials ?strategy ?oversubscribe ?jobs ~trials ~seed
+      ~rebuild:(fun ~seed ->
+        ring_trial ?shards ~build ~perturb ~warmup ~horizon ~window ~seed ())
+      ~warm:(fun () ->
+        (* One cluster and one post-warmup snapshot per worker domain.
+           Cluster snapshots cover every node (NIC queues ride along
+           as machine resettables), every link — including the mutable
+           fault-model phase — the interleaving RNG and the step
+           counter, so restoring is observationally identical to
+           rebuilding and re-warming. *)
+        let ring = build () in
+        warmup_cluster ?shards ring.Ssos_net.Net_ring.cluster ~steps:warmup;
+        (ring, Ssos_net.Cluster.capture ring.Ssos_net.Net_ring.cluster))
+      ~reset:(fun (ring, snapshot) ~seed ->
+        Ssos_net.Cluster.restore ring.Ssos_net.Net_ring.cluster snapshot;
+        let rng = Ssx_faults.Rng.create seed in
+        perturb rng ring;
+        ring_outcome ?shards ~window ~horizon ring)
+      ()
   in
-  let outcomes = Array.to_list outcomes in
   ignore (publish ~campaign:"ring" outcomes (summarize outcomes));
   outcomes
 
@@ -397,27 +381,23 @@ let rsm_trial ?shards ~build ~perturb ~warmup ~horizon ~window ~rate
     ~tseed:seed service
 
 let rsm_campaign_outcomes ~build ~perturb ?(warmup = 400) ?(horizon = 2_500)
-    ?(window = 400) ?(rate = 0.05) ?(serve_steps = 1_200)
-    ?(strategy = Snapshot_reset) ?oversubscribe ?jobs ?shards ~trials ~seed () =
+    ?(window = 400) ?(rate = 0.05) ?(serve_steps = 1_200) ?strategy
+    ?oversubscribe ?jobs ?shards ~trials ~seed () =
   let outcomes =
-    match strategy with
-    | Rebuild ->
-      Pool.run ?oversubscribe ?jobs trials (fun i ->
-          rsm_trial ?shards ~build ~perturb ~warmup ~horizon ~window ~rate
-            ~serve_steps ~seed:(trial_seed seed i) ())
-    | Snapshot_reset ->
-      Pool.run_with ?oversubscribe ?jobs
-        ~init:(fun () ->
-          let service = build () in
-          warmup_cluster ?shards service.Ssos_rsm.Service.cluster ~steps:warmup;
-          (service, Ssos_net.Cluster.capture service.Ssos_rsm.Service.cluster))
-        trials
-        (fun (service, snapshot) i ->
-          Ssos_net.Cluster.restore service.Ssos_rsm.Service.cluster snapshot;
-          rsm_trial_body ?shards ~perturb ~horizon ~window ~rate ~serve_steps
-            ~tseed:(trial_seed seed i) service)
+    Ssos_serve.Cycle.trials ?strategy ?oversubscribe ?jobs ~trials ~seed
+      ~rebuild:(fun ~seed ->
+        rsm_trial ?shards ~build ~perturb ~warmup ~horizon ~window ~rate
+          ~serve_steps ~seed ())
+      ~warm:(fun () ->
+        let service = build () in
+        warmup_cluster ?shards service.Ssos_rsm.Service.cluster ~steps:warmup;
+        (service, Ssos_net.Cluster.capture service.Ssos_rsm.Service.cluster))
+      ~reset:(fun (service, snapshot) ~seed ->
+        Ssos_net.Cluster.restore service.Ssos_rsm.Service.cluster snapshot;
+        rsm_trial_body ?shards ~perturb ~horizon ~window ~rate ~serve_steps
+          ~tseed:seed service)
+      ()
   in
-  let outcomes = Array.to_list outcomes in
   ignore (rsm_publish ~campaign:"rsm" outcomes (rsm_summarize outcomes));
   outcomes
 

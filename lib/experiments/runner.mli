@@ -47,7 +47,7 @@ type distribution = {
 val distribution : outcome list -> distribution option
 (** [None] when no trial recovered with a recovery time. *)
 
-type strategy =
+type strategy = Ssos_serve.Cycle.strategy =
   | Rebuild
       (** Build and warm a fresh system for every trial.  Slow, but
           makes no assumption beyond [build] being deterministic. *)

@@ -65,6 +65,57 @@ let injected injector = List.rev injector.log
 let injected_count injector = List.length injector.log
 let disarm injector = injector.armed <- false
 
+(* A continuous host-level fault process over many systems.  Unlike
+   [attach] — a per-machine tick hook that lives inside the machine's
+   execution — a process is advanced explicitly by its caller, at
+   whatever host-side boundary (e.g. a serve-engine epoch) keeps the
+   surrounding execution deterministic.  All randomness comes from the
+   process's own rng, so the arrival stream is independent of how the
+   covered steps were executed. *)
+type process = {
+  p_rate : float;
+  p_rng : Rng.t;
+  p_targets : (Fault.system * Fault.space) array;
+  mutable p_elapsed : int;
+  mutable p_log : (int * int * Fault.t) list;  (* newest first *)
+  mutable p_count : int;
+}
+
+let process ~rate ~rng targets =
+  if not (rate >= 0.0 && rate <= 1.0) then
+    invalid_arg "Injector.process: rate";
+  if Array.length targets = 0 then invalid_arg "Injector.process: targets";
+  { p_rate = rate;
+    p_rng = rng;
+    p_targets = targets;
+    p_elapsed = 0;
+    p_log = [];
+    p_count = 0 }
+
+let advance p ~steps =
+  if steps < 0 then invalid_arg "Injector.advance: steps";
+  let landed = ref [] in
+  for s = 1 to steps do
+    if Rng.float p.p_rng < p.p_rate then begin
+      let target = Rng.int p.p_rng (Array.length p.p_targets) in
+      let system, space = p.p_targets.(target) in
+      let fault = Fault.random p.p_rng space in
+      if Fault.apply system fault then begin
+        let at = p.p_elapsed + s in
+        p.p_log <- (at, target, fault) :: p.p_log;
+        p.p_count <- p.p_count + 1;
+        publish at fault;
+        landed := (at, target, fault) :: !landed
+      end
+    end
+  done;
+  p.p_elapsed <- p.p_elapsed + steps;
+  List.rev !landed
+
+let process_log p = List.rev p.p_log
+let process_count p = p.p_count
+let process_elapsed p = p.p_elapsed
+
 let inject_now system ~rng ~space n =
   let rec loop k acc =
     if k = 0 then List.rev acc

@@ -32,3 +32,35 @@ val disarm : t -> unit
 
 val inject_now : Fault.system -> rng:Rng.t -> space:Fault.space -> int -> Fault.t list
 (** Immediately apply [n] random faults; returns those actually applied. *)
+
+(** {1 Continuous fault processes}
+
+    The host-level generalization of the one-shot schedules above: a
+    rate-parameterized Bernoulli arrival process over a {e set} of
+    target systems, advanced explicitly by its caller instead of
+    hooking any machine's tick stream.  Each covered step faults with
+    probability [rate]; an arrival picks a uniform target and applies
+    one random fault from that target's space.  Because the caller
+    chooses when to [advance] — the serve engine does it at epoch
+    boundaries, while the cluster is quiescent — the arrival stream is
+    a pure function of the process rng, independent of shard or job
+    counts. *)
+
+type process
+
+val process :
+  rate:float -> rng:Rng.t -> (Fault.system * Fault.space) array -> process
+(** [rate] in [0, 1]; at least one target. *)
+
+val advance : process -> steps:int -> (int * int * Fault.t) list
+(** Cover [steps] more process steps, applying the faults that arrive;
+    returns the landed arrivals as [(step, target, fault)], oldest
+    first (steps count from the process's creation).  Telemetry is
+    published per landed fault, exactly like {!attach}, and never
+    consumes randomness. *)
+
+val process_log : process -> (int * int * Fault.t) list
+(** All landed arrivals so far, oldest first. *)
+
+val process_count : process -> int
+val process_elapsed : process -> int

@@ -77,6 +77,12 @@ type block = {
   page1 : int;
   mutable g0 : int; (* page generations last seen matching [bytes] *)
   mutable g1 : int;
+  chain_ip : int;   (* target ip of a final unconditional [jmp]; -1 if none *)
+  mutable chain : block;
+      (* cached successor block for [chain_ip] — purely a probe-skipping
+         hint: adoption re-runs the full validity checks (epoch, cs,
+         first-op ip, generations), so a stale pointer only costs the
+         fallback path it would have taken anyway *)
 }
 
 let page_shift = 8
@@ -92,9 +98,10 @@ let no_fused =
   { f_exec = (fun _ -> assert false); f_base = Cpu.Halted_idle;
     f_writes = false }
 
-let dummy_block =
+let rec dummy_block =
   { ops = [||]; pairs = [||]; n_ops = 0; start_pa = 0; span = 0; b_cs = -1;
-    bytes = ""; b_epoch = -1; page0 = 0; page1 = 0; g0 = 0; g1 = 0 }
+    bytes = ""; b_epoch = -1; page0 = 0; page1 = 0; g0 = 0; g1 = 0;
+    chain_ip = -1; chain = dummy_block }
 
 type t = {
   blocks : block array;  (* indexed by start physical address *)
@@ -106,6 +113,7 @@ type t = {
   mutable cur_version : int; (* [version] when [cur] was last validated *)
   mutable built : int;
   mutable retranslations : int; (* rebuilds forced by changed code bytes *)
+  mutable chained : int;        (* block entries taken via a chain pointer *)
   mutable block_ticks : int;    (* instructions executed via compiled ops *)
   mutable fused_ticks : int;    (* ticks executed through superinstructions *)
   scratch : Tick_counters.t;    (* sink for counts nobody reads *)
@@ -115,11 +123,13 @@ let create () =
   { blocks = Array.make Addr.memory_size dummy_block;
     gens = Array.make page_count 0;
     epoch = 0; version = 0; cur = dummy_block; cur_ix = 0; cur_version = -1;
-    built = 0; retranslations = 0; block_ticks = 0; fused_ticks = 0;
+    built = 0; retranslations = 0; chained = 0;
+    block_ticks = 0; fused_ticks = 0;
     scratch = Tick_counters.make () }
 
 let built t = t.built
 let retranslations t = t.retranslations
+let chained t = t.chained
 let block_ticks t = t.block_ticks
 let fused_ticks t = t.fused_ticks
 
@@ -612,11 +622,21 @@ let build t cpu =
         let bytes = Memory.dump mem ~base:start_pa ~len:span in
         let page0 = start_pa lsr page_shift in
         let page1 = (start_pa + span - 1) lsr page_shift in
+        (* A final unconditional [jmp] has a compile-time successor:
+           record it so the cursor can chain into the next block without
+           re-probing the table. *)
+        let chain_ip =
+          let _, last_instr, _ = annotated.(nops - 1) in
+          match last_instr with
+          | Jmp target when target <= Cpu.cacheable_ip_limit -> target
+          | _ -> -1
+        in
         let b =
           { ops; pairs; n_ops = nops; start_pa; span; b_cs = cs; bytes;
             b_epoch = t.epoch; page0; page1;
             g0 = Array.unsafe_get t.gens page0;
-            g1 = Array.unsafe_get t.gens page1 }
+            g1 = Array.unsafe_get t.gens page1;
+            chain_ip; chain = dummy_block }
         in
         if t.blocks.(start_pa) != dummy_block
            && t.blocks.(start_pa).b_epoch = t.epoch
@@ -648,27 +668,54 @@ let current_op t cpu =
   then Array.unsafe_get b.ops ix
   else if r.ip > Cpu.cacheable_ip_limit then no_op
   else begin
-    let pa = Addr.physical ~seg:r.cs ~off:r.ip in
-    if pa > Cpu.cacheable_pa_limit then no_op
+    (* The cursor block just ran off its end through an unconditional
+       [jmp] whose target matches the new ip: try its cached successor
+       before the table probe.  Adoption re-runs every validity check
+       the probe would (epoch, cs, leading ip, byte generations), so a
+       stale pointer — target bytes rewritten, epoch bumped — merely
+       falls through to the probe/build path it was caching. *)
+    let chain_from =
+      if ix >= b.n_ops && b.b_cs = r.cs && b.chain_ip = r.ip then b
+      else dummy_block
+    in
+    let c = chain_from.chain in
+    if
+      chain_from != dummy_block
+      && c.n_ops > 0 && c.b_epoch = t.epoch && c.b_cs = r.cs
+      && (Array.unsafe_get c.ops 0).op_ip = r.ip
+      && (fresh t c || revalidate t c cpu.Cpu.mem)
+    then begin
+      t.cur <- c;
+      t.cur_ix <- 0;
+      t.cur_version <- t.version;
+      t.chained <- t.chained + 1;
+      Array.unsafe_get c.ops 0
+    end
     else begin
-      let b = Array.unsafe_get t.blocks pa in
-      if
-        b.b_epoch = t.epoch && b.b_cs = r.cs
-        && (fresh t b || revalidate t b cpu.Cpu.mem)
-      then begin
-        t.cur <- b;
-        t.cur_ix <- 0;
-        t.cur_version <- t.version;
-        Array.unsafe_get b.ops 0
-      end
-      else
-        match build t cpu with
-        | Some b ->
+      let pa = Addr.physical ~seg:r.cs ~off:r.ip in
+      if pa > Cpu.cacheable_pa_limit then no_op
+      else begin
+        let b = Array.unsafe_get t.blocks pa in
+        if
+          b.b_epoch = t.epoch && b.b_cs = r.cs
+          && (fresh t b || revalidate t b cpu.Cpu.mem)
+        then begin
+          if chain_from != dummy_block then chain_from.chain <- b;
           t.cur <- b;
           t.cur_ix <- 0;
           t.cur_version <- t.version;
           Array.unsafe_get b.ops 0
-        | None -> no_op
+        end
+        else
+          match build t cpu with
+          | Some b ->
+            if chain_from != dummy_block then chain_from.chain <- b;
+            t.cur <- b;
+            t.cur_ix <- 0;
+            t.cur_version <- t.version;
+            Array.unsafe_get b.ops 0
+          | None -> no_op
+      end
     end
   end
 

@@ -68,6 +68,14 @@ val retranslations : t -> int
 (** Blocks recompiled over a live same-epoch predecessor — the §5.2
     path: code bytes changed under a compiled block. *)
 
+val chained : t -> int
+(** Block entries taken through a chain pointer: a block ending in an
+    unconditional [jmp] caches its successor block, so jmp-linked runs
+    re-enter compiled code without a table probe.  Adoption re-checks
+    the successor's epoch, CS, leading ip and code-byte freshness, so
+    chaining is invisible to the architectural state — only this
+    counter and speed change. *)
+
 val block_ticks : t -> int
 (** Ticks executed through compiled ops (vs interpreter fallback). *)
 

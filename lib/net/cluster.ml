@@ -261,7 +261,7 @@ let shard_of ~shards ~n i = i * shards / n
    the barrier), so window bodies are guarded: the first exception is
    parked in [poison], every shard checks it before starting a window,
    and all shards still perform the same number of barrier waits. *)
-let run_sharded_gen ~shards ?horizon ~record t ~steps =
+let run_sharded_gen ~shards ?jobs ?horizon ~record t ~steps =
   if steps < 0 then invalid_arg "Cluster.run_sharded: steps";
   let n = size t in
   let shards =
@@ -314,7 +314,10 @@ let run_sharded_gen ~shards ?horizon ~record t ~steps =
        cores would actively hurt: every minor GC is a stop-the-world
        rendezvous across domains the scheduler then has to rotate
        through. *)
-    let domains = max 1 (min shards (Pool.default_jobs ())) in
+    let cap =
+      match jobs with None -> Pool.default_jobs () | Some j -> max 1 j
+    in
+    let domains = max 1 (min shards cap) in
     let barrier = Pool.Barrier.create domains in
     let poison = Atomic.make None in
     let rngs = Array.init shards (fun _ -> Rng.copy t.rng) in
@@ -440,15 +443,40 @@ let run_sharded_gen ~shards ?horizon ~record t ~steps =
     |> List.sort (fun (s1, _, _) (s2, _, _) -> compare s1 s2)
   end
 
-let run_sharded ?(shards = Pool.default_jobs ()) ?horizon t ~steps =
+let run_sharded ?(shards = Pool.default_jobs ()) ?jobs ?horizon t ~steps =
   let (_ : (int * int * unit) list) =
-    run_sharded_gen ~shards ?horizon ~record:None t ~steps
+    run_sharded_gen ~shards ?jobs ?horizon ~record:None t ~steps
   in
   ()
 
-let run_sharded_log ?(shards = Pool.default_jobs ()) ?horizon ~record t ~steps
-    =
-  run_sharded_gen ~shards ?horizon ~record:(Some record) t ~steps
+let run_sharded_log ?(shards = Pool.default_jobs ()) ?jobs ?horizon ~record t
+    ~steps =
+  run_sharded_gen ~shards ?jobs ?horizon ~record:(Some record) t ~steps
+
+(* Epoch hooks: chunk the run and call back on the stepping domain
+   between chunks.  Each chunk is a complete [run_sharded_gen] call, so
+   at every hook point all shards have joined and the cluster is
+   exactly the state a sequential run of the same prefix would have —
+   the hook may mutate node machines (inject faults, pulse reset pins)
+   or read joint state without breaking shard-count invariance.  The
+   whole run stays bit-identical for any [shards]/[jobs] as long as the
+   hook itself is deterministic. *)
+let run_sharded_epochs ?(shards = Pool.default_jobs ()) ?jobs ?horizon ~epoch
+    ~record ~on_epoch t ~steps =
+  if epoch < 1 then invalid_arg "Cluster.run_sharded_epochs: epoch";
+  if steps < 0 then invalid_arg "Cluster.run_sharded_epochs: steps";
+  let rec go consumed index =
+    if consumed < steps then begin
+      let chunk = min epoch (steps - consumed) in
+      let log =
+        run_sharded_gen ~shards ?jobs ?horizon ~record:(Some record) t
+          ~steps:chunk
+      in
+      on_epoch index log;
+      go (consumed + chunk) (index + 1)
+    end
+  in
+  go 0 0
 
 type snapshot = {
   node_snaps : Ssx.Snapshot.t array;

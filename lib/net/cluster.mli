@@ -114,11 +114,18 @@ val run_until : t -> limit:int -> (t -> bool) -> int option
 (** Step until the predicate holds (checked after each step); the
     number of steps consumed, or [None] at [limit]. *)
 
-val run_sharded : ?shards:int -> ?horizon:int -> t -> steps:int -> unit
+val run_sharded :
+  ?shards:int -> ?jobs:int -> ?horizon:int -> t -> steps:int -> unit
 (** [run_sharded ~shards t ~steps] advances the cluster [steps] steps
     on up to [shards] domains (default {!Pool.default_jobs}), with
     results — node states, link queues and counters, NIC streams,
     {!digest} — bit-identical to [run t ~steps] for any shard count.
+
+    [?jobs] caps the {e physical} worker-domain count below
+    {!Pool.default_jobs}: the logical shard partition — and with it
+    every observable — is fixed by [shards] alone, while the shard
+    bodies are multiplexed onto at most [jobs] domains.  So [jobs] is a
+    pure resource knob, like the campaign runner's.
 
     Nodes are partitioned into contiguous blocks, one domain each; a
     link belongs to its destination's shard.  Shards advance freely
@@ -141,7 +148,7 @@ val run_sharded : ?shards:int -> ?horizon:int -> t -> steps:int -> unit
     partially stepped. *)
 
 val run_sharded_log :
-  ?shards:int -> ?horizon:int -> record:(t -> int -> 'a) ->
+  ?shards:int -> ?jobs:int -> ?horizon:int -> record:(t -> int -> 'a) ->
   t -> steps:int -> (int * int * 'a) list
 (** {!run_sharded}, additionally calling [record t who] on the owning
     shard immediately after node [who]'s slot ran at each step, and
@@ -153,6 +160,20 @@ val run_sharded_log :
     {!Net_ring.observe} does exactly that.  [record] runs on worker
     domains: it must only touch the given node and allocate its own
     result. *)
+
+val run_sharded_epochs :
+  ?shards:int -> ?jobs:int -> ?horizon:int -> epoch:int ->
+  record:(t -> int -> 'a) -> on_epoch:(int -> (int * int * 'a) list -> unit) ->
+  t -> steps:int -> unit
+(** {!run_sharded_log} in [epoch]-step chunks, calling
+    [on_epoch index chunk_log] on the stepping domain after each chunk
+    (the last may be shorter).  At every hook point all shards have
+    joined, so the cluster is exactly the state the same sequential
+    prefix produces: the hook may mutate node machines — inject
+    faults, pulse reset pins — or read joint state, and the run stays
+    bit-identical for any [shards]/[jobs] provided the hook is
+    deterministic.  This is the serve engine's
+    execute→observe→detect→repair loop point (DESIGN.md §4k). *)
 
 type snapshot
 

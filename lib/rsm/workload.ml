@@ -1,12 +1,30 @@
+(* Requests come from one of two sources.  [Fixed] is the original
+   trial-shaped driver: precomputed per-node (slot, word) arrays, used
+   by the campaigns (T16–T19), whose draw sequence is pinned by the
+   bit-identity differentials.  [Open] is the continuous-operation
+   source: per-node rng streams drawn one slot at a time, so a serve
+   run needs no horizon decided up front.  [Open] performs exactly the
+   draw sequence of [schedule] — same streams, same per-slot draws —
+   so a fixed-duration open run injects the very words a sufficiently
+   long schedule would (pinned in test_serve.ml). *)
+type source =
+  | Fixed of { schedule : (int * int) array array; cursor : int array }
+  | Open of { rate : float; rngs : Ssx_faults.Rng.t array; rid : int array }
+
 type t = {
   service : Service.t;
-  schedule : (int * int) array array;
-  cursor : int array;
+  source : source;
   slot : int array;
   injected : int list array;  (* per node, newest first *)
   dropped : int array;
   last_word : int array;  (* per node, for consecutive-duplicate dedup *)
   mutable responses : (int * int * int) list;  (* newest first *)
+  (* Windowed accounting, maintained incrementally at log-merge time on
+     the stepping domain: per node, the injection steps of not-yet-
+     answered requests keyed by the echoed (op, id, key) byte. *)
+  pending : (int, int Queue.t) Hashtbl.t array;
+  mutable committed : int;
+  mutable latencies : int list;  (* newest first, drained by callers *)
 }
 
 let schedule ?(rate = 0.05) ~n ~slots ~seed () =
@@ -26,18 +44,35 @@ let schedule ?(rate = 0.05) ~n ~slots ~seed () =
       done;
       Array.of_list (List.rev !acc))
 
-let create service schedule =
+let make service source =
   let n = service.Service.n in
-  if Array.length schedule <> n then
-    invalid_arg "Workload.create: schedule size does not match node count";
   { service;
-    schedule;
-    cursor = Array.make n 0;
+    source;
     slot = Array.make n 0;
     injected = Array.make n [];
     dropped = Array.make n 0;
     last_word = Array.make n 0;
-    responses = [] }
+    responses = [];
+    pending = Array.init n (fun _ -> Hashtbl.create 16);
+    committed = 0;
+    latencies = [] }
+
+let create service schedule =
+  if Array.length schedule <> service.Service.n then
+    invalid_arg "Workload.create: schedule size does not match node count";
+  make service
+    (Fixed { schedule; cursor = Array.make (Array.length schedule) 0 })
+
+let open_loop ?(rate = 0.05) ~seed service =
+  if rate < 0.0 || rate > 1.0 then invalid_arg "Workload.open_loop: rate";
+  let n = service.Service.n in
+  make service
+    (Open
+       { rate;
+         rngs =
+           Array.init n (fun node ->
+               Ssx_faults.Rng.create (Ssx_faults.Rng.derive seed (node + 1)));
+         rid = Array.make n 0 })
 
 let discard t =
   Array.iter
@@ -47,44 +82,93 @@ let discard t =
 (* Runs on the owning worker domain right after node [who]'s slot: it
    touches only [who]'s cells of the per-node arrays and allocates its
    own result, as {!Ssos_net.Cluster.run_sharded_log} requires — which
-   is what makes the whole workload shard-count invariant. *)
+   is what makes the whole workload shard-count invariant.  The entry
+   carries both directions of that slot's client traffic: responses
+   drained, then requests injected (drained words were transmitted
+   before this slot's deliveries, so within an entry that order is the
+   causal one). *)
 let record t _cluster who =
   t.slot.(who) <- t.slot.(who) + 1;
   let slot = t.slot.(who) in
-  let sched = t.schedule.(who) in
-  let len = Array.length sched in
-  while
-    t.cursor.(who) < len
-    && fst sched.(t.cursor.(who)) <= slot
-  do
-    let _, word = sched.(t.cursor.(who)) in
-    t.cursor.(who) <- t.cursor.(who) + 1;
-    if Ssos_net.Nic.deliver t.service.Service.clients.(who) word then
-      t.injected.(who) <- word :: t.injected.(who)
+  let injected_now = ref [] in
+  let deliver word =
+    if Ssos_net.Nic.deliver t.service.Service.clients.(who) word then begin
+      t.injected.(who) <- word :: t.injected.(who);
+      injected_now := word :: !injected_now
+    end
     else t.dropped.(who) <- t.dropped.(who) + 1
-  done;
-  Ssos_net.Nic.drain_tx t.service.Service.clients.(who)
-
-let run ?(shards = 1) t ~steps =
-  let log =
-    Ssos_net.Cluster.run_sharded_log ~shards ~record:(record t)
-      t.service.Service.cluster ~steps
   in
-  (* Merge in step order (the log carries exactly one entry per step).
-     A replica's transmit block may replay after a watchdog preemption
-     and emit the same response word twice in a row; genuine
-     consecutive responses always differ in the rolling request id, so
-     dropping per-node consecutive duplicates is exact. *)
+  (match t.source with
+  | Fixed { schedule; cursor } ->
+    let sched = schedule.(who) in
+    let len = Array.length sched in
+    while cursor.(who) < len && fst sched.(cursor.(who)) <= slot do
+      let _, word = sched.(cursor.(who)) in
+      cursor.(who) <- cursor.(who) + 1;
+      deliver word
+    done
+  | Open { rate; rngs; rid } ->
+    let rng = rngs.(who) in
+    if Ssx_faults.Rng.float rng < rate then begin
+      let put = Ssx_faults.Rng.bool rng in
+      let key = Ssx_faults.Rng.int rng Wire.keys in
+      let value = if put then Ssx_faults.Rng.int rng 256 else 0 in
+      rid.(who) <- (rid.(who) mod 15) + 1;
+      deliver (Wire.request ~put ~rid:rid.(who) ~key ~value)
+    end);
+  (Ssos_net.Nic.drain_tx t.service.Service.clients.(who), List.rev !injected_now)
+
+(* Merge a chunk of the step-ordered log.  A replica's transmit block
+   may replay after a watchdog preemption and emit the same response
+   word twice in a row; genuine consecutive responses always differ in
+   the rolling request id, so dropping per-node consecutive duplicates
+   is exact.  Each surviving response is paired FIFO with the oldest
+   unanswered request carrying the same echoed (op, id, key) byte —
+   the streaming form of [matched]'s multiset pairing — which yields
+   the incremental commit count and a per-request latency in cluster
+   steps. *)
+let merge t log =
   List.iter
-    (fun (step, who, words) ->
+    (fun (step, who, (drained, injected_now)) ->
       List.iter
         (fun word ->
           if word <> t.last_word.(who) then begin
             t.last_word.(who) <- word;
-            t.responses <- (step, who, word) :: t.responses
+            t.responses <- (step, who, word) :: t.responses;
+            match Hashtbl.find_opt t.pending.(who) (Wire.match_byte word) with
+            | Some q when not (Queue.is_empty q) ->
+              let injected_at = Queue.pop q in
+              t.committed <- t.committed + 1;
+              t.latencies <- (step - injected_at) :: t.latencies
+            | Some _ | None -> ()
           end)
-        words)
+        drained;
+      List.iter
+        (fun word ->
+          let byte = Wire.match_byte word in
+          let q =
+            match Hashtbl.find_opt t.pending.(who) byte with
+            | Some q -> q
+            | None ->
+              let q = Queue.create () in
+              Hashtbl.replace t.pending.(who) byte q;
+              q
+          in
+          Queue.push step q)
+        injected_now)
     log
+
+let run ?(shards = 1) ?jobs t ~steps =
+  merge t
+    (Ssos_net.Cluster.run_sharded_log ~shards ?jobs ~record:(record t)
+       t.service.Service.cluster ~steps)
+
+let run_epochs ?(shards = 1) ?jobs t ~epoch ~steps ~on_epoch =
+  Ssos_net.Cluster.run_sharded_epochs ~shards ?jobs ~epoch ~record:(record t)
+    ~on_epoch:(fun index log ->
+      merge t log;
+      on_epoch index)
+    t.service.Service.cluster ~steps
 
 let responses t = List.rev t.responses
 
@@ -101,6 +185,13 @@ let injected t =
   Array.fold_left (fun acc words -> acc + List.length words) 0 t.injected
 
 let dropped t = Array.fold_left ( + ) 0 t.dropped
+
+let committed t = t.committed
+
+let take_latencies t =
+  let l = List.rev t.latencies in
+  t.latencies <- [];
+  l
 
 let matched t =
   (* Pair responses with injected requests per node, as multisets of

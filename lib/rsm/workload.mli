@@ -32,19 +32,41 @@ val create : Service.t -> (int * int) array array -> t
     node (from {!schedule}, or hand-built).  Injection state, counters,
     and collected responses all start empty. *)
 
+val open_loop : ?rate:float -> seed:int64 -> Service.t -> t
+(** A fresh {e open-ended} driver: instead of a precomputed schedule,
+    each node draws its traffic one slot at a time from an rng stream
+    (seed stream [node + 1], probability [rate] per slot, default
+    0.05), so no horizon is decided up front — the continuous-serving
+    source.  The draw sequence is exactly {!schedule}'s: a
+    fixed-duration open run injects the same words a sufficiently long
+    schedule would. *)
+
 val discard : t -> unit
 (** Drain and discard whatever is sitting in the client TX queues —
     stale responses from an earlier phase (e.g. junk served from a
     corrupted staging slot during fault recovery).  Call before the
     first {!run} when the service has a past. *)
 
-val run : ?shards:int -> t -> steps:int -> unit
+val run : ?shards:int -> ?jobs:int -> t -> steps:int -> unit
 (** Advance the cluster [steps] steps (default one shard, i.e.
     sequential), injecting scheduled requests and accumulating
     responses.  May be called repeatedly; per-node slot counters carry
     across calls.  Consecutive duplicate response words from one node —
     the transmit block's replay artifact — are dropped exactly, since
-    genuine consecutive responses differ in the rolling request id. *)
+    genuine consecutive responses differ in the rolling request id.
+    [jobs] caps the stepper's worker domains
+    ({!Ssos_net.Cluster.run_sharded}); both knobs are observationally
+    pure. *)
+
+val run_epochs :
+  ?shards:int -> ?jobs:int -> t -> epoch:int -> steps:int ->
+  on_epoch:(int -> unit) -> unit
+(** {!run} in [epoch]-step chunks: after each chunk the chunk's log is
+    merged and [on_epoch index] runs on the stepping domain, with all
+    shards joined and the cluster quiescent
+    ({!Ssos_net.Cluster.run_sharded_epochs}) — the serve engine's
+    observe/detect/repair point.  Counters, {!committed} and
+    {!take_latencies} are current as of the chunk edge. *)
 
 val responses : t -> (int * int * int) list
 (** [(step, node, word)] in serve order. *)
@@ -59,9 +81,22 @@ val dropped : t -> int
 (** Requests lost to client RX overflow (back-pressure, visible as the
     NIC drop counters under [--metrics]). *)
 
+val committed : t -> int
+(** Responses paired FIFO with the oldest unanswered injected request
+    carrying the same echoed (op, id, key) byte, maintained
+    incrementally as logs merge — the windowed commit count, current
+    as of the last {!run} / epoch edge. *)
+
+val take_latencies : t -> int list
+(** Drain the per-request latencies (cluster steps from injection to
+    the paired response) accumulated since the previous call, in
+    commit order — the serve engine's window feed. *)
+
 val matched : t -> int
 (** Responses paired 1:1 with injected requests per node by the echoed
-    (op, id, key) byte — the committed-request count. *)
+    (op, id, key) byte — the committed-request count.  Unlike
+    {!committed} this is a batch multiset pairing over the whole run
+    (blind to arrival order), kept for the trial campaigns. *)
 
 val lost : t -> int
 (** [injected - matched]: requests accepted but never answered (e.g.

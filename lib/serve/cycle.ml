@@ -1,0 +1,20 @@
+type strategy = Rebuild | Snapshot_reset
+
+let trial_seed = Ssx_faults.Rng.derive
+
+let trials ?(strategy = Snapshot_reset) ?oversubscribe ?jobs ~trials ~seed
+    ~rebuild ~warm ~reset () =
+  let outcomes =
+    match strategy with
+    | Rebuild ->
+      Pool.run ?oversubscribe ?jobs trials (fun i ->
+          rebuild ~seed:(trial_seed seed i))
+    | Snapshot_reset ->
+      (* One warmed state per worker domain.  The warm prefix must be
+         deterministic and fault-free, so resetting from it before
+         each trial is observationally identical to rebuilding and
+         re-warming — at a fraction of the cost. *)
+      Pool.run_with ?oversubscribe ?jobs ~init:warm trials
+        (fun state i -> reset state ~seed:(trial_seed seed i))
+  in
+  Array.to_list outcomes

@@ -1,0 +1,45 @@
+(** The shared execute→observe cycle plumbing of every trial campaign.
+
+    All of lib/experiments' campaigns run the same loop: derive a
+    per-trial seed from the master seed, obtain a warmed system (fresh
+    per trial, or snapshot-reset from a per-worker warmed state), run
+    the trial body, collect outcomes in trial order across a {!Pool}
+    of worker domains.  This module is that loop, factored out once;
+    {!Runner}'s campaigns are thin wrappers over it (pinned
+    bit-identical by the campaign differential tests), and the serve
+    engine's epoch loop ({!Engine}) is its open-ended sibling. *)
+
+type strategy =
+  | Rebuild
+      (** Build and warm a fresh system for every trial.  Slow, but
+          makes no assumption beyond [rebuild] being deterministic. *)
+  | Snapshot_reset
+      (** Warm once per worker domain ([warm]), then [reset] from that
+          state before each trial.  Requires the warm prefix to be
+          deterministic and fault-free, and every piece of host-side
+          device state to be restorable from the captured snapshot;
+          all in-tree system builders satisfy both.  The default. *)
+
+val trial_seed : int64 -> int -> int64
+(** Derive the seed of trial [i] from the master seed — a splitmix64
+    finalizer over the pair ({!Ssx_faults.Rng.derive}), so seeds are
+    pairwise distinct per master and independent of execution order. *)
+
+val trials :
+  ?strategy:strategy ->
+  ?oversubscribe:bool ->
+  ?jobs:int ->
+  trials:int ->
+  seed:int64 ->
+  rebuild:(seed:int64 -> 'o) ->
+  warm:(unit -> 'w) ->
+  reset:('w -> seed:int64 -> 'o) ->
+  unit ->
+  'o list
+(** Run [trials] independent trials and return their outcomes in trial
+    order.  Under [Rebuild] each trial is [rebuild ~seed:(trial_seed
+    seed i)]; under [Snapshot_reset] each worker evaluates [warm] once
+    and each of its trials is [reset state ~seed:…].  [jobs] defaults
+    to {!Pool.default_jobs}; the outcome list is bit-identical for any
+    [jobs] and either strategy provided the callbacks are
+    deterministic functions of their seed (see {!Pool.run}). *)

@@ -84,10 +84,49 @@ let test_metrics_table_dump () =
   check_int "exit 0" 0 code;
   check_bool "table mentions machine.ticks" true (contains out "machine.ticks")
 
+(* serve: the closed loop completes a full detect/repair cycle and
+   reports the SLO verdict in its exit status. *)
+let test_serve_full_cycle () =
+  let code, out, _err =
+    run_cli
+      "serve --fault-rate 0.004 --seed 5 --duration 1800 --require-incident"
+  in
+  check_int "exit 0 (SLO met, incident repaired)" 0 code;
+  check_bool "per-epoch dashboard lines" true (contains out "epoch");
+  check_bool "reports availability" true (contains out "availability");
+  check_bool "reports an incident" true (contains out "incidents: 1 detected");
+  check_bool "reports mttr" true (contains out "mttr");
+  check_bool "slo met" true (contains out "SLO (availability >= 0.85): MET")
+
+let test_serve_slo_breach_exits_nonzero () =
+  let code, out, _err =
+    run_cli "serve --fault-rate 0.004 --seed 11 --duration 1800 --quiet"
+  in
+  check_bool "non-zero exit on SLO breach" true (code <> 0);
+  check_bool "breach reported" true (contains out "BREACHED")
+
+let test_serve_require_incident_fails_fault_free () =
+  let code, out, _err =
+    run_cli "serve --seed 7 --duration 1200 --quiet --require-incident"
+  in
+  check_bool "non-zero exit without an incident" true (code <> 0);
+  check_bool "explains the failure" true (contains out "none closed")
+
+let test_serve_rejects_bad_rate () =
+  let code, _out, err = run_cli "serve --fault-rate 1.5 --duration 300" in
+  check_bool "non-zero exit" true (code <> 0);
+  check_bool "error on stderr" true (String.length err > 0)
+
 let suite =
   [ case "unknown subcommand is rejected" test_unknown_subcommand_rejected;
     case "unknown demo design is rejected" test_unknown_demo_design_rejected;
     case "unknown flag is rejected" test_unknown_flag_rejected;
     case "unknown experiment id is rejected" test_unknown_experiment_rejected;
     case "--metrics=json dumps a parseable registry" test_metrics_json_dump;
-    case "--metrics dumps the pretty table" test_metrics_table_dump ]
+    case "--metrics dumps the pretty table" test_metrics_table_dump;
+    case "serve completes a detect/repair cycle" test_serve_full_cycle;
+    case "serve exits non-zero on SLO breach"
+      test_serve_slo_breach_exits_nonzero;
+    case "serve --require-incident fails on a clean run"
+      test_serve_require_incident_fails_fault_free;
+    case "serve rejects an invalid fault rate" test_serve_rejects_bad_rate ]

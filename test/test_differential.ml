@@ -313,6 +313,72 @@ let test_jit_self_modifying_opcode () =
   Helpers.check_int "the patched-in inc dx executed" 1
     (Helpers.regs compiled).Ssx.Registers.dx
 
+(* A jmp-heavy guest whose hot path is a cycle of tiny blocks linked by
+   unconditional [jmp]s — the block-chaining case: after the first
+   iteration every jmp crossing should re-enter compiled code through
+   the cached successor pointer, with no table probe.  Mid-run the
+   guest patches the two nops at [target] — the *interior of a chained
+   block* — into [inc dx]: the stale chain pointer must fail
+   revalidation and force a retranslation, not execute stale code. *)
+let chained_jmp_guest ~decode_cache ~jit =
+  let patch_word =
+    match Ssx.Codec.encode (Ssx.Instruction.Inc_r16 Ssx.Registers.DX) with
+    | [ opcode; operand ] -> opcode lor (operand lsl 8)
+    | _ -> Alcotest.fail "inc dx is expected to encode in two bytes"
+  in
+  let source =
+    "start:\n\
+    \    mov ax, cs\n\
+    \    mov ds, ax\n\
+    \    mov dx, 0\n\
+    \    mov cx, 60\n\
+     hub:\n\
+    \    inc si\n\
+    \    jmp spoke_a\n\
+     spoke_a:\n\
+    \    inc bx\n\
+    \    jmp spoke_b\n\
+     spoke_b:\n\
+    \    cmp cx, 30\n\
+    \    jne skip_patch\n\
+    \    mov ax, PATCH_WORD\n\
+    \    mov [target], ax\n\
+     skip_patch:\n\
+    \    jmp spoke_c\n\
+     spoke_c:\n\
+     target:\n\
+    \    nop\n\
+    \    nop\n\
+    \    jmp tail\n\
+     tail:\n\
+    \    loop hub\n\
+    \    hlt\n"
+  in
+  let machine, _ =
+    Helpers.machine_with ~symbols:[ ("PATCH_WORD", patch_word) ] ~decode_cache
+      ~jit source
+  in
+  machine
+
+let test_jit_block_chaining () =
+  let compiled = chained_jmp_guest ~decode_cache:true ~jit:true in
+  let interpreted = chained_jmp_guest ~decode_cache:true ~jit:false in
+  assert_lockstep "jit block chaining" ~ticks:1_000 compiled interpreted;
+  assert_jit_exercised "jit block chaining" compiled;
+  (* The patch lands with 30 iterations left, so the patched-in
+     [inc dx] runs exactly 30 times. *)
+  Helpers.check_int "the patched chained block took effect" 30
+    (Helpers.regs compiled).Ssx.Registers.dx;
+  match Ssx.Machine.jit compiled with
+  | None -> Alcotest.fail "jit machine has no block compiler"
+  | Some jit ->
+    (* ~4 jmp crossings per iteration over ~60 iterations: chaining
+       must dominate block entry on the hot path, not fire once. *)
+    Helpers.check_bool "chained entries dominate the jmp cycle" true
+      (Ssx.Block_compiler.chained jit > 100);
+    Helpers.check_bool "the patched chain target was re-translated" true
+      (Ssx.Block_compiler.retranslations jit > 0)
+
 let test_jit_cross_block_patch () =
   let compiled = cross_block_patch ~decode_cache:true ~jit:true in
   let interpreted = cross_block_patch ~decode_cache:true ~jit:false in
@@ -603,6 +669,8 @@ let suite =
     Helpers.case "jit self-modifying code: patched opcode"
       test_jit_self_modifying_opcode;
     Helpers.case "jit cross-block patch" test_jit_cross_block_patch;
+    Helpers.case "jit block chaining across unconditional jmps"
+      test_jit_block_chaining;
     Helpers.case "jit NMI mid-block" test_jit_nmi_mid_block;
     Helpers.case "jit fused pairs: chunked quiet run" test_fused_pairs_quiet;
     Helpers.case "jit fused pairs: device path" test_fused_pairs_device_path;

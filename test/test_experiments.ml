@@ -49,10 +49,10 @@ let test_to_json () =
     (Ssos_experiments.Table.to_json table)
 
 let test_registry () =
-  check_int "nineteen tables" 19 (List.length Ssos_experiments.Experiments.all);
+  check_int "twenty tables" 20 (List.length Ssos_experiments.Experiments.all);
   check_bool "find t1" true (Ssos_experiments.Experiments.find "t1" <> None);
   check_bool "find T13" true (Ssos_experiments.Experiments.find "T13" <> None);
-  check_bool "find t19" true (Ssos_experiments.Experiments.find "t19" <> None);
+  check_bool "find t20" true (Ssos_experiments.Experiments.find "t20" <> None);
   check_bool "unknown" true (Ssos_experiments.Experiments.find "T99" = None)
 
 let test_summarize () =

@@ -27,6 +27,7 @@ let () =
       ("network cluster (lib/net)", Test_net.suite);
       ("replicated state machine (lib/rsm)", Test_rsm.suite);
       ("campaign engine (differential)", Test_campaigns.suite);
+      ("continuous-operation engine (lib/serve)", Test_serve.suite);
       ("abstract ring model (exhaustive checker)", Test_model.suite);
       ("adversarial scheduling daemons", Test_adversary.suite);
       ("tooling (trace, snapshot)", Test_tooling.suite);

@@ -1,0 +1,178 @@
+(* The continuous-operation engine (lib/serve): bit-identity of the
+   closed loop across shard and job counts (the DESIGN.md §4k
+   argument), the full execute→observe→detect→repair→verify cycle
+   under a background fault process, the open-loop workload's
+   equivalence to its fixed-schedule ancestor, and the serve.* metric
+   registry. *)
+
+let case = Helpers.case
+let check_int = Helpers.check_int
+let check_bool = Helpers.check_bool
+
+module Engine = Ssos_serve.Engine
+module Workload = Ssos_rsm.Workload
+
+let serve ~shards ~jobs =
+  Engine.serve ~nodes:5 ~rate:0.08 ~fault_rate:0.002 ~duration:1500 ~shards
+    ~jobs ~seed:7L ()
+
+(* Tentpole pin: a fixed-duration serve run is bit-identical across
+   shard and job counts.  Every host-side action — fault arrivals,
+   metric windows, repair pulses — lands at a quiescent epoch boundary
+   where the sharded stepper's state equals the sequential stepper's,
+   so neither the shard partition nor the worker-domain count can leak
+   into observables. *)
+let test_determinism_across_shards_and_jobs () =
+  let reference = serve ~shards:1 ~jobs:1 in
+  check_bool "traffic flowed" true (reference.Engine.injected > 0);
+  check_bool "background faults landed" true
+    (reference.Engine.fault_arrivals <> []);
+  List.iter
+    (fun (shards, jobs) ->
+      let s = serve ~shards ~jobs in
+      check_bool
+        (Printf.sprintf "summary bit-identical at shards=%d jobs=%d" shards
+           jobs)
+        true (s = reference))
+    [ (1, 4); (4, 1); (4, 4) ]
+
+(* The closed loop, end to end: a fault process breaks a window, the
+   breach outlasts the patience, the engine escalates to a reset pulse
+   (the paper's reinstall-and-restart path), and the incident closes
+   only after a verified-healthy window — with the SLO still met over
+   the whole run. *)
+let test_closed_loop_detects_and_repairs () =
+  let s =
+    Engine.serve ~nodes:5 ~rate:0.08 ~fault_rate:0.008 ~duration:2400
+      ~seed:3L ()
+  in
+  check_bool "faults landed" true (s.Engine.fault_arrivals <> []);
+  check_int "incident detected" 1 s.Engine.detected;
+  check_int "incident repaired" 1 s.Engine.repaired;
+  check_int "engine escalated to a reset pulse" 1 s.Engine.repairs;
+  check_bool "every incident closed by a verified-healthy window" true
+    (List.for_all
+       (fun (i : Engine.incident) -> i.Engine.closed_at <> None)
+       s.Engine.incidents);
+  check_bool "per-cause mttr reported" true (s.Engine.mttr <> []);
+  check_bool "mttr positive" true
+    (List.for_all (fun (m : Engine.mttr) -> m.Engine.mean_steps > 0.) s.Engine.mttr);
+  check_bool "availability held above the SLO floor" true
+    (s.Engine.availability >= Engine.default_slo.Engine.availability);
+  check_bool "final two-part legality re-verified" true s.Engine.final_legal;
+  check_bool "slo met" true s.Engine.slo_met
+
+(* Fault-free serve: no detector may fire (in particular the startup
+   pipeline-fill transient must not read as an outage), and the run
+   must end SLO-clean. *)
+let test_fault_free_run_is_clean () =
+  let s = Engine.serve ~nodes:5 ~rate:0.08 ~duration:1500 ~seed:7L () in
+  check_bool "no arrivals" true (s.Engine.fault_arrivals = []);
+  check_int "no incidents detected" 0 s.Engine.detected;
+  check_int "no engine resets" 0 s.Engine.repairs;
+  check_int "nothing dropped" 0 s.Engine.dropped;
+  check_bool "availability near 1 (in-flight tail only)" true
+    (s.Engine.availability >= 0.95);
+  check_bool "slo met" true s.Engine.slo_met
+
+(* The open-loop source performs exactly the draw sequence of the
+   batch [schedule]: the same per-node streams, the same per-slot
+   draws.  Two identically seeded services — one driven open-loop, one
+   from a sufficiently long fixed schedule — inject the same words and
+   produce the same responses, and the streaming commit counter agrees
+   with the batch multiset matcher it refactors. *)
+let test_open_loop_matches_schedule () =
+  let steps = 1_200 in
+  let drive make_workload =
+    let service = Ssos_rsm.Service.build ~n:5 ~latency:2 ~seed:42L () in
+    Ssos_net.Cluster.run service.Ssos_rsm.Service.cluster ~steps:600;
+    let wl = make_workload service in
+    Workload.discard wl;
+    Workload.run wl ~steps;
+    wl
+  in
+  let open_wl = drive (fun s -> Workload.open_loop ~rate:0.08 ~seed:9L s) in
+  let fixed_wl =
+    drive (fun s ->
+        Workload.create s
+          (Workload.schedule ~rate:0.08 ~n:5 ~slots:steps ~seed:9L ()))
+  in
+  check_bool "traffic flowed" true (Workload.injected open_wl > 0);
+  check_int "same injections" (Workload.injected fixed_wl)
+    (Workload.injected open_wl);
+  check_bool "same responses" true
+    (Workload.responses open_wl = Workload.responses fixed_wl);
+  check_int "streaming commits equal the batch multiset matching"
+    (Workload.matched open_wl)
+    (Workload.committed open_wl);
+  check_bool "latencies drained once, all positive" true
+    (let lats = Workload.take_latencies open_wl in
+     List.length lats = Workload.committed open_wl
+     && List.for_all (fun l -> l > 0) lats
+     && Workload.take_latencies open_wl = [])
+
+(* The serve.* registry under --metrics: counters, the availability
+   gauge and the sliding latency histogram all register, and the
+   sliding histogram's quantile is served from the aggregated
+   window. *)
+let test_serve_metrics_registry () =
+  Ssos_obs.Obs.reset ();
+  Ssos_obs.Obs.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Ssos_obs.Obs.set_enabled false;
+      Ssos_obs.Obs.reset ())
+    (fun () ->
+      let s =
+        Engine.serve ~nodes:5 ~rate:0.08 ~fault_rate:0.008 ~duration:2400
+          ~seed:3L ()
+      in
+      let snap = Ssos_obs.Obs.snapshot () in
+      let find name =
+        List.find_opt
+          (fun (r : Ssos_obs.Obs.row) -> r.Ssos_obs.Obs.name = name)
+          snap.Ssos_obs.Obs.rows
+      in
+      List.iter
+        (fun name ->
+          check_bool ("row " ^ name) true (find name <> None))
+        [ "serve.injected"; "serve.committed"; "serve.incidents";
+          "serve.repairs"; "serve.window-availability"; "serve.step";
+          "serve.latency-steps" ];
+      (match find "serve.injected" with
+      | Some { Ssos_obs.Obs.value = Ssos_obs.Obs.Counter n; _ } ->
+        check_int "injected counter matches the summary" s.Engine.injected n
+      | _ -> Alcotest.fail "serve.injected is not a counter");
+      match find "serve.latency-steps" with
+      | Some { Ssos_obs.Obs.value = Ssos_obs.Obs.Histogram { count; _ }; _ } ->
+        check_bool "sliding histogram observed commits" true (count > 0)
+      | _ -> Alcotest.fail "serve.latency-steps is not a histogram")
+
+let test_argument_validation () =
+  let invalid name thunk =
+    match thunk () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.failf "%s: expected Invalid_argument" name
+  in
+  invalid "negative duration" (fun () ->
+      Engine.serve ~duration:(-1) ~seed:1L ());
+  invalid "bad fault rate" (fun () ->
+      Engine.serve ~fault_rate:1.5 ~duration:100 ~seed:1L ());
+  invalid "bad rate" (fun () ->
+      Engine.serve ~rate:(-0.1) ~duration:100 ~seed:1L ());
+  invalid "zero epoch" (fun () ->
+      Engine.serve ~epoch:0 ~duration:100 ~seed:1L ());
+  invalid "open_loop bad rate" (fun () ->
+      Workload.open_loop ~rate:2.0 ~seed:1L
+        (Ssos_rsm.Service.build ~n:3 ~seed:1L ()))
+
+let suite =
+  [ case "bit-identical across shard and job counts"
+      test_determinism_across_shards_and_jobs;
+    case "closed loop: detect, escalate, repair, verify"
+      test_closed_loop_detects_and_repairs;
+    case "fault-free run stays clean" test_fault_free_run_is_clean;
+    case "open loop performs the schedule's draw sequence"
+      test_open_loop_matches_schedule;
+    case "serve.* metric registry" test_serve_metrics_registry;
+    case "argument validation" test_argument_validation ]
